@@ -1,0 +1,10 @@
+"""Shared helpers for the benchmark suite."""
+
+
+def render_and_print(result):
+    """Print an experiment result table beneath the benchmark output."""
+    from repro.experiments.report import render_experiment
+
+    print()
+    print(render_experiment(result))
+    return result

@@ -1,0 +1,14 @@
+"""Benchmark suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the rows (run with ``-s`` to see them, or check EXPERIMENTS.md
+for a recorded copy).  Statistical budgets are set so the whole suite
+completes in a few minutes; pass the paper's run counts through the
+experiment configs for full-fidelity numbers.
+"""
+
+import os
+import sys
+
+# Make _bench_utils importable regardless of how pytest inserts paths.
+sys.path.insert(0, os.path.dirname(__file__))

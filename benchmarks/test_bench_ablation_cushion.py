@@ -1,0 +1,90 @@
+"""Ablation: RandomServer delete modes — cushion vs active replacement.
+
+§5.3 weighs two delete schemes: the *cushion* (accept shrunken
+subsets; refill from future adds) and *active replacement* (refetch a
+substitute from a peer immediately).  The paper picks the cushion
+because "finding a replacement is a costly operation" and claims the
+replacement alternative "results in higher unfairness than the
+cushion scheme when there are deletes".  This bench measures all
+three axes: per-delete message cost, store fullness, and post-churn
+unfairness.
+"""
+
+import random
+
+from _bench_utils import render_and_print
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.unfairness import estimate_unfairness
+from repro.simulation.events import AddEvent
+from repro.strategies.random_server import RandomServerX
+from repro.workload.generator import SteadyStateWorkload
+
+
+def _measure(delete_mode: str, seed: int):
+    workload = SteadyStateWorkload(100, rng=random.Random(seed))
+    trace = workload.generate(1500)
+    cluster = Cluster(10, seed=seed)
+    strategy = RandomServerX(cluster, x=20, delete_mode=delete_mode)
+    strategy.place(trace.initial_entries)
+
+    live = {e.entry_id: e for e in trace.initial_entries}
+    delete_messages = 0
+    deletes = 0
+    for event in trace.events:
+        if isinstance(event, AddEvent):
+            strategy.add(event.entry)
+            live[event.entry.entry_id] = event.entry
+        else:
+            delete_messages += strategy.delete(event.entry).messages
+            deletes += 1
+            live.pop(event.entry.entry_id, None)
+
+    sizes = cluster.store_sizes("k")
+    unfairness = estimate_unfairness(
+        strategy, 35, list(live.values()), lookups=3000
+    ).unfairness
+    return {
+        "msgs_per_delete": delete_messages / max(1, deletes),
+        "mean_store_size": sum(sizes) / len(sizes),
+        "unfairness": unfairness,
+    }
+
+
+def _run_ablation() -> ExperimentResult:
+    result = ExperimentResult(
+        name="Ablation: RandomServer delete mode (x=20, 1500 churn events)",
+        headers=["mode", "msgs_per_delete", "mean_store_size", "unfairness"],
+    )
+    for mode in ("cushion", "replace"):
+        samples = [_measure(mode, seed) for seed in (1, 2, 3)]
+        result.rows.append(
+            {
+                "mode": mode,
+                "msgs_per_delete": round(
+                    sum(s["msgs_per_delete"] for s in samples) / 3, 2
+                ),
+                "mean_store_size": round(
+                    sum(s["mean_store_size"] for s in samples) / 3, 2
+                ),
+                "unfairness": round(sum(s["unfairness"] for s in samples) / 3, 3),
+            }
+        )
+    return result
+
+
+def test_bench_ablation_cushion(benchmark):
+    result = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    render_and_print(result)
+    cushion = result.row_for(mode="cushion")
+    replace = result.row_for(mode="replace")
+    # Replacement refills stores (§5.3: "uses less storage because we
+    # do not need to keep cushion entries" — i.e. x can be sized to t).
+    assert replace["mean_store_size"] >= cushion["mean_store_size"]
+    # ...but costs extra messages on every delete of a held entry.
+    assert replace["msgs_per_delete"] > cushion["msgs_per_delete"] + 0.5
+    # And it buys no fairness: the paper says it is no better (worse,
+    # in their runs) than the cushion under churn.
+    assert replace["unfairness"] > 0.5 * cushion["unfairness"]

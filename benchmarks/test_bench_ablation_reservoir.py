@@ -1,0 +1,107 @@
+"""Ablation: RandomServer's reservoir add vs naive full re-sampling.
+
+Section 5.3 maintains each server's uniformly random x-subset under
+adds with Vitter's reservoir rule: one single-entry broadcast and
+constant local work, with the subset staying exactly uniform.  The
+naive alternative re-runs the whole random placement on every add —
+the same number of *messages* (one request plus a broadcast) but each
+broadcast carries the entire h-entry set instead of one entry.  This
+bench verifies (a) the reservoir keeps per-entry inclusion
+probabilities uniform (the statistical property the rule exists to
+preserve) and (b) the payload saving.
+"""
+
+from _bench_utils import render_and_print
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.experiments.runner import ExperimentResult
+from repro.strategies.random_server import RandomServerX
+
+
+def _reservoir_inclusion_bias(runs: int = 400) -> float:
+    """Max deviation of per-entry inclusion probability from x/h.
+
+    Place 10 entries, add 10 more via the reservoir path, and check
+    every one of the 20 ends up in a server's subset with probability
+    close to x/h = 5/20.
+    """
+    hits = {f"v{i}": 0 for i in range(1, 11)}
+    hits.update({f"a{i}": 0 for i in range(10)})
+    for seed in range(runs):
+        strategy = RandomServerX(Cluster(1, seed=seed), x=5)
+        strategy.place(make_entries(10))
+        for i in range(10):
+            strategy.add(Entry(f"a{i}"))
+        for entry in strategy.cluster.server(0).store("k"):
+            hits[entry.entry_id] += 1
+    ideal = 5 / 20
+    return max(abs(count / runs - ideal) for count in hits.values())
+
+
+def _cost_per_add(naive: bool, adds: int = 50, h: int = 100, n: int = 10):
+    """(messages, payload entries shipped) per add for either variant.
+
+    Both counts come straight from the network's accounting: the
+    naive variant re-places the whole entry set, so every broadcast
+    ships all ``h+`` entries; the reservoir ships one.
+    """
+    cluster = Cluster(n, seed=3 if naive else 4)
+    strategy = RandomServerX(cluster, x=20)
+    entries = list(make_entries(h))
+    strategy.place(entries)
+    stats = cluster.network.stats
+    messages_before = stats.update_messages
+    payload_before = stats.payload_entries
+    for i in range(adds):
+        entry = Entry(f"n{i}")
+        if naive:
+            entries.append(entry)
+            strategy.place(entries)
+        else:
+            strategy.add(entry)
+    messages = stats.update_messages - messages_before
+    payload = stats.payload_entries - payload_before
+    return messages / adds, payload / adds
+
+
+def _run_ablation() -> ExperimentResult:
+    result = ExperimentResult(
+        name="Ablation: RandomServer reservoir add",
+        headers=["variant", "msgs_per_add", "payload_entries_per_add",
+                 "max_inclusion_bias"],
+    )
+    reservoir_msgs, reservoir_payload = _cost_per_add(naive=False)
+    replace_msgs, replace_payload = _cost_per_add(naive=True)
+    result.rows.append(
+        {
+            "variant": "reservoir (paper §5.3)",
+            "msgs_per_add": round(reservoir_msgs, 1),
+            "payload_entries_per_add": round(reservoir_payload, 1),
+            "max_inclusion_bias": round(_reservoir_inclusion_bias(), 3),
+        }
+    )
+    result.rows.append(
+        {
+            "variant": "naive re-place",
+            "msgs_per_add": round(replace_msgs, 1),
+            "payload_entries_per_add": round(replace_payload, 1),
+            "max_inclusion_bias": 0.0,  # uniform by construction
+        }
+    )
+    return result
+
+
+def test_bench_ablation_reservoir(benchmark):
+    result = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    render_and_print(result)
+    reservoir = result.row_for(variant="reservoir (paper §5.3)")
+    replace = result.row_for(variant="naive re-place")
+    # Uniformity preserved within sampling noise (400 runs).
+    assert reservoir["max_inclusion_bias"] < 0.08
+    # Same message count (one request + broadcast either way)…
+    assert reservoir["msgs_per_add"] == replace["msgs_per_add"]
+    # …but the naive variant ships >100x the payload per add.
+    assert replace["payload_entries_per_add"] > (
+        100 * reservoir["payload_entries_per_add"]
+    )

@@ -1,0 +1,73 @@
+"""Ablation: Round-Robin's plug-the-hole delete vs naive re-placement.
+
+The paper's §5.4 delete protocol migrates the head entry into the hole
+a deletion leaves, at a cost of one broadcast plus 2y point-to-point
+messages.  The naive alternative — re-running the entire round-robin
+placement after every delete — also restores the invariant, but at
+O(h·y) messages per delete.  This bench quantifies the gap the
+protocol exists to close.
+"""
+
+from _bench_utils import render_and_print
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.experiments.runner import ExperimentResult
+from repro.strategies.round_robin import RoundRobinY
+
+
+def _migration_delete_cost(h: int, deletes: int) -> float:
+    """Mean messages per delete under the paper's migration protocol."""
+    strategy = RoundRobinY(Cluster(10, seed=1), y=2)
+    entries = make_entries(h)
+    strategy.place(entries)
+    total = 0
+    for entry in entries[:deletes]:
+        total += strategy.delete(entry).messages
+    return total / deletes
+
+
+def _replace_delete_cost(h: int, deletes: int) -> float:
+    """Mean messages per delete when deletes re-place everything."""
+    strategy = RoundRobinY(Cluster(10, seed=2), y=2)
+    entries = make_entries(h)
+    strategy.place(entries)
+    remaining = list(entries)
+    total = 0
+    for entry in entries[:deletes]:
+        remaining.remove(entry)
+        total += strategy.place(remaining).messages
+    return total / deletes
+
+
+def _run_ablation() -> ExperimentResult:
+    result = ExperimentResult(
+        name="Ablation: Round-Robin delete protocol",
+        headers=["entry_count", "migration_msgs_per_delete", "replace_msgs_per_delete", "ratio"],
+    )
+    for h in (50, 100, 200):
+        migration = _migration_delete_cost(h, deletes=20)
+        replace = _replace_delete_cost(h, deletes=20)
+        result.rows.append(
+            {
+                "entry_count": h,
+                "migration_msgs_per_delete": round(migration, 1),
+                "replace_msgs_per_delete": round(replace, 1),
+                "ratio": round(replace / migration, 1),
+            }
+        )
+    return result
+
+
+def test_bench_ablation_roundrobin_delete(benchmark):
+    result = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    render_and_print(result)
+    for row in result.rows:
+        # Migration cost is O(n + y), independent of h.
+        assert row["migration_msgs_per_delete"] <= 20
+        # Naive replacement scales with h·y and loses badly.
+        assert row["replace_msgs_per_delete"] > 2 * row["entry_count"] * 0.8
+        assert row["ratio"] > 3
+    # The migration advantage grows with the entry count.
+    ratios = result.column("ratio")
+    assert ratios == sorted(ratios)

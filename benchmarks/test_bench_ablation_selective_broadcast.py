@@ -1,0 +1,68 @@
+"""Ablation: Fixed-x's selective broadcast vs always-broadcast updates.
+
+Fixed-x only broadcasts an add while the shared subset is not full,
+and a delete only when the victim is tracked (§5.2) — the source of
+its ``1 + (x/h)·n`` update cost.  Disabling the check (broadcasting
+every update, as full replication does) costs ``1 + n`` per update.
+This bench measures the saving across the t/h ratio sweep of Fig 14.
+"""
+
+import random
+
+from _bench_utils import render_and_print
+
+from repro.cluster.cluster import Cluster
+from repro.experiments.runner import ExperimentResult
+from repro.simulation.replay import TraceReplayer
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.workload.generator import SteadyStateWorkload
+
+
+def _messages_per_update(build, entry_count: int, seed: int) -> float:
+    rng = random.Random(seed)
+    workload = SteadyStateWorkload(entry_count, rng=rng)
+    trace = workload.generate(1500)
+    cluster = Cluster(10, seed=seed)
+    strategy = build(cluster)
+    strategy.place(trace.initial_entries)
+    cluster.reset_stats()
+    stats = TraceReplayer(strategy).replay(trace.events)
+    return stats.update_messages / trace.update_count
+
+
+def _run_ablation() -> ExperimentResult:
+    result = ExperimentResult(
+        name="Ablation: Fixed-x selective broadcast (x=50)",
+        headers=["entry_count", "selective", "always_broadcast", "saving_pct"],
+    )
+    for h in (100, 200, 400):
+        selective = _messages_per_update(
+            lambda c: FixedX(c, x=50), entry_count=h, seed=h
+        )
+        # Full replication is exactly "Fixed-x without the check":
+        # every update broadcasts unconditionally.
+        always = _messages_per_update(
+            lambda c: FullReplication(c), entry_count=h, seed=h
+        )
+        result.rows.append(
+            {
+                "entry_count": h,
+                "selective": round(selective, 2),
+                "always_broadcast": round(always, 2),
+                "saving_pct": round(100 * (1 - selective / always), 1),
+            }
+        )
+    return result
+
+
+def test_bench_ablation_selective_broadcast(benchmark):
+    result = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    render_and_print(result)
+    for row in result.rows:
+        assert row["always_broadcast"] > 10.5  # ~1 + n
+        assert row["selective"] < row["always_broadcast"]
+    # The saving grows as the tracked fraction x/h shrinks.
+    savings = result.column("saving_pct")
+    assert savings == sorted(savings)
+    assert savings[-1] > 60

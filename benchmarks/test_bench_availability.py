@@ -1,0 +1,30 @@
+"""Benchmark: lookup availability under random crash/repair.
+
+The average-case companion to Figure 7's adversarial analysis: the
+introduction's claim that "even if S2 is down, partial lookups can
+continue", quantified.  Key partitioning's failure rate tracks its
+owner's unavailability; the multi-copy partial schemes drive failures
+toward zero as availability rises; Fixed-x's coverage cap shows up as
+permanent failure for targets above x.
+"""
+
+from _bench_utils import render_and_print
+
+from repro.experiments.availability import AvailabilityConfig, run
+
+
+def test_bench_availability(benchmark):
+    config = AvailabilityConfig(runs=5, lookups_per_run=400)
+    result = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    render_and_print(result)
+
+    for row in result.rows:
+        assert row["fixed"] == 1.0  # t=35 > coverage 20, always
+    best = result.row_for(availability=0.95)
+    worst = result.row_for(availability=0.2)
+    for label in ("random_server", "round_robin", "hash"):
+        assert best[label] < 0.01
+        assert worst[label] > 0.2  # harsh regimes do hurt
+    # Partitioning ~ owner unavailability, the hot-spot fragility.
+    assert best["key_partitioning"] > 0.02
+    assert worst["key_partitioning"] > 0.6

@@ -1,0 +1,32 @@
+"""Benchmark: the §4.3 diverse-clients mix at a matched budget.
+
+Every scheme serves the small-target majority in one contact; the
+want-everything crawlers separate the schemes exactly as §4.3's
+coverage analysis predicts: Round-Robin serves them in exactly n/y
+contacts, Hash needs nearly all servers, RandomServer's ~89-entry
+expected coverage fails them, and Fixed-x fails them instantly.
+"""
+
+from _bench_utils import render_and_print
+
+from repro.experiments.diverse_clients import DiverseClientsConfig, run
+
+
+def test_bench_diverse_clients(benchmark):
+    config = DiverseClientsConfig(runs=10)
+    result = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    render_and_print(result)
+
+    for row in result.rows:
+        # The small-target majority is one-contact, zero-failure for
+        # every scheme — the partial-lookup sweet spot.
+        assert row["small_cost"] <= 1.2
+        assert row["small_fail"] == 0.0
+
+    assert result.row_for(scheme="fixed")["crawler_fail"] == 1.0
+    assert result.row_for(scheme="random_server")["crawler_fail"] > 0.9
+    assert result.row_for(scheme="round_robin")["crawler_fail"] == 0.0
+    assert result.row_for(scheme="hash")["crawler_fail"] == 0.0
+    # Round-Robin's stride serves a full crawl in exactly n/y contacts.
+    assert result.row_for(scheme="round_robin")["crawler_cost"] == 5.0
+    assert result.row_for(scheme="hash")["crawler_cost"] > 5.0

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 12 (Fixed-x cushion failure rate).
+
+Paper shape: >10% failure time with no cushion, dropping roughly
+exponentially per extra cushion entry; the heavy-tailed Zipf lifetime
+tapers off (keeps a failure floor) where the exponential reaches zero.
+"""
+
+from _bench_utils import render_and_print
+
+from repro.experiments.fig12_cushion import Fig12Config, run
+
+
+def test_bench_fig12_cushion(benchmark):
+    config = Fig12Config(runs=8, updates_per_run=5000)
+    result = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    render_and_print(result)
+
+    zero = result.row_for(cushion=0)
+    assert zero["exp_percent"] > 10.0
+    assert zero["zipf_percent"] > 10.0
+
+    # Steep decay over the first few cushion entries.
+    exp_curve = result.column("exp_percent")
+    assert exp_curve[0] > 10 * max(exp_curve[2], 0.05)
+
+    # Zipf's heavy tail keeps failures alive at large cushions.
+    tail = result.row_for(cushion=6)
+    assert tail["zipf_percent"] >= tail["exp_percent"]

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 13 (RandomServer unfairness under churn).
+
+Paper shape: unfairness rises rapidly over the first ~1000 updates and
+stabilizes — ending only a factor of ~2 better than Fixed-x's constant
+2.0, versus the order-of-magnitude static advantage (§6.3).
+"""
+
+from _bench_utils import render_and_print
+
+from repro.experiments.fig13_dynamic_unfairness import Fig13Config, run
+from repro.metrics.unfairness import exact_unfairness_uniform_subset
+
+
+def test_bench_fig13_dynamic_unfairness(benchmark):
+    config = Fig13Config(runs=8, lookups=2000)
+    result = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    render_and_print(result)
+
+    values = result.column("random_server")
+    # Rapid deterioration then stabilization.
+    assert values[1] > values[0]
+    late = values[-3:]
+    assert max(late) - min(late) < 0.35  # plateaued
+
+    # §6.3: "only a factor of 2 better than Fixed-x" (Fixed-x = 2.0).
+    fixed_constant = exact_unfairness_uniform_subset(20, 100, config.target)
+    assert fixed_constant == 2.0
+    assert fixed_constant / 4 < values[-1] < fixed_constant

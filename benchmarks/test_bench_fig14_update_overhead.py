@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 14 (update overhead, Fixed-x vs Hash-y).
+
+Paper shape: Fixed-50's total messages fall smoothly with h (broadcast
+probability x/h); Hash-y steps down at its y break points (h = 133,
+200, 400); the curves cross multiple times, with Hash cheaper at the
+ratio extremes and Fixed cheaper in the middle plateau.
+"""
+
+from _bench_utils import render_and_print
+
+from repro.analysis.crossover import find_crossovers
+from repro.experiments.fig14_update_overhead import Fig14Config, run
+
+
+def test_bench_fig14_update_overhead(benchmark):
+    config = Fig14Config(runs=5, updates_per_run=5000)
+    result = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    render_and_print(result)
+
+    # Fixed monotone decreasing; Hash steps with y.
+    fixed_curve = result.column("fixed_measured")
+    assert fixed_curve == sorted(fixed_curve, reverse=True)
+    assert result.column("hash_y") == [4, 4, 3, 2, 2, 2, 2, 1]
+
+    # Measured totals track the closed-form expectations.
+    for row in result.rows:
+        assert abs(row["fixed_measured"] - row["fixed_expected"]) < (
+            0.2 * row["fixed_expected"]
+        )
+        assert row["hash_measured"] <= row["hash_expected"] * 1.05
+
+    # The crossover structure: hash cheaper at both ends, fixed in the
+    # middle — at least two flips, matching the analytical scan.
+    winners = [
+        "fixed" if row["fixed_measured"] < row["hash_measured"] else "hash"
+        for row in result.rows
+    ]
+    assert winners[0] == "hash" and winners[-1] == "hash"
+    assert "fixed" in winners
+    analytic = find_crossovers(
+        config.x, config.target, config.server_count, list(config.entry_counts)
+    )
+    assert len(analytic) >= 2

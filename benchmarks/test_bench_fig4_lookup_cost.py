@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 4 (lookup cost vs target answer size).
+
+Paper shape: Round-2 steps by one server per 20 of target;
+RandomServer-20 sits on or above it; Hash-2 exceeds 1 even for small
+targets (1.124 at t=15 in the paper) but dips below the others just
+past each step.
+"""
+
+from _bench_utils import render_and_print
+
+from repro.experiments.fig4_lookup_cost import Fig4Config, run
+
+
+def test_bench_fig4_lookup_cost(benchmark):
+    config = Fig4Config(runs=20, lookups_per_run=500)
+    result = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    render_and_print(result)
+
+    # Round-2's step curve.
+    assert result.row_for(target=20)["round_robin_2"] == 1.0
+    assert result.row_for(target=25)["round_robin_2"] == 2.0
+    assert result.row_for(target=40)["round_robin_2"] == 2.0
+    assert result.row_for(target=45)["round_robin_2"] == 3.0
+
+    # Hash-2 at t=15: the paper reports 1.124.
+    hash_at_15 = result.row_for(target=15)["hash_2"]
+    assert 1.05 < hash_at_15 < 1.25
+
+    # RandomServer >= Round everywhere; Hash wins just past the step.
+    for row in result.rows:
+        assert row["random_server_20"] >= row["round_robin_2"] - 1e-9
+    assert result.row_for(target=25)["hash_2"] < 2.0

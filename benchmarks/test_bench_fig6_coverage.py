@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 6 (coverage vs total storage).
+
+Paper shape: Round/Hash cover min(budget, h); Fixed covers budget/n;
+RandomServer follows h·(1 − (1 − x/h)^n), the inverted exponential.
+"""
+
+from _bench_utils import render_and_print
+
+from repro.experiments.fig6_coverage import Fig6Config, run
+
+
+def test_bench_fig6_coverage(benchmark):
+    config = Fig6Config(runs=100)
+    result = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    render_and_print(result)
+
+    for row in result.rows:
+        budget = row["budget"]
+        assert row["round_robin"] == min(budget, 100)
+        assert row["hash"] == min(budget, 100)
+        assert row["fixed"] == budget // 10
+        # The stochastic RandomServer mean tracks its closed form.
+        assert abs(row["random_server"] - row["random_server_expected"]) < 1.5
+        assert row["fixed"] <= row["random_server"] <= 100

@@ -1,0 +1,28 @@
+"""Benchmark: the hot-spot comparison (Figure 1 / conclusion claim).
+
+Traditional hashing (key partitioning) funnels a popular key's entire
+lookup load to its single owner server and loses the key when that
+server fails; every partial lookup scheme spreads the same burst to
+~1/n per server and keeps answering through the failure.
+"""
+
+from _bench_utils import render_and_print
+
+from repro.experiments.hotspot import HotspotConfig, run
+
+
+def test_bench_hotspot(benchmark):
+    config = HotspotConfig(runs=5, lookups=2000)
+    result = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    render_and_print(result)
+
+    partitioning = result.row_for(architecture="key_partitioning")
+    assert partitioning["peak_share"] == 1.0
+    assert partitioning["survives_owner_failure"] == 0.0
+
+    for name in ("full_replication", "fixed", "random_server",
+                 "round_robin", "hash"):
+        row = result.row_for(architecture=name)
+        # Spread within 2.5x of the ideal 1/n share; never a hot spot.
+        assert row["peak_share"] < 2.5 * row["ideal_share"]
+        assert row["survives_owner_failure"] == 1.0

@@ -1,0 +1,58 @@
+"""Benchmark: §3.5's predictability observation as latency rounds.
+
+"While a Round-y client can tell, in advance, how many servers it
+needs to contact for a lookup, a Hash-y client cannot."  Under a
+parallel-fan-out latency model that knowledge is worth real round
+trips: Round-Robin answers any target in one round while the adaptive
+schemes pay one round per contacted server.
+"""
+
+from _bench_utils import render_and_print
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.latency import estimate_lookup_latency
+from repro.strategies.fixed import FixedX
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+
+def _run_latency() -> ExperimentResult:
+    result = ExperimentResult(
+        name="Latency rounds vs target (h=100, n=10, budget 200)",
+        headers=["target", "round_robin_2", "random_server_20", "hash_2",
+                 "fixed_20"],
+    )
+    cluster = Cluster(10, seed=61)
+    schemes = {
+        "round_robin_2": RoundRobinY(cluster, y=2, key="rr"),
+        "random_server_20": RandomServerX(cluster, x=20, key="rs"),
+        "hash_2": HashY(cluster, y=2, key="h"),
+        "fixed_20": FixedX(cluster, x=20, key="f"),
+    }
+    entries = make_entries(100)
+    for strategy in schemes.values():
+        strategy.place(entries)
+    for target in (10, 20, 40, 60, 80):
+        row = {"target": target}
+        for label, strategy in schemes.items():
+            estimate = estimate_lookup_latency(strategy, target, lookups=300)
+            row[label] = round(estimate.mean_rounds, 3)
+        result.rows.append(row)
+    return result
+
+
+def test_bench_latency_rounds(benchmark):
+    result = benchmark.pedantic(_run_latency, rounds=1, iterations=1)
+    render_and_print(result)
+
+    for row in result.rows:
+        # Round-Robin's precomputable fan-out: always one round.
+        assert row["round_robin_2"] == 1.0
+        assert row["fixed_20"] == 1.0  # single contact (fails above x)
+    # Adaptive schemes pay per contact, growing with the target.
+    assert result.row_for(target=80)["hash_2"] >= 4.0
+    assert result.row_for(target=80)["random_server_20"] >= 4.0
+    assert result.row_for(target=10)["hash_2"] < 1.5

@@ -1,0 +1,66 @@
+"""Micro-benchmarks: raw operation throughput per scheme.
+
+Unlike the experiment benches (which regenerate paper artifacts once),
+these time the core operations with pytest-benchmark's statistics —
+useful for catching performance regressions in the simulator itself.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.strategies.registry import create_strategy
+
+PARAMS = {
+    "full_replication": {},
+    "fixed": {"x": 20},
+    "random_server": {"x": 20},
+    "round_robin": {"y": 2},
+    "hash": {"y": 2},
+}
+
+
+def _placed(name):
+    strategy = create_strategy(name, Cluster(10, seed=8), **PARAMS[name])
+    strategy.place(make_entries(100))
+    return strategy
+
+
+@pytest.mark.parametrize("name", sorted(PARAMS))
+def test_bench_micro_lookup(benchmark, name):
+    strategy = _placed(name)
+    result = benchmark(lambda: strategy.partial_lookup(15))
+    assert result.success or name == "fixed"
+
+
+@pytest.mark.parametrize("name", sorted(PARAMS))
+def test_bench_micro_update_cycle(benchmark, name):
+    strategy = _placed(name)
+    counter = iter(range(10**9))
+
+    def add_delete():
+        entry = Entry(f"m{next(counter)}")
+        strategy.add(entry)
+        strategy.delete(entry)
+
+    benchmark(add_delete)
+
+
+def test_bench_micro_place(benchmark):
+    entries = make_entries(100)
+
+    def place_fresh():
+        strategy = create_strategy("round_robin", Cluster(10, seed=9), y=2)
+        strategy.place(entries)
+        return strategy
+
+    strategy = benchmark(place_fresh)
+    assert strategy.storage_cost() == 200
+
+
+def test_bench_micro_fault_tolerance_heuristic(benchmark):
+    from repro.metrics.fault_tolerance import greedy_fault_tolerance
+
+    strategy = _placed("random_server")
+    tolerated = benchmark(lambda: greedy_fault_tolerance(strategy, 20))
+    assert tolerated >= 7

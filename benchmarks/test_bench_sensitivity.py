@@ -1,0 +1,24 @@
+"""Benchmark: conclusion robustness across cluster sizes.
+
+The paper evaluates everything at n = 10; this bench checks that its
+§4.2 lookup-cost and §4.4 fault-tolerance orderings — and Round-
+Robin's closed form — hold at n = 5 and n = 20 too (with the storage
+budget scaled to the same two-copies regime).
+"""
+
+from _bench_utils import render_and_print
+
+from repro.experiments.sensitivity import SensitivityConfig, run
+
+
+def test_bench_sensitivity(benchmark):
+    config = SensitivityConfig(runs=10, lookups_per_run=300)
+    result = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    render_and_print(result)
+
+    for row in result.rows:
+        assert row["holds_cost_order"], f"cost ordering broke at n={row['n']}"
+        assert row["holds_ft_order"], f"ft ordering broke at n={row['n']}"
+        # Round-Robin's closed form is n-independent in its derivation;
+        # the greedy adversary must land on it at every n.
+        assert row["round_robin_ft"] == row["rr_ft_formula"]

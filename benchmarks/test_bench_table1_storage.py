@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 1 (storage cost, formula vs measured)."""
+
+from _bench_utils import render_and_print
+
+from repro.experiments.table1_storage import Table1Config, run
+
+
+def test_bench_table1_storage(benchmark):
+    config = Table1Config(runs=200)
+    result = benchmark.pedantic(lambda: run(config), rounds=1, iterations=1)
+    render_and_print(result)
+    # Deterministic rows must match the closed forms exactly.
+    for name in ("full_replication", "fixed", "random_server", "round_robin"):
+        row = result.row_for(strategy=name)
+        assert row["measured"] == row["expected"]
+    hash_row = result.row_for(strategy="hash")
+    assert abs(hash_row["measured"] - hash_row["expected"]) < 2.0

@@ -1,0 +1,75 @@
+"""Capacity planning: size a partial lookup deployment on paper first.
+
+Given what an operator knows up front — expected entries, server
+count, storage budget, target answer size, update intensity — the
+planner evaluates every closed form from the paper at once, marks the
+quantities that genuinely need simulation, and the selector explains
+which scheme the paper's rules of thumb favour.  Then we *check the
+plan against reality* by running the simulator at the same parameters.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import Cluster
+from repro.analysis.planner import DeploymentSpec, cheapest_for_updates, plan_rows
+from repro.core.entry import make_entries
+from repro.experiments.report import render_table
+from repro.metrics.collector import MetricsCollector
+from repro.strategies.registry import create_strategy
+from repro.strategies.selector import WorkloadProfile, recommend
+
+SPEC = DeploymentSpec(
+    entry_count=150,
+    server_count=10,
+    storage_budget=300,
+    target_answer_size=20,
+    updates_per_lookup=0.5,
+)
+
+
+def main() -> None:
+    rows = plan_rows(SPEC)
+    print(render_table(
+        ["scheme", "params", "storage", "lookup_cost", "coverage",
+         "fault_tol", "update_msgs", "notes"],
+        rows,
+        title=(
+            f"Analytic plan: h={SPEC.entry_count}, n={SPEC.server_count}, "
+            f"budget={SPEC.storage_budget}, t={SPEC.target_answer_size}"
+        ),
+    ))
+    print(f"\ncheapest for updates (closed-form head-to-head, §6.4): "
+          f"{cheapest_for_updates(SPEC)}")
+
+    profile = WorkloadProfile(
+        entry_count=SPEC.entry_count,
+        server_count=SPEC.server_count,
+        target_answer_size=SPEC.target_answer_size,
+        update_rate=SPEC.updates_per_lookup,
+        needs_complete_coverage=True,
+    )
+    best = recommend(profile)[0]
+    print(f"rules-of-thumb pick: {best.name}")
+    for reason in best.reasons:
+        print(f"   {reason}")
+
+    # Check the plan against a real placement of the winning scheme.
+    params = {"hash": {"y": 2}, "fixed": {"x": 30},
+              "round_robin": {"y": 2}, "random_server": {"x": 30},
+              "full_replication": {}}[best.name]
+    cluster = Cluster(SPEC.server_count, seed=2024)
+    strategy = create_strategy(best.name, cluster, **params)
+    entries = make_entries(SPEC.entry_count)
+    strategy.place(entries)
+    snapshot = MetricsCollector(
+        lookup_samples=300, unfairness_samples=1000
+    ).collect(strategy, SPEC.target_answer_size, entries)
+    print(f"\nsimulated check of {best.name}: "
+          f"storage={snapshot.storage_cost}, "
+          f"lookup_cost={snapshot.mean_lookup_cost:.2f}, "
+          f"coverage={snapshot.coverage}, "
+          f"fault_tolerance={snapshot.fault_tolerance}")
+
+
+if __name__ == "__main__":
+    main()

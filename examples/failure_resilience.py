@@ -1,0 +1,84 @@
+"""Failure resilience: how each scheme degrades as servers die.
+
+Section 4.4 evaluates worst-case fault tolerance with an adversarial
+greedy heuristic (Appendix A).  This example makes that concrete: it
+places the same 100 entries under four schemes at the same 200-entry
+storage budget, then kills servers one at a time *in the adversary's
+order* and tracks what a client can still retrieve after each failure.
+
+Run:  python examples/failure_resilience.py
+"""
+
+from repro import Cluster
+from repro.core.entry import make_entries
+from repro.experiments.report import render_table
+from repro.metrics.fault_tolerance import greedy_fault_tolerance
+from repro.strategies.fixed import FixedX
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+ENTRIES = 100
+TARGET = 20  # the lookup size whose survival we care about
+
+
+def degradation_profile(strategy):
+    """Coverage after each adversarial failure, worst-first."""
+    tolerated, order = greedy_fault_tolerance(
+        strategy, TARGET, return_order=True
+    )
+    profile = [strategy.coverage()]
+    # Extend the adversary's order to all n-1 failures for the table.
+    _, full_order = greedy_fault_tolerance(strategy, 0, return_order=True)
+    for server_id in full_order:
+        strategy.cluster.fail(server_id)
+        profile.append(strategy.coverage())
+    strategy.cluster.recover_all()
+    return tolerated, profile
+
+
+def main() -> None:
+    cluster = Cluster(10, seed=404)
+    entries = make_entries(ENTRIES)
+    schemes = {
+        "fixed-20": FixedX(cluster, x=20, key="f"),
+        "random_server-20": RandomServerX(cluster, x=20, key="rs"),
+        "round_robin-2": RoundRobinY(cluster, y=2, key="rr"),
+        "hash-2": HashY(cluster, y=2, key="h"),
+    }
+    rows = []
+    for label, strategy in schemes.items():
+        strategy.place(entries)
+        tolerated, profile = degradation_profile(strategy)
+        rows.append(
+            {
+                "scheme": label,
+                f"tolerates (t={TARGET})": tolerated,
+                "coverage@0": profile[0],
+                "@3 down": profile[3],
+                "@6 down": profile[6],
+                "@9 down": profile[9],
+            }
+        )
+    print(render_table(
+        ["scheme", f"tolerates (t={TARGET})", "coverage@0", "@3 down",
+         "@6 down", "@9 down"],
+        rows,
+        title=f"Adversarial failures: {ENTRIES} entries on 10 servers, "
+              "200-entry budget",
+    ))
+    print(
+        "\nReading the table (paper §4.4):\n"
+        " - fixed-x keeps its full (small) coverage down to the last\n"
+        "   server: every server is a complete replica of the subset.\n"
+        " - round_robin loses exactly h/n distinct entries per extra\n"
+        "   failure once its y copies are exhausted.\n"
+        " - random_server degrades most gracefully per failure thanks\n"
+        "   to accidental overlap between its random subsets.\n"
+        " - hash-y's uneven loads mean an adversary can take out its\n"
+        "   biggest servers first - the S-shaped decline in Figure 7.\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

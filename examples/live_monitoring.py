@@ -1,0 +1,111 @@
+"""Live monitoring: watch a service degrade and recover, over time.
+
+Composes a full scenario — steady churn, client lookups, and a
+mid-run failure window where three servers crash and later recover —
+and samples coverage and the minimum per-server store on a fixed
+period, rendering both as ASCII time series.  The tooling equivalent
+of a Grafana dashboard for the simulated service.
+
+Run:  python examples/live_monitoring.py
+"""
+
+from repro import Cluster
+from repro.experiments.plotting import ascii_plot
+from repro.metrics.timeseries import (
+    TimeSeriesProbe,
+    coverage_metric,
+    min_store_metric,
+)
+from repro.simulation.events import FailureEvent, RecoveryEvent
+from repro.simulation.replay import TraceReplayer
+from repro.strategies.round_robin import RoundRobinY
+from repro.workload.compose import ScenarioBuilder, merge_event_streams
+
+ENTRIES = 100
+UPDATES = 1500
+
+
+def main() -> None:
+    scenario = (
+        ScenarioBuilder(seed=31)
+        .with_steady_state_churn(entry_count=ENTRIES, updates=UPDATES)
+        .with_lookups(count=150, target=10)
+        .build()
+    )
+    horizon = scenario.horizon
+
+    # A deterministic failure window in the middle third of the run.
+    # Servers 5..7 crash — deliberately NOT the counter replicas
+    # (servers 0..2): killing all counter hosts would refuse every
+    # update and deleted entries would leak for the rest of the run.
+    # (Try it: change `5 + i` to `i` and watch coverage overshoot.)
+    window_start, window_end = horizon * 0.4, horizon * 0.65
+    failures = [
+        FailureEvent(window_start + i * 20.0, server_id=5 + i)
+        for i in range(3)
+    ] + [
+        RecoveryEvent(window_end + i * 20.0, server_id=5 + i)
+        for i in range(3)
+    ]
+
+    cluster = Cluster(10, seed=31)
+    strategy = RoundRobinY(cluster, y=2, counter_replicas=3)
+    strategy.place(scenario.initial_entries)
+
+    coverage_probe = TimeSeriesProbe(
+        "coverage", coverage_metric, period=horizon / 60, horizon=horizon
+    )
+    floor_probe = TimeSeriesProbe(
+        "min_store", min_store_metric, period=horizon / 60, horizon=horizon
+    )
+    events = merge_event_streams(
+        list(scenario.events),
+        failures,
+        coverage_probe.events(),
+        floor_probe.events(),
+    )
+    stats = TraceReplayer(strategy).replay(events)
+
+    print(ascii_plot(
+        {"coverage (alive servers)": coverage_probe.series.as_curve()},
+        title=f"Coverage through a 3-server failure window "
+              f"(t in [{window_start:.0f}, {window_end:.0f}])",
+        x_label="virtual time",
+        width=70,
+        height=12,
+    ))
+    print()
+    print(ascii_plot(
+        {"min per-server store": floor_probe.series.as_curve()},
+        title="Smallest per-server store over the same run",
+        x_label="virtual time",
+        width=70,
+        height=10,
+    ))
+    print(
+        f"\nrun summary: {stats.adds} adds, {stats.deletes} deletes, "
+        f"{stats.lookups} lookups ({stats.failed_lookups} failed), "
+        f"{stats.refused_updates} updates refused."
+    )
+
+    from repro.maintenance.verify import verify_placement
+
+    violations = verify_placement(strategy)
+    print(
+        "\nReading the charts:\n"
+        " - coverage dips ~30 entries while the window is open (the\n"
+        "   failed servers' exclusive copies), yet every 10-entry\n"
+        "   lookup succeeds: round-robin keeps 2 copies on consecutive\n"
+        "   servers.\n"
+        " - after recovery, coverage OVERSHOOTS the steady state: the\n"
+        "   recovered servers return with stale copies of entries that\n"
+        "   were deleted while they were down (the paper's protocols\n"
+        "   have no anti-entropy repair).\n"
+        f"   verify_placement() confirms: {len(violations)} structural\n"
+        "   violations on the recovered placement - see\n"
+        "   repro.maintenance for the verification/repair tooling.\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Limited reachability (§7.2): placing servers on an overlay network.
+
+The paper's second variation drops the all-servers-reachable
+assumption: clients live on a Gnutella-style overlay and can only
+reach nodes within ``d`` hops.  The placement question becomes *where
+to put servers* so every client has one nearby, and the tradeoff is
+§7.2's: a small hop bound keeps lookups cheap but needs servers (and
+therefore update fan-out) everywhere.
+
+This example builds a 200-node random overlay, sweeps the hop bound,
+and prints the tradeoff curve, then stands up an actual partial lookup
+service on the chosen server nodes.
+
+Run:  python examples/overlay_reachability.py
+"""
+
+import random
+
+from repro import Cluster
+from repro.core.entry import make_entries
+from repro.experiments.report import render_table
+from repro.extensions.reachability import OverlayNetwork, ReachabilityPlacement
+from repro.strategies.round_robin import RoundRobinY
+
+OVERLAY_NODES = 200
+
+
+def main() -> None:
+    overlay = OverlayNetwork.random(
+        OVERLAY_NODES, mean_degree=4, rng=random.Random(42)
+    )
+    placement = ReachabilityPlacement(overlay)
+
+    rows = []
+    reports = {}
+    for hop_bound in (0, 1, 2, 3, 4, 5):
+        report = placement.place_servers(hop_bound)
+        reports[hop_bound] = report
+        rows.append(
+            {
+                "hop_bound_d": hop_bound,
+                "servers_needed": report.update_fanout,
+                "clients_covered": f"{report.clients_covered}/{report.clients_total}",
+                "update_fanout": report.update_fanout,
+            }
+        )
+    print(render_table(
+        ["hop_bound_d", "servers_needed", "clients_covered", "update_fanout"],
+        rows,
+        title=f"§7.2 tradeoff on a {OVERLAY_NODES}-node overlay: "
+              "small d = cheap lookups but many servers to update",
+    ))
+
+    # Deploy a partial lookup service on the d=2 server set.
+    chosen = reports[2]
+    cluster = Cluster(max(1, chosen.update_fanout), seed=7)
+    service = RoundRobinY(cluster, y=min(2, cluster.size))
+    service.place(make_entries(50))
+    result = service.partial_lookup(5)
+    print(
+        f"\nDeployed Round-Robin on the {cluster.size} d=2 server nodes: "
+        f"a size-5 lookup returned {len(result)} entries from "
+        f"{result.lookup_cost} server(s)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Popular keys: a multi-key directory under Zipf-skewed traffic.
+
+The single-key experiments isolate scheme behaviour; a deployed
+directory serves many keys whose popularity follows the classic Zipf
+skew (the paper's "popular song").  This example drives one directory
+through a skewed multi-key workload and shows two things:
+
+1. per-key traffic concentrates massively on the head keys, and
+2. per-*server* load nonetheless stays even, because every key's
+   partial lookups spread over all servers — the conclusion's
+   hot-spot insensitivity, now at directory scale.
+
+Run:  python examples/popular_keys.py
+"""
+
+import random
+
+from repro import Cluster, PartialLookupDirectory
+from repro.experiments.report import render_table
+from repro.workload.keys import MultiKeyWorkloadGenerator, apply_workload
+
+KEYS = 20
+OPERATIONS = 3000
+
+
+def main() -> None:
+    generator = MultiKeyWorkloadGenerator(
+        key_count=KEYS,
+        entries_per_key=40,
+        popularity_skew=1.0,
+        lookup_target=3,
+        update_fraction=0.05,
+        rng=random.Random(123),
+    )
+    workload = generator.generate(OPERATIONS)
+
+    cluster = Cluster(10, seed=123)
+    directory = PartialLookupDirectory(
+        cluster, default_strategy="round_robin", default_params={"y": 2}
+    )
+    failures = apply_workload(directory, workload)
+
+    # Per-key traffic: the Zipf head dominates.
+    counts = workload.per_key_counts()
+    top = sorted(counts.items(), key=lambda kv: -kv[1])[:5]
+    rows = [
+        {
+            "key": key,
+            "operations": count,
+            "share_pct": round(100 * count / len(workload.operations), 1),
+        }
+        for key, count in top
+    ]
+    print(render_table(
+        ["key", "operations", "share_pct"], rows,
+        title=f"Traffic concentration over {KEYS} keys (Zipf s=1.0)",
+    ))
+
+    # Per-server load: still flat.
+    per_server = cluster.network.stats.per_server
+    total = sum(per_server.values())
+    rows = [
+        {
+            "server": sid,
+            "messages": per_server.get(sid, 0),
+            "share_pct": round(100 * per_server.get(sid, 0) / total, 1),
+        }
+        for sid in range(cluster.size)
+    ]
+    print()
+    print(render_table(
+        ["server", "messages", "share_pct"], rows,
+        title="Per-server load under the same workload (ideal 10%)",
+    ))
+    print(f"\nlookup failures across all keys: {sum(failures.values())}")
+    print(
+        "\nThe head key takes ~25% of directory traffic, yet no server\n"
+        "takes much more than 1/n of the message load - partial lookup\n"
+        "spreads every key's reads across the whole cluster, so key\n"
+        "popularity never becomes server load (paper conclusion).\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

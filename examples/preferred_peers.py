@@ -1,0 +1,96 @@
+"""Clients with preferences (§7.1): the t *best* entries, not any t.
+
+The paper's first variation attaches a cost function to each client —
+e.g. a downloader prefers low-latency, high-bandwidth peers.  This
+example annotates entries with latency/bandwidth payloads, runs both
+the exact (full-sweep) and the bounded-probing preference lookups, and
+quantifies the probing tradeoff as regret vs servers contacted.
+
+Run:  python examples/preferred_peers.py
+"""
+
+import random
+
+from repro import Cluster
+from repro.core.entry import Entry
+from repro.experiments.report import render_table
+from repro.extensions.preferences import (
+    PreferenceClient,
+    latency_bandwidth_cost,
+)
+from repro.strategies.round_robin import RoundRobinY
+
+PEERS = 60
+TARGET = 4
+
+
+def annotated_peers(rng):
+    peers = []
+    for i in range(PEERS):
+        peers.append(
+            Entry(
+                f"peer-{i:02d}",
+                payload={
+                    "latency_ms": round(rng.uniform(5, 300), 1),
+                    "bandwidth_mbps": round(rng.uniform(1, 100), 1),
+                },
+            )
+        )
+    return peers
+
+
+def main() -> None:
+    rng = random.Random(99)
+    cluster = Cluster(10, seed=99)
+    strategy = RoundRobinY(cluster, y=2)
+    peers = annotated_peers(rng)
+    strategy.place(peers)
+
+    client = PreferenceClient(
+        strategy, latency_bandwidth_cost(latency_weight=1.0, bandwidth_weight=2.0)
+    )
+
+    # Ground truth: the 4 genuinely best peers (requires a full sweep).
+    best = client.best_lookup(TARGET)
+    print(f"true best {TARGET} peers (full sweep, "
+          f"{best.lookup_cost} servers contacted):")
+    for entry in best.entries:
+        payload = entry.payload
+        print(f"   {entry.entry_id}: {payload['latency_ms']}ms, "
+              f"{payload['bandwidth_mbps']}Mbps")
+
+    # The probing tradeoff: regret shrinks as the probe budget grows.
+    rows = []
+    for max_servers in (1, 2, 4, 6, 8, 10):
+        regrets = []
+        costs = []
+        for _ in range(40):
+            result = client.probing_lookup(TARGET, max_servers=max_servers)
+            regrets.append(client.regret(result))
+            costs.append(result.lookup_cost)
+        rows.append(
+            {
+                "probe_budget": max_servers,
+                "mean_servers": round(sum(costs) / len(costs), 2),
+                "mean_regret": round(sum(regrets) / len(regrets), 1),
+                "pct_optimal": round(
+                    100 * sum(1 for r in regrets if r == 0) / len(regrets)
+                ),
+            }
+        )
+    print()
+    print(render_table(
+        ["probe_budget", "mean_servers", "mean_regret", "pct_optimal"],
+        rows,
+        title="§7.1 probing tradeoff: answer quality vs servers contacted",
+    ))
+    print(
+        "\nWith Round-Robin-2 each server holds 1/5 of the peers, so a\n"
+        "1-server probe misses the best peers 80% of the time; by 4-5\n"
+        "probes the answer is almost always optimal - the quantitative\n"
+        "version of §7.1's 'easy if the cost function is known'.\n"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: a partial lookup service in a dozen lines.
+
+A lookup service maps keys to sets of entries; a *partial* lookup
+returns just the few entries a client actually needs instead of the
+whole set (Sun & Garcia-Molina, ICDCS 2003).  This example stands up a
+10-server directory, places a key with 40 entries under the
+Round-Robin-2 scheme, and shows lookups, updates, and the accounting
+the library exposes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, PartialLookupDirectory
+
+
+def main() -> None:
+    # A simulated 10-server cluster; seed it for a reproducible demo.
+    cluster = Cluster(size=10, seed=2003)
+
+    # Keys default to Round-Robin with 2 copies per entry: complete
+    # coverage, perfectly fair answers, lowest partial-lookup cost.
+    directory = PartialLookupDirectory(
+        cluster, default_strategy="round_robin", default_params={"y": 2}
+    )
+
+    # Place a key: 40 hosts serving the song.
+    hosts = [f"host-{i:02d}.example.net" for i in range(40)]
+    directory.place("song/stairway-to-heaven", hosts)
+
+    # A client needs three places to download from — not all 40.
+    result = directory.partial_lookup("song/stairway-to-heaven", target=3)
+    print(f"asked for 3 entries -> got {len(result)}:")
+    for entry in result:
+        print(f"   {entry}")
+    print(f"servers contacted: {result.lookup_cost} (of {cluster.size})")
+
+    # Incremental updates: a host joins, another leaves.
+    directory.add("song/stairway-to-heaven", "host-99.example.net")
+    directory.delete("song/stairway-to-heaven", hosts[0])
+
+    # The placement stays consistent: every live host has 2 copies.
+    print(f"\nstorage used: {directory.storage_cost()} entry-copies "
+          f"({directory.coverage('song/stairway-to-heaven')} distinct hosts x 2)")
+
+    # Full (traditional) lookup still works when someone wants it all.
+    everything = directory.lookup("song/stairway-to-heaven")
+    print(f"full lookup returns {len(everything)} hosts")
+
+    # Lookups keep working through failures.
+    cluster.fail(0)
+    cluster.fail(1)
+    survived = directory.partial_lookup("song/stairway-to-heaven", target=3)
+    print(f"\nwith 2 servers down, lookup still returned "
+          f"{len(survived)} entries (success={survived.success})")
+
+
+if __name__ == "__main__":
+    main()

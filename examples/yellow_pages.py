@@ -1,0 +1,98 @@
+"""Yellow pages: a mostly-static directory with mixed key types.
+
+The paper's second motivating application (§1): categories like
+"news" map to lists of URLs.  Categories differ — a handful are
+updated constantly (breaking-news feeds), most are static — and §2
+points out that *different keys can use different strategies*.  This
+example builds one directory that does exactly that, using the
+Figure 3 / rules-of-thumb recommender to pick each key's scheme, then
+verifies the choices with measurements.
+
+Run:  python examples/yellow_pages.py
+"""
+
+from repro import Cluster, PartialLookupDirectory
+from repro.core.entry import make_entries
+from repro.experiments.report import render_table
+from repro.metrics.collector import MetricsCollector
+from repro.strategies.selector import WorkloadProfile, recommend
+
+#: (category, number of URLs, updates per lookup, wants everything?)
+CATEGORIES = [
+    ("news",        200, 2.0,  False),  # heavy churn, clients want ~5
+    ("restaurants", 400, 0.05, False),  # mild churn
+    ("museums",      60, 0.0,  True),   # static; some clients browse all
+    ("pharmacies",   80, 0.0,  False),  # static, small answers
+]
+
+
+def pick_scheme(name, urls, update_rate, wants_all):
+    profile = WorkloadProfile(
+        entry_count=urls,
+        server_count=10,
+        target_answer_size=5 if not wants_all else 20,
+        update_rate=update_rate,
+        needs_complete_coverage=wants_all or update_rate < 0.1,
+        needs_fairness=not wants_all,
+        storage_is_fixed=update_rate > 1.0,
+    )
+    best = recommend(profile)[0]
+    return best
+
+
+def scheme_params(scheme_name, urls):
+    """Size the scheme's parameter for ~2 copies' worth of storage."""
+    if scheme_name in ("fixed", "random_server"):
+        return {"x": 15}
+    if scheme_name in ("round_robin", "hash"):
+        return {"y": 2}
+    return {}
+
+
+def main() -> None:
+    cluster = Cluster(10, seed=77)
+    directory = PartialLookupDirectory(cluster, default_strategy="round_robin",
+                                       default_params={"y": 2})
+    collector = MetricsCollector(lookup_samples=300, unfairness_samples=1000)
+
+    rows = []
+    for name, urls, update_rate, wants_all in CATEGORIES:
+        choice = pick_scheme(name, urls, update_rate, wants_all)
+        params = scheme_params(choice.name, urls)
+        directory.configure_key(name, choice.name, **params)
+        entries = make_entries(urls, prefix=f"{name}.example/")
+        directory.place(name, entries)
+
+        snapshot = collector.collect(
+            directory.strategy(name), target=5, universe=entries
+        )
+        rows.append(
+            {
+                "category": name,
+                "urls": urls,
+                "chosen_scheme": choice.name,
+                "why (top rule)": choice.reasons[0] if choice.reasons else "",
+                "storage": snapshot.storage_cost,
+                "lookup_cost": snapshot.mean_lookup_cost,
+                "coverage": snapshot.coverage,
+            }
+        )
+
+    print(render_table(
+        ["category", "urls", "chosen_scheme", "storage", "lookup_cost",
+         "coverage", "why (top rule)"],
+        rows,
+        title="Yellow pages: per-category scheme selection",
+    ))
+
+    # The directory serves all categories side by side on one cluster.
+    print("\nSample lookups:")
+    for name, _, _, _ in CATEGORIES:
+        result = directory.partial_lookup(name, 3)
+        first = result.entries[0].entry_id if result.entries else "-"
+        print(f"   {name:12s} -> {len(result)} URLs "
+              f"(e.g. {first}), {result.lookup_cost} server(s)")
+
+
+if __name__ == "__main__":
+    main()

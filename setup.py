@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` (the legacy ``setup.py develop``
+path) works on offline machines that cannot build PEP 660 editable
+wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro — a reproduction of "Partial Lookup Services" (ICDCS 2003).
+
+A partial lookup service translates a key into *some* of its associated
+entries instead of all of them, exploiting the observation that clients
+usually only need a few (Sun & Garcia-Molina, ICDCS 2003).  This
+library implements the paper's five placement strategies on a simulated
+server cluster, the five evaluation metrics, the dynamic-update
+workloads, and every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import Cluster, PartialLookupDirectory
+>>> directory = PartialLookupDirectory(
+...     Cluster(10, seed=42), default_strategy="round_robin",
+...     default_params={"y": 2})
+>>> directory.place("song", [f"host{i}" for i in range(40)])
+>>> result = directory.partial_lookup("song", 3)
+>>> result.success, result.lookup_cost
+(True, 1)
+
+Package map
+-----------
+- :mod:`repro.core` — service interfaces, entry/result types, the
+  multi-key directory facade.
+- :mod:`repro.strategies` — the five placement schemes + selector.
+- :mod:`repro.cluster` — simulated servers, network, failure injection.
+- :mod:`repro.simulation` — discrete-event engine and event replay.
+- :mod:`repro.workload` — Poisson/exponential/Zipf update generators.
+- :mod:`repro.metrics` — storage, lookup cost, coverage, fault
+  tolerance, unfairness.
+- :mod:`repro.analysis` — closed-form models (Table 1) and crossover
+  analysis (§6.4).
+- :mod:`repro.experiments` — one module per paper table/figure.
+- :mod:`repro.extensions` — §7 variations (client preferences,
+  limited reachability).
+"""
+
+from repro.core import (
+    Entry,
+    LookupResult,
+    PartialLookupDirectory,
+    UpdateResult,
+    make_entries,
+)
+from repro.cluster import Client, Cluster, FailureInjector
+from repro.strategies import (
+    FixedX,
+    FullReplication,
+    HashY,
+    RandomServerX,
+    RoundRobinY,
+    available_strategies,
+    create_strategy,
+    recommend,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Entry",
+    "make_entries",
+    "LookupResult",
+    "UpdateResult",
+    "PartialLookupDirectory",
+    "Cluster",
+    "Client",
+    "FailureInjector",
+    "FullReplication",
+    "FixedX",
+    "RandomServerX",
+    "RoundRobinY",
+    "HashY",
+    "available_strategies",
+    "create_strategy",
+    "recommend",
+    "__version__",
+]

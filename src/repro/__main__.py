@@ -1,0 +1,10 @@
+"""``python -m repro`` — the experiment command line.
+
+See :mod:`repro.experiments.cli` for the commands.
+"""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

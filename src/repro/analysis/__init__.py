@@ -1,0 +1,48 @@
+"""Closed-form models and statistical helpers.
+
+:mod:`~repro.analysis.formulas` collects every analytical expression
+the paper states (Table 1 storage costs, expected coverage, Round-y
+lookup cost and fault tolerance, budget → parameter solving);
+:mod:`~repro.analysis.crossover` implements the §6.4 Fixed-x vs Hash-y
+update-overhead analysis; :mod:`~repro.analysis.confidence` computes
+the run-averaged means and confidence intervals the paper reports.
+"""
+
+from repro.analysis.formulas import (
+    expected_coverage_random_server,
+    expected_storage,
+    fault_tolerance_round_robin,
+    lookup_cost_round_robin,
+    solve_x_from_budget,
+    solve_y_from_budget,
+)
+from repro.analysis.crossover import (
+    expected_update_cost_fixed,
+    expected_update_cost_hash,
+    find_crossovers,
+    optimal_hash_y,
+)
+from repro.analysis.confidence import ConfidenceInterval, mean_confidence_interval
+from repro.analysis.convergence import ConvergencePlan, plan_runs
+from repro.analysis.planner import DeploymentSpec, SchemePlan, plan, plan_rows
+
+__all__ = [
+    "expected_storage",
+    "expected_coverage_random_server",
+    "lookup_cost_round_robin",
+    "fault_tolerance_round_robin",
+    "solve_x_from_budget",
+    "solve_y_from_budget",
+    "expected_update_cost_fixed",
+    "expected_update_cost_hash",
+    "optimal_hash_y",
+    "find_crossovers",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "ConvergencePlan",
+    "plan_runs",
+    "DeploymentSpec",
+    "SchemePlan",
+    "plan",
+    "plan_rows",
+]

@@ -1,0 +1,92 @@
+"""How many runs does a target confidence interval need?
+
+The paper reports 5000-run averages with 95% CIs under 0.1% of the
+mean.  When reproducing at other scales, the practical question is
+inverse: *given a pilot batch of samples, how many runs until my CI is
+tight enough?*  The normal-approximation answer:
+
+    required_n = (z · s / (r · |mean|))²
+
+for sample std ``s``, target relative half-width ``r``, and the
+confidence level's z value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.confidence import mean_confidence_interval
+from repro.core.exceptions import InvalidParameterError
+
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class ConvergencePlan:
+    """The estimated run budget for a target precision."""
+
+    pilot_samples: int
+    pilot_mean: float
+    pilot_relative_half_width: float
+    target_relative_half_width: float
+    required_runs: int
+
+    @property
+    def additional_runs(self) -> int:
+        """Runs still needed beyond the pilot."""
+        return max(0, self.required_runs - self.pilot_samples)
+
+    @property
+    def already_converged(self) -> bool:
+        return self.pilot_relative_half_width <= self.target_relative_half_width
+
+
+def plan_runs(
+    pilot: Sequence[float],
+    target_relative_half_width: float = 0.01,
+    level: float = 0.95,
+) -> ConvergencePlan:
+    """Estimate the run count for a target relative CI half-width.
+
+    >>> plan = plan_runs([10.0, 10.5, 9.5, 10.2, 9.8], 0.05)
+    >>> plan.already_converged
+    True
+    >>> tight = plan_runs([10.0, 10.5, 9.5, 10.2, 9.8], 0.001)
+    >>> tight.required_runs > 1000
+    True
+
+    Raises
+    ------
+    InvalidParameterError
+        If fewer than two pilot samples are given (no variance
+        estimate), the target is non-positive, or the pilot mean is
+        zero (relative precision undefined).
+    """
+    if len(pilot) < 2:
+        raise InvalidParameterError("need at least two pilot samples")
+    if target_relative_half_width <= 0:
+        raise InvalidParameterError("target_relative_half_width must be > 0")
+    if level not in _Z_VALUES:
+        raise InvalidParameterError(
+            f"supported levels: {sorted(_Z_VALUES)}; got {level}"
+        )
+    ci = mean_confidence_interval(pilot, level=level)
+    if ci.mean == 0:
+        raise InvalidParameterError(
+            "pilot mean is zero; relative precision is undefined"
+        )
+    count = len(pilot)
+    std = ci.half_width * math.sqrt(count) / _Z_VALUES[level]
+    required = math.ceil(
+        (_Z_VALUES[level] * std / (target_relative_half_width * abs(ci.mean)))
+        ** 2
+    )
+    return ConvergencePlan(
+        pilot_samples=count,
+        pilot_mean=ci.mean,
+        pilot_relative_half_width=ci.relative_half_width,
+        target_relative_half_width=target_relative_half_width,
+        required_runs=max(required, 2),
+    )

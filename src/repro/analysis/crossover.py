@@ -1,0 +1,98 @@
+"""Fixed-x vs Hash-y update-overhead crossover analysis (paper §6.4).
+
+Under the processed-message cost model:
+
+- Fixed-x: each update costs 1 (the initial server checks locally)
+  plus ``n`` with probability ``x/h`` (the selective broadcast), so
+  ``(1 + (x/h)·n)`` expected messages per update.
+- Hash-y: each update costs ``1 + y`` (the initial server plus the
+  ``y`` hash targets), barring hash collisions.
+
+With Hash-y sized per target ratio — the optimal ``y = ⌈t·n/h⌉`` that
+keeps its lookup cost near 1 — equating the two costs gives the
+crossover condition ``(x/h)·n = ⌈t·n/h⌉``, whose ceiling makes the
+cost curves step and cross multiple times as ``h`` grows (Figure 14).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.exceptions import InvalidParameterError
+
+
+def optimal_hash_y(target: int, entry_count: int, server_count: int) -> int:
+    """The smallest ``y`` giving ``>= target`` expected entries/server.
+
+    Each Hash-y server stores about ``h·y/n`` entries, so
+    ``y = ⌈t·n/h⌉`` is the paper's per-ratio choice ("the optimal is
+    when the expected number of entries per server is at least the
+    target answer size"), capped below at 1.
+    """
+    if min(target, entry_count, server_count) < 1:
+        raise InvalidParameterError("target, entry_count, server_count must be >= 1")
+    return max(1, math.ceil(target * server_count / entry_count))
+
+
+def expected_update_cost_fixed(
+    x: int, entry_count: int, server_count: int
+) -> float:
+    """Expected messages per update for Fixed-x: ``1 + (x/h)·n``.
+
+    The broadcast probability is ``x/h``: a delete hits one of the
+    tracked ``x`` of ``h`` entries with that probability, and each
+    such delete induces one refilling add broadcast.
+    """
+    if min(x, entry_count, server_count) < 1:
+        raise InvalidParameterError("x, entry_count, server_count must be >= 1")
+    probability = min(1.0, x / entry_count)
+    return 1.0 + probability * server_count
+
+
+def expected_update_cost_hash(y: int) -> float:
+    """Expected messages per update for Hash-y: ``1 + y`` (no collisions)."""
+    if y < 1:
+        raise InvalidParameterError("y must be >= 1")
+    return 1.0 + y
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """An entry count where the cheaper scheme flips."""
+
+    entry_count: int
+    cheaper_before: str
+    cheaper_after: str
+
+
+def find_crossovers(
+    x: int,
+    target: int,
+    server_count: int,
+    entry_counts: List[int],
+) -> List[CrossoverPoint]:
+    """Scan ``entry_counts`` for Fixed-x / Hash-y cost flips.
+
+    At each ``h`` the Hash scheme uses its per-ratio optimal ``y``;
+    a crossover is recorded whenever the cheaper scheme differs from
+    the previous ``h``'s.  (Figure 14's discussion: the ceiling in
+    ``y = ⌈t·n/h⌉`` creates several crossover points.)
+    """
+    crossovers: List[CrossoverPoint] = []
+    previous_winner = None
+    for h in sorted(entry_counts):
+        fixed_cost = expected_update_cost_fixed(x, h, server_count)
+        hash_cost = expected_update_cost_hash(optimal_hash_y(target, h, server_count))
+        winner = "fixed" if fixed_cost < hash_cost else "hash"
+        if previous_winner is not None and winner != previous_winner:
+            crossovers.append(
+                CrossoverPoint(
+                    entry_count=h,
+                    cheaper_before=previous_winner,
+                    cheaper_after=winner,
+                )
+            )
+        previous_winner = winner
+    return crossovers

@@ -1,0 +1,147 @@
+"""Every closed-form expression the paper states, as checked functions.
+
+Table 1 (storage cost for ``h`` entries on ``n`` servers):
+
+====================  =============================
+Strategy              Storage cost
+====================  =============================
+Full replication      ``h·n``
+Fixed-x               ``x·n``
+RandomServer-x        ``x·n``
+Round-Robin-y         ``h·y``
+Hash-y                ``h·n·(1 − (1 − 1/n)^y)``  (expected)
+====================  =============================
+
+plus §4.2's Round-y lookup cost ``⌈t·n/(y·h)⌉``, §4.3's RandomServer
+expected coverage ``h·(1 − (1 − x/h)^n)``, and §4.4's Round-y fault
+tolerance ``n − ⌈t·n/h⌉ + y − 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.core.exceptions import InvalidParameterError
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise InvalidParameterError(f"{name} must be positive, got {value}")
+
+
+def expected_storage(
+    strategy: str, entry_count: int, server_count: int, x: int = 0, y: int = 0
+) -> float:
+    """Table 1's storage cost for the named strategy.
+
+    ``x`` is required for fixed/random_server, ``y`` for
+    round_robin/hash; full replication needs neither.
+
+    >>> expected_storage("full_replication", 100, 10)
+    1000.0
+    >>> expected_storage("fixed", 100, 10, x=20)
+    200.0
+    >>> round(expected_storage("hash", 100, 10, y=2), 1)
+    190.0
+    """
+    _check_positive(entry_count=entry_count, server_count=server_count)
+    h, n = entry_count, server_count
+    if strategy == "full_replication":
+        return float(h * n)
+    if strategy in ("fixed", "random_server"):
+        _check_positive(x=x)
+        return float(x * n)
+    if strategy == "round_robin":
+        _check_positive(y=y)
+        return float(h * y)
+    if strategy == "hash":
+        _check_positive(y=y)
+        return h * n * (1.0 - (1.0 - 1.0 / n) ** y)
+    raise InvalidParameterError(f"unknown strategy {strategy!r}")
+
+
+def expected_coverage_random_server(
+    entry_count: int, server_count: int, x: int
+) -> float:
+    """§4.3: ``E[coverage] = h·(1 − (1 − x/h)^n)`` for RandomServer-x.
+
+    ``(1 − x/h)^n`` is the probability a specific entry is missing
+    from every server's independent random ``x``-subset.
+    """
+    _check_positive(entry_count=entry_count, server_count=server_count, x=x)
+    h, n = entry_count, server_count
+    if x >= h:
+        return float(h)
+    return h * (1.0 - (1.0 - x / h) ** n)
+
+
+def lookup_cost_round_robin(
+    target: int, entry_count: int, server_count: int, y: int
+) -> int:
+    """§4.2: Round-y contacts ``⌈t·n/(y·h)⌉`` servers... with a wrinkle.
+
+    Each Round-y server stores ``y·h/n`` entries and the stride walk
+    makes consecutive contacts disjoint, so the *first* contact yields
+    ``y·h/n`` entries and each subsequent one ``h/n`` *new* entries
+    — hence the paper's step curve rising by 1 per ``y·h/n`` of target
+    in the Figure 4 regime.  The paper's own closed form ``⌈tn/yh⌉``
+    describes exactly that regime (every contacted server disjoint,
+    which the stride walk achieves while ``t <= h``).
+    """
+    _check_positive(
+        target=target, entry_count=entry_count, server_count=server_count, y=y
+    )
+    per_server = y * entry_count / server_count
+    return max(1, math.ceil(target / per_server))
+
+
+def fault_tolerance_round_robin(
+    target: int, entry_count: int, server_count: int, y: int
+) -> int:
+    """§4.4: Round-y tolerates ``n − ⌈t·n/h⌉ + y − 1`` failures.
+
+    The first surviving server contributes ``y·h/n`` entries; each
+    further survivor adds ``h/n`` distinct ones.  Clamped to
+    ``[0, n−1]`` since at least one server must survive.
+    """
+    _check_positive(
+        target=target, entry_count=entry_count, server_count=server_count, y=y
+    )
+    n, h = server_count, entry_count
+    value = n - math.ceil(target * n / h) + y - 1
+    return max(0, min(n - 1, value))
+
+
+def solve_x_from_budget(storage_budget: int, server_count: int) -> int:
+    """Invert Table 1 for Fixed/RandomServer: ``x = budget / n``."""
+    _check_positive(storage_budget=storage_budget, server_count=server_count)
+    return max(1, storage_budget // server_count)
+
+
+def solve_y_from_budget(storage_budget: int, entry_count: int) -> int:
+    """Invert Table 1 for Round-Robin (and Hash, approximately):
+    ``y = budget / h``.
+
+    For Hash-y this slightly overshoots the budget on average since
+    collisions make actual storage less than ``h·y``; the paper uses
+    the same simple inversion (budget 200, h 100 → Hash-2).
+    """
+    _check_positive(storage_budget=storage_budget, entry_count=entry_count)
+    return max(1, storage_budget // entry_count)
+
+
+def storage_table(entry_count: int, server_count: int, x: int, y: int) -> Dict[str, float]:
+    """Table 1 evaluated for all five strategies at once."""
+    return {
+        "full_replication": expected_storage(
+            "full_replication", entry_count, server_count
+        ),
+        "fixed": expected_storage("fixed", entry_count, server_count, x=x),
+        "random_server": expected_storage(
+            "random_server", entry_count, server_count, x=x
+        ),
+        "round_robin": expected_storage("round_robin", entry_count, server_count, y=y),
+        "hash": expected_storage("hash", entry_count, server_count, y=y),
+    }

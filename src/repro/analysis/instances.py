@@ -1,0 +1,181 @@
+"""Exact instance enumeration for the randomized schemes (Figure 8).
+
+§4.5 defines a strategy's unfairness as the *average over instances*
+of equation (1), and Figure 8 works one case exactly: RandomServer-1
+on 2 servers and 2 entries has four equally likely instances with
+unfairness 1, 0, 0, 1, so the strategy's unfairness is 1/2.
+
+For tiny configurations this module enumerates *every* instance a
+randomized scheme can produce, with its probability, and computes the
+exact per-entry retrieval probabilities and exact strategy-level
+unfairness — no Monte-Carlo.  Used to cross-validate the sampling
+estimators in :mod:`repro.metrics.unfairness` and to reproduce
+Figure 8 as a computation rather than a picture.
+
+The retrieval model matches the simulator's client: pick a uniformly
+random server; it returns min(t, stored) uniformly random local
+entries; if short, continue to the remaining servers in random order,
+trimming the final overshoot uniformly.  For exactness we restrict to
+``t <= min_server_load`` (single-contact lookups) or accept the
+multi-contact closed form for full-coverage targets; instance
+enumeration itself is exact for any scheme.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+
+#: An instance: per-server tuple of stored entry indices.
+Instance = Tuple[Tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class EnumeratedInstance:
+    """One possible placement with its probability under the scheme."""
+
+    placement: Instance
+    probability: Fraction
+
+
+def enumerate_random_server_instances(
+    entry_count: int, server_count: int, x: int
+) -> List[EnumeratedInstance]:
+    """All RandomServer-x instances for tiny (h, n, x).
+
+    Each server independently picks a uniformly random x-subset of the
+    h entries, so there are C(h, x)^n equally likely instances.
+
+    >>> len(enumerate_random_server_instances(2, 2, 1))
+    4
+    """
+    if x > entry_count:
+        x = entry_count
+    subsets = list(itertools.combinations(range(entry_count), x))
+    total = len(subsets) ** server_count
+    if total > 200_000:
+        raise InvalidParameterError(
+            f"{total} instances is too many to enumerate; shrink h, n, or x"
+        )
+    probability = Fraction(1, total)
+    return [
+        EnumeratedInstance(tuple(choice), probability)
+        for choice in itertools.product(subsets, repeat=server_count)
+    ]
+
+
+def enumerate_hash_instances(
+    entry_count: int, server_count: int, y: int
+) -> List[EnumeratedInstance]:
+    """All Hash-y instances for tiny (h, n, y).
+
+    Idealized hash functions assign each entry's ``y`` targets
+    independently and uniformly (with replacement across functions,
+    deduplicated for storage), giving ``n^(h·y)`` equally likely
+    assignment vectors that collapse onto fewer distinct placements.
+    Probabilities of identical placements are merged.
+    """
+    assignments = itertools.product(
+        itertools.product(range(server_count), repeat=y), repeat=entry_count
+    )
+    total = server_count ** (entry_count * y)
+    if total > 200_000:
+        raise InvalidParameterError(
+            f"{total} assignments is too many to enumerate; shrink h, n, or y"
+        )
+    merged: Dict[Instance, Fraction] = {}
+    unit = Fraction(1, total)
+    for assignment in assignments:
+        stores: List[List[int]] = [[] for _ in range(server_count)]
+        for entry_index, targets in enumerate(assignment):
+            for server_id in set(targets):
+                stores[server_id].append(entry_index)
+        placement = tuple(tuple(sorted(store)) for store in stores)
+        merged[placement] = merged.get(placement, Fraction(0)) + unit
+    return [
+        EnumeratedInstance(placement, probability)
+        for placement, probability in sorted(merged.items())
+    ]
+
+
+def instance_retrieval_probabilities(
+    placement: Instance, entry_count: int, target: int
+) -> List[Fraction]:
+    """Exact p_I(j) for a single-contact lookup regime.
+
+    Valid when every non-empty server holds at least ``target``
+    entries (so the client never needs a second server): the client
+    picks a server uniformly, and that server returns a uniform
+    ``target``-subset of its store — hence
+    ``p(j) = (1/n) Σ_servers [j ∈ store] · t/|store|``.
+
+    Raises if any server is too small for the single-contact regime.
+    """
+    n = len(placement)
+    if target < 1:
+        raise InvalidParameterError("target must be >= 1")
+    for store in placement:
+        if 0 < len(store) < target:
+            raise InvalidParameterError(
+                "single-contact analysis needs every non-empty server to "
+                f"hold >= t entries; got {len(store)} < {target}"
+            )
+    probabilities = [Fraction(0)] * entry_count
+    for store in placement:
+        if not store:
+            continue
+        share = Fraction(target, len(store)) / n
+        for entry_index in store:
+            probabilities[entry_index] += share
+    return probabilities
+
+
+def instance_unfairness_exact(
+    placement: Instance, entry_count: int, target: int
+) -> float:
+    """Equation (1) evaluated exactly on one instance.
+
+    The variance is accumulated in exact rational arithmetic; only the
+    final square root is floating point.
+    """
+    probabilities = instance_retrieval_probabilities(
+        placement, entry_count, target
+    )
+    ideal = Fraction(target, entry_count)
+    variance = sum((p - ideal) ** 2 for p in probabilities)
+    return (entry_count / target) * math.sqrt(float(variance) / entry_count)
+
+
+def strategy_unfairness_exact(
+    instances: Sequence[EnumeratedInstance], entry_count: int, target: int
+) -> float:
+    """The paper's strategy-level unfairness: E_instances[U_I], exactly.
+
+    >>> instances = enumerate_random_server_instances(2, 2, 1)
+    >>> strategy_unfairness_exact(instances, 2, 1)   # Figure 8
+    0.5
+    """
+    total = 0.0
+    for instance in instances:
+        total += float(instance.probability) * instance_unfairness_exact(
+            instance.placement, entry_count, target
+        )
+    return total
+
+
+def expected_coverage_exact(
+    instances: Sequence[EnumeratedInstance], entry_count: int
+) -> float:
+    """E[|covered entries|] over the enumerated instances, exactly."""
+    total = Fraction(0)
+    for instance in instances:
+        covered = set()
+        for store in instance.placement:
+            covered.update(store)
+        total += instance.probability * len(covered)
+    return float(total)

@@ -1,0 +1,184 @@
+"""Capacity planner: every analytic prediction for a deployment at once.
+
+The selector (:mod:`repro.strategies.selector`) ranks schemes
+qualitatively; this module computes the *numbers* an operator would
+size a deployment with — for each scheme at a given (h, n, storage
+budget, target, update rate): parameters, storage, expected lookup
+cost, expected coverage, worst-case fault tolerance, and expected
+update message cost, all from the paper's closed forms (with clearly
+marked simulation-only cells where no closed form exists).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.crossover import (
+    expected_update_cost_fixed,
+    expected_update_cost_hash,
+)
+from repro.analysis.formulas import (
+    expected_coverage_random_server,
+    expected_storage,
+    fault_tolerance_round_robin,
+    lookup_cost_round_robin,
+    solve_x_from_budget,
+    solve_y_from_budget,
+)
+from repro.core.exceptions import InvalidParameterError
+
+#: Marker for quantities with no closed form (measure via simulation).
+SIMULATION_ONLY = "simulate"
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """What the operator knows up front."""
+
+    entry_count: int
+    server_count: int
+    storage_budget: int
+    target_answer_size: int
+    updates_per_lookup: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.entry_count, self.server_count, self.storage_budget) < 1:
+            raise InvalidParameterError(
+                "entry_count, server_count, storage_budget must be >= 1"
+            )
+        if self.target_answer_size < 1:
+            raise InvalidParameterError("target_answer_size must be >= 1")
+        if self.updates_per_lookup < 0:
+            raise InvalidParameterError("updates_per_lookup must be >= 0")
+
+
+@dataclass(frozen=True)
+class SchemePlan:
+    """One scheme's predicted behaviour for a deployment."""
+
+    scheme: str
+    parameters: Dict[str, int]
+    expected_storage: float
+    expected_lookup_cost: object  # float or SIMULATION_ONLY
+    expected_coverage: float
+    worst_case_fault_tolerance: object  # int or SIMULATION_ONLY
+    expected_update_messages: object  # float or SIMULATION_ONLY
+    notes: str = ""
+
+
+def plan(spec: DeploymentSpec) -> List[SchemePlan]:
+    """Predictions for every scheme, best-effort analytic.
+
+    >>> plans = plan(DeploymentSpec(100, 10, 200, 15))
+    >>> {p.scheme for p in plans} >= {"fixed", "round_robin", "hash"}
+    True
+    """
+    h, n = spec.entry_count, spec.server_count
+    t = spec.target_answer_size
+    x = solve_x_from_budget(spec.storage_budget, n)
+    y = min(n, solve_y_from_budget(spec.storage_budget, h))
+    plans: List[SchemePlan] = []
+
+    plans.append(
+        SchemePlan(
+            scheme="full_replication",
+            parameters={},
+            expected_storage=expected_storage("full_replication", h, n),
+            expected_lookup_cost=1.0,
+            expected_coverage=float(h),
+            worst_case_fault_tolerance=n - 1,
+            expected_update_messages=1.0 + n,
+            notes="ignores the budget: storage is h*n by definition",
+        )
+    )
+    fixed_coverage = float(min(x, h))
+    plans.append(
+        SchemePlan(
+            scheme="fixed",
+            parameters={"x": x},
+            expected_storage=expected_storage("fixed", h, n, x=x),
+            expected_lookup_cost=1.0 if t <= x else math.inf,
+            expected_coverage=fixed_coverage,
+            worst_case_fault_tolerance=(n - 1) if t <= x else 0,
+            expected_update_messages=expected_update_cost_fixed(x, h, n),
+            notes="" if t <= x else f"t={t} exceeds coverage x={x}: unusable",
+        )
+    )
+    plans.append(
+        SchemePlan(
+            scheme="random_server",
+            parameters={"x": x},
+            expected_storage=expected_storage("random_server", h, n, x=x),
+            expected_lookup_cost=SIMULATION_ONLY,
+            expected_coverage=expected_coverage_random_server(h, n, x),
+            worst_case_fault_tolerance=SIMULATION_ONLY,
+            expected_update_messages=1.0 + n,
+            notes="lookup cost and fault tolerance need simulation (§4.2, §4.4)",
+        )
+    )
+    plans.append(
+        SchemePlan(
+            scheme="round_robin",
+            parameters={"y": y},
+            expected_storage=expected_storage("round_robin", h, n, y=y),
+            expected_lookup_cost=float(lookup_cost_round_robin(t, h, n, y)),
+            expected_coverage=float(h),
+            worst_case_fault_tolerance=fault_tolerance_round_robin(t, h, n, y),
+            expected_update_messages=SIMULATION_ONLY,
+            notes="update cost depends on the delete-migration mix (§5.4)",
+        )
+    )
+    plans.append(
+        SchemePlan(
+            scheme="hash",
+            parameters={"y": y},
+            expected_storage=expected_storage("hash", h, n, y=y),
+            expected_lookup_cost=SIMULATION_ONLY,
+            expected_coverage=float(h),
+            worst_case_fault_tolerance=SIMULATION_ONLY,
+            expected_update_messages=expected_update_cost_hash(y),
+            notes="per-server loads are unbounded below (§3.5)",
+        )
+    )
+    return plans
+
+
+def cheapest_for_updates(spec: DeploymentSpec) -> str:
+    """The scheme with the lowest *analytic* per-update message cost.
+
+    Only Fixed-x and Hash-y have closed-form update costs (§6.4); this
+    returns the cheaper of the two — the paper's own head-to-head.
+    """
+    h, n = spec.entry_count, spec.server_count
+    x = solve_x_from_budget(spec.storage_budget, n)
+    y = min(n, solve_y_from_budget(spec.storage_budget, h))
+    fixed_cost = expected_update_cost_fixed(x, h, n)
+    hash_cost = expected_update_cost_hash(y)
+    return "fixed" if fixed_cost < hash_cost else "hash"
+
+
+def plan_rows(spec: DeploymentSpec) -> List[Dict[str, object]]:
+    """The plan as report-renderable rows."""
+    rows = []
+    for scheme_plan in plan(spec):
+        rows.append(
+            {
+                "scheme": scheme_plan.scheme,
+                "params": ",".join(
+                    f"{k}={v}" for k, v in scheme_plan.parameters.items()
+                ) or "-",
+                "storage": round(scheme_plan.expected_storage, 1),
+                "lookup_cost": scheme_plan.expected_lookup_cost
+                if isinstance(scheme_plan.expected_lookup_cost, str)
+                else round(float(scheme_plan.expected_lookup_cost), 2),
+                "coverage": round(scheme_plan.expected_coverage, 1),
+                "fault_tol": scheme_plan.worst_case_fault_tolerance,
+                "update_msgs": scheme_plan.expected_update_messages
+                if isinstance(scheme_plan.expected_update_messages, str)
+                else round(float(scheme_plan.expected_update_messages), 2),
+                "notes": scheme_plan.notes,
+            }
+        )
+    return rows

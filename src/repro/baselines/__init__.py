@@ -1,0 +1,13 @@
+"""Traditional lookup-service baselines the paper compares against.
+
+Figure 1 contrasts three ways of managing a key: full replication
+(implemented as a strategy in :mod:`repro.strategies`), *partitioning*
+— hash the key to a single owner server, the Chord/CAN approach the
+related-work section describes — and partial lookup.  This package
+implements the partitioning baseline so the intro's comparison and
+the conclusion's hot-spot claim can be measured, not just asserted.
+"""
+
+from repro.baselines.key_partitioning import KeyPartitioning
+
+__all__ = ["KeyPartitioning"]

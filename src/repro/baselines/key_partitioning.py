@@ -1,0 +1,122 @@
+"""Key partitioning: hash each key to a single owner server.
+
+The traditional hashing approach of Figure 1 (center) and the
+Chord/CAN model from the paper's related work (§8): "a key and its
+associated entries are stored on one server specified by the hash
+value of the key".  Storage is minimal (``h`` total) and updates are
+cheap (one point-to-point message), but *every* lookup for the key
+lands on its owner — the popular-key hot spot the conclusion says
+partial lookup services avoid — and a single failure takes the whole
+key offline.
+
+Implemented with the same :class:`~repro.strategies.base
+.PlacementStrategy` contract as the five partial schemes so it slots
+directly into the metrics and experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.core.entry import Entry
+from repro.core.result import LookupResult
+from repro.cluster.cluster import Cluster
+from repro.cluster.messages import (
+    AddRequest,
+    DeleteRequest,
+    Message,
+    PlaceRequest,
+    RemoveMessage,
+    StoreMessage,
+    StoreSetMessage,
+)
+from repro.cluster.network import Network
+from repro.cluster.server import Server
+from repro.hashing.families import HashFamily
+from repro.strategies.base import PlacementStrategy, StrategyLogic
+
+
+class _KeyPartitioningLogic(StrategyLogic):
+    """Server behaviour: forward requests to the key's owner."""
+
+    def handle_message(self, server: Server, message: Message, network: Network) -> Any:
+        store = server.store(self.key)
+        owner = self.strategy.owner_id
+        if isinstance(message, PlaceRequest):
+            network.send(owner, self.key, StoreSetMessage(message.entries))
+            return True
+        if isinstance(message, AddRequest):
+            network.send(owner, self.key, StoreMessage(message.entry))
+            return True
+        if isinstance(message, DeleteRequest):
+            network.send(owner, self.key, RemoveMessage(message.entry))
+            return True
+        if isinstance(message, StoreSetMessage):
+            for entry in message.entries:
+                store.add(entry)
+            return True
+        if isinstance(message, StoreMessage):
+            return store.add(message.entry)
+        if isinstance(message, RemoveMessage):
+            return store.discard(message.entry)
+        raise TypeError(f"key partitioning cannot handle {type(message).__name__}")
+
+
+class KeyPartitioning(PlacementStrategy):
+    """Store the key's whole entry set on its single hash-owner server.
+
+    Parameters
+    ----------
+    cluster:
+        The server cluster.
+    hash_seed:
+        Seed for the key→owner hash; defaults to a draw from the
+        cluster RNG.
+
+    >>> from repro.cluster import Cluster
+    >>> from repro.core.entry import make_entries
+    >>> baseline = KeyPartitioning(Cluster(10, seed=7))
+    >>> _ = baseline.place(make_entries(100))
+    >>> baseline.storage_cost()                 # h, the minimum possible
+    100
+    >>> baseline.partial_lookup(3).servers_contacted == (baseline.owner_id,)
+    True
+    """
+
+    name = "key_partitioning"
+
+    def __init__(
+        self, cluster: Cluster, key: str = "k", hash_seed: Any = None
+    ) -> None:
+        if hash_seed is None:
+            hash_seed = cluster.rng.randrange(2**63)
+        self.hash_seed = hash_seed
+        family = HashFamily(count=1, buckets=cluster.size, seed=hash_seed)
+        #: The single server owning this key (f(key)).
+        self.owner_id = family[0](key)
+        super().__init__(cluster, key)
+
+    def _build_logic(self) -> StrategyLogic:
+        return _KeyPartitioningLogic(self)
+
+    def params(self) -> Dict[str, Any]:
+        return {"owner_id": self.owner_id, "hash_seed": self.hash_seed}
+
+    def _do_place(self, entries: Tuple[Entry, ...]) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, PlaceRequest(entries))
+
+    def _do_add(self, entry: Entry) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, AddRequest(entry))
+
+    def _do_delete(self, entry: Entry) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, DeleteRequest(entry))
+
+    def partial_lookup(self, target: int) -> LookupResult:
+        # Every lookup goes to the owner — the hot spot.  If the owner
+        # is down the key is simply unavailable (no replicas exist).
+        return self.client.collect(
+            self.key, target, order=[self.owner_id], max_servers=1
+        )

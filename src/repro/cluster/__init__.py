@@ -1,0 +1,57 @@
+"""Simulated server cluster substrate.
+
+The paper's strategies run on ``n`` servers connected by a network that
+supports point-to-point messages (cost 1) and broadcasts (cost ``n``),
+with clients that pick random servers and retry past failures.  This
+package simulates that substrate faithfully enough to reproduce every
+measurement in the paper: message counts per the Section 6.4 cost
+model, per-server entry stores, and failure injection for the fault
+tolerance experiments.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.client import Client
+from repro.cluster.failures import FailureInjector, FailurePattern
+from repro.cluster.messages import (
+    AddRequest,
+    DeleteRequest,
+    LookupRequest,
+    Message,
+    MessageCategory,
+    MigrateRequest,
+    PlaceRequest,
+    RemoveMessage,
+    RemoveReplacement,
+    RemoveWithHead,
+    SetCounters,
+    StoreMessage,
+    StorePositioned,
+    StoreSetMessage,
+)
+from repro.cluster.network import MessageStats, Network
+from repro.cluster.server import Server, ServerLogic
+
+__all__ = [
+    "Cluster",
+    "Client",
+    "FailureInjector",
+    "FailurePattern",
+    "Message",
+    "MessageCategory",
+    "PlaceRequest",
+    "AddRequest",
+    "DeleteRequest",
+    "LookupRequest",
+    "StoreMessage",
+    "StorePositioned",
+    "StoreSetMessage",
+    "SetCounters",
+    "RemoveMessage",
+    "RemoveWithHead",
+    "MigrateRequest",
+    "RemoveReplacement",
+    "Network",
+    "MessageStats",
+    "Server",
+    "ServerLogic",
+]

@@ -1,0 +1,157 @@
+"""The client-side lookup driver.
+
+Every strategy's ``partial_lookup`` follows the same skeleton — contact
+servers in some order, merge the distinct entries from each reply, stop
+once the target is met — and differs only in the *order* of servers
+contacted (uniformly random for most strategies, the deterministic
+``s, s+y, s+2y, ...`` walk for Round-Robin).  :class:`Client`
+implements that skeleton once, including the paper's failure handling:
+a request to a failed server goes unanswered and the client falls back
+to trying other (random) servers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Optional, Set
+
+from repro.core.entry import Entry
+from repro.core.exceptions import NoOperationalServerError
+from repro.core.result import LookupResult
+from repro.cluster.cluster import Cluster
+from repro.cluster.messages import LookupRequest
+from repro.cluster.network import UNDELIVERED
+
+
+class Client:
+    """A lookup client bound to a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to issue lookups against.
+    rng:
+        Private randomness for server selection; defaults to the
+        cluster RNG so a seeded cluster stays fully deterministic.
+    """
+
+    def __init__(self, cluster: Cluster, rng: Optional[random.Random] = None) -> None:
+        self._cluster = cluster
+        self._rng = rng if rng is not None else cluster.rng
+
+    # -- server orderings -----------------------------------------------------
+
+    def random_order(self) -> List[int]:
+        """All server ids in a fresh uniformly random order."""
+        order = list(range(self._cluster.size))
+        self._rng.shuffle(order)
+        return order
+
+    def stride_order(self, start: int, stride: int) -> List[int]:
+        """The Round-Robin-y contact sequence ``start, start+stride, ...``.
+
+        Walks all ``n`` servers modulo ``n``; when ``gcd(stride, n) > 1``
+        the walk revisits ids, so remaining ids are appended in random
+        order to preserve the "contact every server at most once"
+        client behaviour.
+        """
+        n = self._cluster.size
+        order: List[int] = []
+        seen: Set[int] = set()
+        current = start % n
+        for _ in range(n):
+            if current in seen:
+                break
+            order.append(current)
+            seen.add(current)
+            current = (current + stride) % n
+        leftovers = [i for i in range(n) if i not in seen]
+        self._rng.shuffle(leftovers)
+        order.extend(leftovers)
+        return order
+
+    # -- the lookup skeleton -----------------------------------------------------
+
+    def collect(
+        self,
+        key: str,
+        target: int,
+        order: Iterable[int],
+        max_servers: Optional[int] = None,
+        per_server_target: Optional[int] = None,
+    ) -> LookupResult:
+        """Contact servers in ``order`` until ``target`` entries merge.
+
+        Parameters
+        ----------
+        key:
+            The key being looked up.
+        target:
+            Required number of distinct entries; ``0`` means "collect
+            everything" (contact every server), used for traditional
+            full lookups and coverage probes.
+        order:
+            Server ids to try, in order.  Failed servers are skipped
+            (recorded in ``failed_contacts``) without counting toward
+            the lookup cost, per Section 4.2's no-failure cost model.
+        max_servers:
+            Optional cap on operational servers contacted; used by
+            strategies whose placement makes extra contacts useless
+            (Fixed-x and full replication stop after one).
+        per_server_target:
+            How many entries to request from each server.  Defaults to
+            ``target``, the paper's per-server answer size.
+        """
+        ask = target if per_server_target is None else per_server_target
+        merged: List[Entry] = []
+        merged_ids: Set[str] = set()
+        contacted: List[int] = []
+        failed: List[int] = []
+        for server_id in order:
+            if target > 0 and len(merged) >= target:
+                break
+            if max_servers is not None and len(contacted) >= max_servers:
+                break
+            reply = self._cluster.network.send(server_id, key, LookupRequest(ask))
+            if reply is UNDELIVERED:
+                failed.append(server_id)
+                continue
+            contacted.append(server_id)
+            fresh = [e for e in reply if e.entry_id not in merged_ids]
+            # The client wants exactly ``target`` entries; when the
+            # final server's reply overshoots, keep a uniformly random
+            # subset of its fresh contribution so no entry of that
+            # server is privileged (this is what makes Round-Robin's
+            # answers exactly fair, §4.5).
+            if target > 0 and len(merged) + len(fresh) > target:
+                fresh = self._rng.sample(fresh, target - len(merged))
+            merged.extend(fresh)
+            merged_ids.update(e.entry_id for e in fresh)
+        return LookupResult(
+            entries=tuple(merged),
+            target=target,
+            servers_contacted=tuple(contacted),
+            failed_contacts=tuple(failed),
+            messages=len(contacted),
+        )
+
+    def lookup_random(
+        self,
+        key: str,
+        target: int,
+        max_servers: Optional[int] = None,
+    ) -> LookupResult:
+        """Random-order lookup (full replication, Fixed, RandomServer, Hash)."""
+        return self.collect(key, target, self.random_order(), max_servers=max_servers)
+
+    def lookup_stride(self, key: str, target: int, stride: int) -> LookupResult:
+        """Round-Robin-y lookup: random start, then stride-``y`` walk.
+
+        If any server in the deterministic sequence has failed, the
+        paper's client abandons the sequence and falls back to random
+        order over the untried servers; :meth:`collect` realizes that
+        because failed servers are skipped and the stride order ends
+        with a random permutation of any unvisited ids.
+        """
+        start = self._cluster.random_server_id()
+        return self.collect(key, target, self.stride_order(start, stride))

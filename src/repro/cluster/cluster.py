@@ -1,0 +1,161 @@
+"""The ``Cluster``: n servers, a network, and a seeded RNG.
+
+Every placement strategy in :mod:`repro.strategies` runs against a
+:class:`Cluster`.  The cluster also exposes the placement-level
+observations the metrics need — total storage, per-server store sizes,
+and the set of entries retrievable from operational servers — so
+metrics never reach into server internals.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError, NoOperationalServerError
+from repro.cluster.network import Network
+from repro.cluster.server import Server
+
+
+class Cluster:
+    """A fixed group of ``n`` simulated lookup servers.
+
+    Parameters
+    ----------
+    size:
+        Number of servers ``n``.  The paper fixes the server population
+        for the lifetime of the service ("we will not consider adding
+        and removing servers", Section 2), so the cluster size is
+        immutable.
+    seed:
+        Seed for the cluster-wide RNG.  All randomness in strategies,
+        clients, and server logics draws from this generator, so a
+        seeded cluster replays identically.
+    """
+
+    def __init__(self, size: int, seed: Optional[int] = None) -> None:
+        if size < 1:
+            raise InvalidParameterError(f"cluster size must be >= 1, got {size}")
+        self._servers = [Server(i) for i in range(size)]
+        self.network = Network(self._servers)
+        self.rng = random.Random(seed)
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._servers)
+
+    @property
+    def servers(self) -> List[Server]:
+        return self._servers
+
+    def server(self, server_id: int) -> Server:
+        return self._servers[server_id % self.size]
+
+    def alive_servers(self) -> List[Server]:
+        return [s for s in self._servers if s.alive]
+
+    def alive_ids(self) -> List[int]:
+        return [s.server_id for s in self._servers if s.alive]
+
+    def random_server_id(self) -> int:
+        """A uniformly random server id (failed servers included).
+
+        Clients in the paper pick servers blindly and discover failures
+        by the lack of a response, so the draw covers all ``n`` ids.
+        """
+        return self.rng.randrange(self.size)
+
+    def random_alive_server_id(self) -> int:
+        """A uniformly random operational server id.
+
+        Raises
+        ------
+        NoOperationalServerError
+            If every server is failed.
+        """
+        alive = self.alive_ids()
+        if not alive:
+            raise NoOperationalServerError("all servers are failed")
+        return self.rng.choice(alive)
+
+    # -- failure control -------------------------------------------------------
+
+    def fail(self, server_id: int) -> None:
+        self.server(server_id).fail()
+
+    def recover(self, server_id: int) -> None:
+        self.server(server_id).recover()
+
+    def fail_many(self, server_ids: Iterable[int]) -> None:
+        for server_id in server_ids:
+            self.fail(server_id)
+
+    def recover_all(self) -> None:
+        for server in self._servers:
+            server.recover()
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for s in self._servers if not s.alive)
+
+    # -- placement observations -------------------------------------------------
+
+    def storage_cost(self, key: str) -> int:
+        """Total entries stored across all servers (Table 1's metric).
+
+        Counts failed servers too: storage is a provisioning cost, not
+        an availability property.
+        """
+        return sum(s.stored_entry_count(key) for s in self._servers)
+
+    def store_sizes(self, key: str) -> List[int]:
+        """Per-server store sizes, indexed by server id."""
+        return [s.stored_entry_count(key) for s in self._servers]
+
+    def coverage_set(self, key: str, alive_only: bool = True) -> Set[Entry]:
+        """Distinct entries retrievable for ``key`` (Section 4.3).
+
+        With ``alive_only`` (the default) only operational servers
+        contribute, which is the definition the fault-tolerance
+        heuristic iterates on.
+        """
+        covered: Set[Entry] = set()
+        for server in self._servers:
+            if alive_only and not server.alive:
+                continue
+            covered.update(server.store(key))
+        return covered
+
+    def coverage(self, key: str, alive_only: bool = True) -> int:
+        """Size of the coverage set."""
+        return len(self.coverage_set(key, alive_only=alive_only))
+
+    def placement(self, key: str) -> Dict[int, Set[Entry]]:
+        """The full placement map: server id → set of stored entries."""
+        return {s.server_id: s.store(key).as_set() for s in self._servers}
+
+    def replica_counts(self, key: str, alive_only: bool = True) -> Dict[Entry, int]:
+        """How many (operational) servers hold each entry (``f_e``)."""
+        counts: Dict[Entry, int] = {}
+        for server in self._servers:
+            if alive_only and not server.alive:
+                continue
+            for entry in server.store(key):
+                counts[entry] = counts.get(entry, 0) + 1
+        return counts
+
+    # -- maintenance --------------------------------------------------------------
+
+    def wipe(self) -> None:
+        """Erase every server's stores and state; keep stats and RNG."""
+        for server in self._servers:
+            server.wipe()
+
+    def reset_stats(self) -> None:
+        self.network.reset_stats()
+
+    def __repr__(self) -> str:
+        return f"Cluster(size={self.size}, failed={self.failed_count})"

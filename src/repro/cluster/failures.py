@@ -1,0 +1,82 @@
+"""Failure injection for the fault-tolerance experiments.
+
+Section 4.4 evaluates the *worst case*: an all-knowing adversary picks
+which servers fail.  :class:`FailureInjector` applies failure patterns
+to a cluster (and restores it afterwards), and provides the random and
+adversarial pattern generators that the fault-tolerance metric and the
+failure-resilience example build on.  The greedy adversarial heuristic
+itself lives in :mod:`repro.metrics.fault_tolerance` since it is an
+evaluation procedure, not a substrate feature.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+from repro.cluster.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class FailurePattern:
+    """An ordered set of servers to fail, with a human-readable origin."""
+
+    server_ids: Tuple[int, ...]
+    origin: str = "manual"
+
+    def __len__(self) -> int:
+        return len(self.server_ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.server_ids)
+
+
+class FailureInjector:
+    """Applies and reverts failure patterns on a cluster."""
+
+    def __init__(self, cluster: Cluster, rng: Optional[random.Random] = None) -> None:
+        self._cluster = cluster
+        self._rng = rng if rng is not None else cluster.rng
+
+    def random_pattern(self, count: int) -> FailurePattern:
+        """``count`` distinct uniformly random servers."""
+        if not 0 <= count <= self._cluster.size:
+            raise InvalidParameterError(
+                f"cannot fail {count} of {self._cluster.size} servers"
+            )
+        ids = self._rng.sample(range(self._cluster.size), count)
+        return FailurePattern(tuple(ids), origin="random")
+
+    def apply(self, pattern: FailurePattern) -> None:
+        for server_id in pattern:
+            self._cluster.fail(server_id)
+
+    def revert(self, pattern: FailurePattern) -> None:
+        for server_id in pattern:
+            self._cluster.recover(server_id)
+
+    @contextmanager
+    def injected(self, pattern: FailurePattern):
+        """Context manager: servers are failed inside, restored after.
+
+        Restores only the pattern's servers, so nested injections and
+        pre-existing failures compose correctly.
+        """
+        self.apply(pattern)
+        try:
+            yield self._cluster
+        finally:
+            self.revert(pattern)
+
+    def survives(self, key: str, target: int, pattern: FailurePattern) -> bool:
+        """Whether coverage stays >= ``target`` under ``pattern``.
+
+        This is the paper's lookup-failure criterion: a client lookup
+        of size ``t`` fails exactly when fewer than ``t`` distinct
+        entries remain retrievable from operational servers.
+        """
+        with self.injected(pattern):
+            return self._cluster.coverage(key) >= target

@@ -1,0 +1,291 @@
+"""Typed messages exchanged between clients and servers.
+
+Each message carries a :class:`MessageCategory` so the network can keep
+separate counters for update traffic (the Figure 14 overhead metric)
+and lookup traffic (the Figure 4 lookup cost metric) without the
+strategies having to thread accounting state around.
+
+Message flow, matching the paper's protocol descriptions:
+
+- A client sends a :class:`PlaceRequest`, :class:`AddRequest`,
+  :class:`DeleteRequest`, or :class:`LookupRequest` to one server.
+- The receiving server's strategy logic may then broadcast or send
+  point-to-point :class:`StoreMessage` / :class:`RemoveMessage`
+  (and, for Round-Robin deletes, :class:`RemoveWithHead`,
+  :class:`MigrateRequest`, :class:`RemoveReplacement`) messages to
+  other servers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.entry import Entry
+
+
+class MessageCategory(enum.Enum):
+    """Accounting bucket for a message.
+
+    ``UPDATE`` messages count toward the Section 6.4 update overhead;
+    ``LOOKUP`` messages count toward the Section 4.2 lookup cost.
+    """
+
+    UPDATE = "update"
+    LOOKUP = "lookup"
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all cluster messages."""
+
+    @property
+    def category(self) -> MessageCategory:
+        return MessageCategory.UPDATE
+
+    @property
+    def payload_entries(self) -> int:
+        """How many entries this message carries.
+
+        The paper's §6.4 cost model counts *messages*; payload size is
+        the second-order cost that separates schemes with identical
+        message counts (e.g. RandomServer's reservoir add broadcasts
+        one entry, while a naive re-place broadcast ships all ``h``).
+        Control messages carry zero.
+        """
+        return 0
+
+
+# --------------------------------------------------------------------------
+# Client → server requests
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlaceRequest(Message):
+    """Client request to (re)place a key's full entry set in batch."""
+
+    entries: Tuple[Entry, ...]
+
+    @property
+    def payload_entries(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class AddRequest(Message):
+    """Client request to add one entry."""
+
+    entry: Entry
+
+    @property
+    def payload_entries(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class DeleteRequest(Message):
+    """Client request to delete one entry."""
+
+    entry: Entry
+
+    @property
+    def payload_entries(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class LookupRequest(Message):
+    """Client request for up to ``target`` entries from one server.
+
+    The server replies with ``min(target, |local store|)`` randomly
+    selected local entries (every strategy in Section 3 specifies this
+    per-server behaviour identically).  ``target = 0`` means "send
+    everything you have", used to implement traditional full lookups.
+    """
+
+    target: int
+
+    @property
+    def category(self) -> MessageCategory:
+        return MessageCategory.LOOKUP
+
+
+# --------------------------------------------------------------------------
+# Server → server messages
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreMessage(Message):
+    """Instruct a server to store one entry locally."""
+
+    entry: Entry
+
+    @property
+    def payload_entries(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class StoreSetMessage(Message):
+    """Instruct a server to consider a batch of entries.
+
+    Used by the broadcast phase of full replication, Fixed-x, and
+    RandomServer-x, where each receiving server decides locally which
+    subset of the batch to keep.
+    """
+
+    entries: Tuple[Entry, ...]
+
+    @property
+    def payload_entries(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class RemoveMessage(Message):
+    """Instruct a server to delete its local copy of one entry."""
+
+    entry: Entry
+
+    @property
+    def payload_entries(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class RemoveWithHead(Message):
+    """Round-Robin delete broadcast carrying the head counter.
+
+    Figure 11's ``remove(v, head)``: every server deletes its local
+    copy of ``entry``; servers that held a copy then ask the ``head``
+    server for a replacement to plug the hole in the round-robin
+    sequence.
+    """
+
+    entry: Entry
+    head: int
+
+    @property
+    def payload_entries(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class StorePositioned(Message):
+    """Instruct a server to store one entry at a round-robin position.
+
+    Round-Robin-y placement is positional: the entry occupying
+    sequence position ``p`` lives on servers ``p .. p+y-1 (mod n)``,
+    and the delete protocol moves the head entry into the hole a
+    deletion leaves.  Servers therefore remember each local entry's
+    position; this message carries it.
+    """
+
+    entry: Entry
+    position: int
+
+    @property
+    def payload_entries(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class SetCounters(Message):
+    """Initialize the head/tail counters on the counter host (server 1).
+
+    Sent once by the server that handles a ``place`` batch, after it
+    has dealt entries out round-robin.
+    """
+
+    head: int
+    tail: int
+
+
+@dataclass(frozen=True)
+class QueryCounters(Message):
+    """Ask a counter replica for its current (head, tail) values.
+
+    Used by the replicated-counter extension (§5.4 footnote): before
+    sequencing an update, a counter host reconciles with its fellow
+    replicas by taking the element-wise max of their counters, so a
+    replica that recovered from a failure cannot sequence from stale
+    values.  The reply is a ``(head, tail)`` tuple.
+    """
+
+
+@dataclass(frozen=True)
+class MigrateRequest(Message):
+    """Round-Robin request to the head server for a replacement entry.
+
+    Figure 11's ``migrate(v)``; the head server replies with the
+    replacement entry ``R[v]`` (or None when no replacement is needed,
+    e.g. the deleted entry *was* the head entry) and, once all ``y``
+    holes are plugged, tells the replacement's original holders to
+    drop their old copies.  ``head`` is the sequence position the
+    replacement is taken from, forwarded from the delete broadcast so
+    the head server can resolve ``R[v]`` lazily regardless of message
+    ordering.
+    """
+
+    entry: Entry
+    head: int
+    new_position: int
+
+    @property
+    def payload_entries(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class RemoveReplacement(Message):
+    """Round-Robin instruction to drop a migrated replacement entry.
+
+    Figure 11's final ``remove(u)``: the replacement entry ``u`` has
+    moved into the hole left by the deletion, so its old copies are
+    deleted to keep exactly ``y`` copies of every entry.  ``position``
+    is the head position the copy was stored under; a server whose
+    copy of ``u`` has already been re-positioned into the hole keeps
+    it (it is the same physical store slot serving the new position).
+    """
+
+    entry: Entry
+    position: int
+
+    @property
+    def payload_entries(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class FetchReplacement(Message):
+    """Ask a server for one random entry outside an exclusion set.
+
+    Used by RandomServer-x's *active replacement* delete mode (the
+    §5.3 alternative to the cushion scheme): after deleting an entry,
+    a server refills its subset by fetching a random entry it does not
+    already hold from a peer.  The reply is an :class:`Entry` or None
+    when the peer has nothing new to offer.
+    """
+
+    exclude_ids: Tuple[str, ...]
+
+    @property
+    def payload_entries(self) -> int:
+        return len(self.exclude_ids)
+
+
+@dataclass(frozen=True)
+class IncrementCount(Message):
+    """Tell a server the system-wide entry count changed by ``delta``.
+
+    RandomServer-x servers maintain a local estimate of ``h`` (the
+    total number of entries in the system) to run Vitter's reservoir
+    coin flip on each add (Section 5.3).  The paper piggybacks this on
+    the store/remove broadcasts; we model it explicitly so the counter
+    updates are visible in tests.
+    """
+
+    delta: int

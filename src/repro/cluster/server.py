@@ -1,0 +1,201 @@
+"""A simulated lookup server: local entry store plus strategy logic.
+
+A :class:`Server` is deliberately thin.  It owns, per key, an ordered
+local entry store and an opaque per-strategy state dict, and it
+dispatches received messages to the :class:`ServerLogic` that the
+active placement strategy installed for that key.  All protocol
+decisions (broadcast or not, keep a random subset, plug a round-robin
+hole, ...) live in the strategy's logic, mirroring the paper's framing
+where the *scheme* defines what each server does upon receiving a
+message.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.core.entry import Entry
+from repro.cluster.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cluster.network import Network
+
+
+class EntryStore:
+    """An insertion-ordered set of entries with O(1) membership.
+
+    Servers need three things from their local store: membership tests
+    (Fixed-x's "do I already hold v?"), uniform random sampling (every
+    strategy's per-server lookup answer), and deterministic iteration
+    order so seeded runs are reproducible.  A list plus a set of ids
+    provides all three.
+    """
+
+    __slots__ = ("_entries", "_ids")
+
+    def __init__(self, entries: Iterable[Entry] = ()) -> None:
+        self._entries: List[Entry] = []
+        self._ids: set = set()
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry: Entry) -> bool:
+        """Insert ``entry``; return True if it was not already present."""
+        if entry.entry_id in self._ids:
+            return False
+        self._ids.add(entry.entry_id)
+        self._entries.append(entry)
+        return True
+
+    def discard(self, entry: Entry) -> bool:
+        """Remove ``entry`` if present; return True if it was removed."""
+        if entry.entry_id not in self._ids:
+            return False
+        self._ids.remove(entry.entry_id)
+        self._entries.remove(entry)
+        return True
+
+    def replace(self, old: Entry, new: Entry) -> bool:
+        """Swap ``old`` for ``new`` in place, preserving position."""
+        if old.entry_id not in self._ids or new.entry_id in self._ids:
+            return False
+        index = self._entries.index(old)
+        self._entries[index] = new
+        self._ids.remove(old.entry_id)
+        self._ids.add(new.entry_id)
+        return True
+
+    def sample(self, count: int, rng: random.Random) -> List[Entry]:
+        """Return ``min(count, len(self))`` uniformly sampled entries.
+
+        This implements the per-server lookup answer the paper
+        specifies for every strategy: "returns t randomly selected
+        entries stored on the server or all the entries if the total
+        is less than t".  ``count <= 0`` means "everything".
+        """
+        if count <= 0 or count >= len(self._entries):
+            return list(self._entries)
+        return rng.sample(self._entries, count)
+
+    def pop_random(self, rng: random.Random) -> Entry:
+        """Remove and return one uniformly random entry."""
+        if not self._entries:
+            raise KeyError("pop_random from an empty store")
+        index = rng.randrange(len(self._entries))
+        entry = self._entries[index]
+        self._entries.pop(index)
+        self._ids.remove(entry.entry_id)
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._ids.clear()
+
+    def __contains__(self, entry: Entry) -> bool:
+        return entry.entry_id in self._ids
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self._entries)
+
+    def as_list(self) -> List[Entry]:
+        return list(self._entries)
+
+    def as_set(self) -> set:
+        return set(self._entries)
+
+
+class ServerLogic(ABC):
+    """Per-strategy message handler installed on every server.
+
+    One logic instance may be shared across all servers (strategies
+    keep per-server state in ``server.state``), so implementations must
+    not store per-server mutable state on ``self``.
+    """
+
+    @abstractmethod
+    def handle(self, server: "Server", message: Message, network: "Network") -> Any:
+        """Process ``message`` at ``server``; return the reply, if any."""
+
+
+class Server:
+    """One simulated lookup server.
+
+    Attributes
+    ----------
+    server_id:
+        Zero-based identifier; the paper's "server 1" (the Round-Robin
+        counter host) is ``server_id == 0`` here.
+    alive:
+        False while the server is failed; a failed server processes no
+        messages (the network suppresses delivery).
+    """
+
+    def __init__(self, server_id: int) -> None:
+        self.server_id = server_id
+        self.alive = True
+        self._stores: Dict[str, EntryStore] = {}
+        self._state: Dict[str, Dict[str, Any]] = {}
+        self._logics: Dict[str, ServerLogic] = {}
+
+    # -- store access ------------------------------------------------------
+
+    def store(self, key: str) -> EntryStore:
+        """The local entry store for ``key``, created on first access."""
+        if key not in self._stores:
+            self._stores[key] = EntryStore()
+        return self._stores[key]
+
+    def state(self, key: str) -> Dict[str, Any]:
+        """Per-key strategy scratch state (counters, migration maps)."""
+        if key not in self._state:
+            self._state[key] = {}
+        return self._state[key]
+
+    def stored_entry_count(self, key: str) -> int:
+        return len(self._stores.get(key, ()))
+
+    def keys(self) -> List[str]:
+        return list(self._stores)
+
+    # -- logic installation and dispatch -----------------------------------
+
+    def install_logic(self, key: str, logic: ServerLogic) -> None:
+        """Bind ``logic`` as the handler for messages about ``key``."""
+        self._logics[key] = logic
+
+    def logic_for(self, key: str) -> Optional[ServerLogic]:
+        return self._logics.get(key)
+
+    def receive(self, key: str, message: Message, network: "Network") -> Any:
+        """Dispatch a delivered message to the installed logic."""
+        logic = self._logics.get(key)
+        if logic is None:
+            raise RuntimeError(
+                f"server {self.server_id} has no logic installed for key {key!r}"
+            )
+        return logic.handle(self, message, network)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def fail(self) -> None:
+        """Mark the server failed; its state is retained for recovery."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring a failed server back with its pre-failure state intact."""
+        self.alive = True
+
+    def wipe(self) -> None:
+        """Erase all stores and state, as if freshly provisioned."""
+        self._stores.clear()
+        self._state.clear()
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "DOWN"
+        sizes = {k: len(s) for k, s in self._stores.items()}
+        return f"Server({self.server_id}, {status}, stores={sizes})"

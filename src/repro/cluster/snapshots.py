@@ -1,0 +1,110 @@
+"""Placement snapshots: dump and restore a cluster's stored state.
+
+An operator debugging a placement (or a test pinning one down) wants
+to freeze exactly what every server holds for every key and bring it
+back later — possibly on a fresh cluster.  Snapshots capture stores
+only; strategy scratch state (counters, reservoir h estimates,
+positions) is intentionally included too, since protocols like
+Round-Robin cannot resume without it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError
+from repro.cluster.cluster import Cluster
+
+PathLike = Union[str, pathlib.Path]
+
+FORMAT_VERSION = 1
+
+
+def snapshot_cluster(cluster: Cluster) -> Dict[str, Any]:
+    """A JSON-serializable dump of every server's stores and state."""
+    servers = []
+    for server in cluster.servers:
+        stores = {
+            key: [entry.entry_id for entry in server.store(key)]
+            for key in server.keys()
+        }
+        # State values are assumed JSON-representable; the built-in
+        # strategies only keep ints and {str: int} maps there, plus
+        # Round-Robin's migrations map which is transient and empty
+        # between operations.
+        state = {key: dict(server.state(key)) for key in server.keys()}
+        servers.append(
+            {
+                "server_id": server.server_id,
+                "alive": server.alive,
+                "stores": stores,
+                "state": _jsonable_state(state),
+            }
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "size": cluster.size,
+        "servers": servers,
+    }
+
+
+def _jsonable_state(state: Dict[str, Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    cleaned: Dict[str, Dict[str, Any]] = {}
+    for key, values in state.items():
+        cleaned[key] = {}
+        for name, value in values.items():
+            if name == "migrations":
+                continue  # transient; always empty between operations
+            cleaned[key][name] = value
+    return cleaned
+
+
+def restore_cluster(snapshot: Dict[str, Any], cluster: Cluster) -> Cluster:
+    """Load a snapshot into ``cluster`` (which must match in size).
+
+    Existing stores/state are wiped first.  Strategy logics are NOT
+    restored — reattach strategies by constructing them against the
+    cluster with the same parameters before issuing operations.
+    """
+    version = snapshot.get("format_version")
+    if version != FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"snapshot has format version {version!r}; expected {FORMAT_VERSION}"
+        )
+    if snapshot.get("size") != cluster.size:
+        raise InvalidParameterError(
+            f"snapshot is for {snapshot.get('size')} servers; "
+            f"cluster has {cluster.size}"
+        )
+    cluster.wipe()
+    for record in snapshot["servers"]:
+        server = cluster.server(record["server_id"])
+        if record["alive"]:
+            server.recover()
+        else:
+            server.fail()
+        for key, entry_ids in record["stores"].items():
+            store = server.store(key)
+            for entry_id in entry_ids:
+                store.add(Entry(entry_id))
+        for key, values in record.get("state", {}).items():
+            server.state(key).update(values)
+    return cluster
+
+
+def save_snapshot(cluster: Cluster, path: PathLike) -> pathlib.Path:
+    """Snapshot to a JSON file."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(snapshot_cluster(cluster), indent=2) + "\n")
+    return target
+
+
+def load_snapshot(path: PathLike, cluster: Cluster) -> Cluster:
+    """Restore a JSON snapshot file into ``cluster``."""
+    return restore_cluster(
+        json.loads(pathlib.Path(path).read_text()), cluster
+    )

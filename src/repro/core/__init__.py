@@ -1,0 +1,38 @@
+"""Core types and interfaces for the partial lookup service.
+
+This package contains the paper's Section 2 formalization: the entry
+value type, the traditional and partial lookup service interfaces, the
+lookup result type, the error taxonomy, and the multi-key directory
+facade that composes single-key placement strategies.
+"""
+
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import (
+    CoverageExceededError,
+    InvalidParameterError,
+    LookupFailedError,
+    NoOperationalServerError,
+    ReproError,
+    UnknownKeyError,
+    UnknownStrategyError,
+)
+from repro.core.interface import PartialLookupService, TraditionalLookupService
+from repro.core.result import LookupResult, UpdateResult
+from repro.core.service import PartialLookupDirectory
+
+__all__ = [
+    "Entry",
+    "make_entries",
+    "ReproError",
+    "LookupFailedError",
+    "CoverageExceededError",
+    "NoOperationalServerError",
+    "InvalidParameterError",
+    "UnknownKeyError",
+    "UnknownStrategyError",
+    "TraditionalLookupService",
+    "PartialLookupService",
+    "LookupResult",
+    "UpdateResult",
+    "PartialLookupDirectory",
+]

@@ -1,0 +1,96 @@
+"""The entry value type managed by a lookup service.
+
+The paper (Section 2) models a lookup service as a set of pairs
+``(k_i, V_i)`` where ``V_i`` is a set of *entries*.  Entries are opaque
+values: in a music-sharing application they are host identifiers, in a
+yellow-pages application they are URLs.  All the paper's strategies and
+metrics only require that entries be hashable and comparable for
+identity, plus (for Hash-y) that they can be fed to a hash function.
+
+``Entry`` is an immutable value object carrying an identifier and an
+optional payload.  Two entries are equal iff their identifiers are
+equal; payloads do not participate in identity, mirroring the paper's
+assumption that an entry is named by what it points to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Entry:
+    """A single value associated with a key in the lookup service.
+
+    Parameters
+    ----------
+    entry_id:
+        Stable identifier for the entry.  Equality, ordering, and
+        hashing are all defined on this identifier alone.
+    payload:
+        Optional application data rider (e.g. a host address or URL).
+        Excluded from comparison so that two replicas of the same
+        logical entry always collapse to one copy on a server.
+    """
+
+    entry_id: str
+    payload: Any = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        return self.entry_id
+
+    def with_payload(self, payload: Any) -> "Entry":
+        """Return a copy of this entry carrying ``payload``."""
+        return Entry(self.entry_id, payload)
+
+
+def make_entries(count: int, prefix: str = "v", start: int = 1) -> List[Entry]:
+    """Create ``count`` distinct entries named ``prefix1, prefix2, ...``.
+
+    This is the idiom used throughout the paper's experiments, which
+    manage ``h`` anonymous entries ``v_1 .. v_h`` on ``n`` servers.
+
+    >>> [e.entry_id for e in make_entries(3)]
+    ['v1', 'v2', 'v3']
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [Entry(f"{prefix}{i}") for i in range(start, start + count)]
+
+
+def entry_ids(entries: Iterable[Entry]) -> List[str]:
+    """Return the identifiers of ``entries`` in iteration order."""
+    return [entry.entry_id for entry in entries]
+
+
+def coerce_entry(value: Any) -> Entry:
+    """Coerce ``value`` into an :class:`Entry`.
+
+    Strings become entries named by the string; existing entries pass
+    through unchanged.  Anything else must provide a stable ``str``.
+    """
+    if isinstance(value, Entry):
+        return value
+    if isinstance(value, str):
+        return Entry(value)
+    return Entry(str(value), payload=value)
+
+
+def coerce_entries(values: Iterable[Any]) -> List[Entry]:
+    """Coerce an iterable of values into a list of entries.
+
+    Raises
+    ------
+    ValueError
+        If the same entry identifier appears more than once; the
+        paper's ``V_i`` is a set, so duplicate identifiers in a single
+        ``place`` call are almost certainly a caller bug.
+    """
+    entries = [coerce_entry(v) for v in values]
+    seen: set = set()
+    for entry in entries:
+        if entry.entry_id in seen:
+            raise ValueError(f"duplicate entry id in placement: {entry.entry_id!r}")
+        seen.add(entry.entry_id)
+    return entries

@@ -1,0 +1,64 @@
+"""Error taxonomy for the partial lookup service reproduction.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch everything the library raises with a single except clause while
+still distinguishing failure modes that the paper treats differently
+(a failed lookup is an expected, measurable event; a bad parameter is a
+programming error).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A strategy or experiment parameter is out of its valid range.
+
+    Examples: ``x <= 0`` for Fixed-x, ``y > n`` for Round-Robin-y, a
+    negative storage budget, or a target answer size below one.
+    """
+
+
+class LookupFailedError(ReproError):
+    """A partial lookup could not retrieve ``t`` distinct entries.
+
+    The paper counts these events (e.g. Figure 12's cushion-factor
+    failure rate) rather than treating them as fatal, so most callers
+    should use :meth:`repro.strategies.base.PlacementStrategy.partial_lookup`
+    which reports failure in the :class:`~repro.core.result.LookupResult`
+    instead of raising.  This exception exists for strict callers that
+    opt into raising semantics.
+    """
+
+    def __init__(self, target: int, retrieved: int, message: str = "") -> None:
+        detail = message or (
+            f"partial lookup wanted {target} distinct entries "
+            f"but only {retrieved} were retrievable"
+        )
+        super().__init__(detail)
+        self.target = target
+        self.retrieved = retrieved
+
+
+class CoverageExceededError(LookupFailedError):
+    """The target answer size exceeds the placement's maximum coverage.
+
+    Section 4.3: coverage is an upper bound on the largest supported
+    target answer size.  Fixed-x, for example, can never answer a
+    lookup for more than ``x`` entries.
+    """
+
+
+class NoOperationalServerError(ReproError):
+    """Every server in the cluster is failed; no request can proceed."""
+
+
+class UnknownKeyError(ReproError, KeyError):
+    """The directory facade was asked about a key it does not manage."""
+
+
+class UnknownStrategyError(ReproError, KeyError):
+    """A strategy name did not resolve in the strategy registry."""

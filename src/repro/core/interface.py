@@ -1,0 +1,81 @@
+"""Abstract lookup-service interfaces (paper Section 2).
+
+The paper defines a *traditional lookup service* over a set
+``S = {(k_i, V_i)}`` with operations ``place``, ``lookup``, ``add`` and
+``delete``, and a *partial lookup service* that replaces ``lookup(k)``
+with ``partial_lookup(k, t)`` returning any subset of at least ``t``
+entries.  These abstract base classes pin down those contracts; the
+concrete multi-key implementation is
+:class:`repro.core.service.PartialLookupDirectory` and the single-key
+strategy implementations live in :mod:`repro.strategies`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Set
+
+from repro.core.entry import Entry
+from repro.core.result import LookupResult
+
+
+class TraditionalLookupService(ABC):
+    """A key → entry-set service where lookups return every entry.
+
+    Semantics (Section 2):
+
+    - ``place(k, V)`` sets the entry set of ``k`` to ``V``, replacing
+      any previous set.
+    - ``lookup(k)`` returns the current entry set of ``k``, or the
+      empty set for unknown keys.
+    - ``add(k, v)`` inserts ``v`` into ``k``'s set, creating the key if
+      needed.
+    - ``delete(k, v)`` removes ``v`` from ``k``'s set if present.
+    """
+
+    @abstractmethod
+    def place(self, key: str, entries: Iterable[Entry]) -> None:
+        """Set the full entry set for ``key`` in one batch."""
+
+    @abstractmethod
+    def lookup(self, key: str) -> Set[Entry]:
+        """Return every entry currently associated with ``key``."""
+
+    @abstractmethod
+    def add(self, key: str, entry: Entry) -> None:
+        """Incrementally associate ``entry`` with ``key``."""
+
+    @abstractmethod
+    def delete(self, key: str, entry: Entry) -> None:
+        """Incrementally dissociate ``entry`` from ``key``."""
+
+
+class PartialLookupService(TraditionalLookupService):
+    """A lookup service that supports bounded-size partial lookups.
+
+    ``partial_lookup(k, t)`` may return *any* subset ``V' ⊆ V_k`` with
+    ``|V'| >= t`` — the client does not care which ``t`` entries it
+    gets (assumption 1, Section 2).  Implementations report how many
+    servers were contacted so the client lookup cost metric can be
+    computed.
+    """
+
+    @abstractmethod
+    def partial_lookup(self, key: str, target: int) -> LookupResult:
+        """Return at least ``target`` distinct entries for ``key``.
+
+        Implementations must not raise when fewer than ``target``
+        entries are retrievable; they return a result whose
+        ``success`` flag is false, because lookup failure is an
+        expected, measured event in the paper's evaluation.
+        """
+
+    def lookup(self, key: str) -> Set[Entry]:
+        """Traditional full lookup expressed as a maximal partial lookup.
+
+        Subclasses that can enumerate coverage cheaply may override;
+        the default asks for every entry by passing an unbounded
+        target, which drives the client to contact all servers.
+        """
+        result = self.partial_lookup(key, target=0)
+        return set(result.entries)

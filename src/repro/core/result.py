@@ -1,0 +1,142 @@
+"""Result types returned by lookup and update operations.
+
+The paper's evaluation needs more than the entry set from each lookup:
+Figure 4 counts servers contacted, Figure 12 counts failed lookups, and
+Figure 14 counts messages processed.  ``LookupResult`` and
+``UpdateResult`` carry those observations alongside the functional
+result so metrics can be computed without instrumenting strategies from
+the outside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from repro.core.entry import Entry
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one ``partial_lookup(t)`` call.
+
+    Attributes
+    ----------
+    entries:
+        The distinct entries returned to the client.
+    target:
+        The target answer size ``t`` the client asked for.
+    servers_contacted:
+        Identifiers of the servers the client contacted, in contact
+        order.  ``len(servers_contacted)`` is the paper's client lookup
+        cost for this call (Section 4.2), counting only operational
+        servers that actually responded.
+    failed_contacts:
+        Identifiers of failed servers the client tried before finding
+        operational ones.  Kept separate because the paper's lookup
+        cost assumes no failures.
+    messages:
+        Number of request messages processed by servers on behalf of
+        this lookup (one per operational server contacted).
+    """
+
+    entries: Tuple[Entry, ...]
+    target: int
+    servers_contacted: Tuple[int, ...] = ()
+    failed_contacts: Tuple[int, ...] = ()
+    messages: int = 0
+
+    @property
+    def success(self) -> bool:
+        """Whether the lookup retrieved at least ``target`` entries."""
+        return len(self.entries) >= self.target
+
+    @property
+    def lookup_cost(self) -> int:
+        """Number of operational servers contacted (Section 4.2)."""
+        return len(self.servers_contacted)
+
+    @property
+    def entry_set(self) -> FrozenSet[Entry]:
+        """The returned entries as a frozen set."""
+        return frozenset(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of one ``place``, ``add``, or ``delete`` call.
+
+    Attributes
+    ----------
+    operation:
+        One of ``"place"``, ``"add"``, ``"delete"``.
+    messages:
+        Number of messages processed by servers for this update, under
+        the Section 6.4 cost model: the client's request to the initial
+        server costs 1, a broadcast costs ``n``, and each point-to-point
+        server message costs 1.
+    broadcast:
+        Whether the update triggered a broadcast.
+    servers_touched:
+        Identifiers of servers whose local store changed.
+    """
+
+    operation: str
+    messages: int = 0
+    broadcast: bool = False
+    servers_touched: Tuple[int, ...] = ()
+
+
+@dataclass
+class OperationLog:
+    """Accumulates results over a sequence of operations.
+
+    A convenience aggregate used by experiments: feed it every
+    :class:`LookupResult` / :class:`UpdateResult` and read off the
+    totals the paper reports.
+    """
+
+    lookups: List[LookupResult] = field(default_factory=list)
+    updates: List[UpdateResult] = field(default_factory=list)
+
+    def record_lookup(self, result: LookupResult) -> LookupResult:
+        self.lookups.append(result)
+        return result
+
+    def record_update(self, result: UpdateResult) -> UpdateResult:
+        self.updates.append(result)
+        return result
+
+    @property
+    def total_lookup_cost(self) -> int:
+        return sum(r.lookup_cost for r in self.lookups)
+
+    @property
+    def mean_lookup_cost(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.total_lookup_cost / len(self.lookups)
+
+    @property
+    def failed_lookups(self) -> int:
+        return sum(1 for r in self.lookups if not r.success)
+
+    @property
+    def failure_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.failed_lookups / len(self.lookups)
+
+    @property
+    def total_update_messages(self) -> int:
+        return sum(r.messages for r in self.updates)
+
+    def clear(self) -> None:
+        self.lookups.clear()
+        self.updates.clear()

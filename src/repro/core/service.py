@@ -1,0 +1,156 @@
+"""The multi-key partial lookup directory.
+
+The paper analyzes single-key strategies and notes (Section 2) that a
+multi-key service simply "replicates a single-key strategy to manage
+more than one key at a time", and that *different* strategies can
+manage different kinds of keys — frequently-updated keys want cheap
+updates, static keys want low lookup cost and fairness.
+
+:class:`PartialLookupDirectory` is that composition: one shared
+cluster, one independently-configured placement strategy per key.  It
+implements the full :class:`~repro.core.interface.PartialLookupService`
+interface and is the main entry point for application code (see
+``examples/``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from repro.core.entry import Entry, coerce_entries, coerce_entry
+from repro.core.exceptions import UnknownKeyError
+from repro.core.interface import PartialLookupService
+from repro.core.result import LookupResult
+
+
+class PartialLookupDirectory(PartialLookupService):
+    """A key → entries directory backed by per-key placement strategies.
+
+    Parameters
+    ----------
+    cluster:
+        The shared :class:`~repro.cluster.cluster.Cluster`.  Distinct
+        keys install independent logics and stores on its servers, so
+        they never interfere.
+    default_strategy:
+        Strategy name used for keys first seen via ``place``/``add``
+        when no explicit configuration exists.
+    default_params:
+        Constructor parameters for the default strategy.
+
+    Example
+    -------
+    >>> from repro.cluster import Cluster
+    >>> directory = PartialLookupDirectory(
+    ...     Cluster(10, seed=42), default_strategy="round_robin",
+    ...     default_params={"y": 2})
+    >>> directory.place("song/stairway", [f"host{i}" for i in range(30)])
+    >>> directory.partial_lookup("song/stairway", 3).success
+    True
+    """
+
+    def __init__(
+        self,
+        cluster,
+        default_strategy: str = "full_replication",
+        default_params: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self._default_strategy = default_strategy
+        self._default_params = dict(default_params or {})
+        self._strategies: Dict[str, Any] = {}
+
+    # -- key configuration ------------------------------------------------------
+
+    def configure_key(
+        self, key: str, strategy: str, **params: Any
+    ) -> None:
+        """Bind ``key`` to a named strategy with ``params``.
+
+        Must be called before the key's first placement; reconfiguring
+        a live key would orphan its existing placement, so it is
+        rejected.
+        """
+        if key in self._strategies:
+            raise UnknownKeyError(
+                f"key {key!r} is already managed; reconfiguration is not supported"
+            )
+        self._strategies[key] = self._build(key, strategy, params)
+
+    def _build(self, key: str, strategy_name: str, params: Dict[str, Any]):
+        # Imported here to avoid a core → strategies import cycle at
+        # module load (strategies import core result/entry types).
+        from repro.strategies.registry import create_strategy
+
+        return create_strategy(strategy_name, self.cluster, key=key, **params)
+
+    def _strategy_for(self, key: str, create: bool = False):
+        if key not in self._strategies:
+            if not create:
+                raise UnknownKeyError(f"key {key!r} is not managed by this directory")
+            self._strategies[key] = self._build(
+                key, self._default_strategy, self._default_params
+            )
+        return self._strategies[key]
+
+    def keys(self) -> List[str]:
+        """All managed keys, in configuration order."""
+        return list(self._strategies)
+
+    def strategy_name(self, key: str) -> str:
+        """The name of the strategy managing ``key``."""
+        return self._strategy_for(key).name
+
+    def strategy(self, key: str):
+        """The live strategy instance managing ``key``.
+
+        Exposed so callers can run the metrics suite against one
+        key's placement; mutating the strategy directly bypasses the
+        directory's bookkeeping and should be avoided.
+        """
+        return self._strategy_for(key)
+
+    # -- PartialLookupService interface -------------------------------------------
+
+    def place(self, key: str, entries: Iterable[Any]) -> None:
+        """Batch-set the entries of ``key`` (creating it if new).
+
+        Accepts raw strings as well as :class:`Entry` objects, for
+        ergonomic application code.
+        """
+        batch = coerce_entries(entries)
+        self._strategy_for(key, create=True).place(batch)
+
+    def add(self, key: str, entry: Any) -> None:
+        self._strategy_for(key, create=True).add(coerce_entry(entry))
+
+    def delete(self, key: str, entry: Any) -> None:
+        self._strategy_for(key).delete(coerce_entry(entry))
+
+    def partial_lookup(self, key: str, target: int) -> LookupResult:
+        """At least ``target`` distinct entries for ``key``.
+
+        Unknown keys return an empty, unsuccessful result rather than
+        raising — a lookup for a key nobody placed is the paper's
+        "Else return ∅" case, not an error.
+        """
+        if key not in self._strategies:
+            return LookupResult(entries=(), target=target)
+        return self._strategies[key].partial_lookup(target)
+
+    def lookup(self, key: str) -> Set[Entry]:
+        """Traditional full lookup: every retrievable entry of ``key``."""
+        if key not in self._strategies:
+            return set()
+        return self._strategies[key].lookup_all()
+
+    # -- observability -------------------------------------------------------------
+
+    def storage_cost(self, key: Optional[str] = None) -> int:
+        """Stored entries for one key, or for the whole directory."""
+        if key is not None:
+            return self._strategy_for(key).storage_cost()
+        return sum(s.storage_cost() for s in self._strategies.values())
+
+    def coverage(self, key: str) -> int:
+        return self._strategy_for(key).coverage()

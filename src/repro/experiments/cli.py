@@ -1,0 +1,382 @@
+"""Command-line driver for the paper's experiments.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro list
+    python -m repro run fig4
+    python -m repro run fig4 --set runs=50 --set lookups_per_run=1000
+    python -m repro run fig12 --plot
+    python -m repro run table1 --json results/table1.json
+    python -m repro run-all --out results/
+
+Every command prints the same rows/series the paper reports; ``--plot``
+adds an ASCII rendition of the figure, ``--json`` writes the result
+(rows + config) for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.core.exceptions import ReproError
+from repro.experiments.plotting import plot_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    build_config,
+    get_spec,
+    list_experiments,
+)
+from repro.experiments.report import render_experiment, render_table
+from repro.experiments.runner import ExperimentResult
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, str]:
+    overrides: Dict[str, str] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"--set expects name=value, got {pair!r}")
+        name, _, value = pair.partition("=")
+        overrides[name.strip()] = value.strip()
+    return overrides
+
+
+def result_to_json(result: ExperimentResult, config: Any) -> Dict[str, Any]:
+    """A JSON-serializable record of one experiment run."""
+    return {
+        "name": result.name,
+        "headers": result.headers,
+        "rows": result.rows,
+        "meta": result.meta,
+        "config": dataclasses.asdict(config),
+    }
+
+
+def _write_json(payload: Dict[str, Any], path: pathlib.Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "id": spec.experiment_id,
+            "paper": spec.paper_artifact,
+            "description": spec.description,
+            "config": spec.config_class.__name__,
+        }
+        for spec in list_experiments()
+    ]
+    print(render_table(["id", "paper", "description", "config"], rows,
+                       title="Available experiments"))
+    return 0
+
+
+def _run_one(
+    spec: ExperimentSpec,
+    overrides: Dict[str, str],
+    plot: bool,
+    json_path: Optional[pathlib.Path],
+    csv_path: Optional[pathlib.Path] = None,
+    quiet: bool = False,
+) -> ExperimentResult:
+    config = build_config(spec, overrides)
+    started = time.perf_counter()
+    result = spec.run(config)
+    elapsed = time.perf_counter() - started
+    if not quiet:
+        print(render_experiment(result))
+        print(f"[{spec.experiment_id}: {elapsed:.1f}s]")
+        if plot and spec.plottable:
+            print()
+            print(plot_experiment(result, log_y=spec.log_y))
+    if json_path is not None:
+        _write_json(result_to_json(result, config), json_path)
+        if not quiet:
+            print(f"[wrote {json_path}]")
+    if csv_path is not None:
+        from repro.io.results import result_to_csv
+
+        result_to_csv(result, csv_path)
+        if not quiet:
+            print(f"[wrote {csv_path}]")
+    return result
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_spec(args.experiment)
+    json_path = pathlib.Path(args.json) if args.json else None
+    csv_path = pathlib.Path(args.csv) if args.csv else None
+    _run_one(spec, _parse_overrides(args.set), args.plot, json_path, csv_path)
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    out_dir = pathlib.Path(args.out) if args.out else None
+    overrides = _parse_overrides(args.set)
+    for spec in list_experiments():
+        print(f"=== {spec.experiment_id} ({spec.paper_artifact}) ===")
+        json_path = (
+            out_dir / f"{spec.experiment_id}.json" if out_dir else None
+        )
+        # Shared overrides apply only where the config has the field.
+        valid = {
+            f.name for f in dataclasses.fields(spec.config_class)
+        }
+        applicable = {k: v for k, v in overrides.items() if k in valid}
+        _run_one(spec, applicable, args.plot, json_path)
+        print()
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.planner import (
+        DeploymentSpec,
+        cheapest_for_updates,
+        plan_rows,
+    )
+
+    spec = DeploymentSpec(
+        entry_count=args.entries,
+        server_count=args.servers,
+        storage_budget=args.budget,
+        target_answer_size=args.target,
+        updates_per_lookup=args.update_rate,
+    )
+    rows = plan_rows(spec)
+    print(render_table(
+        ["scheme", "params", "storage", "lookup_cost", "coverage",
+         "fault_tol", "update_msgs", "notes"],
+        rows,
+        title=(
+            f"Analytic plan: h={spec.entry_count}, n={spec.server_count}, "
+            f"budget={spec.storage_budget}, t={spec.target_answer_size}"
+        ),
+    ))
+    print(f"cheapest for updates (§6.4): {cheapest_for_updates(spec)}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report_doc import write_report
+
+    path = write_report(
+        pathlib.Path(args.out),
+        scale=args.scale,
+        include_plots=args.plot,
+        experiment_ids=args.only or None,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validate import ValidationConfig, all_passed, run
+
+    result = run(ValidationConfig())
+    print(render_experiment(result))
+    if all_passed(result):
+        print("all checks passed")
+        return 0
+    print("VALIDATION FAILED", file=sys.stderr)
+    return 1
+
+
+def _cmd_trace_generate(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.io.traces import save_trace
+    from repro.workload.generator import SteadyStateWorkload
+    from repro.workload.lifetimes import ExponentialLifetime, ZipfLifetime
+
+    mean_lifetime = args.arrival_gap * args.entries
+    lifetime = (
+        ZipfLifetime(mean_lifetime)
+        if args.lifetime == "zipf"
+        else ExponentialLifetime(mean_lifetime)
+    )
+    workload = SteadyStateWorkload(
+        args.entries,
+        arrival_gap=args.arrival_gap,
+        lifetime=lifetime,
+        rng=random.Random(args.seed),
+    )
+    trace = workload.generate(args.updates)
+    path = save_trace(trace, pathlib.Path(args.out))
+    print(
+        f"wrote {path}: {len(trace.initial_entries)} initial entries, "
+        f"{trace.update_count} updates ({args.lifetime} lifetimes, "
+        f"seed {args.seed})"
+    )
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from repro.cluster.cluster import Cluster
+    from repro.io.traces import load_trace
+    from repro.simulation.replay import TraceReplayer
+    from repro.strategies.registry import create_strategy
+
+    trace = load_trace(pathlib.Path(args.trace))
+    params = {
+        name: int(value) for name, value in _parse_overrides(args.param).items()
+    }
+    cluster = Cluster(args.servers, seed=args.seed)
+    strategy = create_strategy(args.strategy, cluster, **params)
+    strategy.place(trace.initial_entries)
+    cluster.reset_stats()
+    replayer = TraceReplayer(strategy, monitor_target=args.monitor_target)
+    stats = replayer.replay(trace.events)
+    rows = [
+        {"metric": "adds", "value": stats.adds},
+        {"metric": "deletes", "value": stats.deletes},
+        {"metric": "lookups", "value": stats.lookups},
+        {"metric": "lookup_failure_rate", "value": round(stats.lookup_failure_rate, 4)},
+        {"metric": "update_messages", "value": stats.update_messages},
+        {"metric": "final_storage", "value": strategy.storage_cost()},
+        {"metric": "final_coverage", "value": strategy.coverage()},
+    ]
+    if args.monitor_target is not None:
+        rows.append(
+            {
+                "metric": f"pct_time_below_t={args.monitor_target}",
+                "value": round(100 * stats.failure_time_fraction, 4),
+            }
+        )
+    print(render_table(["metric", "value"], rows,
+                       title=f"Replay of {args.trace} on {args.strategy}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the tables and figures of 'Partial "
+        "Lookup Services' (ICDCS 2003).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list experiments")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override a config field (repeatable); e.g. --set runs=50",
+    )
+    run_parser.add_argument(
+        "--plot", action="store_true", help="also render an ASCII figure"
+    )
+    run_parser.add_argument(
+        "--json", metavar="PATH", help="write rows + config as JSON"
+    )
+    run_parser.add_argument(
+        "--csv", metavar="PATH", help="write rows as CSV"
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    all_parser = subparsers.add_parser(
+        "run-all", help="run every experiment in paper order"
+    )
+    all_parser.add_argument(
+        "--set", action="append", default=[], metavar="NAME=VALUE",
+        help="override a config field wherever it exists (repeatable)",
+    )
+    all_parser.add_argument("--plot", action="store_true")
+    all_parser.add_argument(
+        "--out", metavar="DIR", help="write one JSON per experiment"
+    )
+    all_parser.set_defaults(handler=_cmd_run_all)
+
+    validate_parser = subparsers.add_parser(
+        "validate",
+        help="check measured behaviour against every closed form",
+    )
+    validate_parser.set_defaults(handler=_cmd_validate)
+
+    report_parser = subparsers.add_parser(
+        "report", help="write a markdown report of all experiments"
+    )
+    report_parser.add_argument("--out", required=True, metavar="PATH")
+    report_parser.add_argument(
+        "--scale", choices=("quick", "default", "thorough"), default="quick"
+    )
+    report_parser.add_argument("--plot", action="store_true")
+    report_parser.add_argument(
+        "--only", action="append", metavar="ID",
+        help="restrict to these experiment ids (repeatable)",
+    )
+    report_parser.set_defaults(handler=_cmd_report)
+
+    plan_parser = subparsers.add_parser(
+        "plan", help="analytic capacity plan for a deployment"
+    )
+    plan_parser.add_argument("--entries", type=int, required=True)
+    plan_parser.add_argument("--servers", type=int, required=True)
+    plan_parser.add_argument("--budget", type=int, required=True)
+    plan_parser.add_argument("--target", type=int, required=True)
+    plan_parser.add_argument("--update-rate", type=float, default=0.0)
+    plan_parser.set_defaults(handler=_cmd_plan)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="generate / replay workload trace files"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    generate_parser = trace_sub.add_parser(
+        "generate", help="write a steady-state update trace (JSONL)"
+    )
+    generate_parser.add_argument("--entries", type=int, default=100)
+    generate_parser.add_argument("--updates", type=int, default=10000)
+    generate_parser.add_argument("--arrival-gap", type=float, default=10.0)
+    generate_parser.add_argument(
+        "--lifetime", choices=("exp", "zipf"), default="exp"
+    )
+    generate_parser.add_argument("--seed", type=int, default=0)
+    generate_parser.add_argument("--out", required=True, metavar="PATH")
+    generate_parser.set_defaults(handler=_cmd_trace_generate)
+
+    replay_parser = trace_sub.add_parser(
+        "replay", help="replay a trace file against a strategy"
+    )
+    replay_parser.add_argument("trace", metavar="PATH")
+    replay_parser.add_argument(
+        "--strategy", default="round_robin",
+        help="strategy name from the registry",
+    )
+    replay_parser.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="strategy constructor parameter (repeatable), e.g. y=2",
+    )
+    replay_parser.add_argument("--servers", type=int, default=10)
+    replay_parser.add_argument("--seed", type=int, default=0)
+    replay_parser.add_argument(
+        "--monitor-target", type=int, default=None,
+        help="track %% of time coverage falls below this target",
+    )
+    replay_parser.set_defaults(handler=_cmd_trace_replay)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m repro
+    sys.exit(main())

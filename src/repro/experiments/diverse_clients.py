@@ -1,0 +1,128 @@
+"""Diverse-clients experiment: mixed target answer sizes (§4.3).
+
+§4.3 motivates coverage with "a larger coverage implies a strategy can
+support a more diverse group of clients with different target answer
+size requirements" — e.g. mostly small-t downloaders plus a few
+crawlers that want everything.  This experiment (not a numbered paper
+figure) drives each scheme with a two-population client mix at a
+matched storage budget and reports, per scheme and population, the
+mean lookup cost and failure rate.
+
+Expected shapes: every scheme serves the small-t majority in ~1
+contact; only the complete-coverage schemes (Round-Robin, Hash) can
+serve the crawlers at all, RandomServer serves them *most* of the time
+(expected coverage < h), and Fixed-x fails every crawler — coverage is
+exactly its cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.experiments.runner import ExperimentResult, average_runs_multi
+from repro.strategies.fixed import FixedX
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+
+@dataclass(frozen=True)
+class DiverseClientsConfig:
+    entry_count: int = 100
+    server_count: int = 10
+    storage_budget: int = 200
+    #: The majority population: small bounded targets.
+    small_target_range: Tuple[int, int] = (2, 10)
+    #: The minority population: wants every entry ("crawlers").
+    crawler_target: int = 100
+    small_lookups: int = 300
+    crawler_lookups: int = 50
+    runs: int = 5
+    seed: int = 43
+
+
+SCHEME_LABELS = ("fixed", "random_server", "round_robin", "hash")
+
+
+def _build(label: str, config: DiverseClientsConfig, cluster: Cluster):
+    x = max(1, config.storage_budget // config.server_count)
+    y = max(1, config.storage_budget // config.entry_count)
+    return {
+        "fixed": lambda: FixedX(cluster, x=x),
+        "random_server": lambda: RandomServerX(cluster, x=x),
+        "round_robin": lambda: RoundRobinY(cluster, y=y),
+        "hash": lambda: HashY(cluster, y=y),
+    }[label]()
+
+
+def measure_scheme(
+    label: str, config: DiverseClientsConfig, seed: int
+) -> Dict[str, float]:
+    """One placement; both client populations issue their lookups."""
+    cluster = Cluster(config.server_count, seed=seed)
+    strategy = _build(label, config, cluster)
+    strategy.place(make_entries(config.entry_count))
+
+    low, high = config.small_target_range
+    small_costs = 0
+    small_failures = 0
+    for _ in range(config.small_lookups):
+        target = cluster.rng.randint(low, high)
+        result = strategy.partial_lookup(target)
+        small_costs += result.lookup_cost
+        small_failures += 0 if result.success else 1
+
+    crawler_costs = 0
+    crawler_failures = 0
+    for _ in range(config.crawler_lookups):
+        result = strategy.partial_lookup(config.crawler_target)
+        crawler_costs += result.lookup_cost
+        crawler_failures += 0 if result.success else 1
+
+    return {
+        "small_cost": small_costs / config.small_lookups,
+        "small_fail": small_failures / config.small_lookups,
+        "crawler_cost": crawler_costs / config.crawler_lookups,
+        "crawler_fail": crawler_failures / config.crawler_lookups,
+    }
+
+
+def run(config: DiverseClientsConfig = DiverseClientsConfig()) -> ExperimentResult:
+    """Per-scheme service quality for the two client populations."""
+    result = ExperimentResult(
+        name="Diverse clients: small-target majority + want-it-all crawlers",
+        headers=[
+            "scheme",
+            "small_cost",
+            "small_fail",
+            "crawler_cost",
+            "crawler_fail",
+        ],
+        meta={
+            "h": config.entry_count,
+            "n": config.server_count,
+            "budget": config.storage_budget,
+            "small_t": list(config.small_target_range),
+            "crawler_t": config.crawler_target,
+            "runs": config.runs,
+        },
+    )
+    for label in SCHEME_LABELS:
+        averaged = average_runs_multi(
+            lambda seed, lbl=label: measure_scheme(lbl, config, seed),
+            master_seed=config.seed,
+            runs=config.runs,
+        )
+        result.rows.append(
+            {
+                "scheme": label,
+                "small_cost": round(averaged["small_cost"].mean, 3),
+                "small_fail": round(averaged["small_fail"].mean, 4),
+                "crawler_cost": round(averaged["crawler_cost"].mean, 3),
+                "crawler_fail": round(averaged["crawler_fail"].mean, 4),
+            }
+        )
+    return result

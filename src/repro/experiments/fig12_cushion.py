@@ -1,0 +1,100 @@
+"""Figure 12: Fixed-x lookup failure rate vs cushion size.
+
+Paper setup: steady state of 100 entries (Poisson adds, one per 10
+time units; lifetimes with mean 1000 from an exponential or Zipf-like
+distribution), clients want ``t = 15`` entries per lookup, Fixed-x run
+with ``x = t + b`` for cushions ``b = 0..7``; each run is 20000
+updates, 5000 runs per point.  Measured: the percentage of execution
+time during which a lookup for 15 entries would fail (the shared
+store holds fewer than 15 entries).
+
+Expected shape: >10% failure time at ``b = 0``, dropping roughly
+exponentially with each extra cushion entry; the heavy-tailed Zipf
+lifetime tapers off at large cushions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.experiments.runner import ExperimentResult, average_runs
+from repro.simulation.replay import TraceReplayer
+from repro.strategies.fixed import FixedX
+from repro.workload.generator import SteadyStateWorkload
+from repro.workload.lifetimes import (
+    ExponentialLifetime,
+    LifetimeDistribution,
+    ZipfLifetime,
+)
+
+
+@dataclass(frozen=True)
+class Fig12Config:
+    entry_count: int = 100
+    server_count: int = 10
+    target: int = 15
+    cushions: Tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6, 7)
+    arrival_gap: float = 10.0
+    #: Updates per run (paper: 20000).
+    updates_per_run: int = 4000
+    #: Runs per data point (paper: 5000).
+    runs: int = 10
+    seed: int = 12
+
+
+def _lifetime(kind: str, config: Fig12Config) -> LifetimeDistribution:
+    mean = config.arrival_gap * config.entry_count
+    if kind == "exp":
+        return ExponentialLifetime(mean)
+    if kind == "zipf":
+        return ZipfLifetime(mean)
+    raise ValueError(f"unknown lifetime kind {kind!r}")
+
+
+def failure_time_fraction(
+    config: Fig12Config, cushion: int, lifetime_kind: str, seed: int
+) -> float:
+    """One run: fraction of time Fixed-(t+b) cannot serve ``t`` entries."""
+    rng = random.Random(seed)
+    workload = SteadyStateWorkload(
+        config.entry_count,
+        arrival_gap=config.arrival_gap,
+        lifetime=_lifetime(lifetime_kind, config),
+        rng=rng,
+    )
+    trace = workload.generate(config.updates_per_run)
+    cluster = Cluster(config.server_count, seed=seed)
+    strategy = FixedX(cluster, x=config.target + cushion)
+    strategy.place(trace.initial_entries)
+    replayer = TraceReplayer(strategy, monitor_target=config.target)
+    stats = replayer.replay(trace.events)
+    return stats.failure_time_fraction
+
+
+def run(config: Fig12Config = Fig12Config()) -> ExperimentResult:
+    """Regenerate Figure 12: failure-time percentage per cushion size."""
+    result = ExperimentResult(
+        name="Figure 12: Fixed-x lookup failure rate vs cushion size",
+        headers=["cushion", "exp_percent", "zipf_percent"],
+        meta={
+            "h": config.entry_count,
+            "n": config.server_count,
+            "t": config.target,
+            "updates_per_run": config.updates_per_run,
+            "runs": config.runs,
+        },
+    )
+    for cushion in config.cushions:
+        row: Dict[str, object] = {"cushion": cushion}
+        for kind, column in (("exp", "exp_percent"), ("zipf", "zipf_percent")):
+            averaged = average_runs(
+                lambda seed: failure_time_fraction(config, cushion, kind, seed),
+                master_seed=config.seed + cushion * 1000 + (0 if kind == "exp" else 1),
+                runs=config.runs,
+            )
+            row[column] = round(averaged.mean * 100.0, 4)
+        result.rows.append(row)
+    return result

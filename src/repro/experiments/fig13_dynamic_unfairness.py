@@ -1,0 +1,93 @@
+"""Figure 13: RandomServer-x unfairness deterioration under churn.
+
+Paper setup: 10 servers, 20 entries per server (x = 20), expected 100
+entries in the system; unfairness measured after 0..4000 updates.
+
+Expected shape: unfairness rises rapidly and stabilizes as updates
+accumulate — deleted entries are replaced by newer insertions, biasing
+answers toward the new — ending only about a factor of 2 better than
+Fixed-x's constant 2.0 (instead of the order of magnitude seen
+statically).
+
+Unfairness at each checkpoint is computed over the entries *currently
+live* in the system (the churn replaces the population, so the
+universe moves with it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry
+from repro.experiments.runner import ExperimentResult, average_runs
+from repro.metrics.unfairness import estimate_unfairness
+from repro.simulation.events import AddEvent, DeleteEvent
+from repro.strategies.random_server import RandomServerX
+from repro.workload.generator import SteadyStateWorkload
+
+
+@dataclass(frozen=True)
+class Fig13Config:
+    entry_count: int = 100
+    server_count: int = 10
+    x: int = 20
+    target: int = 35
+    checkpoints: Tuple[int, ...] = (0, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000)
+    #: Lookups per unfairness estimate (paper: 10000).
+    lookups: int = 2000
+    #: Runs per data point.
+    runs: int = 6
+    seed: int = 13
+
+
+def unfairness_after_updates(
+    config: Fig13Config, updates: int, seed: int
+) -> float:
+    """One run: place, apply ``updates`` churn events, measure unfairness."""
+    rng = random.Random(seed)
+    workload = SteadyStateWorkload(config.entry_count, rng=rng)
+    trace = workload.generate(updates)
+    cluster = Cluster(config.server_count, seed=seed)
+    strategy = RandomServerX(cluster, x=config.x)
+    strategy.place(trace.initial_entries)
+    live: Dict[str, Entry] = {e.entry_id: e for e in trace.initial_entries}
+    for event in trace.events:
+        if isinstance(event, AddEvent):
+            strategy.add(event.entry)
+            live[event.entry.entry_id] = event.entry
+        elif isinstance(event, DeleteEvent):
+            strategy.delete(event.entry)
+            live.pop(event.entry.entry_id, None)
+    universe: List[Entry] = list(live.values())
+    estimate = estimate_unfairness(
+        strategy, config.target, universe, config.lookups
+    )
+    return estimate.unfairness
+
+
+def run(config: Fig13Config = Fig13Config()) -> ExperimentResult:
+    """Regenerate Figure 13: unfairness vs number of updates."""
+    result = ExperimentResult(
+        name="Figure 13: RandomServer-x unfairness under churn",
+        headers=["updates", "random_server"],
+        meta={
+            "h": config.entry_count,
+            "n": config.server_count,
+            "x": config.x,
+            "t": config.target,
+            "runs": config.runs,
+        },
+    )
+    for updates in config.checkpoints:
+        averaged = average_runs(
+            lambda seed: unfairness_after_updates(config, updates, seed),
+            master_seed=config.seed + updates,
+            runs=config.runs,
+        )
+        result.rows.append(
+            {"updates": updates, "random_server": round(averaged.mean, 4)}
+        )
+    return result

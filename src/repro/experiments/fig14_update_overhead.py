@@ -1,0 +1,113 @@
+"""Figure 14: total update overhead, Fixed-x vs Hash-y.
+
+Paper setup: target answer size 40, 10 servers, steady-state entry
+count ``h`` swept 100..400 (so the ratio ``t/h`` spans 0.4 down to
+0.1), Fixed-50 (cushion 10 over the target) against Hash-y with the
+per-ratio optimal ``y = ⌈t·n/h⌉`` (4, 3, 2, 1 over the sweep); 20000
+updates per run.  Measured: total messages processed by servers.
+
+Expected shape: Fixed-50's cost falls smoothly as ``h`` grows (its
+broadcast probability is ``x/h``); Hash-y's steps down at the ``y``
+break points (h = 133, 200, 400); the curves cross near where
+``(x/h)·n = 1 + y`` flips sign — several times, because of the
+ceiling in the optimal ``y``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.crossover import (
+    expected_update_cost_fixed,
+    expected_update_cost_hash,
+    optimal_hash_y,
+)
+from repro.cluster.cluster import Cluster
+from repro.experiments.runner import ExperimentResult, average_runs_multi
+from repro.simulation.replay import TraceReplayer
+from repro.strategies.fixed import FixedX
+from repro.strategies.hashing import HashY
+from repro.workload.generator import SteadyStateWorkload
+
+
+@dataclass(frozen=True)
+class Fig14Config:
+    target: int = 40
+    x: int = 50
+    server_count: int = 10
+    entry_counts: Tuple[int, ...] = (100, 133, 150, 200, 250, 300, 350, 400)
+    #: Updates per run (paper: 20000).
+    updates_per_run: int = 4000
+    #: Runs per data point.
+    runs: int = 5
+    seed: int = 14
+
+
+def measure_point(config: Fig14Config, entry_count: int, seed: int) -> Dict[str, float]:
+    """One run: drive both schemes through the same update trace."""
+    y = optimal_hash_y(config.target, entry_count, config.server_count)
+    samples: Dict[str, float] = {}
+    for label, build in (
+        ("fixed", lambda c: FixedX(c, x=config.x)),
+        ("hash", lambda c: HashY(c, y=y)),
+    ):
+        rng = random.Random(seed)
+        workload = SteadyStateWorkload(entry_count, rng=rng)
+        trace = workload.generate(config.updates_per_run)
+        cluster = Cluster(config.server_count, seed=seed)
+        strategy = build(cluster)
+        strategy.place(trace.initial_entries)
+        cluster.reset_stats()  # charge only the updates, not the placement
+        replayer = TraceReplayer(strategy)
+        stats = replayer.replay(trace.events)
+        samples[label] = float(stats.update_messages)
+    return samples
+
+
+def run(config: Fig14Config = Fig14Config()) -> ExperimentResult:
+    """Regenerate Figure 14: total update messages vs entry count."""
+    result = ExperimentResult(
+        name="Figure 14: update overhead, Fixed-x vs Hash-y",
+        headers=[
+            "entry_count",
+            "hash_y",
+            "fixed_measured",
+            "hash_measured",
+            "fixed_expected",
+            "hash_expected",
+        ],
+        meta={
+            "t": config.target,
+            "x": config.x,
+            "n": config.server_count,
+            "updates_per_run": config.updates_per_run,
+            "runs": config.runs,
+        },
+    )
+    for entry_count in config.entry_counts:
+        y = optimal_hash_y(config.target, entry_count, config.server_count)
+        averaged = average_runs_multi(
+            lambda seed: measure_point(config, entry_count, seed),
+            master_seed=config.seed + entry_count,
+            runs=config.runs,
+        )
+        updates = config.updates_per_run
+        result.rows.append(
+            {
+                "entry_count": entry_count,
+                "hash_y": y,
+                "fixed_measured": round(averaged["fixed"].mean, 1),
+                "hash_measured": round(averaged["hash"].mean, 1),
+                "fixed_expected": round(
+                    expected_update_cost_fixed(
+                        config.x, entry_count, config.server_count
+                    )
+                    * updates,
+                    1,
+                ),
+                "hash_expected": round(expected_update_cost_hash(y) * updates, 1),
+            }
+        )
+    return result

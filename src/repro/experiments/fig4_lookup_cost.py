@@ -1,0 +1,102 @@
+"""Figure 4: lookup cost vs target answer size at a fixed storage budget.
+
+Paper setup: 100 entries, 10 servers, a 200-entry storage budget
+(hence Fixed-20, RandomServer-20, Round-2, Hash-2), target answer
+sizes 10..50; 5000 runs of 5000 lookups per data point.  Fixed-20 is
+omitted from the figure because it cannot answer targets above 20; we
+include it as a column with its failure rate so the omission is
+visible in the data.
+
+Expected shape: Round-2 is a step curve (+1 server per 20 of target),
+RandomServer-20 tracks it from above (overlapping subsets waste
+contacts), Hash-2 is above 1 even for small targets but can beat the
+others just past multiples of 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.formulas import solve_x_from_budget, solve_y_from_budget
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.experiments.runner import ExperimentResult, average_runs_multi
+from repro.metrics.lookup_cost import estimate_lookup_cost
+from repro.strategies.fixed import FixedX
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """Paper parameters, with scaled-down default run counts."""
+
+    entry_count: int = 100
+    server_count: int = 10
+    storage_budget: int = 200
+    targets: Tuple[int, ...] = (10, 15, 20, 25, 30, 35, 40, 45, 50)
+    #: Placements per data point (paper: 5000).
+    runs: int = 30
+    #: Lookups per placement (paper: 5000).
+    lookups_per_run: int = 200
+    seed: int = 4
+
+
+def _strategies(config: Fig4Config, cluster: Cluster):
+    x = solve_x_from_budget(config.storage_budget, config.server_count)
+    y = solve_y_from_budget(config.storage_budget, config.entry_count)
+    return {
+        f"round_robin_{y}": RoundRobinY(cluster, y=y, key="rr"),
+        f"random_server_{x}": RandomServerX(cluster, x=x, key="rs"),
+        f"hash_{y}": HashY(cluster, y=y, key="h"),
+        f"fixed_{x}": FixedX(cluster, x=x, key="f"),
+    }
+
+
+def measure_point(config: Fig4Config, target: int, seed: int) -> Dict[str, float]:
+    """One run: place each strategy fresh, average lookup cost at ``target``.
+
+    All four strategies share one cluster (under different keys) so
+    they see the same seeds, pairing the comparison.
+    """
+    cluster = Cluster(config.server_count, seed=seed)
+    entries = make_entries(config.entry_count)
+    samples: Dict[str, float] = {}
+    for label, strategy in _strategies(config, cluster).items():
+        strategy.place(entries)
+        estimate = estimate_lookup_cost(strategy, target, config.lookups_per_run)
+        samples[label] = estimate.mean_cost
+        samples[label + "_fail"] = estimate.failure_rate
+    return samples
+
+
+def run(config: Fig4Config = Fig4Config()) -> ExperimentResult:
+    """Regenerate Figure 4's series (plus Fixed-x's failure column)."""
+    x = solve_x_from_budget(config.storage_budget, config.server_count)
+    y = solve_y_from_budget(config.storage_budget, config.entry_count)
+    labels = [f"round_robin_{y}", f"random_server_{x}", f"hash_{y}", f"fixed_{x}"]
+    result = ExperimentResult(
+        name="Figure 4: lookup cost vs target answer size",
+        headers=["target"] + labels + [f"fixed_{x}_fail"],
+        meta={
+            "h": config.entry_count,
+            "n": config.server_count,
+            "budget": config.storage_budget,
+            "runs": config.runs,
+            "lookups_per_run": config.lookups_per_run,
+        },
+    )
+    for target in config.targets:
+        averaged = average_runs_multi(
+            lambda seed: measure_point(config, target, seed),
+            master_seed=config.seed + target,
+            runs=config.runs,
+        )
+        row: Dict[str, object] = {"target": target}
+        for label in labels:
+            row[label] = round(averaged[label].mean, 3)
+        row[f"fixed_{x}_fail"] = round(averaged[f"fixed_{x}_fail"].mean, 3)
+        result.rows.append(row)
+    return result

@@ -1,0 +1,102 @@
+"""Figure 6: maximum coverage vs total storage budget.
+
+Paper setup: 100 entries, 10 servers, total storage swept 10..200.
+Expected shape: Round-y and Hash-y cover ``min(budget, h)`` (they keep
+a subset when underfunded, everything once the budget affords one copy
+each); Fixed-x covers exactly ``x = budget/n``; RandomServer-x covers
+``h·(1 − (1 − x/h)^n)`` in expectation — proportional at first, then
+saturating like an inverted exponential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.formulas import (
+    expected_coverage_random_server,
+    solve_x_from_budget,
+    solve_y_from_budget,
+)
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.experiments.runner import ExperimentResult, average_runs
+from repro.strategies.fixed import FixedX
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+
+@dataclass(frozen=True)
+class Fig6Config:
+    entry_count: int = 100
+    server_count: int = 10
+    budgets: Tuple[int, ...] = (10, 20, 40, 60, 80, 100, 120, 140, 160, 180, 200)
+    #: Runs per point for the stochastic schemes (paper averages 5000).
+    runs: int = 30
+    seed: int = 6
+
+
+def _coverage(strategy_factory, config: Fig6Config, seed: int) -> float:
+    cluster = Cluster(config.server_count, seed=seed)
+    strategy = strategy_factory(cluster)
+    strategy.place(make_entries(config.entry_count))
+    return float(strategy.coverage())
+
+
+def measure_budget(config: Fig6Config, budget: int) -> Dict[str, float]:
+    """Average coverage of each scheme at one storage budget."""
+    h, n = config.entry_count, config.server_count
+    x = solve_x_from_budget(budget, n)
+    factories = {
+        "fixed": lambda c: FixedX(c, x=x),
+        "random_server": lambda c: RandomServerX(c, x=x),
+        "round_robin": lambda c: RoundRobinY.from_budget(c, budget, h),
+        "hash": lambda c: HashY.from_budget(c, budget, h),
+    }
+    point: Dict[str, float] = {}
+    for name, factory in factories.items():
+        runs = 1 if name in ("fixed", "round_robin") else config.runs
+        averaged = average_runs(
+            lambda seed: _coverage(factory, config, seed),
+            master_seed=config.seed + budget,
+            runs=runs,
+        )
+        point[name] = averaged.mean
+    point["random_server_expected"] = expected_coverage_random_server(h, n, x)
+    return point
+
+
+def run(config: Fig6Config = Fig6Config()) -> ExperimentResult:
+    """Regenerate Figure 6's coverage-vs-storage series."""
+    result = ExperimentResult(
+        name="Figure 6: coverage vs total storage",
+        headers=[
+            "budget",
+            "round_robin",
+            "hash",
+            "fixed",
+            "random_server",
+            "random_server_expected",
+        ],
+        meta={
+            "h": config.entry_count,
+            "n": config.server_count,
+            "runs": config.runs,
+        },
+    )
+    for budget in config.budgets:
+        point = measure_budget(config, budget)
+        result.rows.append(
+            {
+                "budget": budget,
+                "round_robin": round(point["round_robin"], 2),
+                "hash": round(point["hash"], 2),
+                "fixed": round(point["fixed"], 2),
+                "random_server": round(point["random_server"], 2),
+                "random_server_expected": round(
+                    point["random_server_expected"], 2
+                ),
+            }
+        )
+    return result

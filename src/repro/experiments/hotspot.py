@@ -1,0 +1,116 @@
+"""Hot-spot experiment: popular-key load under each lookup architecture.
+
+Not a numbered figure — this measures the claim the paper's
+introduction and conclusion make qualitatively: with traditional
+hashing (key partitioning, Figure 1 center) a popular key overloads
+its single owner server, while every partial lookup scheme spreads the
+same traffic across all ``n`` servers; and when the hot key's owner
+fails, partitioning loses the key entirely while partial lookups
+continue.
+
+Output: one row per architecture with the busiest server's share of
+the lookup traffic (1.0 = perfect hot spot, 1/n = perfectly spread)
+and whether the key survives its busiest server failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.baselines.key_partitioning import KeyPartitioning
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.experiments.runner import ExperimentResult, average_runs_multi
+from repro.metrics.load import measure_lookup_load
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+
+@dataclass(frozen=True)
+class HotspotConfig:
+    entry_count: int = 100
+    server_count: int = 10
+    #: The popular key's lookup burst per run.
+    lookups: int = 2000
+    target: int = 5
+    storage_budget: int = 200
+    runs: int = 5
+    seed: int = 1
+
+
+def _architectures(config: HotspotConfig, cluster: Cluster):
+    x = max(1, config.storage_budget // config.server_count)
+    y = max(1, config.storage_budget // config.entry_count)
+    return {
+        "key_partitioning": KeyPartitioning(cluster, key="kp"),
+        "full_replication": FullReplication(cluster, key="fr"),
+        "fixed": FixedX(cluster, x=x, key="f"),
+        "random_server": RandomServerX(cluster, x=x, key="rs"),
+        "round_robin": RoundRobinY(cluster, y=y, key="rr"),
+        "hash": HashY(cluster, y=y, key="h"),
+    }
+
+
+def measure_point(config: HotspotConfig, seed: int) -> Dict[str, float]:
+    """One run: burst the popular key, record peak share + survival."""
+    cluster = Cluster(config.server_count, seed=seed)
+    entries = make_entries(config.entry_count)
+    samples: Dict[str, float] = {}
+    for label, strategy in _architectures(config, cluster).items():
+        strategy.place(entries)
+        profile = measure_lookup_load(strategy, config.target, config.lookups)
+        samples[f"{label}_peak_share"] = profile.peak_share
+        # Survival: fail the busiest server, can the key still answer?
+        busiest = max(
+            profile.requests_per_server, key=profile.requests_per_server.get
+        )
+        cluster.fail(busiest)
+        survived = strategy.partial_lookup(config.target).success
+        cluster.recover(busiest)
+        samples[f"{label}_survives"] = 1.0 if survived else 0.0
+    return samples
+
+
+def run(config: HotspotConfig = HotspotConfig()) -> ExperimentResult:
+    """Regenerate the hot-spot comparison table."""
+    labels = [
+        "key_partitioning",
+        "full_replication",
+        "fixed",
+        "random_server",
+        "round_robin",
+        "hash",
+    ]
+    averaged = average_runs_multi(
+        lambda seed: measure_point(config, seed),
+        master_seed=config.seed,
+        runs=config.runs,
+    )
+    result = ExperimentResult(
+        name="Hot spot: popular-key load by architecture",
+        headers=["architecture", "peak_share", "ideal_share",
+                 "survives_owner_failure"],
+        meta={
+            "h": config.entry_count,
+            "n": config.server_count,
+            "lookups": config.lookups,
+            "t": config.target,
+            "runs": config.runs,
+        },
+    )
+    for label in labels:
+        result.rows.append(
+            {
+                "architecture": label,
+                "peak_share": round(averaged[f"{label}_peak_share"].mean, 3),
+                "ideal_share": round(1 / config.server_count, 3),
+                "survives_owner_failure": round(
+                    averaged[f"{label}_survives"].mean, 2
+                ),
+            }
+        )
+    return result

@@ -1,0 +1,179 @@
+"""Plot experiment series as ASCII charts in the terminal.
+
+The paper's figures are line charts; a terminal reproduction should be
+able to *show* them, not just tabulate.  This module renders one or
+more named series on a shared pair of axes using only text, with
+automatic scaling, axis ticks, and a legend — no plotting dependency.
+
+Layout::
+
+    title
+    y_max |        B
+          |     B  A
+          |  A  A
+    y_min |A
+          +-----------
+           x0 ... x1
+    legend: A=<series1> B=<series2>
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+
+#: Series markers, assigned in order.
+_MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _nice_number(value: float) -> str:
+    """Format an axis tick compactly."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.3g}"
+    if abs(value) >= 1:
+        return f"{value:.4g}"
+    return f"{value:.3g}"
+
+
+def _scale(value: float, low: float, high: float, cells: int) -> int:
+    """Map ``value`` in [low, high] onto a cell index in [0, cells-1]."""
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(cells - 1, max(0, int(round(fraction * (cells - 1)))))
+
+
+def ascii_plot(
+    series: Dict[str, Dict[float, float]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render named series as a text scatter/line chart.
+
+    Parameters
+    ----------
+    series:
+        Curve name → {x: y}.  Curves may cover different x values.
+    width, height:
+        Plot-area size in character cells (excluding axes/labels).
+    log_y:
+        Plot log10(y); zero/negative points are clamped to the
+        smallest positive y present (used for Figure 12's log-scale
+        failure rates).
+    """
+    if not series or all(not curve for curve in series.values()):
+        raise InvalidParameterError("nothing to plot")
+    if width < 8 or height < 4:
+        raise InvalidParameterError("plot area too small")
+
+    points: List[Tuple[float, float, str]] = []
+    positive = [
+        y for curve in series.values() for y in curve.values() if y > 0
+    ]
+    floor = min(positive) if positive else 1.0
+    for marker, (name, curve) in zip(_MARKERS, series.items()):
+        for x, y in curve.items():
+            if log_y:
+                y = math.log10(max(y, floor))
+            points.append((float(x), float(y), marker))
+    if not points:
+        raise InvalidParameterError("nothing to plot")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_low == y_high:
+        y_low -= 0.5
+        y_high += 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        column = _scale(x, x_low, x_high, width)
+        row = height - 1 - _scale(y, y_low, y_high, height)
+        # Later series overwrite earlier ones on collision; that is the
+        # usual text-plot compromise and is fine at these densities.
+        grid[row][column] = marker
+
+    def y_tick(value: float) -> str:
+        if log_y:
+            return _nice_number(10**value)
+        return _nice_number(value)
+
+    label_width = max(len(y_tick(y_low)), len(y_tick(y_high))) + 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"[y: {y_label}{', log scale' if log_y else ''}]")
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = y_tick(y_high).rjust(label_width)
+        elif index == height - 1:
+            prefix = y_tick(y_low).rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = (
+        _nice_number(x_low)
+        + " " * max(1, width - len(_nice_number(x_low)) - len(_nice_number(x_high)))
+        + _nice_number(x_high)
+    )
+    lines.append(" " * (label_width + 2) + x_axis)
+    if x_label:
+        lines.append(" " * (label_width + 2) + f"[x: {x_label}]")
+    legend = "  ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def plot_experiment(
+    result,
+    x_header: Optional[str] = None,
+    series_headers: Optional[Sequence[str]] = None,
+    log_y: bool = False,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Plot an :class:`~repro.experiments.runner.ExperimentResult`.
+
+    By default the first column is the x axis and every other numeric
+    column is a series — which matches all the figure experiments'
+    row layouts.
+    """
+    if not result.rows:
+        raise InvalidParameterError(f"experiment {result.name!r} has no rows")
+    headers = result.headers
+    x_key = x_header if x_header is not None else headers[0]
+    candidates = series_headers or [h for h in headers if h != x_key]
+    series: Dict[str, Dict[float, float]] = {}
+    for header in candidates:
+        curve: Dict[float, float] = {}
+        for row in result.rows:
+            x_value = row.get(x_key)
+            y_value = row.get(header)
+            if isinstance(x_value, (int, float)) and isinstance(
+                y_value, (int, float)
+            ):
+                curve[float(x_value)] = float(y_value)
+        if curve:
+            series[header] = curve
+    return ascii_plot(
+        series,
+        title=result.name,
+        x_label=str(x_key),
+        log_y=log_y,
+        width=width,
+        height=height,
+    )

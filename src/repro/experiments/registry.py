@@ -1,0 +1,198 @@
+"""Registry of all paper experiments, for the CLI and run-all driver.
+
+Each entry binds an experiment id (the paper artifact it regenerates)
+to its config class and run function, with enough metadata to build a
+command line and a report automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.exceptions import InvalidParameterError
+from repro.experiments import (
+    availability,
+    diverse_clients,
+    sensitivity,
+    fig4_lookup_cost,
+    fig6_coverage,
+    fig7_fault_tolerance,
+    fig9_unfairness,
+    fig12_cushion,
+    fig13_dynamic_unfairness,
+    fig14_update_overhead,
+    hotspot,
+    table1_storage,
+    table2_summary,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable paper experiment."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    config_class: type
+    run: Callable[[Any], ExperimentResult]
+    #: Whether the first column is a numeric sweep (plottable).
+    plottable: bool = True
+    #: Plot failure-rate style data on a log axis.
+    log_y: bool = False
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in [
+        ExperimentSpec(
+            "table1",
+            "Table 1",
+            "storage cost: closed forms vs measured placements",
+            table1_storage.Table1Config,
+            table1_storage.run,
+            plottable=False,
+        ),
+        ExperimentSpec(
+            "fig4",
+            "Figure 4",
+            "client lookup cost vs target answer size at a fixed budget",
+            fig4_lookup_cost.Fig4Config,
+            fig4_lookup_cost.run,
+        ),
+        ExperimentSpec(
+            "fig6",
+            "Figure 6",
+            "maximum coverage vs total storage budget",
+            fig6_coverage.Fig6Config,
+            fig6_coverage.run,
+        ),
+        ExperimentSpec(
+            "fig7",
+            "Figure 7",
+            "worst-case fault tolerance vs target answer size",
+            fig7_fault_tolerance.Fig7Config,
+            fig7_fault_tolerance.run,
+        ),
+        ExperimentSpec(
+            "fig9",
+            "Figure 9",
+            "unfairness vs total storage (static placements)",
+            fig9_unfairness.Fig9Config,
+            fig9_unfairness.run,
+        ),
+        ExperimentSpec(
+            "fig12",
+            "Figure 12",
+            "Fixed-x lookup failure time vs cushion size",
+            fig12_cushion.Fig12Config,
+            fig12_cushion.run,
+            log_y=True,
+        ),
+        ExperimentSpec(
+            "fig13",
+            "Figure 13",
+            "RandomServer-x unfairness deterioration under churn",
+            fig13_dynamic_unfairness.Fig13Config,
+            fig13_dynamic_unfairness.run,
+        ),
+        ExperimentSpec(
+            "fig14",
+            "Figure 14",
+            "total update overhead: Fixed-x vs Hash-y",
+            fig14_update_overhead.Fig14Config,
+            fig14_update_overhead.run,
+        ),
+        ExperimentSpec(
+            "table2",
+            "Table 2",
+            "strategy/metric star summary, re-derived from measurements",
+            table2_summary.Table2Config,
+            table2_summary.run,
+            plottable=False,
+        ),
+        ExperimentSpec(
+            "hotspot",
+            "Figure 1 / conclusion",
+            "popular-key hot spot: partitioning vs partial lookup",
+            hotspot.HotspotConfig,
+            hotspot.run,
+            plottable=False,
+        ),
+        ExperimentSpec(
+            "availability",
+            "§4.4 companion",
+            "lookup failure rate under random server crash/repair",
+            availability.AvailabilityConfig,
+            availability.run,
+        ),
+        ExperimentSpec(
+            "diverse",
+            "§4.3 companion",
+            "mixed client populations: small targets + crawlers",
+            diverse_clients.DiverseClientsConfig,
+            diverse_clients.run,
+            plottable=False,
+        ),
+        ExperimentSpec(
+            "sensitivity",
+            "robustness check",
+            "do the §4.2/§4.4 orderings hold at other cluster sizes?",
+            sensitivity.SensitivityConfig,
+            sensitivity.run,
+            plottable=False,
+        ),
+    ]
+}
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment, with a helpful error for typos."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    """All experiments in paper order."""
+    return list(EXPERIMENTS.values())
+
+
+def build_config(spec: ExperimentSpec, overrides: Dict[str, Any]):
+    """Instantiate the spec's config with field overrides.
+
+    Override values are coerced to the dataclass field's type where
+    the field annotation is a simple builtin (int/float), so CLI
+    strings Just Work; tuple-of-int fields accept comma-separated
+    strings.
+    """
+    fields = {f.name: f for f in dataclasses.fields(spec.config_class)}
+    coerced: Dict[str, Any] = {}
+    for name, raw in overrides.items():
+        if name not in fields:
+            raise InvalidParameterError(
+                f"{spec.experiment_id} has no parameter {name!r}; "
+                f"available: {', '.join(sorted(fields))}"
+            )
+        default = fields[name].default
+        if isinstance(raw, str):
+            if isinstance(default, bool):
+                coerced[name] = raw.lower() in ("1", "true", "yes")
+            elif isinstance(default, int):
+                coerced[name] = int(raw)
+            elif isinstance(default, float):
+                coerced[name] = float(raw)
+            elif isinstance(default, tuple):
+                coerced[name] = tuple(int(part) for part in raw.split(","))
+            else:
+                coerced[name] = raw
+        else:
+            coerced[name] = raw
+    return spec.config_class(**coerced)

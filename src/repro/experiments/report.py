@@ -1,0 +1,72 @@
+"""Fixed-width text rendering of experiment results.
+
+The benchmarks and examples print the same rows/series the paper's
+tables and figures report; this module renders them legibly in a
+terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Dict[str, Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned fixed-width table.
+
+    >>> print(render_table(["a", "b"], [{"a": 1, "b": 2.5}]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    cells = [[_format_cell(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_series(
+    x_header: str,
+    series: Dict[str, Dict[Any, float]],
+    title: Optional[str] = None,
+) -> str:
+    """Render figure-style series as a table with one column per curve.
+
+    ``series`` maps curve name → {x value → y value}; x values are the
+    union across curves, sorted.
+    """
+    xs = sorted({x for curve in series.values() for x in curve})
+    headers = [x_header] + list(series)
+    rows = []
+    for x in xs:
+        row: Dict[str, Any] = {x_header: x}
+        for name, curve in series.items():
+            row[name] = curve.get(x, "")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_experiment(result) -> str:
+    """Render an :class:`~repro.experiments.runner.ExperimentResult`."""
+    meta = ", ".join(f"{k}={v}" for k, v in result.meta.items())
+    title = result.name if not meta else f"{result.name} ({meta})"
+    return render_table(result.headers, result.rows, title=title)

@@ -1,0 +1,151 @@
+"""Generate a self-contained markdown report of every experiment.
+
+``python -m repro report --out report.md`` runs the full suite at a
+chosen statistical scale and writes one document with a markdown table
+per paper artifact (plus the extension experiments), each preceded by
+the expected-shape notes — a shareable artifact of a reproduction run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import pathlib
+from typing import Any, Dict, List, Optional
+
+from repro.core.exceptions import InvalidParameterError
+from repro.experiments.plotting import plot_experiment
+from repro.experiments.registry import (
+    ExperimentSpec,
+    build_config,
+    list_experiments,
+)
+from repro.experiments.runner import ExperimentResult
+
+#: Per-scale config overrides applied wherever the field exists.
+SCALES: Dict[str, Dict[str, Any]] = {
+    "quick": {
+        "runs": 3,
+        "lookups_per_run": 150,
+        "lookups_per_instance": 500,
+        "updates_per_run": 1500,
+        "lookups": 400,
+        "churn_updates": 400,
+        "update_trace_length": 400,
+        "stochastic_runs": 10,
+    },
+    "default": {},
+    "thorough": {
+        "runs": 40,
+        "lookups_per_run": 1000,
+        "lookups_per_instance": 5000,
+        "updates_per_run": 10000,
+        "lookups": 4000,
+    },
+}
+
+_SHAPE_NOTES: Dict[str, str] = {
+    "table1": "Deterministic rows must equal the closed forms exactly; "
+    "the Hash-y row is an expectation over hash collisions.",
+    "fig4": "Round-2 steps by one server per 20 of target; "
+    "RandomServer-20 tracks it from above; Hash-2 pays >1 even for "
+    "small targets but dips below the others just past each step.",
+    "fig6": "Round/Hash cover min(budget, h); Fixed covers budget/n; "
+    "RandomServer follows the inverted exponential h·(1−(1−x/h)^n).",
+    "fig7": "Round-2 matches n − ⌈tn/h⌉ + y − 1; RandomServer-20 sits "
+    "at or above it; Hash-2 declines in an S-shape.",
+    "fig9": "RandomServer decays in two phases toward ~0; Hash rises "
+    "through phase 1 then drifts; Fixed-x is an order of magnitude "
+    "worse (closed-form column).",
+    "fig12": "Failure time >10% with no cushion, dropping roughly an "
+    "order of magnitude per early cushion entry; the Zipf tail keeps "
+    "a failure floor.",
+    "fig13": "Unfairness rises rapidly with churn and plateaus a "
+    "factor ~2 under Fixed-x's constant 2.0.",
+    "fig14": "Fixed's cost falls smoothly with h; Hash steps at its y "
+    "break points; the curves cross multiple times.",
+    "table2": "Stars are per-column ranks of measured values; they "
+    "satisfy every prose claim of the paper's summary.",
+    "hotspot": "Key partitioning funnels 100% of a popular key's load "
+    "to one server and loses the key with it; partial schemes spread "
+    "to ~1/n and survive.",
+    "availability": "Partial schemes drive lookup failures to zero as "
+    "server availability rises; partitioning tracks owner downtime; "
+    "Fixed-x's coverage cap fails targets above x permanently.",
+    "diverse": "Everyone serves the small-target majority in one "
+    "contact; only the complete-coverage schemes serve the crawlers.",
+}
+
+
+def _scaled_overrides(spec: ExperimentSpec, scale: str) -> Dict[str, Any]:
+    if scale not in SCALES:
+        raise InvalidParameterError(
+            f"unknown scale {scale!r}; available: {', '.join(sorted(SCALES))}"
+        )
+    valid = {f.name for f in dataclasses.fields(spec.config_class)}
+    return {k: v for k, v in SCALES[scale].items() if k in valid}
+
+
+def _markdown_table(result: ExperimentResult) -> str:
+    headers = result.headers
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in result.rows:
+        lines.append(
+            "| " + " | ".join(str(row.get(h, "")) for h in headers) + " |"
+        )
+    return "\n".join(lines)
+
+
+def generate_report(
+    scale: str = "quick",
+    include_plots: bool = False,
+    experiment_ids: Optional[List[str]] = None,
+) -> str:
+    """Run the experiments and return the markdown document."""
+    sections: List[str] = []
+    specs = [
+        spec
+        for spec in list_experiments()
+        if experiment_ids is None or spec.experiment_id in experiment_ids
+    ]
+    if not specs:
+        raise InvalidParameterError("no experiments selected")
+    for spec in specs:
+        config = build_config(spec, _scaled_overrides(spec, scale))
+        result = spec.run(config)
+        section = [f"## {spec.paper_artifact}: {spec.description}", ""]
+        note = _SHAPE_NOTES.get(spec.experiment_id)
+        if note:
+            section.append(f"*Expected shape:* {note}")
+            section.append("")
+        meta = ", ".join(f"{k}={v}" for k, v in result.meta.items())
+        if meta:
+            section.append(f"*Parameters:* {meta}")
+            section.append("")
+        section.append(_markdown_table(result))
+        if include_plots and spec.plottable:
+            section.append("")
+            section.append("```")
+            section.append(plot_experiment(result, log_y=spec.log_y))
+            section.append("```")
+        sections.append("\n".join(section))
+    header = (
+        "# Partial Lookup Services — reproduction report\n\n"
+        f"Scale: `{scale}`.  Generated by `python -m repro report`.\n"
+    )
+    return header + "\n\n" + "\n\n".join(sections) + "\n"
+
+
+def write_report(
+    path: pathlib.Path,
+    scale: str = "quick",
+    include_plots: bool = False,
+    experiment_ids: Optional[List[str]] = None,
+) -> pathlib.Path:
+    """Generate and write the report; returns the path."""
+    document = generate_report(scale, include_plots, experiment_ids)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(document)
+    return path

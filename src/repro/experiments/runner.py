@@ -1,0 +1,89 @@
+"""Shared experiment machinery: seeded repetition and run averaging.
+
+The paper averages each data point over many independent runs (5000 in
+most experiments), each run being a fresh placement and measurement
+with new randomness.  ``seeded_runs`` hands out derived seeds so runs
+are independent yet the whole experiment replays from one master seed;
+``average_runs`` aggregates with a confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Sequence
+
+from repro.analysis.confidence import ConfidenceInterval, mean_confidence_interval
+from repro.core.exceptions import InvalidParameterError
+from repro.simulation.rng import RngStreams
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment: labelled rows plus metadata.
+
+    ``rows`` is a list of dicts with identical keys — one per table
+    row or figure data point.  ``meta`` records the configuration that
+    produced them, so EXPERIMENTS.md entries are self-describing.
+    """
+
+    name: str
+    headers: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def column(self, header: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row[header] for row in self.rows]
+
+    def row_for(self, **match: Any) -> Dict[str, Any]:
+        """The first row whose fields equal ``match``; raises if absent."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match!r}")
+
+
+def seeded_runs(master_seed: int, runs: int) -> Iterator[int]:
+    """``runs`` independent derived seeds from one master seed."""
+    if runs < 1:
+        raise InvalidParameterError(f"runs must be >= 1, got {runs}")
+    streams = RngStreams(master_seed)
+    for index in range(runs):
+        yield streams.spawn(index).seed
+
+
+def average_runs(
+    run_once: Callable[[int], float],
+    master_seed: int,
+    runs: int,
+    level: float = 0.95,
+) -> ConfidenceInterval:
+    """Average ``run_once(seed)`` over independent seeded runs.
+
+    ``run_once`` receives a derived seed and returns one sample of the
+    quantity being measured; the result carries the mean and CI.
+    """
+    samples = [run_once(seed) for seed in seeded_runs(master_seed, runs)]
+    return mean_confidence_interval(samples, level=level)
+
+
+def average_runs_multi(
+    run_once: Callable[[int], Dict[str, float]],
+    master_seed: int,
+    runs: int,
+    level: float = 0.95,
+) -> Dict[str, ConfidenceInterval]:
+    """Like :func:`average_runs` for run functions returning many values.
+
+    Useful when one expensive run yields samples for several series at
+    once (e.g. Figure 4 measures every strategy on the same placement
+    seeds), keeping the series comparison paired.
+    """
+    collected: Dict[str, List[float]] = {}
+    for seed in seeded_runs(master_seed, runs):
+        for name, value in run_once(seed).items():
+            collected.setdefault(name, []).append(value)
+    return {
+        name: mean_confidence_interval(values, level=level)
+        for name, values in collected.items()
+    }

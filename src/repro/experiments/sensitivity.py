@@ -1,0 +1,119 @@
+"""Sensitivity analysis: do the paper's conclusions survive other n?
+
+Every evaluation in the paper fixes n = 10 servers.  A reproduction
+should check that the qualitative conclusions aren't artifacts of that
+choice: this experiment re-runs the core lookup-cost and
+fault-tolerance comparisons at several cluster sizes (with the storage
+budget scaled to keep two copies' worth of storage per entry, i.e.
+the same x·n = y·h = 2h regime) and reports whether each of the
+paper's orderings holds at each n.
+
+Checked claims, per n:
+
+- Round-Robin's lookup cost ≤ RandomServer's ≤ ~Hash's at the
+  mid-range target (§4.2's ordering at t just above one server's
+  holdings);
+- Round-Robin's fault tolerance equals its closed form;
+- RandomServer's fault tolerance ≥ Round-Robin's (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.formulas import fault_tolerance_round_robin
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.experiments.runner import ExperimentResult, average_runs_multi
+from repro.metrics.fault_tolerance import greedy_fault_tolerance
+from repro.metrics.lookup_cost import estimate_lookup_cost
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+
+@dataclass(frozen=True)
+class SensitivityConfig:
+    entry_count: int = 100
+    server_counts: Tuple[int, ...] = (5, 10, 20)
+    #: Target just above one server's holdings in the 2-copy regime.
+    #: Per-server entries = 2h/n, so t = 2h/n + h/10 scales with it.
+    runs: int = 10
+    lookups_per_run: int = 300
+    seed: int = 55
+
+
+def measure_point(config: SensitivityConfig, n: int, seed: int) -> Dict[str, float]:
+    h = config.entry_count
+    budget = 2 * h
+    x = max(1, budget // n)
+    y = 2
+    per_server = budget // n
+    target = min(h, per_server + max(1, per_server // 4))
+
+    cluster = Cluster(n, seed=seed)
+    schemes = {
+        "round_robin": RoundRobinY(cluster, y=y, key="rr"),
+        "random_server": RandomServerX(cluster, x=x, key="rs"),
+        "hash": HashY(cluster, y=y, key="h"),
+    }
+    entries = make_entries(h)
+    samples: Dict[str, float] = {"target": float(target)}
+    for label, strategy in schemes.items():
+        strategy.place(entries)
+        samples[f"{label}_cost"] = estimate_lookup_cost(
+            strategy, target, config.lookups_per_run
+        ).mean_cost
+        samples[f"{label}_ft"] = float(greedy_fault_tolerance(strategy, target))
+    return samples
+
+
+def run(config: SensitivityConfig = SensitivityConfig()) -> ExperimentResult:
+    """Orderings per cluster size; ``holds_*`` columns are the verdicts."""
+    result = ExperimentResult(
+        name="Sensitivity: §4.2/§4.4 orderings across cluster sizes",
+        headers=[
+            "n",
+            "target",
+            "round_robin_cost",
+            "random_server_cost",
+            "hash_cost",
+            "round_robin_ft",
+            "random_server_ft",
+            "hash_ft",
+            "rr_ft_formula",
+            "holds_cost_order",
+            "holds_ft_order",
+        ],
+        meta={"h": config.entry_count, "budget": "2h", "runs": config.runs},
+    )
+    for n in config.server_counts:
+        averaged = average_runs_multi(
+            lambda seed: measure_point(config, n, seed),
+            master_seed=config.seed + n,
+            runs=config.runs,
+        )
+        target = int(averaged["target"].mean)
+        rr_cost = averaged["round_robin_cost"].mean
+        rs_cost = averaged["random_server_cost"].mean
+        hash_cost = averaged["hash_cost"].mean
+        rr_ft = averaged["round_robin_ft"].mean
+        rs_ft = averaged["random_server_ft"].mean
+        formula = fault_tolerance_round_robin(target, config.entry_count, n, 2)
+        result.rows.append(
+            {
+                "n": n,
+                "target": target,
+                "round_robin_cost": round(rr_cost, 3),
+                "random_server_cost": round(rs_cost, 3),
+                "hash_cost": round(hash_cost, 3),
+                "round_robin_ft": round(rr_ft, 2),
+                "random_server_ft": round(rs_ft, 2),
+                "hash_ft": round(averaged["hash_ft"].mean, 2),
+                "rr_ft_formula": formula,
+                "holds_cost_order": rr_cost <= rs_cost + 1e-9,
+                "holds_ft_order": rs_ft >= rr_ft - 0.25,
+            }
+        )
+    return result

@@ -1,0 +1,269 @@
+"""Conformance harness: measured behaviour vs every closed form.
+
+The paper states a dozen analytical facts (Table 1, the coverage and
+fault-tolerance formulas, the lookup-cost steps, the §6.4 cost model).
+``validate()`` sweeps a parameter grid, measures each fact against
+live placements, and reports pass/fail per check — a one-command
+answer to "is this reproduction still faithful after my change?".
+
+Exposed on the CLI as ``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis.crossover import (
+    expected_update_cost_fixed,
+    expected_update_cost_hash,
+)
+from repro.analysis.formulas import (
+    expected_coverage_random_server,
+    expected_storage,
+    fault_tolerance_round_robin,
+    lookup_cost_round_robin,
+)
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.fault_tolerance import greedy_fault_tolerance
+from repro.metrics.lookup_cost import estimate_lookup_cost
+from repro.strategies.registry import create_strategy
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Grid sizes; kept small enough for an interactive run."""
+
+    grid: Tuple[Tuple[int, int], ...] = ((50, 5), (100, 10), (200, 8))
+    stochastic_runs: int = 25
+    lookup_samples: int = 300
+    tolerance: float = 0.08
+    seed: int = 97
+
+
+@dataclass
+class _Check:
+    name: str
+    detail: str
+    passed: bool
+    worst_error: float
+
+
+def _relative_error(measured: float, expected: float) -> float:
+    if expected == 0:
+        return abs(measured)
+    return abs(measured - expected) / abs(expected)
+
+
+def _check_deterministic_storage(config: ValidationConfig) -> _Check:
+    """Table 1's exact rows must match measured storage exactly."""
+    worst = 0.0
+    for h, n in config.grid:
+        x = max(1, (2 * h) // n)
+        y = max(1, min(n, 2))
+        for name, params in (
+            ("full_replication", {}),
+            ("fixed", {"x": x}),
+            ("random_server", {"x": x}),
+            ("round_robin", {"y": y}),
+        ):
+            strategy = create_strategy(name, Cluster(n, seed=config.seed), **params)
+            strategy.place(make_entries(h))
+            expected = expected_storage(name, h, n, x=x, y=y)
+            worst = max(worst, _relative_error(strategy.storage_cost(), expected))
+    return _Check(
+        "table1_deterministic",
+        "exact storage = closed form (full/fixed/random_server/round)",
+        worst == 0.0,
+        worst,
+    )
+
+
+def _check_hash_storage(config: ValidationConfig) -> _Check:
+    """Hash-y's expected storage within tolerance over runs."""
+    worst = 0.0
+    for h, n in config.grid:
+        y = 2
+        total = 0
+        for run_index in range(config.stochastic_runs):
+            strategy = create_strategy(
+                "hash", Cluster(n, seed=config.seed + run_index), y=y
+            )
+            strategy.place(make_entries(h))
+            total += strategy.storage_cost()
+        measured = total / config.stochastic_runs
+        expected = expected_storage("hash", h, n, y=y)
+        worst = max(worst, _relative_error(measured, expected))
+    return _Check(
+        "table1_hash_expected",
+        "E[hash storage] = h·n·(1−(1−1/n)^y)",
+        worst < config.tolerance,
+        worst,
+    )
+
+
+def _check_random_server_coverage(config: ValidationConfig) -> _Check:
+    worst = 0.0
+    for h, n in config.grid:
+        x = max(1, (2 * h) // n)
+        total = 0
+        for run_index in range(config.stochastic_runs):
+            strategy = create_strategy(
+                "random_server", Cluster(n, seed=config.seed + run_index), x=x
+            )
+            strategy.place(make_entries(h))
+            total += strategy.coverage()
+        measured = total / config.stochastic_runs
+        expected = expected_coverage_random_server(h, n, x)
+        worst = max(worst, _relative_error(measured, expected))
+    return _Check(
+        "coverage_random_server",
+        "E[coverage] = h·(1−(1−x/h)^n)",
+        worst < config.tolerance,
+        worst,
+    )
+
+
+def _check_round_robin_lookup_steps(config: ValidationConfig) -> _Check:
+    worst = 0.0
+    for h, n in config.grid:
+        y = max(1, min(n, 2))
+        strategy = create_strategy(
+            "round_robin", Cluster(n, seed=config.seed), y=y
+        )
+        strategy.place(make_entries(h))
+        per_server = y * h / n
+        for target in (
+            max(1, int(per_server) - 1),
+            max(1, int(per_server)),
+            min(h, int(per_server) + 1),
+        ):
+            measured = estimate_lookup_cost(
+                strategy, target, config.lookup_samples
+            ).mean_cost
+            expected = lookup_cost_round_robin(target, h, n, y)
+            worst = max(worst, _relative_error(measured, expected))
+    return _Check(
+        "lookup_round_robin",
+        "lookup cost = ⌈t·n/(y·h)⌉ around the step",
+        worst < config.tolerance,
+        worst,
+    )
+
+
+def _check_round_robin_fault_tolerance(config: ValidationConfig) -> _Check:
+    worst = 0.0
+    for h, n in config.grid:
+        y = max(1, min(n, 2))
+        strategy = create_strategy(
+            "round_robin", Cluster(n, seed=config.seed), y=y
+        )
+        strategy.place(make_entries(h))
+        for target in (max(1, h // 10), h // 2, h):
+            measured = greedy_fault_tolerance(strategy, target)
+            expected = fault_tolerance_round_robin(target, h, n, y)
+            worst = max(worst, abs(measured - expected))
+    return _Check(
+        "fault_tolerance_round_robin",
+        "greedy adversary = n − ⌈tn/h⌉ + y − 1",
+        worst == 0.0,
+        worst,
+    )
+
+
+def _check_update_cost_model(config: ValidationConfig) -> _Check:
+    """§6.4: per-update messages match the closed forms."""
+    worst = 0.0
+    h, n = 100, 10
+    # Fixed-x: drive deletes/adds and compare the long-run mean.
+    cluster = Cluster(n, seed=config.seed)
+    fixed = create_strategy("fixed", cluster, x=50)
+    entries = make_entries(h)
+    fixed.place(entries)
+    total = 0
+    operations = 0
+    for index, victim in enumerate(entries):
+        total += fixed.delete(victim).messages
+        total += fixed.add(Entry(f"r{index}")).messages
+        operations += 2
+    measured = total / operations
+    expected = expected_update_cost_fixed(50, h, n)
+    worst = max(worst, _relative_error(measured, expected))
+
+    hash_strategy = create_strategy("hash", Cluster(n, seed=config.seed), y=3)
+    hash_strategy.place(entries)
+    total = 0
+    for index, victim in enumerate(entries[:50]):
+        total += hash_strategy.delete(victim).messages
+    measured = total / 50
+    # Collisions only reduce the cost below 1 + y.
+    if measured > expected_update_cost_hash(3) + 1e-9:
+        worst = max(worst, 1.0)
+    return _Check(
+        "update_cost_model",
+        "fixed = 1 + (x/h)·n on average; hash <= 1 + y",
+        worst < config.tolerance,
+        worst,
+    )
+
+
+def _check_exact_instances(config: ValidationConfig) -> _Check:
+    """Enumeration agrees with Figure 8 and the closed forms."""
+    from repro.analysis.instances import (
+        enumerate_random_server_instances,
+        expected_coverage_exact,
+        strategy_unfairness_exact,
+    )
+
+    instances = enumerate_random_server_instances(2, 2, 1)
+    figure8 = strategy_unfairness_exact(instances, 2, 1)
+    worst = abs(figure8 - 0.5)
+    for h, n, x in ((3, 2, 1), (4, 2, 2)):
+        enumerated = enumerate_random_server_instances(h, n, x)
+        exact = expected_coverage_exact(enumerated, h)
+        closed = expected_coverage_random_server(h, n, x)
+        worst = max(worst, _relative_error(exact, closed))
+    return _Check(
+        "exact_instances",
+        "Figure 8 = 1/2; enumeration = closed-form coverage",
+        worst < 1e-9,
+        worst,
+    )
+
+
+_ALL_CHECKS: Tuple[Callable[[ValidationConfig], _Check], ...] = (
+    _check_deterministic_storage,
+    _check_hash_storage,
+    _check_random_server_coverage,
+    _check_round_robin_lookup_steps,
+    _check_round_robin_fault_tolerance,
+    _check_update_cost_model,
+    _check_exact_instances,
+)
+
+
+def run(config: ValidationConfig = ValidationConfig()) -> ExperimentResult:
+    """Run every conformance check; one row per check."""
+    result = ExperimentResult(
+        name="Validation: measured behaviour vs the paper's closed forms",
+        headers=["check", "status", "worst_error", "what"],
+        meta={"grid": list(config.grid), "runs": config.stochastic_runs},
+    )
+    for check in _ALL_CHECKS:
+        outcome = check(config)
+        result.rows.append(
+            {
+                "check": outcome.name,
+                "status": "PASS" if outcome.passed else "FAIL",
+                "worst_error": round(outcome.worst_error, 5),
+                "what": outcome.detail,
+            }
+        )
+    return result
+
+
+def all_passed(result: ExperimentResult) -> bool:
+    return all(row["status"] == "PASS" for row in result.rows)

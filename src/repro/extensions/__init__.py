@@ -1,0 +1,28 @@
+"""Implementations of the paper's Section 7 variations.
+
+§7.1 — clients with preferences: a per-client cost function over
+entries; lookups return the ``t`` best-cost entries the client can
+find.  §7.2 — servers with limited reachability: clients live on an
+overlay network and can only contact servers within ``d`` hops;
+placement must guarantee every client has a server nearby.
+"""
+
+from repro.extensions.preferences import (
+    PreferenceClient,
+    attribute_cost,
+    latency_bandwidth_cost,
+)
+from repro.extensions.reachability import (
+    OverlayNetwork,
+    ReachabilityPlacement,
+    ReachabilityReport,
+)
+
+__all__ = [
+    "PreferenceClient",
+    "attribute_cost",
+    "latency_bandwidth_cost",
+    "OverlayNetwork",
+    "ReachabilityPlacement",
+    "ReachabilityReport",
+]

@@ -1,0 +1,153 @@
+"""Servers with limited reachability (paper §7.2).
+
+The paper's second variation drops the "every client can reach every
+server" assumption: in an application-level overlay (Gnutella-style),
+a client only reaches nodes within ``d`` hops.  The problem becomes
+placing data so that every client has *some* server within its hop
+bound, and studying the tradeoff in ``d``: a small ``d`` keeps lookups
+cheap (flood radius) but forces data onto more servers, raising update
+costs.
+
+We model the overlay as a networkx graph whose nodes are clients and
+servers; :class:`ReachabilityPlacement` picks a minimal hop-``d``
+*dominating set* of server locations greedily, and
+:class:`ReachabilityReport` quantifies the d-vs-overhead tradeoff the
+paper proposes as "a more sophisticated study".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.exceptions import InvalidParameterError
+
+
+class OverlayNetwork:
+    """An application-level overlay of nodes with hop-count distances.
+
+    Wraps a networkx graph with the queries the placement needs:
+    hop-bounded neighbourhoods and coverage checks.  Node identifiers
+    are opaque hashables.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise InvalidParameterError("overlay needs at least one node")
+        self.graph = graph
+
+    @classmethod
+    def random(
+        cls,
+        nodes: int,
+        mean_degree: float = 4.0,
+        rng: Optional[random.Random] = None,
+    ) -> "OverlayNetwork":
+        """A connected Erdős–Rényi-ish overlay for experiments.
+
+        Draws G(n, p) with ``p = mean_degree/(n-1)`` and patches
+        connectivity by linking components along a random spine, so
+        hop distances are always finite.
+        """
+        if nodes < 1:
+            raise InvalidParameterError("nodes must be >= 1")
+        rng = rng or random.Random()
+        p = min(1.0, mean_degree / max(1, nodes - 1))
+        graph = nx.Graph()
+        graph.add_nodes_from(range(nodes))
+        for a in range(nodes):
+            for b in range(a + 1, nodes):
+                if rng.random() < p:
+                    graph.add_edge(a, b)
+        components = [sorted(c) for c in nx.connected_components(graph)]
+        for previous, current in zip(components, components[1:]):
+            graph.add_edge(rng.choice(previous), rng.choice(current))
+        return cls(graph)
+
+    def within_hops(self, node, hops: int) -> Set:
+        """All nodes within ``hops`` of ``node`` (including itself)."""
+        if hops < 0:
+            raise InvalidParameterError("hops must be >= 0")
+        return set(
+            nx.single_source_shortest_path_length(self.graph, node, cutoff=hops)
+        )
+
+    def nodes(self) -> List:
+        return list(self.graph.nodes)
+
+
+@dataclass(frozen=True)
+class ReachabilityReport:
+    """The d-vs-overhead tradeoff for one placement."""
+
+    hop_bound: int
+    server_nodes: FrozenSet
+    clients_covered: int
+    clients_total: int
+    #: Update cost proxy: an update must reach every server holding
+    #: data, so more server locations = pricier updates (§7.2).
+    update_fanout: int
+
+    @property
+    def fully_covered(self) -> bool:
+        return self.clients_covered == self.clients_total
+
+    @property
+    def coverage_fraction(self) -> float:
+        return self.clients_covered / self.clients_total if self.clients_total else 1.0
+
+
+class ReachabilityPlacement:
+    """Greedy hop-``d`` dominating-set placement of servers.
+
+    Chooses server locations so every client node has a server within
+    ``d`` hops, greedily picking the node covering the most
+    still-uncovered clients (the classic ln(n)-approximate set-cover
+    greedy — the same family of heuristic the paper uses for fault
+    tolerance).
+    """
+
+    def __init__(self, overlay: OverlayNetwork) -> None:
+        self.overlay = overlay
+
+    def place_servers(
+        self, hop_bound: int, candidates: Optional[Sequence] = None
+    ) -> ReachabilityReport:
+        """Pick server nodes covering every client within ``hop_bound``.
+
+        ``candidates`` restricts where servers may run (default: any
+        node).  Returns the report; coverage can be partial only if
+        the candidate set cannot reach some client at all.
+        """
+        if hop_bound < 0:
+            raise InvalidParameterError("hop_bound must be >= 0")
+        clients = set(self.overlay.nodes())
+        pool = list(candidates) if candidates is not None else list(clients)
+        reach: Dict[object, Set] = {
+            node: self.overlay.within_hops(node, hop_bound) for node in pool
+        }
+        uncovered = set(clients)
+        chosen: Set = set()
+        while uncovered:
+            best = max(pool, key=lambda node: len(reach[node] & uncovered))
+            gain = reach[best] & uncovered
+            if not gain:
+                break  # remaining clients unreachable from any candidate
+            chosen.add(best)
+            uncovered -= gain
+        return ReachabilityReport(
+            hop_bound=hop_bound,
+            server_nodes=frozenset(chosen),
+            clients_covered=len(clients) - len(uncovered),
+            clients_total=len(clients),
+            update_fanout=len(chosen),
+        )
+
+    def tradeoff_curve(
+        self, hop_bounds: Sequence[int]
+    ) -> List[ReachabilityReport]:
+        """The §7.2 tradeoff: smaller ``d`` → more servers → costlier updates."""
+        return [self.place_servers(d) for d in hop_bounds]

@@ -1,0 +1,5 @@
+"""Hash-function families used by the Hash-y strategy."""
+
+from repro.hashing.families import HashFamily, HashFunction, fnv1a_64
+
+__all__ = ["HashFamily", "HashFunction", "fnv1a_64"]

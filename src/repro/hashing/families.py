@@ -1,0 +1,117 @@
+"""Universal hash functions mapping entries to servers.
+
+Hash-y (Section 3.5) needs ``y`` hash functions ``f_1 .. f_y`` that map
+an entry to a server id, drawn so that different functions behave
+independently.  We use the classic Carter–Wegman construction
+``f(v) = ((a * H(v) + b) mod p) mod n`` over a 64-bit prime field,
+seeded so experiments replay deterministically.
+
+``H`` is FNV-1a on the entry identifier rather than Python's built-in
+``hash`` because the latter is salted per process for strings, which
+would make placements unreproducible across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError
+
+#: A 64-bit Mersenne-adjacent prime (2^61 - 1), comfortably larger than
+#: any FNV output we reduce modulo it and itself prime, as the
+#: Carter-Wegman construction requires.
+_PRIME = (1 << 61) - 1
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(data: Union[str, bytes]) -> int:
+    """64-bit FNV-1a hash of ``data``; deterministic across processes."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class HashFunction:
+    """One member ``f(v) = ((a·H(v) + b) mod p) mod n`` of the family."""
+
+    __slots__ = ("_a", "_b", "_buckets")
+
+    def __init__(self, a: int, b: int, buckets: int) -> None:
+        if buckets < 1:
+            raise InvalidParameterError(f"buckets must be >= 1, got {buckets}")
+        if not 1 <= a < _PRIME:
+            raise InvalidParameterError("coefficient a must be in [1, p)")
+        if not 0 <= b < _PRIME:
+            raise InvalidParameterError("coefficient b must be in [0, p)")
+        self._a = a
+        self._b = b
+        self._buckets = buckets
+
+    def __call__(self, entry: Union[Entry, str]) -> int:
+        key = entry.entry_id if isinstance(entry, Entry) else str(entry)
+        digest = fnv1a_64(key) % _PRIME
+        return ((self._a * digest + self._b) % _PRIME) % self._buckets
+
+    @property
+    def buckets(self) -> int:
+        return self._buckets
+
+
+class HashFamily:
+    """A seeded family of independent entry → server hash functions.
+
+    Parameters
+    ----------
+    count:
+        Number of functions ``y``.
+    buckets:
+        Number of servers ``n``.
+    seed:
+        Seed for drawing the Carter-Wegman coefficients; the same seed
+        yields the same functions, making Hash-y placements replayable.
+    """
+
+    def __init__(self, count: int, buckets: int, seed: Optional[int] = None) -> None:
+        if count < 1:
+            raise InvalidParameterError(f"family size must be >= 1, got {count}")
+        rng = random.Random(seed)
+        self._functions = [
+            HashFunction(rng.randrange(1, _PRIME), rng.randrange(_PRIME), buckets)
+            for _ in range(count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __iter__(self):
+        return iter(self._functions)
+
+    def __getitem__(self, index: int) -> HashFunction:
+        return self._functions[index]
+
+    def assign(self, entry: Union[Entry, str]) -> List[int]:
+        """Server ids for ``entry`` under every function, duplicates kept.
+
+        Hash-y stores an entry once per *distinct* server in this list;
+        collisions between functions are exactly why Hash-y's expected
+        storage is ``h·n·(1 − (1 − 1/n)^y)`` rather than ``h·y``
+        (Table 1), so callers that need distinct targets should
+        deduplicate with :meth:`assign_distinct`.
+        """
+        return [f(entry) for f in self._functions]
+
+    def assign_distinct(self, entry: Union[Entry, str]) -> List[int]:
+        """Distinct server ids for ``entry``, in first-seen order."""
+        seen: List[int] = []
+        for server_id in self.assign(entry):
+            if server_id not in seen:
+                seen.append(server_id)
+        return seen

@@ -1,0 +1,22 @@
+"""Persistence: experiment results and workload traces on disk.
+
+Lets experiments be re-analyzed without re-running and workload traces
+be shared between processes/machines — the paper's own methodology
+("create update events with timestamps in advance and replay") applied
+across process boundaries.
+"""
+
+from repro.io.results import (
+    load_result,
+    result_to_csv,
+    save_result,
+)
+from repro.io.traces import load_trace, save_trace
+
+__all__ = [
+    "save_result",
+    "load_result",
+    "result_to_csv",
+    "save_trace",
+    "load_trace",
+]

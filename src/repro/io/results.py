@@ -1,0 +1,71 @@
+"""Save and load experiment results (JSON and CSV).
+
+The JSON form round-trips the full :class:`ExperimentResult` (name,
+headers, rows, meta); the CSV form exports just the rows for
+spreadsheet/pandas analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Union
+
+from repro.core.exceptions import InvalidParameterError
+from repro.experiments.runner import ExperimentResult
+
+PathLike = Union[str, pathlib.Path]
+
+#: Format version stamped into saved files, so future readers can
+#: detect and migrate old layouts.
+FORMAT_VERSION = 1
+
+
+def save_result(result: ExperimentResult, path: PathLike) -> pathlib.Path:
+    """Write ``result`` as JSON; parent directories are created."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "name": result.name,
+        "headers": result.headers,
+        "rows": result.rows,
+        "meta": result.meta,
+    }
+    target.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return target
+
+
+def load_result(path: PathLike) -> ExperimentResult:
+    """Read a result saved by :func:`save_result`."""
+    source = pathlib.Path(path)
+    payload = json.loads(source.read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"{source} has format version {version!r}; "
+            f"this reader supports {FORMAT_VERSION}"
+        )
+    return ExperimentResult(
+        name=payload["name"],
+        headers=list(payload["headers"]),
+        rows=list(payload["rows"]),
+        meta=dict(payload.get("meta", {})),
+    )
+
+
+def result_to_csv(result: ExperimentResult, path: PathLike = None) -> str:
+    """Render rows as CSV; optionally also write them to ``path``."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=result.headers, lineterminator="\n")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({h: row.get(h, "") for h in result.headers})
+    text = buffer.getvalue()
+    if path is not None:
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+    return text

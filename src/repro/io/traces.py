@@ -1,0 +1,117 @@
+"""Record and replay workload traces as JSON-lines files.
+
+A saved trace captures the §6.1 methodology exactly: the initial
+placement batch plus every timestamped add/delete/lookup event.  Traces
+saved on one machine replay bit-identically anywhere, which makes
+cross-implementation comparisons and bug reports reproducible.
+
+File layout: one JSON object per line.  The first line is a header
+(format version + initial entries); each further line is one event.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Union
+
+from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError
+from repro.simulation.events import (
+    AddEvent,
+    DeleteEvent,
+    Event,
+    FailureEvent,
+    LookupEvent,
+    RecoveryEvent,
+)
+from repro.workload.generator import WorkloadTrace
+
+PathLike = Union[str, pathlib.Path]
+
+FORMAT_VERSION = 1
+
+_EVENT_KINDS = {
+    "add": AddEvent,
+    "delete": DeleteEvent,
+    "lookup": LookupEvent,
+    "failure": FailureEvent,
+    "recovery": RecoveryEvent,
+}
+
+
+def _event_to_record(event: Event) -> dict:
+    if isinstance(event, AddEvent):
+        return {"kind": "add", "time": event.time, "entry": event.entry.entry_id}
+    if isinstance(event, DeleteEvent):
+        return {
+            "kind": "delete",
+            "time": event.time,
+            "entry": event.entry.entry_id,
+        }
+    if isinstance(event, LookupEvent):
+        return {"kind": "lookup", "time": event.time, "target": event.target}
+    if isinstance(event, FailureEvent):
+        return {"kind": "failure", "time": event.time, "server": event.server_id}
+    if isinstance(event, RecoveryEvent):
+        return {"kind": "recovery", "time": event.time, "server": event.server_id}
+    raise InvalidParameterError(
+        f"cannot serialize event type {type(event).__name__}"
+    )
+
+
+def _record_to_event(record: dict) -> Event:
+    kind = record.get("kind")
+    time = record.get("time")
+    if kind == "add":
+        return AddEvent(time, Entry(record["entry"]))
+    if kind == "delete":
+        return DeleteEvent(time, Entry(record["entry"]))
+    if kind == "lookup":
+        return LookupEvent(time, target=record["target"])
+    if kind == "failure":
+        return FailureEvent(time, server_id=record["server"])
+    if kind == "recovery":
+        return RecoveryEvent(time, server_id=record["server"])
+    raise InvalidParameterError(f"unknown event kind {kind!r} in trace")
+
+
+def save_trace(trace: WorkloadTrace, path: PathLike) -> pathlib.Path:
+    """Write a trace as JSON lines; parent directories are created."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(
+            {
+                "format_version": FORMAT_VERSION,
+                "initial_entries": [e.entry_id for e in trace.initial_entries],
+                "events": len(trace.events),
+            }
+        )
+    ]
+    lines.extend(json.dumps(_event_to_record(event)) for event in trace.events)
+    target.write_text("\n".join(lines) + "\n")
+    return target
+
+
+def load_trace(path: PathLike) -> WorkloadTrace:
+    """Read a trace saved by :func:`save_trace`."""
+    source = pathlib.Path(path)
+    lines = source.read_text().splitlines()
+    if not lines:
+        raise InvalidParameterError(f"{source} is empty")
+    header = json.loads(lines[0])
+    version = header.get("format_version")
+    if version != FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"{source} has format version {version!r}; "
+            f"this reader supports {FORMAT_VERSION}"
+        )
+    initial = tuple(Entry(entry_id) for entry_id in header["initial_entries"])
+    events = tuple(_record_to_event(json.loads(line)) for line in lines[1:])
+    declared = header.get("events")
+    if declared is not None and declared != len(events):
+        raise InvalidParameterError(
+            f"{source} declares {declared} events but contains {len(events)}"
+        )
+    return WorkloadTrace(initial_entries=initial, events=events)

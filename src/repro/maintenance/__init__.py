@@ -1,0 +1,28 @@
+"""Placement verification and repair.
+
+The paper's protocols assume updates reach every relevant server;
+servers that miss updates while failed are never reconciled ("quickly
+repaired as new add events arrive" is the paper's only nod at repair,
+§6.2).  This package provides the missing operational tooling:
+
+- :func:`verify_placement` checks a live placement against its
+  scheme's structural invariants and reports violations;
+- :func:`repair` restores the invariants, either naively (re-place the
+  surviving coverage) or with targeted per-scheme fix-ups where the
+  scheme's structure pinpoints what is wrong (Hash-y).
+"""
+
+from repro.maintenance.verify import (
+    PlacementViolation,
+    verify_directory,
+    verify_placement,
+)
+from repro.maintenance.repair import RepairReport, repair
+
+__all__ = [
+    "PlacementViolation",
+    "verify_placement",
+    "verify_directory",
+    "RepairReport",
+    "repair",
+]

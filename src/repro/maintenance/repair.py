@@ -1,0 +1,118 @@
+"""Placement repair: restore scheme invariants after failures.
+
+Two repair modes:
+
+- **naive**: collect the surviving coverage (union of all stores,
+  including recovered-but-stale servers) and re-run ``place`` over it.
+  Universally correct, costs a full placement.
+- **targeted** (Hash-y only): the hash functions pinpoint where every
+  entry *should* be, so repair sends exactly the missing copies and
+  removes exactly the misplaced ones — point-to-point, proportional to
+  the damage rather than to the key's size.
+
+Both return a :class:`RepairReport` with the message cost and the
+violation counts before/after, so the repair tradeoff is measurable
+(see ``benchmarks/test_bench_repair.py``).
+
+A note on deletes: repair cannot distinguish a stale copy of a
+*deleted* entry from a healthy copy that other servers happened to
+lose — the protocols keep no tombstones.  Naive repair therefore
+*resurrects* entries deleted while their holder was down.  That is the
+honest consequence of the paper's no-tombstone design, and the tests
+pin it down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.messages import RemoveMessage, StoreMessage
+from repro.core.entry import Entry
+from repro.strategies.base import PlacementStrategy
+from repro.strategies.hashing import HashY
+from repro.maintenance.verify import verify_placement
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What a repair did and what it cost."""
+
+    mode: str
+    violations_before: int
+    violations_after: int
+    messages: int
+
+    @property
+    def clean(self) -> bool:
+        return self.violations_after == 0
+
+
+def _naive_repair(strategy: PlacementStrategy) -> RepairReport:
+    before = len(verify_placement(strategy))
+    coverage = sorted(
+        strategy.cluster.coverage_set(strategy.key, alive_only=False),
+        key=lambda entry: entry.entry_id,
+    )
+    stats = strategy.cluster.network.stats
+    messages_before = stats.total
+    strategy.place(coverage)
+    messages = stats.total - messages_before
+    after = len(verify_placement(strategy))
+    return RepairReport(
+        mode="naive",
+        violations_before=before,
+        violations_after=after,
+        messages=messages,
+    )
+
+
+def _targeted_hash_repair(strategy: HashY) -> RepairReport:
+    """Fix exactly the misplaced/missing copies, point-to-point."""
+    before = len(verify_placement(strategy))
+    network = strategy.cluster.network
+    messages_before = network.stats.total
+    placement = strategy.placement()
+    entries = set()
+    for stored in placement.values():
+        entries.update(stored)
+    for entry in sorted(entries, key=lambda e: e.entry_id):
+        targets = set(strategy.family.assign_distinct(entry))
+        holders = {
+            sid for sid, stored in placement.items() if entry in stored
+        }
+        for server_id in sorted(targets - holders):
+            network.send(server_id, strategy.key, StoreMessage(entry))
+        for server_id in sorted(holders - targets):
+            network.send(server_id, strategy.key, RemoveMessage(entry))
+    messages = network.stats.total - messages_before
+    after = len(verify_placement(strategy))
+    return RepairReport(
+        mode="targeted",
+        violations_before=before,
+        violations_after=after,
+        messages=messages,
+    )
+
+
+def repair(strategy: PlacementStrategy, mode: str = "auto") -> RepairReport:
+    """Restore ``strategy``'s placement invariants.
+
+    Parameters
+    ----------
+    strategy:
+        The strategy to repair.  All servers should be operational
+        (recover them first); repairing around still-failed servers
+        re-breaks as soon as they return.
+    mode:
+        ``"naive"``, ``"targeted"`` (Hash-y only), or ``"auto"`` —
+        targeted where available, naive otherwise.
+    """
+    if mode not in ("auto", "naive", "targeted"):
+        raise ValueError(f"unknown repair mode {mode!r}")
+    if mode == "targeted" and not isinstance(strategy, HashY):
+        raise ValueError("targeted repair is only defined for Hash-y")
+    if mode == "naive":
+        return _naive_repair(strategy)
+    if isinstance(strategy, HashY):
+        return _targeted_hash_repair(strategy)
+    return _naive_repair(strategy)

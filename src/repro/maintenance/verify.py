@@ -1,0 +1,193 @@
+"""Structural placement verification, per scheme.
+
+Each scheme defines invariants over where entries live; failures
+during updates can silently break them (stale copies, missing
+replicas, desynchronized Fixed-x stores).  ``verify_placement``
+inspects a live strategy and returns a violation list — empty means
+the placement is exactly what the scheme promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.baselines.key_partitioning import KeyPartitioning
+from repro.core.entry import Entry
+from repro.strategies.base import PlacementStrategy
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+
+@dataclass(frozen=True)
+class PlacementViolation:
+    """One broken invariant, with enough context to act on."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+def _verify_identical_stores(strategy) -> List[PlacementViolation]:
+    """Full replication and Fixed-x promise identical stores."""
+    violations: List[PlacementViolation] = []
+    placement = strategy.placement()
+    reference_id = min(placement)
+    reference = placement[reference_id]
+    for server_id, entries in placement.items():
+        if entries != reference:
+            missing = {e.entry_id for e in reference - entries}
+            extra = {e.entry_id for e in entries - reference}
+            violations.append(
+                PlacementViolation(
+                    "divergent_store",
+                    f"server {server_id} differs from server {reference_id}: "
+                    f"missing={sorted(missing)} extra={sorted(extra)}",
+                )
+            )
+    return violations
+
+
+def _verify_fixed(strategy: FixedX) -> List[PlacementViolation]:
+    violations = _verify_identical_stores(strategy)
+    for server_id, size in enumerate(strategy.cluster.store_sizes(strategy.key)):
+        if size > strategy.x:
+            violations.append(
+                PlacementViolation(
+                    "oversized_store",
+                    f"server {server_id} holds {size} > x={strategy.x}",
+                )
+            )
+    return violations
+
+
+def _verify_random_server(strategy: RandomServerX) -> List[PlacementViolation]:
+    violations: List[PlacementViolation] = []
+    for server_id, size in enumerate(strategy.cluster.store_sizes(strategy.key)):
+        if size > strategy.x:
+            violations.append(
+                PlacementViolation(
+                    "oversized_store",
+                    f"server {server_id} holds {size} > x={strategy.x}",
+                )
+            )
+    return violations
+
+
+def _verify_round_robin(strategy: RoundRobinY) -> List[PlacementViolation]:
+    violations: List[PlacementViolation] = []
+    n = strategy.cluster.size
+    y = strategy.y
+    placement = strategy.placement()
+    windows = [
+        sorted((start + offset) % n for offset in range(y)) for start in range(n)
+    ]
+    for entry, count in strategy.cluster.replica_counts(
+        strategy.key, alive_only=False
+    ).items():
+        holders = sorted(
+            sid for sid, entries in placement.items() if entry in entries
+        )
+        if count != y:
+            violations.append(
+                PlacementViolation(
+                    "replica_count",
+                    f"{entry.entry_id} has {count} copies, expected {y}",
+                )
+            )
+        elif holders not in windows:
+            violations.append(
+                PlacementViolation(
+                    "non_consecutive",
+                    f"{entry.entry_id} copies on {holders}, not consecutive",
+                )
+            )
+    return violations
+
+
+def _verify_hash(strategy: HashY) -> List[PlacementViolation]:
+    violations: List[PlacementViolation] = []
+    placement = strategy.placement()
+    seen = set()
+    for server_id, entries in placement.items():
+        for entry in entries:
+            seen.add(entry)
+            targets = set(strategy.family.assign_distinct(entry))
+            if server_id not in targets:
+                violations.append(
+                    PlacementViolation(
+                        "misplaced",
+                        f"{entry.entry_id} on server {server_id}, "
+                        f"targets are {sorted(targets)}",
+                    )
+                )
+    for entry in seen:
+        targets = set(strategy.family.assign_distinct(entry))
+        holders = {
+            sid for sid, entries in placement.items() if entry in entries
+        }
+        missing = targets - holders
+        if missing:
+            violations.append(
+                PlacementViolation(
+                    "missing_replica",
+                    f"{entry.entry_id} absent from targets {sorted(missing)}",
+                )
+            )
+    return violations
+
+
+def _verify_key_partitioning(
+    strategy: KeyPartitioning,
+) -> List[PlacementViolation]:
+    violations: List[PlacementViolation] = []
+    for server_id, entries in strategy.placement().items():
+        if server_id != strategy.owner_id and entries:
+            violations.append(
+                PlacementViolation(
+                    "misplaced",
+                    f"{len(entries)} entries on non-owner server {server_id}",
+                )
+            )
+    return violations
+
+
+def verify_directory(directory) -> dict:
+    """Verify every key of a :class:`PartialLookupDirectory`.
+
+    Returns ``{key: [violations]}`` including only keys with at least
+    one violation — an empty dict means the whole directory is sound.
+    """
+    report = {}
+    for key in directory.keys():
+        violations = verify_placement(directory.strategy(key))
+        if violations:
+            report[key] = violations
+    return report
+
+
+def verify_placement(strategy: PlacementStrategy) -> List[PlacementViolation]:
+    """Check ``strategy``'s current placement against its invariants.
+
+    Returns an empty list when the placement is exactly what the
+    scheme promises; failed servers' stores are included (their stale
+    contents are precisely what verification is for).
+    """
+    if isinstance(strategy, FixedX):
+        return _verify_fixed(strategy)
+    if isinstance(strategy, FullReplication):
+        return _verify_identical_stores(strategy)
+    if isinstance(strategy, RandomServerX):
+        return _verify_random_server(strategy)
+    if isinstance(strategy, RoundRobinY):
+        return _verify_round_robin(strategy)
+    if isinstance(strategy, HashY):
+        return _verify_hash(strategy)
+    if isinstance(strategy, KeyPartitioning):
+        return _verify_key_partitioning(strategy)
+    raise TypeError(f"no verifier for {type(strategy).__name__}")

@@ -1,0 +1,71 @@
+"""The paper's five evaluation metrics (Section 4).
+
+Two overhead metrics — storage cost (§4.1) and client lookup cost
+(§4.2) — and three answer-quality metrics — maximum coverage (§4.3),
+worst-case fault tolerance (§4.4, via the Appendix A greedy heuristic),
+and unfairness (§4.5, the coefficient of variation of per-entry
+retrieval probability).
+"""
+
+from repro.metrics.storage import (
+    measured_storage_cost,
+    storage_by_server,
+    storage_imbalance,
+)
+from repro.metrics.lookup_cost import (
+    LookupCostEstimate,
+    estimate_lookup_cost,
+)
+from repro.metrics.coverage import coverage_size, covered_entries, uncovered_entries
+from repro.metrics.fault_tolerance import (
+    exact_fault_tolerance,
+    greedy_fault_tolerance,
+    server_importance,
+)
+from repro.metrics.unfairness import (
+    UnfairnessEstimate,
+    estimate_unfairness,
+    exact_unfairness_uniform_subset,
+    instance_unfairness,
+    retrieval_probabilities,
+)
+from repro.metrics.collector import MetricsCollector, MetricsSnapshot
+from repro.metrics.latency import LatencyEstimate, estimate_lookup_latency
+from repro.metrics.load import LoadProfile, measure_lookup_load
+from repro.metrics.timeseries import (
+    TimeSeries,
+    TimeSeriesProbe,
+    coverage_metric,
+    min_store_metric,
+    storage_metric,
+)
+
+__all__ = [
+    "measured_storage_cost",
+    "storage_by_server",
+    "storage_imbalance",
+    "exact_unfairness_uniform_subset",
+    "LookupCostEstimate",
+    "estimate_lookup_cost",
+    "coverage_size",
+    "covered_entries",
+    "uncovered_entries",
+    "greedy_fault_tolerance",
+    "exact_fault_tolerance",
+    "server_importance",
+    "UnfairnessEstimate",
+    "estimate_unfairness",
+    "instance_unfairness",
+    "retrieval_probabilities",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "LatencyEstimate",
+    "estimate_lookup_latency",
+    "LoadProfile",
+    "measure_lookup_load",
+    "TimeSeries",
+    "TimeSeriesProbe",
+    "coverage_metric",
+    "storage_metric",
+    "min_store_metric",
+]

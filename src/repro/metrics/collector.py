@@ -1,0 +1,95 @@
+"""One-call collection of all five metrics for a placement.
+
+Experiments and examples often want a full picture of a strategy's
+current placement; :class:`MetricsCollector` snapshots every Section 4
+metric at once with consistent parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.entry import Entry
+from repro.metrics.coverage import coverage_size
+from repro.metrics.fault_tolerance import greedy_fault_tolerance
+from repro.metrics.lookup_cost import estimate_lookup_cost
+from repro.metrics.storage import measured_storage_cost, storage_imbalance
+from repro.metrics.unfairness import estimate_unfairness
+from repro.strategies.base import PlacementStrategy
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """All five Section 4 metrics for one placement instance."""
+
+    strategy_name: str
+    target: int
+    storage_cost: int
+    storage_imbalance: int
+    mean_lookup_cost: float
+    lookup_failure_rate: float
+    coverage: int
+    fault_tolerance: int
+    unfairness: float
+
+    def as_row(self) -> dict:
+        """A flat dict, convenient for the report renderer."""
+        return {
+            "strategy": self.strategy_name,
+            "t": self.target,
+            "storage": self.storage_cost,
+            "imbalance": self.storage_imbalance,
+            "lookup_cost": round(self.mean_lookup_cost, 3),
+            "lookup_fail": round(self.lookup_failure_rate, 4),
+            "coverage": self.coverage,
+            "fault_tol": self.fault_tolerance,
+            "unfairness": round(self.unfairness, 4),
+        }
+
+
+class MetricsCollector:
+    """Collects a :class:`MetricsSnapshot` from a live strategy.
+
+    Parameters
+    ----------
+    lookup_samples:
+        Monte-Carlo lookups for the lookup-cost estimate.
+    unfairness_samples:
+        Monte-Carlo lookups for the unfairness estimate.
+    """
+
+    def __init__(
+        self, lookup_samples: int = 500, unfairness_samples: int = 2000
+    ) -> None:
+        self.lookup_samples = lookup_samples
+        self.unfairness_samples = unfairness_samples
+
+    def collect(
+        self,
+        strategy: PlacementStrategy,
+        target: int,
+        universe: Iterable[Entry],
+    ) -> MetricsSnapshot:
+        """Measure every metric for the strategy's current placement.
+
+        ``universe`` is the full entry population ``v_1..v_h`` the
+        placement was built from; unfairness needs it to account for
+        entries the placement fails to cover.
+        """
+        entries = list(universe)
+        cost = estimate_lookup_cost(strategy, target, self.lookup_samples)
+        unfairness = estimate_unfairness(
+            strategy, target, entries, self.unfairness_samples
+        )
+        return MetricsSnapshot(
+            strategy_name=strategy.name,
+            target=target,
+            storage_cost=measured_storage_cost(strategy),
+            storage_imbalance=storage_imbalance(strategy),
+            mean_lookup_cost=cost.mean_cost,
+            lookup_failure_rate=cost.failure_rate,
+            coverage=coverage_size(strategy),
+            fault_tolerance=greedy_fault_tolerance(strategy, target),
+            unfairness=unfairness.unfairness,
+        )

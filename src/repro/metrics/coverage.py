@@ -1,0 +1,36 @@
+"""Maximum coverage: distinct entries a client can ever retrieve (§4.3).
+
+Coverage upper-bounds the largest supportable target answer size and
+predicts resilience to deletes: a placement covering few distinct
+entries (Figure 5's placement 1) collapses quickly.  The expected
+coverage closed form for RandomServer-x, ``h·(1 − (1 − x/h)^n)``, is
+in :mod:`repro.analysis.formulas`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.core.entry import Entry
+from repro.strategies.base import PlacementStrategy
+
+
+def covered_entries(strategy: PlacementStrategy) -> Set[Entry]:
+    """Distinct entries stored on at least one operational server."""
+    return strategy.cluster.coverage_set(strategy.key)
+
+
+def coverage_size(strategy: PlacementStrategy) -> int:
+    """The maximum coverage, ``|covered_entries|``."""
+    return len(covered_entries(strategy))
+
+
+def uncovered_entries(
+    strategy: PlacementStrategy, universe: Iterable[Entry]
+) -> Set[Entry]:
+    """Entries of ``universe`` stored on *no* operational server.
+
+    These have retrieval probability zero, which is what couples
+    coverage to the unfairness floor in Figure 9's first phase.
+    """
+    return set(universe) - covered_entries(strategy)

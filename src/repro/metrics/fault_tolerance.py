@@ -1,0 +1,119 @@
+"""Worst-case fault tolerance (paper §4.4 and Appendix A).
+
+The metric: the maximum number of server failures, chosen
+adversarially, that the placement survives while still covering at
+least ``t`` distinct entries — one less than the *minimum* failures
+that break a size-``t`` lookup.  Finding the true minimum is
+SET-COVER-hard, so the paper uses a greedy heuristic: score each
+server by ``X_S = Σ_{e ∈ V_S} 1/f_e`` (``f_e`` = how many operational
+servers hold entry ``e``; rare entries make a server important), fail
+the highest-scoring server, recompute, repeat while coverage allows.
+
+For small instances :func:`exact_fault_tolerance` brute-forces the
+true optimum, used in tests and the ablation bench to quantify the
+heuristic's gap.  Note the direction of the approximation: the greedy
+adversary may miss the true minimum breaking set, so
+``greedy_fault_tolerance >= exact_fault_tolerance`` always — the
+heuristic is an *optimistic* estimate of worst-case tolerance.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Set
+
+from repro.core.exceptions import InvalidParameterError
+from repro.strategies.base import PlacementStrategy
+
+
+def server_importance(placement: Dict[int, Set]) -> Dict[int, float]:
+    """Appendix A step 1: ``X_S = Σ 1/f_e`` over each server's entries.
+
+    ``placement`` maps server id → set of entries, covering only the
+    servers still operational.  A server holding an entry nobody else
+    has contributes 1.0 for it; an entry on every server contributes
+    only ``1/n``.
+    """
+    replica_counts: Dict[object, int] = {}
+    for entries in placement.values():
+        for entry in entries:
+            replica_counts[entry] = replica_counts.get(entry, 0) + 1
+    return {
+        server_id: sum(1.0 / replica_counts[entry] for entry in entries)
+        for server_id, entries in placement.items()
+    }
+
+
+def greedy_fault_tolerance(
+    strategy: PlacementStrategy,
+    target: int,
+    return_order: bool = False,
+):
+    """Appendix A's greedy heuristic for tolerable failures.
+
+    Repeatedly fails the most-important operational server while the
+    *remaining* servers still cover at least ``target`` entries.
+    Returns the number of servers failed (and, optionally, the failure
+    order).  The cluster itself is never mutated — the heuristic works
+    on a copy of the placement.
+
+    Ties on importance break toward the lowest server id, for
+    determinism.
+    """
+    if target < 0:
+        raise InvalidParameterError(f"target must be >= 0, got {target}")
+    placement = {
+        server_id: set(entries)
+        for server_id, entries in strategy.placement().items()
+        if strategy.cluster.server(server_id).alive
+    }
+    failed_order: List[int] = []
+    while placement:
+        importance = server_importance(placement)
+        victim = max(importance, key=lambda sid: (importance[sid], -sid))
+        survivors_cover: Set = set()
+        for server_id, entries in placement.items():
+            if server_id != victim:
+                survivors_cover |= entries
+        if len(survivors_cover) < target:
+            break
+        del placement[victim]
+        failed_order.append(victim)
+    tolerated = len(failed_order)
+    # Never report "all n can fail": with zero operational servers no
+    # lookup can be answered at all, whatever the target.
+    if tolerated == strategy.cluster.size:
+        tolerated -= 1
+        failed_order = failed_order[:-1]
+    if return_order:
+        return tolerated, failed_order
+    return tolerated
+
+
+def exact_fault_tolerance(strategy: PlacementStrategy, target: int) -> int:
+    """Brute-force the true worst-case tolerable failures.
+
+    Checks all failure subsets in increasing size; the answer is
+    ``k - 1`` where ``k`` is the smallest subset whose removal drops
+    coverage below ``target``.  Exponential in ``n`` — for tests and
+    ablations on small clusters only.
+    """
+    if target < 0:
+        raise InvalidParameterError(f"target must be >= 0, got {target}")
+    placement = {
+        server_id: set(entries)
+        for server_id, entries in strategy.placement().items()
+        if strategy.cluster.server(server_id).alive
+    }
+    server_ids = sorted(placement)
+    n = len(server_ids)
+    for failures in range(1, n + 1):
+        for failed in combinations(server_ids, failures):
+            failed_set = set(failed)
+            cover: Set = set()
+            for server_id in server_ids:
+                if server_id not in failed_set:
+                    cover |= placement[server_id]
+            if len(cover) < target:
+                return failures - 1
+    return n - 1

@@ -1,0 +1,91 @@
+"""Lookup latency in round trips, exploiting lookup *predictability*.
+
+§3.5 makes an observation the lookup-cost metric alone doesn't
+capture: "while a Round-y client can tell, in advance, how many
+servers it needs to contact for a lookup, a Hash-y client cannot".
+A client that knows its contact set up front can fan the requests out
+*in parallel* and pay one round trip; a client that only learns it
+needs another server after merging a reply pays one round trip per
+server.
+
+This module scores each scheme's expected lookup latency in round
+trips under that model:
+
+- full replication / Fixed-x: 1 contact → 1 round.
+- Round-Robin-y: the client computes ``k = ⌈t·n/(y·h)⌉`` from public
+  parameters and contacts ``s, s+y, ..., s+(k−1)y`` concurrently →
+  1 round (when nothing is failed).
+- RandomServer-x / Hash-y: contacts are adaptive → rounds = servers
+  actually contacted.
+
+The measurement drives real lookups, so adaptive schemes' rounds come
+from the simulator, not a formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import List
+
+from repro.core.exceptions import InvalidParameterError
+from repro.strategies.base import PlacementStrategy
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.round_robin import RoundRobinY
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Expected lookup latency in round trips, plus its inputs."""
+
+    target: int
+    lookups: int
+    mean_rounds: float
+    mean_contacts: float
+    predictable: bool
+
+
+def _is_predictable(strategy: PlacementStrategy) -> bool:
+    """Whether the client knows its full contact set before sending.
+
+    Single-contact schemes are trivially predictable; Round-Robin-y is
+    predictable by the §3.5 observation.  The randomized multi-contact
+    schemes are not: the next contact depends on what the previous
+    replies contained.
+    """
+    return isinstance(strategy, (FullReplication, FixedX, RoundRobinY))
+
+
+def estimate_lookup_latency(
+    strategy: PlacementStrategy, target: int, lookups: int = 500
+) -> LatencyEstimate:
+    """Measure expected round trips per lookup under the fan-out model.
+
+    For predictable schemes every lookup costs one round (all contacts
+    issued concurrently); for adaptive schemes each contacted server
+    is a dependent round.  Contact counts come from real simulated
+    lookups either way, so failures and placement randomness are
+    reflected.
+    """
+    if lookups < 1:
+        raise InvalidParameterError(f"lookups must be >= 1, got {lookups}")
+    predictable = _is_predictable(strategy)
+    rounds: List[int] = []
+    contacts: List[int] = []
+    for _ in range(lookups):
+        result = strategy.partial_lookup(target)
+        contacts.append(result.lookup_cost)
+        if predictable:
+            # One parallel fan-out round (failed contacts would force
+            # a second, adaptive round: fall back to counting those).
+            rounds.append(1 if not result.failed_contacts else 2)
+        else:
+            rounds.append(max(1, result.lookup_cost))
+    return LatencyEstimate(
+        target=target,
+        lookups=lookups,
+        mean_rounds=mean(rounds),
+        mean_contacts=mean(contacts),
+        predictable=predictable,
+    )

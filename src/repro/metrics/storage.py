@@ -1,0 +1,35 @@
+"""Storage cost: total entries stored across servers (paper §4.1).
+
+All entries are assumed equally sized, so the cost is a count.  The
+closed forms the paper tabulates (Table 1) live in
+:mod:`repro.analysis.formulas`; this module measures the *actual*
+placement, which is what the simulations compare against those forms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.strategies.base import PlacementStrategy
+
+
+def measured_storage_cost(strategy: PlacementStrategy) -> int:
+    """The combined number of entries stored on all servers."""
+    return strategy.storage_cost()
+
+
+def storage_by_server(strategy: PlacementStrategy) -> List[int]:
+    """Per-server stored-entry counts, indexed by server id.
+
+    Useful for the load-balance observations: Round-Robin's sizes
+    differ by at most ``y`` while Hash-y's can be arbitrarily skewed
+    ("the hash functions [may] assign most of the entries to one
+    server", §3.5).
+    """
+    return strategy.cluster.store_sizes(strategy.key)
+
+
+def storage_imbalance(strategy: PlacementStrategy) -> int:
+    """Max minus min per-server store size (0 = perfectly even)."""
+    sizes = storage_by_server(strategy)
+    return max(sizes) - min(sizes) if sizes else 0

@@ -1,0 +1,140 @@
+"""Unfairness: bias in which entries lookups return (paper §4.5).
+
+A fair strategy returns every one of the ``h`` entries with the ideal
+probability ``t/h`` on a size-``t`` lookup.  The paper's unfairness of
+a placement *instance* is the coefficient of variation of the actual
+per-entry retrieval probabilities around that ideal (equation 1):
+
+    U_I = (h/t) · sqrt( Σ_j (p_I(j) − t/h)² / h )
+
+and a *strategy's* unfairness averages ``U_I`` over the instances its
+randomness produces.  Retrieval probabilities are estimated by
+Monte-Carlo (10000 lookups per instance in the paper), with an exact
+path for strategies whose lookups are deterministic enough to
+enumerate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError
+from repro.strategies.base import PlacementStrategy
+
+
+def instance_unfairness(
+    probabilities: Sequence[float], target: int, entry_count: Optional[int] = None
+) -> float:
+    """Equation (1) on explicit per-entry retrieval probabilities.
+
+    Parameters
+    ----------
+    probabilities:
+        ``p_I(j)`` for each entry ``j`` that exists in the system.
+        Entries with zero probability (outside the coverage) must be
+        included — they are exactly what drives Figure 9's
+        coverage-bound unfairness floor.
+    target:
+        The lookup target answer size ``t``.
+    entry_count:
+        ``h``; defaults to ``len(probabilities)``.
+
+    >>> instance_unfairness([1.0, 0.0], target=1)   # Fixed-1, 2 entries
+    1.0
+    >>> instance_unfairness([0.5, 0.5], target=1)   # perfectly fair
+    0.0
+    """
+    h = entry_count if entry_count is not None else len(probabilities)
+    if h < 1:
+        raise InvalidParameterError("need at least one entry")
+    if target < 1:
+        raise InvalidParameterError("target must be >= 1")
+    ideal = target / h
+    variance = sum((p - ideal) ** 2 for p in probabilities)
+    # Entries not listed (when entry_count > len) have probability 0.
+    variance += (h - len(probabilities)) * ideal**2
+    return (h / target) * math.sqrt(variance / h)
+
+
+def retrieval_probabilities(
+    strategy: PlacementStrategy,
+    target: int,
+    universe: Iterable[Entry],
+    lookups: int = 10000,
+) -> Dict[Entry, float]:
+    """Monte-Carlo estimate of ``p_I(j)`` for each entry of ``universe``.
+
+    Issues ``lookups`` real partial lookups against the current
+    placement and counts how often each entry appears in an answer.
+    """
+    if lookups < 1:
+        raise InvalidParameterError(f"lookups must be >= 1, got {lookups}")
+    counts: Dict[str, int] = {}
+    for _ in range(lookups):
+        result = strategy.partial_lookup(target)
+        for entry in result.entries:
+            counts[entry.entry_id] = counts.get(entry.entry_id, 0) + 1
+    return {
+        entry: counts.get(entry.entry_id, 0) / lookups for entry in universe
+    }
+
+
+@dataclass(frozen=True)
+class UnfairnessEstimate:
+    """One instance's estimated unfairness, with its inputs."""
+
+    unfairness: float
+    target: int
+    entry_count: int
+    lookups: int
+    zero_probability_entries: int
+
+
+def estimate_unfairness(
+    strategy: PlacementStrategy,
+    target: int,
+    universe: Iterable[Entry],
+    lookups: int = 10000,
+) -> UnfairnessEstimate:
+    """Estimate the unfairness of the strategy's *current* instance.
+
+    Averaging this over freshly re-placed instances gives the paper's
+    strategy-level unfairness; :mod:`repro.experiments.fig9_unfairness`
+    does exactly that.
+    """
+    entries = list(universe)
+    probabilities = retrieval_probabilities(strategy, target, entries, lookups)
+    value = instance_unfairness(
+        [probabilities[entry] for entry in entries], target, len(entries)
+    )
+    zero = sum(1 for entry in entries if probabilities[entry] == 0.0)
+    return UnfairnessEstimate(
+        unfairness=value,
+        target=target,
+        entry_count=len(entries),
+        lookups=lookups,
+        zero_probability_entries=zero,
+    )
+
+
+def exact_unfairness_uniform_subset(
+    covered: int, entry_count: int, target: int
+) -> float:
+    """Closed-form unfairness when lookups uniformly return a fixed subset.
+
+    If exactly ``covered`` of ``h`` entries are ever returned, each
+    with equal probability ``t/covered``, equation (1) reduces to
+    ``sqrt(h/covered - 1)`` — e.g. Fixed-20 of 100 entries gives
+    ``sqrt(5 - 1) = 2``, the constant the paper quotes in §6.3.
+
+    >>> round(exact_unfairness_uniform_subset(20, 100, 35), 10)
+    2.0
+    """
+    if not 1 <= covered <= entry_count:
+        raise InvalidParameterError("need 1 <= covered <= entry_count")
+    if target < 1:
+        raise InvalidParameterError("target must be >= 1")
+    return math.sqrt(entry_count / covered - 1)

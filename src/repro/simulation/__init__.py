@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate (paper §6.1).
+
+The paper studies dynamic behaviour by generating timestamped add and
+delete events in advance and replaying them.  This package provides the
+event types, a heap-based engine with a virtual clock, and the trace
+replay driver used by every dynamic experiment.
+"""
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import (
+    AddEvent,
+    DeleteEvent,
+    Event,
+    FailureEvent,
+    LookupEvent,
+    ProbeEvent,
+    RecoveryEvent,
+)
+from repro.simulation.replay import TraceReplayer, TraceStats
+from repro.simulation.rng import RngStreams
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "AddEvent",
+    "DeleteEvent",
+    "LookupEvent",
+    "FailureEvent",
+    "RecoveryEvent",
+    "ProbeEvent",
+    "TraceReplayer",
+    "TraceStats",
+    "RngStreams",
+]

@@ -1,0 +1,83 @@
+"""Event types for the discrete-event simulation.
+
+Events are plain data: a timestamp plus what happened.  The engine
+orders them by ``(time, sequence)`` so simultaneous events replay in
+creation order, keeping seeded runs exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.entry import Entry
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: something that happens at a virtual time."""
+
+    time: float
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}@{self.time:g}"
+
+
+@dataclass(frozen=True)
+class AddEvent(Event):
+    """An entry enters the system (``add(v)``)."""
+
+    entry: Entry = None  # type: ignore[assignment]
+
+    def describe(self) -> str:
+        return f"add({self.entry})@{self.time:g}"
+
+
+@dataclass(frozen=True)
+class DeleteEvent(Event):
+    """An entry's lifetime expires (``delete(v)``)."""
+
+    entry: Entry = None  # type: ignore[assignment]
+
+    def describe(self) -> str:
+        return f"delete({self.entry})@{self.time:g}"
+
+
+@dataclass(frozen=True)
+class LookupEvent(Event):
+    """A client performs ``partial_lookup(target)``."""
+
+    target: int = 1
+
+    def describe(self) -> str:
+        return f"lookup(t={self.target})@{self.time:g}"
+
+
+@dataclass(frozen=True)
+class FailureEvent(Event):
+    """A server crashes at this time."""
+
+    server_id: int = 0
+
+
+@dataclass(frozen=True)
+class RecoveryEvent(Event):
+    """A failed server comes back at this time."""
+
+    server_id: int = 0
+
+
+@dataclass(frozen=True)
+class ProbeEvent(Event):
+    """A measurement hook: the replayer calls ``probe(time, strategy)``.
+
+    Used by experiments that sample system state on a schedule (e.g.
+    Figure 13 samples unfairness every ``k`` updates) without coupling
+    the engine to any particular metric.
+    """
+
+    probe: Optional[Callable[[float, Any], None]] = None
+    label: str = "probe"
+
+    def describe(self) -> str:
+        return f"probe({self.label})@{self.time:g}"

@@ -1,0 +1,170 @@
+"""Replay a pre-generated event trace against a placement strategy.
+
+The paper's dynamic methodology (§6.1): "We create update events with
+timestamps in advance and replay these events in the simulation."  The
+:class:`TraceReplayer` wires a trace into the engine, drives the
+strategy, and gathers the aggregate statistics the dynamic experiments
+report — update message totals, lookup failure time, and time-weighted
+store occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.exceptions import NoOperationalServerError
+from repro.core.result import OperationLog
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import (
+    AddEvent,
+    DeleteEvent,
+    Event,
+    FailureEvent,
+    LookupEvent,
+    ProbeEvent,
+    RecoveryEvent,
+)
+
+
+@dataclass
+class TraceStats:
+    """Aggregates collected while replaying a trace."""
+
+    adds: int = 0
+    deletes: int = 0
+    lookups: int = 0
+    failed_lookups: int = 0
+    update_messages: int = 0
+    #: Updates the service refused because no server could sequence
+    #: them (e.g. every Round-Robin counter replica down).  Real
+    #: behaviour under heavy failures, so it is counted, not raised.
+    refused_updates: int = 0
+    #: Virtual time during which the strategy could NOT satisfy the
+    #: monitored target answer size (Figure 12's "failure time").
+    failure_time: float = 0.0
+    #: Total virtual time observed.
+    observed_time: float = 0.0
+
+    @property
+    def lookup_failure_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.failed_lookups / self.lookups
+
+    @property
+    def failure_time_fraction(self) -> float:
+        """Fraction of virtual time in the failed state (Figure 12)."""
+        if self.observed_time <= 0:
+            return 0.0
+        return self.failure_time / self.observed_time
+
+
+class TraceReplayer:
+    """Drives a strategy through a timestamped update/lookup trace.
+
+    Parameters
+    ----------
+    strategy:
+        Any :class:`~repro.strategies.base.PlacementStrategy`.
+    monitor_target:
+        If set, the replayer tracks — continuously, between events —
+        whether a lookup for this target answer size *would* fail
+        (i.e. the coverage on operational servers is below the
+        target), accumulating the paper's "percentage of execution
+        time when a lookup failed" (Figure 12).  For the uniform-store
+        strategies (Fixed-x, full replication) coverage equals every
+        server's store size, so this is exactly the per-lookup failure
+        condition.
+    """
+
+    def __init__(self, strategy, monitor_target: Optional[int] = None) -> None:
+        self.strategy = strategy
+        self.engine = SimulationEngine()
+        self.stats = TraceStats()
+        self.log = OperationLog()
+        self._monitor_target = monitor_target
+        self._last_observation_time = 0.0
+        self._in_failure_state = False
+        self.engine.on(AddEvent, self._handle_add)
+        self.engine.on(DeleteEvent, self._handle_delete)
+        self.engine.on(LookupEvent, self._handle_lookup)
+        self.engine.on(FailureEvent, self._handle_failure)
+        self.engine.on(RecoveryEvent, self._handle_recovery)
+        self.engine.on(ProbeEvent, self._handle_probe)
+
+    # -- event handlers ---------------------------------------------------------
+
+    def _advance_failure_clock(self, now: float) -> None:
+        """Charge the elapsed interval to the current failure state."""
+        if self._monitor_target is None:
+            return
+        elapsed = now - self._last_observation_time
+        if elapsed > 0:
+            self.stats.observed_time += elapsed
+            if self._in_failure_state:
+                self.stats.failure_time += elapsed
+        self._last_observation_time = now
+        self._in_failure_state = (
+            self.strategy.coverage() < self._monitor_target
+        )
+
+    def _handle_add(self, event: AddEvent) -> None:
+        self._advance_failure_clock(event.time)
+        try:
+            result = self.strategy.add(event.entry)
+        except NoOperationalServerError:
+            self.stats.refused_updates += 1
+        else:
+            self.log.record_update(result)
+            self.stats.update_messages += result.messages
+        self.stats.adds += 1
+        self._advance_failure_clock(event.time)
+
+    def _handle_delete(self, event: DeleteEvent) -> None:
+        self._advance_failure_clock(event.time)
+        try:
+            result = self.strategy.delete(event.entry)
+        except NoOperationalServerError:
+            self.stats.refused_updates += 1
+        else:
+            self.log.record_update(result)
+            self.stats.update_messages += result.messages
+        self.stats.deletes += 1
+        self._advance_failure_clock(event.time)
+
+    def _handle_lookup(self, event: LookupEvent) -> None:
+        self._advance_failure_clock(event.time)
+        result = self.strategy.partial_lookup(event.target)
+        self.log.record_lookup(result)
+        self.stats.lookups += 1
+        if not result.success:
+            self.stats.failed_lookups += 1
+
+    def _handle_failure(self, event: FailureEvent) -> None:
+        self._advance_failure_clock(event.time)
+        self.strategy.cluster.fail(event.server_id)
+        self._advance_failure_clock(event.time)
+
+    def _handle_recovery(self, event: RecoveryEvent) -> None:
+        self._advance_failure_clock(event.time)
+        self.strategy.cluster.recover(event.server_id)
+        self._advance_failure_clock(event.time)
+
+    def _handle_probe(self, event: ProbeEvent) -> None:
+        self._advance_failure_clock(event.time)
+        if event.probe is not None:
+            event.probe(event.time, self.strategy)
+
+    # -- driving -------------------------------------------------------------------
+
+    def replay(
+        self,
+        events: Iterable[Event],
+        until: Optional[float] = None,
+    ) -> TraceStats:
+        """Schedule ``events`` and run them all; return the statistics."""
+        self.engine.schedule_all(events)
+        self.engine.run(until=until)
+        self._advance_failure_clock(self.engine.now)
+        return self.stats

@@ -1,0 +1,47 @@
+"""Named, independent random streams for reproducible experiments.
+
+A single shared RNG makes results depend on the *order* components
+draw from it: adding one probe lookup would perturb every subsequent
+lifetime sample.  ``RngStreams`` derives an independent
+:class:`random.Random` per named component from one master seed, so
+workload generation, placement randomness, and measurement sampling
+never interfere.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.hashing.families import fnv1a_64
+
+
+class RngStreams:
+    """A factory of stable, independent named RNG streams.
+
+    >>> streams = RngStreams(seed=42)
+    >>> a1 = streams.get("arrivals").random()
+    >>> streams2 = RngStreams(seed=42)
+    >>> streams2.get("arrivals").random() == a1
+    True
+    >>> streams2.get("lifetimes").random() != a1
+    True
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        if seed is None:
+            seed = random.SystemRandom().randrange(2**63)
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def get(self, name: str) -> random.Random:
+        """The stream for ``name``, created deterministically on first use."""
+        if name not in self._streams:
+            derived = (self.seed * 0x9E3779B97F4A7C15 + fnv1a_64(name)) % (2**63)
+            self._streams[name] = random.Random(derived)
+        return self._streams[name]
+
+    def spawn(self, index: int) -> "RngStreams":
+        """Derive an independent child seed space (one per run index)."""
+        child_seed = (self.seed * 0xBF58476D1CE4E5B9 + index + 1) % (2**63)
+        return RngStreams(child_seed)

@@ -1,0 +1,42 @@
+"""The paper's five placement strategies plus the scheme selector.
+
+Each strategy manages the entries of a *single* key on a
+:class:`~repro.cluster.cluster.Cluster` (Section 2: "we focus here on
+strategies that manage only one key"); the multi-key facade in
+:mod:`repro.core.service` composes them.
+"""
+
+from repro.strategies.base import PlacementStrategy, StrategyLogic
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.fixed import FixedX
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+from repro.strategies.hashing import HashY
+from repro.strategies.registry import (
+    STRATEGY_REGISTRY,
+    available_strategies,
+    create_strategy,
+)
+from repro.strategies.selector import (
+    SchemeRecommendation,
+    WorkloadProfile,
+    classify,
+    recommend,
+)
+
+__all__ = [
+    "PlacementStrategy",
+    "StrategyLogic",
+    "FullReplication",
+    "FixedX",
+    "RandomServerX",
+    "RoundRobinY",
+    "HashY",
+    "STRATEGY_REGISTRY",
+    "available_strategies",
+    "create_strategy",
+    "WorkloadProfile",
+    "SchemeRecommendation",
+    "classify",
+    "recommend",
+]

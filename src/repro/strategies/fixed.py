@@ -1,0 +1,141 @@
+"""Fixed-x: the same ``x``-entry subset on every server (§3.2, §5.2).
+
+Every server stores an identical subset of at most ``x`` entries, so a
+lookup needs one operational server (for targets ``t <= x``) and the
+strategy tolerates ``n - 1`` failures, while capping storage at
+``x·n`` regardless of how many entries the key accumulates.
+
+Dynamically, Fixed-x broadcasts *selectively*: an add is broadcast only
+while the shared subset is not yet full, and a delete only if the
+deleted entry is in the subset — this is what makes its update overhead
+``(1 + (x/h)·n)`` per update instead of ``(1 + n)`` (Section 6.4).
+Deletes can leave the subset below ``x`` with no way to refill until
+new adds arrive, which is why deployments pick ``x = t + b`` with a
+cushion ``b`` (Figure 12 quantifies the cushion's effect).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.core.entry import Entry
+from repro.core.result import LookupResult
+from repro.cluster.cluster import Cluster
+from repro.cluster.messages import (
+    AddRequest,
+    DeleteRequest,
+    Message,
+    PlaceRequest,
+    RemoveMessage,
+    StoreMessage,
+    StoreSetMessage,
+)
+from repro.cluster.network import Network
+from repro.cluster.server import Server
+from repro.strategies.base import PlacementStrategy, StrategyLogic
+
+
+class _FixedLogic(StrategyLogic):
+    """Server behaviour for Fixed-x.
+
+    The selective-broadcast decisions live here because they depend on
+    the *initial* server's local store — which is safe precisely
+    because every server's store is identical by construction (the
+    paper notes the scheme has no concurrency control; our simulation
+    is sequential, so the caveat never bites).
+    """
+
+    def handle_message(self, server: Server, message: Message, network: Network) -> Any:
+        store = server.store(self.key)
+        x = self.strategy.x
+        if isinstance(message, PlaceRequest):
+            network.broadcast(self.key, StoreSetMessage(message.entries[:x]))
+            return True
+        if isinstance(message, AddRequest):
+            # Broadcast only while the shared subset is not full.
+            if len(store) < x:
+                network.broadcast(self.key, StoreMessage(message.entry))
+                return True
+            return False
+        if isinstance(message, DeleteRequest):
+            # Broadcast only if the entry is actually tracked.
+            if message.entry in store:
+                network.broadcast(self.key, RemoveMessage(message.entry))
+                return True
+            return False
+        if isinstance(message, StoreSetMessage):
+            for entry in message.entries:
+                store.add(entry)
+            return True
+        if isinstance(message, StoreMessage):
+            return store.add(message.entry)
+        if isinstance(message, RemoveMessage):
+            return store.discard(message.entry)
+        raise TypeError(f"Fixed-x cannot handle {type(message).__name__}")
+
+
+class FixedX(PlacementStrategy):
+    """Keep the first ``x`` placed entries, identically, on every server.
+
+    Parameters
+    ----------
+    cluster:
+        The server cluster.
+    x:
+        Subset size.  Must be at least the largest target answer size
+        any client will use — Fixed-x cannot answer lookups for more
+        than ``x`` entries (its coverage *is* ``x``, Section 4.3).  For
+        dynamic workloads choose ``x = t + b`` with cushion ``b``.
+
+    >>> from repro.cluster import Cluster
+    >>> from repro.core.entry import make_entries
+    >>> strategy = FixedX(Cluster(10, seed=7), x=20)
+    >>> _ = strategy.place(make_entries(100))
+    >>> strategy.storage_cost()
+    200
+    >>> strategy.coverage()
+    20
+    """
+
+    name = "fixed"
+
+    def __init__(self, cluster: Cluster, x: int, key: str = "k") -> None:
+        self.x = self._require_positive(x, "x")
+        super().__init__(cluster, key)
+
+    @classmethod
+    def from_budget(
+        cls, cluster: Cluster, storage_budget: int, key: str = "k"
+    ) -> "FixedX":
+        """Size ``x`` from a total storage budget: ``x = budget / n``.
+
+        This is how the paper equalizes overhead across strategies in
+        Figures 4, 6, 7 (e.g. budget 200 on 10 servers gives Fixed-20).
+        """
+        return cls(cluster, x=max(1, storage_budget // cluster.size), key=key)
+
+    def _build_logic(self) -> StrategyLogic:
+        return _FixedLogic(self)
+
+    def params(self) -> Dict[str, Any]:
+        return {"x": self.x}
+
+    def _do_place(self, entries: Tuple[Entry, ...]) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, PlaceRequest(entries))
+
+    def _do_add(self, entry: Entry) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, AddRequest(entry))
+
+    def _do_delete(self, entry: Entry) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, DeleteRequest(entry))
+
+    def partial_lookup(self, target: int) -> LookupResult:
+        # Every server holds the same subset, so exactly one
+        # operational server is contacted; if it comes up short (the
+        # target exceeds x, or deletes ate into the cushion) the
+        # result reports failure rather than contacting more servers,
+        # which could never help.
+        return self.client.lookup_random(self.key, target, max_servers=1)

@@ -1,0 +1,97 @@
+"""Full replication: every entry on every server (paper §3.1, §5.1).
+
+The traditional baseline.  Placement and every update broadcast to all
+``n`` servers; each server keeps a complete copy, so a lookup needs
+exactly one operational server and the strategy tolerates ``n - 1``
+failures — at the price of ``h·n`` storage and a broadcast per update.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.core.entry import Entry
+from repro.core.result import LookupResult
+from repro.cluster.messages import (
+    AddRequest,
+    DeleteRequest,
+    Message,
+    PlaceRequest,
+    RemoveMessage,
+    StoreMessage,
+    StoreSetMessage,
+)
+from repro.cluster.network import Network
+from repro.cluster.server import Server
+from repro.strategies.base import PlacementStrategy, StrategyLogic
+
+
+class _FullReplicationLogic(StrategyLogic):
+    """Server behaviour for full replication.
+
+    A client request at the initial server triggers a broadcast to all
+    servers (including the initial one — its own copy is installed by
+    the broadcast, exactly as the paper describes); the broadcast
+    handlers perform the local mutation.
+    """
+
+    def handle_message(self, server: Server, message: Message, network: Network) -> Any:
+        store = server.store(self.key)
+        if isinstance(message, PlaceRequest):
+            network.broadcast(self.key, StoreSetMessage(message.entries))
+            return True
+        if isinstance(message, AddRequest):
+            network.broadcast(self.key, StoreMessage(message.entry))
+            return True
+        if isinstance(message, DeleteRequest):
+            network.broadcast(self.key, RemoveMessage(message.entry))
+            return True
+        if isinstance(message, StoreSetMessage):
+            for entry in message.entries:
+                store.add(entry)
+            return True
+        if isinstance(message, StoreMessage):
+            return store.add(message.entry)
+        if isinstance(message, RemoveMessage):
+            return store.discard(message.entry)
+        raise TypeError(f"full replication cannot handle {type(message).__name__}")
+
+
+class FullReplication(PlacementStrategy):
+    """Store all ``h`` entries for the key on all ``n`` servers.
+
+    >>> from repro.cluster import Cluster
+    >>> from repro.core.entry import make_entries
+    >>> strategy = FullReplication(Cluster(4, seed=7))
+    >>> _ = strategy.place(make_entries(10))
+    >>> strategy.storage_cost()
+    40
+    >>> strategy.partial_lookup(3).lookup_cost
+    1
+    """
+
+    name = "full_replication"
+
+    def _build_logic(self) -> StrategyLogic:
+        return _FullReplicationLogic(self)
+
+    def params(self) -> Dict[str, Any]:
+        return {}
+
+    def _do_place(self, entries: Tuple[Entry, ...]) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, PlaceRequest(entries))
+
+    def _do_add(self, entry: Entry) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, AddRequest(entry))
+
+    def _do_delete(self, entry: Entry) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, DeleteRequest(entry))
+
+    def partial_lookup(self, target: int) -> LookupResult:
+        # All servers are identical, so one operational server is both
+        # necessary and sufficient; contacting more can never add
+        # distinct entries.
+        return self.client.lookup_random(self.key, target, max_servers=1)

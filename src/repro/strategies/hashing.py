@@ -1,0 +1,174 @@
+"""Hash-y: place each entry at ``y`` hash-designated servers (§3.5, §5.5).
+
+Entry ``v`` lives on servers ``f_1(v) .. f_y(v)`` for ``y`` hash
+functions; collisions between functions mean some entries get fewer
+than ``y`` copies, so expected storage is ``h·n·(1 − (1 − 1/n)^y)``
+(Table 1) and per-server loads are uneven — a client cannot predict how
+many servers a lookup needs (unlike Round-Robin).  The payoff comes
+with churn: the hash functions *pinpoint* the servers affected by an
+update, so adds and deletes cost ``1 + y`` point-to-point messages with
+no broadcast and no counter bottleneck (§5.5, §6.4), which is Hash-y's
+winning regime in Figure 14.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.entry import Entry
+from repro.core.result import LookupResult
+from repro.cluster.cluster import Cluster
+from repro.cluster.messages import (
+    AddRequest,
+    DeleteRequest,
+    Message,
+    PlaceRequest,
+    RemoveMessage,
+    StoreMessage,
+)
+from repro.cluster.network import Network
+from repro.cluster.server import Server
+from repro.hashing.families import HashFamily
+from repro.strategies.base import PlacementStrategy, StrategyLogic
+
+
+class _HashLogic(StrategyLogic):
+    """Server behaviour for Hash-y.
+
+    The initial server routes each update to the entry's hash targets
+    point-to-point; the targets just store or remove locally.
+    """
+
+    def handle_message(self, server: Server, message: Message, network: Network) -> Any:
+        store = server.store(self.key)
+        if isinstance(message, PlaceRequest):
+            return self._handle_place(message, network)
+        if isinstance(message, AddRequest):
+            self._route(message.entry, StoreMessage(message.entry), network)
+            return True
+        if isinstance(message, DeleteRequest):
+            self._route(message.entry, RemoveMessage(message.entry), network)
+            return True
+        if isinstance(message, StoreMessage):
+            return store.add(message.entry)
+        if isinstance(message, RemoveMessage):
+            return store.discard(message.entry)
+        raise TypeError(f"Hash-y cannot handle {type(message).__name__}")
+
+    def _route(self, entry: Entry, message: Message, network: Network) -> None:
+        """Send ``message`` to the entry's distinct hash targets.
+
+        Two functions mapping ``v`` to the same server store it once
+        (the paper: "If two hash functions assign an entry to the same
+        server, the entry is stored only once"), so one message per
+        distinct target suffices — the "barring collisions" caveat in
+        the paper's 1+y update cost.
+        """
+        for server_id in self.strategy.family.assign_distinct(entry):
+            network.send(server_id, self.key, message)
+
+    def _handle_place(self, message: PlaceRequest, network: Network) -> bool:
+        """Hash every entry to its targets, honouring the storage budget.
+
+        Budgeted placement applies the functions round-major (``f_1``
+        over all entries, then ``f_2``, ...) and charges the budget
+        only for copies actually stored, so that an underfunded
+        placement keeps a one-copy *subset* of the entries — the
+        Figure 6 convention, same as Round-Robin's.
+        """
+        strategy = self.strategy
+        budget = strategy.max_total_storage
+        if budget is None:
+            for entry in message.entries:
+                self._route(entry, StoreMessage(entry), network)
+            return True
+        placed = 0
+        for hash_function in strategy.family:
+            for entry in message.entries:
+                if placed >= budget:
+                    return True
+                stored = network.send(
+                    hash_function(entry), self.key, StoreMessage(entry)
+                )
+                if stored:
+                    placed += 1
+        return True
+
+
+class HashY(PlacementStrategy):
+    """Store each entry at the servers picked by ``y`` hash functions.
+
+    Parameters
+    ----------
+    cluster:
+        The server cluster.
+    y:
+        Number of hash functions (target copies per entry, before
+        collisions).
+    hash_seed:
+        Seed for drawing the hash family; defaults to a fresh draw
+        from the cluster RNG so seeded clusters stay reproducible
+        while distinct instances get distinct families.
+    max_total_storage:
+        Optional total-copy budget for static coverage experiments
+        (Figure 6); not for use with dynamic updates.
+
+    >>> from repro.cluster import Cluster
+    >>> from repro.core.entry import make_entries
+    >>> strategy = HashY(Cluster(10, seed=7), y=2)
+    >>> _ = strategy.place(make_entries(100))
+    >>> 160 <= strategy.storage_cost() <= 200   # E ≈ 190 with collisions
+    True
+    """
+
+    name = "hash"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        y: int,
+        key: str = "k",
+        hash_seed: Optional[int] = None,
+        max_total_storage: Optional[int] = None,
+    ) -> None:
+        self.y = self._require_positive(y, "y")
+        if hash_seed is None:
+            hash_seed = cluster.rng.randrange(2**63)
+        self.hash_seed = hash_seed
+        self.family = HashFamily(count=y, buckets=cluster.size, seed=hash_seed)
+        self.max_total_storage = max_total_storage
+        super().__init__(cluster, key)
+
+    @classmethod
+    def from_budget(
+        cls, cluster: Cluster, storage_budget: int, entry_count: int, key: str = "k"
+    ) -> "HashY":
+        """Size ``y`` from a storage budget: ``y = budget / h`` (Table 1)."""
+        y = max(1, storage_budget // max(1, entry_count))
+        return cls(cluster, y=y, key=key, max_total_storage=storage_budget)
+
+    def _build_logic(self) -> StrategyLogic:
+        return _HashLogic(self)
+
+    def params(self) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"y": self.y, "hash_seed": self.hash_seed}
+        if self.max_total_storage is not None:
+            params["max_total_storage"] = self.max_total_storage
+        return params
+
+    def _do_place(self, entries: Tuple[Entry, ...]) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, PlaceRequest(entries))
+
+    def _do_add(self, entry: Entry) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, AddRequest(entry))
+
+    def _do_delete(self, entry: Entry) -> None:
+        initial = self.cluster.random_alive_server_id()
+        self.cluster.network.send(initial, self.key, DeleteRequest(entry))
+
+    def partial_lookup(self, target: int) -> LookupResult:
+        # Per-server loads are uneven, so the client simply walks
+        # servers in random order merging answers until satisfied.
+        return self.client.lookup_random(self.key, target)

@@ -1,0 +1,70 @@
+"""Name-based strategy construction.
+
+Experiments and the directory facade refer to strategies by short
+names (``"fixed"``, ``"hash"``, ...); the registry maps those names to
+classes and builds instances from keyword parameters, so experiment
+configuration stays declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Type
+
+from repro.core.exceptions import UnknownStrategyError
+from repro.cluster.cluster import Cluster
+from repro.strategies.base import PlacementStrategy
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+#: Registry of all built-in strategies, keyed by their short names.
+#: Includes the traditional key-partitioning baseline (Figure 1,
+#: center) alongside the five partial lookup schemes.
+STRATEGY_REGISTRY: Dict[str, Type[PlacementStrategy]] = {
+    FullReplication.name: FullReplication,
+    FixedX.name: FixedX,
+    RandomServerX.name: RandomServerX,
+    RoundRobinY.name: RoundRobinY,
+    HashY.name: HashY,
+}
+
+
+def _register_baselines() -> None:
+    # Imported lazily: baselines depend on the strategy base class, so
+    # a module-level import here would be circular.
+    from repro.baselines.key_partitioning import KeyPartitioning
+
+    STRATEGY_REGISTRY.setdefault(KeyPartitioning.name, KeyPartitioning)
+
+
+_register_baselines()
+
+
+def available_strategies() -> List[str]:
+    """Names of every registered strategy, sorted."""
+    return sorted(STRATEGY_REGISTRY)
+
+
+def create_strategy(
+    name: str, cluster: Cluster, key: str = "k", **params: Any
+) -> PlacementStrategy:
+    """Build the named strategy on ``cluster`` with ``params``.
+
+    >>> from repro.cluster import Cluster
+    >>> create_strategy("fixed", Cluster(4, seed=1), x=3).params()
+    {'x': 3}
+
+    Raises
+    ------
+    UnknownStrategyError
+        If ``name`` is not registered.
+    """
+    try:
+        strategy_class = STRATEGY_REGISTRY[name]
+    except KeyError:
+        raise UnknownStrategyError(
+            f"unknown strategy {name!r}; available: {', '.join(available_strategies())}"
+        ) from None
+    return strategy_class(cluster, key=key, **params)

@@ -1,0 +1,273 @@
+"""Executable scheme selection: Figure 3 plus the paper's rules of thumb.
+
+The paper classifies the five strategies along two axes (Figure 3) —
+does the scheme guarantee every entry is stored somewhere, and does it
+randomize — and scatters "rules of thumb" through Sections 4 and 6:
+
+- §4.2: avoid Hash-y when targets are smaller than the per-server
+  entry count; Round-y has the lowest lookup cost unless the target
+  slightly exceeds the per-server count.
+- §4.3: Round-y and Hash-y when clients need large/complete coverage.
+- §4.4: Fixed-x for best fault tolerance when coverage doesn't matter;
+  RandomServer-x / Round-y for large / complete coverage; avoid Hash-y
+  unless targets are very large.
+- §4.5: only full replication and Round-y give zero unfairness.
+- §6.3: RandomServer-x and Round-y suit static environments; Fixed-x
+  and Hash-y are cheaper under high update rates.
+- §6.4: Fixed-x beats Hash-y on update overhead when t/h < 1/n,
+  roughly.
+
+This module turns those rules into code: :func:`classify` reproduces
+the Figure 3 taxonomy, and :func:`recommend` ranks strategies for a
+declared workload profile, returning machine-readable reasons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class SchemeTraits:
+    """Figure 3 coordinates plus the coarse Table 2 characteristics."""
+
+    name: str
+    full_replication: bool
+    guarantees_all_entries_stored: bool
+    randomized: bool
+    zero_unfairness: bool
+    constant_storage: bool  # storage grows with n, not with h (Fixed/RandomServer)
+    broadcast_free_updates: bool
+
+
+_TRAITS: Dict[str, SchemeTraits] = {
+    "full_replication": SchemeTraits(
+        "full_replication",
+        full_replication=True,
+        guarantees_all_entries_stored=True,
+        randomized=False,
+        zero_unfairness=True,
+        constant_storage=False,
+        broadcast_free_updates=False,
+    ),
+    "fixed": SchemeTraits(
+        "fixed",
+        full_replication=False,
+        guarantees_all_entries_stored=False,
+        randomized=False,
+        zero_unfairness=False,
+        constant_storage=True,
+        broadcast_free_updates=False,
+    ),
+    "random_server": SchemeTraits(
+        "random_server",
+        full_replication=False,
+        guarantees_all_entries_stored=False,
+        randomized=True,
+        zero_unfairness=False,
+        constant_storage=True,
+        broadcast_free_updates=False,
+    ),
+    "round_robin": SchemeTraits(
+        "round_robin",
+        full_replication=False,
+        guarantees_all_entries_stored=True,
+        randomized=False,
+        zero_unfairness=True,
+        constant_storage=False,
+        broadcast_free_updates=False,
+    ),
+    "hash": SchemeTraits(
+        "hash",
+        full_replication=False,
+        guarantees_all_entries_stored=True,
+        randomized=True,
+        zero_unfairness=False,
+        constant_storage=False,
+        broadcast_free_updates=True,
+    ),
+}
+
+
+def classify(
+    use_full_replication: bool,
+    guarantee_all_entries_stored: bool = False,
+    use_randomization: bool = False,
+) -> str:
+    """Walk the Figure 3 decision tree to a strategy name.
+
+    >>> classify(False, guarantee_all_entries_stored=True, use_randomization=True)
+    'hash'
+    >>> classify(True)
+    'full_replication'
+    """
+    if use_full_replication:
+        return "full_replication"
+    if guarantee_all_entries_stored:
+        return "round_robin" if not use_randomization else "hash"
+    return "fixed" if not use_randomization else "random_server"
+
+
+def traits(name: str) -> SchemeTraits:
+    """The Figure 3 / Table 2 traits of a named scheme."""
+    try:
+        return _TRAITS[name]
+    except KeyError:
+        raise InvalidParameterError(f"unknown scheme {name!r}") from None
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A declarative description of the deployment the paper's rules need.
+
+    Parameters
+    ----------
+    entry_count:
+        Expected number of entries per key, ``h``.
+    server_count:
+        Number of servers, ``n``.
+    target_answer_size:
+        Typical ``t`` clients ask for.
+    update_rate:
+        Updates per lookup; ``0`` means a static placement.
+    needs_complete_coverage:
+        Some clients eventually want *every* entry.
+    needs_fairness:
+        Entries represent load-bearing resources (the Napster-provider
+        example of §4.5), so retrieval probabilities should be even.
+    storage_is_fixed:
+        Per-server storage is provisioned up front and cannot grow
+        with the entry population (e.g. entries must fit in RAM, §4.1).
+    """
+
+    entry_count: int
+    server_count: int
+    target_answer_size: int
+    update_rate: float = 0.0
+    needs_complete_coverage: bool = False
+    needs_fairness: bool = False
+    storage_is_fixed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.entry_count < 1 or self.server_count < 1:
+            raise InvalidParameterError("entry_count and server_count must be >= 1")
+        if self.target_answer_size < 1:
+            raise InvalidParameterError("target_answer_size must be >= 1")
+        if self.target_answer_size > self.entry_count:
+            raise InvalidParameterError(
+                "target_answer_size cannot exceed entry_count"
+            )
+        if self.update_rate < 0:
+            raise InvalidParameterError("update_rate must be non-negative")
+
+    @property
+    def target_ratio(self) -> float:
+        """The §6.4 ratio ``t/h`` driving the Fixed-vs-Hash choice."""
+        return self.target_answer_size / self.entry_count
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.update_rate > 0
+
+
+@dataclass(frozen=True)
+class SchemeRecommendation:
+    """A ranked scheme suggestion with the rules that produced it."""
+
+    name: str
+    score: float
+    reasons: Tuple[str, ...] = ()
+
+
+def recommend(profile: WorkloadProfile) -> List[SchemeRecommendation]:
+    """Rank the five schemes for ``profile`` using the paper's rules.
+
+    The scoring is an additive encoding of the rules of thumb: each
+    rule contributes points (positive or negative) to the schemes it
+    speaks about, and every contribution is recorded as a reason
+    string citing the section it came from.  The result is sorted
+    best-first; ties break alphabetically for determinism.
+
+    >>> static_fair = WorkloadProfile(
+    ...     entry_count=100, server_count=10, target_answer_size=5,
+    ...     needs_complete_coverage=True, needs_fairness=True)
+    >>> recommend(static_fair)[0].name
+    'round_robin'
+    """
+    scores: Dict[str, float] = {name: 0.0 for name in _TRAITS}
+    reasons: Dict[str, List[str]] = {name: [] for name in _TRAITS}
+
+    def credit(name: str, points: float, reason: str) -> None:
+        scores[name] += points
+        sign = "+" if points >= 0 else ""
+        reasons[name].append(f"{sign}{points:g}: {reason}")
+
+    t = profile.target_answer_size
+    h = profile.entry_count
+    n = profile.server_count
+
+    # §4.1: partial schemes dominate full replication on storage unless
+    # the key is tiny; full replication's h·n storage is the baseline
+    # the whole paper argues against.
+    if h > n:
+        credit("full_replication", -2, "storage h·n dominates all others (§4.1)")
+    if profile.storage_is_fixed:
+        for name in ("fixed", "random_server"):
+            credit(
+                name, 2, "constant per-server storage fits fixed provisioning (§4.1)"
+            )
+
+    # §4.3 / §4.4: coverage needs.
+    if profile.needs_complete_coverage:
+        for name in ("full_replication", "round_robin", "hash"):
+            credit(name, 2, "complete coverage guaranteed (§4.3)")
+        credit("random_server", 1, "near-complete expected coverage (§4.3)")
+        credit("fixed", -3, "coverage capped at x (§4.3)")
+    else:
+        credit("fixed", 1, "best fault tolerance when coverage is moot (§4.4)")
+
+    # §4.2: lookup cost.
+    per_server = max(1, (t * n) // max(1, h))  # entries/server at matched budget
+    if t <= h // n:
+        credit("hash", -1, "lookup cost >1 even for small targets (§4.2)")
+    credit("round_robin", 1, "lowest lookup cost of the partial schemes (§4.2)")
+    del per_server  # documented intermediate; ratio rules below use t/h directly
+
+    # §4.5: fairness.
+    if profile.needs_fairness:
+        for name in ("full_replication", "round_robin"):
+            credit(name, 2, "zero unfairness (§4.5)")
+        if not profile.is_dynamic:
+            credit("random_server", 1, "low static unfairness (§4.5)")
+        else:
+            credit(
+                "random_server",
+                -1,
+                "fairness decays to ~Fixed-x under churn (§6.3, Fig 13)",
+            )
+        credit("fixed", -2, "returns only the fixed x-subset (§4.5)")
+
+    # §6.3: dynamic suitability.
+    if profile.is_dynamic:
+        credit("round_robin", -2, "counter-host bottleneck + delete migration (§6.3)")
+        credit("random_server", -1, "broadcast per update (§6.3)")
+        credit("hash", 2, "pinpointed point-to-point updates (§5.5)")
+        credit("fixed", 1, "selective broadcast keeps update traffic low (§5.2)")
+        # §6.4 crossover: small t/h favours Fixed-x, large favours Hash-y.
+        if profile.target_ratio < 1.0 / n:
+            credit("fixed", 2, f"t/h={profile.target_ratio:.3f} < 1/n (§6.4)")
+            credit("hash", -1, "must store every entry ≥ once regardless (§6.4)")
+        else:
+            credit("hash", 1, f"t/h={profile.target_ratio:.3f} ≥ 1/n (§6.4)")
+    else:
+        credit("random_server", 1, "static placement suits RandomServer-x (§6.3)")
+        credit("round_robin", 1, "static placement suits Round-y (§6.3)")
+
+    ranked = sorted(scores, key=lambda name: (-scores[name], name))
+    return [
+        SchemeRecommendation(name, scores[name], tuple(reasons[name]))
+        for name in ranked
+    ]

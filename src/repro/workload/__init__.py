@@ -1,0 +1,27 @@
+"""Synthetic workload generation (paper §6.1).
+
+Adds arrive as a Poisson process (one per ``λ = 10`` time units in the
+paper); each added entry lives for a lifetime drawn from an exponential
+or Zipf-like distribution scaled so the system holds ``h`` entries in
+steady state; deletes fire when lifetimes expire.
+"""
+
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.lifetimes import (
+    ExponentialLifetime,
+    FixedLifetime,
+    LifetimeDistribution,
+    ZipfLifetime,
+)
+from repro.workload.generator import SteadyStateWorkload
+from repro.workload.lookups import LookupWorkload
+
+__all__ = [
+    "PoissonArrivals",
+    "LifetimeDistribution",
+    "ExponentialLifetime",
+    "ZipfLifetime",
+    "FixedLifetime",
+    "SteadyStateWorkload",
+    "LookupWorkload",
+]

@@ -1,0 +1,114 @@
+"""Stochastic server failure/recovery processes.
+
+§4.4 evaluates the *adversarial* worst case; operators also care about
+the average case — servers crashing and recovering at random.  This
+module generates alternating failure/recovery event streams per server
+with exponential time-between-failures and time-to-repair, which the
+availability experiment mixes with lookup traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.exceptions import InvalidParameterError
+from repro.simulation.events import Event, FailureEvent, RecoveryEvent
+
+
+@dataclass(frozen=True)
+class FailureProcessConfig:
+    """An exponential crash/repair model for one fleet of servers.
+
+    Parameters
+    ----------
+    mean_time_between_failures:
+        Expected healthy interval before a server crashes (MTBF).
+    mean_time_to_repair:
+        Expected downtime before the crashed server recovers (MTTR).
+    """
+
+    mean_time_between_failures: float
+    mean_time_to_repair: float
+
+    def __post_init__(self) -> None:
+        if self.mean_time_between_failures <= 0:
+            raise InvalidParameterError("MTBF must be positive")
+        if self.mean_time_to_repair <= 0:
+            raise InvalidParameterError("MTTR must be positive")
+
+    @property
+    def availability(self) -> float:
+        """Steady-state per-server availability: MTBF / (MTBF + MTTR)."""
+        return self.mean_time_between_failures / (
+            self.mean_time_between_failures + self.mean_time_to_repair
+        )
+
+
+class FailureProcess:
+    """Generates per-server crash/repair event streams."""
+
+    def __init__(
+        self,
+        config: FailureProcessConfig,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.config = config
+        self.rng = rng if rng is not None else random.Random()
+
+    def events_for_server(self, server_id: int, horizon: float) -> List[Event]:
+        """Alternating failure/recovery events for one server.
+
+        The server starts healthy; events past ``horizon`` are
+        dropped.  A failure without its recovery inside the horizon is
+        kept (the server simply stays down to the end).
+        """
+        if horizon <= 0:
+            raise InvalidParameterError("horizon must be positive")
+        events: List[Event] = []
+        now = 0.0
+        while True:
+            now += self.rng.expovariate(
+                1.0 / self.config.mean_time_between_failures
+            )
+            if now >= horizon:
+                break
+            events.append(FailureEvent(now, server_id=server_id))
+            now += self.rng.expovariate(1.0 / self.config.mean_time_to_repair)
+            if now >= horizon:
+                break
+            events.append(RecoveryEvent(now, server_id=server_id))
+        return events
+
+    def events_for_fleet(self, server_count: int, horizon: float) -> List[Event]:
+        """Independent crash/repair streams for every server, merged."""
+        events: List[Event] = []
+        for server_id in range(server_count):
+            events.extend(self.events_for_server(server_id, horizon))
+        events.sort(key=lambda event: event.time)
+        return events
+
+
+def empirical_availability(events: List[Event], horizon: float) -> float:
+    """Fraction of server-time healthy implied by one server's stream.
+
+    A measurement helper for tests: integrates the up/down intervals
+    of a single server's alternating event list.
+    """
+    if horizon <= 0:
+        raise InvalidParameterError("horizon must be positive")
+    up_time = 0.0
+    last = 0.0
+    healthy = True
+    for event in events:
+        if healthy and isinstance(event, FailureEvent):
+            up_time += event.time - last
+            healthy = False
+            last = event.time
+        elif not healthy and isinstance(event, RecoveryEvent):
+            healthy = True
+            last = event.time
+    if healthy:
+        up_time += horizon - last
+    return up_time / horizon

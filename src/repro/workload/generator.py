@@ -1,0 +1,124 @@
+"""Steady-state update-trace generation (paper §6.1).
+
+A workload is: an initial population of ``h`` entries placed at time
+zero, adds arriving as a Poisson process, and a delete scheduled at the
+end of each entry's sampled lifetime.  With arrival gap λ and lifetime
+expectation λ·h, Little's law keeps the expected population at ``h``
+over time — "the expected number of entries maintained by the servers
+is constant", as the paper requires for its steady-state measurements.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.simulation.events import AddEvent, DeleteEvent, Event
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.lifetimes import ExponentialLifetime, LifetimeDistribution
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A generated trace: the initial placement plus timed updates."""
+
+    initial_entries: Tuple[Entry, ...]
+    events: Tuple[Event, ...]
+
+    @property
+    def update_count(self) -> int:
+        return len(self.events)
+
+    def adds(self) -> List[AddEvent]:
+        return [e for e in self.events if isinstance(e, AddEvent)]
+
+    def deletes(self) -> List[DeleteEvent]:
+        return [e for e in self.events if isinstance(e, DeleteEvent)]
+
+
+class SteadyStateWorkload:
+    """Generates steady-state update traces for the dynamic experiments.
+
+    Parameters
+    ----------
+    entry_count:
+        Target steady-state population ``h``.
+    arrival_gap:
+        Mean time between adds — the paper's λ, default 10.
+    lifetime:
+        Lifetime distribution; defaults to exponential with mean
+        ``arrival_gap * entry_count`` (the paper's scaling).
+    rng:
+        Randomness source for arrivals and lifetimes.
+
+    >>> workload = SteadyStateWorkload(100, rng=random.Random(3))
+    >>> trace = workload.generate(2000)
+    >>> trace.update_count
+    2000
+    >>> len(trace.initial_entries)
+    100
+    """
+
+    def __init__(
+        self,
+        entry_count: int,
+        arrival_gap: float = 10.0,
+        lifetime: Optional[LifetimeDistribution] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if entry_count < 1:
+            raise InvalidParameterError(f"entry_count must be >= 1, got {entry_count}")
+        self.entry_count = entry_count
+        self.arrival_gap = arrival_gap
+        self.lifetime = lifetime or ExponentialLifetime(arrival_gap * entry_count)
+        self.rng = rng if rng is not None else random.Random()
+
+    def generate(self, total_updates: int) -> WorkloadTrace:
+        """A trace with exactly ``total_updates`` add+delete events.
+
+        The initial ``h`` entries are placed out-of-band at time zero
+        (via ``strategy.place``) and each receives a delete at its
+        sampled lifetime; subsequent adds arrive by the Poisson
+        process, each paired with its own delete.  Events are sorted
+        by time and the trace is truncated to the first
+        ``total_updates`` updates, matching the paper's "sequence of
+        10000 updates per run" accounting.
+        """
+        if total_updates < 0:
+            raise InvalidParameterError("total_updates must be non-negative")
+        initial = make_entries(self.entry_count, prefix="v")
+        events: List[Event] = []
+        for entry in initial:
+            events.append(DeleteEvent(self.lifetime.sample(self.rng), entry))
+
+        # Adds must be generated past any horizon the deletes reach;
+        # generating total_updates arrivals is always sufficient since
+        # each add contributes >= 1 update by itself.
+        arrivals = iter(PoissonArrivals(self.arrival_gap, self.rng))
+        for index in range(total_updates):
+            arrival_time = next(arrivals)
+            entry = Entry(f"u{index + 1}")
+            events.append(AddEvent(arrival_time, entry))
+            events.append(
+                DeleteEvent(arrival_time + self.lifetime.sample(self.rng), entry)
+            )
+
+        events.sort(key=lambda event: event.time)
+        chosen = events[:total_updates]
+
+        # Drop deletes whose matching add was truncated away — they
+        # could never fire against the strategy.  (Initial entries'
+        # deletes always have a matching placement.)
+        placed_ids = {entry.entry_id for entry in initial}
+        trace_events: List[Event] = []
+        for event in chosen:
+            if isinstance(event, AddEvent):
+                placed_ids.add(event.entry.entry_id)
+                trace_events.append(event)
+            elif isinstance(event, DeleteEvent):
+                if event.entry.entry_id in placed_ids:
+                    trace_events.append(event)
+        return WorkloadTrace(tuple(initial), tuple(trace_events))

@@ -1,0 +1,194 @@
+"""Multi-key workloads with skewed key popularity.
+
+The single-key experiments isolate per-key behaviour; a deployed
+directory serves *many* keys whose popularity is famously Zipf-skewed
+(the "popular song" of the paper's introduction).  This module
+generates directory-level workloads: a key population, a Zipf
+popularity law over it, and interleaved per-key lookup/update streams
+— the substrate for hot-key load studies on the multi-key facade.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+
+
+class ZipfKeyPopularity:
+    """A Zipf(s) popularity law over a fixed key population.
+
+    Key ``i`` (1-indexed by rank) is drawn with probability
+    proportional to ``1 / i^s``.  ``s = 0`` is uniform; ``s ≈ 1`` is
+    the classic web/file-sharing skew.
+    """
+
+    def __init__(
+        self, keys: Sequence[str], skew: float = 1.0, rng: Optional[random.Random] = None
+    ) -> None:
+        if not keys:
+            raise InvalidParameterError("need at least one key")
+        if skew < 0:
+            raise InvalidParameterError(f"skew must be >= 0, got {skew}")
+        self.keys = list(keys)
+        self.skew = skew
+        self.rng = rng if rng is not None else random.Random()
+        weights = [1.0 / (rank**skew) for rank in range(1, len(self.keys) + 1)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            self._cumulative.append(running)
+
+    def probability(self, key: str) -> float:
+        """The draw probability of ``key``."""
+        index = self.keys.index(key)
+        previous = self._cumulative[index - 1] if index else 0.0
+        return self._cumulative[index] - previous
+
+    def draw(self) -> str:
+        """One key, sampled by popularity."""
+        point = self.rng.random()
+        low, high = 0, len(self._cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cumulative[mid] < point:
+                low = mid + 1
+            else:
+                high = mid
+        return self.keys[low]
+
+    def draw_many(self, count: int) -> List[str]:
+        return [self.draw() for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class DirectoryOp:
+    """One operation against the multi-key directory."""
+
+    time: float
+    key: str
+    kind: str  # "lookup" | "add" | "delete"
+    target: int = 0
+    entry_id: str = ""
+
+
+@dataclass(frozen=True)
+class DirectoryWorkload:
+    """A timestamped multi-key operation stream."""
+
+    initial_entries: Dict[str, Tuple[str, ...]]
+    operations: Tuple[DirectoryOp, ...]
+
+    def lookups(self) -> List[DirectoryOp]:
+        return [op for op in self.operations if op.kind == "lookup"]
+
+    def updates(self) -> List[DirectoryOp]:
+        return [op for op in self.operations if op.kind != "lookup"]
+
+    def per_key_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for op in self.operations:
+            counts[op.key] = counts.get(op.key, 0) + 1
+        return counts
+
+
+class MultiKeyWorkloadGenerator:
+    """Generates directory workloads over a Zipf-popular key population.
+
+    Parameters
+    ----------
+    key_count:
+        Number of keys (``key0`` is the most popular).
+    entries_per_key:
+        Initial entries placed for each key.
+    popularity_skew:
+        The Zipf exponent ``s`` for both lookups and updates.
+    lookup_target:
+        Target answer size for generated lookups.
+    update_fraction:
+        Fraction of operations that are updates (alternating
+        delete+add pairs against the drawn key).
+    """
+
+    def __init__(
+        self,
+        key_count: int,
+        entries_per_key: int = 50,
+        popularity_skew: float = 1.0,
+        lookup_target: int = 3,
+        update_fraction: float = 0.1,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if key_count < 1 or entries_per_key < 1:
+            raise InvalidParameterError(
+                "key_count and entries_per_key must be >= 1"
+            )
+        if not 0.0 <= update_fraction <= 1.0:
+            raise InvalidParameterError("update_fraction must be in [0, 1]")
+        self.keys = [f"key{i}" for i in range(key_count)]
+        self.entries_per_key = entries_per_key
+        self.lookup_target = lookup_target
+        self.update_fraction = update_fraction
+        self.rng = rng if rng is not None else random.Random()
+        self.popularity = ZipfKeyPopularity(
+            self.keys, skew=popularity_skew, rng=self.rng
+        )
+
+    def generate(self, operations: int, mean_gap: float = 1.0) -> DirectoryWorkload:
+        """``operations`` timestamped ops with exponential gaps."""
+        if operations < 0:
+            raise InvalidParameterError("operations must be non-negative")
+        initial = {
+            key: tuple(f"{key}/e{i}" for i in range(self.entries_per_key))
+            for key in self.keys
+        }
+        live: Dict[str, List[str]] = {
+            key: list(entries) for key, entries in initial.items()
+        }
+        next_id = {key: self.entries_per_key for key in self.keys}
+        ops: List[DirectoryOp] = []
+        now = 0.0
+        for _ in range(operations):
+            now += self.rng.expovariate(1.0 / mean_gap)
+            key = self.popularity.draw()
+            if self.rng.random() < self.update_fraction and live[key]:
+                victim = self.rng.choice(live[key])
+                live[key].remove(victim)
+                ops.append(DirectoryOp(now, key, "delete", entry_id=victim))
+                fresh = f"{key}/e{next_id[key]}"
+                next_id[key] += 1
+                live[key].append(fresh)
+                ops.append(DirectoryOp(now, key, "add", entry_id=fresh))
+            else:
+                ops.append(
+                    DirectoryOp(now, key, "lookup", target=self.lookup_target)
+                )
+        return DirectoryWorkload(initial, tuple(ops))
+
+
+def apply_workload(directory, workload: DirectoryWorkload):
+    """Drive a :class:`PartialLookupDirectory` through a workload.
+
+    Places every key's initial entries, then applies the operation
+    stream in order.  Returns per-key lookup failure counts so callers
+    can spot under-served keys.
+    """
+    from repro.core.entry import Entry
+
+    failures: Dict[str, int] = {}
+    for key, entries in workload.initial_entries.items():
+        directory.place(key, list(entries))
+    for op in workload.operations:
+        if op.kind == "lookup":
+            result = directory.partial_lookup(op.key, op.target)
+            if not result.success:
+                failures[op.key] = failures.get(op.key, 0) + 1
+        elif op.kind == "add":
+            directory.add(op.key, Entry(op.entry_id))
+        elif op.kind == "delete":
+            directory.delete(op.key, Entry(op.entry_id))
+    return failures

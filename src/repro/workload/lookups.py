@@ -1,0 +1,72 @@
+"""Lookup workload generation.
+
+The static experiments issue batches of random lookups against a fixed
+placement (5000 per run in Figure 4, 10000 per instance in Figure 9);
+dynamic experiments interleave lookups with updates.  This module
+generates both shapes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.exceptions import InvalidParameterError
+from repro.simulation.events import LookupEvent
+
+
+class LookupWorkload:
+    """Generates lookup events / batches with configurable targets.
+
+    Parameters
+    ----------
+    target:
+        Fixed target answer size, or None to draw from ``target_range``.
+    target_range:
+        Inclusive ``(low, high)`` bounds for uniformly random targets,
+        modelling "a diverse group of clients with different target
+        answer size requirements" (§4.3).
+    """
+
+    def __init__(
+        self,
+        target: Optional[int] = None,
+        target_range: Optional[Sequence[int]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if (target is None) == (target_range is None):
+            raise InvalidParameterError(
+                "provide exactly one of target / target_range"
+            )
+        if target is not None and target < 1:
+            raise InvalidParameterError("target must be >= 1")
+        if target_range is not None:
+            low, high = target_range
+            if not 1 <= low <= high:
+                raise InvalidParameterError("target_range must satisfy 1 <= low <= high")
+        self.target = target
+        self.target_range = tuple(target_range) if target_range else None
+        self.rng = rng if rng is not None else random.Random()
+
+    def next_target(self) -> int:
+        if self.target is not None:
+            return self.target
+        low, high = self.target_range  # type: ignore[misc]
+        return self.rng.randint(low, high)
+
+    def batch(self, count: int) -> List[int]:
+        """``count`` lookup targets, for direct strategy driving."""
+        return [self.next_target() for _ in range(count)]
+
+    def events_at(self, times: Iterable[float]) -> List[LookupEvent]:
+        """One lookup event per timestamp, for trace interleaving."""
+        return [LookupEvent(time, target=self.next_target()) for time in times]
+
+    def events_uniform(
+        self, count: int, start: float, end: float
+    ) -> List[LookupEvent]:
+        """``count`` lookups at uniformly random times in [start, end]."""
+        if end < start:
+            raise InvalidParameterError("end must be >= start")
+        times = sorted(self.rng.uniform(start, end) for _ in range(count))
+        return self.events_at(times)

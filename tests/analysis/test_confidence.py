@@ -1,0 +1,55 @@
+"""Unit tests for confidence intervals."""
+
+import pytest
+
+from repro.analysis.confidence import ConfidenceInterval, mean_confidence_interval
+from repro.core.exceptions import InvalidParameterError
+
+
+class TestConfidenceInterval:
+    def test_mean(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+
+    def test_bounds_bracket_mean(self):
+        ci = mean_confidence_interval([1.0, 5.0, 3.0, 7.0])
+        assert ci.low < ci.mean < ci.high
+        assert ci.high - ci.mean == pytest.approx(ci.half_width)
+
+    def test_single_sample_zero_width(self):
+        ci = mean_confidence_interval([4.2])
+        assert ci.half_width == 0.0
+        assert ci.samples == 1
+
+    def test_identical_samples_zero_width(self):
+        ci = mean_confidence_interval([3.0] * 10)
+        assert ci.half_width == 0.0
+
+    def test_width_shrinks_with_samples(self):
+        small = mean_confidence_interval([1.0, 2.0] * 5)
+        large = mean_confidence_interval([1.0, 2.0] * 500)
+        assert large.half_width < small.half_width
+
+    def test_higher_level_wider(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert (
+            mean_confidence_interval(samples, 0.99).half_width
+            > mean_confidence_interval(samples, 0.90).half_width
+        )
+
+    def test_relative_half_width(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=0.5, level=0.95, samples=9)
+        assert ci.relative_half_width == pytest.approx(0.05)
+
+    def test_relative_half_width_zero_mean(self):
+        assert ConfidenceInterval(0.0, 0.0, 0.95, 2).relative_half_width == 0.0
+
+    def test_str(self):
+        text = str(mean_confidence_interval([1.0, 2.0]))
+        assert "±" in text and "95%" in text
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mean_confidence_interval([])
+        with pytest.raises(InvalidParameterError):
+            mean_confidence_interval([1.0], level=0.5)

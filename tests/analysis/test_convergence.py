@@ -1,0 +1,57 @@
+"""Unit tests for the run-count convergence planner."""
+
+import random
+
+import pytest
+
+from repro.analysis.convergence import plan_runs
+from repro.core.exceptions import InvalidParameterError
+
+
+class TestPlanRuns:
+    def test_loose_target_already_converged(self):
+        plan = plan_runs([10.0, 10.1, 9.9, 10.0], 0.10)
+        assert plan.already_converged
+        assert plan.additional_runs == 0
+
+    def test_tight_target_needs_more_runs(self):
+        plan = plan_runs([10.0, 12.0, 8.0, 11.0, 9.0], 0.001)
+        assert not plan.already_converged
+        assert plan.required_runs > plan.pilot_samples
+        assert plan.additional_runs == plan.required_runs - 5
+
+    def test_required_runs_scale_inverse_square(self):
+        pilot = [10.0, 12.0, 8.0, 11.0, 9.0, 10.5]
+        loose = plan_runs(pilot, 0.02).required_runs
+        tight = plan_runs(pilot, 0.01).required_runs
+        assert tight == pytest.approx(4 * loose, rel=0.1)
+
+    def test_zero_variance_pilot(self):
+        plan = plan_runs([5.0, 5.0, 5.0], 0.01)
+        assert plan.required_runs == 2  # nothing to average away
+        assert plan.already_converged
+
+    def test_prediction_is_roughly_right(self):
+        """Follow the plan; the achieved CI should be near target."""
+        rng = random.Random(1)
+
+        def sample():
+            return rng.gauss(100.0, 10.0)
+
+        pilot = [sample() for _ in range(30)]
+        plan = plan_runs(pilot, target_relative_half_width=0.01)
+        full = [sample() for _ in range(plan.required_runs)]
+        from repro.analysis.confidence import mean_confidence_interval
+
+        achieved = mean_confidence_interval(full).relative_half_width
+        assert achieved < 0.02  # within 2x of the 1% target
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            plan_runs([1.0], 0.01)
+        with pytest.raises(InvalidParameterError):
+            plan_runs([1.0, 2.0], 0.0)
+        with pytest.raises(InvalidParameterError):
+            plan_runs([1.0, -1.0], 0.01)  # mean zero
+        with pytest.raises(InvalidParameterError):
+            plan_runs([1.0, 2.0], 0.01, level=0.5)

@@ -1,0 +1,65 @@
+"""Unit tests for the §6.4 crossover analysis."""
+
+import pytest
+
+from repro.analysis.crossover import (
+    expected_update_cost_fixed,
+    expected_update_cost_hash,
+    find_crossovers,
+    optimal_hash_y,
+)
+from repro.core.exceptions import InvalidParameterError
+
+
+class TestOptimalY:
+    def test_paper_break_points(self):
+        # t=40, n=10: y = 4 for h in [100,133), 3 for [134,200), etc.
+        assert optimal_hash_y(40, 100, 10) == 4
+        assert optimal_hash_y(40, 133, 10) == 4  # 400/133 = 3.007…
+        assert optimal_hash_y(40, 134, 10) == 3
+        assert optimal_hash_y(40, 200, 10) == 2
+        assert optimal_hash_y(40, 400, 10) == 1
+
+    def test_minimum_one(self):
+        assert optimal_hash_y(1, 1000, 10) == 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_hash_y(0, 100, 10)
+
+
+class TestCostModels:
+    def test_fixed_cost_formula(self):
+        # 1 + (x/h)·n: x=50, h=100, n=10 -> 6.
+        assert expected_update_cost_fixed(50, 100, 10) == pytest.approx(6.0)
+
+    def test_fixed_cost_capped_probability(self):
+        # x > h: every update broadcasts.
+        assert expected_update_cost_fixed(200, 100, 10) == pytest.approx(11.0)
+
+    def test_hash_cost_formula(self):
+        assert expected_update_cost_hash(3) == 4.0
+
+    def test_equality_condition(self):
+        # (x/h)·n == y at the crossover: x=50, h=250, n=10 -> 2 = y.
+        fixed = expected_update_cost_fixed(50, 250, 10)
+        hashed = expected_update_cost_hash(2)
+        assert fixed == pytest.approx(hashed)
+
+
+class TestCrossoverScan:
+    def test_paper_sweep_has_multiple_crossovers(self):
+        crossovers = find_crossovers(
+            x=50, target=40, server_count=10,
+            entry_counts=list(range(100, 401, 10)),
+        )
+        assert len(crossovers) >= 2
+        directions = [(c.cheaper_before, c.cheaper_after) for c in crossovers]
+        assert ("hash", "fixed") in directions
+        assert ("fixed", "hash") in directions
+
+    def test_no_crossover_in_flat_region(self):
+        crossovers = find_crossovers(
+            x=50, target=40, server_count=10, entry_counts=[300, 310, 320]
+        )
+        assert crossovers == []

@@ -1,0 +1,107 @@
+"""Unit tests for the Table 1 / Section 4 closed forms."""
+
+import pytest
+
+from repro.analysis.formulas import (
+    expected_coverage_random_server,
+    expected_storage,
+    fault_tolerance_round_robin,
+    lookup_cost_round_robin,
+    solve_x_from_budget,
+    solve_y_from_budget,
+    storage_table,
+)
+from repro.core.exceptions import InvalidParameterError
+
+
+class TestStorageFormulas:
+    def test_full_replication(self):
+        assert expected_storage("full_replication", 100, 10) == 1000
+
+    def test_fixed_and_random_server(self):
+        assert expected_storage("fixed", 100, 10, x=20) == 200
+        assert expected_storage("random_server", 100, 10, x=20) == 200
+
+    def test_round_robin(self):
+        assert expected_storage("round_robin", 100, 10, y=2) == 200
+
+    def test_hash_collision_discount(self):
+        # 100·10·(1 − 0.9²) = 190 < 200 = h·y·... the naive h·y·n/n.
+        assert expected_storage("hash", 100, 10, y=2) == pytest.approx(190.0)
+
+    def test_hash_saturates_at_h_n(self):
+        assert expected_storage("hash", 100, 10, y=1000) == pytest.approx(
+            1000.0, rel=1e-3
+        )
+
+    def test_unknown_strategy(self):
+        with pytest.raises(InvalidParameterError):
+            expected_storage("bogus", 100, 10)
+
+    def test_missing_parameter(self):
+        with pytest.raises(InvalidParameterError):
+            expected_storage("fixed", 100, 10)  # x defaults to 0
+
+    def test_storage_table_keys(self):
+        table = storage_table(100, 10, x=20, y=2)
+        assert set(table) == {
+            "full_replication",
+            "fixed",
+            "random_server",
+            "round_robin",
+            "hash",
+        }
+
+
+class TestCoverageFormula:
+    def test_paper_value(self):
+        # §4.5 quotes ~89 entries for x=20, h=100, n=10.
+        value = expected_coverage_random_server(100, 10, 20)
+        assert value == pytest.approx(89.26, abs=0.01)
+
+    def test_x_at_least_h_is_complete(self):
+        assert expected_coverage_random_server(100, 10, 100) == 100
+        assert expected_coverage_random_server(100, 10, 150) == 100
+
+    def test_monotone_in_x(self):
+        values = [
+            expected_coverage_random_server(100, 10, x) for x in (5, 10, 20, 50)
+        ]
+        assert values == sorted(values)
+
+    def test_monotone_in_n(self):
+        assert expected_coverage_random_server(
+            100, 20, 10
+        ) > expected_coverage_random_server(100, 5, 10)
+
+
+class TestRoundRobinFormulas:
+    def test_lookup_cost_steps(self):
+        # y=2, h=100, n=10: 20 entries per server.
+        assert lookup_cost_round_robin(20, 100, 10, 2) == 1
+        assert lookup_cost_round_robin(21, 100, 10, 2) == 2
+        assert lookup_cost_round_robin(40, 100, 10, 2) == 2
+        assert lookup_cost_round_robin(41, 100, 10, 2) == 3
+
+    def test_fault_tolerance_paper_example(self):
+        # §4.4: Round-1 supports t with n − ⌈tn/h⌉ tolerable failures.
+        assert fault_tolerance_round_robin(10, 100, 10, 1) == 9 - 1 + 1
+        assert fault_tolerance_round_robin(50, 100, 10, 2) == 10 - 5 + 1
+
+    def test_fault_tolerance_clamped(self):
+        assert fault_tolerance_round_robin(1, 100, 10, 10) == 9  # <= n-1
+        assert fault_tolerance_round_robin(100, 100, 10, 1) == 0  # >= 0
+
+
+class TestBudgetSolvers:
+    def test_paper_budget_200(self):
+        assert solve_x_from_budget(200, 10) == 20
+        assert solve_y_from_budget(200, 100) == 2
+
+    def test_floors(self):
+        assert solve_x_from_budget(199, 10) == 19
+        assert solve_y_from_budget(199, 100) == 1
+
+    def test_minimum_one(self):
+        assert solve_x_from_budget(5, 10) == 1
+        assert solve_y_from_budget(50, 100) == 1

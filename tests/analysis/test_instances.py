@@ -1,0 +1,140 @@
+"""Unit tests for exact instance enumeration (Figure 8)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.instances import (
+    enumerate_hash_instances,
+    enumerate_random_server_instances,
+    expected_coverage_exact,
+    instance_retrieval_probabilities,
+    instance_unfairness_exact,
+    strategy_unfairness_exact,
+)
+from repro.analysis.formulas import (
+    expected_coverage_random_server,
+    expected_storage,
+)
+from repro.core.exceptions import InvalidParameterError
+
+
+class TestEnumeration:
+    def test_figure8_instance_count(self):
+        # RandomServer-1 on 2 servers / 2 entries: 4 instances.
+        instances = enumerate_random_server_instances(2, 2, 1)
+        assert len(instances) == 4
+        assert sum(i.probability for i in instances) == Fraction(1)
+
+    def test_random_server_instance_counts_general(self):
+        # C(3,2)^2 = 9 instances.
+        assert len(enumerate_random_server_instances(3, 2, 2)) == 9
+
+    def test_x_capped_at_h(self):
+        instances = enumerate_random_server_instances(2, 2, 5)
+        assert len(instances) == 1  # everyone stores everything
+
+    def test_hash_probabilities_sum_to_one(self):
+        instances = enumerate_hash_instances(2, 2, 2)
+        assert sum(i.probability for i in instances) == Fraction(1)
+
+    def test_explosion_guard(self):
+        with pytest.raises(InvalidParameterError, match="too many"):
+            enumerate_random_server_instances(20, 10, 10)
+        with pytest.raises(InvalidParameterError, match="too many"):
+            enumerate_hash_instances(10, 10, 3)
+
+
+class TestExactProbabilities:
+    def test_identical_servers_concentrate(self):
+        # Both servers store entry 0 only: p = (1, 0).
+        placement = ((0,), (0,))
+        assert instance_retrieval_probabilities(placement, 2, 1) == [
+            Fraction(1),
+            Fraction(0),
+        ]
+
+    def test_split_servers_are_fair(self):
+        placement = ((0,), (1,))
+        assert instance_retrieval_probabilities(placement, 2, 1) == [
+            Fraction(1, 2),
+            Fraction(1, 2),
+        ]
+
+    def test_probabilities_sum_to_target(self):
+        placement = ((0, 1, 2), (1, 2, 3))
+        probabilities = instance_retrieval_probabilities(placement, 4, 2)
+        assert sum(probabilities) == Fraction(2)
+
+    def test_single_contact_regime_enforced(self):
+        with pytest.raises(InvalidParameterError, match="single-contact"):
+            instance_retrieval_probabilities(((0,), (0, 1)), 2, 2)
+
+    def test_empty_servers_allowed(self):
+        placement = ((0, 1), ())
+        probabilities = instance_retrieval_probabilities(placement, 2, 1)
+        # Half the lookups hit the empty server and return nothing in
+        # the single-contact model; the paper's client would retry,
+        # but for the schemes we enumerate (RandomServer with x>=t)
+        # non-empty stores are guaranteed.
+        assert sum(probabilities) == Fraction(1, 2)
+
+
+class TestFigure8:
+    def test_instance_unfairness_values(self):
+        # Figure 8: instances 1 and 4 have U=1; instances 2, 3 have U=0.
+        assert instance_unfairness_exact(((0,), (0,)), 2, 1) == pytest.approx(1.0)
+        assert instance_unfairness_exact(((0,), (1,)), 2, 1) == pytest.approx(0.0)
+        assert instance_unfairness_exact(((1,), (0,)), 2, 1) == pytest.approx(0.0)
+        assert instance_unfairness_exact(((1,), (1,)), 2, 1) == pytest.approx(1.0)
+
+    def test_strategy_unfairness_is_one_half(self):
+        instances = enumerate_random_server_instances(2, 2, 1)
+        assert strategy_unfairness_exact(instances, 2, 1) == pytest.approx(0.5)
+
+
+class TestCrossValidation:
+    def test_exact_coverage_matches_closed_form(self):
+        # E[coverage] = h(1-(1-x/h)^n) must agree with enumeration.
+        for h, n, x in [(3, 2, 1), (4, 2, 2), (3, 3, 1)]:
+            instances = enumerate_random_server_instances(h, n, x)
+            exact = expected_coverage_exact(instances, h)
+            closed = expected_coverage_random_server(h, n, x)
+            assert exact == pytest.approx(closed, rel=1e-12)
+
+    def test_exact_hash_storage_matches_closed_form(self):
+        # E[storage] = h·n·(1-(1-1/n)^y) from Table 1.
+        for h, n, y in [(2, 2, 2), (3, 2, 2), (2, 3, 2)]:
+            instances = enumerate_hash_instances(h, n, y)
+            exact = float(
+                sum(
+                    instance.probability
+                    * sum(len(store) for store in instance.placement)
+                    for instance in instances
+                )
+            )
+            closed = expected_storage("hash", h, n, y=y)
+            assert exact == pytest.approx(closed, rel=1e-12)
+
+    def test_monte_carlo_estimator_converges_to_exact(self):
+        """The simulator's measured unfairness matches enumeration."""
+        from repro.cluster.cluster import Cluster
+        from repro.core.entry import make_entries
+        from repro.metrics.unfairness import estimate_unfairness
+        from repro.strategies.random_server import RandomServerX
+
+        instances = enumerate_random_server_instances(4, 2, 2)
+        exact = strategy_unfairness_exact(instances, 4, 2)
+
+        entries = make_entries(4)
+        measured = 0.0
+        runs = 60
+        for seed in range(runs):
+            strategy = RandomServerX(Cluster(2, seed=seed), x=2)
+            strategy.place(entries)
+            measured += estimate_unfairness(
+                strategy, 2, entries, lookups=3000
+            ).unfairness
+        measured /= runs
+        # Monte-Carlo noise adds a small positive bias; tolerate it.
+        assert measured == pytest.approx(exact, abs=0.1)

@@ -1,0 +1,100 @@
+"""Unit tests for the capacity planner."""
+
+import math
+
+import pytest
+
+from repro.analysis.planner import (
+    SIMULATION_ONLY,
+    DeploymentSpec,
+    cheapest_for_updates,
+    plan,
+    plan_rows,
+)
+from repro.core.exceptions import InvalidParameterError
+
+
+def _spec(**overrides):
+    base = dict(
+        entry_count=100, server_count=10, storage_budget=200,
+        target_answer_size=15,
+    )
+    base.update(overrides)
+    return DeploymentSpec(**base)
+
+
+class TestSpecValidation:
+    def test_bad_counts(self):
+        with pytest.raises(InvalidParameterError):
+            DeploymentSpec(0, 10, 200, 5)
+        with pytest.raises(InvalidParameterError):
+            DeploymentSpec(100, 10, 200, 0)
+        with pytest.raises(InvalidParameterError):
+            DeploymentSpec(100, 10, 200, 5, updates_per_lookup=-1)
+
+
+class TestPlan:
+    def test_all_schemes_planned(self):
+        schemes = {p.scheme for p in plan(_spec())}
+        assert schemes == {
+            "full_replication", "fixed", "random_server",
+            "round_robin", "hash",
+        }
+
+    def test_budget_parameterization(self):
+        by_name = {p.scheme: p for p in plan(_spec())}
+        assert by_name["fixed"].parameters == {"x": 20}
+        assert by_name["round_robin"].parameters == {"y": 2}
+
+    def test_table1_storage_numbers(self):
+        by_name = {p.scheme: p for p in plan(_spec())}
+        assert by_name["full_replication"].expected_storage == 1000
+        assert by_name["fixed"].expected_storage == 200
+        assert by_name["round_robin"].expected_storage == 200
+        assert by_name["hash"].expected_storage == pytest.approx(190.0)
+
+    def test_round_robin_predictions(self):
+        by_name = {p.scheme: p for p in plan(_spec(target_answer_size=25))}
+        rr = by_name["round_robin"]
+        assert rr.expected_lookup_cost == 2.0
+        assert rr.worst_case_fault_tolerance == 8
+
+    def test_fixed_unusable_beyond_x(self):
+        by_name = {p.scheme: p for p in plan(_spec(target_answer_size=30))}
+        fixed = by_name["fixed"]
+        assert fixed.expected_lookup_cost == math.inf
+        assert fixed.worst_case_fault_tolerance == 0
+        assert "unusable" in fixed.notes
+
+    def test_simulation_only_cells_marked(self):
+        by_name = {p.scheme: p for p in plan(_spec())}
+        assert by_name["random_server"].expected_lookup_cost == SIMULATION_ONLY
+        assert by_name["hash"].worst_case_fault_tolerance == SIMULATION_ONLY
+        assert by_name["round_robin"].expected_update_messages == SIMULATION_ONLY
+
+    def test_update_costs(self):
+        by_name = {p.scheme: p for p in plan(_spec())}
+        assert by_name["fixed"].expected_update_messages == pytest.approx(3.0)
+        assert by_name["hash"].expected_update_messages == pytest.approx(3.0)
+        assert by_name["full_replication"].expected_update_messages == 11.0
+
+
+class TestCheapestForUpdates:
+    def test_small_ratio_prefers_fixed(self):
+        # §6.4 rule of thumb: t/h < 1/n.
+        spec = _spec(entry_count=600, storage_budget=500, target_answer_size=10)
+        assert cheapest_for_updates(spec) == "fixed"
+
+    def test_large_ratio_prefers_hash(self):
+        spec = _spec(entry_count=100, storage_budget=200, target_answer_size=40)
+        assert cheapest_for_updates(spec) == "hash"
+
+
+class TestPlanRows:
+    def test_rows_render(self):
+        rows = plan_rows(_spec())
+        assert len(rows) == 5
+        assert all(
+            set(row) >= {"scheme", "params", "storage", "lookup_cost"}
+            for row in rows
+        )

@@ -1,0 +1,130 @@
+"""Unit tests for the client-side lookup driver."""
+
+import pytest
+
+from repro.cluster.client import Client
+from repro.cluster.cluster import Cluster
+from repro.cluster.messages import LookupRequest
+from repro.cluster.server import ServerLogic
+from repro.core.entry import Entry, make_entries
+
+
+class _FixedReplyLogic(ServerLogic):
+    """Each server replies with its pre-assigned entry list."""
+
+    def __init__(self, replies):
+        self.replies = replies
+
+    def handle(self, server, message, network):
+        assert isinstance(message, LookupRequest)
+        stock = self.replies.get(server.server_id, [])
+        if message.target <= 0 or message.target >= len(stock):
+            return list(stock)
+        return stock[: message.target]
+
+
+def _cluster_with_replies(size, replies, seed=1):
+    cluster = Cluster(size, seed=seed)
+    logic = _FixedReplyLogic(replies)
+    for server in cluster.servers:
+        server.install_logic("k", logic)
+    return cluster
+
+
+class TestOrderings:
+    def test_random_order_is_permutation(self, cluster):
+        client = Client(cluster)
+        order = client.random_order()
+        assert sorted(order) == list(range(10))
+
+    def test_stride_order_disjoint_walk(self, cluster):
+        client = Client(cluster)
+        order = client.stride_order(start=3, stride=3)
+        assert order[:4] == [3, 6, 9, 2]
+        assert sorted(order) == list(range(10))
+
+    def test_stride_order_with_common_factor_completes(self, cluster):
+        client = Client(cluster)
+        order = client.stride_order(start=0, stride=2)
+        # Walk covers the even ids, then random leftovers cover odds.
+        assert order[:5] == [0, 2, 4, 6, 8]
+        assert sorted(order) == list(range(10))
+
+    def test_stride_one_is_sequential(self, cluster):
+        client = Client(cluster)
+        assert client.stride_order(7, 1) == [7, 8, 9, 0, 1, 2, 3, 4, 5, 6]
+
+
+class TestCollect:
+    def test_stops_at_target(self):
+        replies = {i: make_entries(5, start=1 + 5 * i) for i in range(4)}
+        cluster = _cluster_with_replies(4, replies)
+        result = Client(cluster).collect("k", 8, order=[0, 1, 2, 3])
+        assert len(result) == 8
+        assert result.lookup_cost == 2
+        assert result.success
+
+    def test_trims_to_exactly_target(self):
+        replies = {0: make_entries(10)}
+        cluster = _cluster_with_replies(1, replies)
+        result = Client(cluster).collect("k", 7, order=[0])
+        assert len(result) == 7
+
+    def test_merges_distinct_across_servers(self):
+        shared = make_entries(4)
+        replies = {0: shared, 1: shared, 2: make_entries(4, start=5)}
+        cluster = _cluster_with_replies(3, replies)
+        result = Client(cluster).collect("k", 8, order=[0, 1, 2])
+        assert len(result) == 8
+        assert result.lookup_cost == 3  # server 1 contributed nothing new
+
+    def test_target_zero_contacts_everyone(self):
+        replies = {i: make_entries(2, start=1 + 2 * i) for i in range(4)}
+        cluster = _cluster_with_replies(4, replies)
+        result = Client(cluster).collect("k", 0, order=[0, 1, 2, 3])
+        assert len(result) == 8
+        assert result.lookup_cost == 4
+
+    def test_exhausting_servers_reports_failure(self):
+        replies = {0: make_entries(2), 1: make_entries(2)}
+        cluster = _cluster_with_replies(2, replies)
+        result = Client(cluster).collect("k", 5, order=[0, 1])
+        assert not result.success
+        assert len(result) == 2
+
+    def test_failed_servers_skipped_not_costed(self):
+        replies = {i: make_entries(3, start=1 + 3 * i) for i in range(3)}
+        cluster = _cluster_with_replies(3, replies)
+        cluster.fail(0)
+        result = Client(cluster).collect("k", 6, order=[0, 1, 2])
+        assert result.success
+        assert result.lookup_cost == 2
+        assert result.failed_contacts == (0,)
+
+    def test_max_servers_cap(self):
+        replies = {i: make_entries(2, start=1 + 2 * i) for i in range(4)}
+        cluster = _cluster_with_replies(4, replies)
+        result = Client(cluster).collect("k", 8, order=[0, 1, 2, 3], max_servers=1)
+        assert result.lookup_cost == 1
+        assert not result.success
+
+    def test_messages_equal_contacts(self):
+        replies = {i: make_entries(3, start=1 + 3 * i) for i in range(3)}
+        cluster = _cluster_with_replies(3, replies)
+        result = Client(cluster).collect("k", 6, order=[0, 1, 2])
+        assert result.messages == result.lookup_cost
+
+    def test_trim_is_uniform_over_last_reply(self):
+        # Asking 1 entry from a 4-entry server: each should win ~25%.
+        replies = {0: make_entries(4)}
+        cluster = _cluster_with_replies(1, replies, seed=77)
+        client = Client(cluster)
+        counts = {e.entry_id: 0 for e in make_entries(4)}
+        trials = 4000
+        for _ in range(trials):
+            # per_server_target=0 forces the server to return all 4 so
+            # the client-side trim does the selection.
+            result = client.collect("k", 1, order=[0], per_server_target=0)
+            counts[result.entries[0].entry_id] += 1
+        for count in counts.values():
+            assert abs(count / trials - 0.25) < 0.04

@@ -1,0 +1,111 @@
+"""Unit tests for the Cluster substrate."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import InvalidParameterError, NoOperationalServerError
+
+
+class TestTopology:
+    def test_size(self, cluster):
+        assert cluster.size == 10
+        assert len(cluster.servers) == 10
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            Cluster(0)
+
+    def test_server_ids_sequential(self, cluster):
+        assert [s.server_id for s in cluster.servers] == list(range(10))
+
+    def test_server_lookup_wraps(self, cluster):
+        assert cluster.server(13).server_id == 3
+
+    def test_seeded_clusters_replay(self):
+        a = Cluster(5, seed=1)
+        b = Cluster(5, seed=1)
+        assert [a.random_server_id() for _ in range(20)] == [
+            b.random_server_id() for _ in range(20)
+        ]
+
+
+class TestFailures:
+    def test_fail_and_recover(self, cluster):
+        cluster.fail(3)
+        assert not cluster.server(3).alive
+        assert cluster.failed_count == 1
+        cluster.recover(3)
+        assert cluster.failed_count == 0
+
+    def test_alive_ids_excludes_failed(self, cluster):
+        cluster.fail_many([1, 4])
+        assert 1 not in cluster.alive_ids()
+        assert len(cluster.alive_ids()) == 8
+
+    def test_random_alive_avoids_failed(self, cluster):
+        cluster.fail_many(range(9))  # only server 9 alive
+        for _ in range(20):
+            assert cluster.random_alive_server_id() == 9
+
+    def test_all_failed_raises(self, cluster):
+        cluster.fail_many(range(10))
+        with pytest.raises(NoOperationalServerError):
+            cluster.random_alive_server_id()
+
+    def test_recover_all(self, cluster):
+        cluster.fail_many(range(10))
+        cluster.recover_all()
+        assert cluster.failed_count == 0
+
+
+class TestObservations:
+    def _populate(self, cluster):
+        cluster.server(0).store("k").add(Entry("a"))
+        cluster.server(0).store("k").add(Entry("b"))
+        cluster.server(1).store("k").add(Entry("b"))
+
+    def test_storage_cost_counts_copies(self, cluster):
+        self._populate(cluster)
+        assert cluster.storage_cost("k") == 3
+
+    def test_storage_cost_includes_failed_servers(self, cluster):
+        self._populate(cluster)
+        cluster.fail(0)
+        assert cluster.storage_cost("k") == 3
+
+    def test_store_sizes(self, cluster):
+        self._populate(cluster)
+        sizes = cluster.store_sizes("k")
+        assert sizes[0] == 2 and sizes[1] == 1 and sum(sizes) == 3
+
+    def test_coverage_distinct(self, cluster):
+        self._populate(cluster)
+        assert cluster.coverage("k") == 2
+
+    def test_coverage_alive_only(self, cluster):
+        self._populate(cluster)
+        cluster.fail(0)
+        assert cluster.coverage("k") == 1  # only b survives on server 1
+
+    def test_coverage_can_include_failed(self, cluster):
+        self._populate(cluster)
+        cluster.fail(0)
+        assert cluster.coverage("k", alive_only=False) == 2
+
+    def test_replica_counts(self, cluster):
+        self._populate(cluster)
+        counts = cluster.replica_counts("k")
+        assert counts[Entry("a")] == 1
+        assert counts[Entry("b")] == 2
+
+    def test_placement_map(self, cluster):
+        self._populate(cluster)
+        placement = cluster.placement("k")
+        assert placement[0] == {Entry("a"), Entry("b")}
+        assert placement[2] == set()
+
+    def test_wipe(self, cluster):
+        self._populate(cluster)
+        cluster.wipe()
+        assert cluster.storage_cost("k") == 0

@@ -1,0 +1,85 @@
+"""Unit tests for failure injection."""
+
+import pytest
+
+from repro.cluster.failures import FailureInjector, FailurePattern
+from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError
+
+
+def _populate(cluster):
+    cluster.server(0).store("k").add(Entry("a"))
+    cluster.server(1).store("k").add(Entry("b"))
+    cluster.server(2).store("k").add(Entry("b"))
+
+
+class TestPatterns:
+    def test_random_pattern_distinct(self, cluster):
+        injector = FailureInjector(cluster)
+        pattern = injector.random_pattern(5)
+        assert len(set(pattern.server_ids)) == 5
+        assert pattern.origin == "random"
+
+    def test_random_pattern_bounds(self, cluster):
+        injector = FailureInjector(cluster)
+        with pytest.raises(InvalidParameterError):
+            injector.random_pattern(11)
+        with pytest.raises(InvalidParameterError):
+            injector.random_pattern(-1)
+
+    def test_pattern_len_and_iter(self):
+        pattern = FailurePattern((1, 2, 3))
+        assert len(pattern) == 3
+        assert list(pattern) == [1, 2, 3]
+
+
+class TestInjection:
+    def test_apply_and_revert(self, cluster):
+        injector = FailureInjector(cluster)
+        pattern = FailurePattern((0, 2))
+        injector.apply(pattern)
+        assert cluster.failed_count == 2
+        injector.revert(pattern)
+        assert cluster.failed_count == 0
+
+    def test_context_manager_restores(self, cluster):
+        injector = FailureInjector(cluster)
+        with injector.injected(FailurePattern((1,))):
+            assert not cluster.server(1).alive
+        assert cluster.server(1).alive
+
+    def test_context_manager_restores_on_error(self, cluster):
+        injector = FailureInjector(cluster)
+        with pytest.raises(RuntimeError):
+            with injector.injected(FailurePattern((1,))):
+                raise RuntimeError("boom")
+        assert cluster.server(1).alive
+
+    def test_nested_injections_compose(self, cluster):
+        injector = FailureInjector(cluster)
+        cluster.fail(5)  # pre-existing failure
+        with injector.injected(FailurePattern((1,))):
+            with injector.injected(FailurePattern((2,))):
+                assert cluster.failed_count == 3
+            assert cluster.failed_count == 2
+        assert cluster.failed_count == 1
+        assert not cluster.server(5).alive
+
+
+class TestSurvives:
+    def test_survives_when_coverage_held_elsewhere(self, cluster):
+        _populate(cluster)
+        injector = FailureInjector(cluster)
+        # b survives on server 2 even if server 1 dies; a on server 0.
+        assert injector.survives("k", 2, FailurePattern((1,)))
+
+    def test_fails_when_unique_holder_dies(self, cluster):
+        _populate(cluster)
+        injector = FailureInjector(cluster)
+        assert not injector.survives("k", 2, FailurePattern((0,)))
+
+    def test_cluster_restored_after_survives(self, cluster):
+        _populate(cluster)
+        injector = FailureInjector(cluster)
+        injector.survives("k", 2, FailurePattern((0, 1)))
+        assert cluster.failed_count == 0

@@ -1,0 +1,102 @@
+"""Protocol choreography tests using the network message log.
+
+The message log records every (destination, message type) delivery in
+order, letting tests pin down the *exact* message sequence of each
+protocol — the executable version of the paper's Figure 11 pseudocode.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.strategies.fixed import FixedX
+from repro.strategies.hashing import HashY
+from repro.strategies.round_robin import RoundRobinY
+
+
+class TestRoundRobinDeleteChoreography:
+    """Figure 11's delete, message by message."""
+
+    def test_full_sequence(self):
+        cluster = Cluster(5, seed=1)
+        strategy = RoundRobinY(cluster, y=2)
+        strategy.place(make_entries(10))
+        log = cluster.network.enable_message_log()
+        strategy.delete(Entry("v5"))  # position 4, holders 4 and 0
+
+        kinds = [kind for _, kind in log]
+        # 1 client request, n=5 broadcast deliveries, y=2 migrations,
+        # y=2 replacement removals.
+        assert Counter(kinds) == Counter(
+            {
+                "DeleteRequest": 1,
+                "RemoveWithHead": 5,
+                "MigrateRequest": 2,
+                "RemoveReplacement": 2,
+            }
+        )
+        # The request precedes everything; every migrate goes to the
+        # head server (position 0 -> server 0).
+        assert kinds[0] == "DeleteRequest"
+        migrate_targets = {dest for dest, kind in log if kind == "MigrateRequest"}
+        assert migrate_targets == {0}
+        # Replacement removals go to the old holders of the head entry
+        # (position 0: servers 0 and 1) and happen after all migrates.
+        removal_targets = sorted(
+            dest for dest, kind in log if kind == "RemoveReplacement"
+        )
+        assert removal_targets == [0, 1]
+        last_migrate = max(
+            i for i, (_, kind) in enumerate(log) if kind == "MigrateRequest"
+        )
+        first_removal = min(
+            i for i, (_, kind) in enumerate(log) if kind == "RemoveReplacement"
+        )
+        assert first_removal > last_migrate
+
+    def test_deleting_head_entry_skips_migration_payload(self):
+        cluster = Cluster(5, seed=2)
+        strategy = RoundRobinY(cluster, y=2)
+        strategy.place(make_entries(10))
+        log = cluster.network.enable_message_log()
+        strategy.delete(Entry("v1"))  # the head entry itself
+        kinds = Counter(kind for _, kind in log)
+        # Migrations still occur (holders must ask) but there is no
+        # replacement to retire.
+        assert kinds["MigrateRequest"] == 2
+        assert kinds["RemoveReplacement"] == 0
+
+
+class TestFixedChoreography:
+    def test_ignored_add_sends_nothing_downstream(self):
+        cluster = Cluster(5, seed=3)
+        strategy = FixedX(cluster, x=5)
+        strategy.place(make_entries(20))
+        log = cluster.network.enable_message_log()
+        strategy.add(Entry("ignored"))
+        assert [kind for _, kind in log] == ["AddRequest"]
+
+    def test_acting_delete_broadcasts_once(self):
+        cluster = Cluster(5, seed=4)
+        strategy = FixedX(cluster, x=5)
+        strategy.place(make_entries(20))
+        log = cluster.network.enable_message_log()
+        strategy.delete(Entry("v2"))
+        kinds = Counter(kind for _, kind in log)
+        assert kinds == Counter({"DeleteRequest": 1, "RemoveMessage": 5})
+
+
+class TestHashChoreography:
+    def test_add_goes_only_to_hash_targets(self):
+        cluster = Cluster(10, seed=5)
+        strategy = HashY(cluster, y=3)
+        strategy.place(make_entries(5))
+        entry = Entry("new")
+        targets = set(strategy.family.assign_distinct(entry))
+        log = cluster.network.enable_message_log()
+        strategy.add(entry)
+        stores = [(dest, kind) for dest, kind in log if kind == "StoreMessage"]
+        assert {dest for dest, _ in stores} == targets
+        assert len(stores) == len(targets)  # one message per distinct target

@@ -1,0 +1,98 @@
+"""Unit tests for the Network cost model."""
+
+import pytest
+
+from repro.cluster.messages import LookupRequest, StoreMessage
+from repro.cluster.network import UNDELIVERED, MessageStats, Network
+from repro.cluster.server import Server, ServerLogic
+from repro.core.entry import Entry
+
+
+class _CountingLogic(ServerLogic):
+    """Test logic: stores entries, returns the server id."""
+
+    def handle(self, server, message, network):
+        if isinstance(message, StoreMessage):
+            server.store("k").add(message.entry)
+        return server.server_id
+
+
+def _make_network(size: int = 4):
+    servers = [Server(i) for i in range(size)]
+    logic = _CountingLogic()
+    for server in servers:
+        server.install_logic("k", logic)
+    return Network(servers), servers
+
+
+class TestSend:
+    def test_send_delivers_and_counts(self):
+        network, _ = _make_network()
+        reply = network.send(2, "k", StoreMessage(Entry("a")))
+        assert reply == 2
+        assert network.stats.total == 1
+        assert network.stats.per_server[2] == 1
+
+    def test_send_wraps_destination_modulo_n(self):
+        network, _ = _make_network(4)
+        assert network.send(6, "k", StoreMessage(Entry("a"))) == 2
+
+    def test_send_to_failed_is_undelivered_and_uncounted(self):
+        network, servers = _make_network()
+        servers[1].fail()
+        reply = network.send(1, "k", StoreMessage(Entry("a")))
+        assert reply is UNDELIVERED
+        assert network.stats.total == 0
+        assert network.stats.undelivered == 1
+
+    def test_undelivered_sentinel_is_falsy(self):
+        assert not UNDELIVERED
+
+
+class TestBroadcast:
+    def test_broadcast_costs_n(self):
+        network, _ = _make_network(4)
+        replies = network.broadcast("k", StoreMessage(Entry("a")))
+        assert network.stats.total == 4
+        assert set(replies) == {0, 1, 2, 3}
+        assert network.stats.broadcasts == 1
+
+    def test_broadcast_skips_failed(self):
+        network, servers = _make_network(4)
+        servers[0].fail()
+        servers[3].fail()
+        replies = network.broadcast("k", StoreMessage(Entry("a")))
+        assert set(replies) == {1, 2}
+        assert network.stats.total == 2
+        assert network.stats.undelivered == 2
+
+
+class TestAccountingCategories:
+    def test_update_vs_lookup_categories(self):
+        network, _ = _make_network()
+        network.send(0, "k", StoreMessage(Entry("a")))
+        network.send(0, "k", LookupRequest(3))
+        network.send(1, "k", LookupRequest(3))
+        assert network.stats.update_messages == 1
+        assert network.stats.lookup_messages == 2
+
+    def test_by_type_counter(self):
+        network, _ = _make_network()
+        network.send(0, "k", StoreMessage(Entry("a")))
+        network.send(0, "k", StoreMessage(Entry("b")))
+        assert network.stats.by_type["StoreMessage"] == 2
+
+    def test_reset(self):
+        network, _ = _make_network()
+        network.send(0, "k", StoreMessage(Entry("a")))
+        network.reset_stats()
+        assert network.stats.total == 0
+        assert network.stats.by_type == {}
+
+    def test_snapshot_is_independent(self):
+        network, _ = _make_network()
+        network.send(0, "k", StoreMessage(Entry("a")))
+        snapshot = network.stats.snapshot()
+        network.send(0, "k", StoreMessage(Entry("b")))
+        assert snapshot.total == 1
+        assert network.stats.total == 2

@@ -1,0 +1,78 @@
+"""Unit tests for payload-entry accounting in the network stats."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.messages import (
+    FetchReplacement,
+    LookupRequest,
+    PlaceRequest,
+    QueryCounters,
+    SetCounters,
+    StoreMessage,
+    StoreSetMessage,
+)
+from repro.core.entry import Entry, make_entries
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.hashing import HashY
+
+
+class TestMessagePayloads:
+    def test_single_entry_messages(self):
+        assert StoreMessage(Entry("a")).payload_entries == 1
+
+    def test_batch_messages(self):
+        entries = tuple(make_entries(7))
+        assert StoreSetMessage(entries).payload_entries == 7
+        assert PlaceRequest(entries).payload_entries == 7
+
+    def test_control_messages_carry_nothing(self):
+        assert LookupRequest(5).payload_entries == 0
+        assert SetCounters(1, 2).payload_entries == 0
+        assert QueryCounters().payload_entries == 0
+
+    def test_fetch_counts_exclusion_ids(self):
+        assert FetchReplacement(("a", "b")).payload_entries == 2
+
+
+class TestStatsAccumulation:
+    def test_place_payload_full_replication(self):
+        # Place: request (h entries) + broadcast of h to n servers.
+        cluster = Cluster(4, seed=1)
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(10))
+        assert cluster.network.stats.payload_entries == 10 * (4 + 1)
+
+    def test_add_payload_hash(self):
+        cluster = Cluster(10, seed=2)
+        strategy = HashY(cluster, y=2)
+        strategy.place(make_entries(5))
+        before = cluster.network.stats.payload_entries
+        entry = Entry("new")
+        distinct = len(strategy.family.assign_distinct(entry))
+        strategy.add(entry)
+        # Request (1) + one store per distinct target (1 each).
+        assert cluster.network.stats.payload_entries - before == 1 + distinct
+
+    def test_undelivered_not_counted(self):
+        cluster = Cluster(4, seed=3)
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(4))
+        cluster.fail(2)
+        before = cluster.network.stats.payload_entries
+        strategy.add(Entry("x"))
+        # Request + 3 alive broadcast recipients.
+        assert cluster.network.stats.payload_entries - before == 1 + 3
+
+    def test_reset_clears_payload(self):
+        cluster = Cluster(4, seed=4)
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(4))
+        cluster.reset_stats()
+        assert cluster.network.stats.payload_entries == 0
+
+    def test_snapshot_copies_payload(self):
+        cluster = Cluster(4, seed=5)
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(4))
+        snapshot = cluster.network.stats.snapshot()
+        strategy.add(Entry("y"))
+        assert snapshot.payload_entries < cluster.network.stats.payload_entries

@@ -1,0 +1,83 @@
+"""Unit tests for cluster placement snapshots."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.snapshots import (
+    load_snapshot,
+    restore_cluster,
+    save_snapshot,
+    snapshot_cluster,
+)
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.strategies.round_robin import RoundRobinY
+
+
+def _round_robin_cluster(seed=5):
+    cluster = Cluster(10, seed=seed)
+    strategy = RoundRobinY(cluster, y=2)
+    strategy.place(make_entries(30))
+    strategy.add(Entry("extra"))
+    strategy.delete(Entry("v3"))
+    return cluster, strategy
+
+
+class TestSnapshot:
+    def test_round_trip_in_memory(self):
+        cluster, _ = _round_robin_cluster()
+        snapshot = snapshot_cluster(cluster)
+        fresh = Cluster(10, seed=99)
+        restore_cluster(snapshot, fresh)
+        assert fresh.placement("k") == cluster.placement("k")
+        assert fresh.storage_cost("k") == cluster.storage_cost("k")
+
+    def test_round_trip_via_file(self, tmp_path):
+        cluster, _ = _round_robin_cluster()
+        path = save_snapshot(cluster, tmp_path / "snap.json")
+        fresh = Cluster(10, seed=1)
+        load_snapshot(path, fresh)
+        assert fresh.placement("k") == cluster.placement("k")
+
+    def test_failure_flags_restored(self, tmp_path):
+        cluster, _ = _round_robin_cluster()
+        cluster.fail(4)
+        path = save_snapshot(cluster, tmp_path / "snap.json")
+        fresh = Cluster(10, seed=1)
+        load_snapshot(path, fresh)
+        assert not fresh.server(4).alive
+        assert fresh.failed_count == 1
+
+    def test_strategy_resumes_on_restored_cluster(self, tmp_path):
+        """Counters/positions survive, so the protocol keeps working."""
+        cluster, _ = _round_robin_cluster()
+        path = save_snapshot(cluster, tmp_path / "snap.json")
+
+        fresh = Cluster(10, seed=2)
+        load_snapshot(path, fresh)
+        resumed = RoundRobinY(fresh, y=2)  # reattach the strategy logic
+        # The restored head/tail let adds and migration deletes work.
+        resumed.add(Entry("post-restore"))
+        resumed.delete(Entry("v10"))
+        counts = fresh.replica_counts("k")
+        assert all(count == 2 for count in counts.values())
+        assert Entry("post-restore") in resumed.lookup_all()
+        assert Entry("v10") not in resumed.lookup_all()
+
+    def test_size_mismatch_rejected(self):
+        cluster, _ = _round_robin_cluster()
+        snapshot = snapshot_cluster(cluster)
+        with pytest.raises(InvalidParameterError, match="servers"):
+            restore_cluster(snapshot, Cluster(5, seed=1))
+
+    def test_version_checked(self):
+        with pytest.raises(InvalidParameterError, match="format version"):
+            restore_cluster({"format_version": 9, "size": 10}, Cluster(10))
+
+    def test_restore_wipes_previous_content(self):
+        cluster, _ = _round_robin_cluster()
+        snapshot = snapshot_cluster(cluster)
+        target = Cluster(10, seed=3)
+        target.server(0).store("other").add(Entry("junk"))
+        restore_cluster(snapshot, target)
+        assert target.storage_cost("other") == 0

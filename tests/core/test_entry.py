@@ -1,0 +1,92 @@
+"""Unit tests for the Entry value type."""
+
+import pytest
+
+from repro.core.entry import (
+    Entry,
+    coerce_entries,
+    coerce_entry,
+    entry_ids,
+    make_entries,
+)
+
+
+class TestEntryIdentity:
+    def test_equality_on_id(self):
+        assert Entry("v1") == Entry("v1")
+
+    def test_inequality_on_different_ids(self):
+        assert Entry("v1") != Entry("v2")
+
+    def test_payload_excluded_from_equality(self):
+        assert Entry("v1", payload={"host": "a"}) == Entry("v1", payload={"host": "b"})
+
+    def test_payload_excluded_from_hash(self):
+        assert hash(Entry("v1", payload=1)) == hash(Entry("v1", payload=2))
+
+    def test_hashable_in_sets(self):
+        assert len({Entry("v1"), Entry("v1"), Entry("v2")}) == 2
+
+    def test_ordering_on_id(self):
+        assert Entry("a") < Entry("b")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Entry("v1").entry_id = "v2"
+
+    def test_str_is_id(self):
+        assert str(Entry("v7")) == "v7"
+
+    def test_with_payload_copies(self):
+        original = Entry("v1")
+        annotated = original.with_payload({"latency": 3})
+        assert annotated == original
+        assert annotated.payload == {"latency": 3}
+        assert original.payload is None
+
+
+class TestMakeEntries:
+    def test_count_and_names(self):
+        entries = make_entries(3)
+        assert entry_ids(entries) == ["v1", "v2", "v3"]
+
+    def test_custom_prefix_and_start(self):
+        entries = make_entries(2, prefix="u", start=5)
+        assert entry_ids(entries) == ["u5", "u6"]
+
+    def test_zero_entries(self):
+        assert make_entries(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_entries(-1)
+
+    def test_all_distinct(self):
+        entries = make_entries(500)
+        assert len(set(entries)) == 500
+
+
+class TestCoercion:
+    def test_string_becomes_entry(self):
+        assert coerce_entry("host1") == Entry("host1")
+
+    def test_entry_passes_through(self):
+        entry = Entry("x")
+        assert coerce_entry(entry) is entry
+
+    def test_other_values_stringified_with_payload(self):
+        coerced = coerce_entry(42)
+        assert coerced.entry_id == "42"
+        assert coerced.payload == 42
+
+    def test_coerce_entries_mixed(self):
+        result = coerce_entries(["a", Entry("b")])
+        assert entry_ids(result) == ["a", "b"]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            coerce_entries(["a", "a"])
+
+    def test_duplicate_across_types_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            coerce_entries([Entry("a"), "a"])

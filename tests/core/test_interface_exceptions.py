@@ -1,0 +1,90 @@
+"""Unit tests for the service interfaces and error taxonomy."""
+
+import pytest
+
+from repro.core.exceptions import (
+    CoverageExceededError,
+    InvalidParameterError,
+    LookupFailedError,
+    NoOperationalServerError,
+    ReproError,
+    UnknownKeyError,
+    UnknownStrategyError,
+)
+from repro.core.interface import PartialLookupService, TraditionalLookupService
+from repro.core.result import LookupResult
+from repro.core.entry import Entry, make_entries
+
+
+class TestExceptionTaxonomy:
+    def test_all_derive_from_repro_error(self):
+        for exc_class in (
+            InvalidParameterError,
+            LookupFailedError,
+            CoverageExceededError,
+            NoOperationalServerError,
+            UnknownKeyError,
+            UnknownStrategyError,
+        ):
+            assert issubclass(exc_class, ReproError)
+
+    def test_invalid_parameter_is_value_error(self):
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_unknown_key_is_key_error(self):
+        assert issubclass(UnknownKeyError, KeyError)
+
+    def test_lookup_failed_carries_counts(self):
+        error = LookupFailedError(target=10, retrieved=4)
+        assert error.target == 10
+        assert error.retrieved == 4
+        assert "10" in str(error) and "4" in str(error)
+
+    def test_coverage_exceeded_is_lookup_failure(self):
+        assert issubclass(CoverageExceededError, LookupFailedError)
+
+    def test_custom_message(self):
+        error = LookupFailedError(5, 1, message="nope")
+        assert str(error) == "nope"
+
+
+class _MiniPartialService(PartialLookupService):
+    """Minimal in-memory implementation to exercise interface defaults."""
+
+    def __init__(self):
+        self.data = {}
+
+    def place(self, key, entries):
+        self.data[key] = set(entries)
+
+    def add(self, key, entry):
+        self.data.setdefault(key, set()).add(entry)
+
+    def delete(self, key, entry):
+        self.data.get(key, set()).discard(entry)
+
+    def partial_lookup(self, key, target):
+        entries = tuple(sorted(self.data.get(key, set())))
+        if target > 0:
+            entries = entries[: max(target, 0)] if len(entries) >= target else entries
+        return LookupResult(entries=entries, target=target)
+
+
+class TestInterfaceDefaults:
+    def test_default_lookup_uses_partial_lookup(self):
+        service = _MiniPartialService()
+        service.place("k", make_entries(5))
+        assert service.lookup("k") == set(make_entries(5))
+
+    def test_abstract_instantiation_rejected(self):
+        with pytest.raises(TypeError):
+            TraditionalLookupService()
+        with pytest.raises(TypeError):
+            PartialLookupService()
+
+    def test_mini_service_semantics(self):
+        service = _MiniPartialService()
+        service.place("k", make_entries(3))
+        service.add("k", Entry("extra"))
+        service.delete("k", Entry("v1"))
+        assert service.lookup("k") == {Entry("v2"), Entry("v3"), Entry("extra")}

@@ -1,0 +1,81 @@
+"""Unit tests for LookupResult, UpdateResult, and OperationLog."""
+
+from repro.core.entry import make_entries
+from repro.core.result import LookupResult, OperationLog, UpdateResult
+
+
+def _result(found: int, target: int, contacted: int = 1) -> LookupResult:
+    return LookupResult(
+        entries=tuple(make_entries(found)),
+        target=target,
+        servers_contacted=tuple(range(contacted)),
+        messages=contacted,
+    )
+
+
+class TestLookupResult:
+    def test_success_when_target_met(self):
+        assert _result(found=5, target=5).success
+
+    def test_success_when_target_exceeded(self):
+        assert _result(found=6, target=5).success
+
+    def test_failure_when_short(self):
+        assert not _result(found=4, target=5).success
+
+    def test_target_zero_always_succeeds(self):
+        assert _result(found=0, target=0).success
+
+    def test_lookup_cost_counts_operational_contacts(self):
+        assert _result(found=5, target=5, contacted=3).lookup_cost == 3
+
+    def test_failed_contacts_not_in_cost(self):
+        result = LookupResult(
+            entries=tuple(make_entries(2)),
+            target=2,
+            servers_contacted=(1,),
+            failed_contacts=(0, 3),
+        )
+        assert result.lookup_cost == 1
+
+    def test_len_and_iter(self):
+        result = _result(found=3, target=3)
+        assert len(result) == 3
+        assert [e.entry_id for e in result] == ["v1", "v2", "v3"]
+
+    def test_entry_set(self):
+        result = _result(found=2, target=2)
+        assert result.entry_set == frozenset(make_entries(2))
+
+
+class TestOperationLog:
+    def test_mean_lookup_cost(self):
+        log = OperationLog()
+        log.record_lookup(_result(5, 5, contacted=1))
+        log.record_lookup(_result(5, 5, contacted=3))
+        assert log.mean_lookup_cost == 2.0
+
+    def test_failure_rate(self):
+        log = OperationLog()
+        log.record_lookup(_result(5, 5))
+        log.record_lookup(_result(2, 5))
+        assert log.failure_rate == 0.5
+        assert log.failed_lookups == 1
+
+    def test_empty_log_zeroes(self):
+        log = OperationLog()
+        assert log.mean_lookup_cost == 0.0
+        assert log.failure_rate == 0.0
+
+    def test_update_messages_total(self):
+        log = OperationLog()
+        log.record_update(UpdateResult("add", messages=3))
+        log.record_update(UpdateResult("delete", messages=11, broadcast=True))
+        assert log.total_update_messages == 14
+
+    def test_clear(self):
+        log = OperationLog()
+        log.record_lookup(_result(1, 1))
+        log.record_update(UpdateResult("add", messages=1))
+        log.clear()
+        assert not log.lookups and not log.updates

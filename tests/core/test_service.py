@@ -1,0 +1,112 @@
+"""Unit tests for the multi-key PartialLookupDirectory."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import UnknownKeyError, UnknownStrategyError
+from repro.core.service import PartialLookupDirectory
+
+
+@pytest.fixture
+def directory():
+    return PartialLookupDirectory(
+        Cluster(10, seed=42),
+        default_strategy="round_robin",
+        default_params={"y": 2},
+    )
+
+
+class TestPlacementAndLookup:
+    def test_place_then_partial_lookup(self, directory):
+        directory.place("song", make_entries(30))
+        result = directory.partial_lookup("song", 3)
+        assert result.success
+        assert len(result) == 3
+
+    def test_place_accepts_strings(self, directory):
+        directory.place("song", ["host1", "host2"])
+        assert directory.lookup("song") == {Entry("host1"), Entry("host2")}
+
+    def test_unknown_key_returns_empty(self, directory):
+        result = directory.partial_lookup("missing", 3)
+        assert not result.success
+        assert len(result) == 0
+
+    def test_unknown_key_full_lookup_empty_set(self, directory):
+        assert directory.lookup("missing") == set()
+
+    def test_full_lookup_returns_everything(self, directory):
+        entries = make_entries(25)
+        directory.place("k", entries)
+        assert directory.lookup("k") == set(entries)
+
+    def test_replace_placement(self, directory):
+        directory.place("k", make_entries(10))
+        directory.place("k", make_entries(5, prefix="w"))
+        assert directory.lookup("k") == set(make_entries(5, prefix="w"))
+
+
+class TestIncrementalUpdates:
+    def test_add_creates_key(self, directory):
+        directory.add("new", Entry("a"))
+        assert Entry("a") in directory.lookup("new")
+
+    def test_add_then_delete(self, directory):
+        directory.place("k", make_entries(10))
+        directory.add("k", Entry("extra"))
+        assert Entry("extra") in directory.lookup("k")
+        directory.delete("k", Entry("extra"))
+        assert Entry("extra") not in directory.lookup("k")
+
+    def test_delete_on_unknown_key_raises(self, directory):
+        with pytest.raises(UnknownKeyError):
+            directory.delete("missing", Entry("a"))
+
+
+class TestPerKeyStrategies:
+    def test_keys_are_independent(self, directory):
+        directory.place("a", make_entries(10))
+        directory.place("b", make_entries(10, prefix="w"))
+        assert directory.lookup("a") == set(make_entries(10))
+        assert directory.lookup("b") == set(make_entries(10, prefix="w"))
+
+    def test_configure_key_overrides_default(self, directory):
+        directory.configure_key("hot", "fixed", x=5)
+        directory.place("hot", make_entries(20))
+        assert directory.strategy_name("hot") == "fixed"
+        assert directory.coverage("hot") == 5
+
+    def test_default_strategy_used_otherwise(self, directory):
+        directory.place("cold", make_entries(20))
+        assert directory.strategy_name("cold") == "round_robin"
+
+    def test_reconfigure_live_key_rejected(self, directory):
+        directory.place("k", make_entries(5))
+        with pytest.raises(UnknownKeyError):
+            directory.configure_key("k", "fixed", x=3)
+
+    def test_unknown_strategy_name(self, directory):
+        with pytest.raises(UnknownStrategyError):
+            directory.configure_key("k", "nonsense")
+
+    def test_keys_listing(self, directory):
+        directory.place("a", make_entries(3))
+        directory.place("b", make_entries(3))
+        assert directory.keys() == ["a", "b"]
+
+
+class TestStorageAccounting:
+    def test_per_key_storage(self, directory):
+        directory.place("k", make_entries(30))
+        # round_robin y=2: 30 entries * 2 copies
+        assert directory.storage_cost("k") == 60
+
+    def test_total_storage_sums_keys(self, directory):
+        directory.place("a", make_entries(10))
+        directory.place("b", make_entries(20))
+        assert directory.storage_cost() == 60
+
+    def test_coverage(self, directory):
+        directory.place("k", make_entries(30))
+        assert directory.coverage("k") == 30

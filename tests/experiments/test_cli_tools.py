@@ -1,0 +1,105 @@
+"""Unit tests for the validate and trace CLI commands."""
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.io.traces import load_trace
+
+
+class TestValidateCommand:
+    def test_validate_passes(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+        assert "PASS" in out
+
+
+class TestCsvOutput:
+    def test_run_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "t1.csv"
+        assert main([
+            "run", "table1", "--set", "runs=2", "--csv", str(out),
+        ]) == 0
+        text = out.read_text()
+        assert text.splitlines()[0].startswith("strategy,")
+        assert "full_replication" in text
+
+
+class TestPlanCommand:
+    def test_plan_prints_all_schemes(self, capsys):
+        assert main([
+            "plan", "--entries", "150", "--servers", "10",
+            "--budget", "300", "--target", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("full_replication", "fixed", "random_server",
+                       "round_robin", "hash"):
+            assert scheme in out
+        assert "cheapest for updates" in out
+
+    def test_plan_rejects_bad_spec(self, capsys):
+        assert main([
+            "plan", "--entries", "0", "--servers", "10",
+            "--budget", "300", "--target", "20",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceCommands:
+    def test_generate_then_replay(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert main([
+            "trace", "generate",
+            "--entries", "50", "--updates", "400",
+            "--seed", "3", "--out", str(trace_path),
+        ]) == 0
+        assert "400 updates" in capsys.readouterr().out
+
+        trace = load_trace(trace_path)
+        assert len(trace.initial_entries) == 50
+        assert trace.update_count == 400
+
+        assert main([
+            "trace", "replay", str(trace_path),
+            "--strategy", "round_robin", "--param", "y=2",
+            "--monitor-target", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "adds" in out and "update_messages" in out
+        assert "pct_time_below_t=10" in out
+
+    def test_generate_zipf(self, tmp_path, capsys):
+        trace_path = tmp_path / "z.jsonl"
+        assert main([
+            "trace", "generate", "--entries", "30", "--updates", "100",
+            "--lifetime", "zipf", "--seed", "1", "--out", str(trace_path),
+        ]) == 0
+        assert "zipf" in capsys.readouterr().out
+
+    def test_replay_same_seed_is_deterministic(self, tmp_path, capsys):
+        trace_path = tmp_path / "d.jsonl"
+        main([
+            "trace", "generate", "--entries", "40", "--updates", "200",
+            "--seed", "9", "--out", str(trace_path),
+        ])
+        capsys.readouterr()
+        outputs = []
+        for _ in range(2):
+            main([
+                "trace", "replay", str(trace_path),
+                "--strategy", "hash", "--param", "y=2", "--seed", "5",
+            ])
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_replay_unknown_strategy_clean_error(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        main([
+            "trace", "generate", "--entries", "10", "--updates", "20",
+            "--out", str(trace_path),
+        ])
+        capsys.readouterr()
+        assert main([
+            "trace", "replay", str(trace_path), "--strategy", "nope",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,62 @@
+"""Sanity checks over every registered experiment's default config.
+
+Registry-driven: any future experiment automatically gets these
+checks.  They catch config drift (targets exceeding populations,
+non-positive statistical budgets) that would otherwise surface as
+confusing downstream failures.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, list_experiments
+
+
+@pytest.mark.parametrize(
+    "spec",
+    list_experiments(),
+    ids=[s.experiment_id for s in list_experiments()],
+)
+class TestConfigDefaults:
+    def test_config_is_a_frozen_dataclass(self, spec):
+        assert dataclasses.is_dataclass(spec.config_class)
+        config = spec.config_class()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.seed = 1  # type: ignore[misc]
+
+    def test_statistical_budgets_positive(self, spec):
+        config = spec.config_class()
+        for field in dataclasses.fields(spec.config_class):
+            value = getattr(config, field.name)
+            if field.name in ("runs", "lookups", "lookups_per_run",
+                              "lookups_per_instance", "updates_per_run"):
+                assert value >= 1, f"{spec.experiment_id}.{field.name}"
+
+    def test_targets_within_entry_population(self, spec):
+        config = spec.config_class()
+        entry_count = getattr(config, "entry_count", None)
+        target = getattr(config, "target", None)
+        if entry_count is not None and isinstance(target, int):
+            assert 1 <= target <= entry_count
+
+    def test_has_a_seed(self, spec):
+        # Every experiment must be replayable from one master seed.
+        assert hasattr(spec.config_class(), "seed")
+
+    def test_description_and_artifact_set(self, spec):
+        assert spec.description
+        assert spec.paper_artifact
+
+
+class TestRegistryShape:
+    def test_ids_unique(self):
+        ids = [s.experiment_id for s in list_experiments()]
+        assert len(ids) == len(set(ids))
+
+    def test_paper_artifacts_cover_all_numbered_items(self):
+        artifacts = {s.paper_artifact for s in list_experiments()}
+        for required in ("Table 1", "Table 2", "Figure 4", "Figure 6",
+                         "Figure 7", "Figure 9", "Figure 12", "Figure 13",
+                         "Figure 14"):
+            assert any(required in a for a in artifacts), required

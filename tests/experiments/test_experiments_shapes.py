@@ -1,0 +1,254 @@
+"""Shape tests: each experiment reproduces the paper's qualitative claims.
+
+These run the experiment modules at reduced statistical budgets and
+assert the *shape* conclusions the paper draws — who wins, where the
+steps and crossovers fall, which direction curves move — rather than
+absolute values.  The benchmarks run the same experiments at larger
+budgets.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig4_lookup_cost,
+    fig6_coverage,
+    fig7_fault_tolerance,
+    fig9_unfairness,
+    fig12_cushion,
+    fig13_dynamic_unfairness,
+    fig14_update_overhead,
+    table1_storage,
+    table2_summary,
+)
+
+
+class TestTable1:
+    def test_deterministic_rows_exact(self):
+        result = table1_storage.run(table1_storage.Table1Config(runs=10))
+        for name in ("full_replication", "fixed", "random_server", "round_robin"):
+            row = result.row_for(strategy=name)
+            assert row["measured"] == row["expected"]
+
+    def test_hash_row_close_to_expectation(self):
+        result = table1_storage.run(table1_storage.Table1Config(runs=30))
+        row = result.row_for(strategy="hash")
+        assert abs(row["measured"] - row["expected"]) < 5
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = fig4_lookup_cost.Fig4Config(
+            targets=(10, 20, 25, 40, 45), runs=5, lookups_per_run=200
+        )
+        return fig4_lookup_cost.run(config)
+
+    def test_round_robin_step_curve(self, result):
+        assert result.row_for(target=20)["round_robin_2"] == 1.0
+        assert result.row_for(target=25)["round_robin_2"] == 2.0
+        assert result.row_for(target=45)["round_robin_2"] == 3.0
+
+    def test_random_server_at_least_round_robin(self, result):
+        for row in result.rows:
+            assert row["random_server_20"] >= row["round_robin_2"] - 1e-9
+
+    def test_hash_above_one_for_small_targets(self, result):
+        # §4.2: Hash-y pays >1 even when t is below the per-server mean.
+        assert result.row_for(target=10)["hash_2"] > 1.0
+
+    def test_hash_wins_just_past_the_step(self, result):
+        # §4.2: at t=25 Hash-2 can finish with one server, Round-2 can't.
+        row = result.row_for(target=25)
+        assert row["hash_2"] < row["round_robin_2"]
+
+    def test_fixed_fails_beyond_x(self, result):
+        assert result.row_for(target=25)["fixed_20_fail"] == 1.0
+        assert result.row_for(target=20)["fixed_20_fail"] == 0.0
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = fig6_coverage.Fig6Config(budgets=(20, 50, 100, 150, 200), runs=10)
+        return fig6_coverage.run(config)
+
+    def test_round_and_hash_track_min_budget_h(self, result):
+        for budget in (20, 50, 100):
+            row = result.row_for(budget=budget)
+            assert row["round_robin"] == budget
+            assert row["hash"] == budget
+        assert result.row_for(budget=200)["round_robin"] == 100
+
+    def test_fixed_coverage_is_budget_over_n(self, result):
+        assert result.row_for(budget=100)["fixed"] == 10
+        assert result.row_for(budget=200)["fixed"] == 20
+
+    def test_random_server_between_fixed_and_complete(self, result):
+        for row in result.rows:
+            assert row["fixed"] <= row["random_server"] <= 100
+
+    def test_random_server_matches_formula(self, result):
+        for row in result.rows:
+            assert row["random_server"] == pytest.approx(
+                row["random_server_expected"], abs=3.0
+            )
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = fig7_fault_tolerance.Fig7Config(targets=(10, 30, 50), runs=10)
+        return fig7_fault_tolerance.run(config)
+
+    def test_round_robin_matches_closed_form(self, result):
+        for row in result.rows:
+            assert row["round_robin_2"] == pytest.approx(
+                row["round_robin_formula"], abs=0.01
+            )
+
+    def test_random_server_at_least_round_robin(self, result):
+        # §4.4: random overlaps give RandomServer extra tolerance.
+        for row in result.rows:
+            assert row["random_server_20"] >= row["round_robin_2"] - 1e-9
+
+    def test_tolerance_declines_with_target(self, result):
+        for label in ("random_server_20", "hash_2", "round_robin_2"):
+            values = result.column(label)
+            assert values[0] >= values[-1]
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = fig9_unfairness.Fig9Config(
+            budgets=(100, 200, 500, 1000), runs=4, lookups_per_instance=1000
+        )
+        return fig9_unfairness.run(config)
+
+    def test_random_server_decreases_with_storage(self, result):
+        values = result.column("random_server")
+        assert values[0] > values[-1]
+        assert values[-1] < 0.15  # nearly fair once servers hold all
+
+    def test_hash_rises_then_stays_flat(self, result):
+        values = result.column("hash")
+        # Phase 1 increase (100 -> 500), then no further big rise.
+        assert values[1] >= values[0] * 0.8
+        assert max(values[1:]) < 1.0
+
+    def test_fixed_order_of_magnitude_worse(self, result):
+        row = result.row_for(budget=200)
+        assert row["fixed_exact"] > 3 * row["random_server"]
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = fig12_cushion.Fig12Config(
+            cushions=(0, 2, 4), runs=4, updates_per_run=2000
+        )
+        return fig12_cushion.run(config)
+
+    def test_zero_cushion_double_digit_failures(self, result):
+        row = result.row_for(cushion=0)
+        assert row["exp_percent"] > 5.0
+        assert row["zipf_percent"] > 5.0
+
+    def test_failure_time_drops_steeply_with_cushion(self, result):
+        exp = result.column("exp_percent")
+        assert exp[0] > 5 * max(exp[1], 0.01)
+        assert exp[1] > exp[2] or exp[2] < 0.5
+
+    def test_zipf_tapers_above_exponential(self, result):
+        # The heavy tail keeps a floor of failures at large cushions.
+        row = result.row_for(cushion=4)
+        assert row["zipf_percent"] >= row["exp_percent"]
+
+
+class TestFig13:
+    def test_unfairness_rises_then_stabilizes(self):
+        config = fig13_dynamic_unfairness.Fig13Config(
+            checkpoints=(0, 1000, 3000), runs=3, lookups=800
+        )
+        result = fig13_dynamic_unfairness.run(config)
+        values = result.column("random_server")
+        assert values[1] > values[0]  # rapid initial deterioration
+        # §6.3: stabilizes around a factor ~2 better than Fixed's 2.0.
+        assert 0.5 < values[2] < 1.6
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = fig14_update_overhead.Fig14Config(
+            entry_counts=(100, 200, 300, 400), runs=2, updates_per_run=1500
+        )
+        return fig14_update_overhead.run(config)
+
+    def test_fixed_cost_decreasing_in_h(self, result):
+        values = result.column("fixed_measured")
+        assert values == sorted(values, reverse=True)
+
+    def test_hash_steps_down_with_y(self, result):
+        assert result.column("hash_y") == [4, 2, 2, 1]
+
+    def test_crossovers_present(self, result):
+        # hash cheaper at h=100, fixed cheaper at h=300, hash at 400.
+        assert (
+            result.row_for(entry_count=100)["hash_measured"]
+            < result.row_for(entry_count=100)["fixed_measured"]
+        )
+        assert (
+            result.row_for(entry_count=300)["fixed_measured"]
+            < result.row_for(entry_count=300)["hash_measured"]
+        )
+        assert (
+            result.row_for(entry_count=400)["hash_measured"]
+            < result.row_for(entry_count=400)["fixed_measured"]
+        )
+
+    def test_measured_tracks_expected(self, result):
+        for row in result.rows:
+            assert row["fixed_measured"] == pytest.approx(
+                row["fixed_expected"], rel=0.25
+            )
+            assert row["hash_measured"] <= row["hash_expected"] * 1.05
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        config = table2_summary.Table2Config(
+            runs=2, lookups=400, churn_updates=400, update_trace_length=400
+        )
+        cells = table2_summary.measure_all(config)
+        return cells, table2_summary.assign_stars(cells)
+
+    def test_round_robin_fairest(self, outcome):
+        cells, stars = outcome
+        assert stars["round_robin"]["fairness_static"] == 4
+
+    def test_fixed_best_lookup_cost(self, outcome):
+        cells, stars = outcome
+        assert stars["fixed"]["lookup_cost"] == 4
+
+    def test_fixed_wins_small_target_updates(self, outcome):
+        # §6.4 rule of thumb: t/h < 1/n favours Fixed-x.
+        cells, stars = outcome
+        assert stars["fixed"]["update_overhead_small_t"] == 4
+
+    def test_hash_wins_large_target_updates(self, outcome):
+        cells, stars = outcome
+        assert stars["hash"]["update_overhead_large_t"] == 4
+
+    def test_fixed_worst_coverage(self, outcome):
+        cells, stars = outcome
+        assert stars["fixed"]["coverage"] == 1
+
+    def test_run_renders(self):
+        config = table2_summary.Table2Config(
+            runs=1, lookups=200, churn_updates=200, update_trace_length=200
+        )
+        result = table2_summary.run(config)
+        assert len(result.rows) == 4
+        assert all("*" in str(row["coverage"]) for row in result.rows)

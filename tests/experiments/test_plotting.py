@@ -1,0 +1,91 @@
+"""Unit tests for the ASCII plotting module."""
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.experiments.plotting import ascii_plot, plot_experiment
+from repro.experiments.runner import ExperimentResult
+
+
+class TestAsciiPlot:
+    def test_single_series_renders(self):
+        text = ascii_plot({"curve": {0: 0.0, 1: 1.0, 2: 4.0}})
+        assert "A" in text
+        assert "legend: A=curve" in text
+
+    def test_markers_assigned_in_order(self):
+        text = ascii_plot({"one": {0: 1}, "two": {0: 2}, "three": {0: 3}})
+        assert "A=one" in text and "B=two" in text and "C=three" in text
+
+    def test_monotone_series_rises_leftward_to_rightward(self):
+        text = ascii_plot({"c": {0: 0.0, 10: 10.0}}, width=20, height=8)
+        rows = [line for line in text.splitlines() if "|" in line]
+        top_row = rows[0]
+        bottom_row = rows[-1]
+        # The max lands top-right, the min bottom-left.
+        assert top_row.rstrip().endswith("A")
+        assert bottom_row.split("|")[1].startswith("A")
+
+    def test_axis_labels_present(self):
+        text = ascii_plot(
+            {"c": {1: 2.0, 5: 7.5}},
+            title="My Figure",
+            x_label="target",
+            y_label="cost",
+        )
+        assert text.splitlines()[0] == "My Figure"
+        assert "[x: target]" in text
+        assert "[y: cost]" in text
+
+    def test_log_scale_ticks_show_raw_values(self):
+        text = ascii_plot(
+            {"c": {0: 0.01, 1: 10.0}}, log_y=True, y_label="percent"
+        )
+        assert "log scale" in text
+        assert "10" in text and "0.01" in text
+
+    def test_log_scale_clamps_zeros(self):
+        # Zero values must not crash the log transform.
+        text = ascii_plot({"c": {0: 0.0, 1: 1.0}}, log_y=True)
+        assert "A" in text
+
+    def test_flat_series_renders(self):
+        text = ascii_plot({"c": {0: 5.0, 1: 5.0}})
+        assert "A" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_plot({})
+        with pytest.raises(InvalidParameterError):
+            ascii_plot({"c": {}})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_plot({"c": {0: 1}}, width=2, height=2)
+
+
+class TestPlotExperiment:
+    def _result(self):
+        return ExperimentResult(
+            name="demo",
+            headers=["t", "a", "b", "note"],
+            rows=[
+                {"t": 1, "a": 1.0, "b": 2.0, "note": "x"},
+                {"t": 2, "a": 2.0, "b": 1.0, "note": "y"},
+            ],
+        )
+
+    def test_plots_numeric_columns_only(self):
+        text = plot_experiment(self._result())
+        assert "A=a" in text and "B=b" in text
+        assert "note" not in text.split("legend:")[1]
+
+    def test_explicit_series_selection(self):
+        text = plot_experiment(self._result(), series_headers=["b"])
+        assert "A=b" in text
+        assert "=a" not in text
+
+    def test_empty_result_rejected(self):
+        empty = ExperimentResult(name="none", headers=["x"])
+        with pytest.raises(InvalidParameterError):
+            plot_experiment(empty)

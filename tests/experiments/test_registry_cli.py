@@ -1,0 +1,96 @@
+"""Unit tests for the experiment registry and CLI."""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.experiments.cli import main
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    build_config,
+    get_spec,
+    list_experiments,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig4", "fig6", "fig7", "fig9",
+            "fig12", "fig13", "fig14", "table2", "hotspot",
+            "availability", "diverse", "sensitivity",
+        }
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(InvalidParameterError, match="available"):
+            get_spec("fig99")
+
+    def test_list_in_paper_order(self):
+        ids = [spec.experiment_id for spec in list_experiments()]
+        assert ids[0] == "table1"
+        assert ids.index("fig4") < ids.index("fig14")
+
+    def test_build_config_defaults(self):
+        spec = get_spec("table1")
+        config = build_config(spec, {})
+        assert config.entry_count == 100
+
+    def test_build_config_coerces_int(self):
+        spec = get_spec("table1")
+        config = build_config(spec, {"runs": "7"})
+        assert config.runs == 7
+
+    def test_build_config_coerces_tuple(self):
+        spec = get_spec("fig4")
+        config = build_config(spec, {"targets": "10,20,30"})
+        assert config.targets == (10, 20, 30)
+
+    def test_build_config_coerces_float(self):
+        spec = get_spec("fig12")
+        config = build_config(spec, {"arrival_gap": "5.0"})
+        assert config.arrival_gap == 5.0
+
+    def test_build_config_rejects_unknown_field(self):
+        spec = get_spec("table1")
+        with pytest.raises(InvalidParameterError, match="no parameter"):
+            build_config(spec, {"bogus": "1"})
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "hotspot" in out
+
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "table1", "--set", "runs=3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1: storage cost" in out
+        assert "full_replication" in out
+
+    def test_run_with_plot(self, capsys):
+        assert main([
+            "run", "fig6", "--set", "runs=2",
+            "--set", "budgets=50,100,200", "--plot",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_run_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "out" / "t1.json"
+        assert main([
+            "run", "table1", "--set", "runs=2", "--json", str(target)
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["name"].startswith("Table 1")
+        assert payload["config"]["runs"] == 2
+        assert len(payload["rows"]) == 5
+
+    def test_bad_override_is_a_clean_error(self, capsys):
+        assert main(["run", "table1", "--set", "bogus=1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_set_is_a_clean_error(self, capsys):
+        assert main(["run", "table1", "--set", "runs"]) == 2
+        assert "name=value" in capsys.readouterr().err

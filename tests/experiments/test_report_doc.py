@@ -1,0 +1,67 @@
+"""Unit tests for the markdown report generator."""
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.experiments.report_doc import (
+    SCALES,
+    generate_report,
+    write_report,
+)
+
+
+class TestGenerateReport:
+    def test_selected_experiments_only(self):
+        document = generate_report(
+            scale="quick", experiment_ids=["table1"]
+        )
+        assert "## Table 1" in document
+        assert "## Figure 4" not in document
+
+    def test_tables_are_markdown(self):
+        document = generate_report(scale="quick", experiment_ids=["table1"])
+        assert "| strategy |" in document
+        assert "|---|" in document
+
+    def test_shape_notes_included(self):
+        document = generate_report(scale="quick", experiment_ids=["table1"])
+        assert "*Expected shape:*" in document
+
+    def test_plots_fenced(self):
+        document = generate_report(
+            scale="quick", experiment_ids=["fig6"], include_plots=True
+        )
+        assert "```" in document
+        assert "legend:" in document
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(InvalidParameterError, match="scale"):
+            generate_report(scale="galactic", experiment_ids=["table1"])
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(InvalidParameterError, match="no experiments"):
+            generate_report(scale="quick", experiment_ids=["nothing"])
+
+    def test_scales_defined(self):
+        assert {"quick", "default", "thorough"} <= set(SCALES)
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(
+            tmp_path / "sub" / "report.md",
+            scale="quick",
+            experiment_ids=["table1"],
+        )
+        assert path.exists()
+        assert path.read_text().startswith("# Partial Lookup Services")
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "r.md"
+        assert main([
+            "report", "--out", str(out), "--only", "table1",
+        ]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""Unit tests for the experiment runner and report renderer."""
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.experiments.report import render_series, render_table
+from repro.experiments.runner import (
+    ExperimentResult,
+    average_runs,
+    average_runs_multi,
+    seeded_runs,
+)
+
+
+class TestSeededRuns:
+    def test_count(self):
+        assert len(list(seeded_runs(1, 5))) == 5
+
+    def test_deterministic(self):
+        assert list(seeded_runs(1, 5)) == list(seeded_runs(1, 5))
+
+    def test_distinct_seeds(self):
+        seeds = list(seeded_runs(1, 50))
+        assert len(set(seeds)) == 50
+
+    def test_master_seed_matters(self):
+        assert list(seeded_runs(1, 3)) != list(seeded_runs(2, 3))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            list(seeded_runs(1, 0))
+
+
+class TestAveraging:
+    def test_average_runs(self):
+        ci = average_runs(lambda seed: float(seed % 2), master_seed=1, runs=100)
+        assert 0.2 < ci.mean < 0.8
+        assert ci.samples == 100
+
+    def test_average_runs_multi_pairs_series(self):
+        def run_once(seed):
+            return {"a": 1.0, "b": 2.0}
+
+        result = average_runs_multi(run_once, master_seed=1, runs=5)
+        assert result["a"].mean == 1.0
+        assert result["b"].mean == 2.0
+        assert result["a"].samples == 5
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            name="demo",
+            headers=["x", "y"],
+            rows=[{"x": 1, "y": 10}, {"x": 2, "y": 20}],
+        )
+
+    def test_column(self):
+        assert self._result().column("y") == [10, 20]
+
+    def test_row_for(self):
+        assert self._result().row_for(x=2)["y"] == 20
+
+    def test_row_for_missing(self):
+        with pytest.raises(KeyError):
+            self._result().row_for(x=99)
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "v"], [{"name": "abc", "v": 1.23456}])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in lines[2]  # 4 significant digits
+
+    def test_render_table_title(self):
+        text = render_table(["a"], [{"a": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_render_table_missing_cell_blank(self):
+        text = render_table(["a", "b"], [{"a": 1}])
+        assert text.splitlines()[-1].strip() == "1"
+
+    def test_render_series_union_of_x(self):
+        text = render_series(
+            "t",
+            {"curve1": {1: 0.5, 2: 0.7}, "curve2": {2: 0.9, 3: 1.1}},
+        )
+        lines = text.splitlines()
+        assert lines[0].split()[0] == "t"
+        assert len(lines) == 2 + 3  # header + rule + 3 x values

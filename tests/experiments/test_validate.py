@@ -1,0 +1,46 @@
+"""Unit tests for the conformance validation harness."""
+
+import pytest
+
+from repro.experiments.validate import ValidationConfig, all_passed, run
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # A reduced grid keeps this test fast; the defaults run in CI
+        # via the CLI smoke test and the benchmarks.
+        config = ValidationConfig(
+            grid=((50, 5), (100, 10)), stochastic_runs=15, lookup_samples=150
+        )
+        return run(config)
+
+    def test_every_check_reported(self, result):
+        names = result.column("check")
+        assert "table1_deterministic" in names
+        assert "coverage_random_server" in names
+        assert "fault_tolerance_round_robin" in names
+        assert "exact_instances" in names
+        assert len(names) == 7
+
+    def test_all_checks_pass(self, result):
+        failing = [row for row in result.rows if row["status"] != "PASS"]
+        assert not failing, failing
+        assert all_passed(result)
+
+    def test_exact_checks_have_zero_error(self, result):
+        for name in (
+            "table1_deterministic",
+            "fault_tolerance_round_robin",
+            "exact_instances",
+        ):
+            assert result.row_for(check=name)["worst_error"] == 0
+
+    def test_all_passed_detects_failure(self, result):
+        from repro.experiments.runner import ExperimentResult
+
+        fake = ExperimentResult(
+            name="x", headers=["check", "status"],
+            rows=[{"check": "c", "status": "FAIL"}],
+        )
+        assert not all_passed(fake)

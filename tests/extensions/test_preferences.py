@@ -1,0 +1,112 @@
+"""Unit tests for the §7.1 client-preference extension."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError
+from repro.extensions.preferences import (
+    PreferenceClient,
+    attribute_cost,
+    latency_bandwidth_cost,
+)
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.round_robin import RoundRobinY
+
+
+def _annotated_entries(count):
+    """Entries whose payload latency increases with their index."""
+    return [
+        Entry(f"host{i}", payload={"latency_ms": float(i), "bandwidth_mbps": 100.0 - i})
+        for i in range(1, count + 1)
+    ]
+
+
+@pytest.fixture
+def strategy(cluster):
+    s = FullReplication(cluster)
+    s.place(_annotated_entries(30))
+    return s
+
+
+class TestCostFunctions:
+    def test_attribute_cost_reads_payload(self):
+        cost = attribute_cost("latency_ms")
+        assert cost(Entry("a", payload={"latency_ms": 5})) == 5.0
+
+    def test_attribute_cost_default_for_missing(self):
+        cost = attribute_cost("latency_ms")
+        assert cost(Entry("a")) == float("inf")
+
+    def test_latency_bandwidth_tradeoff(self):
+        cost = latency_bandwidth_cost(latency_weight=1.0, bandwidth_weight=2.0)
+        fast_far = Entry("a", payload={"latency_ms": 50, "bandwidth_mbps": 100})
+        slow_near = Entry("b", payload={"latency_ms": 10, "bandwidth_mbps": 1})
+        assert cost(fast_far) < cost(slow_near)
+
+
+class TestBestLookup:
+    def test_returns_the_true_t_best(self, strategy):
+        client = PreferenceClient(strategy, attribute_cost("latency_ms"))
+        result = client.best_lookup(3)
+        assert {e.entry_id for e in result.entries} == {"host1", "host2", "host3"}
+
+    def test_result_meets_partial_contract(self, strategy):
+        client = PreferenceClient(strategy, attribute_cost("latency_ms"))
+        result = client.best_lookup(5)
+        assert result.success and result.target == 5
+
+    def test_validation(self, strategy):
+        client = PreferenceClient(strategy, attribute_cost("latency_ms"))
+        with pytest.raises(InvalidParameterError):
+            client.best_lookup(0)
+
+
+class TestProbingLookup:
+    def test_probing_respects_server_cap(self):
+        strategy = RoundRobinY(Cluster(10, seed=2), y=2)
+        strategy.place(_annotated_entries(50))
+        client = PreferenceClient(strategy, attribute_cost("latency_ms"))
+        result = client.probing_lookup(5, max_servers=2)
+        assert result.lookup_cost <= 2
+        assert len(result) == 5
+
+    def test_probing_optimal_under_full_replication(self, strategy):
+        # Every server has everything, so one probe is already optimal.
+        client = PreferenceClient(strategy, attribute_cost("latency_ms"))
+        result = client.probing_lookup(4, max_servers=1)
+        assert client.regret(result) == 0.0
+
+    def test_probing_regret_nonnegative(self):
+        strategy = RoundRobinY(Cluster(10, seed=3), y=1)
+        strategy.place(_annotated_entries(40))
+        client = PreferenceClient(strategy, attribute_cost("latency_ms"))
+        for _ in range(5):
+            result = client.probing_lookup(5, max_servers=2)
+            assert client.regret(result) >= 0.0
+
+    def test_probing_can_be_suboptimal_with_partition(self):
+        # With y=1 each server holds a 4-entry slice; 1 probe cannot
+        # see host1..host4 unless it hits their server.
+        strategy = RoundRobinY(Cluster(10, seed=4), y=1)
+        strategy.place(_annotated_entries(40))
+        client = PreferenceClient(strategy, attribute_cost("latency_ms"))
+        regrets = [
+            client.regret(client.probing_lookup(4, max_servers=1))
+            for _ in range(30)
+        ]
+        assert any(r > 0 for r in regrets)
+
+    def test_more_probes_weakly_better_on_average(self):
+        strategy = RoundRobinY(Cluster(10, seed=5), y=1)
+        strategy.place(_annotated_entries(40))
+        client = PreferenceClient(strategy, attribute_cost("latency_ms"))
+        few = sum(
+            client.regret(client.probing_lookup(4, max_servers=1))
+            for _ in range(30)
+        )
+        many = sum(
+            client.regret(client.probing_lookup(4, max_servers=8))
+            for _ in range(30)
+        )
+        assert many <= few

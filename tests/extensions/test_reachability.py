@@ -1,0 +1,97 @@
+"""Unit tests for the §7.2 limited-reachability extension."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.extensions.reachability import (
+    OverlayNetwork,
+    ReachabilityPlacement,
+    ReachabilityReport,
+)
+
+
+def _path_overlay(length=10):
+    return OverlayNetwork(nx.path_graph(length))
+
+
+class TestOverlayNetwork:
+    def test_within_hops_includes_self(self):
+        overlay = _path_overlay()
+        assert overlay.within_hops(3, 0) == {3}
+
+    def test_within_hops_radius(self):
+        overlay = _path_overlay()
+        assert overlay.within_hops(5, 2) == {3, 4, 5, 6, 7}
+
+    def test_random_overlay_connected(self):
+        overlay = OverlayNetwork.random(50, mean_degree=3, rng=random.Random(1))
+        assert nx.is_connected(overlay.graph)
+        assert overlay.graph.number_of_nodes() == 50
+
+    def test_random_overlay_reproducible(self):
+        a = OverlayNetwork.random(30, rng=random.Random(2))
+        b = OverlayNetwork.random(30, rng=random.Random(2))
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_empty_overlay_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            OverlayNetwork(nx.Graph())
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            _path_overlay().within_hops(0, -1)
+
+
+class TestPlacement:
+    def test_hop_zero_needs_server_everywhere(self):
+        placement = ReachabilityPlacement(_path_overlay(6))
+        report = placement.place_servers(0)
+        assert report.update_fanout == 6
+        assert report.fully_covered
+
+    def test_path_graph_hop_one_needs_every_third(self):
+        placement = ReachabilityPlacement(_path_overlay(9))
+        report = placement.place_servers(1)
+        assert report.fully_covered
+        assert report.update_fanout == 3  # optimal: nodes 1, 4, 7
+
+    def test_large_hop_bound_one_server_suffices(self):
+        placement = ReachabilityPlacement(_path_overlay(9))
+        report = placement.place_servers(8)
+        assert report.fully_covered
+        assert report.update_fanout == 1
+
+    def test_every_client_within_bound_of_some_server(self):
+        overlay = OverlayNetwork.random(60, mean_degree=3, rng=random.Random(3))
+        placement = ReachabilityPlacement(overlay)
+        report = placement.place_servers(2)
+        assert report.fully_covered
+        for client in overlay.nodes():
+            assert any(
+                client in overlay.within_hops(server, 2)
+                for server in report.server_nodes
+            )
+
+    def test_candidate_restriction(self):
+        placement = ReachabilityPlacement(_path_overlay(6))
+        report = placement.place_servers(1, candidates=[0, 5])
+        # Nodes 2 and 3 are unreachable from candidates within 1 hop.
+        assert not report.fully_covered
+        assert report.clients_covered == 4
+        assert report.coverage_fraction == pytest.approx(4 / 6)
+
+    def test_tradeoff_curve_monotone(self):
+        # §7.2: smaller d -> more servers -> bigger update fanout.
+        overlay = OverlayNetwork.random(80, mean_degree=3, rng=random.Random(4))
+        placement = ReachabilityPlacement(overlay)
+        curve = placement.tradeoff_curve([0, 1, 2, 3, 4])
+        fanouts = [report.update_fanout for report in curve]
+        assert fanouts == sorted(fanouts, reverse=True)
+        assert all(report.fully_covered for report in curve)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ReachabilityPlacement(_path_overlay()).place_servers(-1)

@@ -1,0 +1,95 @@
+"""Unit tests for the hash-function families."""
+
+import pytest
+
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.hashing.families import HashFamily, HashFunction, fnv1a_64
+
+
+class TestFnv:
+    def test_deterministic(self):
+        assert fnv1a_64("hello") == fnv1a_64("hello")
+
+    def test_str_and_bytes_agree(self):
+        assert fnv1a_64("abc") == fnv1a_64(b"abc")
+
+    def test_distinct_inputs_differ(self):
+        assert fnv1a_64("a") != fnv1a_64("b")
+
+    def test_64_bit_range(self):
+        assert 0 <= fnv1a_64("x" * 100) < 2**64
+
+    def test_known_vector(self):
+        # FNV-1a 64 of empty input is the offset basis.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+
+class TestHashFunction:
+    def test_maps_to_bucket_range(self):
+        function = HashFunction(a=12345, b=678, buckets=10)
+        for entry in make_entries(200):
+            assert 0 <= function(entry) < 10
+
+    def test_accepts_entry_and_string(self):
+        function = HashFunction(a=3, b=5, buckets=7)
+        assert function(Entry("v1")) == function("v1")
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HashFunction(a=0, b=0, buckets=10)
+        with pytest.raises(InvalidParameterError):
+            HashFunction(a=1, b=0, buckets=0)
+
+
+class TestHashFamily:
+    def test_family_size(self):
+        family = HashFamily(count=3, buckets=10, seed=1)
+        assert len(family) == 3
+
+    def test_seeded_families_identical(self):
+        a = HashFamily(3, 10, seed=42)
+        b = HashFamily(3, 10, seed=42)
+        for entry in make_entries(50):
+            assert a.assign(entry) == b.assign(entry)
+
+    def test_different_seeds_differ(self):
+        a = HashFamily(2, 10, seed=1)
+        b = HashFamily(2, 10, seed=2)
+        assignments_a = [tuple(a.assign(e)) for e in make_entries(50)]
+        assignments_b = [tuple(b.assign(e)) for e in make_entries(50)]
+        assert assignments_a != assignments_b
+
+    def test_assign_length(self):
+        family = HashFamily(4, 10, seed=7)
+        assert len(family.assign(Entry("v1"))) == 4
+
+    def test_assign_distinct_dedupes(self):
+        family = HashFamily(8, 2, seed=7)  # heavy collisions with 2 buckets
+        distinct = family.assign_distinct(Entry("v1"))
+        assert len(distinct) == len(set(distinct))
+        assert set(distinct) <= {0, 1}
+
+    def test_roughly_uniform_buckets(self):
+        family = HashFamily(1, 10, seed=3)
+        counts = [0] * 10
+        trials = 5000
+        for entry in make_entries(trials):
+            counts[family[0](entry)] += 1
+        for count in counts:
+            assert abs(count / trials - 0.1) < 0.03
+
+    def test_functions_approximately_independent(self):
+        # P(f1(v) == f2(v)) should be ~1/n for random entries.
+        family = HashFamily(2, 10, seed=11)
+        trials = 4000
+        collisions = sum(
+            1
+            for entry in make_entries(trials)
+            if family[0](entry) == family[1](entry)
+        )
+        assert abs(collisions / trials - 0.1) < 0.03
+
+    def test_invalid_count(self):
+        with pytest.raises(InvalidParameterError):
+            HashFamily(0, 10)

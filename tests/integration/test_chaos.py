@@ -1,0 +1,114 @@
+"""Chaos test: interleaved updates, lookups, failures, and recoveries.
+
+A long random schedule of every kind of event must never corrupt a
+strategy: no duplicate entries in answers, no crash, and answers drawn
+only from entries that are live *or* legitimately stale.
+
+Staleness is real, faithful behaviour: the paper's protocols have no
+anti-entropy repair, so an update issued while a server is down never
+reaches it — a delete can leave a stale copy that resurfaces when the
+server recovers.  The model therefore tracks a ``maybe_stale`` set:
+any entry updated while at least one server was failed.  The safety
+property is that nothing *outside* ``live ∪ maybe_stale`` can ever be
+returned.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import NoOperationalServerError
+from repro.strategies.registry import available_strategies, create_strategy
+
+PARAMS = {
+    "full_replication": {},
+    "fixed": {"x": 25},
+    "random_server": {"x": 25},
+    "round_robin": {"y": 2, "counter_replicas": 3},
+    "hash": {"y": 2},
+    "key_partitioning": {},
+}
+
+
+@pytest.mark.parametrize("name", available_strategies())
+def test_chaos_schedule(name):
+    rng = random.Random(hash(name) % (2**31))
+    cluster = Cluster(10, seed=17)
+    strategy = create_strategy(name, cluster, **PARAMS[name])
+    initial = make_entries(60)
+    strategy.place(initial)
+    live = {e.entry_id for e in initial}
+    maybe_stale = set()
+    next_id = 0
+    any_failure_ever = False
+
+    for step in range(400):
+        roll = rng.random()
+        degraded = cluster.failed_count > 0
+        any_failure_ever = any_failure_ever or degraded
+        # Fixed-x's *selective* broadcast consults the contacted
+        # server's local store; once any failure has desynchronized
+        # the supposedly-identical stores, a delete can be wrongly
+        # swallowed by a stale initial server even while everyone is
+        # up — so after the first failure, every Fixed-x delete is
+        # only best-effort.  (The paper's no-concurrency-control
+        # caveat, §5.2, extended to failures.)
+        delete_unreliable = degraded or (
+            name == "fixed" and any_failure_ever
+        )
+        try:
+            if roll < 0.25:
+                entry = Entry(f"c{next_id}")
+                next_id += 1
+                strategy.add(entry)
+                live.add(entry.entry_id)
+            elif roll < 0.45 and live:
+                victim = rng.choice(sorted(live))
+                strategy.delete(Entry(victim))
+                live.discard(victim)
+                if delete_unreliable:
+                    # A failed (or, for Fixed-x, desynchronized)
+                    # server may still hold a copy forever.
+                    maybe_stale.add(victim)
+            elif roll < 0.85:
+                result = strategy.partial_lookup(rng.randint(1, 10))
+                ids = [e.entry_id for e in result.entries]
+                assert len(ids) == len(set(ids))
+                assert set(ids) <= live | maybe_stale, "untracked entry"
+            elif roll < 0.95 and cluster.failed_count < 9:
+                cluster.fail(rng.randrange(10))
+            elif cluster.failed_count:
+                cluster.recover(rng.choice(
+                    [s.server_id for s in cluster.servers if not s.alive]
+                ))
+        except NoOperationalServerError:
+            # Updates may legitimately be refused while the relevant
+            # servers are down (e.g. all counter replicas failed).
+            # Recover someone and carry on.
+            cluster.recover(rng.randrange(10))
+
+    cluster.recover_all()
+
+    # After full recovery: answers are still duplicate-free and drawn
+    # only from live-or-stale entries.
+    result = strategy.partial_lookup(5)
+    ids = [e.entry_id for e in result.entries]
+    assert len(ids) == len(set(ids))
+    assert set(ids) <= live | maybe_stale
+
+    retrievable = {e.entry_id for e in strategy.lookup_all()}
+    assert retrievable <= live | maybe_stale, "invented entries"
+
+    if name == "hash":
+        # Live entries sit only on their hash targets.
+        placement = strategy.placement()
+        for entry_id in sorted(live)[:10]:
+            holders = {
+                sid
+                for sid, entries in placement.items()
+                if Entry(entry_id) in entries
+            }
+            targets = set(strategy.family.assign_distinct(Entry(entry_id)))
+            assert holders <= targets

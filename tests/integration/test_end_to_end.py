@@ -1,0 +1,136 @@
+"""Integration tests: full stack from directory facade to metrics."""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.core.service import PartialLookupDirectory
+from repro.metrics.collector import MetricsCollector
+from repro.simulation.events import AddEvent, DeleteEvent
+from repro.simulation.replay import TraceReplayer
+from repro.strategies.registry import available_strategies, create_strategy
+from repro.workload.generator import SteadyStateWorkload
+
+
+class TestDirectoryOverMixedStrategies:
+    """One cluster, many keys, each with a different scheme."""
+
+    def test_mixed_strategy_directory(self):
+        directory = PartialLookupDirectory(
+            Cluster(10, seed=11), default_strategy="hash", default_params={"y": 2}
+        )
+        directory.configure_key("static-fair", "round_robin", y=2)
+        directory.configure_key("hot-updates", "fixed", x=15)
+        directory.configure_key("replicated", "full_replication")
+
+        for key in ("static-fair", "hot-updates", "replicated", "defaulted"):
+            directory.place(key, make_entries(60, prefix=f"{key}-"))
+
+        # Each key's strategy governs its placement independently.
+        assert directory.storage_cost("static-fair") == 120
+        assert directory.storage_cost("hot-updates") == 150
+        assert directory.storage_cost("replicated") == 600
+        assert 60 <= directory.storage_cost("defaulted") <= 120
+
+        for key in ("static-fair", "replicated", "defaulted"):
+            result = directory.partial_lookup(key, 10)
+            assert result.success
+            assert all(e.entry_id.startswith(key) for e in result.entries)
+
+    def test_update_one_key_leaves_others_untouched(self):
+        directory = PartialLookupDirectory(
+            Cluster(10, seed=12), default_strategy="round_robin",
+            default_params={"y": 2},
+        )
+        directory.place("a", make_entries(20, prefix="a"))
+        directory.place("b", make_entries(20, prefix="b"))
+        before_b = directory.lookup("b")
+        for entry in make_entries(20, prefix="a"):
+            directory.delete("a", entry)
+        assert directory.lookup("a") == set()
+        assert directory.lookup("b") == before_b
+
+
+class TestWorkloadThroughEveryStrategy:
+    """Every scheme survives a full steady-state churn trace."""
+
+    @pytest.mark.parametrize("name", available_strategies())
+    def test_churn_preserves_service(self, name):
+        params = {
+            "full_replication": {},
+            "fixed": {"x": 25},
+            "random_server": {"x": 25},
+            "round_robin": {"y": 2},
+            "hash": {"y": 2},
+            "key_partitioning": {},
+        }[name]
+        workload = SteadyStateWorkload(50, rng=random.Random(5))
+        trace = workload.generate(600)
+        strategy = create_strategy(name, Cluster(10, seed=6), **params)
+        strategy.place(trace.initial_entries)
+
+        live = {e.entry_id for e in trace.initial_entries}
+        replayer = TraceReplayer(strategy)
+        stats = replayer.replay(trace.events)
+        for event in trace.events:
+            if isinstance(event, AddEvent):
+                live.add(event.entry.entry_id)
+            else:
+                live.discard(event.entry.entry_id)
+
+        assert stats.adds + stats.deletes == 600
+        # Whatever remains retrievable is live; nothing deleted leaks.
+        retrievable = {e.entry_id for e in strategy.lookup_all()}
+        assert retrievable <= live
+        # Schemes that store every entry track the population exactly.
+        if name in ("full_replication", "round_robin", "hash", "key_partitioning"):
+            assert retrievable == live
+        # A modest lookup works against the steady-state population.
+        result = strategy.partial_lookup(5)
+        assert result.success
+
+
+class TestMetricsOverLiveSystem:
+    def test_collector_after_churn(self):
+        strategy = create_strategy("round_robin", Cluster(10, seed=7), y=2)
+        workload = SteadyStateWorkload(80, rng=random.Random(8))
+        trace = workload.generate(300)
+        strategy.place(trace.initial_entries)
+        live = {e.entry_id: e for e in trace.initial_entries}
+        for event in trace.events:
+            if isinstance(event, AddEvent):
+                strategy.add(event.entry)
+                live[event.entry.entry_id] = event.entry
+            else:
+                strategy.delete(event.entry)
+                live.pop(event.entry.entry_id, None)
+        collector = MetricsCollector(lookup_samples=100, unfairness_samples=400)
+        snapshot = collector.collect(
+            strategy, target=10, universe=list(live.values())
+        )
+        assert snapshot.coverage == len(live)
+        assert snapshot.storage_cost == 2 * len(live)
+        assert snapshot.lookup_failure_rate == 0.0
+        assert snapshot.unfairness < 0.5
+
+
+class TestFailureRecoveryScenario:
+    def test_service_degrades_and_recovers(self):
+        strategy = create_strategy("round_robin", Cluster(10, seed=9), y=2)
+        strategy.place(make_entries(100))
+
+        # Healthy: full coverage.
+        assert strategy.partial_lookup(80).success
+
+        # Heavy failure: 8 of 10 servers down -> at most ~40 entries.
+        strategy.cluster.fail_many(range(8))
+        degraded = strategy.partial_lookup(80)
+        assert not degraded.success
+        assert strategy.partial_lookup(10).success  # partial service holds
+
+        # Recovery restores everything (state was retained).
+        strategy.cluster.recover_all()
+        assert strategy.partial_lookup(80).success
+        assert strategy.coverage() == 100

@@ -1,0 +1,113 @@
+"""Unit tests for result and trace persistence."""
+
+import json
+import random
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.exceptions import InvalidParameterError
+from repro.experiments.runner import ExperimentResult
+from repro.io.results import load_result, result_to_csv, save_result
+from repro.io.traces import load_trace, save_trace
+from repro.simulation.events import FailureEvent, LookupEvent, RecoveryEvent
+from repro.simulation.replay import TraceReplayer
+from repro.strategies.round_robin import RoundRobinY
+from repro.workload.generator import SteadyStateWorkload, WorkloadTrace
+
+
+def _result():
+    return ExperimentResult(
+        name="demo",
+        headers=["x", "y"],
+        rows=[{"x": 1, "y": 2.5}, {"x": 2, "y": 3.5}],
+        meta={"runs": 3},
+    )
+
+
+class TestResults:
+    def test_round_trip(self, tmp_path):
+        path = save_result(_result(), tmp_path / "nested" / "demo.json")
+        loaded = load_result(path)
+        assert loaded.name == "demo"
+        assert loaded.rows == _result().rows
+        assert loaded.meta == {"runs": 3}
+
+    def test_format_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "name": "x"}))
+        with pytest.raises(InvalidParameterError, match="format version"):
+            load_result(path)
+
+    def test_csv_export(self, tmp_path):
+        text = result_to_csv(_result(), tmp_path / "demo.csv")
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.5"
+        assert (tmp_path / "demo.csv").read_text() == text
+
+    def test_csv_without_file(self):
+        assert result_to_csv(_result()).startswith("x,y")
+
+
+class TestTraces:
+    def test_round_trip_workload_trace(self, tmp_path):
+        workload = SteadyStateWorkload(30, rng=random.Random(1))
+        trace = workload.generate(200)
+        path = save_trace(trace, tmp_path / "trace.jsonl")
+        loaded = load_trace(path)
+        assert loaded.initial_entries == trace.initial_entries
+        assert len(loaded.events) == len(trace.events)
+        for original, restored in zip(trace.events, loaded.events):
+            assert type(original) is type(restored)
+            assert original.time == restored.time
+
+    def test_round_trip_mixed_event_kinds(self, tmp_path):
+        trace = WorkloadTrace(
+            initial_entries=(),
+            events=(
+                LookupEvent(1.0, target=5),
+                FailureEvent(2.0, server_id=3),
+                RecoveryEvent(4.0, server_id=3),
+            ),
+        )
+        loaded = load_trace(save_trace(trace, tmp_path / "mixed.jsonl"))
+        assert isinstance(loaded.events[0], LookupEvent)
+        assert loaded.events[0].target == 5
+        assert isinstance(loaded.events[1], FailureEvent)
+        assert loaded.events[1].server_id == 3
+        assert isinstance(loaded.events[2], RecoveryEvent)
+
+    def test_replayed_saved_trace_equals_original(self, tmp_path):
+        """A saved trace drives a strategy to the identical end state."""
+        workload = SteadyStateWorkload(40, rng=random.Random(2))
+        trace = workload.generate(300)
+        loaded = load_trace(save_trace(trace, tmp_path / "t.jsonl"))
+
+        placements = []
+        for version in (trace, loaded):
+            strategy = RoundRobinY(Cluster(10, seed=3), y=2)
+            strategy.place(version.initial_entries)
+            TraceReplayer(strategy).replay(version.events)
+            placements.append(strategy.placement())
+        assert placements[0] == placements[1]
+
+    def test_truncated_file_detected(self, tmp_path):
+        workload = SteadyStateWorkload(10, rng=random.Random(4))
+        path = save_trace(workload.generate(50), tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-5]) + "\n")
+        with pytest.raises(InvalidParameterError, match="declares"):
+            load_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(InvalidParameterError, match="empty"):
+            load_trace(path)
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text(json.dumps({"format_version": 0, "initial_entries": []}))
+        with pytest.raises(InvalidParameterError, match="format version"):
+            load_trace(path)

@@ -1,0 +1,42 @@
+"""Unit tests for the MetricsCollector."""
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.metrics.collector import MetricsCollector, MetricsSnapshot
+from repro.strategies.round_robin import RoundRobinY
+
+
+class TestCollector:
+    def test_snapshot_fields(self):
+        strategy = RoundRobinY(Cluster(10, seed=1), y=2)
+        entries = make_entries(100)
+        strategy.place(entries)
+        collector = MetricsCollector(lookup_samples=100, unfairness_samples=500)
+        snapshot = collector.collect(strategy, target=20, universe=entries)
+        assert isinstance(snapshot, MetricsSnapshot)
+        assert snapshot.strategy_name == "round_robin"
+        assert snapshot.storage_cost == 200
+        assert snapshot.coverage == 100
+        assert snapshot.mean_lookup_cost == 1.0
+        assert snapshot.lookup_failure_rate == 0.0
+        assert snapshot.fault_tolerance == 9
+        assert snapshot.unfairness < 0.2
+        assert snapshot.storage_imbalance == 0
+
+    def test_as_row_keys(self):
+        strategy = RoundRobinY(Cluster(5, seed=2), y=1)
+        entries = make_entries(20)
+        strategy.place(entries)
+        collector = MetricsCollector(lookup_samples=50, unfairness_samples=200)
+        row = collector.collect(strategy, 4, entries).as_row()
+        assert set(row) == {
+            "strategy",
+            "t",
+            "storage",
+            "imbalance",
+            "lookup_cost",
+            "lookup_fail",
+            "coverage",
+            "fault_tol",
+            "unfairness",
+        }

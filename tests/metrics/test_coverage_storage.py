@@ -1,0 +1,81 @@
+"""Unit tests for the coverage and storage metrics (§4.1, §4.3)."""
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.metrics.coverage import coverage_size, covered_entries, uncovered_entries
+from repro.metrics.storage import (
+    measured_storage_cost,
+    storage_by_server,
+    storage_imbalance,
+)
+from repro.strategies.fixed import FixedX
+from repro.strategies.hashing import HashY
+from repro.strategies.round_robin import RoundRobinY
+
+
+class TestStorage:
+    def test_measured_matches_strategy(self, cluster):
+        strategy = FixedX(cluster, x=20)
+        strategy.place(make_entries(100))
+        assert measured_storage_cost(strategy) == 200
+
+    def test_by_server_round_robin_balanced(self):
+        strategy = RoundRobinY(Cluster(10, seed=1), y=2)
+        strategy.place(make_entries(100))
+        assert storage_by_server(strategy) == [20] * 10
+        assert storage_imbalance(strategy) == 0
+
+    def test_round_robin_imbalance_bounded_by_y(self):
+        strategy = RoundRobinY(Cluster(10, seed=1), y=3)
+        strategy.place(make_entries(101))  # not divisible by n
+        assert storage_imbalance(strategy) <= 3
+
+    def test_hash_can_be_imbalanced(self):
+        strategy = HashY(Cluster(10, seed=2), y=2)
+        strategy.place(make_entries(100))
+        assert storage_imbalance(strategy) > 0
+
+
+class TestCoverage:
+    def test_figure5_placement1(self):
+        """Figure 5's placement 1: coverage 2 despite 3 servers."""
+        cluster = Cluster(3, seed=1)
+        cluster.server(0).store("k").add(Entry("v1"))
+        cluster.server(0).store("k").add(Entry("v2"))
+        cluster.server(1).store("k").add(Entry("v1"))
+        cluster.server(1).store("k").add(Entry("v2"))
+        cluster.server(2).store("k").add(Entry("v1"))
+        cluster.server(2).store("k").add(Entry("v2"))
+        assert cluster.coverage("k") == 2
+
+    def test_figure5_placement2(self):
+        """Figure 5's placement 2: coverage 5 with the same budget."""
+        cluster = Cluster(3, seed=1)
+        cluster.server(0).store("k").add(Entry("v1"))
+        cluster.server(0).store("k").add(Entry("v2"))
+        cluster.server(1).store("k").add(Entry("v2"))
+        cluster.server(1).store("k").add(Entry("v3"))
+        cluster.server(2).store("k").add(Entry("v4"))
+        cluster.server(2).store("k").add(Entry("v5"))
+        assert cluster.coverage("k") == 5
+
+    def test_covered_and_uncovered_partition(self, cluster):
+        strategy = FixedX(cluster, x=10)
+        universe = make_entries(30)
+        strategy.place(universe)
+        covered = covered_entries(strategy)
+        uncovered = uncovered_entries(strategy, universe)
+        assert covered | uncovered == set(universe)
+        assert not covered & uncovered
+        assert coverage_size(strategy) == 10
+        assert len(uncovered) == 20
+
+    def test_deletion_shrinks_coverage(self):
+        """Figure 5's point: deleting v2 from placement 1 kills t=2."""
+        cluster = Cluster(3, seed=1)
+        for sid in range(3):
+            cluster.server(sid).store("k").add(Entry("v1"))
+            cluster.server(sid).store("k").add(Entry("v2"))
+        for sid in range(3):
+            cluster.server(sid).store("k").discard(Entry("v2"))
+        assert cluster.coverage("k") == 1

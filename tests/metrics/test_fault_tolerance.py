@@ -1,0 +1,120 @@
+"""Unit tests for the fault-tolerance heuristic (§4.4, Appendix A)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.metrics.fault_tolerance import (
+    exact_fault_tolerance,
+    greedy_fault_tolerance,
+    server_importance,
+)
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.round_robin import RoundRobinY
+
+
+class TestServerImportance:
+    def test_unique_entry_scores_one(self):
+        placement = {0: {Entry("a")}, 1: {Entry("b")}}
+        scores = server_importance(placement)
+        assert scores == {0: 1.0, 1: 1.0}
+
+    def test_shared_entries_dilute(self):
+        placement = {0: {Entry("a")}, 1: {Entry("a")}, 2: {Entry("a")}}
+        scores = server_importance(placement)
+        assert all(score == pytest.approx(1 / 3) for score in scores.values())
+
+    def test_rare_entry_raises_importance(self):
+        shared = {Entry("s1"), Entry("s2")}
+        placement = {
+            0: shared | {Entry("unique")},
+            1: set(shared),
+        }
+        scores = server_importance(placement)
+        assert scores[0] > scores[1]
+
+    def test_empty_server_scores_zero(self):
+        placement = {0: {Entry("a")}, 1: set()}
+        assert server_importance(placement)[1] == 0.0
+
+
+class TestGreedyOnKnownPlacements:
+    def test_full_replication_tolerates_n_minus_1(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(50))
+        assert greedy_fault_tolerance(strategy, 10) == 9
+
+    def test_fixed_tolerates_n_minus_1_within_x(self, cluster):
+        strategy = FixedX(cluster, x=20)
+        strategy.place(make_entries(100))
+        assert greedy_fault_tolerance(strategy, 20) == 9
+
+    def test_fixed_zero_beyond_coverage(self, cluster):
+        strategy = FixedX(cluster, x=20)
+        strategy.place(make_entries(100))
+        # A target above coverage fails even with zero failures.
+        assert greedy_fault_tolerance(strategy, 25) == 0
+
+    @pytest.mark.parametrize(
+        "target,expected", [(10, 9), (20, 9), (30, 8), (50, 6), (100, 1)]
+    )
+    def test_round_robin_matches_closed_form(self, target, expected):
+        # n − ⌈tn/h⌉ + y − 1 with n=10, h=100, y=2.
+        strategy = RoundRobinY(Cluster(10, seed=1), y=2)
+        strategy.place(make_entries(100))
+        assert greedy_fault_tolerance(strategy, target) == expected
+
+    def test_target_zero_capped_at_n_minus_1(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(5))
+        assert greedy_fault_tolerance(strategy, 0) == 9
+
+    def test_failure_order_returned(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(5))
+        tolerated, order = greedy_fault_tolerance(strategy, 1, return_order=True)
+        assert tolerated == 9
+        assert len(order) == 9
+        assert len(set(order)) == 9
+
+    def test_already_failed_servers_excluded(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(5))
+        cluster.fail_many([0, 1, 2])
+        assert greedy_fault_tolerance(strategy, 1) == 6
+
+
+class TestGreedyVsExact:
+    def test_exact_matches_greedy_on_uniform_placements(self, small_cluster):
+        strategy = FullReplication(small_cluster)
+        strategy.place(make_entries(6))
+        assert exact_fault_tolerance(strategy, 3) == greedy_fault_tolerance(
+            strategy, 3
+        )
+
+    def test_greedy_never_below_exact(self):
+        # The adversary seeks the *minimum* breaking failure set; the
+        # greedy heuristic may miss it and report a larger tolerated
+        # count, so greedy is an optimistic (upper) estimate: it can
+        # never fall below the true worst case.
+        from repro.strategies.random_server import RandomServerX
+
+        mismatches = 0
+        for seed in range(15):
+            strategy = RandomServerX(Cluster(5, seed=seed), x=3)
+            strategy.place(make_entries(10))
+            greedy = greedy_fault_tolerance(strategy, 5)
+            exact = exact_fault_tolerance(strategy, 5)
+            assert greedy >= exact
+            if greedy != exact:
+                mismatches += 1
+        # The heuristic is good: it should agree most of the time.
+        assert mismatches <= 5
+
+    def test_round_robin_exact_small(self):
+        strategy = RoundRobinY(Cluster(5, seed=2), y=2)
+        strategy.place(make_entries(10))
+        assert exact_fault_tolerance(strategy, 4) == greedy_fault_tolerance(
+            strategy, 4
+        )

@@ -1,0 +1,72 @@
+"""Unit tests for the latency-rounds metric (§3.5's predictability)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.metrics.latency import estimate_lookup_latency
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+
+def _placed(strategy):
+    strategy.place(make_entries(100))
+    return strategy
+
+
+class TestPredictability:
+    def test_round_robin_is_one_round_despite_multi_contact(self):
+        strategy = _placed(RoundRobinY(Cluster(10, seed=1), y=2))
+        estimate = estimate_lookup_latency(strategy, target=40, lookups=100)
+        assert estimate.predictable
+        assert estimate.mean_contacts == 2.0  # two servers...
+        assert estimate.mean_rounds == 1.0    # ...contacted in parallel
+
+    def test_hash_pays_a_round_per_contact(self):
+        strategy = _placed(HashY(Cluster(10, seed=2), y=2))
+        estimate = estimate_lookup_latency(strategy, target=40, lookups=100)
+        assert not estimate.predictable
+        assert estimate.mean_rounds == estimate.mean_contacts
+        assert estimate.mean_rounds > 1.5
+
+    def test_random_server_adaptive(self):
+        strategy = _placed(RandomServerX(Cluster(10, seed=3), x=20))
+        estimate = estimate_lookup_latency(strategy, target=40, lookups=100)
+        assert not estimate.predictable
+        assert estimate.mean_rounds >= 2.0
+
+    def test_single_contact_schemes_one_round(self):
+        for strategy in (
+            _placed(FullReplication(Cluster(10, seed=4))),
+            _placed(FixedX(Cluster(10, seed=5), x=20)),
+        ):
+            estimate = estimate_lookup_latency(strategy, target=10, lookups=50)
+            assert estimate.mean_rounds == 1.0
+
+    def test_round_robin_failures_cost_an_extra_round(self):
+        strategy = _placed(RoundRobinY(Cluster(10, seed=6), y=2))
+        strategy.cluster.fail(0)
+        strategy.cluster.fail(5)
+        estimate = estimate_lookup_latency(strategy, target=40, lookups=200)
+        # Some precomputed fan-outs hit a failed server and need a
+        # second, adaptive round.
+        assert 1.0 < estimate.mean_rounds < 2.0
+
+    def test_latency_advantage_round_vs_hash_at_large_targets(self):
+        """§3.5's observation, quantified: same contacts, fewer rounds."""
+        cluster = Cluster(10, seed=7)
+        round_robin = _placed(RoundRobinY(cluster, y=2, key="rr"))
+        hashed = _placed(HashY(cluster, y=2, key="h"))
+        rr = estimate_lookup_latency(round_robin, target=60, lookups=100)
+        hy = estimate_lookup_latency(hashed, target=60, lookups=100)
+        assert rr.mean_rounds == 1.0
+        assert hy.mean_rounds >= 3.0
+
+    def test_validation(self):
+        strategy = _placed(FullReplication(Cluster(4, seed=8)))
+        with pytest.raises(InvalidParameterError):
+            estimate_lookup_latency(strategy, 5, lookups=0)

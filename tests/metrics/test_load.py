@@ -1,0 +1,81 @@
+"""Unit tests for the server-load metric and hot-spot behaviour."""
+
+import pytest
+
+from repro.baselines.key_partitioning import KeyPartitioning
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.metrics.load import LoadProfile, measure_lookup_load
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.round_robin import RoundRobinY
+
+
+class TestLoadProfile:
+    def test_peak_share(self):
+        profile = LoadProfile({0: 80, 1: 10, 2: 10}, total_requests=100, lookups=100)
+        assert profile.peak_load == 80
+        assert profile.peak_share == pytest.approx(0.8)
+        assert profile.busy_servers == 3
+
+    def test_imbalance_even_load(self):
+        profile = LoadProfile({0: 10, 1: 10}, total_requests=20, lookups=20)
+        assert profile.imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_hot_spot(self):
+        profile = LoadProfile({0: 20, 1: 0}, total_requests=20, lookups=20)
+        assert profile.imbalance() == pytest.approx(2.0)
+
+    def test_empty(self):
+        profile = LoadProfile({}, total_requests=0, lookups=0)
+        assert profile.peak_share == 0.0
+        assert profile.imbalance() == 0.0
+
+
+class TestMeasuredLoad:
+    def test_partitioning_is_a_perfect_hot_spot(self, cluster):
+        baseline = KeyPartitioning(cluster)
+        baseline.place(make_entries(50))
+        profile = measure_lookup_load(baseline, target=5, lookups=300)
+        assert profile.peak_share == 1.0
+        assert profile.busy_servers == 1
+
+    def test_full_replication_spreads_load(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(50))
+        profile = measure_lookup_load(strategy, target=5, lookups=500)
+        assert profile.peak_share < 0.25  # ideal 0.1, noise allowed
+        assert profile.busy_servers >= 9
+
+    def test_round_robin_spreads_load(self):
+        strategy = RoundRobinY(Cluster(10, seed=5), y=2)
+        strategy.place(make_entries(100))
+        profile = measure_lookup_load(strategy, target=5, lookups=500)
+        assert profile.peak_share < 0.25
+        assert profile.total_requests == 500  # one server per lookup
+
+    def test_updates_not_charged_to_load(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(10))
+        profile = measure_lookup_load(strategy, target=2, lookups=100)
+        assert profile.total_requests == 100
+
+    def test_validation(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(10))
+        with pytest.raises(InvalidParameterError):
+            measure_lookup_load(strategy, target=2, lookups=0)
+
+
+class TestHotspotExperiment:
+    def test_experiment_shapes(self):
+        from repro.experiments.hotspot import HotspotConfig, run
+
+        result = run(HotspotConfig(runs=2, lookups=400))
+        partitioning = result.row_for(architecture="key_partitioning")
+        assert partitioning["peak_share"] == 1.0
+        assert partitioning["survives_owner_failure"] == 0.0
+        for name in ("full_replication", "round_robin", "random_server"):
+            row = result.row_for(architecture=name)
+            assert row["peak_share"] < 0.3
+            assert row["survives_owner_failure"] == 1.0

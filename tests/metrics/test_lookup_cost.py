@@ -1,0 +1,47 @@
+"""Unit tests for the lookup-cost estimator (§4.2)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.metrics.lookup_cost import estimate_lookup_cost
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.round_robin import RoundRobinY
+
+
+class TestEstimates:
+    def test_full_replication_cost_is_one(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(50))
+        estimate = estimate_lookup_cost(strategy, 30, lookups=200)
+        assert estimate.mean_cost == 1.0
+        assert estimate.max_cost == 1
+        assert estimate.failures == 0
+
+    def test_round_robin_step(self):
+        strategy = RoundRobinY(Cluster(10, seed=1), y=2)
+        strategy.place(make_entries(100))
+        assert estimate_lookup_cost(strategy, 20, lookups=100).mean_cost == 1.0
+        assert estimate_lookup_cost(strategy, 21, lookups=100).mean_cost == 2.0
+
+    def test_fixed_beyond_x_all_failures(self, cluster):
+        strategy = FixedX(cluster, x=10)
+        strategy.place(make_entries(100))
+        estimate = estimate_lookup_cost(strategy, 15, lookups=100)
+        assert estimate.failure_rate == 1.0
+        assert estimate.mean_cost == 1.0  # one futile contact each
+
+    def test_fields(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(10))
+        estimate = estimate_lookup_cost(strategy, 5, lookups=42)
+        assert estimate.target == 5
+        assert estimate.lookups == 42
+
+    def test_validation(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(10))
+        with pytest.raises(InvalidParameterError):
+            estimate_lookup_cost(strategy, 5, lookups=0)

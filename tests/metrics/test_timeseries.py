@@ -1,0 +1,91 @@
+"""Unit tests for time-series probes."""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.exceptions import InvalidParameterError
+from repro.metrics.timeseries import (
+    TimeSeriesProbe,
+    coverage_metric,
+    min_store_metric,
+    storage_metric,
+)
+from repro.simulation.replay import TraceReplayer
+from repro.strategies.fixed import FixedX
+from repro.strategies.round_robin import RoundRobinY
+from repro.workload.compose import merge_event_streams
+from repro.workload.generator import SteadyStateWorkload
+
+
+class TestSchedule:
+    def test_event_times(self):
+        probe = TimeSeriesProbe("c", coverage_metric, period=10.0, horizon=35.0)
+        assert [e.time for e in probe.events()] == [10.0, 20.0, 30.0]
+
+    def test_start_offset(self):
+        probe = TimeSeriesProbe(
+            "c", coverage_metric, period=5.0, horizon=20.0, start=10.0
+        )
+        assert [e.time for e in probe.events()] == [15.0, 20.0]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TimeSeriesProbe("c", coverage_metric, period=0, horizon=10)
+        with pytest.raises(InvalidParameterError):
+            TimeSeriesProbe("c", coverage_metric, period=1, horizon=0)
+
+
+class TestSampling:
+    def test_coverage_over_churn(self):
+        workload = SteadyStateWorkload(50, rng=random.Random(1))
+        trace = workload.generate(300)
+        horizon = trace.events[-1].time
+        strategy = RoundRobinY(Cluster(10, seed=1), y=2)
+        strategy.place(trace.initial_entries)
+        probe = TimeSeriesProbe(
+            "coverage", coverage_metric, period=horizon / 20, horizon=horizon
+        )
+        replayer = TraceReplayer(strategy)
+        replayer.replay(
+            merge_event_streams(list(trace.events), probe.events())
+        )
+        series = probe.series
+        assert len(series.samples) == 20
+        # Steady-state churn keeps coverage near 50.
+        assert 25 <= series.mean() <= 75
+        assert series.minimum >= 0
+        assert series.times() == sorted(series.times())
+
+    def test_min_store_tracks_cushion_erosion(self):
+        strategy = FixedX(Cluster(4, seed=2), x=5)
+        from repro.core.entry import Entry, make_entries
+        from repro.simulation.events import DeleteEvent
+
+        strategy.place(make_entries(5))
+        deletes = [DeleteEvent(float(i * 10), Entry(f"v{i}")) for i in (1, 2)]
+        probe = TimeSeriesProbe(
+            "min_store", min_store_metric, period=5.0, horizon=25.0
+        )
+        TraceReplayer(strategy).replay(
+            merge_event_streams(deletes, probe.events())
+        )
+        values = probe.series.values()
+        assert values[0] == 5.0
+        assert values[-1] == 3.0  # two deletes eroded the cushion
+
+    def test_storage_metric(self):
+        strategy = RoundRobinY(Cluster(5, seed=3), y=2)
+        from repro.core.entry import make_entries
+
+        strategy.place(make_entries(10))
+        assert storage_metric(strategy) == 20.0
+
+    def test_as_curve_plottable(self):
+        from repro.experiments.plotting import ascii_plot
+
+        probe = TimeSeriesProbe("demo", coverage_metric, period=1, horizon=3)
+        probe.series.samples = [(1.0, 5.0), (2.0, 6.0), (3.0, 4.0)]
+        text = ascii_plot({"demo": probe.series.as_curve()})
+        assert "A" in text

@@ -1,0 +1,132 @@
+"""Unit tests for the unfairness metric (§4.5, equation 1)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.metrics.unfairness import (
+    estimate_unfairness,
+    exact_unfairness_uniform_subset,
+    instance_unfairness,
+    retrieval_probabilities,
+)
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+
+class TestEquationOne:
+    def test_paper_fixed1_example(self):
+        # §4.5: Fixed-1 managing 2 entries, t=1 -> U = 1.
+        assert instance_unfairness([1.0, 0.0], target=1) == pytest.approx(1.0)
+
+    def test_perfectly_fair_is_zero(self):
+        assert instance_unfairness([0.5, 0.5], target=1) == pytest.approx(0.0)
+
+    def test_paper_random_server_figure8(self):
+        # Figure 8: RandomServer-1 on 2 servers/2 entries has four
+        # equally likely instances with unfairness 1, 0, 0, 1 -> 1/2.
+        instances = [
+            [1.0, 0.0],   # both servers store v1
+            [0.5, 0.5],   # server1 v1, server2 v2
+            [0.5, 0.5],   # server1 v2, server2 v1
+            [0.0, 1.0],   # both store v2
+        ]
+        mean = sum(instance_unfairness(p, 1) for p in instances) / 4
+        assert mean == pytest.approx(0.5)
+
+    def test_unlisted_entries_count_as_zero_probability(self):
+        # Passing 2 probabilities with entry_count=4 treats the other
+        # two entries as unretrievable.
+        short = instance_unfairness([0.5, 0.5], target=1, entry_count=4)
+        explicit = instance_unfairness([0.5, 0.5, 0.0, 0.0], target=1)
+        assert short == pytest.approx(explicit)
+
+    def test_scale_invariance_of_ideal(self):
+        # Uniform probability t/h over all h entries is fair for any t.
+        for t in (1, 5, 20):
+            probabilities = [t / 100] * 100
+            assert instance_unfairness(probabilities, t) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            instance_unfairness([], target=1)
+        with pytest.raises(InvalidParameterError):
+            instance_unfairness([0.5], target=0)
+
+
+class TestClosedFormSubset:
+    def test_paper_fixed20_of_100_is_2(self):
+        # §6.3: Fixed-20 over 100 entries has unfairness 2.
+        assert exact_unfairness_uniform_subset(20, 100, 35) == pytest.approx(2.0)
+
+    def test_full_subset_is_fair(self):
+        assert exact_unfairness_uniform_subset(100, 100, 35) == pytest.approx(0.0)
+
+    def test_independent_of_target(self):
+        a = exact_unfairness_uniform_subset(20, 100, 5)
+        b = exact_unfairness_uniform_subset(20, 100, 50)
+        assert a == pytest.approx(b)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            exact_unfairness_uniform_subset(0, 100, 5)
+        with pytest.raises(InvalidParameterError):
+            exact_unfairness_uniform_subset(101, 100, 5)
+
+
+class TestMonteCarloEstimates:
+    def test_probabilities_sum_to_target(self, cluster):
+        strategy = FullReplication(cluster)
+        entries = make_entries(20)
+        strategy.place(entries)
+        probabilities = retrieval_probabilities(strategy, 5, entries, lookups=2000)
+        assert sum(probabilities.values()) == pytest.approx(5.0, rel=0.05)
+
+    def test_full_replication_nearly_fair(self, cluster):
+        strategy = FullReplication(cluster)
+        entries = make_entries(50)
+        strategy.place(entries)
+        estimate = estimate_unfairness(strategy, 10, entries, lookups=4000)
+        assert estimate.unfairness < 0.15  # Monte-Carlo noise floor
+
+    def test_round_robin_nearly_fair(self):
+        strategy = RoundRobinY(Cluster(10, seed=3), y=2)
+        entries = make_entries(100)
+        strategy.place(entries)
+        estimate = estimate_unfairness(strategy, 35, entries, lookups=4000)
+        assert estimate.unfairness < 0.1
+
+    def test_fixed_matches_closed_form(self, cluster):
+        strategy = FixedX(cluster, x=20)
+        entries = make_entries(100)
+        strategy.place(entries)
+        estimate = estimate_unfairness(strategy, 10, entries, lookups=4000)
+        assert estimate.unfairness == pytest.approx(2.0, abs=0.1)
+        assert estimate.zero_probability_entries == 80
+
+    def test_random_server_much_fairer_than_fixed(self):
+        # §4.5's headline: RandomServer-x is an order of magnitude
+        # fairer than Fixed-x in the static case.
+        cluster = Cluster(10, seed=4)
+        entries = make_entries(100)
+        random_server = RandomServerX(cluster, x=20, key="rs")
+        random_server.place(entries)
+        fixed = FixedX(cluster, x=20, key="f")
+        fixed.place(entries)
+        rs_unfairness = estimate_unfairness(
+            random_server, 35, entries, lookups=3000
+        ).unfairness
+        fixed_unfairness = estimate_unfairness(
+            fixed, 35, entries, lookups=3000
+        ).unfairness
+        assert rs_unfairness < fixed_unfairness / 2
+
+    def test_validation(self, cluster):
+        strategy = FullReplication(cluster)
+        entries = make_entries(5)
+        strategy.place(entries)
+        with pytest.raises(InvalidParameterError):
+            retrieval_probabilities(strategy, 2, entries, lookups=0)

@@ -1,0 +1,107 @@
+"""Property-based tests for the client lookup driver."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.client import Client
+from repro.cluster.cluster import Cluster
+from repro.cluster.messages import LookupRequest
+from repro.cluster.server import ServerLogic
+from repro.core.entry import Entry
+
+
+class _StockLogic(ServerLogic):
+    """Servers reply from fixed per-server stock lists."""
+
+    def __init__(self, stocks):
+        self.stocks = stocks
+
+    def handle(self, server, message, network):
+        assert isinstance(message, LookupRequest)
+        stock = self.stocks.get(server.server_id, [])
+        if message.target <= 0 or message.target >= len(stock):
+            return list(stock)
+        rng = random.Random(server.server_id)
+        return rng.sample(stock, message.target)
+
+
+@st.composite
+def stocked_clusters(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    stocks = {}
+    for server_id in range(n):
+        count = draw(st.integers(min_value=0, max_value=12))
+        start = draw(st.integers(min_value=0, max_value=30))
+        stocks[server_id] = [Entry(f"e{start + i}") for i in range(count)]
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    failed = draw(st.sets(st.integers(0, n - 1), max_size=n - 1 if n > 1 else 0))
+    return n, stocks, seed, failed
+
+
+@given(stocked_clusters(), st.integers(min_value=0, max_value=40))
+@settings(max_examples=60, deadline=None)
+def test_collect_invariants(setup, target):
+    n, stocks, seed, failed = setup
+    cluster = Cluster(n, seed=seed)
+    logic = _StockLogic(stocks)
+    for server in cluster.servers:
+        server.install_logic("k", logic)
+    for server_id in failed:
+        cluster.fail(server_id)
+
+    client = Client(cluster)
+    result = client.collect("k", target, order=client.random_order())
+
+    # 1. No duplicates, ever.
+    ids = [e.entry_id for e in result.entries]
+    assert len(ids) == len(set(ids))
+
+    # 2. Exactly-t trimming: a successful bounded lookup returns
+    #    exactly t entries; target 0 returns the union of alive stock.
+    alive_union = {
+        e.entry_id
+        for sid, stock in stocks.items()
+        if cluster.server(sid).alive
+        for e in stock
+    }
+    if target > 0:
+        if len(alive_union) >= target:
+            assert len(result.entries) == target
+            assert result.success
+        else:
+            assert set(ids) == alive_union
+            assert not result.success
+    else:
+        assert set(ids) == alive_union
+
+    # 3. Only alive servers are contacted; failed ones are recorded.
+    assert all(cluster.server(sid).alive for sid in result.servers_contacted)
+    assert all(not cluster.server(sid).alive for sid in result.failed_contacts)
+
+    # 4. Entries only come from contacted servers' stocks.
+    reachable = {
+        e.entry_id
+        for sid in result.servers_contacted
+        for e in stocks.get(sid, [])
+    }
+    assert set(ids) <= reachable
+
+    # 5. Message accounting equals operational contacts.
+    assert result.messages == len(result.servers_contacted)
+
+
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=0, max_value=11),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_stride_order_is_always_a_permutation(n, start, stride, seed):
+    cluster = Cluster(n, seed=seed)
+    client = Client(cluster)
+    order = client.stride_order(start, stride)
+    assert sorted(order) == list(range(n))
+    assert order[0] == start % n

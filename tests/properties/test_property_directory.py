@@ -1,0 +1,76 @@
+"""Property-based model test for the multi-key directory.
+
+Random multi-key operation sequences against the directory must agree
+with a plain in-memory dict model — for the strategies that guarantee
+complete coverage (full replication, round-robin, hash, key
+partitioning), the retrievable set per key equals the model exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry
+from repro.core.service import PartialLookupDirectory
+
+COMPLETE_STRATEGIES = [
+    ("full_replication", {}),
+    ("round_robin", {"y": 2}),
+    ("hash", {"y": 2}),
+    ("key_partitioning", {}),
+]
+
+_KEYS = ("alpha", "beta", "gamma")
+
+
+@st.composite
+def op_sequences(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["place", "add", "delete", "lookup"]),
+                st.sampled_from(_KEYS),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=40,
+        )
+    )
+    strategy_index = draw(st.integers(0, len(COMPLETE_STRATEGIES) - 1))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return ops, strategy_index, seed
+
+
+@given(op_sequences())
+@settings(max_examples=50, deadline=None)
+def test_directory_matches_dict_model(script):
+    ops, strategy_index, seed = script
+    name, params = COMPLETE_STRATEGIES[strategy_index]
+    directory = PartialLookupDirectory(
+        Cluster(6, seed=seed), default_strategy=name, default_params=params
+    )
+    model = {}
+
+    for action, key, value in ops:
+        if action == "place":
+            batch = [Entry(f"{key}-p{value}-{i}") for i in range(value % 7)]
+            directory.place(key, batch)
+            model[key] = {e.entry_id for e in batch}
+        elif action == "add":
+            entry = Entry(f"{key}-e{value}")
+            directory.add(key, entry)
+            model.setdefault(key, set()).add(entry.entry_id)
+        elif action == "delete":
+            entry = Entry(f"{key}-e{value}")
+            if key in model:
+                directory.delete(key, entry)
+                model[key].discard(entry.entry_id)
+        else:  # lookup
+            if key in model:
+                want = min(value, len(model[key]))
+                result = directory.partial_lookup(key, want)
+                assert result.success
+                assert {e.entry_id for e in result.entries} <= model[key]
+
+    for key, expected in model.items():
+        retrievable = {e.entry_id for e in directory.lookup(key)}
+        assert retrievable == expected, (name, key)

@@ -1,0 +1,97 @@
+"""Property-based round-trip tests for trace and result persistence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entry import Entry
+from repro.experiments.runner import ExperimentResult
+from repro.io.results import load_result, save_result
+from repro.io.traces import load_trace, save_trace
+from repro.simulation.events import (
+    AddEvent,
+    DeleteEvent,
+    FailureEvent,
+    LookupEvent,
+    RecoveryEvent,
+)
+from repro.workload.generator import WorkloadTrace
+
+entry_ids = st.text(alphabet="abcdef0123456789", min_size=1, max_size=8)
+times = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def traces(draw):
+    initial = draw(st.lists(entry_ids, unique=True, max_size=10))
+    events = []
+    for _ in range(draw(st.integers(0, 20))):
+        kind = draw(st.sampled_from(["add", "delete", "lookup", "fail", "rec"]))
+        t = draw(times)
+        if kind == "add":
+            events.append(AddEvent(t, Entry(draw(entry_ids))))
+        elif kind == "delete":
+            events.append(DeleteEvent(t, Entry(draw(entry_ids))))
+        elif kind == "lookup":
+            events.append(LookupEvent(t, target=draw(st.integers(1, 50))))
+        elif kind == "fail":
+            events.append(FailureEvent(t, server_id=draw(st.integers(0, 9))))
+        else:
+            events.append(RecoveryEvent(t, server_id=draw(st.integers(0, 9))))
+    return WorkloadTrace(
+        initial_entries=tuple(Entry(i) for i in initial),
+        events=tuple(events),
+    )
+
+
+@given(traces())
+@settings(max_examples=40, deadline=None)
+def test_trace_round_trip_exact(tmp_path_factory, trace):
+    path = tmp_path_factory.mktemp("traces") / "t.jsonl"
+    loaded = load_trace(save_trace(trace, path))
+    assert loaded.initial_entries == trace.initial_entries
+    assert len(loaded.events) == len(trace.events)
+    for original, restored in zip(trace.events, loaded.events):
+        assert type(original) is type(restored)
+        assert original.time == restored.time
+        if isinstance(original, (AddEvent, DeleteEvent)):
+            assert original.entry == restored.entry
+        elif isinstance(original, LookupEvent):
+            assert original.target == restored.target
+        else:
+            assert original.server_id == restored.server_id
+
+
+json_values = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    st.text(max_size=20),
+    st.booleans(),
+)
+
+
+@given(
+    st.lists(st.text(alphabet="abcxyz_", min_size=1, max_size=8),
+             unique=True, min_size=1, max_size=5),
+    st.integers(min_value=0, max_value=10),
+    st.integers(),
+)
+@settings(max_examples=40, deadline=None)
+def test_result_round_trip_exact(tmp_path_factory, headers, row_count, seed):
+    import random
+
+    rng = random.Random(seed)
+    rows = [
+        {h: rng.choice([rng.randint(0, 99), f"s{rng.randint(0, 9)}"])
+         for h in headers}
+        for _ in range(row_count)
+    ]
+    result = ExperimentResult(
+        name="prop", headers=list(headers), rows=rows, meta={"seed": seed}
+    )
+    path = tmp_path_factory.mktemp("results") / "r.json"
+    loaded = load_result(save_result(result, path))
+    assert loaded.headers == result.headers
+    assert loaded.rows == result.rows
+    assert loaded.meta == {"seed": seed}

@@ -1,0 +1,101 @@
+"""Property-based tests for the Round-Robin dynamic delete protocol.
+
+The Figure 10/11 migration machinery is the most intricate protocol in
+the paper; these tests hammer it with random interleaved update
+sequences and check the structural invariant after every operation:
+every live entry has exactly ``y`` copies, on consecutive servers, and
+nothing else is stored anywhere.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.strategies.round_robin import RoundRobinY
+
+
+def _check_invariant(strategy, live_ids, y):
+    counts = {
+        entry.entry_id: count
+        for entry, count in strategy.cluster.replica_counts("k").items()
+    }
+    assert set(counts) == live_ids, (
+        f"stored {sorted(counts)} != live {sorted(live_ids)}"
+    )
+    assert all(count == y for count in counts.values()), counts
+    # Copies must sit on consecutive servers (a position's window).
+    placement = strategy.placement()
+    n = strategy.cluster.size
+    for entry_id in live_ids:
+        holders = sorted(
+            sid for sid, entries in placement.items() if Entry(entry_id) in entries
+        )
+        windows = [
+            sorted((start + offset) % n for offset in range(y))
+            for start in range(n)
+        ]
+        assert holders in windows, f"{entry_id} holders {holders} not consecutive"
+
+
+@st.composite
+def update_scripts(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    y = draw(st.integers(min_value=1, max_value=n))
+    initial = draw(st.integers(min_value=0, max_value=12))
+    ops = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["add", "delete"]), st.integers(0, 30)),
+            max_size=25,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return n, y, initial, ops, seed
+
+
+@given(update_scripts())
+@settings(max_examples=60, deadline=None)
+def test_invariant_through_random_update_sequences(script):
+    n, y, initial, ops, seed = script
+    strategy = RoundRobinY(Cluster(n, seed=seed), y=y)
+    entries = make_entries(initial)
+    strategy.place(entries)
+    live = {entry.entry_id for entry in entries}
+    _check_invariant(strategy, live, y)
+    next_add = 0
+    for action, index in ops:
+        if action == "add":
+            entry_id = f"a{next_add}"
+            next_add += 1
+            strategy.add(Entry(entry_id))
+            live.add(entry_id)
+        else:
+            if not live:
+                continue
+            victim = sorted(live)[index % len(live)]
+            strategy.delete(Entry(victim))
+            live.discard(victim)
+        _check_invariant(strategy, live, y)
+
+
+@given(update_scripts())
+@settings(max_examples=30, deadline=None)
+def test_coverage_equals_live_population(script):
+    n, y, initial, ops, seed = script
+    strategy = RoundRobinY(Cluster(n, seed=seed), y=y)
+    entries = make_entries(initial)
+    strategy.place(entries)
+    live = {entry.entry_id for entry in entries}
+    next_add = 0
+    for action, index in ops:
+        if action == "add":
+            entry_id = f"a{next_add}"
+            next_add += 1
+            strategy.add(Entry(entry_id))
+            live.add(entry_id)
+        elif live:
+            victim = sorted(live)[index % len(live)]
+            strategy.delete(Entry(victim))
+            live.discard(victim)
+    assert strategy.coverage() == len(live)
+    assert strategy.storage_cost() == len(live) * y

@@ -1,0 +1,68 @@
+"""Property-based tests for the scheme recommender."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strategies.selector import WorkloadProfile, recommend
+
+
+@st.composite
+def profiles(draw):
+    h = draw(st.integers(min_value=1, max_value=2000))
+    n = draw(st.integers(min_value=1, max_value=100))
+    t = draw(st.integers(min_value=1, max_value=h))
+    return WorkloadProfile(
+        entry_count=h,
+        server_count=n,
+        target_answer_size=t,
+        update_rate=draw(st.floats(min_value=0.0, max_value=100.0)),
+        needs_complete_coverage=draw(st.booleans()),
+        needs_fairness=draw(st.booleans()),
+        storage_is_fixed=draw(st.booleans()),
+    )
+
+
+@given(profiles())
+@settings(max_examples=80, deadline=None)
+def test_recommendation_structure(profile):
+    ranked = recommend(profile)
+    names = [r.name for r in ranked]
+    # Always ranks all five schemes, each exactly once, sorted.
+    assert sorted(names) == [
+        "fixed", "full_replication", "hash", "random_server", "round_robin",
+    ]
+    scores = [r.score for r in ranked]
+    assert scores == sorted(scores, reverse=True)
+    # Deterministic.
+    assert names == [r.name for r in recommend(profile)]
+
+
+@given(profiles())
+@settings(max_examples=80, deadline=None)
+def test_coverage_requirement_never_helps_fixed(profile):
+    """Needing complete coverage can only push Fixed-x down the ranking."""
+    if profile.needs_complete_coverage:
+        return
+    without = {r.name: r.score for r in recommend(profile)}
+    with_coverage = WorkloadProfile(
+        entry_count=profile.entry_count,
+        server_count=profile.server_count,
+        target_answer_size=profile.target_answer_size,
+        update_rate=profile.update_rate,
+        needs_complete_coverage=True,
+        needs_fairness=profile.needs_fairness,
+        storage_is_fixed=profile.storage_is_fixed,
+    )
+    scored = {r.name: r.score for r in recommend(with_coverage)}
+    assert scored["fixed"] <= without["fixed"]
+    assert scored["round_robin"] >= without["round_robin"]
+
+
+@given(profiles())
+@settings(max_examples=80, deadline=None)
+def test_every_nonzero_score_has_reasons(profile):
+    for recommendation in recommend(profile):
+        if recommendation.score != 0:
+            assert recommendation.reasons
+        for reason in recommendation.reasons:
+            assert "§" in reason  # every rule cites its paper section

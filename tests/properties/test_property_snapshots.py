@@ -1,0 +1,59 @@
+"""Property-based round-trip tests for cluster snapshots."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.snapshots import restore_cluster, snapshot_cluster
+from repro.core.entry import Entry, make_entries
+from repro.strategies.registry import create_strategy
+
+SCHEMES = [
+    ("full_replication", {}),
+    ("fixed", {"x": 8}),
+    ("random_server", {"x": 8}),
+    ("round_robin", {"y": 2}),
+    ("hash", {"y": 2}),
+]
+
+
+@st.composite
+def populated_clusters(draw):
+    scheme_index = draw(st.integers(0, len(SCHEMES) - 1))
+    n = draw(st.integers(min_value=2, max_value=8))
+    h = draw(st.integers(min_value=1, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    updates = draw(st.integers(min_value=0, max_value=10))
+    failed = draw(st.sets(st.integers(0, n - 1), max_size=n - 1))
+    return scheme_index, n, h, seed, updates, failed
+
+
+@given(populated_clusters())
+@settings(max_examples=40, deadline=None)
+def test_snapshot_round_trip_preserves_everything(setup):
+    scheme_index, n, h, seed, updates, failed = setup
+    name, params = SCHEMES[scheme_index]
+    if params.get("y", 1) > n:
+        params = dict(params, y=n)
+    cluster = Cluster(n, seed=seed)
+    strategy = create_strategy(name, cluster, **params)
+    strategy.place(make_entries(h))
+    for index in range(updates):
+        strategy.add(Entry(f"u{index}"))
+    for server_id in failed:
+        cluster.fail(server_id)
+
+    snapshot = snapshot_cluster(cluster)
+    fresh = Cluster(n, seed=seed + 1)
+    restore_cluster(snapshot, fresh)
+
+    assert fresh.placement("k") == cluster.placement("k")
+    assert fresh.store_sizes("k") == cluster.store_sizes("k")
+    assert fresh.alive_ids() == cluster.alive_ids()
+    assert fresh.coverage("k", alive_only=False) == cluster.coverage(
+        "k", alive_only=False
+    )
+    # Snapshots are pure data: restoring twice is idempotent.
+    again = Cluster(n, seed=seed + 2)
+    restore_cluster(snapshot_cluster(fresh), again)
+    assert again.placement("k") == cluster.placement("k")

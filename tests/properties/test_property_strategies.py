@@ -1,0 +1,96 @@
+"""Property-based tests over the placement strategies.
+
+Random parameters and random update sequences must never violate the
+Section 2 service semantics or each scheme's structural invariants.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+
+@st.composite
+def placements(draw):
+    """(n, h, seed) triples spanning the interesting small regimes."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    h = draw(st.integers(min_value=1, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return n, h, seed
+
+
+@given(placements())
+@settings(max_examples=40, deadline=None)
+def test_full_replication_always_h_times_n(params):
+    n, h, seed = params
+    strategy = FullReplication(Cluster(n, seed=seed))
+    strategy.place(make_entries(h))
+    assert strategy.storage_cost() == h * n
+    assert strategy.coverage() == h
+
+
+@given(placements(), st.integers(min_value=1, max_value=30))
+@settings(max_examples=40, deadline=None)
+def test_fixed_storage_and_coverage_bounds(params, x):
+    n, h, seed = params
+    strategy = FixedX(Cluster(n, seed=seed), x=x)
+    strategy.place(make_entries(h))
+    assert strategy.storage_cost() == min(x, h) * n
+    assert strategy.coverage() == min(x, h)
+
+
+@given(placements(), st.integers(min_value=1, max_value=30))
+@settings(max_examples=40, deadline=None)
+def test_random_server_per_server_exactly_min_x_h(params, x):
+    n, h, seed = params
+    strategy = RandomServerX(Cluster(n, seed=seed), x=x)
+    strategy.place(make_entries(h))
+    assert strategy.cluster.store_sizes("k") == [min(x, h)] * n
+    assert min(x, h) <= strategy.coverage() <= h
+
+
+@given(placements(), st.integers(min_value=1, max_value=12))
+@settings(max_examples=40, deadline=None)
+def test_round_robin_exactly_y_copies(params, y):
+    n, h, seed = params
+    if y > n:
+        y = n
+    strategy = RoundRobinY(Cluster(n, seed=seed), y=y)
+    strategy.place(make_entries(h))
+    counts = strategy.cluster.replica_counts("k")
+    assert len(counts) == h
+    assert all(count == y for count in counts.values())
+    sizes = strategy.cluster.store_sizes("k")
+    assert max(sizes) - min(sizes) <= y
+
+
+@given(placements(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_hash_stores_each_entry_one_to_y_times(params, y):
+    n, h, seed = params
+    strategy = HashY(Cluster(n, seed=seed), y=y)
+    strategy.place(make_entries(h))
+    counts = strategy.cluster.replica_counts("k")
+    assert len(counts) == h  # complete coverage
+    assert all(1 <= count <= min(y, n) for count in counts.values())
+
+
+@given(placements(), st.integers(min_value=0, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_lookup_never_exceeds_coverage_or_fails_within_it(params, target):
+    n, h, seed = params
+    strategy = RoundRobinY(Cluster(n, seed=seed), y=1)
+    strategy.place(make_entries(h))
+    result = strategy.partial_lookup(target)
+    if target == 0 or target <= strategy.coverage():
+        assert result.success
+    else:
+        assert not result.success
+    listed = [e.entry_id for e in result.entries]
+    assert len(listed) == len(set(listed))

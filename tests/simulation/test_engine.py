@@ -1,0 +1,100 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event, LookupEvent
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.on(LookupEvent, lambda e: seen.append(e.time))
+        engine.schedule_all(
+            [LookupEvent(5.0), LookupEvent(1.0), LookupEvent(3.0)]
+        )
+        engine.run()
+        assert seen == [1.0, 3.0, 5.0]
+
+    def test_ties_break_in_insertion_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.on(LookupEvent, lambda e: seen.append(e.target))
+        engine.schedule(LookupEvent(1.0, target=1))
+        engine.schedule(LookupEvent(1.0, target=2))
+        engine.schedule(LookupEvent(1.0, target=3))
+        engine.run()
+        assert seen == [1, 2, 3]
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = SimulationEngine()
+        engine.on(LookupEvent, lambda e: None)
+        engine.schedule(LookupEvent(5.0))
+        engine.run()
+        with pytest.raises(InvalidParameterError):
+            engine.schedule(LookupEvent(1.0))
+
+    def test_handler_can_schedule_future_events(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def cascade(event):
+            seen.append(event.time)
+            if event.time < 3:
+                engine.schedule(LookupEvent(event.time + 1))
+
+        engine.on(LookupEvent, cascade)
+        engine.schedule(LookupEvent(1.0))
+        engine.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+
+class TestExecution:
+    def test_clock_tracks_last_event(self):
+        engine = SimulationEngine()
+        engine.on(LookupEvent, lambda e: None)
+        engine.schedule(LookupEvent(7.5))
+        engine.run()
+        assert engine.now == 7.5
+
+    def test_run_until_leaves_later_events(self):
+        engine = SimulationEngine()
+        engine.on(LookupEvent, lambda e: None)
+        engine.schedule_all([LookupEvent(1.0), LookupEvent(10.0)])
+        executed = engine.run(until=5.0)
+        assert executed == 1
+        assert engine.pending == 1
+        assert engine.now == 5.0  # clock advanced through the gap
+
+    def test_run_max_events(self):
+        engine = SimulationEngine()
+        engine.on(LookupEvent, lambda e: None)
+        engine.schedule_all([LookupEvent(float(i)) for i in range(5)])
+        assert engine.run(max_events=3) == 3
+        assert engine.pending == 2
+
+    def test_step_on_empty_returns_none(self):
+        assert SimulationEngine().step() is None
+
+    def test_missing_handler_raises(self):
+        engine = SimulationEngine()
+        engine.schedule(LookupEvent(1.0))
+        with pytest.raises(InvalidParameterError, match="no handler"):
+            engine.step()
+
+    def test_processed_counter(self):
+        engine = SimulationEngine()
+        engine.on(LookupEvent, lambda e: None)
+        engine.schedule_all([LookupEvent(1.0), LookupEvent(2.0)])
+        engine.run()
+        assert engine.processed == 2
+
+    def test_tracing(self):
+        engine = SimulationEngine()
+        engine.on(LookupEvent, lambda e: None)
+        trace = engine.enable_tracing()
+        engine.schedule(LookupEvent(1.0, target=5))
+        engine.run()
+        assert trace == ["lookup(t=5)@1"]

@@ -1,0 +1,71 @@
+"""Unit tests for event descriptions and message categories."""
+
+from repro.cluster.messages import (
+    AddRequest,
+    DeleteRequest,
+    LookupRequest,
+    MessageCategory,
+    MigrateRequest,
+    PlaceRequest,
+    RemoveMessage,
+    RemoveWithHead,
+    StoreMessage,
+)
+from repro.core.entry import Entry, make_entries
+from repro.simulation.events import (
+    AddEvent,
+    DeleteEvent,
+    FailureEvent,
+    LookupEvent,
+    ProbeEvent,
+    RecoveryEvent,
+)
+
+
+class TestEventDescriptions:
+    def test_add_describe(self):
+        assert AddEvent(2.5, Entry("v1")).describe() == "add(v1)@2.5"
+
+    def test_delete_describe(self):
+        assert DeleteEvent(3.0, Entry("x")).describe() == "delete(x)@3"
+
+    def test_lookup_describe(self):
+        assert LookupEvent(1.0, target=7).describe() == "lookup(t=7)@1"
+
+    def test_probe_describe(self):
+        assert ProbeEvent(4.0, label="sample").describe() == "probe(sample)@4"
+
+    def test_failure_recovery_fields(self):
+        assert FailureEvent(1.0, server_id=3).server_id == 3
+        assert RecoveryEvent(2.0, server_id=3).server_id == 3
+
+    def test_events_are_frozen(self):
+        import pytest
+
+        event = AddEvent(1.0, Entry("a"))
+        with pytest.raises(AttributeError):
+            event.time = 9.0
+
+
+class TestMessageCategories:
+    def test_lookup_is_lookup_category(self):
+        assert LookupRequest(3).category is MessageCategory.LOOKUP
+
+    def test_everything_else_is_update(self):
+        entries = tuple(make_entries(2))
+        for message in (
+            PlaceRequest(entries),
+            AddRequest(Entry("a")),
+            DeleteRequest(Entry("a")),
+            StoreMessage(Entry("a")),
+            RemoveMessage(Entry("a")),
+            RemoveWithHead(Entry("a"), head=0),
+            MigrateRequest(Entry("a"), head=0, new_position=5),
+        ):
+            assert message.category is MessageCategory.UPDATE
+
+    def test_messages_are_frozen_and_hashable(self):
+        a = StoreMessage(Entry("a"))
+        b = StoreMessage(Entry("a"))
+        assert a == b
+        assert hash(a) == hash(b)

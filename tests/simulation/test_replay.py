@@ -1,0 +1,94 @@
+"""Unit tests for trace replay against a strategy."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.simulation.events import (
+    AddEvent,
+    DeleteEvent,
+    FailureEvent,
+    LookupEvent,
+    ProbeEvent,
+    RecoveryEvent,
+)
+from repro.simulation.replay import TraceReplayer
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+
+
+@pytest.fixture
+def strategy(cluster):
+    s = FullReplication(cluster)
+    s.place(make_entries(10))
+    return s
+
+
+class TestEventHandling:
+    def test_adds_and_deletes_applied(self, strategy):
+        replayer = TraceReplayer(strategy)
+        stats = replayer.replay(
+            [AddEvent(1.0, Entry("a")), DeleteEvent(2.0, Entry("v1"))]
+        )
+        assert stats.adds == 1
+        assert stats.deletes == 1
+        retrievable = strategy.lookup_all()
+        assert Entry("a") in retrievable
+        assert Entry("v1") not in retrievable
+
+    def test_lookups_counted(self, strategy):
+        replayer = TraceReplayer(strategy)
+        stats = replayer.replay(
+            [LookupEvent(1.0, target=5), LookupEvent(2.0, target=99)]
+        )
+        assert stats.lookups == 2
+        assert stats.failed_lookups == 1
+        assert stats.lookup_failure_rate == 0.5
+
+    def test_update_messages_accumulated(self, strategy):
+        replayer = TraceReplayer(strategy)
+        stats = replayer.replay([AddEvent(1.0, Entry("a"))])
+        assert stats.update_messages == 11  # request + broadcast on n=10
+
+    def test_failure_and_recovery_events(self, strategy):
+        replayer = TraceReplayer(strategy)
+        replayer.replay(
+            [FailureEvent(1.0, server_id=3), RecoveryEvent(2.0, server_id=3)]
+        )
+        assert strategy.cluster.failed_count == 0
+
+    def test_probe_called_with_time_and_strategy(self, strategy):
+        calls = []
+        replayer = TraceReplayer(strategy)
+        replayer.replay(
+            [ProbeEvent(4.0, probe=lambda t, s: calls.append((t, s)))]
+        )
+        assert calls == [(4.0, strategy)]
+
+
+class TestFailureTimeMonitoring:
+    def test_no_failure_time_when_covered(self, cluster):
+        strategy = FixedX(cluster, x=5)
+        strategy.place(make_entries(5))
+        replayer = TraceReplayer(strategy, monitor_target=3)
+        stats = replayer.replay([AddEvent(10.0, Entry("a"))])
+        assert stats.failure_time == 0.0
+        assert stats.observed_time == 10.0
+
+    def test_failure_interval_charged(self, cluster):
+        strategy = FixedX(cluster, x=3)
+        strategy.place(make_entries(3))
+        replayer = TraceReplayer(strategy, monitor_target=3)
+        # Delete at t=2 drops coverage to 2; refill at t=7.
+        stats = replayer.replay(
+            [DeleteEvent(2.0, Entry("v1")), AddEvent(7.0, Entry("r"))],
+            until=10.0,
+        )
+        assert stats.failure_time == pytest.approx(5.0)
+        assert stats.observed_time == pytest.approx(10.0)
+        assert stats.failure_time_fraction == pytest.approx(0.5)
+
+    def test_fraction_zero_without_monitoring(self, strategy):
+        replayer = TraceReplayer(strategy)
+        stats = replayer.replay([AddEvent(1.0, Entry("a"))])
+        assert stats.failure_time_fraction == 0.0

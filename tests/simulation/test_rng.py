@@ -1,0 +1,40 @@
+"""Unit tests for named RNG streams."""
+
+from repro.simulation.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(seed=1).get("arrivals").random()
+        b = RngStreams(seed=1).get("arrivals").random()
+        assert a == b
+
+    def test_different_names_independent(self):
+        streams = RngStreams(seed=1)
+        assert streams.get("a").random() != streams.get("b").random()
+
+    def test_stream_cached_per_name(self):
+        streams = RngStreams(seed=1)
+        assert streams.get("x") is streams.get("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        baseline = RngStreams(seed=5)
+        baseline_values = [baseline.get("work").random() for _ in range(3)]
+
+        perturbed = RngStreams(seed=5)
+        perturbed.get("other")  # extra stream created first
+        perturbed_values = [perturbed.get("work").random() for _ in range(3)]
+        assert baseline_values == perturbed_values
+
+    def test_spawn_children_distinct(self):
+        parent = RngStreams(seed=7)
+        child_a = parent.spawn(0)
+        child_b = parent.spawn(1)
+        assert child_a.seed != child_b.seed
+        assert child_a.get("w").random() != child_b.get("w").random()
+
+    def test_spawn_deterministic(self):
+        assert RngStreams(seed=7).spawn(3).seed == RngStreams(seed=7).spawn(3).seed
+
+    def test_unseeded_streams_differ(self):
+        assert RngStreams().seed != RngStreams().seed

@@ -1,0 +1,91 @@
+"""Unit tests for the PlacementStrategy base machinery."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.round_robin import RoundRobinY
+
+
+class TestPlaceSemantics:
+    def test_place_resets_previous_placement(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(10))
+        strategy.place(make_entries(3, prefix="w"))
+        assert strategy.lookup_all() == set(make_entries(3, prefix="w"))
+        assert strategy.storage_cost() == 30
+
+    def test_place_resets_strategy_state(self, cluster):
+        strategy = RoundRobinY(cluster, y=2)
+        strategy.place(make_entries(10))
+        strategy.delete(Entry("v5"))
+        assert strategy.head == 1
+        strategy.place(make_entries(4))
+        assert strategy.head == 0
+        assert strategy.tail == 4
+
+    def test_place_rejects_duplicate_entries(self, cluster):
+        strategy = FullReplication(cluster)
+        with pytest.raises(ValueError, match="duplicate"):
+            strategy.place([Entry("a"), Entry("a")])
+
+    def test_place_coerces_strings(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(["x", "y"])
+        assert strategy.lookup_all() == {Entry("x"), Entry("y")}
+
+
+class TestMeasuredAccounting:
+    def test_update_results_isolate_their_own_messages(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(5))
+        first = strategy.add(Entry("a"))
+        second = strategy.add(Entry("b"))
+        # Each result counts only its own operation's messages.
+        assert first.messages == second.messages == 11
+
+    def test_lookup_messages_not_counted_as_update(self, cluster):
+        strategy = FullReplication(cluster)
+        strategy.place(make_entries(5))
+        before = cluster.network.stats.update_messages
+        strategy.partial_lookup(2)
+        assert cluster.network.stats.update_messages == before
+
+    def test_broadcast_flag(self, cluster):
+        strategy = FixedX(cluster, x=3)
+        strategy.place(make_entries(10))
+        ignored = strategy.add(Entry("zz"))  # store full: no broadcast
+        assert not ignored.broadcast
+        acted = strategy.delete(Entry("v1"))
+        assert acted.broadcast
+
+    def test_operation_names(self, cluster):
+        strategy = FullReplication(cluster)
+        assert strategy.place(make_entries(2)).operation == "place"
+        assert strategy.add(Entry("q")).operation == "add"
+        assert strategy.delete(Entry("q")).operation == "delete"
+
+
+class TestCommonHelpers:
+    def test_n_property(self, cluster):
+        assert FullReplication(cluster).n == 10
+
+    def test_repr_includes_params(self, cluster):
+        text = repr(FixedX(cluster, x=7))
+        assert "FixedX" in text and "x=7" in text
+
+    def test_require_positive(self, cluster):
+        with pytest.raises(InvalidParameterError):
+            FixedX(cluster, x=-3)
+
+    def test_keys_isolated_on_shared_cluster(self, cluster):
+        a = FixedX(cluster, x=5, key="a")
+        b = FullReplication(cluster, key="b")
+        a.place(make_entries(20))
+        b.place(make_entries(4, prefix="w"))
+        assert a.coverage() == 5
+        assert b.coverage() == 4
+        assert a.lookup_all().isdisjoint(b.lookup_all())

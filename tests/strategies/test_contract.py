@@ -1,0 +1,147 @@
+"""Cross-strategy contract tests: the Section 2 semantics all five share.
+
+Every strategy, whatever its placement, must satisfy the partial
+lookup service definition: placed entries are retrievable, lookups
+return at least ``t`` distinct live entries (when coverage allows),
+adds become retrievable, deletes become unretrievable, and failures
+never produce phantom entries.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+
+STRATEGY_CASES = [
+    ("full_replication", {}),
+    ("fixed", {"x": 20}),
+    ("random_server", {"x": 20}),
+    ("round_robin", {"y": 2}),
+    ("hash", {"y": 2}),
+]
+
+
+def _build(name, params, seed=42, n=10):
+    from repro.strategies.registry import create_strategy
+
+    return create_strategy(name, Cluster(n, seed=seed), **params)
+
+
+@pytest.fixture(params=STRATEGY_CASES, ids=[c[0] for c in STRATEGY_CASES])
+def placed_strategy(request):
+    name, params = request.param
+    strategy = _build(name, params)
+    strategy.place(make_entries(100))
+    return strategy
+
+
+class TestPlacementContract:
+    def test_lookup_returns_at_least_target(self, placed_strategy):
+        target = min(10, placed_strategy.coverage())
+        result = placed_strategy.partial_lookup(target)
+        assert result.success
+        assert len(result) >= target
+
+    def test_lookup_entries_are_placed_entries(self, placed_strategy):
+        placed = set(make_entries(100))
+        result = placed_strategy.partial_lookup(10)
+        assert set(result.entries) <= placed
+
+    def test_lookup_entries_distinct(self, placed_strategy):
+        result = placed_strategy.partial_lookup(15)
+        ids = [e.entry_id for e in result.entries]
+        assert len(ids) == len(set(ids))
+
+    def test_repeated_lookups_all_succeed(self, placed_strategy):
+        for _ in range(20):
+            assert placed_strategy.partial_lookup(5).success
+
+    def test_coverage_bounded_by_population(self, placed_strategy):
+        assert 1 <= placed_strategy.coverage() <= 100
+
+    def test_storage_at_least_coverage(self, placed_strategy):
+        assert placed_strategy.storage_cost() >= placed_strategy.coverage()
+
+    def test_full_lookup_equals_coverage(self, placed_strategy):
+        assert len(placed_strategy.lookup_all()) == placed_strategy.coverage()
+
+    def test_replace_supersedes(self, placed_strategy):
+        placed_strategy.place(make_entries(30, prefix="w"))
+        retrievable = placed_strategy.lookup_all()
+        assert retrievable <= set(make_entries(30, prefix="w"))
+        assert not retrievable & set(make_entries(100))
+
+
+class TestUpdateContract:
+    def test_added_entry_retrievable(self, placed_strategy):
+        placed_strategy.add(Entry("fresh"))
+        # Added entries must appear in the full coverage (they may not
+        # show in every bounded lookup, e.g. RandomServer eviction
+        # keeps them with probability < 1 per server, but full
+        # replication/fixed/round/hash must all store them somewhere;
+        # random_server may legitimately drop it only when all servers
+        # reject the reservoir flip, which is astronomically unlikely
+        # at x=20, h=101 per server... but not impossible, so we check
+        # the weaker always-true property below for it.)
+        if placed_strategy.name == "random_server":
+            assert placed_strategy.coverage() >= 1
+        elif placed_strategy.name == "fixed":
+            # The shared store is full (x entries), so the add is
+            # legitimately ignored; nothing to assert beyond safety.
+            assert placed_strategy.coverage() == 20
+        else:
+            assert Entry("fresh") in placed_strategy.lookup_all()
+
+    def test_deleted_entry_not_retrievable(self, placed_strategy):
+        victim = next(iter(placed_strategy.lookup_all()))
+        placed_strategy.delete(victim)
+        assert victim not in placed_strategy.lookup_all()
+
+    def test_delete_then_lookup_still_succeeds_for_small_targets(
+        self, placed_strategy
+    ):
+        victim = next(iter(placed_strategy.lookup_all()))
+        placed_strategy.delete(victim)
+        assert placed_strategy.partial_lookup(5).success
+
+    def test_updates_report_messages(self, placed_strategy):
+        victim = next(iter(placed_strategy.lookup_all()))
+        result = placed_strategy.delete(victim)
+        assert result.messages >= 1
+
+
+class TestFailureContract:
+    def test_lookup_survives_one_failure(self, placed_strategy):
+        placed_strategy.cluster.fail(0)
+        result = placed_strategy.partial_lookup(5)
+        assert result.success
+        assert 0 not in result.servers_contacted
+
+    def test_no_entries_from_failed_servers(self, placed_strategy):
+        placed_strategy.cluster.fail_many(range(5))
+        result = placed_strategy.partial_lookup(3)
+        assert all(sid >= 5 for sid in result.servers_contacted)
+
+    def test_recovery_restores_participation(self, placed_strategy):
+        placed_strategy.cluster.fail_many(range(9))
+        assert placed_strategy.partial_lookup(1).servers_contacted == (9,)
+        placed_strategy.cluster.recover_all()
+        seen = set()
+        for _ in range(50):
+            seen.update(placed_strategy.partial_lookup(1).servers_contacted)
+        assert len(seen) > 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name,params", STRATEGY_CASES, ids=[c[0] for c in STRATEGY_CASES])
+    def test_seeded_runs_identical(self, name, params):
+        outcomes = []
+        for _ in range(2):
+            strategy = _build(name, params, seed=7)
+            strategy.place(make_entries(50))
+            lookups = [
+                tuple(e.entry_id for e in strategy.partial_lookup(5).entries)
+                for _ in range(10)
+            ]
+            outcomes.append((strategy.placement(), lookups))
+        assert outcomes[0] == outcomes[1]

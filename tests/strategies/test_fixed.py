@@ -1,0 +1,111 @@
+"""Unit tests for the Fixed-x strategy (§3.2, §5.2)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.strategies.fixed import FixedX
+
+
+@pytest.fixture
+def strategy(cluster):
+    s = FixedX(cluster, x=20)
+    s.place(make_entries(100))
+    return s
+
+
+class TestPlacement:
+    def test_every_server_stores_first_x(self, strategy):
+        expected = set(make_entries(20))
+        for entries in strategy.placement().values():
+            assert entries == expected
+
+    def test_storage_cost_x_times_n(self, strategy):
+        assert strategy.storage_cost() == 200
+
+    def test_coverage_is_x(self, strategy):
+        assert strategy.coverage() == 20
+
+    def test_placement_with_fewer_than_x_entries(self, cluster):
+        strategy = FixedX(cluster, x=20)
+        strategy.place(make_entries(5))
+        assert strategy.coverage() == 5
+        assert strategy.storage_cost() == 50
+
+    def test_x_validation(self, cluster):
+        with pytest.raises(InvalidParameterError):
+            FixedX(cluster, x=0)
+
+    def test_from_budget(self, cluster):
+        assert FixedX.from_budget(cluster, 200).x == 20
+
+
+class TestLookups:
+    def test_one_server_within_x(self, strategy):
+        result = strategy.partial_lookup(15)
+        assert result.success and result.lookup_cost == 1
+
+    def test_target_above_x_fails_with_one_contact(self, strategy):
+        # Contacting more identical servers could never help.
+        result = strategy.partial_lookup(25)
+        assert not result.success
+        assert result.lookup_cost == 1
+        assert len(result) == 20
+
+    def test_only_first_x_ever_returned(self, strategy):
+        allowed = set(make_entries(20))
+        for _ in range(50):
+            assert set(strategy.partial_lookup(10).entries) <= allowed
+
+    def test_tolerates_n_minus_1_failures(self, strategy):
+        strategy.cluster.fail_many(range(1, 10))
+        assert strategy.partial_lookup(20).success
+
+
+class TestSelectiveBroadcast:
+    def test_add_ignored_when_full(self, strategy):
+        result = strategy.add(Entry("new"))
+        assert result.messages == 1  # request only, no broadcast
+        assert not result.broadcast
+        assert Entry("new") not in strategy.lookup_all()
+
+    def test_add_broadcast_when_below_x(self, strategy):
+        strategy.delete(Entry("v1"))  # store drops to 19
+        result = strategy.add(Entry("new"))
+        assert result.broadcast
+        assert result.messages == 1 + 10
+        assert Entry("new") in strategy.lookup_all()
+
+    def test_delete_of_tracked_entry_broadcasts(self, strategy):
+        result = strategy.delete(Entry("v5"))
+        assert result.broadcast
+        assert result.messages == 1 + 10
+
+    def test_delete_of_untracked_entry_ignored(self, strategy):
+        result = strategy.delete(Entry("v50"))  # outside the first 20
+        assert not result.broadcast
+        assert result.messages == 1
+        assert strategy.coverage() == 20
+
+    def test_servers_stay_identical_through_updates(self, strategy):
+        strategy.delete(Entry("v3"))
+        strategy.add(Entry("a"))
+        strategy.delete(Entry("v7"))
+        strategy.add(Entry("b"))
+        placements = list(strategy.placement().values())
+        assert all(p == placements[0] for p in placements)
+
+
+class TestCushionDynamics:
+    def test_deletes_without_adds_shrink_store(self, strategy):
+        for i in range(1, 6):
+            strategy.delete(Entry(f"v{i}"))
+        assert strategy.coverage() == 15
+        assert not strategy.partial_lookup(16).success
+
+    def test_refill_restores_capacity(self, strategy):
+        strategy.delete(Entry("v1"))
+        strategy.add(Entry("r1"))
+        assert strategy.coverage() == 20
+        assert strategy.partial_lookup(20).success

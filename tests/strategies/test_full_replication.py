@@ -1,0 +1,94 @@
+"""Unit tests for the full replication strategy (§3.1, §5.1)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.strategies.full_replication import FullReplication
+
+
+@pytest.fixture
+def strategy(cluster):
+    s = FullReplication(cluster)
+    s.place(make_entries(50))
+    return s
+
+
+class TestPlacement:
+    def test_every_server_has_everything(self, strategy):
+        for entries in strategy.placement().values():
+            assert entries == set(make_entries(50))
+
+    def test_storage_cost_h_times_n(self, strategy):
+        assert strategy.storage_cost() == 50 * 10
+
+    def test_complete_coverage(self, strategy):
+        assert strategy.coverage() == 50
+
+    def test_place_message_cost_one_plus_broadcast(self, cluster):
+        strategy = FullReplication(cluster)
+        result = strategy.place(make_entries(5))
+        assert result.messages == 1 + 10
+        assert result.broadcast
+
+
+class TestLookups:
+    def test_single_server_contacted(self, strategy):
+        for target in (1, 10, 50):
+            assert strategy.partial_lookup(target).lookup_cost == 1
+
+    def test_exactly_target_entries(self, strategy):
+        assert len(strategy.partial_lookup(7)) == 7
+
+    def test_target_equal_h_served_by_one_server(self, strategy):
+        result = strategy.partial_lookup(50)
+        assert result.success and result.lookup_cost == 1
+
+    def test_target_above_h_fails_gracefully(self, strategy):
+        result = strategy.partial_lookup(60)
+        assert not result.success
+        assert len(result) == 50
+
+    def test_load_spreads_across_servers(self, strategy):
+        seen = set()
+        for _ in range(200):
+            seen.update(strategy.partial_lookup(1).servers_contacted)
+        assert len(seen) >= 8  # nearly all servers get traffic
+
+    def test_tolerates_n_minus_1_failures(self, strategy):
+        strategy.cluster.fail_many(range(9))
+        result = strategy.partial_lookup(50)
+        assert result.success and result.servers_contacted == (9,)
+
+
+class TestUpdates:
+    def test_add_reaches_all_servers(self, strategy):
+        strategy.add(Entry("new"))
+        assert all(
+            Entry("new") in entries for entries in strategy.placement().values()
+        )
+
+    def test_add_costs_broadcast(self, strategy):
+        result = strategy.add(Entry("new"))
+        assert result.messages == 1 + 10
+        assert result.broadcast
+
+    def test_delete_removes_everywhere(self, strategy):
+        strategy.delete(Entry("v1"))
+        assert all(
+            Entry("v1") not in entries for entries in strategy.placement().values()
+        )
+
+    def test_delete_costs_broadcast(self, strategy):
+        result = strategy.delete(Entry("v1"))
+        assert result.messages == 1 + 10
+
+    def test_delete_of_absent_entry_still_broadcasts(self, strategy):
+        # Full replication has no selective-broadcast optimization.
+        result = strategy.delete(Entry("ghost"))
+        assert result.messages == 1 + 10
+
+    def test_storage_grows_with_entries(self, strategy):
+        before = strategy.storage_cost()
+        strategy.add(Entry("new"))
+        assert strategy.storage_cost() == before + 10

@@ -1,0 +1,120 @@
+"""Unit tests for the Hash-y strategy (§3.5, §5.5)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.strategies.hashing import HashY
+
+
+@pytest.fixture
+def strategy(cluster):
+    s = HashY(cluster, y=2, hash_seed=424242)
+    s.place(make_entries(100))
+    return s
+
+
+class TestPlacement:
+    def test_entries_at_their_hash_targets(self, strategy):
+        placement = strategy.placement()
+        for entry in make_entries(100):
+            targets = set(strategy.family.assign_distinct(entry))
+            holders = {sid for sid, p in placement.items() if entry in p}
+            assert holders == targets
+
+    def test_storage_between_h_and_h_times_y(self, strategy):
+        assert 100 <= strategy.storage_cost() <= 200
+
+    def test_expected_storage_over_runs(self):
+        total = 0
+        runs = 40
+        for seed in range(runs):
+            strategy = HashY(Cluster(10, seed=seed), y=2)
+            strategy.place(make_entries(100))
+            total += strategy.storage_cost()
+        # Table 1: E = 100·10·(1 − 0.9²) = 190.
+        assert abs(total / runs - 190) < 5
+
+    def test_complete_coverage(self, strategy):
+        assert strategy.coverage() == 100
+
+    def test_uneven_loads_possible(self, strategy):
+        sizes = strategy.cluster.store_sizes("k")
+        assert max(sizes) > min(sizes)  # no balancing guarantee
+
+    def test_same_seed_same_placement(self):
+        placements = []
+        for _ in range(2):
+            strategy = HashY(Cluster(10, seed=5), y=2, hash_seed=99)
+            strategy.place(make_entries(50))
+            placements.append(strategy.placement())
+        assert placements[0] == placements[1]
+
+    def test_budgeted_placement(self, cluster):
+        strategy = HashY.from_budget(cluster, storage_budget=50, entry_count=100)
+        strategy.place(make_entries(100))
+        assert strategy.storage_cost() == 50
+        assert strategy.coverage() == 50
+
+
+class TestLookups:
+    def test_lookup_succeeds(self, strategy):
+        assert strategy.partial_lookup(15).success
+
+    def test_lookup_may_need_multiple_servers(self, strategy):
+        # Pick the target so the largest server can satisfy a lookup
+        # alone (cost 1 possible) while the smallest cannot (cost > 1
+        # occurs) — Hash-y gives no per-server size guarantee (§3.5).
+        sizes = strategy.cluster.store_sizes("k")
+        target = max(sizes)
+        assert min(sizes) < target
+        costs = {strategy.partial_lookup(target).lookup_cost for _ in range(200)}
+        assert 1 in costs
+        assert any(cost > 1 for cost in costs)
+
+    def test_large_target_satisfiable(self, strategy):
+        assert strategy.partial_lookup(80).success
+
+
+class TestUpdates:
+    def test_add_goes_to_hash_targets_only(self, strategy):
+        entry = Entry("brand-new")
+        strategy.add(entry)
+        targets = set(strategy.family.assign_distinct(entry))
+        holders = {
+            sid for sid, p in strategy.placement().items() if entry in p
+        }
+        assert holders == targets
+
+    def test_add_cost_point_to_point(self, strategy):
+        entry = Entry("brand-new")
+        distinct = len(strategy.family.assign_distinct(entry))
+        result = strategy.add(entry)
+        assert result.messages == 1 + distinct
+        assert not result.broadcast
+
+    def test_delete_removes_from_targets(self, strategy):
+        strategy.delete(Entry("v10"))
+        assert Entry("v10") not in strategy.lookup_all()
+
+    def test_delete_cost_point_to_point(self, strategy):
+        distinct = len(strategy.family.assign_distinct(Entry("v10")))
+        result = strategy.delete(Entry("v10"))
+        assert result.messages == 1 + distinct
+        assert not result.broadcast
+
+    def test_no_broadcast_ever(self, strategy):
+        before = strategy.cluster.network.stats.broadcasts
+        strategy.add(Entry("a1"))
+        strategy.delete(Entry("v1"))
+        assert strategy.cluster.network.stats.broadcasts == before
+
+    def test_update_cost_at_most_1_plus_y(self, strategy):
+        for i in range(20):
+            assert strategy.add(Entry(f"n{i}")).messages <= 1 + 2
+
+    def test_collisions_store_once(self):
+        # With 1 bucket every function collides; entry stored once.
+        strategy = HashY(Cluster(1, seed=1), y=5)
+        strategy.place(make_entries(10))
+        assert strategy.storage_cost() == 10

@@ -1,0 +1,80 @@
+"""Unit tests for the key-partitioning baseline (Figure 1, center)."""
+
+import pytest
+
+from repro.baselines.key_partitioning import KeyPartitioning
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+
+
+@pytest.fixture
+def baseline(cluster):
+    strategy = KeyPartitioning(cluster)
+    strategy.place(make_entries(100))
+    return strategy
+
+
+class TestPlacement:
+    def test_everything_on_the_owner(self, baseline):
+        placement = baseline.placement()
+        assert placement[baseline.owner_id] == set(make_entries(100))
+        for server_id, entries in placement.items():
+            if server_id != baseline.owner_id:
+                assert entries == set()
+
+    def test_minimal_storage(self, baseline):
+        assert baseline.storage_cost() == 100
+
+    def test_complete_coverage(self, baseline):
+        assert baseline.coverage() == 100
+
+    def test_owner_deterministic_per_key(self):
+        a = KeyPartitioning(Cluster(10, seed=1), key="song", hash_seed=5)
+        b = KeyPartitioning(Cluster(10, seed=2), key="song", hash_seed=5)
+        assert a.owner_id == b.owner_id
+
+    def test_different_keys_spread_over_servers(self):
+        cluster = Cluster(10, seed=3)
+        owners = {
+            KeyPartitioning(cluster, key=f"key{i}", hash_seed=9).owner_id
+            for i in range(40)
+        }
+        assert len(owners) > 3
+
+
+class TestLookups:
+    def test_every_lookup_hits_the_owner(self, baseline):
+        for _ in range(20):
+            result = baseline.partial_lookup(5)
+            assert result.servers_contacted == (baseline.owner_id,)
+            assert result.success
+
+    def test_owner_failure_kills_the_key(self, baseline):
+        baseline.cluster.fail(baseline.owner_id)
+        result = baseline.partial_lookup(1)
+        assert not result.success
+        assert len(result) == 0
+
+    def test_other_failures_are_harmless(self, baseline):
+        for server_id in range(10):
+            if server_id != baseline.owner_id:
+                baseline.cluster.fail(server_id)
+        assert baseline.partial_lookup(50).success
+
+
+class TestUpdates:
+    def test_add_goes_to_owner_only(self, baseline):
+        result = baseline.add(Entry("new"))
+        assert result.messages == 2  # initial request + forward
+        assert Entry("new") in baseline.placement()[baseline.owner_id]
+
+    def test_delete_goes_to_owner_only(self, baseline):
+        result = baseline.delete(Entry("v1"))
+        assert result.messages == 2
+        assert Entry("v1") not in baseline.lookup_all()
+
+    def test_no_broadcasts(self, baseline):
+        before = baseline.cluster.network.stats.broadcasts
+        baseline.add(Entry("a"))
+        baseline.delete(Entry("v2"))
+        assert baseline.cluster.network.stats.broadcasts == before

@@ -1,0 +1,146 @@
+"""Unit tests for the RandomServer-x strategy (§3.3, §5.3)."""
+
+import pytest
+
+from repro.analysis.formulas import expected_coverage_random_server
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.strategies.random_server import RandomServerX
+
+
+@pytest.fixture
+def strategy(cluster):
+    s = RandomServerX(cluster, x=20)
+    s.place(make_entries(100))
+    return s
+
+
+class TestPlacement:
+    def test_each_server_stores_exactly_x(self, strategy):
+        assert strategy.cluster.store_sizes("k") == [20] * 10
+
+    def test_servers_store_different_subsets(self, strategy):
+        placements = list(strategy.placement().values())
+        assert any(p != placements[0] for p in placements[1:])
+
+    def test_subsets_drawn_from_placed_entries(self, strategy):
+        placed = set(make_entries(100))
+        for entries in strategy.placement().values():
+            assert entries <= placed
+
+    def test_coverage_near_expectation(self):
+        # Average over placements: E[coverage] = 100(1 - 0.8^10) ≈ 89.3.
+        total = 0
+        runs = 30
+        for seed in range(runs):
+            strategy = RandomServerX(Cluster(10, seed=seed), x=20)
+            strategy.place(make_entries(100))
+            total += strategy.coverage()
+        expected = expected_coverage_random_server(100, 10, 20)
+        assert abs(total / runs - expected) < 2.0
+
+    def test_fewer_entries_than_x_keeps_all(self, cluster):
+        strategy = RandomServerX(cluster, x=20)
+        strategy.place(make_entries(8))
+        assert strategy.cluster.store_sizes("k") == [8] * 10
+
+    def test_subset_choice_is_uniform(self):
+        # Each entry should land on a given server w.p. x/h = 0.2.
+        hits = {f"v{i}": 0 for i in range(1, 11)}
+        runs = 400
+        for seed in range(runs):
+            strategy = RandomServerX(Cluster(1, seed=seed), x=2)
+            strategy.place(make_entries(10))
+            for entry in strategy.cluster.server(0).store("k"):
+                hits[entry.entry_id] += 1
+        for count in hits.values():
+            assert abs(count / runs - 0.2) < 0.07
+
+
+class TestLookups:
+    def test_small_target_single_server(self, strategy):
+        assert strategy.partial_lookup(15).lookup_cost == 1
+
+    def test_target_above_x_merges_servers(self, strategy):
+        result = strategy.partial_lookup(35)
+        assert result.success
+        assert result.lookup_cost >= 2
+
+    def test_can_exceed_x_unlike_fixed(self, strategy):
+        result = strategy.partial_lookup(60)
+        assert result.success
+
+    def test_varied_answers_across_lookups(self, strategy):
+        answers = {
+            frozenset(e.entry_id for e in strategy.partial_lookup(5).entries)
+            for _ in range(20)
+        }
+        assert len(answers) > 5
+
+
+class TestReservoirAdds:
+    def test_h_counter_initialized_by_place(self, strategy):
+        for server in strategy.cluster.servers:
+            assert server.state("k")["h"] == 100
+
+    def test_add_increments_h_everywhere(self, strategy):
+        strategy.add(Entry("new"))
+        for server in strategy.cluster.servers:
+            assert server.state("k")["h"] == 101
+
+    def test_add_keeps_store_size_x(self, strategy):
+        for i in range(30):
+            strategy.add(Entry(f"new{i}"))
+        assert strategy.cluster.store_sizes("k") == [20] * 10
+
+    def test_add_below_capacity_always_stored(self, cluster):
+        strategy = RandomServerX(cluster, x=20)
+        strategy.place(make_entries(5))
+        strategy.add(Entry("new"))
+        assert all(
+            Entry("new") in entries for entries in strategy.placement().values()
+        )
+
+    def test_add_costs_broadcast(self, strategy):
+        result = strategy.add(Entry("new"))
+        assert result.messages == 1 + 10
+
+    def test_reservoir_acceptance_rate(self):
+        # At h=101, x=20, a fresh add is kept w.p. ~20/101 per server.
+        kept = 0
+        runs = 300
+        for seed in range(runs):
+            strategy = RandomServerX(Cluster(1, seed=seed), x=20)
+            strategy.place(make_entries(100))
+            strategy.add(Entry("new"))
+            if Entry("new") in strategy.cluster.server(0).store("k"):
+                kept += 1
+        assert abs(kept / runs - 20 / 101) < 0.07
+
+
+class TestDeletes:
+    def test_delete_decrements_h(self, strategy):
+        strategy.delete(Entry("v1"))
+        for server in strategy.cluster.servers:
+            assert server.state("k")["h"] == 99
+
+    def test_delete_uses_cushion_no_replacement(self, strategy):
+        sizes_before = strategy.cluster.store_sizes("k")
+        strategy.delete(Entry("v1"))
+        sizes_after = strategy.cluster.store_sizes("k")
+        # Sizes only shrink (by 1 on holders); nothing is refetched.
+        assert all(a <= b for a, b in zip(sizes_after, sizes_before))
+        assert Entry("v1") not in strategy.lookup_all()
+
+    def test_delete_costs_broadcast(self, strategy):
+        result = strategy.delete(Entry("v1"))
+        assert result.messages == 1 + 10
+
+    def test_h_never_negative(self, cluster):
+        strategy = RandomServerX(cluster, x=5)
+        strategy.place(make_entries(2))
+        for entry in make_entries(2):
+            strategy.delete(entry)
+        strategy.delete(Entry("ghost"))
+        for server in strategy.cluster.servers:
+            assert server.state("k")["h"] >= 0

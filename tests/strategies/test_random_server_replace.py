@@ -1,0 +1,74 @@
+"""Tests for RandomServer-x's §5.3 active-replacement delete mode."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.strategies.random_server import RandomServerX
+
+
+@pytest.fixture
+def strategy():
+    s = RandomServerX(Cluster(10, seed=31), x=20, delete_mode="replace")
+    s.place(make_entries(100))
+    return s
+
+
+class TestReplacementDeletes:
+    def test_stores_refill_after_delete(self, strategy):
+        strategy.delete(Entry("v1"))
+        # Every server that held v1 fetched a substitute; all stores
+        # are back at x (replacements exist while h > x).
+        assert strategy.cluster.store_sizes("k") == [20] * 10
+
+    def test_deleted_entry_gone(self, strategy):
+        strategy.delete(Entry("v1"))
+        assert Entry("v1") not in strategy.lookup_all()
+
+    def test_replacement_is_a_live_entry(self, strategy):
+        placed = set(make_entries(100))
+        strategy.delete(Entry("v1"))
+        for entries in strategy.placement().values():
+            assert entries <= placed - {Entry("v1")}
+
+    def test_no_duplicates_introduced(self, strategy):
+        for victim in make_entries(10):
+            strategy.delete(victim)
+        for server in strategy.cluster.servers:
+            listed = [e.entry_id for e in server.store("k")]
+            assert len(listed) == len(set(listed))
+
+    def test_delete_costs_more_than_cushion(self):
+        cluster = Cluster(10, seed=32)
+        cushion = RandomServerX(cluster, x=20, key="c")
+        replace = RandomServerX(cluster, x=20, key="r", delete_mode="replace")
+        entries = make_entries(100)
+        cushion.place(entries)
+        replace.place(entries)
+        cushion_cost = cushion.delete(Entry("v1")).messages
+        replace_cost = replace.delete(Entry("v1")).messages
+        assert replace_cost > cushion_cost
+
+    def test_replacement_exhausts_gracefully(self):
+        # With h < x nothing can be fetched: deletes just shrink.
+        strategy = RandomServerX(Cluster(4, seed=33), x=10, delete_mode="replace")
+        strategy.place(make_entries(5))
+        for victim in make_entries(5):
+            strategy.delete(victim)
+        assert strategy.coverage() == 0
+        assert strategy.storage_cost() == 0
+
+    def test_cushion_mode_does_not_refill(self):
+        strategy = RandomServerX(Cluster(10, seed=34), x=20)
+        strategy.place(make_entries(100))
+        strategy.delete(Entry("v1"))
+        sizes = strategy.cluster.store_sizes("k")
+        assert sum(sizes) < 200  # holders shrank, nobody refetched
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RandomServerX(Cluster(4, seed=1), x=3, delete_mode="magic")
+
+    def test_params_reports_mode(self, strategy):
+        assert strategy.params()["delete_mode"] == "replace"

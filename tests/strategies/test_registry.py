@@ -1,0 +1,43 @@
+"""Unit tests for the strategy registry."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.exceptions import UnknownStrategyError
+from repro.strategies.registry import (
+    STRATEGY_REGISTRY,
+    available_strategies,
+    create_strategy,
+)
+
+
+class TestRegistry:
+    def test_all_schemes_registered(self):
+        assert available_strategies() == [
+            "fixed",
+            "full_replication",
+            "hash",
+            "key_partitioning",
+            "random_server",
+            "round_robin",
+        ]
+
+    def test_names_match_classes(self):
+        for name, cls in STRATEGY_REGISTRY.items():
+            assert cls.name == name
+
+    def test_create_passes_params(self):
+        strategy = create_strategy("fixed", Cluster(4, seed=1), x=7)
+        assert strategy.x == 7
+
+    def test_create_with_key(self):
+        strategy = create_strategy("round_robin", Cluster(4, seed=1), key="song", y=2)
+        assert strategy.key == "song"
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(UnknownStrategyError, match="available"):
+            create_strategy("bogus", Cluster(4, seed=1))
+
+    def test_bad_params_propagate(self):
+        with pytest.raises(TypeError):
+            create_strategy("full_replication", Cluster(4, seed=1), x=5)

@@ -1,0 +1,203 @@
+"""Unit tests for the Round-Robin-y strategy (§3.4, §5.4, Figures 10-11)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.strategies.round_robin import RoundRobinY
+
+
+@pytest.fixture
+def strategy(cluster):
+    s = RoundRobinY(cluster, y=2)
+    s.place(make_entries(100))
+    return s
+
+
+def _assert_replica_invariant(strategy, y):
+    """Every live entry has exactly y copies on consecutive servers."""
+    counts = strategy.cluster.replica_counts("k")
+    assert counts, "no entries placed"
+    for entry, count in counts.items():
+        assert count == y, f"{entry} has {count} copies, expected {y}"
+
+
+class TestPlacement:
+    def test_entry_i_on_consecutive_servers(self, cluster):
+        strategy = RoundRobinY(cluster, y=3)
+        strategy.place(make_entries(10))
+        placement = strategy.placement()
+        # v1 is position 0: servers 0, 1, 2.
+        for server_id in (0, 1, 2):
+            assert Entry("v1") in placement[server_id]
+        assert Entry("v1") not in placement[3]
+
+    def test_every_entry_y_copies(self, strategy):
+        _assert_replica_invariant(strategy, 2)
+
+    def test_storage_cost_h_times_y(self, strategy):
+        assert strategy.storage_cost() == 200
+
+    def test_balanced_loads(self, strategy):
+        sizes = strategy.cluster.store_sizes("k")
+        assert max(sizes) - min(sizes) <= 2  # differ by at most y
+
+    def test_complete_coverage(self, strategy):
+        assert strategy.coverage() == 100
+
+    def test_counters_initialized(self, strategy):
+        assert strategy.head == 0
+        assert strategy.tail == 100
+
+    def test_y_bounds(self, cluster):
+        with pytest.raises(InvalidParameterError):
+            RoundRobinY(cluster, y=0)
+        with pytest.raises(InvalidParameterError):
+            RoundRobinY(cluster, y=11)
+
+    def test_budgeted_placement_coverage(self, cluster):
+        strategy = RoundRobinY.from_budget(cluster, storage_budget=60, entry_count=100)
+        strategy.place(make_entries(100))
+        assert strategy.storage_cost() == 60
+        assert strategy.coverage() == 60  # round-major: subset once each
+
+    def test_budgeted_partial_second_round(self, cluster):
+        strategy = RoundRobinY(cluster, y=2, max_total_storage=150)
+        strategy.place(make_entries(100))
+        assert strategy.storage_cost() == 150
+        assert strategy.coverage() == 100
+
+
+class TestLookups:
+    def test_stride_contacts_disjoint_servers(self, strategy):
+        result = strategy.partial_lookup(40)
+        assert result.success
+        assert result.lookup_cost == 2
+        a, b = result.servers_contacted
+        assert (b - a) % 10 == 2  # stride y
+
+    def test_step_costs(self, strategy):
+        assert strategy.partial_lookup(20).lookup_cost == 1
+        assert strategy.partial_lookup(21).lookup_cost == 2
+        assert strategy.partial_lookup(40).lookup_cost == 2
+        assert strategy.partial_lookup(41).lookup_cost == 3
+
+    def test_full_collection_possible(self, strategy):
+        assert len(strategy.partial_lookup(100)) == 100
+
+    def test_failure_falls_back_to_other_servers(self, strategy):
+        strategy.cluster.fail_many([0, 2, 4, 6, 8])
+        result = strategy.partial_lookup(30)
+        assert result.success
+        assert all(sid % 2 == 1 for sid in result.servers_contacted)
+
+
+class TestAdds:
+    def test_add_appends_at_tail(self, strategy):
+        strategy.add(Entry("new"))
+        assert strategy.tail == 101
+        placement = strategy.placement()
+        # Position 100: servers 0 and 1.
+        assert Entry("new") in placement[0]
+        assert Entry("new") in placement[1]
+
+    def test_add_maintains_invariant(self, strategy):
+        for i in range(25):
+            strategy.add(Entry(f"new{i}"))
+        _assert_replica_invariant(strategy, 2)
+
+    def test_add_cost_is_request_plus_y(self, strategy):
+        result = strategy.add(Entry("new"))
+        assert result.messages == 1 + 2
+
+    def test_add_into_empty_service(self, cluster):
+        strategy = RoundRobinY(cluster, y=2)
+        strategy.add(Entry("only"))
+        assert strategy.tail == 1
+        assert strategy.coverage() == 1
+        _assert_replica_invariant(strategy, 2)
+
+
+class TestDeleteMigration:
+    def test_delete_removes_entry(self, strategy):
+        strategy.delete(Entry("v50"))
+        assert Entry("v50") not in strategy.lookup_all()
+
+    def test_delete_advances_head(self, strategy):
+        strategy.delete(Entry("v50"))
+        assert strategy.head == 1
+
+    def test_delete_preserves_invariant(self, strategy):
+        strategy.delete(Entry("v50"))
+        _assert_replica_invariant(strategy, 2)
+        assert strategy.coverage() == 99
+
+    def test_head_entry_plugs_hole(self, strategy):
+        # After deleting v50, the old head entry v1 should occupy
+        # v50's sequence position (servers 49 % 10 = 9 and 0).
+        strategy.delete(Entry("v50"))
+        placement = strategy.placement()
+        assert Entry("v1") in placement[9]
+        assert Entry("v1") in placement[0]
+        # v1's old copies (servers 0,1 at position 0) are retired: it
+        # must have exactly 2 copies in total.
+        holders = [sid for sid, p in placement.items() if Entry("v1") in p]
+        assert sorted(holders) == [9, 0] or sorted(holders) == [0, 9]
+
+    def test_deleting_head_entry_itself(self, strategy):
+        strategy.delete(Entry("v1"))  # v1 IS the head entry
+        _assert_replica_invariant(strategy, 2)
+        assert Entry("v1") not in strategy.lookup_all()
+        assert strategy.coverage() == 99
+        assert strategy.head == 1
+
+    def test_many_deletes_preserve_invariant(self, strategy):
+        for i in range(30, 60):
+            strategy.delete(Entry(f"v{i}"))
+        _assert_replica_invariant(strategy, 2)
+        assert strategy.coverage() == 70
+
+    def test_interleaved_updates_preserve_invariant(self, strategy):
+        for i in range(20):
+            strategy.add(Entry(f"n{i}"))
+            strategy.delete(Entry(f"v{i + 1}"))
+        _assert_replica_invariant(strategy, 2)
+        assert strategy.coverage() == 100
+
+    def test_delete_until_empty(self, cluster):
+        strategy = RoundRobinY(cluster, y=2)
+        entries = make_entries(6)
+        strategy.place(entries)
+        for entry in entries:
+            strategy.delete(entry)
+        assert strategy.coverage() == 0
+        assert strategy.storage_cost() == 0
+
+    def test_delete_nonexistent_entry_is_harmless(self, strategy):
+        before = strategy.coverage()
+        strategy.delete(Entry("ghost"))
+        # Head advances (a known cost of the counter protocol) but no
+        # entry is lost and the invariant holds.
+        assert strategy.coverage() == before
+        _assert_replica_invariant(strategy, 2)
+
+    def test_delete_broadcast_cost(self, strategy):
+        result = strategy.delete(Entry("v50"))
+        # 1 request + n broadcast + y migrates + y replacement removals.
+        assert result.messages == 1 + 10 + 2 + 2
+
+    def test_y3_migration(self):
+        strategy = RoundRobinY(Cluster(7, seed=3), y=3)
+        strategy.place(make_entries(20))
+        for victim in ("v5", "v1", "v20", "v13"):
+            strategy.delete(Entry(victim))
+            _assert_replica_invariant(strategy, 3)
+        assert strategy.coverage() == 16
+
+    def test_y1_no_replication(self, cluster):
+        strategy = RoundRobinY(cluster, y=1)
+        strategy.place(make_entries(30))
+        strategy.delete(Entry("v15"))
+        _assert_replica_invariant(strategy, 1)
+        assert strategy.coverage() == 29

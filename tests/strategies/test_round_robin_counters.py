@@ -1,0 +1,110 @@
+"""Tests for the §5.4-footnote replicated head/tail counters."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import (
+    InvalidParameterError,
+    NoOperationalServerError,
+)
+from repro.strategies.round_robin import RoundRobinY
+
+
+def _replica_invariant(strategy, y):
+    counts = strategy.cluster.replica_counts("k")
+    assert all(count == y for count in counts.values())
+
+
+@pytest.fixture
+def strategy():
+    s = RoundRobinY(Cluster(10, seed=21), y=2, counter_replicas=3)
+    s.place(make_entries(30))
+    return s
+
+
+class TestMirroring:
+    def test_counters_on_every_replica_after_place(self, strategy):
+        for replica in range(3):
+            state = strategy.cluster.server(replica).state("k")
+            assert state.get("head") == 0
+            assert state.get("tail") == 30
+
+    def test_add_mirrors_tail(self, strategy):
+        strategy.add(Entry("new"))
+        for replica in range(3):
+            assert strategy.cluster.server(replica).state("k")["tail"] == 31
+
+    def test_delete_mirrors_head(self, strategy):
+        strategy.delete(Entry("v10"))
+        for replica in range(3):
+            assert strategy.cluster.server(replica).state("k")["head"] == 1
+
+    def test_non_replica_servers_hold_no_counters(self, strategy):
+        strategy.add(Entry("new"))
+        assert "tail" not in strategy.cluster.server(5).state("k")
+
+    def test_mirroring_costs_messages(self):
+        single = RoundRobinY(Cluster(10, seed=1), y=2, key="a")
+        triple = RoundRobinY(
+            Cluster(10, seed=1), y=2, key="b", counter_replicas=3
+        )
+        single.place(make_entries(10))
+        triple.place(make_entries(10))
+        cheap = single.add(Entry("n")).messages
+        mirrored = triple.add(Entry("n")).messages
+        # Two counter queries (pre-sequencing sync) plus two mirror
+        # updates — the consistency overhead the paper's footnote
+        # warns about.
+        assert mirrored == cheap + 4
+
+
+class TestFailover:
+    def test_updates_survive_counter_host_failure(self, strategy):
+        strategy.cluster.fail(0)
+        strategy.add(Entry("after-failure"))
+        assert Entry("after-failure") in strategy.lookup_all()
+        assert strategy.tail == 31  # read from replica 1
+        # Note: the copy destined for the failed server is lost until
+        # some repair process runs — the paper's protocols do not
+        # replicate stores on failure, only the counters.
+
+    def test_deletes_survive_counter_host_failure(self, strategy):
+        # Fail the primary before the delete; replica 1 sequences it.
+        strategy.cluster.fail(0)
+        victim = Entry("v20")
+        strategy.delete(victim)
+        assert victim not in strategy.lookup_all()
+
+    def test_unreplicated_counters_are_a_single_point_of_failure(self):
+        plain = RoundRobinY(Cluster(10, seed=22), y=2)
+        plain.place(make_entries(10))
+        plain.cluster.fail(0)
+        with pytest.raises(NoOperationalServerError):
+            plain.add(Entry("lost"))
+
+    def test_all_replicas_down_raises(self, strategy):
+        strategy.cluster.fail_many([0, 1, 2])
+        with pytest.raises(NoOperationalServerError):
+            strategy.add(Entry("lost"))
+
+    def test_recovered_primary_catches_up_on_next_update(self, strategy):
+        strategy.cluster.fail(0)
+        strategy.add(Entry("a"))   # sequenced by replica 1
+        strategy.cluster.recover(0)
+        strategy.add(Entry("b"))   # replica 0 is stale...
+        # ...but the mirror-on-update repropagates authoritative
+        # values, so reads through the primary converge.
+        assert strategy.cluster.server(1).state("k")["tail"] == 32
+
+
+class TestValidation:
+    def test_replica_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            RoundRobinY(Cluster(5, seed=1), y=1, counter_replicas=0)
+        with pytest.raises(InvalidParameterError):
+            RoundRobinY(Cluster(5, seed=1), y=1, counter_replicas=6)
+
+    def test_params_reports_replicas(self):
+        strategy = RoundRobinY(Cluster(5, seed=1), y=1, counter_replicas=2)
+        assert strategy.params()["counter_replicas"] == 2

@@ -1,0 +1,126 @@
+"""Unit tests for the Figure 3 classifier and rules-of-thumb recommender."""
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.strategies.selector import (
+    SchemeRecommendation,
+    WorkloadProfile,
+    classify,
+    recommend,
+    traits,
+)
+
+
+class TestClassify:
+    """The Figure 3 decision tree, leaf by leaf."""
+
+    def test_full_replication_leaf(self):
+        assert classify(True) == "full_replication"
+
+    def test_fixed_leaf(self):
+        assert classify(False, False, False) == "fixed"
+
+    def test_random_server_leaf(self):
+        assert classify(False, False, True) == "random_server"
+
+    def test_round_robin_leaf(self):
+        assert classify(False, True, False) == "round_robin"
+
+    def test_hash_leaf(self):
+        assert classify(False, True, True) == "hash"
+
+
+class TestTraits:
+    def test_zero_unfairness_schemes(self):
+        # §4.5: only full replication and round-robin are exactly fair.
+        fair = [n for n in (
+            "full_replication", "fixed", "random_server", "round_robin", "hash"
+        ) if traits(n).zero_unfairness]
+        assert fair == ["full_replication", "round_robin"]
+
+    def test_constant_storage_schemes(self):
+        assert traits("fixed").constant_storage
+        assert traits("random_server").constant_storage
+        assert not traits("round_robin").constant_storage
+
+    def test_broadcast_free_is_hash_only(self):
+        assert traits("hash").broadcast_free_updates
+        assert not traits("fixed").broadcast_free_updates
+
+    def test_unknown_scheme(self):
+        with pytest.raises(InvalidParameterError):
+            traits("nope")
+
+
+class TestProfileValidation:
+    def test_target_exceeding_entries_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WorkloadProfile(entry_count=10, server_count=5, target_answer_size=11)
+
+    def test_negative_update_rate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WorkloadProfile(100, 10, 5, update_rate=-1)
+
+    def test_target_ratio(self):
+        profile = WorkloadProfile(200, 10, 20)
+        assert profile.target_ratio == 0.1
+
+
+class TestRecommend:
+    def _top(self, **kwargs):
+        return recommend(WorkloadProfile(**kwargs))[0].name
+
+    def test_static_fair_complete_coverage_prefers_round_robin(self):
+        # §4.5 + §4.3 + §6.3: the static showcase for Round-y.
+        assert self._top(
+            entry_count=100,
+            server_count=10,
+            target_answer_size=5,
+            needs_complete_coverage=True,
+            needs_fairness=True,
+        ) == "round_robin"
+
+    def test_high_churn_small_ratio_prefers_fixed(self):
+        # §6.4: t/h < 1/n with updates — Fixed-x's regime.
+        assert self._top(
+            entry_count=500,
+            server_count=10,
+            target_answer_size=10,
+            update_rate=5.0,
+            storage_is_fixed=True,
+        ) == "fixed"
+
+    def test_high_churn_large_ratio_with_coverage_prefers_hash(self):
+        # §6.3/§6.4: dynamic + complete coverage — Hash-y's regime.
+        assert self._top(
+            entry_count=100,
+            server_count=10,
+            target_answer_size=40,
+            update_rate=5.0,
+            needs_complete_coverage=True,
+        ) == "hash"
+
+    def test_full_replication_penalized_for_many_entries(self):
+        ranked = recommend(
+            WorkloadProfile(entry_count=1000, server_count=10, target_answer_size=3)
+        )
+        names = [r.name for r in ranked]
+        assert names.index("full_replication") > 1
+
+    def test_every_recommendation_has_reasons(self):
+        for rec in recommend(WorkloadProfile(100, 10, 10, update_rate=1.0)):
+            assert isinstance(rec, SchemeRecommendation)
+            if rec.score != 0:
+                assert rec.reasons
+
+    def test_ranking_is_sorted(self):
+        ranked = recommend(WorkloadProfile(100, 10, 10))
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic(self):
+        profile = WorkloadProfile(100, 10, 10, update_rate=2.0)
+        assert [r.name for r in recommend(profile)] == [
+            r.name for r in recommend(profile)
+        ]

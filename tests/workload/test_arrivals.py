@@ -1,0 +1,42 @@
+"""Unit tests for the Poisson arrival process."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.workload.arrivals import PoissonArrivals
+
+
+class TestPoissonArrivals:
+    def test_timestamps_increasing(self):
+        arrivals = PoissonArrivals(10.0, random.Random(1))
+        times = arrivals.first(100)
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_mean_gap_matches(self):
+        arrivals = PoissonArrivals(10.0, random.Random(2))
+        times = arrivals.first(5000)
+        gaps = [b - a for a, b in zip([0.0] + times, times)]
+        assert abs(statistics.mean(gaps) - 10.0) < 0.5
+
+    def test_rate_property(self):
+        assert PoissonArrivals(10.0, random.Random(1)).rate == pytest.approx(0.1)
+
+    def test_gaps_exponential_cv_near_one(self):
+        # Exponential inter-arrivals have coefficient of variation 1.
+        arrivals = PoissonArrivals(10.0, random.Random(3))
+        times = arrivals.first(5000)
+        gaps = [b - a for a, b in zip([0.0] + times, times)]
+        cv = statistics.stdev(gaps) / statistics.mean(gaps)
+        assert abs(cv - 1.0) < 0.08
+
+    def test_seeded_reproducibility(self):
+        a = PoissonArrivals(10.0, random.Random(4)).first(50)
+        b = PoissonArrivals(10.0, random.Random(4)).first(50)
+        assert a == b
+
+    def test_invalid_gap(self):
+        with pytest.raises(InvalidParameterError):
+            PoissonArrivals(0.0, random.Random(1))

@@ -1,0 +1,120 @@
+"""Unit tests for scenario composition."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.exceptions import InvalidParameterError
+from repro.simulation.events import (
+    AddEvent,
+    DeleteEvent,
+    FailureEvent,
+    LookupEvent,
+    RecoveryEvent,
+)
+from repro.simulation.replay import TraceReplayer
+from repro.strategies.round_robin import RoundRobinY
+from repro.workload.compose import ScenarioBuilder, merge_event_streams
+
+
+class TestMerge:
+    def test_merge_sorts_by_time(self):
+        a = [LookupEvent(3.0, target=1), LookupEvent(5.0, target=1)]
+        b = [FailureEvent(1.0, server_id=0), RecoveryEvent(4.0, server_id=0)]
+        merged = merge_event_streams(a, b)
+        assert [e.time for e in merged] == [1.0, 3.0, 4.0, 5.0]
+
+    def test_merge_keeps_stream_order_on_ties(self):
+        a = [LookupEvent(2.0, target=1)]
+        b = [FailureEvent(2.0, server_id=0)]
+        merged = merge_event_streams(a, b)
+        assert isinstance(merged[0], LookupEvent)
+        assert isinstance(merged[1], FailureEvent)
+
+
+class TestScenarioBuilder:
+    def test_full_composition(self):
+        scenario = (
+            ScenarioBuilder(seed=5)
+            .with_steady_state_churn(entry_count=40, updates=200)
+            .with_lookups(count=50, target=5)
+            .with_failures(
+                availability=0.9, mean_time_to_repair=40.0, server_count=10
+            )
+            .build()
+        )
+        assert len(scenario.initial_entries) == 40
+        kinds = {type(e) for e in scenario.events}
+        assert {AddEvent, DeleteEvent, LookupEvent} <= kinds
+        assert FailureEvent in kinds
+        times = [e.time for e in scenario.events]
+        assert times == sorted(times)
+        assert scenario.horizon == times[-1]
+
+    def test_lookups_without_horizon_rejected(self):
+        with pytest.raises(InvalidParameterError, match="horizon"):
+            ScenarioBuilder(seed=1).with_lookups(count=5, target=3)
+
+    def test_lookups_with_explicit_window(self):
+        scenario = (
+            ScenarioBuilder(seed=2)
+            .with_lookups(count=10, target=2, start=0.0, end=100.0)
+            .build()
+        )
+        assert len(scenario.events) == 10
+        assert all(0 <= e.time <= 100 for e in scenario.events)
+
+    def test_failures_need_valid_availability(self):
+        builder = ScenarioBuilder(seed=3).with_steady_state_churn(10, 50)
+        with pytest.raises(InvalidParameterError):
+            builder.with_failures(1.0, 10.0, 5)
+
+    def test_same_seed_same_scenario(self):
+        def build():
+            return (
+                ScenarioBuilder(seed=9)
+                .with_steady_state_churn(entry_count=20, updates=100)
+                .with_lookups(count=20, target=3)
+                .build()
+            )
+
+        a, b = build(), build()
+        assert a.initial_entries == b.initial_entries
+        assert [(type(x).__name__, x.time) for x in a.events] == [
+            (type(x).__name__, x.time) for x in b.events
+        ]
+
+    def test_adding_lookups_does_not_perturb_churn(self):
+        plain = (
+            ScenarioBuilder(seed=11)
+            .with_steady_state_churn(entry_count=20, updates=100)
+            .build()
+        )
+        with_lookups = (
+            ScenarioBuilder(seed=11)
+            .with_steady_state_churn(entry_count=20, updates=100)
+            .with_lookups(count=30, target=3)
+            .build()
+        )
+        churn_a = [e for e in plain.events if not isinstance(e, LookupEvent)]
+        churn_b = [
+            e for e in with_lookups.events if not isinstance(e, LookupEvent)
+        ]
+        assert [(type(x).__name__, x.time) for x in churn_a] == [
+            (type(x).__name__, x.time) for x in churn_b
+        ]
+
+    def test_scenario_replays_cleanly(self):
+        scenario = (
+            ScenarioBuilder(seed=13)
+            .with_steady_state_churn(entry_count=30, updates=150)
+            .with_lookups(count=40, target=3)
+            .with_failures(
+                availability=0.8, mean_time_to_repair=30.0, server_count=10
+            )
+            .build()
+        )
+        strategy = RoundRobinY(Cluster(10, seed=13), y=2, counter_replicas=3)
+        strategy.place(scenario.initial_entries)
+        stats = TraceReplayer(strategy).replay(scenario.events)
+        assert stats.lookups == 40
+        assert stats.adds + stats.deletes == 150

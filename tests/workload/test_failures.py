@@ -1,0 +1,94 @@
+"""Unit tests for the stochastic failure/recovery process."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.simulation.events import FailureEvent, RecoveryEvent
+from repro.workload.failures import (
+    FailureProcess,
+    FailureProcessConfig,
+    empirical_availability,
+)
+
+
+def _config(mtbf=100.0, mttr=25.0):
+    return FailureProcessConfig(
+        mean_time_between_failures=mtbf, mean_time_to_repair=mttr
+    )
+
+
+class TestConfig:
+    def test_availability_formula(self):
+        assert _config(100, 25).availability == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            FailureProcessConfig(0, 10)
+        with pytest.raises(InvalidParameterError):
+            FailureProcessConfig(10, -1)
+
+
+class TestEventStreams:
+    def test_alternating_kinds(self):
+        process = FailureProcess(_config(), rng=random.Random(1))
+        events = process.events_for_server(0, horizon=5000)
+        kinds = [type(e) for e in events]
+        for index, kind in enumerate(kinds):
+            expected = FailureEvent if index % 2 == 0 else RecoveryEvent
+            assert kind is expected
+
+    def test_times_increase_within_horizon(self):
+        process = FailureProcess(_config(), rng=random.Random(2))
+        events = process.events_for_server(3, horizon=2000)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 < t < 2000 for t in times)
+        assert all(e.server_id == 3 for e in events)
+
+    def test_fleet_merges_sorted(self):
+        process = FailureProcess(_config(), rng=random.Random(3))
+        events = process.events_for_fleet(5, horizon=3000)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert {e.server_id for e in events} <= set(range(5))
+
+    def test_empirical_availability_matches_config(self):
+        config = _config(mtbf=100, mttr=50)  # availability 2/3
+        process = FailureProcess(config, rng=random.Random(4))
+        total = 0.0
+        servers = 40
+        horizon = 20000.0
+        for server_id in range(servers):
+            events = process.events_for_server(server_id, horizon)
+            total += empirical_availability(events, horizon)
+        assert total / servers == pytest.approx(config.availability, abs=0.05)
+
+    def test_bad_horizon(self):
+        process = FailureProcess(_config(), rng=random.Random(5))
+        with pytest.raises(InvalidParameterError):
+            process.events_for_server(0, horizon=0)
+        with pytest.raises(InvalidParameterError):
+            empirical_availability([], horizon=-1)
+
+
+class TestAvailabilityExperiment:
+    def test_shapes(self):
+        from repro.experiments.availability import AvailabilityConfig, run
+
+        config = AvailabilityConfig(
+            availabilities=(0.3, 0.9), runs=2, lookups_per_run=150
+        )
+        result = run(config)
+        harsh = result.row_for(availability=0.3)
+        gentle = result.row_for(availability=0.9)
+        # Fixed-20 cannot serve t=35 at any availability (§4.3).
+        assert harsh["fixed"] == 1.0 and gentle["fixed"] == 1.0
+        # Everyone else improves with availability.
+        for label in ("random_server", "round_robin", "hash",
+                      "key_partitioning"):
+            assert gentle[label] <= harsh[label]
+        # Partitioning fails ~ owner unavailability; far worse than
+        # any partial scheme at high availability.
+        assert gentle["key_partitioning"] > gentle["round_robin"] + 0.02

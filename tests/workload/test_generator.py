@@ -1,0 +1,92 @@
+"""Unit tests for the steady-state workload generator (§6.1)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError
+from repro.simulation.events import AddEvent, DeleteEvent
+from repro.workload.generator import SteadyStateWorkload
+from repro.workload.lifetimes import FixedLifetime
+
+
+class TestTraceShape:
+    def test_exact_update_count(self):
+        workload = SteadyStateWorkload(100, rng=random.Random(1))
+        assert workload.generate(5000).update_count == 5000
+
+    def test_initial_population_size(self):
+        workload = SteadyStateWorkload(50, rng=random.Random(2))
+        assert len(workload.generate(100).initial_entries) == 50
+
+    def test_events_sorted_by_time(self):
+        trace = SteadyStateWorkload(100, rng=random.Random(3)).generate(2000)
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+
+    def test_adds_and_deletes_roughly_balanced(self):
+        trace = SteadyStateWorkload(100, rng=random.Random(4)).generate(4000)
+        assert abs(len(trace.adds()) - len(trace.deletes())) < 400
+
+    def test_every_delete_has_a_placement_or_add(self):
+        trace = SteadyStateWorkload(100, rng=random.Random(5)).generate(3000)
+        known = {e.entry_id for e in trace.initial_entries}
+        for event in trace.events:
+            if isinstance(event, AddEvent):
+                known.add(event.entry.entry_id)
+            else:
+                assert event.entry.entry_id in known
+
+    def test_no_duplicate_adds(self):
+        trace = SteadyStateWorkload(100, rng=random.Random(6)).generate(3000)
+        added = [e.entry.entry_id for e in trace.adds()]
+        assert len(added) == len(set(added))
+
+    def test_zero_updates(self):
+        trace = SteadyStateWorkload(10, rng=random.Random(7)).generate(0)
+        assert trace.update_count == 0
+
+    def test_negative_updates_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SteadyStateWorkload(10, rng=random.Random(1)).generate(-1)
+
+
+class TestSteadyState:
+    def test_population_stays_near_target(self):
+        """Little's law: the live population hovers around h."""
+        workload = SteadyStateWorkload(100, rng=random.Random(8))
+        trace = workload.generate(6000)
+        live = {e.entry_id for e in trace.initial_entries}
+        sizes = []
+        for event in trace.events:
+            if isinstance(event, AddEvent):
+                live.add(event.entry.entry_id)
+            else:
+                live.discard(event.entry.entry_id)
+            sizes.append(len(live))
+        # Ignore warm-up; steady state should average near 100.
+        steady = sizes[len(sizes) // 3:]
+        assert abs(statistics.mean(steady) - 100) < 20
+
+    def test_deterministic_lifetime_turnover(self):
+        # With constant lifetime L = gap * h, the population is an
+        # exact conveyor: each initial delete at time L, etc.
+        workload = SteadyStateWorkload(
+            10, arrival_gap=10.0, lifetime=FixedLifetime(100.0),
+            rng=random.Random(9),
+        )
+        trace = workload.generate(200)
+        initial_deletes = [
+            e for e in trace.events
+            if isinstance(e, DeleteEvent) and e.entry.entry_id.startswith("v")
+        ]
+        assert all(e.time == pytest.approx(100.0) for e in initial_deletes)
+
+    def test_seeded_reproducibility(self):
+        a = SteadyStateWorkload(50, rng=random.Random(10)).generate(500)
+        b = SteadyStateWorkload(50, rng=random.Random(10)).generate(500)
+        assert [(type(x).__name__, x.time, x.entry.entry_id) for x in a.events] == [
+            (type(x).__name__, x.time, x.entry.entry_id) for x in b.events
+        ]

@@ -1,0 +1,139 @@
+"""Unit tests for multi-key workloads and Zipf key popularity."""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.exceptions import InvalidParameterError
+from repro.core.service import PartialLookupDirectory
+from repro.workload.keys import (
+    DirectoryOp,
+    DirectoryWorkload,
+    MultiKeyWorkloadGenerator,
+    ZipfKeyPopularity,
+    apply_workload,
+)
+
+
+class TestZipfKeyPopularity:
+    def test_probabilities_sum_to_one(self):
+        popularity = ZipfKeyPopularity(
+            [f"k{i}" for i in range(20)], skew=1.0, rng=random.Random(1)
+        )
+        total = sum(popularity.probability(k) for k in popularity.keys)
+        assert total == pytest.approx(1.0)
+
+    def test_rank_order_respected(self):
+        popularity = ZipfKeyPopularity(
+            ["hot", "warm", "cold"], skew=1.0, rng=random.Random(2)
+        )
+        assert (
+            popularity.probability("hot")
+            > popularity.probability("warm")
+            > popularity.probability("cold")
+        )
+
+    def test_zero_skew_is_uniform(self):
+        popularity = ZipfKeyPopularity(
+            ["a", "b", "c", "d"], skew=0.0, rng=random.Random(3)
+        )
+        for key in popularity.keys:
+            assert popularity.probability(key) == pytest.approx(0.25)
+
+    def test_draw_frequencies_match_probabilities(self):
+        popularity = ZipfKeyPopularity(
+            [f"k{i}" for i in range(5)], skew=1.0, rng=random.Random(4)
+        )
+        draws = popularity.draw_many(20000)
+        for key in popularity.keys:
+            expected = popularity.probability(key)
+            observed = draws.count(key) / len(draws)
+            assert abs(observed - expected) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ZipfKeyPopularity([], skew=1.0)
+        with pytest.raises(InvalidParameterError):
+            ZipfKeyPopularity(["a"], skew=-1.0)
+
+
+class TestMultiKeyWorkloadGenerator:
+    def test_operation_count(self):
+        generator = MultiKeyWorkloadGenerator(5, rng=random.Random(5))
+        workload = generator.generate(200)
+        # Updates come in delete+add pairs, so ops >= requested.
+        assert len(workload.operations) >= 200
+
+    def test_times_nondecreasing(self):
+        generator = MultiKeyWorkloadGenerator(5, rng=random.Random(6))
+        workload = generator.generate(300)
+        times = [op.time for op in workload.operations]
+        assert times == sorted(times)
+
+    def test_popular_key_dominates(self):
+        generator = MultiKeyWorkloadGenerator(
+            10, popularity_skew=1.2, rng=random.Random(7)
+        )
+        workload = generator.generate(2000)
+        counts = workload.per_key_counts()
+        assert counts.get("key0", 0) > counts.get("key9", 0) * 2
+
+    def test_update_fraction_zero_means_all_lookups(self):
+        generator = MultiKeyWorkloadGenerator(
+            3, update_fraction=0.0, rng=random.Random(8)
+        )
+        workload = generator.generate(100)
+        assert not workload.updates()
+        assert len(workload.lookups()) == 100
+
+    def test_deletes_target_live_entries(self):
+        generator = MultiKeyWorkloadGenerator(
+            3, update_fraction=0.5, rng=random.Random(9)
+        )
+        workload = generator.generate(400)
+        live = {
+            key: set(entries)
+            for key, entries in workload.initial_entries.items()
+        }
+        for op in workload.operations:
+            if op.kind == "delete":
+                assert op.entry_id in live[op.key]
+                live[op.key].discard(op.entry_id)
+            elif op.kind == "add":
+                live[op.key].add(op.entry_id)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MultiKeyWorkloadGenerator(0)
+        with pytest.raises(InvalidParameterError):
+            MultiKeyWorkloadGenerator(2, update_fraction=1.5)
+
+
+class TestApplyWorkload:
+    def test_directory_serves_generated_workload(self):
+        generator = MultiKeyWorkloadGenerator(
+            4, entries_per_key=30, update_fraction=0.2, rng=random.Random(10)
+        )
+        workload = generator.generate(500)
+        directory = PartialLookupDirectory(
+            Cluster(10, seed=10),
+            default_strategy="round_robin",
+            default_params={"y": 2},
+        )
+        failures = apply_workload(directory, workload)
+        assert failures == {}  # round-robin never under-serves t=3
+        for key in workload.initial_entries:
+            assert directory.coverage(key) == 30  # churn preserved size
+
+    def test_failure_counting(self):
+        # Fixed-2 cannot serve t=3 -> every lookup fails.
+        workload = DirectoryWorkload(
+            initial_entries={"k": ("a", "b", "c", "d")},
+            operations=(DirectoryOp(1.0, "k", "lookup", target=3),),
+        )
+        directory = PartialLookupDirectory(
+            Cluster(4, seed=11), default_strategy="fixed", default_params={"x": 2}
+        )
+        failures = apply_workload(directory, workload)
+        assert failures == {"k": 1}

@@ -1,0 +1,95 @@
+"""Unit tests for the lifetime distributions (§6.1)."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.workload.lifetimes import (
+    ExponentialLifetime,
+    FixedLifetime,
+    ZipfLifetime,
+)
+
+
+class TestExponential:
+    def test_mean_property(self):
+        assert ExponentialLifetime(1000.0).mean == 1000.0
+
+    def test_sample_mean_converges(self):
+        dist = ExponentialLifetime(1000.0)
+        rng = random.Random(1)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        assert abs(statistics.mean(samples) - 1000.0) < 30.0
+
+    def test_samples_positive(self):
+        dist = ExponentialLifetime(10.0)
+        rng = random.Random(2)
+        assert all(dist.sample(rng) > 0 for _ in range(1000))
+
+    def test_invalid_mean(self):
+        with pytest.raises(InvalidParameterError):
+            ExponentialLifetime(0.0)
+
+
+class TestZipf:
+    def test_scaled_cutoff_gives_target_mean(self):
+        dist = ZipfLifetime(1000.0)
+        assert dist.mean == pytest.approx(1000.0, rel=1e-6)
+        # Solved cutoff is much larger than the naive C = mean.
+        assert dist.cutoff > 5000
+
+    def test_paper_literal_mode(self):
+        dist = ZipfLifetime(1000.0, paper_literal=True)
+        assert dist.cutoff == 1000.0
+        # The paper's C = λh gives mean (C-1)/ln(C) ≈ 144.6, not 1000.
+        assert dist.mean == pytest.approx((1000 - 1) / math.log(1000), rel=1e-9)
+
+    def test_samples_within_support(self):
+        dist = ZipfLifetime(1000.0)
+        rng = random.Random(3)
+        for _ in range(2000):
+            sample = dist.sample(rng)
+            assert 1.0 <= sample <= dist.cutoff
+
+    def test_sample_mean_converges(self):
+        dist = ZipfLifetime(1000.0)
+        rng = random.Random(4)
+        samples = [dist.sample(rng) for _ in range(60000)]
+        assert abs(statistics.mean(samples) - 1000.0) / 1000.0 < 0.05
+
+    def test_heavier_tail_than_exponential(self):
+        # P(lifetime < mean/10) is much larger for the Zipf-like
+        # distribution: most entries are short-lived, a few enormous.
+        zipf = ZipfLifetime(1000.0)
+        expo = ExponentialLifetime(1000.0)
+        rng = random.Random(5)
+        zipf_short = sum(zipf.sample(rng) < 100 for _ in range(5000)) / 5000
+        expo_short = sum(expo.sample(rng) < 100 for _ in range(5000)) / 5000
+        assert zipf_short > expo_short + 0.2
+
+    def test_inverse_cdf_shape(self):
+        # F(t) = ln t / ln C: the median sample should be sqrt(C).
+        dist = ZipfLifetime(1000.0)
+        rng = random.Random(6)
+        samples = sorted(dist.sample(rng) for _ in range(20001))
+        median = samples[10000]
+        assert median == pytest.approx(math.sqrt(dist.cutoff), rel=0.15)
+
+    def test_mean_too_small_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ZipfLifetime(1.0)
+
+
+class TestFixed:
+    def test_constant(self):
+        dist = FixedLifetime(42.0)
+        rng = random.Random(1)
+        assert {dist.sample(rng) for _ in range(10)} == {42.0}
+        assert dist.mean == 42.0
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            FixedLifetime(-1.0)

@@ -1,0 +1,53 @@
+"""Unit tests for the lookup workload generator."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.workload.lookups import LookupWorkload
+
+
+class TestConfiguration:
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(InvalidParameterError):
+            LookupWorkload()
+        with pytest.raises(InvalidParameterError):
+            LookupWorkload(target=5, target_range=(1, 10))
+
+    def test_invalid_fixed_target(self):
+        with pytest.raises(InvalidParameterError):
+            LookupWorkload(target=0)
+
+    def test_invalid_range(self):
+        with pytest.raises(InvalidParameterError):
+            LookupWorkload(target_range=(5, 2))
+
+
+class TestGeneration:
+    def test_fixed_target_batch(self):
+        workload = LookupWorkload(target=7, rng=random.Random(1))
+        assert workload.batch(5) == [7, 7, 7, 7, 7]
+
+    def test_ranged_targets_within_bounds(self):
+        workload = LookupWorkload(target_range=(3, 9), rng=random.Random(2))
+        targets = workload.batch(500)
+        assert all(3 <= t <= 9 for t in targets)
+        assert len(set(targets)) > 3  # actually varies
+
+    def test_events_at_times(self):
+        workload = LookupWorkload(target=4, rng=random.Random(3))
+        events = workload.events_at([1.0, 2.5])
+        assert [(e.time, e.target) for e in events] == [(1.0, 4), (2.5, 4)]
+
+    def test_events_uniform_sorted_in_window(self):
+        workload = LookupWorkload(target=4, rng=random.Random(4))
+        events = workload.events_uniform(50, start=10.0, end=20.0)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(10.0 <= t <= 20.0 for t in times)
+
+    def test_events_uniform_bad_window(self):
+        workload = LookupWorkload(target=4, rng=random.Random(5))
+        with pytest.raises(InvalidParameterError):
+            workload.events_uniform(5, start=10.0, end=5.0)
