@@ -51,8 +51,7 @@ def _cost_per_add(naive: bool, adds: int = 50, h: int = 100, n: int = 10):
     entries = list(make_entries(h))
     strategy.place(entries)
     stats = cluster.network.stats
-    messages_before = stats.update_messages
-    payload_before = stats.payload_entries
+    before = stats.snapshot()
     for i in range(adds):
         entry = Entry(f"n{i}")
         if naive:
@@ -60,9 +59,8 @@ def _cost_per_add(naive: bool, adds: int = 50, h: int = 100, n: int = 10):
             strategy.place(entries)
         else:
             strategy.add(entry)
-    messages = stats.update_messages - messages_before
-    payload = stats.payload_entries - payload_before
-    return messages / adds, payload / adds
+    delta = stats.diff(before)
+    return delta.update_messages / adds, delta.payload_entries / adds
 
 
 def _run_ablation() -> ExperimentResult:

@@ -1,0 +1,25 @@
+"""Chaos harness: drive placements through seeded fault schedules.
+
+The paper's protocols are analysed under a fail-stop, perfect-network
+model; this package is the adversarial complement.  A
+:class:`ChaosHarness` runs a dynamic add/delete/lookup workload
+against one strategy while a :class:`~repro.cluster.faults.FaultPlan`
+drops, duplicates, and blacks out deliveries and crashes servers
+mid-protocol, with periodic anti-entropy sweeps mending the placement
+— then drains the faults, repairs, and checks the invariants every
+scheme must uphold:
+
+1. the placement verifies clean (zero structural violations);
+2. no server store holds duplicate entries;
+3. the §6.4 message books and the fault books both balance;
+4. every post-quiescence lookup returns at least ``t`` entries or is
+   *explicitly* degraded because fewer than ``t`` exist anywhere.
+
+Everything is seeded; the same ``(seed, fault plan)`` pair produces an
+identical :class:`ChaosReport`, so a chaos failure is a reproducible
+test case, not an anecdote.
+"""
+
+from repro.chaos.harness import ChaosHarness, ChaosReport, default_fault_plan
+
+__all__ = ["ChaosHarness", "ChaosReport", "default_fault_plan"]

@@ -1,0 +1,272 @@
+"""The chaos soak loop: workload + fault plan + sweeps + invariants.
+
+The harness wraps one strategy and stage-manages a full soak:
+
+1. **place** the initial entries on a healthy cluster;
+2. **arm** — swap in a retrying client and install the fault plan;
+3. **soak** — replay the timed add/delete/lookup trace while an
+   :class:`~repro.maintenance.anti_entropy.AntiEntropySweep` runs on
+   the same engine, restarting crashed servers and repairing what it
+   can;
+4. **quiesce** — uninstall the plan, recover everyone, repair until
+   the placement verifies clean;
+5. **audit** — check the invariants and issue a few fault-free
+   lookups that must each succeed or be explicitly degraded.
+
+The report separates the three traffic ledgers the run produces: the
+workload's §6.4 update/lookup messages, the sweeps' repair messages,
+and the fault layer's own delivery accounting — mixing them would
+make the paper's cost numbers meaningless under faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.client import Client, RetryPolicy
+from repro.cluster.faults import Blackout, CrashPoint, FaultPlan
+from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError
+from repro.maintenance.anti_entropy import AntiEntropySweep
+from repro.maintenance.repair import repair
+from repro.maintenance.verify import verify_placement
+from repro.simulation.events import Event
+from repro.simulation.replay import TraceReplayer
+from repro.strategies.base import PlacementStrategy
+
+
+def default_fault_plan(
+    seed: int,
+    drop_probability: float = 0.05,
+    duplicate_probability: float = 0.02,
+    server_count: int = 10,
+) -> FaultPlan:
+    """The standard soak schedule: loss + duplication + a blackout +
+    crash points at the protocol steps every scheme family exercises.
+
+    Crash points name concrete message types, so on a scheme that
+    never sends that type the point simply never fires; the mix below
+    guarantees at least the lookup-step crashes fire everywhere.
+    """
+    if server_count < 6:
+        raise InvalidParameterError(
+            f"default plan needs >= 6 servers, got {server_count}"
+        )
+    return FaultPlan(
+        seed=seed,
+        drop_probability=drop_probability,
+        duplicate_probability=duplicate_probability,
+        blackouts=(Blackout(server_count - 1, 20, 60),),
+        crash_points=(
+            CrashPoint(1, "LookupRequest", after=40),
+            CrashPoint(2, "StoreMessage", after=10),
+            CrashPoint(3, "RemoveMessage", after=5),
+            CrashPoint(4, "StorePositioned", after=5),
+            CrashPoint(5, "LookupRequest", after=150),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Everything one soak observed, plus the invariant verdicts."""
+
+    strategy: str
+    #: Trace events replayed (adds + deletes + lookups).
+    events: int
+    lookups: int
+    successes: int
+    degraded: int
+    retries: int
+    refused_updates: int
+    #: §6.4 traffic attributed to the workload itself.
+    workload_messages: int
+    #: Fault-layer ledger (FaultStats.as_row()).
+    faults: Dict[str, int]
+    #: Crash points that actually fired: (server, step, nth).
+    crashes: Tuple[Tuple[int, str, int], ...]
+    #: Anti-entropy activity during the soak.
+    sweeps: int
+    sweep_recoveries: int
+    sweep_repairs: int
+    sweep_repair_messages: int
+    #: Repair passes needed after quiescence, and their traffic.
+    final_repairs: int
+    final_repair_messages: int
+    violations_after: int
+    #: Post-quiescence audit lookups: all must succeed or be
+    #: explicitly degraded with genuinely insufficient coverage.
+    audit_lookups: int
+    audit_failures: int
+    #: Human-readable invariant violations; empty means PASS.
+    invariant_failures: Tuple[str, ...] = ()
+
+    @property
+    def passed(self) -> bool:
+        return not self.invariant_failures
+
+    @property
+    def success_rate(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return self.successes / self.lookups
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "lookups": self.lookups,
+            "success_rate": round(self.success_rate, 4),
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "refused": self.refused_updates,
+            "dropped": self.faults.get("dropped", 0),
+            "duplicated": self.faults.get("duplicated", 0),
+            "crashes": len(self.crashes),
+            "sweeps": self.sweeps,
+            "repair_msgs": self.sweep_repair_messages
+            + self.final_repair_messages,
+            "violations_after": self.violations_after,
+            "verdict": "PASS" if self.passed else "FAIL",
+        }
+
+
+class ChaosHarness:
+    """Soak one strategy under a fault plan and audit the aftermath.
+
+    Parameters
+    ----------
+    strategy:
+        A freshly built strategy (the harness places the entries).
+    plan:
+        The fault schedule; installed only for the soak phase.
+    retry_policy:
+        Retry behaviour for the client during (and after) the soak;
+        defaults to a 3-attempt exponential policy.  Pass None to keep
+        the paper's single-pass client.
+    sweep_period:
+        Virtual time between anti-entropy sweeps.
+    repair_mode:
+        Passed to :func:`~repro.maintenance.repair.repair`.
+    """
+
+    #: Safety valve on the post-quiescence repair loop; naive repair
+    #: converges in one pass, targeted in two (stores first, then the
+    #: removals expose missing copies) — 5 is generous.
+    MAX_FINAL_REPAIRS = 5
+
+    def __init__(
+        self,
+        strategy: PlacementStrategy,
+        plan: FaultPlan,
+        retry_policy: Optional[RetryPolicy] = RetryPolicy(),
+        sweep_period: float = 250.0,
+        repair_mode: str = "auto",
+    ) -> None:
+        self.strategy = strategy
+        self.plan = plan
+        self.retry_policy = retry_policy
+        self.sweep_period = sweep_period
+        self.repair_mode = repair_mode
+
+    def soak(
+        self,
+        initial_entries: Sequence[Entry],
+        events: Sequence[Event],
+        target: int,
+        audit_lookups: int = 25,
+    ) -> ChaosReport:
+        """Run the full place → soak → quiesce → audit cycle."""
+        strategy = self.strategy
+        cluster = strategy.cluster
+        network = cluster.network
+
+        strategy.place(initial_entries)
+        if self.retry_policy is not None:
+            strategy.client = Client(cluster, retry_policy=self.retry_policy)
+
+        horizon = max((event.time for event in events), default=0.0)
+        injector = network.install_fault_plan(self.plan)
+        sweep = AntiEntropySweep(
+            strategy,
+            period=self.sweep_period,
+            restart_failed=True,
+            repair_mode=self.repair_mode,
+            horizon=horizon,
+        )
+        replayer = TraceReplayer(strategy)
+        sweep.start(replayer.engine, first_at=self.sweep_period)
+        workload_before = network.stats.snapshot()
+        trace_stats = replayer.replay(events)
+        workload_traffic = network.stats.diff(workload_before)
+
+        # Quiescence: faults off, everyone back, placement mended.
+        sweep.stop()
+        network.uninstall_fault_plan()
+        cluster.recover_all()
+        final_repairs = 0
+        final_repair_messages = 0
+        violations = verify_placement(strategy)
+        while violations and final_repairs < self.MAX_FINAL_REPAIRS:
+            report = repair(strategy, mode=self.repair_mode)
+            final_repairs += 1
+            final_repair_messages += report.messages
+            violations = verify_placement(strategy)
+
+        failures: List[str] = []
+        if violations:
+            failures.append(
+                f"placement still broken after {final_repairs} repairs: "
+                f"{len(violations)} violations, first: {violations[0]}"
+            )
+        for server in cluster.servers:
+            stored = server.store(strategy.key).as_list()
+            ids = {entry.entry_id for entry in stored}
+            if len(ids) != len(stored):
+                failures.append(
+                    f"server {server.server_id} holds duplicate entries"
+                )
+        if not network.stats.balanced:
+            failures.append("message books do not balance")
+        if not injector.stats.balanced:
+            failures.append(
+                f"fault books do not balance: {injector.stats.as_row()}"
+            )
+
+        audit_failures = 0
+        for _ in range(audit_lookups):
+            result = strategy.partial_lookup(target)
+            if result.success:
+                continue
+            if result.degraded and strategy.coverage() < target:
+                # Honest shortfall: fewer than t entries exist at all.
+                continue
+            audit_failures += 1
+        if audit_failures:
+            failures.append(
+                f"{audit_failures}/{audit_lookups} audit lookups came up "
+                f"short despite coverage >= {target}"
+            )
+
+        return ChaosReport(
+            strategy=type(strategy).name or type(strategy).__name__,
+            events=len(events),
+            lookups=trace_stats.lookups,
+            successes=trace_stats.lookups - trace_stats.failed_lookups,
+            degraded=replayer.log.degraded_lookups,
+            retries=replayer.log.total_retries,
+            refused_updates=trace_stats.refused_updates,
+            workload_messages=workload_traffic.total,
+            faults=injector.stats.as_row(),
+            crashes=tuple(injector.stats.crashes),
+            sweeps=sweep.stats.sweeps,
+            sweep_recoveries=sweep.stats.recoveries,
+            sweep_repairs=sweep.stats.repairs,
+            sweep_repair_messages=sweep.stats.repair_messages,
+            final_repairs=final_repairs,
+            final_repair_messages=final_repair_messages,
+            violations_after=len(violations),
+            audit_lookups=audit_lookups,
+            audit_failures=audit_failures,
+            invariant_failures=tuple(failures),
+        )

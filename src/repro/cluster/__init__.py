@@ -10,8 +10,15 @@ tolerance experiments.
 """
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.client import Client
+from repro.cluster.client import Client, RetryPolicy
 from repro.cluster.failures import FailureInjector, FailurePattern
+from repro.cluster.faults import (
+    Blackout,
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+)
 from repro.cluster.messages import (
     AddRequest,
     DeleteRequest,
@@ -28,14 +35,29 @@ from repro.cluster.messages import (
     StorePositioned,
     StoreSetMessage,
 )
-from repro.cluster.network import MessageStats, Network
+from repro.cluster.network import (
+    DROPPED,
+    UNDELIVERED,
+    MessageStats,
+    Network,
+    is_undelivered,
+)
 from repro.cluster.server import Server, ServerLogic
 
 __all__ = [
     "Cluster",
     "Client",
+    "RetryPolicy",
     "FailureInjector",
     "FailurePattern",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "Blackout",
+    "CrashPoint",
+    "DROPPED",
+    "UNDELIVERED",
+    "is_undelivered",
     "Message",
     "MessageCategory",
     "PlaceRequest",

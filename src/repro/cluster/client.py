@@ -8,19 +8,90 @@ contacted (uniformly random for most strategies, the deterministic
 implements that skeleton once, including the paper's failure handling:
 a request to a failed server goes unanswered and the client falls back
 to trying other (random) servers.
+
+Under a fault plan the transport can also *lose* requests
+(:data:`~repro.cluster.network.DROPPED`), which the paper's protocol
+cannot distinguish from a failed server.  A :class:`RetryPolicy` makes
+the client distinguish the two: after a pass that came up short it
+re-contacts the servers that never answered — dropped contacts first,
+since those servers are presumably alive — within a bounded backoff
+budget measured in simulated time, instead of silently under-filling
+the answer.  The result reports the retry count and an explicit
+``degraded`` flag, so a short answer is always a *labelled* short
+answer.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Iterator, List, Optional, Set
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
 
 from repro.core.entry import Entry
-from repro.core.exceptions import NoOperationalServerError
+from repro.core.exceptions import InvalidParameterError, NoOperationalServerError
 from repro.core.result import LookupResult
 from repro.cluster.cluster import Cluster
 from repro.cluster.messages import LookupRequest
-from repro.cluster.network import UNDELIVERED
+from repro.cluster.network import DROPPED, is_undelivered
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry behaviour for lookups under lossy transport.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total passes over unanswered servers, including the first; 1
+        reproduces the paper's single-pass client exactly.
+    base_backoff:
+        Simulated-time delay before the first retry pass.
+    backoff_multiplier:
+        Exponential growth factor per retry pass.
+    backoff_budget:
+        Total simulated time one lookup may spend backing off.  A
+        retry whose delay would exceed the remaining budget is not
+        attempted — the lookup returns degraded instead of retrying
+        forever.  Measured in the same virtual-time units as the
+        :class:`~repro.simulation.engine.SimulationEngine` clock; the
+        synchronous transport accounts the delay (see
+        ``LookupResult.backoff``) rather than advancing the engine,
+        matching the codebase's convention that asynchronous timing
+        lives at the workload level.
+    jitter:
+        Each delay is scaled by ``1 + jitter * u`` with ``u`` uniform
+        in [0, 1) from the client RNG (the cluster RNG by default), so
+        seeded runs replay identical retry schedules.
+    """
+
+    max_attempts: int = 3
+    base_backoff: float = 1.0
+    backoff_multiplier: float = 2.0
+    backoff_budget: float = 30.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff < 0 or self.backoff_budget < 0:
+            raise InvalidParameterError("backoff times must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise InvalidParameterError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise InvalidParameterError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """The jittered backoff before retry pass ``retry_index`` (0-based)."""
+        base = self.base_backoff * (self.backoff_multiplier ** retry_index)
+        if self.jitter:
+            base *= 1.0 + self.jitter * rng.random()
+        return base
 
 
 class Client:
@@ -33,11 +104,20 @@ class Client:
     rng:
         Private randomness for server selection; defaults to the
         cluster RNG so a seeded cluster stays fully deterministic.
+    retry_policy:
+        Optional :class:`RetryPolicy`.  With the default ``None`` the
+        client is the paper's single-pass client, bit-for-bit.
     """
 
-    def __init__(self, cluster: Cluster, rng: Optional[random.Random] = None) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        rng: Optional[random.Random] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self._cluster = cluster
         self._rng = rng if rng is not None else cluster.rng
+        self.retry_policy = retry_policy
 
     # -- server orderings -----------------------------------------------------
 
@@ -101,38 +181,80 @@ class Client:
         per_server_target:
             How many entries to request from each server.  Defaults to
             ``target``, the paper's per-server answer size.
+
+        When a :class:`RetryPolicy` is set and the first pass comes up
+        short with unanswered servers remaining, the client makes
+        further passes over those servers (dropped contacts first)
+        until the target is met, the attempts run out, or the backoff
+        budget is exhausted.
         """
         ask = target if per_server_target is None else per_server_target
         merged: List[Entry] = []
         merged_ids: Set[str] = set()
         contacted: List[int] = []
         failed: List[int] = []
-        for server_id in order:
-            if target > 0 and len(merged) >= target:
-                break
-            if max_servers is not None and len(contacted) >= max_servers:
-                break
-            reply = self._cluster.network.send(server_id, key, LookupRequest(ask))
-            if reply is UNDELIVERED:
-                failed.append(server_id)
-                continue
-            contacted.append(server_id)
-            fresh = [e for e in reply if e.entry_id not in merged_ids]
-            # The client wants exactly ``target`` entries; when the
-            # final server's reply overshoots, keep a uniformly random
-            # subset of its fresh contribution so no entry of that
-            # server is privileged (this is what makes Round-Robin's
-            # answers exactly fair, §4.5).
-            if target > 0 and len(merged) + len(fresh) > target:
-                fresh = self._rng.sample(fresh, target - len(merged))
-            merged.extend(fresh)
-            merged_ids.update(e.entry_id for e in fresh)
+        dropped: List[int] = []
+
+        def run_pass(pass_order: Iterable[int]) -> None:
+            for server_id in pass_order:
+                if target > 0 and len(merged) >= target:
+                    break
+                if max_servers is not None and len(contacted) >= max_servers:
+                    break
+                reply = self._cluster.network.send(
+                    server_id, key, LookupRequest(ask)
+                )
+                if is_undelivered(reply):
+                    (dropped if reply is DROPPED else failed).append(server_id)
+                    continue
+                contacted.append(server_id)
+                fresh = [e for e in reply if e.entry_id not in merged_ids]
+                # The client wants exactly ``target`` entries; when the
+                # final server's reply overshoots, keep a uniformly random
+                # subset of its fresh contribution so no entry of that
+                # server is privileged (this is what makes Round-Robin's
+                # answers exactly fair, §4.5).
+                if target > 0 and len(merged) + len(fresh) > target:
+                    fresh = self._rng.sample(fresh, target - len(merged))
+                merged.extend(fresh)
+                merged_ids.update(e.entry_id for e in fresh)
+
+        run_pass(order)
+
+        retries = 0
+        backoff = 0.0
+        policy = self.retry_policy
+        if policy is not None and target > 0:
+            while (
+                len(merged) < target
+                and retries + 1 < policy.max_attempts
+                and (dropped or failed)
+                and (max_servers is None or len(contacted) < max_servers)
+            ):
+                delay = policy.delay(retries, self._rng)
+                if backoff + delay > policy.backoff_budget:
+                    break
+                backoff += delay
+                retries += 1
+                # Dropped contacts are retried before failed ones: a
+                # drop means the server is (probably) alive and the
+                # message was lost, whereas a failed server stays
+                # failed until something recovers it.
+                retry_failed = list(failed)
+                self._rng.shuffle(retry_failed)
+                retry_order = dropped + retry_failed
+                dropped = []
+                failed = []
+                run_pass(retry_order)
+
         return LookupResult(
             entries=tuple(merged),
             target=target,
             servers_contacted=tuple(contacted),
-            failed_contacts=tuple(failed),
+            failed_contacts=tuple(failed) + tuple(dropped),
             messages=len(contacted),
+            retries=retries,
+            backoff=backoff,
         )
 
     def lookup_random(

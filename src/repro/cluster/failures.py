@@ -14,7 +14,7 @@ from __future__ import annotations
 import random
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.exceptions import InvalidParameterError
 from repro.cluster.cluster import Cluster
@@ -35,11 +35,26 @@ class FailurePattern:
 
 
 class FailureInjector:
-    """Applies and reverts failure patterns on a cluster."""
+    """Applies and reverts failure patterns on a cluster.
+
+    Injections are reference-counted per server: overlapping patterns
+    compose (a server failed by two nested patterns stays failed until
+    both revert), and reverting never resurrects a *pre-existing*
+    failure — a server that was already down when a pattern first
+    touched it is left down when the pattern lifts.  ``apply`` and
+    ``revert`` are idempotent in the sense that reverting a pattern
+    more times than it was applied is a no-op rather than a stray
+    recovery.
+    """
 
     def __init__(self, cluster: Cluster, rng: Optional[random.Random] = None) -> None:
         self._cluster = cluster
         self._rng = rng if rng is not None else cluster.rng
+        #: server id -> number of active applies touching it.
+        self._holds: Dict[int, int] = {}
+        #: servers this injector actually transitioned alive -> failed
+        #: (and therefore owes a recovery when their last hold lifts).
+        self._to_restore: Set[int] = set()
 
     def random_pattern(self, count: int) -> FailurePattern:
         """``count`` distinct uniformly random servers."""
@@ -52,11 +67,26 @@ class FailureInjector:
 
     def apply(self, pattern: FailurePattern) -> None:
         for server_id in pattern:
+            holds = self._holds.get(server_id, 0)
+            if holds == 0 and self._cluster.server(server_id).alive:
+                self._to_restore.add(server_id)
             self._cluster.fail(server_id)
+            self._holds[server_id] = holds + 1
 
     def revert(self, pattern: FailurePattern) -> None:
         for server_id in pattern:
-            self._cluster.recover(server_id)
+            holds = self._holds.get(server_id, 0)
+            if holds == 0:
+                # Never applied (or already fully reverted): recovering
+                # here would resurrect a failure we don't own.
+                continue
+            if holds > 1:
+                self._holds[server_id] = holds - 1
+                continue
+            del self._holds[server_id]
+            if server_id in self._to_restore:
+                self._to_restore.discard(server_id)
+                self._cluster.recover(server_id)
 
     @contextmanager
     def injected(self, pattern: FailurePattern):

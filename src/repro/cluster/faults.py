@@ -1,0 +1,288 @@
+"""Deterministic fault injection for the message transport.
+
+The paper's evaluation assumes a perfect network: every message is
+delivered exactly once and servers only fail between protocol steps
+(§4.4's fail-stop model).  Real deployments drop and duplicate
+messages and crash servers *mid-protocol* — precisely the failure
+modes that break the multi-step update choreographies (Round-Robin's
+broadcast → migrate → remove_replacement delete, Hash-y's per-target
+routing).  This module provides a :class:`FaultPlan` — a seeded,
+fully deterministic schedule of those faults — that the
+:class:`~repro.cluster.network.Network` consults on every delivery
+once a plan is installed.
+
+Determinism is the design constraint: the plan owns a private RNG
+seeded from ``FaultPlan.seed``, so installing a plan never perturbs
+the cluster RNG stream, and the same (workload seed, fault plan) pair
+replays the identical fault sequence.  With no plan installed the
+transport takes its original code path and is bit-identical to the
+fault-free implementation.
+
+Fault vocabulary:
+
+- **drop**: a delivery vanishes; the sender observes
+  :data:`~repro.cluster.network.DROPPED` (distinct from
+  :data:`~repro.cluster.network.UNDELIVERED`, which means the
+  destination is failed — clients use the distinction to decide
+  whether re-contacting the same server can help).
+- **duplicate**: the delivery arrives twice with the same delivery id;
+  the server-side dedupe (see
+  :meth:`~repro.cluster.server.Server.receive_dedup`) makes the second
+  copy a no-op, which is what makes every update handler idempotent
+  under at-least-once delivery.
+- **blackout**: a window, in per-server delivery-attempt counts,
+  during which every delivery to one server is dropped — a transient
+  partition that leaves the server's state intact.
+- **crash point**: the server fails (fail-stop, state retained) right
+  after processing its k-th message of a named protocol step, leaving
+  whatever multi-step protocol it was part of interrupted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+from repro.cluster.messages import Message, known_message_types
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cluster.server import Server
+
+
+@dataclass(frozen=True)
+class Blackout:
+    """Drop every delivery to ``server_id`` during an attempt window.
+
+    The window ``[start, stop)`` counts the server's delivery
+    *attempts* (messages the network tried to hand it, delivered or
+    not), so a blackout's position in the run is independent of what
+    other servers are doing — deterministic under any interleaving.
+    """
+
+    server_id: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.server_id < 0:
+            raise InvalidParameterError(
+                f"blackout server_id must be >= 0, got {self.server_id}"
+            )
+        if not 0 <= self.start < self.stop:
+            raise InvalidParameterError(
+                f"blackout window must satisfy 0 <= start < stop, "
+                f"got [{self.start}, {self.stop})"
+            )
+
+    def covers(self, attempt_index: int) -> bool:
+        return self.start <= attempt_index < self.stop
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Fail ``server_id`` after it processes its k-th ``step`` message.
+
+    ``step`` is a message type name (``"RemoveWithHead"``,
+    ``"StorePositioned"``, ...), i.e. one named step of an update
+    protocol; ``after`` is the 1-based count of processed messages of
+    that step at which the crash fires.  The k-th message itself is
+    processed normally (its reply is returned) — the crash lands in
+    the gap *between* protocol steps, which is exactly where the
+    paper's atomic-update assumption is unsound.
+    """
+
+    server_id: int
+    step: str
+    after: int = 1
+
+    def __post_init__(self) -> None:
+        if self.server_id < 0:
+            raise InvalidParameterError(
+                f"crash point server_id must be >= 0, got {self.server_id}"
+            )
+        if self.after < 1:
+            raise InvalidParameterError(
+                f"crash point 'after' must be >= 1, got {self.after}"
+            )
+        if self.step not in known_message_types():
+            raise InvalidParameterError(
+                f"unknown protocol step {self.step!r}; known steps: "
+                f"{', '.join(sorted(known_message_types()))}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic fault schedule for the transport.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the plan's private RNG.  Drop/duplicate coin flips
+        draw from this RNG only, never from the cluster RNG, so the
+        workload's randomness stream is identical with and without the
+        plan.
+    drop_probability:
+        Per-delivery probability that the message is lost.
+    duplicate_probability:
+        Per-delivery probability that the message arrives twice (with
+        the same delivery id, so dedupe applies).
+    blackouts:
+        Transient per-server delivery outages.
+    crash_points:
+        Mid-protocol fail-stop crashes.
+    """
+
+    seed: int = 0
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    blackouts: Tuple[Blackout, ...] = ()
+    crash_points: Tuple[CrashPoint, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "duplicate_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise InvalidParameterError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if len({(c.server_id, c.step) for c in self.crash_points}) != len(
+            self.crash_points
+        ):
+            raise InvalidParameterError(
+                "crash points must be unique per (server_id, step)"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan can never inject anything."""
+        return (
+            self.drop_probability == 0.0
+            and self.duplicate_probability == 0.0
+            and not self.blackouts
+            and not self.crash_points
+        )
+
+
+@dataclass
+class FaultStats:
+    """What the installed plan actually did, delivery by delivery.
+
+    Kept strictly separate from the §6.4
+    :class:`~repro.cluster.network.MessageStats` counters: the paper's
+    cost model has no notion of redelivery or loss, so faulty-mode
+    accounting is reported on its own and never pollutes the
+    update-overhead / lookup-cost numbers.
+
+    The books must balance:
+    ``attempted == delivered + dropped + blacked_out + suppressed``.
+    """
+
+    attempted: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    blacked_out: int = 0
+    #: Deliveries suppressed because the destination was failed (the
+    #: fault-free transport's UNDELIVERED path, counted here too so
+    #: the books close under faults).
+    suppressed: int = 0
+    #: (server_id, step, nth) triples, in firing order.
+    crashes: List[Tuple[int, str, int]] = field(default_factory=list)
+
+    @property
+    def balanced(self) -> bool:
+        return self.attempted == (
+            self.delivered + self.dropped + self.blacked_out + self.suppressed
+        )
+
+    def as_row(self) -> Dict[str, int]:
+        return {
+            "attempted": self.attempted,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "blacked_out": self.blacked_out,
+            "suppressed": self.suppressed,
+            "crashes": len(self.crashes),
+        }
+
+
+class FaultInjector:
+    """Runtime state of an installed :class:`FaultPlan`.
+
+    Created by :meth:`Network.install_fault_plan`; one injector per
+    installation, so reinstalling the same plan replays the same fault
+    sequence from the start.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = random.Random(plan.seed)
+        self._attempts_by_server: Dict[int, int] = {}
+        self._step_counts: Dict[Tuple[int, str], int] = {}
+        self._fired: set = set()
+
+    # -- per-delivery decisions ------------------------------------------------
+
+    def next_attempt(self, server_id: int) -> int:
+        """Count and return this server's delivery-attempt index."""
+        index = self._attempts_by_server.get(server_id, 0)
+        self._attempts_by_server[server_id] = index + 1
+        self.stats.attempted += 1
+        return index
+
+    def blacked_out(self, server_id: int, attempt_index: int) -> bool:
+        for blackout in self.plan.blackouts:
+            if blackout.server_id == server_id and blackout.covers(attempt_index):
+                self.stats.blacked_out += 1
+                return True
+        return False
+
+    def drops(self) -> bool:
+        """Deterministic coin flip: is this delivery lost?
+
+        A zero probability draws nothing, so enabling only duplication
+        (or only crashes) leaves the other knobs' RNG stream empty and
+        the fault schedule a pure function of the enabled knobs.
+        """
+        if self.plan.drop_probability <= 0.0:
+            return False
+        if self._rng.random() < self.plan.drop_probability:
+            self.stats.dropped += 1
+            return True
+        return False
+
+    def duplicates(self) -> bool:
+        if self.plan.duplicate_probability <= 0.0:
+            return False
+        if self._rng.random() < self.plan.duplicate_probability:
+            self.stats.duplicated += 1
+            return True
+        return False
+
+    # -- crash points ---------------------------------------------------------
+
+    def note_processed(self, server: "Server", message: Message) -> None:
+        """Advance step counters; fire a crash point if one matured."""
+        if not self.plan.crash_points:
+            return
+        step = type(message).__name__
+        key = (server.server_id, step)
+        count = self._step_counts.get(key, 0) + 1
+        self._step_counts[key] = count
+        if key in self._fired:
+            return
+        for point in self.plan.crash_points:
+            if (
+                point.server_id == server.server_id
+                and point.step == step
+                and count >= point.after
+            ):
+                self._fired.add(key)
+                server.fail()
+                self.stats.crashes.append((server.server_id, step, count))
+                return

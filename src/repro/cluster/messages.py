@@ -289,3 +289,22 @@ class IncrementCount(Message):
     """
 
     delta: int
+
+
+def known_message_types() -> frozenset:
+    """Names of every concrete message type (the protocol step names).
+
+    Fault plans reference protocol steps by message type name (e.g. a
+    crash point "after the 2nd ``RemoveWithHead``"); validating those
+    names against this set catches typos at plan construction instead
+    of silently never firing.  Computed from the live class hierarchy
+    so new message types are automatically addressable.
+    """
+
+    def subclasses(cls: type) -> set:
+        direct = set(cls.__subclasses__())
+        for sub in direct.copy():
+            direct.update(subclasses(sub))
+        return direct
+
+    return frozenset(cls.__name__ for cls in subclasses(Message))

@@ -16,25 +16,46 @@ as the paper's lookup protocol requires.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.exceptions import InvalidParameterError
 from repro.cluster.messages import Message, MessageCategory
 from repro.cluster.server import Server
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cluster.faults import FaultInjector, FaultPlan
+
 
 class _Undelivered:
-    """Sentinel reply for sends to failed servers."""
+    """Sentinel reply for deliveries that never reached a handler.
 
-    __slots__ = ()
+    Two singletons exist: :data:`UNDELIVERED` (the destination server
+    is failed — retrying the same server cannot help until it
+    recovers) and :data:`DROPPED` (the message was lost in transit by
+    an installed fault plan — the server is presumably alive, so
+    re-contacting it is worthwhile).  Use :func:`is_undelivered` to
+    test for either.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "UNDELIVERED"
+        return self.reason
 
     def __bool__(self) -> bool:
         return False
 
 
-UNDELIVERED = _Undelivered()
+UNDELIVERED = _Undelivered("UNDELIVERED")
+DROPPED = _Undelivered("DROPPED")
+
+
+def is_undelivered(reply: Any) -> bool:
+    """True for any non-delivery sentinel (failed server or lost message)."""
+    return isinstance(reply, _Undelivered)
 
 
 @dataclass
@@ -92,6 +113,42 @@ class MessageStats:
             payload_entries=self.payload_entries,
         )
 
+    def diff(self, other: "MessageStats") -> "MessageStats":
+        """The counter delta ``self - other`` as a new MessageStats.
+
+        ``other`` is typically an earlier :meth:`snapshot` of the same
+        live stats, so callers can attribute traffic to one operation
+        (``stats.diff(before).update_messages``) without manually
+        differencing each field.  Dict entries that net to zero are
+        omitted so an empty diff compares equal to a fresh instance.
+        """
+
+        def diff_counts(now: Dict, then: Dict) -> Dict:
+            return {
+                key: now.get(key, 0) - then.get(key, 0)
+                for key in set(now) | set(then)
+                if now.get(key, 0) != then.get(key, 0)
+            }
+
+        return MessageStats(
+            total=self.total - other.total,
+            by_category=diff_counts(self.by_category, other.by_category),
+            by_type=diff_counts(self.by_type, other.by_type),
+            per_server=diff_counts(self.per_server, other.per_server),
+            undelivered=self.undelivered - other.undelivered,
+            broadcasts=self.broadcasts - other.broadcasts,
+            payload_entries=self.payload_entries - other.payload_entries,
+        )
+
+    @property
+    def balanced(self) -> bool:
+        """Whether the per-type/category/server books agree with total."""
+        return (
+            self.total == sum(self.by_category.values())
+            == sum(self.by_type.values())
+            == sum(self.per_server.values())
+        )
+
 
 class Network:
     """Synchronous message transport between clients and servers.
@@ -107,6 +164,8 @@ class Network:
         self._servers = list(servers)
         self.stats = MessageStats()
         self._message_log: Optional[List[Tuple[int, str]]] = None
+        self._faults: Optional["FaultInjector"] = None
+        self._delivery_sequence = 0
 
     def enable_message_log(self) -> List[Tuple[int, str]]:
         """Record (destination id, message type) for every delivery.
@@ -128,14 +187,56 @@ class Network:
         return len(self._servers)
 
     def server(self, server_id: int) -> Server:
-        return self._servers[server_id % len(self._servers)]
+        """The server with ``server_id``.
+
+        Raises
+        ------
+        InvalidParameterError
+            If the id is outside ``[0, n)``.  The transport used to
+            wrap ids modulo ``n``, which silently masked out-of-range
+            destination bugs in protocol code; every legitimate caller
+            computes its own modulus (positions and counters live in
+            an unbounded sequence space, server ids do not).
+        """
+        if not 0 <= server_id < len(self._servers):
+            raise InvalidParameterError(
+                f"server id {server_id} outside [0, {len(self._servers)})"
+            )
+        return self._servers[server_id]
+
+    # -- fault injection --------------------------------------------------------
+
+    @property
+    def fault_injector(self) -> Optional["FaultInjector"]:
+        """The live injector for the installed plan, or None."""
+        return self._faults
+
+    def install_fault_plan(self, plan: "FaultPlan") -> "FaultInjector":
+        """Route all subsequent deliveries through ``plan``.
+
+        Returns the :class:`~repro.cluster.faults.FaultInjector`
+        holding the plan's runtime state and fault accounting.  With
+        no plan installed the transport is bit-identical to the
+        fault-free implementation — no RNG draws, no extra counters.
+        """
+        from repro.cluster.faults import FaultInjector
+
+        self._faults = FaultInjector(plan)
+        return self._faults
+
+    def uninstall_fault_plan(self) -> None:
+        """Return to perfect delivery; the injector's stats survive."""
+        self._faults = None
 
     def send(self, dest_id: int, key: str, message: Message) -> Any:
         """Deliver ``message`` about ``key`` to one server.
 
-        Returns the handler's reply, or :data:`UNDELIVERED` if the
-        destination is failed.  A processed message costs 1.
+        Returns the handler's reply; :data:`UNDELIVERED` if the
+        destination is failed; :data:`DROPPED` if an installed fault
+        plan lost the message.  A processed message costs 1.
         """
+        if self._faults is not None:
+            return self._faulty_send(dest_id, key, message)
         server = self.server(dest_id)
         if not server.alive:
             self.stats.undelivered += 1
@@ -150,10 +251,19 @@ class Network:
 
         Costs one processed message per operational server — ``n``
         when nothing is failed, matching the Section 6.4 model.
-        Returns a map from server id to handler reply.
+        Returns a map from server id to handler reply; under a fault
+        plan, dropped deliveries are simply absent from the map, like
+        deliveries to failed servers.
         """
         self.stats.broadcasts += 1
-        replies: Dict[int, Any] = {}
+        if self._faults is not None:
+            replies: Dict[int, Any] = {}
+            for server in self._servers:
+                reply = self._faulty_send(server.server_id, key, message)
+                if not is_undelivered(reply):
+                    replies[server.server_id] = reply
+            return replies
+        replies = {}
         for server in self._servers:
             if not server.alive:
                 self.stats.undelivered += 1
@@ -165,6 +275,43 @@ class Network:
                 )
             replies[server.server_id] = server.receive(key, message, self)
         return replies
+
+    def _faulty_send(self, dest_id: int, key: str, message: Message) -> Any:
+        """One delivery attempt under the installed fault plan.
+
+        Fault order per attempt: destination failed → blackout → drop
+        coin → duplicate coin → deliver (dedupe-aware) → crash point.
+        The logical message is recorded in the §6.4 counters exactly
+        once even when duplicated — the duplicate shows up only in the
+        fault accounting, keeping the paper's cost model untouched.
+        """
+        faults = self._faults
+        assert faults is not None
+        server = self.server(dest_id)
+        attempt = faults.next_attempt(server.server_id)
+        if not server.alive:
+            self.stats.undelivered += 1
+            faults.stats.suppressed += 1
+            return UNDELIVERED
+        if faults.blacked_out(server.server_id, attempt):
+            return DROPPED
+        if faults.drops():
+            return DROPPED
+        duplicated = faults.duplicates()
+        self.stats.record(server.server_id, message)
+        if self._message_log is not None:
+            self._message_log.append((server.server_id, type(message).__name__))
+        self._delivery_sequence += 1
+        delivery_id = self._delivery_sequence
+        faults.stats.delivered += 1
+        reply = server.receive_dedup(key, message, self, delivery_id)
+        if duplicated and server.alive:
+            # At-least-once delivery: the same delivery id arrives
+            # again and the server-side dedupe answers from cache
+            # without re-running the handler.
+            server.receive_dedup(key, message, self, delivery_id)
+        faults.note_processed(server, message)
+        return reply
 
     def reset_stats(self) -> None:
         self.stats.reset()

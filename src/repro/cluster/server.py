@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.core.entry import Entry
@@ -135,12 +136,19 @@ class Server:
         messages (the network suppresses delivery).
     """
 
+    #: How many (delivery id → reply) records the dedupe cache keeps.
+    #: Duplicated deliveries arrive immediately after the original in
+    #: the synchronous transport, so a small window is ample; the
+    #: bound exists so long chaos runs cannot grow memory unboundedly.
+    DEDUP_WINDOW = 1024
+
     def __init__(self, server_id: int) -> None:
         self.server_id = server_id
         self.alive = True
         self._stores: Dict[str, EntryStore] = {}
         self._state: Dict[str, Dict[str, Any]] = {}
         self._logics: Dict[str, ServerLogic] = {}
+        self._seen_deliveries: "OrderedDict[int, Any]" = OrderedDict()
 
     # -- store access ------------------------------------------------------
 
@@ -180,6 +188,26 @@ class Server:
             )
         return logic.handle(self, message, network)
 
+    def receive_dedup(
+        self, key: str, message: Message, network: "Network", delivery_id: int
+    ) -> Any:
+        """Idempotent receive: process each delivery id exactly once.
+
+        The at-least-once transport (a fault plan with duplication)
+        may deliver the same logical message twice; the first delivery
+        runs the handler and caches its reply, the second returns the
+        cached reply without re-running it.  This is what makes every
+        update handler idempotent under duplicated delivery without
+        each strategy having to reason about redelivery.
+        """
+        if delivery_id in self._seen_deliveries:
+            return self._seen_deliveries[delivery_id]
+        reply = self.receive(key, message, network)
+        self._seen_deliveries[delivery_id] = reply
+        while len(self._seen_deliveries) > self.DEDUP_WINDOW:
+            self._seen_deliveries.popitem(last=False)
+        return reply
+
     # -- lifecycle ----------------------------------------------------------
 
     def fail(self) -> None:
@@ -194,6 +222,7 @@ class Server:
         """Erase all stores and state, as if freshly provisioned."""
         self._stores.clear()
         self._state.clear()
+        self._seen_deliveries.clear()
 
     def __repr__(self) -> str:
         status = "up" if self.alive else "DOWN"

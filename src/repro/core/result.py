@@ -38,6 +38,14 @@ class LookupResult:
     messages:
         Number of request messages processed by servers on behalf of
         this lookup (one per operational server contacted).
+    retries:
+        Extra passes the client made over unanswered servers under a
+        :class:`~repro.cluster.client.RetryPolicy`; 0 for the paper's
+        single-pass client.
+    backoff:
+        Total simulated time the client spent backing off before
+        retries (accounted, not enacted — the transport is
+        synchronous).
     """
 
     entries: Tuple[Entry, ...]
@@ -45,11 +53,25 @@ class LookupResult:
     servers_contacted: Tuple[int, ...] = ()
     failed_contacts: Tuple[int, ...] = ()
     messages: int = 0
+    retries: int = 0
+    backoff: float = 0.0
 
     @property
     def success(self) -> bool:
         """Whether the lookup retrieved at least ``target`` entries."""
         return len(self.entries) >= self.target
+
+    @property
+    def degraded(self) -> bool:
+        """Explicitly-labelled short answer: fewer than ``target`` entries.
+
+        A lookup never silently under-fills — when retries (if any)
+        are exhausted and the merged answer is still short, the result
+        is *degraded* rather than wrong.  Always ``not success`` for
+        ``target > 0``; full lookups (``target == 0``) are never
+        degraded.
+        """
+        return self.target > 0 and len(self.entries) < self.target
 
     @property
     def lookup_cost(self) -> int:
@@ -126,6 +148,14 @@ class OperationLog:
     @property
     def failed_lookups(self) -> int:
         return sum(1 for r in self.lookups if not r.success)
+
+    @property
+    def degraded_lookups(self) -> int:
+        return sum(1 for r in self.lookups if r.degraded)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.lookups)
 
     @property
     def failure_rate(self) -> float:

@@ -188,6 +188,24 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_chaos_soak(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos_soak import ChaosSoakConfig, run
+
+    config = ChaosSoakConfig(seed=args.seed, events=args.events)
+    result = run(config)
+    print(render_experiment(result))
+    if args.json:
+        _write_json(result_to_json(result, config), pathlib.Path(args.json))
+        print(f"[wrote {args.json}]")
+    if result.meta.get("passed"):
+        print("all invariants held")
+        return 0
+    for label, reasons in result.meta.get("failures", {}).items():
+        for reason in reasons:
+            print(f"CHAOS FAIL [{label}]: {reason}", file=sys.stderr)
+    return 1
+
+
 def _cmd_trace_generate(args: argparse.Namespace) -> int:
     import random
 
@@ -327,6 +345,21 @@ def build_parser() -> argparse.ArgumentParser:
     plan_parser.add_argument("--target", type=int, required=True)
     plan_parser.add_argument("--update-rate", type=float, default=0.0)
     plan_parser.set_defaults(handler=_cmd_plan)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos-soak",
+        help="soak every scheme under a seeded fault plan; exit 1 on "
+        "any invariant violation",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--events", type=int, default=2000,
+        help="update events in the soak trace",
+    )
+    chaos_parser.add_argument(
+        "--json", metavar="PATH", help="write rows + config as JSON"
+    )
+    chaos_parser.set_defaults(handler=_cmd_chaos_soak)
 
     trace_parser = subparsers.add_parser(
         "trace", help="generate / replay workload trace files"

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.core.exceptions import InvalidParameterError
 from repro.experiments import (
     availability,
+    chaos_soak,
     diverse_clients,
     sensitivity,
     fig4_lookup_cost,
@@ -143,6 +144,14 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "do the §4.2/§4.4 orderings hold at other cluster sizes?",
             sensitivity.SensitivityConfig,
             sensitivity.run,
+            plottable=False,
+        ),
+        ExperimentSpec(
+            "chaos",
+            "robustness gate",
+            "soak all schemes under drop/duplicate/crash fault plans",
+            chaos_soak.ChaosSoakConfig,
+            chaos_soak.run,
             plottable=False,
         ),
     ]

@@ -9,7 +9,10 @@ repaired as new add events arrive" is the paper's only nod at repair,
   scheme's structural invariants and reports violations;
 - :func:`repair` restores the invariants, either naively (re-place the
   surviving coverage) or with targeted per-scheme fix-ups where the
-  scheme's structure pinpoints what is wrong (Hash-y).
+  scheme's structure pinpoints what is wrong (Hash-y);
+- :class:`AntiEntropySweep` runs verify+repair periodically on a
+  simulation engine, closing the reconciliation gap for entries the
+  paper's "repaired as new adds arrive" hand-wave never reaches.
 """
 
 from repro.maintenance.verify import (
@@ -18,6 +21,7 @@ from repro.maintenance.verify import (
     verify_placement,
 )
 from repro.maintenance.repair import RepairReport, repair
+from repro.maintenance.anti_entropy import AntiEntropySweep, SweepStats
 
 __all__ = [
     "PlacementViolation",
@@ -25,4 +29,6 @@ __all__ = [
     "verify_directory",
     "RepairReport",
     "repair",
+    "AntiEntropySweep",
+    "SweepStats",
 ]

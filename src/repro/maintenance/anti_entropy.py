@@ -1,0 +1,181 @@
+"""Periodic anti-entropy: scheduled verify + repair sweeps.
+
+The paper's only nod at reconciliation is that stale placements are
+"quickly repaired as new add events arrive" (§6.2) — which is false
+for entries that never see another update.  The anti-entropy sweep
+closes that gap operationally: a :class:`AntiEntropySweep` attaches to
+a :class:`~repro.simulation.engine.SimulationEngine` and periodically
+
+1. optionally restarts failed servers (``restart_failed``),
+2. runs :func:`~repro.maintenance.verify.verify_placement`,
+3. if violations exist **and** every server is operational, runs
+   :func:`~repro.maintenance.repair.repair` and accounts the repair
+   traffic separately from the workload's Section 6.4 counters.
+
+Repair around still-failed servers re-breaks the moment they return,
+so when servers are down and ``restart_failed`` is off the sweep only
+*counts* the violations (``stats.deferred``) and waits for recovery.
+
+The sweep self-schedules through
+:class:`~repro.simulation.events.CallbackEvent`, which the engine
+dispatches without handler registration — so it composes with any
+event-driven workload (including :class:`~repro.simulation.replay.
+TraceReplayer`, which drains the queue unbounded; the ``horizon``
+guard is what stops the sweep from rescheduling forever there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+from repro.maintenance.repair import RepairReport, repair
+from repro.maintenance.verify import verify_placement
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import CallbackEvent
+from repro.strategies.base import PlacementStrategy
+
+
+@dataclass
+class SweepStats:
+    """What the sweep observed and did across its lifetime."""
+
+    sweeps: int = 0
+    recoveries: int = 0
+    violations_found: int = 0
+    repairs: int = 0
+    repair_messages: int = 0
+    deferred: int = 0
+    reports: List[RepairReport] = field(default_factory=list)
+
+    def as_row(self) -> Tuple[int, int, int, int, int, int]:
+        return (
+            self.sweeps,
+            self.recoveries,
+            self.violations_found,
+            self.repairs,
+            self.repair_messages,
+            self.deferred,
+        )
+
+
+class AntiEntropySweep:
+    """A periodic verify-and-repair task bound to one strategy.
+
+    Parameters
+    ----------
+    strategy:
+        The placement to watch and mend.
+    period:
+        Simulated time between sweeps; must be positive.
+    restart_failed:
+        When True each sweep recovers every failed server (with its
+        stale store — that is what repair is for) before verifying.
+    repair_mode:
+        Passed through to :func:`~repro.maintenance.repair.repair`;
+        the default ``"auto"`` uses targeted repair on Hash-y and
+        naive re-placement elsewhere.
+    horizon:
+        Optional hard stop: the sweep never schedules itself at a time
+        strictly greater than ``horizon``.  Required when the driving
+        loop is an unbounded ``engine.run()`` (e.g. ``TraceReplayer``),
+        where a self-rescheduling task would otherwise never let the
+        queue drain.
+    """
+
+    def __init__(
+        self,
+        strategy: PlacementStrategy,
+        period: float,
+        restart_failed: bool = False,
+        repair_mode: str = "auto",
+        horizon: Optional[float] = None,
+    ) -> None:
+        if period <= 0:
+            raise InvalidParameterError(f"period must be positive, got {period}")
+        if horizon is not None and horizon < 0:
+            raise InvalidParameterError(f"horizon must be >= 0, got {horizon}")
+        self._strategy = strategy
+        self._period = period
+        self._restart_failed = restart_failed
+        self._repair_mode = repair_mode
+        self._horizon = horizon
+        self._engine: Optional[SimulationEngine] = None
+        self._stopped = False
+        self.stats = SweepStats()
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def start(self, engine: SimulationEngine, first_at: Optional[float] = None) -> None:
+        """Schedule the first sweep on ``engine``.
+
+        ``first_at`` defaults to one period after the engine's current
+        time.  Starting an already-started sweep is an error; call
+        :meth:`stop` first.
+        """
+        if self._engine is not None and not self._stopped:
+            raise InvalidParameterError("sweep is already running")
+        self._engine = engine
+        self._stopped = False
+        when = engine.now + self._period if first_at is None else first_at
+        self._schedule(when)
+
+    def stop(self) -> None:
+        """Cancel future sweeps.
+
+        Any already-queued CallbackEvent still fires but becomes a
+        no-op; the engine owns its queue and events are frozen.
+        """
+        self._stopped = True
+
+    # -- internals ------------------------------------------------------------
+
+    def _schedule(self, when: float) -> None:
+        if self._horizon is not None and when > self._horizon:
+            return
+        assert self._engine is not None
+        self._engine.schedule(
+            CallbackEvent(time=when, callback=self._fire, label="anti-entropy")
+        )
+
+    def _fire(self, now: float) -> None:
+        if self._stopped:
+            return
+        self.sweep_once()
+        self._schedule(now + self._period)
+
+    def sweep_once(self) -> List:
+        """One verify(+repair) pass, outside any schedule.
+
+        Returns the violations found *before* any repair, so callers
+        can assert convergence (an empty list means the placement was
+        already clean when the sweep looked).
+        """
+        cluster = self._strategy.cluster
+        self.stats.sweeps += 1
+        if self._restart_failed:
+            for server in cluster.servers:
+                if not server.alive:
+                    server.recover()
+                    self.stats.recoveries += 1
+        violations = verify_placement(self._strategy)
+        if not violations:
+            return violations
+        self.stats.violations_found += len(violations)
+        if any(not server.alive for server in cluster.servers):
+            # Repairing around down servers re-breaks on recovery;
+            # defer until everyone is back.
+            self.stats.deferred += 1
+            return violations
+        report = repair(self._strategy, mode=self._repair_mode)
+        self.stats.repairs += 1
+        self.stats.repair_messages += report.messages
+        self.stats.reports.append(report)
+        return violations

@@ -54,9 +54,9 @@ def _naive_repair(strategy: PlacementStrategy) -> RepairReport:
         key=lambda entry: entry.entry_id,
     )
     stats = strategy.cluster.network.stats
-    messages_before = stats.total
+    before_stats = stats.snapshot()
     strategy.place(coverage)
-    messages = stats.total - messages_before
+    messages = stats.diff(before_stats).total
     after = len(verify_placement(strategy))
     return RepairReport(
         mode="naive",
@@ -70,7 +70,7 @@ def _targeted_hash_repair(strategy: HashY) -> RepairReport:
     """Fix exactly the misplaced/missing copies, point-to-point."""
     before = len(verify_placement(strategy))
     network = strategy.cluster.network
-    messages_before = network.stats.total
+    before_stats = network.stats.snapshot()
     placement = strategy.placement()
     entries = set()
     for stored in placement.values():
@@ -84,7 +84,7 @@ def _targeted_hash_repair(strategy: HashY) -> RepairReport:
             network.send(server_id, strategy.key, StoreMessage(entry))
         for server_id in sorted(holders - targets):
             network.send(server_id, strategy.key, RemoveMessage(entry))
-    messages = network.stats.total - messages_before
+    messages = network.stats.diff(before_stats).total
     after = len(verify_placement(strategy))
     return RepairReport(
         mode="targeted",

@@ -93,3 +93,25 @@ class MetricsCollector:
             fault_tolerance=greedy_fault_tolerance(strategy, target),
             unfairness=unfairness.unfairness,
         )
+
+    def collect_health(self, strategy: PlacementStrategy) -> dict:
+        """Robustness companion to :meth:`collect`.
+
+        Reports the placement's *structural* health — verification
+        violations, failed servers — plus the fault-layer ledger when
+        a fault plan is installed.  Kept separate from
+        :class:`MetricsSnapshot` because the Section 4 metrics assume
+        a healthy cluster; mixing the two would silently change the
+        paper-facing numbers.
+        """
+        from repro.maintenance.verify import verify_placement
+
+        row: dict = {
+            "strategy": strategy.name,
+            "violations": len(verify_placement(strategy)),
+            "failed_servers": strategy.cluster.failed_count,
+        }
+        injector = strategy.cluster.network.fault_injector
+        if injector is not None:
+            row.update(injector.stats.as_row())
+        return row

@@ -14,7 +14,7 @@ import itertools
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
 
 from repro.core.exceptions import InvalidParameterError
-from repro.simulation.events import Event
+from repro.simulation.events import CallbackEvent, Event
 
 Handler = Callable[[Event], None]
 
@@ -79,11 +79,17 @@ class SimulationEngine:
         time, _, event = heapq.heappop(self._queue)
         self._now = time
         handler = self._handlers.get(type(event))
-        if handler is None:
+        if handler is not None:
+            handler(event)
+        elif isinstance(event, CallbackEvent):
+            # Self-dispatching: periodic maintenance tasks attach to
+            # any engine without registering in its handler table.
+            if event.callback is not None:
+                event.callback(time)
+        else:
             raise InvalidParameterError(
                 f"no handler registered for {type(event).__name__}"
             )
-        handler(event)
         self._processed += 1
         if self._tracing is not None:
             self._tracing.append(event.describe())

@@ -68,6 +68,23 @@ class RecoveryEvent(Event):
 
 
 @dataclass(frozen=True)
+class CallbackEvent(Event):
+    """A self-dispatching event: the engine invokes ``callback(time)``.
+
+    Unlike other event types, no handler registration is needed — the
+    engine runs the callback directly.  This is the hook for periodic
+    maintenance tasks (e.g. the anti-entropy sweep) that attach to an
+    engine someone else owns without touching its handler table.
+    """
+
+    callback: Optional[Callable[[float], None]] = None
+    label: str = "callback"
+
+    def describe(self) -> str:
+        return f"call({self.label})@{self.time:g}"
+
+
+@dataclass(frozen=True)
 class ProbeEvent(Event):
     """A measurement hook: the replayer calls ``probe(time, strategy)``.
 

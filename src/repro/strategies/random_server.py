@@ -33,7 +33,7 @@ from repro.cluster.messages import (
     StoreMessage,
     StoreSetMessage,
 )
-from repro.cluster.network import UNDELIVERED, Network
+from repro.cluster.network import Network, is_undelivered
 from repro.cluster.server import Server
 from repro.strategies.base import PlacementStrategy, StrategyLogic
 
@@ -111,7 +111,7 @@ class _RandomServerLogic(StrategyLogic):
         self.rng.shuffle(peers)
         for peer_id in peers:
             reply = network.send(peer_id, self.key, FetchReplacement(exclude))
-            if reply is UNDELIVERED or reply is None:
+            if is_undelivered(reply) or reply is None:
                 continue
             store.add(reply)
             return True

@@ -38,7 +38,7 @@ from repro.cluster.messages import (
     SetCounters,
     StorePositioned,
 )
-from repro.cluster.network import UNDELIVERED, Network
+from repro.cluster.network import Network, is_undelivered
 from repro.cluster.server import Server
 from repro.strategies.base import PlacementStrategy, StrategyLogic
 
@@ -147,7 +147,7 @@ class _RoundRobinLogic(StrategyLogic):
             if replica == server.server_id:
                 continue
             reply = network.send(replica, self.key, QueryCounters())
-            if reply is UNDELIVERED or reply is None:
+            if is_undelivered(reply) or reply is None:
                 continue
             peer_head, peer_tail = reply
             head = max(head, peer_head)
@@ -226,7 +226,7 @@ class _RoundRobinLogic(StrategyLogic):
             self.key,
             MigrateRequest(entry, message.head, hole_position),
         )
-        if replacement is UNDELIVERED or replacement is None:
+        if is_undelivered(replacement) or replacement is None:
             return True
         store.add(replacement)
         positions[replacement.entry_id] = hole_position

@@ -65,6 +65,45 @@ class TestInjection:
         assert cluster.failed_count == 1
         assert not cluster.server(5).alive
 
+    def test_overlapping_patterns_compose(self, cluster):
+        # Regression: reverting the inner of two overlapping patterns
+        # used to resurrect server 1 while the outer pattern still
+        # held it failed.
+        injector = FailureInjector(cluster)
+        with injector.injected(FailurePattern((1, 2))):
+            with injector.injected(FailurePattern((1, 3))):
+                assert cluster.failed_count == 3
+            # Server 1 is still covered by the outer pattern.
+            assert not cluster.server(1).alive
+            assert cluster.server(3).alive
+        assert cluster.failed_count == 0
+
+    def test_revert_never_resurrects_preexisting_failure(self, cluster):
+        # Regression: a pattern overlapping a server that was already
+        # down used to bring it back up on revert.
+        injector = FailureInjector(cluster)
+        cluster.fail(4)
+        with injector.injected(FailurePattern((4, 5))):
+            assert cluster.failed_count == 2
+        assert not cluster.server(4).alive
+        assert cluster.server(5).alive
+
+    def test_revert_without_apply_is_noop(self, cluster):
+        injector = FailureInjector(cluster)
+        cluster.fail(7)
+        injector.revert(FailurePattern((7, 8)))
+        assert not cluster.server(7).alive
+        assert cluster.server(8).alive
+
+    def test_double_revert_is_idempotent(self, cluster):
+        injector = FailureInjector(cluster)
+        pattern = FailurePattern((1,))
+        injector.apply(pattern)
+        injector.revert(pattern)
+        cluster.fail(1)  # an unrelated, later failure
+        injector.revert(pattern)
+        assert not cluster.server(1).alive
+
 
 class TestSurvives:
     def test_survives_when_coverage_held_elsewhere(self, cluster):

@@ -1,0 +1,207 @@
+"""Unit tests for the fault-injecting transport."""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.faults import Blackout, CrashPoint, FaultPlan
+from repro.cluster.messages import LookupRequest, StoreMessage
+from repro.cluster.network import DROPPED, UNDELIVERED, is_undelivered
+from repro.cluster.server import Server, ServerLogic
+from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError
+from repro.strategies.fixed import FixedX
+
+
+class _EchoLogic(ServerLogic):
+    """Stores entries; replies with the receiving server's id."""
+
+    def handle(self, server, message, network):
+        if isinstance(message, StoreMessage):
+            server.store("k").add(message.entry)
+        return server.server_id
+
+
+def _faulty_cluster(plan, size=4):
+    cluster = Cluster(size, seed=7)
+    logic = _EchoLogic()
+    for server in cluster.servers:
+        server.install_logic("k", logic)
+    injector = cluster.network.install_fault_plan(plan)
+    return cluster, injector
+
+
+class TestPlanValidation:
+    def test_probabilities_bounded(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(drop_probability=1.5)
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(duplicate_probability=-0.1)
+
+    def test_crash_step_must_be_known_message_type(self):
+        with pytest.raises(InvalidParameterError):
+            CrashPoint(0, "NotAMessage")
+
+    def test_crash_points_unique_per_server_step(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(
+                crash_points=(
+                    CrashPoint(0, "StoreMessage", after=1),
+                    CrashPoint(0, "StoreMessage", after=2),
+                )
+            )
+
+    def test_blackout_window_ordered(self):
+        with pytest.raises(InvalidParameterError):
+            Blackout(0, 5, 5)
+
+    def test_noop_detection(self):
+        assert FaultPlan().is_noop
+        assert not FaultPlan(drop_probability=0.1).is_noop
+        assert not FaultPlan(blackouts=(Blackout(0, 0, 1),)).is_noop
+
+
+class TestDrops:
+    def test_certain_drop_loses_every_delivery(self):
+        plan = FaultPlan(seed=1, drop_probability=1.0)
+        cluster, injector = _faulty_cluster(plan)
+        reply = cluster.network.send(0, "k", StoreMessage(Entry("a")))
+        assert reply is DROPPED
+        assert is_undelivered(reply)
+        assert not reply  # falsy, like UNDELIVERED
+        assert len(cluster.server(0).store("k")) == 0
+        assert injector.stats.dropped == 1
+        # Dropped deliveries never reach the §6.4 counters.
+        assert cluster.network.stats.total == 0
+
+    def test_dropped_distinct_from_failed(self):
+        plan = FaultPlan(seed=1, drop_probability=1.0)
+        cluster, injector = _faulty_cluster(plan)
+        cluster.fail(1)
+        assert cluster.network.send(1, "k", LookupRequest(1)) is UNDELIVERED
+        assert cluster.network.send(0, "k", LookupRequest(1)) is DROPPED
+        assert injector.stats.suppressed == 1
+        assert injector.stats.dropped == 1
+
+    def test_books_balance(self):
+        plan = FaultPlan(seed=5, drop_probability=0.3)
+        cluster, injector = _faulty_cluster(plan)
+        cluster.fail(2)
+        for i in range(50):
+            cluster.network.send(i % 4, "k", StoreMessage(Entry(f"e{i}")))
+        stats = injector.stats
+        assert stats.attempted == 50
+        assert stats.balanced
+        assert stats.delivered == cluster.network.stats.total
+
+
+class TestDuplication:
+    def test_duplicate_is_deduped_by_delivery_id(self):
+        plan = FaultPlan(seed=2, duplicate_probability=1.0)
+        cluster, injector = _faulty_cluster(plan)
+        reply = cluster.network.send(3, "k", StoreMessage(Entry("a")))
+        assert reply == 3
+        assert injector.stats.duplicated == 1
+        # The handler ran once: one stored copy, one counted message.
+        assert len(cluster.server(3).store("k")) == 1
+        assert cluster.network.stats.total == 1
+
+    def test_duplicated_broadcast_stays_idempotent(self):
+        plan = FaultPlan(seed=2, duplicate_probability=1.0)
+        cluster, injector = _faulty_cluster(plan)
+        replies = cluster.network.broadcast("k", StoreMessage(Entry("a")))
+        assert set(replies) == {0, 1, 2, 3}
+        assert all(len(s.store("k")) == 1 for s in cluster.servers)
+        assert injector.stats.duplicated == 4
+
+
+class TestBlackout:
+    def test_window_covers_attempt_counts(self):
+        plan = FaultPlan(blackouts=(Blackout(0, 1, 3),))
+        cluster, injector = _faulty_cluster(plan)
+        results = [
+            cluster.network.send(0, "k", LookupRequest(1)) for _ in range(4)
+        ]
+        assert [is_undelivered(r) for r in results] == [
+            False, True, True, False,
+        ]
+        assert injector.stats.blacked_out == 2
+
+    def test_blackout_only_hits_its_server(self):
+        plan = FaultPlan(blackouts=(Blackout(0, 0, 100),))
+        cluster, _ = _faulty_cluster(plan)
+        assert is_undelivered(cluster.network.send(0, "k", LookupRequest(1)))
+        assert cluster.network.send(1, "k", LookupRequest(1)) == 1
+
+
+class TestCrashPoints:
+    def test_crash_fires_after_kth_step_message(self):
+        plan = FaultPlan(crash_points=(CrashPoint(1, "StoreMessage", after=2),))
+        cluster, injector = _faulty_cluster(plan)
+        assert cluster.network.send(1, "k", StoreMessage(Entry("a"))) == 1
+        assert cluster.server(1).alive
+        # The 2nd StoreMessage is processed (reply returned), then the
+        # server crashes in the gap after the step.
+        assert cluster.network.send(1, "k", StoreMessage(Entry("b"))) == 1
+        assert not cluster.server(1).alive
+        assert injector.stats.crashes == [(1, "StoreMessage", 2)]
+        # State is retained across the fail-stop crash.
+        assert len(cluster.server(1).store("k")) == 2
+
+    def test_crash_fires_once(self):
+        plan = FaultPlan(crash_points=(CrashPoint(0, "LookupRequest", after=1),))
+        cluster, injector = _faulty_cluster(plan)
+        cluster.network.send(0, "k", LookupRequest(1))
+        cluster.server(0).recover()
+        cluster.network.send(0, "k", LookupRequest(1))
+        assert cluster.server(0).alive
+        assert len(injector.stats.crashes) == 1
+
+    def test_other_steps_do_not_advance_the_counter(self):
+        plan = FaultPlan(crash_points=(CrashPoint(0, "StoreMessage", after=1),))
+        cluster, _ = _faulty_cluster(plan)
+        cluster.network.send(0, "k", LookupRequest(1))
+        assert cluster.server(0).alive
+        cluster.network.send(0, "k", StoreMessage(Entry("a")))
+        assert not cluster.server(0).alive
+
+
+class TestDeterminism:
+    def test_same_plan_same_fault_schedule(self):
+        def run():
+            plan = FaultPlan(seed=9, drop_probability=0.2,
+                             duplicate_probability=0.1)
+            cluster, injector = _faulty_cluster(plan)
+            for i in range(100):
+                cluster.network.send(i % 4, "k", StoreMessage(Entry(f"e{i}")))
+            return injector.stats.as_row()
+
+        assert run() == run()
+
+    def test_plan_rng_is_private_to_the_plan(self):
+        # Installing a plan must not perturb the cluster RNG stream:
+        # the same seeded workload draws identically with and without
+        # faults (here: a plan whose knobs never fire).
+        def lookup_orders(install):
+            cluster = Cluster(6, seed=42)
+            strategy = FixedX(cluster, x=5)
+            strategy.place([Entry(f"v{i}") for i in range(5)])
+            if install:
+                cluster.network.install_fault_plan(
+                    FaultPlan(seed=1, drop_probability=0.0)
+                )
+            return [
+                strategy.partial_lookup(2).servers_contacted
+                for _ in range(20)
+            ]
+
+        assert lookup_orders(False) == lookup_orders(True)
+
+    def test_uninstall_restores_fault_free_path(self):
+        plan = FaultPlan(seed=1, drop_probability=1.0)
+        cluster, _ = _faulty_cluster(plan)
+        assert cluster.network.send(0, "k", LookupRequest(1)) is DROPPED
+        cluster.network.uninstall_fault_plan()
+        assert cluster.network.fault_injector is None
+        assert cluster.network.send(0, "k", LookupRequest(1)) == 0

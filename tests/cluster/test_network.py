@@ -6,6 +6,7 @@ from repro.cluster.messages import LookupRequest, StoreMessage
 from repro.cluster.network import UNDELIVERED, MessageStats, Network
 from repro.cluster.server import Server, ServerLogic
 from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError
 
 
 class _CountingLogic(ServerLogic):
@@ -33,9 +34,15 @@ class TestSend:
         assert network.stats.total == 1
         assert network.stats.per_server[2] == 1
 
-    def test_send_wraps_destination_modulo_n(self):
+    def test_send_rejects_out_of_range_destination(self):
+        # Ids used to wrap modulo n, silently masking out-of-range
+        # destination bugs in protocol code; now they are errors.
         network, _ = _make_network(4)
-        assert network.send(6, "k", StoreMessage(Entry("a"))) == 2
+        with pytest.raises(InvalidParameterError):
+            network.send(6, "k", StoreMessage(Entry("a")))
+        with pytest.raises(InvalidParameterError):
+            network.server(-1)
+        assert network.stats.total == 0
 
     def test_send_to_failed_is_undelivered_and_uncounted(self):
         network, servers = _make_network()

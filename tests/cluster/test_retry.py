@@ -1,0 +1,141 @@
+"""Unit tests for the retrying client under lossy transport."""
+
+import random
+
+import pytest
+
+from repro.cluster.client import Client, RetryPolicy
+from repro.cluster.cluster import Cluster
+from repro.cluster.faults import Blackout, FaultPlan
+from repro.cluster.messages import LookupRequest, StoreMessage
+from repro.cluster.server import ServerLogic
+from repro.core.exceptions import InvalidParameterError
+
+
+class _StoreLookupLogic(ServerLogic):
+    def handle(self, server, message, network):
+        if isinstance(message, StoreMessage):
+            server.store("k").add(message.entry)
+            return True
+        if isinstance(message, LookupRequest):
+            return server.store("k").sample(message.target, random.Random(0))
+        return None
+
+
+def _cluster_with_entries(size=3, per_server=2):
+    from repro.core.entry import Entry
+
+    cluster = Cluster(size, seed=11)
+    logic = _StoreLookupLogic()
+    for server in cluster.servers:
+        server.install_logic("k", logic)
+    for sid, server in enumerate(cluster.servers):
+        for j in range(per_server):
+            server.store("k").add(Entry(f"s{sid}e{j}"))
+    return cluster
+
+
+class TestRetryPolicyValidation:
+    def test_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(base_backoff=-1)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(jitter=2.0)
+
+    def test_delay_grows_exponentially(self):
+        policy = RetryPolicy(base_backoff=2.0, backoff_multiplier=3.0,
+                             jitter=0.0)
+        rng = random.Random(0)
+        assert policy.delay(0, rng) == 2.0
+        assert policy.delay(1, rng) == 6.0
+        assert policy.delay(2, rng) == 18.0
+
+    def test_jitter_is_seeded(self):
+        policy = RetryPolicy(jitter=0.5)
+        assert policy.delay(0, random.Random(5)) == policy.delay(
+            0, random.Random(5)
+        )
+
+
+class TestRetries:
+    def test_default_client_never_retries(self):
+        cluster = _cluster_with_entries()
+        client = Client(cluster)
+        assert client.retry_policy is None
+        result = client.collect("k", 2, [0, 1, 2])
+        assert result.retries == 0
+        assert result.backoff == 0.0
+
+    def test_retry_recovers_a_transient_drop(self):
+        # Server 0 is blacked out for exactly its first delivery
+        # attempt; a single-pass client comes up empty, a retrying
+        # client succeeds on the second pass.
+        cluster = _cluster_with_entries(size=1)
+        cluster.network.install_fault_plan(
+            FaultPlan(blackouts=(Blackout(0, 0, 1),))
+        )
+        single = Client(cluster).collect("k", 2, [0])
+        assert not single.success
+        assert single.failed_contacts == (0,)
+
+        cluster2 = _cluster_with_entries(size=1)
+        cluster2.network.install_fault_plan(
+            FaultPlan(blackouts=(Blackout(0, 0, 1),))
+        )
+        retrying = Client(cluster2, retry_policy=RetryPolicy())
+        result = retrying.collect("k", 2, [0])
+        assert result.success
+        assert result.retries == 1
+        assert result.backoff > 0
+        assert result.failed_contacts == ()
+
+    def test_budget_exhaustion_returns_degraded(self):
+        cluster = _cluster_with_entries(size=1)
+        cluster.network.install_fault_plan(
+            FaultPlan(blackouts=(Blackout(0, 0, 1),))
+        )
+        client = Client(
+            cluster,
+            retry_policy=RetryPolicy(base_backoff=100.0, backoff_budget=10.0),
+        )
+        result = client.collect("k", 2, [0])
+        assert not result.success
+        assert result.degraded
+        assert result.retries == 0
+        assert result.backoff == 0.0
+
+    def test_max_attempts_one_is_single_pass(self):
+        cluster = _cluster_with_entries(size=1)
+        cluster.network.install_fault_plan(
+            FaultPlan(blackouts=(Blackout(0, 0, 1),))
+        )
+        client = Client(cluster, retry_policy=RetryPolicy(max_attempts=1))
+        result = client.collect("k", 2, [0])
+        assert not result.success
+        assert result.retries == 0
+
+    def test_failed_server_not_retried_forever(self):
+        # A permanently failed server: retries run out and the result
+        # is explicitly degraded, with the server in failed_contacts.
+        cluster = _cluster_with_entries(size=2)
+        cluster.fail(0)
+        client = Client(cluster, retry_policy=RetryPolicy(max_attempts=3))
+        result = client.collect("k", 3, [0, 1])
+        assert not result.success
+        assert result.degraded
+        assert 0 in result.failed_contacts
+        assert result.retries == 2
+
+    def test_degraded_is_explicit_not_silent(self):
+        cluster = _cluster_with_entries(size=2, per_server=1)
+        client = Client(cluster, retry_policy=RetryPolicy())
+        # Only 2 distinct entries exist; asking for 5 must be labelled.
+        result = client.collect("k", 5, [0, 1])
+        assert result.degraded
+        assert not result.success
+        # A full lookup (target 0) is never degraded.
+        assert not client.collect("k", 0, [0, 1]).degraded

@@ -1,0 +1,64 @@
+"""Tests for the chaos soak experiment and harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.chaos_soak import (
+    SCHEME_PARAMS,
+    ChaosSoakConfig,
+    run,
+    soak_one,
+)
+
+#: Small but real: enough events for drops, duplicates, and at least
+#: one crash point to fire, small enough for the test suite.
+FAST = ChaosSoakConfig(events=300, lookups=60, audit_lookups=10, seed=0)
+
+
+class TestSoakOne:
+    @pytest.mark.parametrize("label", sorted(SCHEME_PARAMS))
+    def test_every_scheme_survives_the_soak(self, label):
+        report = soak_one(label, FAST)
+        assert report.passed, report.invariant_failures
+        assert report.violations_after == 0
+        assert report.lookups == FAST.lookups
+        assert report.audit_failures == 0
+        # The fault layer actually did something.
+        assert report.faults["dropped"] > 0
+        assert report.faults["duplicated"] > 0
+        # And its books balance.
+        assert report.faults["attempted"] == (
+            report.faults["delivered"]
+            + report.faults["dropped"]
+            + report.faults["blacked_out"]
+            + report.faults["suppressed"]
+        )
+
+    def test_soak_is_deterministic(self):
+        first = soak_one("hash", FAST)
+        second = soak_one("hash", FAST)
+        assert first == second
+
+    def test_seed_changes_the_run(self):
+        base = soak_one("hash", FAST)
+        other = soak_one("hash", dataclasses.replace(FAST, seed=99))
+        assert base.faults != other.faults
+
+    def test_crash_points_fire_mid_protocol(self):
+        report = soak_one("full_replication", FAST)
+        assert report.crashes  # at least one server crashed mid-run
+        for server_id, step, nth in report.crashes:
+            assert isinstance(step, str) and nth >= 1
+
+
+class TestRunAllSchemes:
+    def test_five_rows_all_pass(self):
+        result = run(FAST)
+        assert len(result.rows) == 5
+        assert {row["strategy"] for row in result.rows} == set(SCHEME_PARAMS)
+        assert all(row["verdict"] == "PASS" for row in result.rows)
+        assert result.meta["passed"] is True
+
+    def test_rows_are_reproducible(self):
+        assert run(FAST).rows == run(FAST).rows

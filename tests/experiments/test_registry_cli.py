@@ -19,7 +19,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "fig4", "fig6", "fig7", "fig9",
             "fig12", "fig13", "fig14", "table2", "hotspot",
-            "availability", "diverse", "sensitivity",
+            "availability", "diverse", "sensitivity", "chaos",
         }
 
     def test_get_spec_unknown(self):

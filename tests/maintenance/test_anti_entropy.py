@@ -1,0 +1,204 @@
+"""Unit tests for the periodic anti-entropy sweep."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.faults import CrashPoint, FaultPlan
+from repro.core.entry import Entry, make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.maintenance.anti_entropy import AntiEntropySweep
+from repro.maintenance.verify import verify_placement
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import AddEvent, CallbackEvent, DeleteEvent
+from repro.simulation.replay import TraceReplayer
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.hashing import HashY
+from repro.strategies.registry import available_strategies, create_strategy
+
+PARAMS = {
+    "full_replication": {},
+    "fixed": {"x": 10},
+    "random_server": {"x": 10},
+    "round_robin": {"y": 2},
+    "hash": {"y": 2},
+    "key_partitioning": {},
+}
+
+
+class TestCallbackEvent:
+    def test_engine_self_dispatches_callbacks(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(CallbackEvent(time=5.0, callback=fired.append))
+        engine.run()
+        assert fired == [5.0]
+        assert engine.now == 5.0
+
+    def test_describe(self):
+        event = CallbackEvent(time=1.5, callback=lambda t: None, label="x")
+        assert event.describe() == "call(x)@1.5"
+
+
+class TestSweepScheduling:
+    def test_period_must_be_positive(self):
+        strategy = FullReplication(Cluster(3, seed=1))
+        with pytest.raises(InvalidParameterError):
+            AntiEntropySweep(strategy, period=0)
+
+    def test_periodic_firing_respects_horizon(self):
+        strategy = FullReplication(Cluster(3, seed=1))
+        strategy.place(make_entries(5))
+        engine = SimulationEngine()
+        sweep = AntiEntropySweep(strategy, period=10.0, horizon=35.0)
+        sweep.start(engine)
+        engine.run()
+        # Fires at 10, 20, 30; 40 exceeds the horizon.
+        assert sweep.stats.sweeps == 3
+        assert engine.pending == 0
+
+    def test_stop_cancels_future_sweeps(self):
+        strategy = FullReplication(Cluster(3, seed=2))
+        strategy.place(make_entries(5))
+        engine = SimulationEngine()
+        sweep = AntiEntropySweep(strategy, period=10.0, horizon=100.0)
+        sweep.start(engine)
+        engine.run(until=15.0)
+        assert sweep.stats.sweeps == 1
+        sweep.stop()
+        engine.run()
+        assert sweep.stats.sweeps == 1
+
+    def test_double_start_rejected(self):
+        strategy = FullReplication(Cluster(3, seed=3))
+        engine = SimulationEngine()
+        sweep = AntiEntropySweep(strategy, period=5.0, horizon=50.0)
+        sweep.start(engine)
+        with pytest.raises(InvalidParameterError):
+            sweep.start(engine)
+
+
+class TestSweepBehaviour:
+    def test_clean_placement_costs_nothing(self):
+        strategy = FullReplication(Cluster(4, seed=4))
+        strategy.place(make_entries(8))
+        sweep = AntiEntropySweep(strategy, period=1.0)
+        before = strategy.cluster.network.stats.total
+        assert sweep.sweep_once() == []
+        assert strategy.cluster.network.stats.total == before
+        assert sweep.stats.repairs == 0
+
+    def test_sweep_repairs_damage(self):
+        strategy = FullReplication(Cluster(4, seed=5))
+        strategy.place(make_entries(8))
+        strategy.cluster.fail(2)
+        strategy.add(Entry("late"))  # server 2 misses the add
+        strategy.cluster.recover(2)
+        sweep = AntiEntropySweep(strategy, period=1.0)
+        violations = sweep.sweep_once()
+        assert violations  # damage was seen...
+        assert verify_placement(strategy) == []  # ...and mended
+        assert sweep.stats.repairs == 1
+        assert sweep.stats.repair_messages > 0
+
+    def test_sweep_defers_while_servers_down(self):
+        strategy = FullReplication(Cluster(4, seed=6))
+        strategy.place(make_entries(8))
+        strategy.cluster.fail(2)
+        strategy.add(Entry("late"))
+        sweep = AntiEntropySweep(strategy, period=1.0, restart_failed=False)
+        sweep.sweep_once()
+        assert sweep.stats.deferred == 1
+        assert sweep.stats.repairs == 0
+        assert verify_placement(strategy)  # still broken, by design
+
+    def test_restart_failed_recovers_then_repairs(self):
+        strategy = FullReplication(Cluster(4, seed=7))
+        strategy.place(make_entries(8))
+        strategy.cluster.fail(2)
+        strategy.add(Entry("late"))
+        sweep = AntiEntropySweep(strategy, period=1.0, restart_failed=True)
+        sweep.sweep_once()
+        assert sweep.stats.recoveries == 1
+        assert sweep.stats.repairs == 1
+        assert strategy.cluster.server(2).alive
+        assert verify_placement(strategy) == []
+
+
+class TestConvergenceUnderCrashPlans:
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in available_strategies() if n != "key_partitioning"],
+    )
+    def test_all_schemes_converge_after_crash_point_plan(self, name):
+        """Anti-entropy drives every scheme to zero violations after a
+        fault plan crashes servers mid-protocol during updates."""
+        cluster = Cluster(8, seed=20)
+        strategy = create_strategy(name, cluster, **PARAMS[name])
+        strategy.place(make_entries(30))
+        cluster.network.install_fault_plan(
+            FaultPlan(
+                seed=21,
+                crash_points=(
+                    CrashPoint(1, "StoreMessage", after=3),
+                    CrashPoint(2, "RemoveMessage", after=2),
+                    CrashPoint(4, "StorePositioned", after=2),
+                ),
+            )
+        )
+        replayer = TraceReplayer(strategy)
+        sweep = AntiEntropySweep(
+            strategy, period=15.0, restart_failed=True, horizon=200.0
+        )
+        sweep.start(replayer.engine)
+        events = [
+            AddEvent(float(2 * i + 1), Entry(f"n{i}")) for i in range(40)
+        ] + [DeleteEvent(float(2 * i + 2), Entry(f"v{i + 1}")) for i in range(20)]
+        replayer.replay(sorted(events, key=lambda e: e.time))
+
+        sweep.stop()
+        cluster.network.uninstall_fault_plan()
+        cluster.recover_all()
+        final = sweep.sweep_once()  # one manual mend after quiescence
+        assert verify_placement(strategy) == [], (
+            f"{name} did not converge: {final}"
+        )
+
+    def test_delete_resurrection_when_holder_crashes_mid_delete(self):
+        """A holder that crashes before a delete reaches it keeps a
+        stale copy; the no-tombstone repair then *resurrects* the
+        deleted entry from that copy — the documented honest failure
+        mode of the paper's design, pinned down under a crash-point
+        fault plan."""
+        cluster = Cluster(8, seed=22)
+        strategy = HashY(cluster, y=2)
+        strategy.place(make_entries(20))
+        victim = Entry("v5")
+        holder = strategy.family.assign_distinct(victim)[0]
+        # Find another entry sharing that holder: deleting it first
+        # trips the crash point, so the holder is already down when
+        # the victim's delete goes out.
+        trigger = next(
+            entry
+            for entry in make_entries(20)
+            if entry != victim
+            and holder in strategy.family.assign_distinct(entry)
+        )
+        cluster.network.install_fault_plan(
+            FaultPlan(
+                crash_points=(CrashPoint(holder, "RemoveMessage", after=1),),
+            )
+        )
+        strategy.delete(trigger)  # holder processes it, then crashes
+        assert not cluster.server(holder).alive
+        strategy.delete(victim)  # suppressed at the crashed holder
+        cluster.network.uninstall_fault_plan()
+        cluster.recover_all()
+        # The stale copy is a structural violation (its twin replica
+        # target is missing the entry).
+        assert verify_placement(strategy)
+        sweep = AntiEntropySweep(strategy, period=1.0)
+        sweep.sweep_once()
+        assert verify_placement(strategy) == []
+        # Repair trusted the stale copy: the deleted entry is back on
+        # every one of its targets, fully looked-up-able.
+        assert victim in strategy.lookup_all()
