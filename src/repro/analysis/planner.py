@@ -27,6 +27,7 @@ from repro.analysis.formulas import (
     solve_x_from_budget,
     solve_y_from_budget,
 )
+from repro.core import columns
 from repro.core.exceptions import InvalidParameterError
 
 #: Marker for quantities with no closed form (measure via simulation).
@@ -160,25 +161,30 @@ def cheapest_for_updates(spec: DeploymentSpec) -> str:
 
 
 def plan_rows(spec: DeploymentSpec) -> List[Dict[str, object]]:
-    """The plan as report-renderable rows."""
+    """The plan as report-renderable rows.
+
+    Row keys follow :data:`repro.core.columns.PLAN_COLUMNS` — the same
+    tuple the CLI renders with, so the planner cannot silently drift
+    from its own table.
+    """
     rows = []
     for scheme_plan in plan(spec):
         rows.append(
             {
                 "scheme": scheme_plan.scheme,
-                "params": ",".join(
+                columns.PARAMS: ",".join(
                     f"{k}={v}" for k, v in scheme_plan.parameters.items()
                 ) or "-",
-                "storage": round(scheme_plan.expected_storage, 1),
-                "lookup_cost": scheme_plan.expected_lookup_cost
+                columns.STORAGE: round(scheme_plan.expected_storage, 1),
+                columns.LOOKUP_COST: scheme_plan.expected_lookup_cost
                 if isinstance(scheme_plan.expected_lookup_cost, str)
                 else round(float(scheme_plan.expected_lookup_cost), 2),
-                "coverage": round(scheme_plan.expected_coverage, 1),
-                "fault_tol": scheme_plan.worst_case_fault_tolerance,
-                "update_msgs": scheme_plan.expected_update_messages
+                columns.COVERAGE: round(scheme_plan.expected_coverage, 1),
+                columns.FAULT_TOL: scheme_plan.worst_case_fault_tolerance,
+                columns.UPDATE_MSGS: scheme_plan.expected_update_messages
                 if isinstance(scheme_plan.expected_update_messages, str)
                 else round(float(scheme_plan.expected_update_messages), 2),
-                "notes": scheme_plan.notes,
+                columns.NOTES: scheme_plan.notes,
             }
         )
     return rows

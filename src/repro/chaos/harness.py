@@ -22,10 +22,11 @@ make the paper's cost numbers meaningless under faults.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.client import Client, RetryPolicy
 from repro.cluster.faults import Blackout, CrashPoint, FaultPlan
+from repro.core import columns
 from repro.core.entry import Entry
 from repro.core.exceptions import InvalidParameterError
 from repro.maintenance.anti_entropy import AntiEntropySweep
@@ -34,6 +35,10 @@ from repro.maintenance.verify import verify_placement
 from repro.simulation.events import Event
 from repro.simulation.replay import TraceReplayer
 from repro.strategies.base import PlacementStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
 
 
 def default_fault_plan(
@@ -113,21 +118,22 @@ class ChaosReport:
         return self.successes / self.lookups
 
     def as_row(self) -> Dict[str, object]:
+        """A flat dict keyed by :data:`repro.core.columns.CHAOS_SOAK_COLUMNS`."""
         return {
-            "strategy": self.strategy,
-            "lookups": self.lookups,
-            "success_rate": round(self.success_rate, 4),
-            "degraded": self.degraded,
-            "retries": self.retries,
-            "refused": self.refused_updates,
-            "dropped": self.faults.get("dropped", 0),
-            "duplicated": self.faults.get("duplicated", 0),
-            "crashes": len(self.crashes),
-            "sweeps": self.sweeps,
-            "repair_msgs": self.sweep_repair_messages
+            columns.STRATEGY: self.strategy,
+            columns.LOOKUPS: self.lookups,
+            columns.SUCCESS_RATE: round(self.success_rate, 4),
+            columns.DEGRADED: self.degraded,
+            columns.RETRIES: self.retries,
+            columns.REFUSED: self.refused_updates,
+            columns.DROPPED: self.faults.get("dropped", 0),
+            columns.DUPLICATED: self.faults.get("duplicated", 0),
+            columns.CRASHES: len(self.crashes),
+            columns.SWEEPS: self.sweeps,
+            columns.REPAIR_MSGS: self.sweep_repair_messages
             + self.final_repair_messages,
-            "violations_after": self.violations_after,
-            "verdict": "PASS" if self.passed else "FAIL",
+            columns.VIOLATIONS_AFTER: self.violations_after,
+            columns.VERDICT: "PASS" if self.passed else "FAIL",
         }
 
 
@@ -148,6 +154,18 @@ class ChaosHarness:
         Virtual time between anti-entropy sweeps.
     repair_mode:
         Passed to :func:`~repro.maintenance.repair.repair`.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  When set, the
+        soak emits the full structured trace: a ``"phase"`` event per
+        lifecycle stage, per-lookup spans (via the client), update
+        delivery and server fail/recover events (via the cluster), and
+        ``"repair_sweep"`` spans (via the anti-entropy task), all
+        stamped with the replay engine's virtual clock.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When
+        set, the client publishes per-lookup counters during the run
+        and the harness publishes the closing ``MessageStats`` /
+        ``FaultStats`` / sweep ledgers before returning.
     """
 
     #: Safety valve on the post-quiescence repair loop; naive repair
@@ -162,12 +180,20 @@ class ChaosHarness:
         retry_policy: Optional[RetryPolicy] = RetryPolicy(),
         sweep_period: float = 250.0,
         repair_mode: str = "auto",
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.strategy = strategy
         self.plan = plan
         self.retry_policy = retry_policy
         self.sweep_period = sweep_period
         self.repair_mode = repair_mode
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def _phase(self, phase: str) -> None:
+        if self.tracer is not None:
+            self.tracer.event("phase", phase=phase)
 
     def soak(
         self,
@@ -180,11 +206,28 @@ class ChaosHarness:
         strategy = self.strategy
         cluster = strategy.cluster
         network = cluster.network
+        if self.tracer is not None:
+            cluster.install_tracer(self.tracer)
 
+        self._phase("place")
         strategy.place(initial_entries)
-        if self.retry_policy is not None:
-            strategy.client = Client(cluster, retry_policy=self.retry_policy)
+        if (
+            self.retry_policy is not None
+            or self.tracer is not None
+            or self.metrics is not None
+        ):
+            # The traced/retrying client must be in place for the soak
+            # AND the audit, so its per-lookup spans account for every
+            # LookupRequest the run sends — that is what lets a trace's
+            # span sums reconcile against MessageStats.lookup_messages.
+            strategy.client = Client(
+                cluster,
+                retry_policy=self.retry_policy,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
 
+        self._phase("arm")
         horizon = max((event.time for event in events), default=0.0)
         injector = network.install_fault_plan(self.plan)
         sweep = AntiEntropySweep(
@@ -193,14 +236,19 @@ class ChaosHarness:
             restart_failed=True,
             repair_mode=self.repair_mode,
             horizon=horizon,
+            tracer=self.tracer,
         )
         replayer = TraceReplayer(strategy)
+        if self.tracer is not None:
+            replayer.engine.attach_tracer(self.tracer)
         sweep.start(replayer.engine, first_at=self.sweep_period)
+        self._phase("soak")
         workload_before = network.stats.snapshot()
         trace_stats = replayer.replay(events)
         workload_traffic = network.stats.diff(workload_before)
 
         # Quiescence: faults off, everyone back, placement mended.
+        self._phase("quiesce")
         sweep.stop()
         network.uninstall_fault_plan()
         cluster.recover_all()
@@ -233,6 +281,7 @@ class ChaosHarness:
                 f"fault books do not balance: {injector.stats.as_row()}"
             )
 
+        self._phase("audit")
         audit_failures = 0
         for _ in range(audit_lookups):
             result = strategy.partial_lookup(target)
@@ -247,6 +296,26 @@ class ChaosHarness:
                 f"{audit_failures}/{audit_lookups} audit lookups came up "
                 f"short despite coverage >= {target}"
             )
+
+        if self.metrics is not None:
+            # Scope the ledgers by scheme so several harnesses can
+            # publish into one shared registry (the chaos-soak
+            # experiment soaks five schemes) without the ledger
+            # counters appearing to run backwards between schemes.
+            scheme = type(strategy).name or type(strategy).__name__
+            network.stats.publish(self.metrics, prefix=f"{scheme}.net")
+            injector.stats.publish(self.metrics, prefix=f"{scheme}.faults")
+            self.metrics.counter(f"{scheme}.sweep.sweeps").set_to(
+                sweep.stats.sweeps
+            )
+            self.metrics.counter(f"{scheme}.sweep.recoveries").set_to(
+                sweep.stats.recoveries
+            )
+            self.metrics.counter(f"{scheme}.sweep.repair_messages").set_to(
+                sweep.stats.repair_messages
+            )
+        if self.tracer is not None:
+            cluster.uninstall_tracer()
 
         return ChaosReport(
             strategy=type(strategy).name or type(strategy).__name__,

@@ -9,6 +9,13 @@ implements that skeleton once, including the paper's failure handling:
 a request to a failed server goes unanswered and the client falls back
 to trying other (random) servers.
 
+The one public entry point is :meth:`Client.lookup`: a keyword-only
+API built around the frozen :class:`LookupOptions` dataclass, whose
+``order`` selects between the random walk (``"random"``) and the
+Round-Robin stride walk (:class:`Stride`).  The legacy
+``lookup_random`` / ``lookup_stride`` methods remain as deprecated
+shims over it.
+
 Under a fault plan the transport can also *lose* requests
 (:data:`~repro.cluster.network.DROPPED`), which the paper's protocol
 cannot distinguish from a failed server.  A :class:`RetryPolicy` makes
@@ -19,13 +26,23 @@ budget measured in simulated time, instead of silently under-filling
 the answer.  The result reports the retry count and an explicit
 ``degraded`` flag, so a short answer is always a *labelled* short
 answer.
+
+Observability: pass a :class:`~repro.obs.tracer.Tracer` (per call or
+at construction) and every lookup emits one ``"lookup"`` span with a
+``"contact"`` event per server tried (outcome: delivered / failed /
+dropped) and a ``"retry"`` event per extra pass.  A
+:class:`~repro.obs.metrics.MetricsRegistry` makes the client publish
+per-lookup counters (``client.lookups``, ``client.retries``, ...).
+Both are opt-in and cost nothing when absent — no RNG draws, no
+behaviour change.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.entry import Entry
 from repro.core.exceptions import InvalidParameterError, NoOperationalServerError
@@ -33,6 +50,10 @@ from repro.core.result import LookupResult
 from repro.cluster.cluster import Cluster
 from repro.cluster.messages import LookupRequest
 from repro.cluster.network import DROPPED, is_undelivered
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -61,7 +82,10 @@ class RetryPolicy:
     jitter:
         Each delay is scaled by ``1 + jitter * u`` with ``u`` uniform
         in [0, 1) from the client RNG (the cluster RNG by default), so
-        seeded runs replay identical retry schedules.
+        seeded runs replay identical retry schedules.  Must lie in
+        [0, 1]: a negative jitter would silently *shrink* backoffs
+        below the exponential schedule, and anything above 1 would
+        more than double a delay.
     """
 
     max_attempts: int = 3
@@ -81,7 +105,12 @@ class RetryPolicy:
             raise InvalidParameterError(
                 f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
             )
-        if not 0.0 <= self.jitter <= 1.0:
+        if self.jitter < 0.0:
+            raise InvalidParameterError(
+                f"jitter must not be negative (it would shrink backoffs), "
+                f"got {self.jitter}"
+            )
+        if self.jitter > 1.0:
             raise InvalidParameterError(
                 f"jitter must be in [0, 1], got {self.jitter}"
             )
@@ -92,6 +121,61 @@ class RetryPolicy:
         if self.jitter:
             base *= 1.0 + self.jitter * rng.random()
         return base
+
+
+@dataclass(frozen=True)
+class Stride:
+    """Round-Robin contact order: random start, then ``+y`` steps mod n."""
+
+    y: int
+
+    def __post_init__(self) -> None:
+        if self.y < 1:
+            raise InvalidParameterError(f"stride must be >= 1, got {self.y}")
+
+    def __str__(self) -> str:
+        return f"stride({self.y})"
+
+
+#: The ``order`` vocabulary: uniformly random, or a stride walk.
+Order = Union[str, Stride]
+
+
+@dataclass(frozen=True)
+class LookupOptions:
+    """Frozen per-lookup configuration for :meth:`Client.lookup`.
+
+    Attributes
+    ----------
+    order:
+        ``"random"`` (the default) or a :class:`Stride`.
+    max_servers:
+        Optional cap on operational servers contacted; used by
+        strategies whose placement makes extra contacts useless
+        (Fixed-x and full replication stop after one).
+    per_server_target:
+        How many entries to request from each server; defaults to the
+        lookup target, the paper's per-server answer size.
+    retry:
+        Per-call :class:`RetryPolicy` override; ``None`` inherits the
+        client's policy.  To force the paper's single-pass behaviour
+        on a retrying client, pass ``RetryPolicy(max_attempts=1)``.
+    tracer:
+        Per-call :class:`~repro.obs.tracer.Tracer` override; ``None``
+        inherits the client's tracer (usually none).
+    """
+
+    order: Order = "random"
+    max_servers: Optional[int] = None
+    per_server_target: Optional[int] = None
+    retry: Optional[RetryPolicy] = None
+    tracer: Optional["Tracer"] = None
+
+    def __post_init__(self) -> None:
+        if self.order != "random" and not isinstance(self.order, Stride):
+            raise InvalidParameterError(
+                f"order must be 'random' or a Stride, got {self.order!r}"
+            )
 
 
 class Client:
@@ -107,6 +191,12 @@ class Client:
     retry_policy:
         Optional :class:`RetryPolicy`.  With the default ``None`` the
         client is the paper's single-pass client, bit-for-bit.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; when set, every
+        lookup emits a span (see the module docstring).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        set, the client publishes per-lookup counters into it.
     """
 
     def __init__(
@@ -114,10 +204,14 @@ class Client:
         cluster: Cluster,
         rng: Optional[random.Random] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self._cluster = cluster
         self._rng = rng if rng is not None else cluster.rng
         self.retry_policy = retry_policy
+        self.tracer = tracer
+        self.metrics = metrics
 
     # -- server orderings -----------------------------------------------------
 
@@ -150,7 +244,71 @@ class Client:
         order.extend(leftovers)
         return order
 
+    def _resolve_order(self, order: Order) -> Tuple[List[int], str]:
+        """Materialize an :data:`Order` into server ids plus a trace label.
+
+        The RNG draws are exactly those of the legacy methods —
+        ``"random"`` is one shuffle, a :class:`Stride` is one
+        ``random_server_id`` draw then the stride walk — so seeded
+        runs are unchanged by the unified API.
+        """
+        if isinstance(order, Stride):
+            start = self._cluster.random_server_id()
+            return self.stride_order(start, order.y), str(order)
+        return self.random_order(), "random"
+
     # -- the lookup skeleton -----------------------------------------------------
+
+    def lookup(
+        self,
+        key: str,
+        target: int,
+        *,
+        order: Order = "random",
+        max_servers: Optional[int] = None,
+        per_server_target: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        tracer: Optional["Tracer"] = None,
+        options: Optional[LookupOptions] = None,
+    ) -> LookupResult:
+        """Look up ``target`` distinct entries for ``key``.
+
+        The single lookup entry point: ``order`` selects the contact
+        sequence (``"random"`` or ``Stride(y)``), everything else is
+        keyword-only and inherits the client's defaults.  Pass a
+        pre-built frozen :class:`LookupOptions` as ``options`` to
+        reuse one configuration across calls (the individual keywords
+        must then be left at their defaults).
+        """
+        if options is None:
+            options = LookupOptions(
+                order=order,
+                max_servers=max_servers,
+                per_server_target=per_server_target,
+                retry=retry,
+                tracer=tracer,
+            )
+        elif (
+            order != "random"
+            or max_servers is not None
+            or per_server_target is not None
+            or retry is not None
+            or tracer is not None
+        ):
+            raise InvalidParameterError(
+                "pass either individual lookup keywords or options=, not both"
+            )
+        order_ids, order_label = self._resolve_order(options.order)
+        return self.collect(
+            key,
+            target,
+            order_ids,
+            max_servers=options.max_servers,
+            per_server_target=options.per_server_target,
+            retry=options.retry,
+            tracer=options.tracer,
+            trace_label=order_label,
+        )
 
     def collect(
         self,
@@ -159,6 +317,10 @@ class Client:
         order: Iterable[int],
         max_servers: Optional[int] = None,
         per_server_target: Optional[int] = None,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        tracer: Optional["Tracer"] = None,
+        trace_label: Optional[str] = None,
     ) -> LookupResult:
         """Contact servers in ``order`` until ``target`` entries merge.
 
@@ -181,13 +343,32 @@ class Client:
         per_server_target:
             How many entries to request from each server.  Defaults to
             ``target``, the paper's per-server answer size.
+        retry:
+            Per-call policy override; ``None`` inherits
+            ``self.retry_policy``.
+        tracer:
+            Per-call tracer override; ``None`` inherits
+            ``self.tracer``.
+        trace_label:
+            The ``order`` field on the emitted lookup span (set by
+            :meth:`lookup`; explicit orders trace as ``"explicit"``).
 
-        When a :class:`RetryPolicy` is set and the first pass comes up
-        short with unanswered servers remaining, the client makes
-        further passes over those servers (dropped contacts first)
-        until the target is met, the attempts run out, or the backoff
-        budget is exhausted.
+        When a :class:`RetryPolicy` is in effect and the first pass
+        comes up short with unanswered servers remaining, the client
+        makes further passes over those servers (dropped contacts
+        first) until the target is met, the attempts run out, or the
+        backoff budget is exhausted.
         """
+        if tracer is None:
+            tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin_span(
+                "lookup",
+                key=key,
+                target=target,
+                order=trace_label if trace_label is not None else "explicit",
+            )
         ask = target if per_server_target is None else per_server_target
         merged: List[Entry] = []
         merged_ids: Set[str] = set()
@@ -206,6 +387,15 @@ class Client:
                 )
                 if is_undelivered(reply):
                     (dropped if reply is DROPPED else failed).append(server_id)
+                    if span is not None:
+                        tracer.event(
+                            "contact",
+                            parent=span,
+                            server=server_id,
+                            outcome="dropped" if reply is DROPPED else "failed",
+                            returned=0,
+                            fresh=0,
+                        )
                     continue
                 contacted.append(server_id)
                 fresh = [e for e in reply if e.entry_id not in merged_ids]
@@ -216,6 +406,15 @@ class Client:
                 # answers exactly fair, §4.5).
                 if target > 0 and len(merged) + len(fresh) > target:
                     fresh = self._rng.sample(fresh, target - len(merged))
+                if span is not None:
+                    tracer.event(
+                        "contact",
+                        parent=span,
+                        server=server_id,
+                        outcome="delivered",
+                        returned=len(reply),
+                        fresh=len(fresh),
+                    )
                 merged.extend(fresh)
                 merged_ids.update(e.entry_id for e in fresh)
 
@@ -223,7 +422,7 @@ class Client:
 
         retries = 0
         backoff = 0.0
-        policy = self.retry_policy
+        policy = self.retry_policy if retry is None else retry
         if policy is not None and target > 0:
             while (
                 len(merged) < target
@@ -243,11 +442,20 @@ class Client:
                 retry_failed = list(failed)
                 self._rng.shuffle(retry_failed)
                 retry_order = dropped + retry_failed
+                if span is not None:
+                    tracer.event(
+                        "retry",
+                        parent=span,
+                        attempt=retries,
+                        delay=delay,
+                        backoff=backoff,
+                        pending=len(retry_order),
+                    )
                 dropped = []
                 failed = []
                 run_pass(retry_order)
 
-        return LookupResult(
+        result = LookupResult(
             entries=tuple(merged),
             target=target,
             servers_contacted=tuple(contacted),
@@ -256,6 +464,32 @@ class Client:
             retries=retries,
             backoff=backoff,
         )
+        if span is not None:
+            tracer.end_span(
+                span,
+                entries=len(result.entries),
+                messages=result.messages,
+                retries=result.retries,
+                backoff=result.backoff,
+                success=result.success,
+                degraded=result.degraded,
+            )
+        if self.metrics is not None:
+            self._publish(result)
+        return result
+
+    def _publish(self, result: LookupResult) -> None:
+        """Publish one lookup's outcome into the metrics registry."""
+        metrics = self.metrics
+        metrics.counter("client.lookups").inc()
+        metrics.histogram("client.lookup_cost").observe(result.lookup_cost)
+        if result.retries:
+            metrics.counter("client.retries").inc(result.retries)
+            metrics.histogram("client.backoff").observe(result.backoff)
+        if result.degraded:
+            metrics.counter("client.degraded").inc()
+
+    # -- deprecated shims -----------------------------------------------------
 
     def lookup_random(
         self,
@@ -263,17 +497,21 @@ class Client:
         target: int,
         max_servers: Optional[int] = None,
     ) -> LookupResult:
-        """Random-order lookup (full replication, Fixed, RandomServer, Hash)."""
-        return self.collect(key, target, self.random_order(), max_servers=max_servers)
+        """Deprecated: use ``lookup(key, target, max_servers=...)``."""
+        warnings.warn(
+            "Client.lookup_random is deprecated; use "
+            "Client.lookup(key, target, ...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.lookup(key, target, max_servers=max_servers)
 
     def lookup_stride(self, key: str, target: int, stride: int) -> LookupResult:
-        """Round-Robin-y lookup: random start, then stride-``y`` walk.
-
-        If any server in the deterministic sequence has failed, the
-        paper's client abandons the sequence and falls back to random
-        order over the untried servers; :meth:`collect` realizes that
-        because failed servers are skipped and the stride order ends
-        with a random permutation of any unvisited ids.
-        """
-        start = self._cluster.random_server_id()
-        return self.collect(key, target, self.stride_order(start, stride))
+        """Deprecated: use ``lookup(key, target, order=Stride(y))``."""
+        warnings.warn(
+            "Client.lookup_stride is deprecated; use "
+            "Client.lookup(key, target, order=Stride(y)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.lookup(key, target, order=Stride(stride))

@@ -10,12 +10,15 @@ metrics never reach into server internals.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
 
 from repro.core.entry import Entry
 from repro.core.exceptions import InvalidParameterError, NoOperationalServerError
 from repro.cluster.network import Network
 from repro.cluster.server import Server
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 
 class Cluster:
@@ -146,6 +149,26 @@ class Cluster:
             for entry in server.store(key):
                 counts[entry] = counts.get(entry, 0) + 1
         return counts
+
+    # -- observability -------------------------------------------------------
+
+    def install_tracer(self, tracer: "Tracer") -> None:
+        """Trace transport and lifecycle activity cluster-wide.
+
+        Installs the tracer on the network (update-propagation events)
+        and every server (fail/recover transition events).  Lookup
+        contacts are traced by the :class:`~repro.cluster.client.Client`,
+        which carries its own tracer so lookup events get span linkage.
+        """
+        self.network.install_tracer(tracer)
+        for server in self._servers:
+            server.tracer = tracer
+
+    def uninstall_tracer(self) -> None:
+        """Stop tracing; already-recorded events stay with the tracer."""
+        self.network.uninstall_tracer()
+        for server in self._servers:
+            server.tracer = None
 
     # -- maintenance --------------------------------------------------------------
 

@@ -49,6 +49,7 @@ from repro.cluster.messages import Message, known_message_types
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.cluster.server import Server
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -208,6 +209,18 @@ class FaultStats:
             "suppressed": self.suppressed,
             "crashes": len(self.crashes),
         }
+
+    def publish(
+        self, metrics: "MetricsRegistry", prefix: str = "faults"
+    ) -> None:
+        """Publish the fault ledger into a metrics registry.
+
+        ``Counter.set_to`` ledger semantics, like
+        :meth:`~repro.cluster.network.MessageStats.publish`:
+        idempotent on re-publish, rejects going backwards.
+        """
+        for name, value in self.as_row().items():
+            metrics.counter(f"{prefix}.{name}").set_to(value)
 
 
 class FaultInjector:

@@ -24,6 +24,8 @@ from repro.cluster.server import Server
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.cluster.faults import FaultInjector, FaultPlan
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
 
 
 class _Undelivered:
@@ -149,6 +151,23 @@ class MessageStats:
             == sum(self.per_server.values())
         )
 
+    def publish(self, metrics: "MetricsRegistry", prefix: str = "net") -> None:
+        """Publish the current counters into a metrics registry.
+
+        Uses ``Counter.set_to`` (ledger semantics): re-publishing the
+        same stats is idempotent, and the registry rejects a publish
+        that would move a counter backwards — which catches the
+        classic bug of publishing after a ``reset()``.
+        """
+        metrics.counter(f"{prefix}.messages.total").set_to(self.total)
+        metrics.counter(f"{prefix}.messages.update").set_to(self.update_messages)
+        metrics.counter(f"{prefix}.messages.lookup").set_to(self.lookup_messages)
+        metrics.counter(f"{prefix}.messages.undelivered").set_to(self.undelivered)
+        metrics.counter(f"{prefix}.broadcasts").set_to(self.broadcasts)
+        metrics.counter(f"{prefix}.payload_entries").set_to(self.payload_entries)
+        for type_name, count in self.by_type.items():
+            metrics.counter(f"{prefix}.messages.type.{type_name}").set_to(count)
+
 
 class Network:
     """Synchronous message transport between clients and servers.
@@ -166,6 +185,7 @@ class Network:
         self._message_log: Optional[List[Tuple[int, str]]] = None
         self._faults: Optional["FaultInjector"] = None
         self._delivery_sequence = 0
+        self._tracer: Optional["Tracer"] = None
 
     def enable_message_log(self) -> List[Tuple[int, str]]:
         """Record (destination id, message type) for every delivery.
@@ -228,6 +248,34 @@ class Network:
         """Return to perfect delivery; the injector's stats survive."""
         self._faults = None
 
+    # -- structured tracing -----------------------------------------------------
+
+    def install_tracer(self, tracer: "Tracer") -> None:
+        """Emit an ``"update"`` trace event per update-category delivery.
+
+        Lookup traffic is deliberately *not* traced here — the client
+        traces its own contacts with span linkage; tracing them again
+        at the transport would double-count every lookup message.
+        With no tracer installed (the default) delivery is
+        byte-identical to the untraced implementation.
+        """
+        self._tracer = tracer
+
+    def uninstall_tracer(self) -> None:
+        self._tracer = None
+
+    def _trace_update(self, dest_id: int, message: Message, outcome: str) -> None:
+        """Record one update-propagation delivery attempt (tracer installed)."""
+        if message.category is MessageCategory.LOOKUP:
+            return
+        self._tracer.event(
+            "update",
+            server=dest_id,
+            type=type(message).__name__,
+            outcome=outcome,
+            payload_entries=message.payload_entries,
+        )
+
     def send(self, dest_id: int, key: str, message: Message) -> Any:
         """Deliver ``message`` about ``key`` to one server.
 
@@ -240,10 +288,14 @@ class Network:
         server = self.server(dest_id)
         if not server.alive:
             self.stats.undelivered += 1
+            if self._tracer is not None:
+                self._trace_update(server.server_id, message, "undelivered")
             return UNDELIVERED
         self.stats.record(server.server_id, message)
         if self._message_log is not None:
             self._message_log.append((server.server_id, type(message).__name__))
+        if self._tracer is not None:
+            self._trace_update(server.server_id, message, "delivered")
         return server.receive(key, message, self)
 
     def broadcast(self, key: str, message: Message) -> Dict[int, Any]:
@@ -267,12 +319,16 @@ class Network:
         for server in self._servers:
             if not server.alive:
                 self.stats.undelivered += 1
+                if self._tracer is not None:
+                    self._trace_update(server.server_id, message, "undelivered")
                 continue
             self.stats.record(server.server_id, message)
             if self._message_log is not None:
                 self._message_log.append(
                     (server.server_id, type(message).__name__)
                 )
+            if self._tracer is not None:
+                self._trace_update(server.server_id, message, "delivered")
             replies[server.server_id] = server.receive(key, message, self)
         return replies
 
@@ -292,15 +348,19 @@ class Network:
         if not server.alive:
             self.stats.undelivered += 1
             faults.stats.suppressed += 1
+            if self._tracer is not None:
+                self._trace_update(server.server_id, message, "undelivered")
             return UNDELIVERED
-        if faults.blacked_out(server.server_id, attempt):
-            return DROPPED
-        if faults.drops():
+        if faults.blacked_out(server.server_id, attempt) or faults.drops():
+            if self._tracer is not None:
+                self._trace_update(server.server_id, message, "dropped")
             return DROPPED
         duplicated = faults.duplicates()
         self.stats.record(server.server_id, message)
         if self._message_log is not None:
             self._message_log.append((server.server_id, type(message).__name__))
+        if self._tracer is not None:
+            self._trace_update(server.server_id, message, "delivered")
         self._delivery_sequence += 1
         delivery_id = self._delivery_sequence
         faults.stats.delivered += 1

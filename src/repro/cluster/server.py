@@ -22,6 +22,7 @@ from repro.cluster.messages import Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.cluster.network import Network
+    from repro.obs.tracer import Tracer
 
 
 class EntryStore:
@@ -149,6 +150,11 @@ class Server:
         self._state: Dict[str, Dict[str, Any]] = {}
         self._logics: Dict[str, ServerLogic] = {}
         self._seen_deliveries: "OrderedDict[int, Any]" = OrderedDict()
+        #: Optional structured tracer (see
+        #: :meth:`repro.cluster.cluster.Cluster.install_tracer`); when
+        #: set, lifecycle *transitions* emit ``server.fail`` /
+        #: ``server.recover`` events.
+        self.tracer: Optional["Tracer"] = None
 
     # -- store access ------------------------------------------------------
 
@@ -212,10 +218,16 @@ class Server:
 
     def fail(self) -> None:
         """Mark the server failed; its state is retained for recovery."""
+        if self.tracer is not None and self.alive:
+            # Transition-guarded: re-failing a failed server (e.g. a
+            # sweep's blanket fail_many) emits nothing.
+            self.tracer.event("server.fail", server=self.server_id)
         self.alive = False
 
     def recover(self) -> None:
         """Bring a failed server back with its pre-failure state intact."""
+        if self.tracer is not None and not self.alive:
+            self.tracer.event("server.recover", server=self.server_id)
         self.alive = True
 
     def wipe(self) -> None:

@@ -1,0 +1,145 @@
+"""Canonical column names shared by snapshots, reports, and tables.
+
+Before this module, every producer of tabular rows spelled its own
+column keys and every consumer hand-matched the strings — the metrics
+snapshot said ``"fault_tol"``, prose-facing code said ``"fault
+tolerance"``, the planner said ``"scheme"`` where experiments said
+``"strategy"``.  A renamed key silently produced empty table columns.
+
+This module is the single registry: one :class:`Column` per concept,
+with the canonical row-dict **key**, the human **label** for prose and
+report headings, and the historical **aliases** that map back to the
+canonical key.  Row producers import the ``*_COLUMNS`` tuples (or the
+key constants) instead of retyping strings; consumers resolve any
+spelling through :func:`canonical` and render headings with
+:func:`label`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class Column:
+    """One canonical column: row key, human label, legacy aliases."""
+
+    key: str
+    label: str
+    aliases: Tuple[str, ...] = ()
+
+
+_ALL_COLUMNS: Tuple[Column, ...] = (
+    # -- identity -----------------------------------------------------------
+    Column("strategy", "strategy", ("scheme", "strategy_name")),
+    Column("params", "parameters"),
+    Column("t", "target answer size", ("target", "target_answer_size")),
+    # -- the Section 4 metrics ---------------------------------------------
+    Column("storage", "storage cost", ("storage_cost",)),
+    Column("imbalance", "storage imbalance", ("storage_imbalance",)),
+    Column("lookup_cost", "lookup cost", ("mean_lookup_cost",)),
+    Column("lookup_fail", "lookup failure rate", ("lookup_failure_rate",)),
+    Column("coverage", "coverage"),
+    Column("fault_tol", "fault tolerance", ("fault_tolerance",)),
+    Column("unfairness", "unfairness"),
+    Column("update_msgs", "update messages",
+           ("update_messages", "update_overhead")),
+    Column("notes", "notes"),
+    # -- chaos soak ---------------------------------------------------------
+    Column("lookups", "lookups"),
+    Column("success_rate", "success rate"),
+    Column("degraded", "degraded lookups"),
+    Column("retries", "retry passes"),
+    Column("refused", "refused updates", ("refused_updates",)),
+    Column("dropped", "dropped deliveries"),
+    Column("duplicated", "duplicated deliveries"),
+    Column("crashes", "crash points fired"),
+    Column("sweeps", "anti-entropy sweeps"),
+    Column("repair_msgs", "repair messages", ("repair_messages",)),
+    Column("violations_after", "violations after repair"),
+    Column("verdict", "verdict"),
+)
+
+#: key (or alias) -> Column.
+_BY_NAME: Dict[str, Column] = {}
+for _column in _ALL_COLUMNS:
+    for _name in (_column.key, *_column.aliases):
+        if _name in _BY_NAME:  # pragma: no cover - registry sanity
+            raise InvalidParameterError(f"duplicate column name {_name!r}")
+        _BY_NAME[_name] = _column
+
+
+def canonical(name: str) -> str:
+    """The canonical row-dict key for ``name`` (key or alias)."""
+    column = _BY_NAME.get(name)
+    if column is None:
+        raise InvalidParameterError(
+            f"unknown column {name!r}; known: "
+            f"{', '.join(sorted(c.key for c in _ALL_COLUMNS))}"
+        )
+    return column.key
+
+
+def label(name: str) -> str:
+    """The human-facing label for ``name`` (key or alias)."""
+    column = _BY_NAME.get(name)
+    if column is None:
+        raise InvalidParameterError(f"unknown column {name!r}")
+    return column.label
+
+
+def headers(keys: Iterable[str]) -> List[str]:
+    """Validate ``keys`` against the registry; returns canonical keys."""
+    return [canonical(key) for key in keys]
+
+
+# -- key constants (import these instead of retyping the strings) ----------
+
+STRATEGY = "strategy"
+PARAMS = "params"
+TARGET = "t"
+STORAGE = "storage"
+IMBALANCE = "imbalance"
+LOOKUP_COST = "lookup_cost"
+LOOKUP_FAIL = "lookup_fail"
+COVERAGE = "coverage"
+FAULT_TOL = "fault_tol"
+UNFAIRNESS = "unfairness"
+UPDATE_MSGS = "update_msgs"
+NOTES = "notes"
+LOOKUPS = "lookups"
+SUCCESS_RATE = "success_rate"
+DEGRADED = "degraded"
+RETRIES = "retries"
+REFUSED = "refused"
+DROPPED = "dropped"
+DUPLICATED = "duplicated"
+CRASHES = "crashes"
+SWEEPS = "sweeps"
+REPAIR_MSGS = "repair_msgs"
+VIOLATIONS_AFTER = "violations_after"
+VERDICT = "verdict"
+
+#: :meth:`repro.metrics.collector.MetricsSnapshot.as_row` column order.
+SNAPSHOT_COLUMNS: Tuple[str, ...] = (
+    STRATEGY, TARGET, STORAGE, IMBALANCE, LOOKUP_COST, LOOKUP_FAIL,
+    COVERAGE, FAULT_TOL, UNFAIRNESS,
+)
+
+#: :meth:`repro.chaos.harness.ChaosReport.as_row` / chaos-soak headers.
+CHAOS_SOAK_COLUMNS: Tuple[str, ...] = (
+    STRATEGY, LOOKUPS, SUCCESS_RATE, DEGRADED, RETRIES, REFUSED,
+    DROPPED, DUPLICATED, CRASHES, SWEEPS, REPAIR_MSGS, VIOLATIONS_AFTER,
+    VERDICT,
+)
+
+#: ``python -m repro plan`` table columns (``scheme`` is the historical
+#: spelling of the strategy column in plan rows, kept for output
+#: stability; ``canonical("scheme")`` maps it back to ``strategy``).
+PLAN_COLUMNS: Tuple[str, ...] = (
+    "scheme", PARAMS, STORAGE, LOOKUP_COST, COVERAGE, FAULT_TOL,
+    UPDATE_MSGS, NOTES,
+)

@@ -18,14 +18,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.chaos import ChaosHarness, default_fault_plan
 from repro.cluster.client import RetryPolicy
 from repro.cluster.cluster import Cluster
+from repro.core import columns
 from repro.experiments.runner import ExperimentResult
 from repro.strategies.registry import create_strategy
 from repro.workload.generator import SteadyStateWorkload
 from repro.workload.lookups import LookupWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -61,8 +67,19 @@ SCHEME_PARAMS = {
 }
 
 
-def soak_one(label: str, config: ChaosSoakConfig):
-    """Soak a single scheme; returns its :class:`ChaosReport`."""
+def soak_one(
+    label: str,
+    config: ChaosSoakConfig,
+    tracer: Optional["Tracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+):
+    """Soak a single scheme; returns its :class:`ChaosReport`.
+
+    ``tracer`` / ``metrics`` are handed to the
+    :class:`~repro.chaos.harness.ChaosHarness` unchanged; with both
+    None (the default) the soak is byte-identical to the
+    pre-observability implementation.
+    """
     cluster = Cluster(config.server_count, seed=config.seed)
     strategy = create_strategy(label, cluster, **SCHEME_PARAMS[label])
     workload = SteadyStateWorkload(
@@ -84,6 +101,8 @@ def soak_one(label: str, config: ChaosSoakConfig):
         plan,
         retry_policy=RetryPolicy(max_attempts=config.max_attempts),
         sweep_period=config.sweep_period,
+        tracer=tracer,
+        metrics=metrics,
     )
     return harness.soak(
         trace.initial_entries,
@@ -93,25 +112,15 @@ def soak_one(label: str, config: ChaosSoakConfig):
     )
 
 
-def run(config: ChaosSoakConfig = ChaosSoakConfig()) -> ExperimentResult:
+def run(
+    config: ChaosSoakConfig = ChaosSoakConfig(),
+    tracer: Optional["Tracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+) -> ExperimentResult:
     """Soak all five schemes; one row per scheme."""
     result = ExperimentResult(
         name="Chaos soak: schemes under drop/duplicate/crash faults",
-        headers=[
-            "strategy",
-            "lookups",
-            "success_rate",
-            "degraded",
-            "retries",
-            "refused",
-            "dropped",
-            "duplicated",
-            "crashes",
-            "sweeps",
-            "repair_msgs",
-            "violations_after",
-            "verdict",
-        ],
+        headers=list(columns.CHAOS_SOAK_COLUMNS),
         meta={
             "n": config.server_count,
             "h": config.entry_count,
@@ -124,7 +133,7 @@ def run(config: ChaosSoakConfig = ChaosSoakConfig()) -> ExperimentResult:
     )
     failures = []
     for label in SCHEME_PARAMS:
-        report = soak_one(label, config)
+        report = soak_one(label, config, tracer=tracer, metrics=metrics)
         result.rows.append(report.as_row())
         if not report.passed:
             failures.append((label, report.invariant_failures))

@@ -24,6 +24,7 @@ import sys
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.core import columns
 from repro.core.exceptions import ReproError
 from repro.experiments.plotting import plot_experiment
 from repro.experiments.registry import (
@@ -32,6 +33,7 @@ from repro.experiments.registry import (
     build_config,
     get_spec,
     list_experiments,
+    run_manifest,
 )
 from repro.experiments.report import render_experiment, render_table
 from repro.experiments.runner import ExperimentResult
@@ -96,6 +98,10 @@ def _run_one(
         if plot and spec.plottable:
             print()
             print(plot_experiment(result, log_y=spec.log_y))
+    # Attach the manifest only after rendering: the printed output of
+    # every experiment stays byte-identical to pre-manifest runs while
+    # the JSON artifact gains the provenance record.
+    result.attach_manifest(run_manifest(spec, config))
     if json_path is not None:
         _write_json(result_to_json(result, config), json_path)
         if not quiet:
@@ -151,8 +157,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     )
     rows = plan_rows(spec)
     print(render_table(
-        ["scheme", "params", "storage", "lookup_cost", "coverage",
-         "fault_tol", "update_msgs", "notes"],
+        list(columns.PLAN_COLUMNS),
         rows,
         title=(
             f"Analytic plan: h={spec.entry_count}, n={spec.server_count}, "
@@ -192,8 +197,20 @@ def _cmd_chaos_soak(args: argparse.Namespace) -> int:
     from repro.experiments.chaos_soak import ChaosSoakConfig, run
 
     config = ChaosSoakConfig(seed=args.seed, events=args.events)
-    result = run(config)
+    manifest = run_manifest(get_spec("chaos"), config)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer(run_id=manifest.run_id)
+    result = run(config, tracer=tracer)
     print(render_experiment(result))
+    result.attach_manifest(manifest)
+    if tracer is not None:
+        from repro.obs import write_trace
+
+        path = write_trace(tracer, pathlib.Path(args.trace), manifest=manifest)
+        print(f"[wrote {path}: {len(tracer)} trace records]")
     if args.json:
         _write_json(result_to_json(result, config), pathlib.Path(args.json))
         print(f"[wrote {args.json}]")
@@ -204,6 +221,108 @@ def _cmd_chaos_soak(args: argparse.Namespace) -> int:
         for reason in reasons:
             print(f"CHAOS FAIL [{label}]: {reason}", file=sys.stderr)
     return 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Seeded lookups against one scheme, metrics registry dumped flat."""
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.client import Client, RetryPolicy
+    from repro.cluster.faults import FaultPlan
+    from repro.core.entry import make_entries
+    from repro.obs import MetricsRegistry, format_counters, write_counters
+    from repro.strategies.registry import create_strategy
+
+    params = {
+        name: int(value) for name, value in _parse_overrides(args.param).items()
+    }
+    cluster = Cluster(args.servers, seed=args.seed)
+    strategy = create_strategy(args.strategy, cluster, **params)
+    strategy.place(make_entries(args.entries))
+    metrics = MetricsRegistry()
+    if args.drop_p > 0.0:
+        cluster.network.install_fault_plan(
+            FaultPlan(seed=args.seed, drop_probability=args.drop_p)
+        )
+        strategy.client = Client(
+            cluster, retry_policy=RetryPolicy(), metrics=metrics
+        )
+    else:
+        strategy.client = Client(cluster, metrics=metrics)
+    for _ in range(args.lookups):
+        strategy.partial_lookup(args.target)
+    cluster.network.stats.publish(metrics)
+    injector = cluster.network.fault_injector
+    if injector is not None:
+        injector.stats.publish(metrics)
+    snapshot = metrics.snapshot()
+    print(render_table(
+        ["metric", "value"],
+        metrics.as_rows(),
+        title=(
+            f"{args.strategy} on n={args.servers}, h={args.entries}: "
+            f"{args.lookups} lookups at t={args.target}, seed {args.seed}"
+        ),
+    ))
+    if args.out:
+        path = write_counters(snapshot, pathlib.Path(args.out))
+        print(f"[wrote {path}: {len(snapshot)} counters]")
+    return 0
+
+
+def _cmd_trace_lookup(args: argparse.Namespace) -> int:
+    """A few traced lookups against one scheme; spans printed, JSONL out."""
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.client import Client
+    from repro.core.entry import make_entries
+    from repro.obs import Tracer, write_trace
+    from repro.strategies.registry import create_strategy
+
+    params = {
+        name: int(value) for name, value in _parse_overrides(args.param).items()
+    }
+    cluster = Cluster(args.servers, seed=args.seed)
+    strategy = create_strategy(args.strategy, cluster, **params)
+    strategy.place(make_entries(args.entries))
+    tracer = Tracer(run_id=f"trace-lookup-{args.strategy}-seed{args.seed}")
+    cluster.install_tracer(tracer)
+    for server_id in args.fail:
+        cluster.fail(server_id)
+    strategy.client = Client(cluster, tracer=tracer)
+    for _ in range(args.lookups):
+        strategy.partial_lookup(args.target)
+    cluster.uninstall_tracer()
+    rows = []
+    for span in tracer.spans("lookup"):
+        contacts = [
+            r for r in tracer.children_of(span) if r.name == "contact"
+        ]
+        rows.append(
+            {
+                "span": span.span_id,
+                "order": span.fields.get("order", "?"),
+                "contacts": ",".join(
+                    f"{c.fields['server']}"
+                    + ("" if c.fields["outcome"] == "delivered" else "!")
+                    for c in contacts
+                ),
+                "entries": span.fields.get("entries", 0),
+                "messages": span.fields.get("messages", 0),
+                "success": span.fields.get("success", False),
+            }
+        )
+    print(render_table(
+        ["span", "order", "contacts", "entries", "messages", "success"],
+        rows,
+        title=(
+            f"{args.lookups} traced lookups: {args.strategy} on "
+            f"n={args.servers}, t={args.target}, seed {args.seed} "
+            "(contacts: server id, '!' = no answer)"
+        ),
+    ))
+    if args.out:
+        path = write_trace(tracer, pathlib.Path(args.out))
+        print(f"[wrote {path}: {len(tracer)} trace records]")
+    return 0
 
 
 def _cmd_trace_generate(args: argparse.Namespace) -> int:
@@ -359,7 +478,40 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument(
         "--json", metavar="PATH", help="write rows + config as JSON"
     )
+    chaos_parser.add_argument(
+        "--trace", metavar="PATH",
+        help="record a structured JSONL trace of the soak (lookup "
+        "spans, update deliveries, repair sweeps) to PATH",
+    )
     chaos_parser.set_defaults(handler=_cmd_chaos_soak)
+
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="run a seeded workload against one scheme and dump the "
+        "metrics registry as flat counters",
+    )
+    stats_parser.add_argument(
+        "--strategy", default="round_robin",
+        help="strategy name from the registry",
+    )
+    stats_parser.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="strategy constructor parameter (repeatable), e.g. y=2",
+    )
+    stats_parser.add_argument("--servers", type=int, default=10)
+    stats_parser.add_argument("--entries", type=int, default=40)
+    stats_parser.add_argument("--lookups", type=int, default=100)
+    stats_parser.add_argument("--target", type=int, default=5)
+    stats_parser.add_argument("--seed", type=int, default=0)
+    stats_parser.add_argument(
+        "--drop-p", type=float, default=0.0,
+        help="install a fault plan with this drop probability",
+    )
+    stats_parser.add_argument(
+        "--out", metavar="PATH",
+        help="also write the counters dump ('name value' lines) to PATH",
+    )
+    stats_parser.set_defaults(handler=_cmd_stats)
 
     trace_parser = subparsers.add_parser(
         "trace", help="generate / replay workload trace files"
@@ -398,6 +550,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="track %% of time coverage falls below this target",
     )
     replay_parser.set_defaults(handler=_cmd_trace_replay)
+
+    lookup_parser = trace_sub.add_parser(
+        "lookup",
+        help="run traced lookups against one scheme and print the spans",
+    )
+    lookup_parser.add_argument(
+        "--strategy", default="round_robin",
+        help="strategy name from the registry",
+    )
+    lookup_parser.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="strategy constructor parameter (repeatable), e.g. y=2",
+    )
+    lookup_parser.add_argument("--servers", type=int, default=10)
+    lookup_parser.add_argument("--entries", type=int, default=40)
+    lookup_parser.add_argument("--lookups", type=int, default=5)
+    lookup_parser.add_argument("--target", type=int, default=5)
+    lookup_parser.add_argument("--seed", type=int, default=0)
+    lookup_parser.add_argument(
+        "--fail", action="append", default=[], type=int, metavar="SERVER",
+        help="fail this server before the lookups (repeatable)",
+    )
+    lookup_parser.add_argument(
+        "--out", metavar="PATH", help="also write the JSONL trace to PATH"
+    )
+    lookup_parser.set_defaults(handler=_cmd_trace_lookup)
     return parser
 
 

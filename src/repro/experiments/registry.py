@@ -205,3 +205,15 @@ def build_config(spec: ExperimentSpec, overrides: Dict[str, Any]):
         else:
             coerced[name] = raw
     return spec.config_class(**coerced)
+
+
+def run_manifest(spec: ExperimentSpec, config: Any) -> "RunManifest":
+    """The :class:`~repro.obs.manifest.RunManifest` for one (spec, config).
+
+    One derivation point for the whole CLI: the manifest the ``--json``
+    artifact carries and the manifest a ``--trace`` header embeds come
+    from the same call, so their run ids always agree.
+    """
+    from repro.obs.manifest import RunManifest
+
+    return RunManifest.for_config(spec.experiment_id, config)

@@ -10,11 +10,14 @@ are independent yet the whole experiment replays from one master seed;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Sequence
 
 from repro.analysis.confidence import ConfidenceInterval, mean_confidence_interval
 from repro.core.exceptions import InvalidParameterError
 from repro.simulation.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.manifest import RunManifest
 
 
 @dataclass
@@ -41,6 +44,22 @@ class ExperimentResult:
             if all(row.get(k) == v for k, v in match.items()):
                 return row
         raise KeyError(f"no row matching {match!r}")
+
+    def attach_manifest(self, manifest: "RunManifest") -> "ExperimentResult":
+        """Record the run's identity under ``meta["manifest"]``.
+
+        The CLI attaches the manifest *after* rendering the table, so
+        the printed output of a run is unchanged by manifests while
+        every ``--json`` artifact gains the full provenance record.
+        Returns ``self`` for chaining.
+        """
+        self.meta["manifest"] = manifest.as_dict()
+        return self
+
+    @property
+    def manifest(self) -> Dict[str, Any]:
+        """The attached manifest dict ({} before attachment)."""
+        return self.meta.get("manifest", {})
 
 
 def seeded_runs(master_seed: int, runs: int) -> Iterator[int]:

@@ -27,7 +27,7 @@ guard is what stops the sweep from rescheduling forever there).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.core.exceptions import InvalidParameterError
 from repro.maintenance.repair import RepairReport, repair
@@ -35,6 +35,9 @@ from repro.maintenance.verify import verify_placement
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import CallbackEvent
 from repro.strategies.base import PlacementStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -82,6 +85,10 @@ class AntiEntropySweep:
         loop is an unbounded ``engine.run()`` (e.g. ``TraceReplayer``),
         where a self-rescheduling task would otherwise never let the
         queue drain.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; each
+        :meth:`sweep_once` then emits a ``"repair_sweep"`` span
+        recording what the sweep found and did.
     """
 
     def __init__(
@@ -91,6 +98,7 @@ class AntiEntropySweep:
         restart_failed: bool = False,
         repair_mode: str = "auto",
         horizon: Optional[float] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if period <= 0:
             raise InvalidParameterError(f"period must be positive, got {period}")
@@ -101,6 +109,7 @@ class AntiEntropySweep:
         self._restart_failed = restart_failed
         self._repair_mode = repair_mode
         self._horizon = horizon
+        self._tracer = tracer
         self._engine: Optional[SimulationEngine] = None
         self._stopped = False
         self.stats = SweepStats()
@@ -160,22 +169,43 @@ class AntiEntropySweep:
         """
         cluster = self._strategy.cluster
         self.stats.sweeps += 1
-        if self._restart_failed:
-            for server in cluster.servers:
-                if not server.alive:
-                    server.recover()
-                    self.stats.recoveries += 1
-        violations = verify_placement(self._strategy)
-        if not violations:
+        span = None
+        if self._tracer is not None:
+            span = self._tracer.begin_span(
+                "repair_sweep", sweep=self.stats.sweeps
+            )
+        outcome = {
+            "recoveries": 0,
+            "violations": 0,
+            "deferred": False,
+            "repaired": False,
+            "repair_messages": 0,
+        }
+        try:
+            if self._restart_failed:
+                for server in cluster.servers:
+                    if not server.alive:
+                        server.recover()
+                        self.stats.recoveries += 1
+                        outcome["recoveries"] += 1
+            violations = verify_placement(self._strategy)
+            outcome["violations"] = len(violations)
+            if not violations:
+                return violations
+            self.stats.violations_found += len(violations)
+            if any(not server.alive for server in cluster.servers):
+                # Repairing around down servers re-breaks on recovery;
+                # defer until everyone is back.
+                self.stats.deferred += 1
+                outcome["deferred"] = True
+                return violations
+            report = repair(self._strategy, mode=self._repair_mode)
+            self.stats.repairs += 1
+            self.stats.repair_messages += report.messages
+            self.stats.reports.append(report)
+            outcome["repaired"] = True
+            outcome["repair_messages"] = report.messages
             return violations
-        self.stats.violations_found += len(violations)
-        if any(not server.alive for server in cluster.servers):
-            # Repairing around down servers re-breaks on recovery;
-            # defer until everyone is back.
-            self.stats.deferred += 1
-            return violations
-        report = repair(self._strategy, mode=self._repair_mode)
-        self.stats.repairs += 1
-        self.stats.repair_messages += report.messages
-        self.stats.reports.append(report)
-        return violations
+        finally:
+            if span is not None:
+                self._tracer.end_span(span, **outcome)

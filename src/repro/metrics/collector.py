@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro.core import columns
 from repro.core.entry import Entry
 from repro.metrics.coverage import coverage_size
 from repro.metrics.fault_tolerance import greedy_fault_tolerance
@@ -34,17 +35,23 @@ class MetricsSnapshot:
     unfairness: float
 
     def as_row(self) -> dict:
-        """A flat dict, convenient for the report renderer."""
+        """A flat dict keyed by the canonical column names.
+
+        The keys come from :mod:`repro.core.columns`
+        (``SNAPSHOT_COLUMNS``), the shared registry report headers use
+        too, so a snapshot row always lines up with the table that
+        renders it.
+        """
         return {
-            "strategy": self.strategy_name,
-            "t": self.target,
-            "storage": self.storage_cost,
-            "imbalance": self.storage_imbalance,
-            "lookup_cost": round(self.mean_lookup_cost, 3),
-            "lookup_fail": round(self.lookup_failure_rate, 4),
-            "coverage": self.coverage,
-            "fault_tol": self.fault_tolerance,
-            "unfairness": round(self.unfairness, 4),
+            columns.STRATEGY: self.strategy_name,
+            columns.TARGET: self.target,
+            columns.STORAGE: self.storage_cost,
+            columns.IMBALANCE: self.storage_imbalance,
+            columns.LOOKUP_COST: round(self.mean_lookup_cost, 3),
+            columns.LOOKUP_FAIL: round(self.lookup_failure_rate, 4),
+            columns.COVERAGE: self.coverage,
+            columns.FAULT_TOL: self.fault_tolerance,
+            columns.UNFAIRNESS: round(self.unfairness, 4),
         }
 
 

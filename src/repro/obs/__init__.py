@@ -1,0 +1,58 @@
+"""Observability: structured tracing, metrics export, run manifests.
+
+The paper's evaluation only ever needed aggregate counters; debugging
+a chaos soak (or profiling a hot path) needs to see *individual*
+behaviour — which server answered which lookup, where a retry's
+backoff went, what an anti-entropy sweep actually repaired.  This
+package is that layer:
+
+- :mod:`repro.obs.tracer` — :class:`Tracer` collecting typed
+  span/event records stamped with the engine's virtual clock and a
+  seeded run id;
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of named
+  counters/gauges/histograms with a point-in-time snapshot API;
+- :mod:`repro.obs.exporters` — JSONL trace writer/reader with schema
+  validation, and the flat counters dump;
+- :mod:`repro.obs.manifest` — :class:`RunManifest`, the deterministic
+  run identity attached to experiment results and trace headers.
+
+Everything here is opt-in: with no tracer installed every code path in
+the cluster, engine, and experiments is byte-identical to the
+pre-observability implementation (no RNG draws, no extra counters).
+"""
+
+from repro.obs.manifest import MANIFEST_FORMAT_VERSION, RunManifest
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    RECORD_KEYS,
+    TRACE_FORMAT_VERSION,
+    SpanHandle,
+    TraceRecord,
+    Tracer,
+)
+from repro.obs.exporters import (
+    format_counters,
+    read_trace,
+    validate_trace_records,
+    write_counters,
+    write_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "TraceRecord",
+    "SpanHandle",
+    "TRACE_FORMAT_VERSION",
+    "RECORD_KEYS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "RunManifest",
+    "MANIFEST_FORMAT_VERSION",
+    "write_trace",
+    "read_trace",
+    "validate_trace_records",
+    "write_counters",
+    "format_counters",
+]

@@ -1,0 +1,171 @@
+"""Trace and metrics exporters: JSONL traces and flat counter dumps.
+
+File layout for traces mirrors :mod:`repro.io.traces`: one JSON object
+per line, the first line a header (format version, run id, record
+count, optional embedded :class:`~repro.obs.manifest.RunManifest`),
+each further line one :class:`~repro.obs.tracer.TraceRecord`.  The
+reader re-validates everything it accepts, and
+:func:`validate_trace_lines` is exposed separately so tests and
+downstream tooling can check a trace without re-parsing it by hand.
+
+The counters dump is deliberately boring: ``name value`` lines, sorted
+by name, one scalar per line — trivially diffable between runs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.exceptions import InvalidParameterError
+from repro.obs.manifest import RunManifest
+from repro.obs.tracer import RECORD_KEYS, TRACE_FORMAT_VERSION, Tracer
+
+PathLike = Union[str, pathlib.Path]
+
+
+# --------------------------------------------------------------------------
+# JSONL trace writer / reader
+# --------------------------------------------------------------------------
+
+
+def write_trace(
+    tracer: Tracer,
+    path: PathLike,
+    manifest: Optional[RunManifest] = None,
+) -> pathlib.Path:
+    """Write the tracer's records as JSON lines; returns the path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    header: Dict[str, Any] = {
+        "kind": "header",
+        "format_version": TRACE_FORMAT_VERSION,
+        "run_id": tracer.run_id,
+        "records": len(tracer.records),
+    }
+    if manifest is not None:
+        header["manifest"] = manifest.as_dict()
+    lines = [json.dumps(header)]
+    lines.extend(
+        json.dumps(record.as_dict(), default=str) for record in tracer.records
+    )
+    target.write_text("\n".join(lines) + "\n")
+    return target
+
+
+def read_trace(path: PathLike) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read and validate a trace written by :func:`write_trace`.
+
+    Returns ``(header, records)``; raises
+    :class:`~repro.core.exceptions.InvalidParameterError` on any
+    schema violation, quoting the first problem found.
+    """
+    source = pathlib.Path(path)
+    lines = source.read_text().splitlines()
+    if not lines:
+        raise InvalidParameterError(f"{source} is empty")
+    header = json.loads(lines[0])
+    if header.get("kind") != "header":
+        raise InvalidParameterError(f"{source} first line is not a trace header")
+    version = header.get("format_version")
+    if version != TRACE_FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"{source} has trace format version {version!r}; "
+            f"this reader supports {TRACE_FORMAT_VERSION}"
+        )
+    records = [json.loads(line) for line in lines[1:]]
+    declared = header.get("records")
+    if declared is not None and declared != len(records):
+        raise InvalidParameterError(
+            f"{source} declares {declared} records but contains {len(records)}"
+        )
+    problems = validate_trace_records(records, run_id=header.get("run_id"))
+    if problems:
+        raise InvalidParameterError(
+            f"{source} failed schema validation: {problems[0]} "
+            f"({len(problems)} problem(s) total)"
+        )
+    return header, records
+
+
+def validate_trace_records(
+    records: Sequence[Dict[str, Any]],
+    run_id: Optional[str] = None,
+) -> List[str]:
+    """Schema-check parsed trace records; returns problems (empty = valid).
+
+    Checks, per record: every :data:`~repro.obs.tracer.RECORD_KEYS`
+    key present; ``kind`` is span/event; timestamps are non-negative
+    numbers with ``start <= end`` (equal for events); ``seq`` strictly
+    increasing in file order; ``run_id`` consistent with the header.
+    Across records: every event's ``span_id`` and every span's
+    ``parent_id`` must name a span that exists in the trace.
+    """
+    problems: List[str] = []
+    span_ids = {
+        record.get("span_id")
+        for record in records
+        if record.get("kind") == "span"
+    }
+    last_seq = 0
+    for index, record in enumerate(records):
+        where = f"record {index}"
+        missing = [key for key in RECORD_KEYS if key not in record]
+        if missing:
+            problems.append(f"{where}: missing keys {missing}")
+            continue
+        kind = record["kind"]
+        if kind not in ("span", "event"):
+            problems.append(f"{where}: unknown kind {kind!r}")
+            continue
+        start, end = record["start"], record["end"]
+        if not isinstance(start, (int, float)) or not isinstance(end, (int, float)):
+            problems.append(f"{where}: non-numeric timestamps")
+            continue
+        if start < 0 or end < start:
+            problems.append(f"{where}: bad time range [{start}, {end}]")
+        if kind == "event" and start != end:
+            problems.append(f"{where}: event with extent [{start}, {end}]")
+        seq = record["seq"]
+        if not isinstance(seq, int) or seq <= last_seq:
+            problems.append(f"{where}: seq {seq!r} not strictly increasing")
+        else:
+            last_seq = seq
+        if run_id is not None and record["run_id"] != run_id:
+            problems.append(
+                f"{where}: run_id {record['run_id']!r} != header {run_id!r}"
+            )
+        if not isinstance(record["fields"], dict):
+            problems.append(f"{where}: fields is not an object")
+        if kind == "span":
+            if record["span_id"] is None:
+                problems.append(f"{where}: span without span_id")
+            parent = record["parent_id"]
+            if parent is not None and parent not in span_ids:
+                problems.append(f"{where}: parent_id {parent} names no span")
+        else:
+            parent = record["span_id"]
+            if parent is not None and parent not in span_ids:
+                problems.append(f"{where}: span_id {parent} names no span")
+    return problems
+
+
+# --------------------------------------------------------------------------
+# Flat counters dump
+# --------------------------------------------------------------------------
+
+
+def format_counters(snapshot: Dict[str, float]) -> str:
+    """Render a registry snapshot as sorted ``name value`` lines."""
+    return "\n".join(
+        f"{name} {value:g}" for name, value in sorted(snapshot.items())
+    )
+
+
+def write_counters(snapshot: Dict[str, float], path: PathLike) -> pathlib.Path:
+    """Write a flat counters dump; returns the path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(format_counters(snapshot) + "\n")
+    return target

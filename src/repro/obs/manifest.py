@@ -1,0 +1,72 @@
+"""Run manifests: every result row traceable to its config and seed.
+
+A :class:`RunManifest` is a small, deterministic description of one
+run — experiment id, seed, full config, library version — that the
+CLI attaches to :class:`~repro.experiments.runner.ExperimentResult.meta`
+(under the ``"manifest"`` key) and that the JSONL trace exporter
+embeds in the trace header.  Deliberately contains no wall-clock
+timestamps or host details: two runs of the same config must produce
+byte-identical manifests, because the manifest is part of the
+reproducibility contract, not provenance garnish.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+MANIFEST_FORMAT_VERSION = 1
+
+
+def _coerce_config(config: Any) -> Dict[str, Any]:
+    """Accept a config dataclass or a plain mapping."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return dataclasses.asdict(config)
+    if isinstance(config, Mapping):
+        return dict(config)
+    return {"value": repr(config)}
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Deterministic identity of one experiment run."""
+
+    experiment: str
+    run_id: str
+    seed: Optional[int]
+    config: Dict[str, Any] = field(default_factory=dict)
+    repro_version: str = ""
+    format_version: int = MANIFEST_FORMAT_VERSION
+
+    @classmethod
+    def for_config(cls, experiment: str, config: Any) -> "RunManifest":
+        """Build a manifest from an experiment id and its config.
+
+        The ``run_id`` is derived purely from the experiment id and
+        the config's ``seed`` field (when present), so the same config
+        always yields the same id — which is what lets a trace file,
+        a JSON result, and a report row be matched up after the fact.
+        """
+        from repro import __version__
+
+        fields = _coerce_config(config)
+        seed = fields.get("seed")
+        seed_part = f"-seed{seed}" if seed is not None else ""
+        return cls(
+            experiment=experiment,
+            run_id=f"{experiment}{seed_part}",
+            seed=seed if isinstance(seed, int) else None,
+            config=fields,
+            repro_version=__version__,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "run_id": self.run_id,
+            "seed": self.seed,
+            "config": dict(self.config),
+            "repro_version": self.repro_version,
+            "format_version": self.format_version,
+        }

@@ -1,0 +1,175 @@
+"""A registry of named counters, gauges, and histograms.
+
+The cluster keeps its ledgers in purpose-built dataclasses
+(:class:`~repro.cluster.network.MessageStats`,
+:class:`~repro.cluster.faults.FaultStats`, per-lookup
+:class:`~repro.core.result.LookupResult` fields).  Those stay the
+source of truth — the registry is the *export* surface: producers
+publish their current totals into named instruments
+(``MessageStats.publish``, ``FaultStats.publish``, the retrying
+client's per-lookup counters), and :meth:`MetricsRegistry.snapshot`
+flattens everything into one point-in-time ``{name: value}`` map for
+the flat-counters dump and the ``stats`` CLI.
+
+Instruments are deliberately minimal and allocation-light:
+
+- :class:`Counter` — monotonic count; supports both incremental
+  ``inc`` (live producers like the client) and absolute ``set_to``
+  (ledger publishers, so republishing is idempotent).
+- :class:`Gauge` — last-write-wins level.
+- :class:`Histogram` — streaming count/total/min/max; no buckets, the
+  distributions the experiments need are computed offline from traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.exceptions import InvalidParameterError
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def set_to(self, value: float) -> None:
+        """Publish an absolute total (idempotent republishing)."""
+        if value < self.value:
+            raise InvalidParameterError(
+                f"counter {self.name!r} cannot decrease "
+                f"({self.value:g} -> {value:g})"
+            )
+        self.value = value
+
+
+class Gauge:
+    """A named level; last write wins."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments with a point-in-time snapshot API.
+
+    One name maps to exactly one instrument kind; asking for
+    ``counter("x")`` after ``gauge("x")`` is an error rather than a
+    silent aliasing bug.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise InvalidParameterError(
+                    f"metric {name!r} is already a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_unique(name, "counter")
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_unique(name, "gauge")
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_unique(name, "histogram")
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """A point-in-time flat ``{name: value}`` map, sorted by name.
+
+        Histograms expand into ``<name>.count`` / ``.total`` /
+        ``.mean`` / ``.min`` / ``.max`` entries so the dump stays a
+        flat scalar map.
+        """
+        flat: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            flat[name] = counter.value
+        for name, gauge in self._gauges.items():
+            flat[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            flat[f"{name}.count"] = float(histogram.count)
+            flat[f"{name}.total"] = histogram.total
+            flat[f"{name}.mean"] = histogram.mean
+            if histogram.min is not None:
+                flat[f"{name}.min"] = histogram.min
+                flat[f"{name}.max"] = histogram.max
+        return dict(sorted(flat.items()))
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Snapshot as ``{"metric", "value"}`` rows for render_table."""
+        return [
+            {"metric": name, "value": value}
+            for name, value in self.snapshot().items()
+        ]
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

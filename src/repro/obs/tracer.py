@@ -1,0 +1,287 @@
+"""Structured tracing: typed span/event records on the virtual clock.
+
+The experiments' aggregate counters say *how much* happened; a trace
+says *what* happened, in order, with causality.  A :class:`Tracer`
+collects a flat sequence of :class:`TraceRecord` objects of two kinds:
+
+- **spans** — operations with extent (a lookup from first contact to
+  merged answer, an anti-entropy sweep from verify to repair), opened
+  with :meth:`Tracer.begin_span` and closed with
+  :meth:`Tracer.end_span`, carrying summary fields at close;
+- **events** — instantaneous observations (one server contact, one
+  retry pass, one update-propagation delivery, a server crash),
+  optionally parented to an enclosing span.
+
+Every record is stamped with the tracer's clock — bound to a
+:class:`~repro.simulation.engine.SimulationEngine`'s virtual clock via
+:meth:`bind_clock` (see ``SimulationEngine.attach_tracer``) — and the
+seeded ``run_id``, so a record in a trace file is always traceable to
+the exact configuration that produced it.
+
+Tracing is strictly opt-in and must be zero-cost when disabled: every
+instrumentation site in the codebase guards on ``tracer is not None``
+and draws no randomness, so runs without a tracer are byte-identical
+to runs before tracing existed, and runs *with* a tracer produce the
+same experiment outputs plus a trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+from repro.core.exceptions import InvalidParameterError
+
+#: Bumped whenever the record schema changes incompatibly.
+TRACE_FORMAT_VERSION = 1
+
+#: Keys every serialized record must carry (see exporters.validate_trace).
+RECORD_KEYS = (
+    "kind",
+    "name",
+    "seq",
+    "span_id",
+    "parent_id",
+    "start",
+    "end",
+    "run_id",
+    "fields",
+)
+
+Clock = Callable[[], float]
+
+
+class TraceRecord:
+    """One immutable span or event observation.
+
+    Attributes
+    ----------
+    kind:
+        ``"span"`` or ``"event"``.
+    name:
+        The record type: ``"lookup"``, ``"contact"``, ``"retry"``,
+        ``"update"``, ``"repair_sweep"``, ``"server.fail"``, ...
+    seq:
+        Monotonic per-tracer sequence number (file order).
+    span_id:
+        For spans, the span's own id; for events, the id of the
+        enclosing span (or None for free-standing events).
+    parent_id:
+        For spans, the enclosing span's id (or None).  Events carry
+        their enclosing span in ``span_id`` and leave this None.
+    start, end:
+        Virtual-clock timestamps; equal for events.
+    run_id:
+        The seeded run identifier of the owning tracer.
+    fields:
+        Record-specific payload (server ids, outcomes, totals, ...).
+    """
+
+    __slots__ = ("kind", "name", "seq", "span_id", "parent_id", "start",
+                 "end", "run_id", "fields")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        seq: int,
+        span_id: Optional[int],
+        parent_id: Optional[int],
+        start: float,
+        end: float,
+        run_id: str,
+        fields: Dict[str, Any],
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.seq = seq
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = end
+        self.run_id = run_id
+        self.fields = fields
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable flat dict (the JSONL line payload)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "seq": self.seq,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "run_id": self.run_id,
+            "fields": dict(self.fields),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceRecord({self.kind} {self.name!r} seq={self.seq} "
+            f"[{self.start:g}, {self.end:g}] {self.fields!r})"
+        )
+
+
+class SpanHandle:
+    """An open span: pass it as ``parent`` to nest events inside it."""
+
+    __slots__ = ("span_id", "name", "start", "parent_id", "fields", "closed")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        start: float,
+        parent_id: Optional[int],
+        fields: Dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.start = start
+        self.parent_id = parent_id
+        self.fields = fields
+        self.closed = False
+
+    def note(self, **fields: Any) -> None:
+        """Attach extra fields to the span before it closes."""
+        self.fields.update(fields)
+
+
+Parent = Union[SpanHandle, int, None]
+
+
+def _parent_id(parent: Parent) -> Optional[int]:
+    if parent is None:
+        return None
+    if isinstance(parent, SpanHandle):
+        return parent.span_id
+    return int(parent)
+
+
+class Tracer:
+    """Collects typed span/event records for one run.
+
+    Parameters
+    ----------
+    run_id:
+        Identifier stamped on every record; derive it from the run's
+        seed (e.g. ``"chaos-soak-seed0"``) so traces are reproducible
+        artifacts, not anecdotes.
+    clock:
+        Zero-argument callable returning the current virtual time.
+        Defaults to a constant 0.0; bind the engine's clock with
+        :meth:`bind_clock` (or ``SimulationEngine.attach_tracer``).
+    """
+
+    def __init__(self, run_id: str = "run", clock: Optional[Clock] = None) -> None:
+        if not run_id:
+            raise InvalidParameterError("run_id must be non-empty")
+        self.run_id = run_id
+        self._clock: Clock = clock if clock is not None else (lambda: 0.0)
+        self._seq = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self.records: List[TraceRecord] = []
+
+    # -- clock ---------------------------------------------------------------
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Stamp subsequent records from ``clock`` (the engine's now)."""
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock()
+
+    # -- spans ---------------------------------------------------------------
+
+    def begin_span(self, name: str, parent: Parent = None, **fields: Any) -> SpanHandle:
+        """Open a span at the current clock; close with :meth:`end_span`."""
+        return SpanHandle(
+            span_id=next(self._span_ids),
+            name=name,
+            start=self.now(),
+            parent_id=_parent_id(parent),
+            fields=dict(fields),
+        )
+
+    def end_span(self, handle: SpanHandle, **fields: Any) -> TraceRecord:
+        """Close ``handle``, appending its record with summary ``fields``."""
+        if handle.closed:
+            raise InvalidParameterError(
+                f"span {handle.name!r} (id {handle.span_id}) already closed"
+            )
+        handle.closed = True
+        handle.fields.update(fields)
+        record = TraceRecord(
+            kind="span",
+            name=handle.name,
+            seq=next(self._seq),
+            span_id=handle.span_id,
+            parent_id=handle.parent_id,
+            start=handle.start,
+            end=self.now(),
+            run_id=self.run_id,
+            fields=handle.fields,
+        )
+        self.records.append(record)
+        return record
+
+    @contextmanager
+    def span(self, name: str, parent: Parent = None, **fields: Any) -> Iterator[SpanHandle]:
+        """Context-manager sugar over begin_span/end_span."""
+        handle = self.begin_span(name, parent=parent, **fields)
+        try:
+            yield handle
+        finally:
+            self.end_span(handle)
+
+    # -- events --------------------------------------------------------------
+
+    def event(self, name: str, parent: Parent = None, **fields: Any) -> TraceRecord:
+        """Record an instantaneous observation at the current clock."""
+        now = self.now()
+        record = TraceRecord(
+            kind="event",
+            name=name,
+            seq=next(self._seq),
+            span_id=_parent_id(parent),
+            parent_id=None,
+            start=now,
+            end=now,
+            run_id=self.run_id,
+            fields=dict(fields),
+        )
+        self.records.append(record)
+        return record
+
+    # -- introspection -------------------------------------------------------
+
+    def spans(self, name: Optional[str] = None) -> List[TraceRecord]:
+        """All closed span records, optionally filtered by name."""
+        return [
+            r for r in self.records
+            if r.kind == "span" and (name is None or r.name == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> List[TraceRecord]:
+        """All event records, optionally filtered by name."""
+        return [
+            r for r in self.records
+            if r.kind == "event" and (name is None or r.name == name)
+        ]
+
+    def children_of(self, span: Union[SpanHandle, TraceRecord, int]) -> List[TraceRecord]:
+        """Events inside and spans directly under the given span."""
+        span_id = span if isinstance(span, int) else span.span_id
+        return [
+            r for r in self.records
+            if (r.kind == "event" and r.span_id == span_id)
+            or (r.kind == "span" and r.parent_id == span_id)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tracer(run_id={self.run_id!r}, records={len(self.records)})"

@@ -13,8 +13,13 @@ import heapq
 import itertools
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
 
+from typing import TYPE_CHECKING
+
 from repro.core.exceptions import InvalidParameterError
 from repro.simulation.events import CallbackEvent, Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 Handler = Callable[[Event], None]
 
@@ -51,6 +56,19 @@ class SimulationEngine:
         """Record a describe() line per executed event; returns the log."""
         self._tracing = []
         return self._tracing
+
+    def attach_tracer(self, tracer: "Tracer") -> "Tracer":
+        """Stamp a structured tracer's records with this engine's clock.
+
+        Binds the :class:`~repro.obs.tracer.Tracer` to the virtual
+        clock so every span/event it records carries simulated time,
+        not record order.  The engine itself emits no records — event
+        volume would drown the interesting spans — it only provides
+        the clock; instrumented components (client, network, sweeps)
+        do the emitting.  Returns the tracer for chaining.
+        """
+        tracer.bind_clock(lambda: self._now)
+        return tracer
 
     # -- scheduling ------------------------------------------------------------------
 

@@ -138,4 +138,4 @@ class FixedX(PlacementStrategy):
         # target exceeds x, or deletes ate into the cushion) the
         # result reports failure rather than contacting more servers,
         # which could never help.
-        return self.client.lookup_random(self.key, target, max_servers=1)
+        return self.client.lookup(self.key, target, max_servers=1)

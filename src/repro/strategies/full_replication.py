@@ -94,4 +94,4 @@ class FullReplication(PlacementStrategy):
         # All servers are identical, so one operational server is both
         # necessary and sufficient; contacting more can never add
         # distinct entries.
-        return self.client.lookup_random(self.key, target, max_servers=1)
+        return self.client.lookup(self.key, target, max_servers=1)

@@ -171,4 +171,4 @@ class HashY(PlacementStrategy):
     def partial_lookup(self, target: int) -> LookupResult:
         # Per-server loads are uneven, so the client simply walks
         # servers in random order merging answers until satisfied.
-        return self.client.lookup_random(self.key, target)
+        return self.client.lookup(self.key, target)

@@ -207,4 +207,4 @@ class RandomServerX(PlacementStrategy):
     def partial_lookup(self, target: int) -> LookupResult:
         # Contact servers in random order, merging distinct entries,
         # until the target is met or every server has been asked.
-        return self.client.lookup_random(self.key, target)
+        return self.client.lookup(self.key, target)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Type
 
-from repro.core.exceptions import UnknownStrategyError
+from repro.core.exceptions import InvalidParameterError, UnknownStrategyError
 from repro.cluster.cluster import Cluster
 from repro.strategies.base import PlacementStrategy
 from repro.strategies.fixed import FixedX
@@ -60,6 +60,8 @@ def create_strategy(
     ------
     UnknownStrategyError
         If ``name`` is not registered.
+    InvalidParameterError
+        If ``params`` does not match the strategy's constructor.
     """
     try:
         strategy_class = STRATEGY_REGISTRY[name]
@@ -67,4 +69,9 @@ def create_strategy(
         raise UnknownStrategyError(
             f"unknown strategy {name!r}; available: {', '.join(available_strategies())}"
         ) from None
-    return strategy_class(cluster, key=key, **params)
+    try:
+        return strategy_class(cluster, key=key, **params)
+    except TypeError as error:
+        raise InvalidParameterError(
+            f"bad parameters for strategy {name!r}: {error}"
+        ) from None

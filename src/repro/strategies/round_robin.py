@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.core.entry import Entry
 from repro.core.exceptions import InvalidParameterError, NoOperationalServerError
 from repro.core.result import LookupResult
+from repro.cluster.client import Stride
 from repro.cluster.cluster import Cluster
 from repro.cluster.messages import (
     AddRequest,
@@ -426,4 +427,4 @@ class RoundRobinY(PlacementStrategy):
         # walk: consecutive contacts share no entries, so each new
         # server contributes ~h/n fresh entries.  Failed servers are
         # skipped and replaced by random untried ones.
-        return self.client.lookup_stride(self.key, target, self.y)
+        return self.client.lookup(self.key, target, order=Stride(self.y))

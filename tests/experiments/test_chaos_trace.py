@@ -1,0 +1,130 @@
+"""Chaos soak under tracing: schema validity, reconciliation, no drift."""
+
+import random
+
+import pytest
+
+from repro.chaos import ChaosHarness, default_fault_plan
+from repro.cluster.client import RetryPolicy
+from repro.cluster.cluster import Cluster
+from repro.experiments.chaos_soak import (
+    SCHEME_PARAMS,
+    ChaosSoakConfig,
+    soak_one,
+)
+from repro.obs import MetricsRegistry, Tracer, validate_trace_records, write_trace
+from repro.strategies.registry import create_strategy
+from repro.workload.generator import SteadyStateWorkload
+from repro.workload.lookups import LookupWorkload
+
+CONFIG = ChaosSoakConfig(events=300, lookups=60, audit_lookups=10)
+
+
+def soak_with_observers(label, tracer=None, metrics=None):
+    """One scheme's soak with direct access to the cluster afterwards."""
+    cluster = Cluster(CONFIG.server_count, seed=CONFIG.seed)
+    strategy = create_strategy(label, cluster, **SCHEME_PARAMS[label])
+    workload = SteadyStateWorkload(
+        CONFIG.entry_count, rng=random.Random(CONFIG.seed + 1)
+    )
+    trace = workload.generate(CONFIG.events)
+    horizon = max((event.time for event in trace.events), default=0.0)
+    lookups = LookupWorkload(
+        target=CONFIG.target, rng=random.Random(CONFIG.seed + 2)
+    ).events_uniform(CONFIG.lookups, 0.0, horizon)
+    plan = default_fault_plan(
+        seed=CONFIG.seed + 3,
+        drop_probability=CONFIG.drop_probability,
+        duplicate_probability=CONFIG.duplicate_probability,
+        server_count=CONFIG.server_count,
+    )
+    harness = ChaosHarness(
+        strategy,
+        plan,
+        retry_policy=RetryPolicy(max_attempts=CONFIG.max_attempts),
+        sweep_period=CONFIG.sweep_period,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    report = harness.soak(
+        trace.initial_entries,
+        list(trace.events) + lookups,
+        target=CONFIG.target,
+        audit_lookups=CONFIG.audit_lookups,
+    )
+    return report, cluster
+
+
+def test_traced_soak_produces_schema_valid_trace(tmp_path):
+    tracer = Tracer(run_id="chaos-test")
+    _, _ = soak_with_observers("round_robin", tracer=tracer)
+    records = [r.as_dict() for r in tracer.records]
+    assert validate_trace_records(records, run_id="chaos-test") == []
+    # And the file form round-trips through the validating reader.
+    from repro.obs import read_trace
+
+    path = write_trace(tracer, tmp_path / "soak.jsonl")
+    header, read_back = read_trace(path)
+    assert header["records"] == len(records)
+
+
+def test_lookup_spans_reconcile_with_message_stats():
+    """Acceptance: per-lookup span messages sum to the §6.4 ledger."""
+    for label in SCHEME_PARAMS:
+        tracer = Tracer(run_id=f"reconcile-{label}")
+        _, cluster = soak_with_observers(label, tracer=tracer)
+        span_sum = sum(
+            span.fields["messages"] for span in tracer.spans("lookup")
+        )
+        assert span_sum == cluster.network.stats.lookup_messages, label
+
+
+def test_trace_covers_every_record_family():
+    tracer = Tracer(run_id="families")
+    _, _ = soak_with_observers("round_robin", tracer=tracer)
+    names = {(r.kind, r.name) for r in tracer.records}
+    assert ("span", "lookup") in names
+    assert ("event", "contact") in names
+    assert ("span", "repair_sweep") in names
+    assert ("event", "update") in names
+    assert ("event", "phase") in names
+    phases = [e.fields["phase"] for e in tracer.events("phase")]
+    assert phases == ["place", "arm", "soak", "quiesce", "audit"]
+
+
+def test_lookup_spans_are_stamped_with_virtual_time():
+    tracer = Tracer(run_id="clock")
+    _, _ = soak_with_observers("round_robin", tracer=tracer)
+    spans = tracer.spans("lookup")
+    # Soak-phase lookups run at replay-event times, so timestamps must
+    # spread across the horizon rather than all sitting at zero.
+    assert any(span.start > 0.0 for span in spans)
+    assert all(span.start <= span.end for span in spans)
+
+
+def test_tracing_does_not_change_the_report():
+    """Acceptance: with a tracer attached, rows are identical."""
+    plain, _ = soak_with_observers("hash")
+    traced, _ = soak_with_observers("hash", tracer=Tracer(run_id="x"))
+    assert traced.as_row() == plain.as_row()
+    assert traced == plain
+
+
+def test_metrics_registry_collects_client_and_ledger_counters():
+    metrics = MetricsRegistry()
+    report, _ = soak_with_observers("round_robin", metrics=metrics)
+    snapshot = metrics.snapshot()
+    assert snapshot["client.lookups"] == report.lookups + CONFIG.audit_lookups
+    assert snapshot["round_robin.net.messages.total"] > 0
+    assert snapshot["round_robin.faults.attempted"] > 0
+    assert snapshot["round_robin.sweep.sweeps"] == report.sweeps
+
+
+def test_experiment_run_with_tracer_matches_untraced_rows():
+    from repro.experiments import chaos_soak
+
+    config = ChaosSoakConfig(events=200, lookups=40, audit_lookups=5)
+    plain = chaos_soak.run(config)
+    traced = chaos_soak.run(config, tracer=Tracer(run_id="full"))
+    assert traced.rows == plain.rows
+    assert traced.headers == plain.headers

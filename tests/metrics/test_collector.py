@@ -1,6 +1,8 @@
 """Unit tests for the MetricsCollector."""
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FaultPlan
+from repro.core import columns
 from repro.core.entry import make_entries
 from repro.metrics.collector import MetricsCollector, MetricsSnapshot
 from repro.strategies.round_robin import RoundRobinY
@@ -40,3 +42,40 @@ class TestCollector:
             "fault_tol",
             "unfairness",
         }
+        # The keys are exactly the shared canonical column registry.
+        assert tuple(row) == columns.SNAPSHOT_COLUMNS
+
+    def test_collect_with_failed_servers(self):
+        """The Section 4 metrics degrade coherently when servers fail."""
+        strategy = RoundRobinY(Cluster(10, seed=3), y=2)
+        entries = make_entries(100)
+        strategy.place(entries)
+        collector = MetricsCollector(lookup_samples=100, unfairness_samples=200)
+        healthy = collector.collect(strategy, target=20, universe=entries)
+        strategy.cluster.fail(0)
+        strategy.cluster.fail(1)
+        degraded = collector.collect(strategy, target=20, universe=entries)
+        # Storage is a provisioning cost: failed servers still count.
+        assert degraded.storage_cost == healthy.storage_cost == 200
+        # y=2 keeps two replicas of everything, so two failures can at
+        # most dent coverage, never beyond the replica bound.
+        assert degraded.coverage <= healthy.coverage == 100
+        # Fault tolerance shrinks by at least the servers already down.
+        assert degraded.fault_tolerance <= healthy.fault_tolerance - 2 + 1
+        assert degraded.lookup_failure_rate >= healthy.lookup_failure_rate
+
+    def test_collect_health_reports_failures_and_fault_ledger(self):
+        strategy = RoundRobinY(Cluster(5, seed=4), y=1)
+        entries = make_entries(20)
+        strategy.place(entries)
+        health = MetricsCollector().collect_health(strategy)
+        assert health["strategy"] == "round_robin"
+        assert health["violations"] == 0
+        assert health["failed_servers"] == 0
+        assert "attempted" not in health  # no fault plan installed
+
+        strategy.cluster.fail(2)
+        strategy.cluster.network.install_fault_plan(FaultPlan(seed=0))
+        health = MetricsCollector().collect_health(strategy)
+        assert health["failed_servers"] == 1
+        assert health["attempted"] == 0  # ledger present once installed

@@ -1,0 +1,131 @@
+"""Exporters: JSONL trace round-trip, schema validation, counter dumps."""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.obs import (
+    RunManifest,
+    Tracer,
+    format_counters,
+    read_trace,
+    validate_trace_records,
+    write_counters,
+    write_trace,
+)
+
+
+def make_tracer():
+    tracer = Tracer(run_id="unit")
+    now = [0.0]
+    tracer.bind_clock(lambda: now[0])
+    span = tracer.begin_span("lookup", key="k", target=3)
+    tracer.event("contact", parent=span, server=1, outcome="delivered")
+    now[0] = 2.0
+    tracer.end_span(span, entries=3, messages=1)
+    tracer.event("update", server=4, outcome="delivered")
+    return tracer
+
+
+def test_write_read_round_trip(tmp_path):
+    tracer = make_tracer()
+    path = write_trace(tracer, tmp_path / "trace.jsonl")
+    header, records = read_trace(path)
+    assert header["run_id"] == "unit"
+    assert header["records"] == len(records) == len(tracer)
+    # Record payloads survive byte-exact through JSON.
+    assert records == [r.as_dict() for r in tracer.records]
+
+
+def test_trace_preserves_clock_and_run_id(tmp_path):
+    tracer = make_tracer()
+    _, records = read_trace(write_trace(tracer, tmp_path / "t.jsonl"))
+    span = next(r for r in records if r["kind"] == "span")
+    assert (span["start"], span["end"]) == (0.0, 2.0)
+    assert all(r["run_id"] == "unit" for r in records)
+
+
+def test_header_embeds_manifest(tmp_path):
+    manifest = RunManifest.for_config(
+        "chaos", {"seed": 3, "events": 100}
+    )
+    path = write_trace(make_tracer(), tmp_path / "t.jsonl", manifest=manifest)
+    header, _ = read_trace(path)
+    assert header["manifest"]["run_id"] == "chaos-seed3"
+    assert header["manifest"]["config"]["events"] == 100
+
+
+def test_validate_flags_schema_violations():
+    tracer = make_tracer()
+    good = [r.as_dict() for r in tracer.records]
+    assert validate_trace_records(good, run_id="unit") == []
+
+    missing = [dict(good[0])]
+    del missing[0]["seq"]
+    assert any("missing" in p for p in validate_trace_records(missing))
+
+    bad_kind = [dict(good[0], kind="blob")]
+    assert any("kind" in p for p in validate_trace_records(bad_kind))
+
+    stretched_event = [dict(r) for r in good]
+    event = next(r for r in stretched_event if r["kind"] == "event")
+    event["end"] = event["start"] + 1.0
+    assert any(
+        "extent" in p for p in validate_trace_records(stretched_event)
+    )
+
+    out_of_order = [dict(good[1]), dict(good[0])]
+    assert any(
+        "increasing" in p
+        for p in validate_trace_records(out_of_order)
+    )
+
+    wrong_run = [dict(good[0], run_id="other")]
+    assert any(
+        "run_id" in p for p in validate_trace_records(wrong_run, run_id="unit")
+    )
+
+    orphan_event = [dict(good[0], span_id=999)]
+    assert any(
+        "names no span" in p for p in validate_trace_records(orphan_event)
+    )
+
+
+def test_read_rejects_tampered_files(tmp_path):
+    tracer = make_tracer()
+    path = write_trace(tracer, tmp_path / "t.jsonl")
+
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["format_version"] = 99
+    (tmp_path / "bad_version.jsonl").write_text(
+        "\n".join([json.dumps(header)] + lines[1:]) + "\n"
+    )
+    with pytest.raises(InvalidParameterError):
+        read_trace(tmp_path / "bad_version.jsonl")
+
+    (tmp_path / "truncated.jsonl").write_text("\n".join(lines[:-1]) + "\n")
+    with pytest.raises(InvalidParameterError):
+        read_trace(tmp_path / "truncated.jsonl")
+
+    (tmp_path / "no_header.jsonl").write_text(lines[1] + "\n")
+    with pytest.raises(InvalidParameterError):
+        read_trace(tmp_path / "no_header.jsonl")
+
+
+def test_counters_dump_is_sorted_and_diffable(tmp_path):
+    snapshot = {"b.count": 2.0, "a.total": 1.5, "c": 3.0}
+    text = format_counters(snapshot)
+    assert text.splitlines() == ["a.total 1.5", "b.count 2", "c 3"]
+    path = write_counters(snapshot, tmp_path / "counters.txt")
+    assert path.read_text() == text + "\n"
+
+
+def test_manifest_is_deterministic():
+    config = {"seed": 5, "events": 10}
+    first = RunManifest.for_config("chaos", config)
+    second = RunManifest.for_config("chaos", config)
+    assert first == second
+    assert first.run_id == "chaos-seed5"
+    assert first.as_dict() == second.as_dict()

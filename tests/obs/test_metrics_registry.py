@@ -1,0 +1,113 @@
+"""MetricsRegistry: instruments, publishing semantics, snapshots."""
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.obs import MetricsRegistry
+
+
+def test_counter_accumulates_and_rejects_negative_inc():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(2.0)
+    assert counter.value == 3.0
+    with pytest.raises(InvalidParameterError):
+        counter.inc(-1.0)
+
+
+def test_counter_set_to_is_idempotent_but_monotonic():
+    registry = MetricsRegistry()
+    counter = registry.counter("ledger")
+    counter.set_to(10)
+    counter.set_to(10)  # republishing the same total is fine
+    counter.set_to(12)
+    assert counter.value == 12
+    with pytest.raises(InvalidParameterError):
+        counter.set_to(5)  # a ledger running backwards is a bug
+
+
+def test_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+    assert len(registry) == 3
+
+
+def test_cross_kind_name_collision_is_an_error():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(InvalidParameterError):
+        registry.gauge("x")
+    with pytest.raises(InvalidParameterError):
+        registry.histogram("x")
+
+
+def test_histogram_summary_statistics():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("cost")
+    for value in (1.0, 3.0, 2.0):
+        histogram.observe(value)
+    assert histogram.count == 3
+    assert histogram.total == 6.0
+    assert histogram.mean == 2.0
+    assert (histogram.min, histogram.max) == (1.0, 3.0)
+
+
+def test_snapshot_flattens_and_sorts():
+    registry = MetricsRegistry()
+    registry.counter("b").inc(2)
+    registry.gauge("a").set(1.5)
+    registry.histogram("h").observe(4.0)
+    snapshot = registry.snapshot()
+    assert list(snapshot) == sorted(snapshot)
+    assert snapshot["a"] == 1.5
+    assert snapshot["b"] == 2.0
+    assert snapshot["h.count"] == 1.0
+    assert snapshot["h.mean"] == 4.0
+    assert snapshot["h.min"] == 4.0 and snapshot["h.max"] == 4.0
+
+
+def test_empty_histogram_omits_min_max_from_snapshot():
+    registry = MetricsRegistry()
+    registry.histogram("empty")
+    snapshot = registry.snapshot()
+    assert snapshot["empty.count"] == 0.0
+    assert "empty.min" not in snapshot and "empty.max" not in snapshot
+
+
+def test_message_stats_publish_round_trip():
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.messages import LookupRequest
+    from repro.core.entry import make_entries
+    from repro.strategies.registry import create_strategy
+
+    cluster = Cluster(5, seed=0)
+    strategy = create_strategy("random_server", cluster, x=5)
+    strategy.place(make_entries(10))
+    cluster.network.send(0, strategy.key, LookupRequest(3))
+    registry = MetricsRegistry()
+    cluster.network.stats.publish(registry)
+    snapshot = registry.snapshot()
+    assert snapshot["net.messages.total"] == cluster.network.stats.total
+    assert snapshot["net.messages.lookup"] == 1.0
+    assert (
+        snapshot["net.messages.update"]
+        == cluster.network.stats.update_messages
+    )
+    # Republishing the same ledger is a no-op, not an error.
+    cluster.network.stats.publish(registry)
+    assert registry.snapshot() == snapshot
+
+
+def test_fault_stats_publish_uses_ledger_keys():
+    from repro.cluster.faults import FaultStats
+
+    stats = FaultStats(attempted=5, delivered=3, dropped=2)
+    registry = MetricsRegistry()
+    stats.publish(registry)
+    snapshot = registry.snapshot()
+    assert snapshot["faults.attempted"] == 5
+    assert snapshot["faults.dropped"] == 2
+    assert snapshot["faults.crashes"] == 0

@@ -1,0 +1,109 @@
+"""Tracer: span/event records, clock stamping, linkage, introspection."""
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.obs import Tracer
+
+
+def test_event_records_are_instantaneous_and_ordered():
+    tracer = Tracer(run_id="t")
+    tracer.event("a", x=1)
+    tracer.event("b", x=2)
+    assert len(tracer) == 2
+    first, second = tracer.records
+    assert first.kind == "event" and first.name == "a"
+    assert first.start == first.end
+    assert first.seq < second.seq
+    assert first.fields == {"x": 1}
+
+
+def test_span_opens_and_closes_with_merged_fields():
+    tracer = Tracer(run_id="t")
+    span = tracer.begin_span("lookup", key="k", target=5)
+    tracer.event("contact", parent=span, server=3)
+    record = tracer.end_span(span, entries=5, success=True)
+    assert record.kind == "span"
+    assert record.span_id == span.span_id
+    assert record.fields == {
+        "key": "k", "target": 5, "entries": 5, "success": True,
+    }
+    # The contact event carries the enclosing span in span_id.
+    (contact,) = tracer.events("contact")
+    assert contact.span_id == span.span_id
+
+
+def test_double_close_raises():
+    tracer = Tracer(run_id="t")
+    span = tracer.begin_span("s")
+    tracer.end_span(span)
+    with pytest.raises(InvalidParameterError):
+        tracer.end_span(span)
+
+
+def test_span_context_manager_closes_on_exit():
+    tracer = Tracer(run_id="t")
+    with tracer.span("outer") as outer:
+        with tracer.span("inner", parent=outer):
+            pass
+    inner, outer_record = tracer.spans()
+    assert inner.name == "inner" and inner.parent_id == outer_record.span_id
+    assert outer_record.parent_id is None
+
+
+def test_clock_binding_stamps_subsequent_records():
+    tracer = Tracer(run_id="t")
+    tracer.event("before")
+    now = [0.0]
+    tracer.bind_clock(lambda: now[0])
+    span = tracer.begin_span("work")
+    now[0] = 7.5
+    tracer.event("mid", parent=span)
+    record = tracer.end_span(span)
+    assert tracer.records[0].start == 0.0
+    assert tracer.events("mid")[0].start == 7.5
+    assert (record.start, record.end) == (0.0, 7.5)
+
+
+def test_engine_attach_tracer_uses_virtual_time():
+    from repro.simulation.engine import SimulationEngine
+    from repro.simulation.events import CallbackEvent
+
+    engine = SimulationEngine()
+    tracer = engine.attach_tracer(Tracer(run_id="sim"))
+    engine.schedule(
+        CallbackEvent(time=12.0, callback=lambda now: tracer.event("tick"))
+    )
+    engine.run()
+    (tick,) = tracer.events("tick")
+    assert tick.start == 12.0
+
+
+def test_children_of_returns_nested_events_and_spans():
+    tracer = Tracer(run_id="t")
+    parent = tracer.begin_span("parent")
+    tracer.event("leaf", parent=parent)
+    child = tracer.begin_span("child", parent=parent)
+    tracer.end_span(child)
+    tracer.end_span(parent)
+    names = {r.name for r in tracer.children_of(parent)}
+    assert names == {"leaf", "child"}
+
+
+def test_run_id_is_required_and_stamped():
+    with pytest.raises(InvalidParameterError):
+        Tracer(run_id="")
+    tracer = Tracer(run_id="seed7")
+    tracer.event("x")
+    assert tracer.records[0].run_id == "seed7"
+
+
+def test_as_dict_round_trips_all_record_keys():
+    from repro.obs import RECORD_KEYS
+
+    tracer = Tracer(run_id="t")
+    with tracer.span("s"):
+        tracer.event("e")
+    for record in tracer.records:
+        payload = record.as_dict()
+        assert tuple(payload) == RECORD_KEYS

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.cluster import Cluster
-from repro.core.exceptions import UnknownStrategyError
+from repro.core.exceptions import InvalidParameterError, UnknownStrategyError
 from repro.strategies.registry import (
     STRATEGY_REGISTRY,
     available_strategies,
@@ -38,6 +38,6 @@ class TestRegistry:
         with pytest.raises(UnknownStrategyError, match="available"):
             create_strategy("bogus", Cluster(4, seed=1))
 
-    def test_bad_params_propagate(self):
-        with pytest.raises(TypeError):
+    def test_bad_params_rejected(self):
+        with pytest.raises(InvalidParameterError, match="full_replication"):
             create_strategy("full_replication", Cluster(4, seed=1), x=5)
