@@ -5,10 +5,84 @@ prints the rows (run with ``-s`` to see them, or check EXPERIMENTS.md
 for a recorded copy).  Statistical budgets are set so the whole suite
 completes in a few minutes; pass the paper's run counts through the
 experiment configs for full-fidelity numbers.
+
+Opt-in trajectory export: ``--bench-json PATH`` writes per-benchmark
+wall-clock times (plus any metrics tests record via the
+``bench_json_record`` fixture) to a JSON artifact, so CI can keep a
+``BENCH_results.json`` baseline for future PRs to compare against.
 """
 
+import json
 import os
+import platform
 import sys
+
+import pytest
 
 # Make _bench_utils importable regardless of how pytest inserts paths.
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="write per-benchmark wall-clock results to PATH as JSON",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--bench-json"):
+        config._bench_json_store = {"benchmarks": [], "metrics": {}}
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    # ``call.duration`` is the benchmark's wall clock: pytest-benchmark
+    # runs its calibrated rounds inside the test body.
+    outcome = yield
+    store = getattr(item.config, "_bench_json_store", None)
+    if store is not None and call.when == "call":
+        report = outcome.get_result()
+        store["benchmarks"].append(
+            {
+                "test": report.nodeid,
+                "outcome": report.outcome,
+                "wall_clock_seconds": round(report.duration, 6),
+            }
+        )
+
+
+@pytest.fixture
+def bench_json_record(request):
+    """Record a named metric into the ``--bench-json`` artifact.
+
+    No-op when the option is off, so tests can call it unconditionally:
+
+        bench_json_record("fig4_parallel_speedup", 3.1)
+    """
+    store = getattr(request.config, "_bench_json_store", None)
+
+    def record(name, value):
+        if store is not None:
+            store["metrics"][name] = value
+
+    return record
+
+
+def pytest_sessionfinish(session):
+    store = getattr(session.config, "_bench_json_store", None)
+    if store is None:
+        return
+    path = session.config.getoption("--bench-json")
+    artifact = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "benchmarks": store["benchmarks"],
+        "metrics": store["metrics"],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")

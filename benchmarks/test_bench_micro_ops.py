@@ -58,6 +58,18 @@ def test_bench_micro_place(benchmark):
     assert strategy.storage_cost() == 200
 
 
+def test_bench_micro_retrieval_probabilities(benchmark):
+    from repro.metrics.unfairness import retrieval_probabilities
+
+    strategy = _placed("random_server")
+    universe = make_entries(100)
+    probabilities = benchmark(
+        lambda: retrieval_probabilities(strategy, 15, universe, lookups=200)
+    )
+    assert len(probabilities) == 100
+    assert all(0.0 <= p <= 1.0 for p in probabilities.values())
+
+
 def test_bench_micro_fault_tolerance_heuristic(benchmark):
     from repro.metrics.fault_tolerance import greedy_fault_tolerance
 

@@ -1,0 +1,46 @@
+"""Parallel engine speedup: one paper-scale fig4 point, jobs=1 vs jobs=4.
+
+Times a single Figure 4 data point at the paper's per-run lookup scale
+through the serial and process-pool executors, records both wall
+clocks (and the speedup) into the ``--bench-json`` artifact, and
+checks that the rows are bit-identical.  The >= 2.5x speedup gate only
+applies on machines with enough cores (CI's 4-core runners); on
+smaller boxes the numbers are still recorded for the trajectory.
+"""
+
+import os
+import time
+
+from repro.experiments import fig4_lookup_cost
+from repro.experiments.profiles import PROFILES
+
+JOBS = 4
+
+
+def test_bench_parallel_speedup_fig4_point(bench_json_record):
+    config = fig4_lookup_cost.Fig4Config(
+        targets=(35,),
+        runs=8,
+        lookups_per_run=PROFILES["paper"]["lookups_per_run"],
+    )
+    start = time.perf_counter()
+    serial = fig4_lookup_cost.run(config, jobs=1)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = fig4_lookup_cost.run(config, jobs=JOBS)
+    parallel_seconds = time.perf_counter() - start
+
+    assert parallel.rows == serial.rows
+
+    speedup = serial_seconds / parallel_seconds
+    bench_json_record("fig4_paper_point_serial_seconds", round(serial_seconds, 3))
+    bench_json_record(
+        f"fig4_paper_point_jobs{JOBS}_seconds", round(parallel_seconds, 3)
+    )
+    bench_json_record(f"fig4_paper_point_speedup_jobs{JOBS}", round(speedup, 2))
+    print(
+        f"\nfig4 paper-scale point: serial {serial_seconds:.2f}s, "
+        f"jobs={JOBS} {parallel_seconds:.2f}s, speedup {speedup:.2f}x"
+    )
+    if (os.cpu_count() or 1) >= JOBS:
+        assert speedup >= 2.5

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from functools import partial
+from typing import Dict, Optional, Tuple
 
 from repro.baselines.key_partitioning import KeyPartitioning
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs_multi
 from repro.simulation.replay import TraceReplayer
 from repro.strategies.fixed import FixedX
@@ -117,7 +119,9 @@ def measure_point(
     return samples
 
 
-def run(config: AvailabilityConfig = AvailabilityConfig()) -> ExperimentResult:
+def run(
+    config: AvailabilityConfig = AvailabilityConfig(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Lookup failure rate vs per-server availability, per scheme."""
     labels = list(SCHEME_LABELS)
     result = ExperimentResult(
@@ -131,14 +135,16 @@ def run(config: AvailabilityConfig = AvailabilityConfig()) -> ExperimentResult:
             "runs": config.runs,
         },
     )
-    for availability in config.availabilities:
-        averaged = average_runs_multi(
-            lambda seed: measure_point(config, availability, seed),
-            master_seed=config.seed + int(availability * 1000),
-            runs=config.runs,
-        )
-        row: Dict[str, object] = {"availability": availability}
-        for label in labels:
-            row[label] = round(averaged[label].mean, 4)
-        result.rows.append(row)
+    with make_executor(jobs) as executor:
+        for availability in config.availabilities:
+            averaged = average_runs_multi(
+                partial(measure_point, config, availability),
+                master_seed=config.seed + int(availability * 1000),
+                runs=config.runs,
+                executor=executor,
+            )
+            row: Dict[str, object] = {"availability": availability}
+            for label in labels:
+                row[label] = round(averaged[label].mean, 4)
+            result.rows.append(row)
     return result

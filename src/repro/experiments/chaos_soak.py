@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from functools import partial
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.chaos import ChaosHarness, default_fault_plan
 from repro.cluster.client import RetryPolicy
 from repro.cluster.cluster import Cluster
 from repro.core import columns
+from repro.experiments.parallel import make_executor, resolve_jobs
 from repro.experiments.runner import ExperimentResult
 from repro.strategies.registry import create_strategy
 from repro.workload.generator import SteadyStateWorkload
@@ -112,12 +114,38 @@ def soak_one(
     )
 
 
+def _soak_worker(
+    config: ChaosSoakConfig, collect_metrics: bool, label: str
+) -> Tuple[Any, Optional[Dict[str, Dict[str, Any]]]]:
+    """One scheme's soak on a worker process.
+
+    Tracers cannot cross the process boundary, so parallel soaks run
+    untraced; metrics go into a fresh per-worker registry whose state
+    is shipped back for the parent to merge (the harness namespaces
+    its counters per scheme, so merges never collide).
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry() if collect_metrics else None
+    report = soak_one(label, config, metrics=registry)
+    state = registry.dump_state() if registry is not None else None
+    return report, state
+
+
 def run(
     config: ChaosSoakConfig = ChaosSoakConfig(),
     tracer: Optional["Tracer"] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    *,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
-    """Soak all five schemes; one row per scheme."""
+    """Soak all five schemes; one row per scheme.
+
+    With ``jobs > 1`` the five scheme soaks fan out over worker
+    processes (each soak is a pure function of the config, so rows are
+    bit-identical to the serial path).  A ``tracer`` forces the serial
+    path: trace records must interleave in one virtual clock.
+    """
     result = ExperimentResult(
         name="Chaos soak: schemes under drop/duplicate/crash faults",
         headers=list(columns.CHAOS_SOAK_COLUMNS),
@@ -131,9 +159,24 @@ def run(
             "seed": config.seed,
         },
     )
+    labels = list(SCHEME_PARAMS)
+    if resolve_jobs(jobs) > 1 and tracer is None:
+        with make_executor(jobs) as executor:
+            outcomes = executor.ordered_samples(
+                partial(_soak_worker, config, metrics is not None), labels
+            )
+        reports = []
+        for report, state in outcomes:
+            reports.append(report)
+            if metrics is not None and state is not None:
+                metrics.merge_state(state)
+    else:
+        reports = [
+            soak_one(label, config, tracer=tracer, metrics=metrics)
+            for label in labels
+        ]
     failures = []
-    for label in SCHEME_PARAMS:
-        report = soak_one(label, config, tracer=tracer, metrics=metrics)
+    for label, report in zip(labels, reports):
         result.rows.append(report.as_row())
         if not report.passed:
             failures.append((label, report.invariant_failures))

@@ -26,7 +26,9 @@ from typing import Any, Dict, List, Optional
 
 from repro.core import columns
 from repro.core.exceptions import ReproError
+from repro.experiments.parallel import resolve_jobs
 from repro.experiments.plotting import plot_experiment
+from repro.experiments.profiles import PROFILES, profile_overrides
 from repro.experiments.registry import (
     EXPERIMENTS,
     ExperimentSpec,
@@ -87,10 +89,18 @@ def _run_one(
     json_path: Optional[pathlib.Path],
     csv_path: Optional[pathlib.Path] = None,
     quiet: bool = False,
+    jobs: Optional[int] = None,
+    profile: Optional[str] = None,
 ) -> ExperimentResult:
-    config = build_config(spec, overrides)
+    # A profile seeds the overrides; explicit --set values win.
+    merged: Dict[str, Any] = {}
+    if profile is not None:
+        merged.update(profile_overrides(spec.config_class, profile))
+    merged.update(overrides)
+    config = build_config(spec, merged)
+    resolved_jobs = resolve_jobs(jobs)
     started = time.perf_counter()
-    result = spec.run(config)
+    result = spec.run(config, jobs=resolved_jobs)
     elapsed = time.perf_counter() - started
     if not quiet:
         print(render_experiment(result))
@@ -100,8 +110,17 @@ def _run_one(
             print(plot_experiment(result, log_y=spec.log_y))
     # Attach the manifest only after rendering: the printed output of
     # every experiment stays byte-identical to pre-manifest runs while
-    # the JSON artifact gains the provenance record.
-    result.attach_manifest(run_manifest(spec, config))
+    # the JSON artifact gains the provenance record.  The execution
+    # record (jobs/wall-clock) is the one deliberately non-reproducible
+    # manifest field; results do not depend on it.
+    result.attach_manifest(
+        run_manifest(spec, config).with_execution(
+            jobs=resolved_jobs,
+            workers=resolved_jobs,
+            mode="process" if resolved_jobs > 1 else "serial",
+            wall_clock_seconds=elapsed,
+        )
+    )
     if json_path is not None:
         _write_json(result_to_json(result, config), json_path)
         if not quiet:
@@ -119,7 +138,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_spec(args.experiment)
     json_path = pathlib.Path(args.json) if args.json else None
     csv_path = pathlib.Path(args.csv) if args.csv else None
-    _run_one(spec, _parse_overrides(args.set), args.plot, json_path, csv_path)
+    _run_one(
+        spec,
+        _parse_overrides(args.set),
+        args.plot,
+        json_path,
+        csv_path,
+        jobs=args.jobs,
+        profile=args.profile,
+    )
     return 0
 
 
@@ -136,7 +163,14 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             f.name for f in dataclasses.fields(spec.config_class)
         }
         applicable = {k: v for k, v in overrides.items() if k in valid}
-        _run_one(spec, applicable, args.plot, json_path)
+        _run_one(
+            spec,
+            applicable,
+            args.plot,
+            json_path,
+            jobs=args.jobs,
+            profile=args.profile,
+        )
         print()
     return 0
 
@@ -199,12 +233,24 @@ def _cmd_chaos_soak(args: argparse.Namespace) -> int:
     config = ChaosSoakConfig(seed=args.seed, events=args.events)
     manifest = run_manifest(get_spec("chaos"), config)
     tracer = None
+    resolved_jobs = resolve_jobs(args.jobs)
     if args.trace:
         from repro.obs import Tracer
 
         tracer = Tracer(run_id=manifest.run_id)
-    result = run(config, tracer=tracer)
+        if resolved_jobs > 1:
+            print("[--trace forces serial execution; ignoring --jobs]")
+            resolved_jobs = 1
+    started = time.perf_counter()
+    result = run(config, tracer=tracer, jobs=resolved_jobs)
+    elapsed = time.perf_counter() - started
     print(render_experiment(result))
+    manifest = manifest.with_execution(
+        jobs=resolved_jobs,
+        workers=resolved_jobs,
+        mode="process" if resolved_jobs > 1 else "serial",
+        wall_clock_seconds=elapsed,
+    )
     result.attach_manifest(manifest)
     if tracer is not None:
         from repro.obs import write_trace
@@ -420,6 +466,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--csv", metavar="PATH", help="write rows as CSV"
     )
+    run_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for seeded runs (default: $REPRO_JOBS or 1); "
+        "results are bit-identical for any value",
+    )
+    run_parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default=None,
+        help="config scale profile: 'paper' restores the paper's run "
+        "counts, 'smoke' shrinks everything for CI; --set still wins",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     all_parser = subparsers.add_parser(
@@ -432,6 +488,14 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--plot", action="store_true")
     all_parser.add_argument(
         "--out", metavar="DIR", help="write one JSON per experiment"
+    )
+    all_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for seeded runs (default: $REPRO_JOBS or 1)",
+    )
+    all_parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default=None,
+        help="config scale profile applied to every experiment",
     )
     all_parser.set_defaults(handler=_cmd_run_all)
 
@@ -482,6 +546,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="record a structured JSONL trace of the soak (lookup "
         "spans, update deliveries, repair sweeps) to PATH",
+    )
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="soak schemes on worker processes (ignored with --trace)",
     )
     chaos_parser.set_defaults(handler=_cmd_chaos_soak)
 

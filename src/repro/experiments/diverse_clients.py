@@ -18,10 +18,12 @@ exactly its cap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from functools import partial
+from typing import Dict, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs_multi
 from repro.strategies.fixed import FixedX
 from repro.strategies.hashing import HashY
@@ -90,7 +92,11 @@ def measure_scheme(
     }
 
 
-def run(config: DiverseClientsConfig = DiverseClientsConfig()) -> ExperimentResult:
+def run(
+    config: DiverseClientsConfig = DiverseClientsConfig(),
+    *,
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
     """Per-scheme service quality for the two client populations."""
     result = ExperimentResult(
         name="Diverse clients: small-target majority + want-it-all crawlers",
@@ -110,19 +116,25 @@ def run(config: DiverseClientsConfig = DiverseClientsConfig()) -> ExperimentResu
             "runs": config.runs,
         },
     )
-    for label in SCHEME_LABELS:
-        averaged = average_runs_multi(
-            lambda seed, lbl=label: measure_scheme(lbl, config, seed),
-            master_seed=config.seed,
-            runs=config.runs,
-        )
-        result.rows.append(
-            {
-                "scheme": label,
-                "small_cost": round(averaged["small_cost"].mean, 3),
-                "small_fail": round(averaged["small_fail"].mean, 4),
-                "crawler_cost": round(averaged["crawler_cost"].mean, 3),
-                "crawler_fail": round(averaged["crawler_fail"].mean, 4),
-            }
-        )
+    with make_executor(jobs) as executor:
+        for label in SCHEME_LABELS:
+            averaged = average_runs_multi(
+                partial(measure_scheme, label, config),
+                master_seed=config.seed,
+                runs=config.runs,
+                executor=executor,
+            )
+            _append_scheme_row(result, label, averaged)
     return result
+
+
+def _append_scheme_row(result: ExperimentResult, label: str, averaged) -> None:
+    result.rows.append(
+        {
+            "scheme": label,
+            "small_cost": round(averaged["small_cost"].mean, 3),
+            "small_fail": round(averaged["small_fail"].mean, 4),
+            "crawler_cost": round(averaged["crawler_cost"].mean, 3),
+            "crawler_fail": round(averaged["crawler_fail"].mean, 4),
+        }
+    )

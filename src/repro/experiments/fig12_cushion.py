@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from functools import partial
+from typing import Dict, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
+from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs
 from repro.simulation.replay import TraceReplayer
 from repro.strategies.fixed import FixedX
@@ -74,7 +76,9 @@ def failure_time_fraction(
     return stats.failure_time_fraction
 
 
-def run(config: Fig12Config = Fig12Config()) -> ExperimentResult:
+def run(
+    config: Fig12Config = Fig12Config(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Regenerate Figure 12: failure-time percentage per cushion size."""
     result = ExperimentResult(
         name="Figure 12: Fixed-x lookup failure rate vs cushion size",
@@ -87,14 +91,18 @@ def run(config: Fig12Config = Fig12Config()) -> ExperimentResult:
             "runs": config.runs,
         },
     )
-    for cushion in config.cushions:
-        row: Dict[str, object] = {"cushion": cushion}
-        for kind, column in (("exp", "exp_percent"), ("zipf", "zipf_percent")):
-            averaged = average_runs(
-                lambda seed: failure_time_fraction(config, cushion, kind, seed),
-                master_seed=config.seed + cushion * 1000 + (0 if kind == "exp" else 1),
-                runs=config.runs,
-            )
-            row[column] = round(averaged.mean * 100.0, 4)
-        result.rows.append(row)
+    with make_executor(jobs) as executor:
+        for cushion in config.cushions:
+            row: Dict[str, object] = {"cushion": cushion}
+            for kind, column in (("exp", "exp_percent"), ("zipf", "zipf_percent")):
+                averaged = average_runs(
+                    partial(failure_time_fraction, config, cushion, kind),
+                    master_seed=config.seed
+                    + cushion * 1000
+                    + (0 if kind == "exp" else 1),
+                    runs=config.runs,
+                    executor=executor,
+                )
+                row[column] = round(averaged.mean * 100.0, 4)
+            result.rows.append(row)
     return result

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from functools import partial
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.core.entry import Entry
+from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs
 from repro.metrics.unfairness import estimate_unfairness
 from repro.simulation.events import AddEvent, DeleteEvent
@@ -68,7 +70,9 @@ def unfairness_after_updates(
     return estimate.unfairness
 
 
-def run(config: Fig13Config = Fig13Config()) -> ExperimentResult:
+def run(
+    config: Fig13Config = Fig13Config(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Regenerate Figure 13: unfairness vs number of updates."""
     result = ExperimentResult(
         name="Figure 13: RandomServer-x unfairness under churn",
@@ -81,13 +85,15 @@ def run(config: Fig13Config = Fig13Config()) -> ExperimentResult:
             "runs": config.runs,
         },
     )
-    for updates in config.checkpoints:
-        averaged = average_runs(
-            lambda seed: unfairness_after_updates(config, updates, seed),
-            master_seed=config.seed + updates,
-            runs=config.runs,
-        )
-        result.rows.append(
-            {"updates": updates, "random_server": round(averaged.mean, 4)}
-        )
+    with make_executor(jobs) as executor:
+        for updates in config.checkpoints:
+            averaged = average_runs(
+                partial(unfairness_after_updates, config, updates),
+                master_seed=config.seed + updates,
+                runs=config.runs,
+                executor=executor,
+            )
+            result.rows.append(
+                {"updates": updates, "random_server": round(averaged.mean, 4)}
+            )
     return result

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from functools import partial
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.crossover import (
     expected_update_cost_fixed,
@@ -25,6 +26,7 @@ from repro.analysis.crossover import (
     optimal_hash_y,
 )
 from repro.cluster.cluster import Cluster
+from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs_multi
 from repro.simulation.replay import TraceReplayer
 from repro.strategies.fixed import FixedX
@@ -66,7 +68,9 @@ def measure_point(config: Fig14Config, entry_count: int, seed: int) -> Dict[str,
     return samples
 
 
-def run(config: Fig14Config = Fig14Config()) -> ExperimentResult:
+def run(
+    config: Fig14Config = Fig14Config(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Regenerate Figure 14: total update messages vs entry count."""
     result = ExperimentResult(
         name="Figure 14: update overhead, Fixed-x vs Hash-y",
@@ -86,28 +90,32 @@ def run(config: Fig14Config = Fig14Config()) -> ExperimentResult:
             "runs": config.runs,
         },
     )
-    for entry_count in config.entry_counts:
-        y = optimal_hash_y(config.target, entry_count, config.server_count)
-        averaged = average_runs_multi(
-            lambda seed: measure_point(config, entry_count, seed),
-            master_seed=config.seed + entry_count,
-            runs=config.runs,
-        )
-        updates = config.updates_per_run
-        result.rows.append(
-            {
-                "entry_count": entry_count,
-                "hash_y": y,
-                "fixed_measured": round(averaged["fixed"].mean, 1),
-                "hash_measured": round(averaged["hash"].mean, 1),
-                "fixed_expected": round(
-                    expected_update_cost_fixed(
-                        config.x, entry_count, config.server_count
-                    )
-                    * updates,
-                    1,
-                ),
-                "hash_expected": round(expected_update_cost_hash(y) * updates, 1),
-            }
-        )
+    with make_executor(jobs) as executor:
+        for entry_count in config.entry_counts:
+            y = optimal_hash_y(config.target, entry_count, config.server_count)
+            averaged = average_runs_multi(
+                partial(measure_point, config, entry_count),
+                master_seed=config.seed + entry_count,
+                runs=config.runs,
+                executor=executor,
+            )
+            updates = config.updates_per_run
+            result.rows.append(
+                {
+                    "entry_count": entry_count,
+                    "hash_y": y,
+                    "fixed_measured": round(averaged["fixed"].mean, 1),
+                    "hash_measured": round(averaged["hash"].mean, 1),
+                    "fixed_expected": round(
+                        expected_update_cost_fixed(
+                            config.x, entry_count, config.server_count
+                        )
+                        * updates,
+                        1,
+                    ),
+                    "hash_expected": round(
+                        expected_update_cost_hash(y) * updates, 1
+                    ),
+                }
+            )
     return result

@@ -16,11 +16,13 @@ others just past multiples of 20.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from functools import partial
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.formulas import solve_x_from_budget, solve_y_from_budget
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs_multi
 from repro.metrics.lookup_cost import estimate_lookup_cost
 from repro.strategies.fixed import FixedX
@@ -72,7 +74,9 @@ def measure_point(config: Fig4Config, target: int, seed: int) -> Dict[str, float
     return samples
 
 
-def run(config: Fig4Config = Fig4Config()) -> ExperimentResult:
+def run(
+    config: Fig4Config = Fig4Config(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Regenerate Figure 4's series (plus Fixed-x's failure column)."""
     x = solve_x_from_budget(config.storage_budget, config.server_count)
     y = solve_y_from_budget(config.storage_budget, config.entry_count)
@@ -88,15 +92,17 @@ def run(config: Fig4Config = Fig4Config()) -> ExperimentResult:
             "lookups_per_run": config.lookups_per_run,
         },
     )
-    for target in config.targets:
-        averaged = average_runs_multi(
-            lambda seed: measure_point(config, target, seed),
-            master_seed=config.seed + target,
-            runs=config.runs,
-        )
-        row: Dict[str, object] = {"target": target}
-        for label in labels:
-            row[label] = round(averaged[label].mean, 3)
-        row[f"fixed_{x}_fail"] = round(averaged[f"fixed_{x}_fail"].mean, 3)
-        result.rows.append(row)
+    with make_executor(jobs) as executor:
+        for target in config.targets:
+            averaged = average_runs_multi(
+                partial(measure_point, config, target),
+                master_seed=config.seed + target,
+                runs=config.runs,
+                executor=executor,
+            )
+            row: Dict[str, object] = {"target": target}
+            for label in labels:
+                row[label] = round(averaged[label].mean, 3)
+            row[f"fixed_{x}_fail"] = round(averaged[f"fixed_{x}_fail"].mean, 3)
+            result.rows.append(row)
     return result

@@ -11,7 +11,8 @@ saturating like an inverted exponential.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from functools import partial
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.formulas import (
     expected_coverage_random_server,
@@ -20,6 +21,7 @@ from repro.analysis.formulas import (
 )
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.experiments.parallel import RunExecutor, make_executor
 from repro.experiments.runner import ExperimentResult, average_runs
 from repro.strategies.fixed import FixedX
 from repro.strategies.hashing import HashY
@@ -37,37 +39,49 @@ class Fig6Config:
     seed: int = 6
 
 
-def _coverage(strategy_factory, config: Fig6Config, seed: int) -> float:
-    cluster = Cluster(config.server_count, seed=seed)
-    strategy = strategy_factory(cluster)
-    strategy.place(make_entries(config.entry_count))
+def _coverage_point(config: Fig6Config, budget: int, name: str, seed: int) -> float:
+    """Fresh placement of scheme ``name`` at ``budget``; its coverage.
+
+    Module-level (and keyed by scheme name rather than a factory
+    closure) so one run pickles cleanly onto a worker process.
+    """
+    h, n = config.entry_count, config.server_count
+    cluster = Cluster(n, seed=seed)
+    if name == "fixed":
+        strategy = FixedX(cluster, x=solve_x_from_budget(budget, n))
+    elif name == "random_server":
+        strategy = RandomServerX(cluster, x=solve_x_from_budget(budget, n))
+    elif name == "round_robin":
+        strategy = RoundRobinY.from_budget(cluster, budget, h)
+    else:
+        strategy = HashY.from_budget(cluster, budget, h)
+    strategy.place(make_entries(h))
     return float(strategy.coverage())
 
 
-def measure_budget(config: Fig6Config, budget: int) -> Dict[str, float]:
+def measure_budget(
+    config: Fig6Config, budget: int, executor: Optional[RunExecutor] = None
+) -> Dict[str, float]:
     """Average coverage of each scheme at one storage budget."""
     h, n = config.entry_count, config.server_count
     x = solve_x_from_budget(budget, n)
-    factories = {
-        "fixed": lambda c: FixedX(c, x=x),
-        "random_server": lambda c: RandomServerX(c, x=x),
-        "round_robin": lambda c: RoundRobinY.from_budget(c, budget, h),
-        "hash": lambda c: HashY.from_budget(c, budget, h),
-    }
     point: Dict[str, float] = {}
-    for name, factory in factories.items():
+    for name in ("fixed", "random_server", "round_robin", "hash"):
         runs = 1 if name in ("fixed", "round_robin") else config.runs
         averaged = average_runs(
-            lambda seed: _coverage(factory, config, seed),
+            partial(_coverage_point, config, budget, name),
             master_seed=config.seed + budget,
             runs=runs,
+            executor=executor,
         )
         point[name] = averaged.mean
     point["random_server_expected"] = expected_coverage_random_server(h, n, x)
     return point
 
 
-def run(config: Fig6Config = Fig6Config()) -> ExperimentResult:
+def run(
+    config: Fig6Config = Fig6Config(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Regenerate Figure 6's coverage-vs-storage series."""
     result = ExperimentResult(
         name="Figure 6: coverage vs total storage",
@@ -85,18 +99,23 @@ def run(config: Fig6Config = Fig6Config()) -> ExperimentResult:
             "runs": config.runs,
         },
     )
-    for budget in config.budgets:
-        point = measure_budget(config, budget)
-        result.rows.append(
-            {
-                "budget": budget,
-                "round_robin": round(point["round_robin"], 2),
-                "hash": round(point["hash"], 2),
-                "fixed": round(point["fixed"], 2),
-                "random_server": round(point["random_server"], 2),
-                "random_server_expected": round(
-                    point["random_server_expected"], 2
-                ),
-            }
-        )
+    with make_executor(jobs) as executor:
+        for budget in config.budgets:
+            point = measure_budget(config, budget, executor)
+            _append_coverage_row(result, budget, point)
     return result
+
+
+def _append_coverage_row(
+    result: ExperimentResult, budget: int, point: Dict[str, float]
+) -> None:
+    result.rows.append(
+        {
+            "budget": budget,
+            "round_robin": round(point["round_robin"], 2),
+            "hash": round(point["hash"], 2),
+            "fixed": round(point["fixed"], 2),
+            "random_server": round(point["random_server"], 2),
+            "random_server_expected": round(point["random_server_expected"], 2),
+        }
+    )

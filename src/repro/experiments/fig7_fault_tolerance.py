@@ -14,7 +14,8 @@ an S-shape and is the worst through mid targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from functools import partial
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.formulas import (
     fault_tolerance_round_robin,
@@ -23,6 +24,7 @@ from repro.analysis.formulas import (
 )
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs_multi
 from repro.metrics.fault_tolerance import greedy_fault_tolerance
 from repro.strategies.hashing import HashY
@@ -59,7 +61,9 @@ def measure_point(config: Fig7Config, target: int, seed: int) -> Dict[str, float
     return samples
 
 
-def run(config: Fig7Config = Fig7Config()) -> ExperimentResult:
+def run(
+    config: Fig7Config = Fig7Config(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Regenerate Figure 7's fault-tolerance series."""
     x = solve_x_from_budget(config.storage_budget, config.server_count)
     y = solve_y_from_budget(config.storage_budget, config.entry_count)
@@ -74,17 +78,19 @@ def run(config: Fig7Config = Fig7Config()) -> ExperimentResult:
             "runs": config.runs,
         },
     )
-    for target in config.targets:
-        averaged = average_runs_multi(
-            lambda seed: measure_point(config, target, seed),
-            master_seed=config.seed + target,
-            runs=config.runs,
-        )
-        row: Dict[str, object] = {"target": target}
-        for label in labels:
-            row[label] = round(averaged[label].mean, 3)
-        row["round_robin_formula"] = fault_tolerance_round_robin(
-            target, config.entry_count, config.server_count, y
-        )
-        result.rows.append(row)
+    with make_executor(jobs) as executor:
+        for target in config.targets:
+            averaged = average_runs_multi(
+                partial(measure_point, config, target),
+                master_seed=config.seed + target,
+                runs=config.runs,
+                executor=executor,
+            )
+            row: Dict[str, object] = {"target": target}
+            for label in labels:
+                row[label] = round(averaged[label].mean, 3)
+            row["round_robin_formula"] = fault_tolerance_round_robin(
+                target, config.entry_count, config.server_count, y
+            )
+            result.rows.append(row)
     return result

@@ -22,11 +22,13 @@ printed axis; see EXPERIMENTS.md for the full reconciliation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from functools import partial
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.formulas import solve_x_from_budget, solve_y_from_budget
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs_multi
 from repro.metrics.unfairness import (
     estimate_unfairness,
@@ -69,7 +71,9 @@ def measure_point(config: Fig9Config, budget: int, seed: int) -> Dict[str, float
     return samples
 
 
-def run(config: Fig9Config = Fig9Config()) -> ExperimentResult:
+def run(
+    config: Fig9Config = Fig9Config(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Regenerate Figure 9's unfairness-vs-storage series."""
     result = ExperimentResult(
         name="Figure 9: unfairness vs total storage",
@@ -82,26 +86,28 @@ def run(config: Fig9Config = Fig9Config()) -> ExperimentResult:
             "lookups": config.lookups_per_instance,
         },
     )
-    for budget in config.budgets:
-        averaged = average_runs_multi(
-            lambda seed: measure_point(config, budget, seed),
-            master_seed=config.seed + budget,
-            runs=config.runs,
-        )
-        x = solve_x_from_budget(budget, config.server_count)
-        result.rows.append(
-            {
-                "budget": budget,
-                "random_server": round(averaged["random_server"].mean, 4),
-                "hash": round(averaged["hash"].mean, 4),
-                "fixed_exact": round(
-                    exact_unfairness_uniform_subset(
-                        min(x, config.entry_count),
-                        config.entry_count,
-                        config.target,
+    with make_executor(jobs) as executor:
+        for budget in config.budgets:
+            averaged = average_runs_multi(
+                partial(measure_point, config, budget),
+                master_seed=config.seed + budget,
+                runs=config.runs,
+                executor=executor,
+            )
+            x = solve_x_from_budget(budget, config.server_count)
+            result.rows.append(
+                {
+                    "budget": budget,
+                    "random_server": round(averaged["random_server"].mean, 4),
+                    "hash": round(averaged["hash"].mean, 4),
+                    "fixed_exact": round(
+                        exact_unfairness_uniform_subset(
+                            min(x, config.entry_count),
+                            config.entry_count,
+                            config.target,
+                        ),
+                        4,
                     ),
-                    4,
-                ),
-            }
-        )
+                }
+            )
     return result

@@ -16,11 +16,13 @@ and whether the key survives its busiest server failing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from functools import partial
+from typing import Dict, Optional
 
 from repro.baselines.key_partitioning import KeyPartitioning
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs_multi
 from repro.metrics.load import measure_lookup_load
 from repro.strategies.fixed import FixedX
@@ -75,7 +77,9 @@ def measure_point(config: HotspotConfig, seed: int) -> Dict[str, float]:
     return samples
 
 
-def run(config: HotspotConfig = HotspotConfig()) -> ExperimentResult:
+def run(
+    config: HotspotConfig = HotspotConfig(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Regenerate the hot-spot comparison table."""
     labels = [
         "key_partitioning",
@@ -85,11 +89,13 @@ def run(config: HotspotConfig = HotspotConfig()) -> ExperimentResult:
         "round_robin",
         "hash",
     ]
-    averaged = average_runs_multi(
-        lambda seed: measure_point(config, seed),
-        master_seed=config.seed,
-        runs=config.runs,
-    )
+    with make_executor(jobs) as executor:
+        averaged = average_runs_multi(
+            partial(measure_point, config),
+            master_seed=config.seed,
+            runs=config.runs,
+            executor=executor,
+        )
     result = ExperimentResult(
         name="Hot spot: popular-key load by architecture",
         headers=["architecture", "peak_share", "ideal_share",

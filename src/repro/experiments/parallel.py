@@ -1,0 +1,194 @@
+"""Parallel execution of seeded experiment runs.
+
+Every experiment averages a pure function ``run_once(seed)`` over the
+independent derived seeds from :func:`~repro.experiments.runner.seeded_runs`.
+That structure is embarrassingly parallel: a worker needs nothing but
+the seed (state is rebuilt from it inside ``run_once``), and the final
+aggregate only depends on the *ordered* list of samples.
+
+:class:`RunExecutor` captures the contract.  Backends may run the
+calls in any order on any number of processes; :meth:`ordered_samples`
+restores run-index order before anything is aggregated, which is what
+makes ``--jobs 4`` bit-identical to ``--jobs 1``:
+
+- :class:`SerialRunExecutor` — in-process loop, the default.
+- :class:`ProcessRunExecutor` — a ``ProcessPoolExecutor`` fed with
+  chunks of ``(run_index, item)`` pairs.  The pool is created lazily
+  and reused across every data point of an experiment, so startup cost
+  is paid once per experiment, not once per point.
+
+Workers are forked (where the platform allows) so they inherit the
+parent's hash seed: a few measurements iterate over sets of entries,
+and ``fork`` keeps that iteration order identical across processes.
+Run functions handed to :class:`ProcessRunExecutor` must be picklable
+— module-level functions, or :func:`functools.partial` over one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import InvalidParameterError, ReproError
+
+#: Environment variable consulted when no explicit ``jobs`` is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Target number of chunks handed to each worker; >1 smooths out
+#: uneven per-run cost without drowning in per-task pickling.
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Validate a job count, falling back to ``$REPRO_JOBS`` then 1.
+
+    Raises :class:`InvalidParameterError` (never a bare ``ValueError``)
+    so the CLI reports bad values as a clean one-line error.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR)
+        if raw is None or raw.strip() == "":
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise InvalidParameterError(
+                f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise InvalidParameterError(f"jobs must be an integer, got {jobs!r}")
+    if jobs < 1:
+        raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+class RunExecutor(ABC):
+    """Fans ``fn`` over items, preserving run-index order of results.
+
+    Subclasses implement :meth:`map_indexed`, which may return the
+    ``(run_index, result)`` pairs in **any** order; callers go through
+    :meth:`ordered_samples`, which re-sorts by run index and verifies
+    every index came back exactly once.
+    """
+
+    #: Requested degree of parallelism (1 for the serial backend).
+    jobs: int = 1
+    #: Human-readable backend name, recorded in run manifests.
+    mode: str = "serial"
+
+    @abstractmethod
+    def map_indexed(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Tuple[int, Any]]:
+        """Apply ``fn`` to each item; return ``(index, result)`` pairs."""
+
+    def ordered_samples(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> List[Any]:
+        """``[fn(item) for item in items]``, regardless of scheduling."""
+        materialized = list(items)
+        pairs = self.map_indexed(fn, materialized)
+        if sorted(index for index, _ in pairs) != list(range(len(materialized))):
+            raise ReproError(
+                f"{type(self).__name__} returned {len(pairs)} results for "
+                f"{len(materialized)} runs; every run index must appear "
+                "exactly once"
+            )
+        ordered = sorted(pairs, key=lambda pair: pair[0])
+        return [result for _, result in ordered]
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "RunExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class SerialRunExecutor(RunExecutor):
+    """The sequential baseline: same process, submission order."""
+
+    def map_indexed(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Tuple[int, Any]]:
+        return [(index, fn(item)) for index, item in enumerate(items)]
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any], chunk: List[Tuple[int, Any]]
+) -> List[Tuple[int, Any]]:
+    """Worker-side loop over one chunk of ``(run_index, item)`` pairs.
+
+    Module-level so it pickles by reference under every start method.
+    """
+    return [(index, fn(item)) for index, item in chunk]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (hash-seed inheritance, cheap startup)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ProcessRunExecutor(RunExecutor):
+    """Chunked fan-out over a lazily created process pool.
+
+    Items are sliced into roughly ``jobs * _CHUNKS_PER_WORKER`` chunks;
+    each chunk is one pool task carrying its run indices, so results
+    can be merged in run-index order no matter which worker finishes
+    first.  The pool survives across calls — experiments sweep many
+    data points through one executor.
+    """
+
+    mode = "process"
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_pool_context()
+            )
+        return self._pool
+
+    def map_indexed(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Tuple[int, Any]]:
+        indexed = list(enumerate(items))
+        if not indexed:
+            return []
+        chunk_size = max(
+            1, -(-len(indexed) // (self.jobs * _CHUNKS_PER_WORKER))
+        )
+        chunks = [
+            indexed[start : start + chunk_size]
+            for start in range(0, len(indexed), chunk_size)
+        ]
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        pairs: List[Tuple[int, Any]] = []
+        for future in futures:
+            pairs.extend(future.result())
+        return pairs
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def make_executor(jobs: Optional[int] = None) -> RunExecutor:
+    """The executor for a resolved job count (serial when it is 1)."""
+    count = resolve_jobs(jobs)
+    if count == 1:
+        return SerialRunExecutor()
+    return ProcessRunExecutor(count)

@@ -1,0 +1,57 @@
+"""Config profiles: paper-scale and CI-smoke settings by field name.
+
+Every experiment config ships with downscaled defaults so the serial
+path stays interactive; the paper's own scale (5000 runs, 10000
+lookups per instance, 20000 updates per run) lives here instead of in
+code edits.  A profile is a map from *field name* to value — applying
+one touches only the fields the target config class actually declares,
+so ``--profile paper`` means the same thing for every experiment
+without per-experiment tables.
+
+Explicit ``--set`` overrides always win over the profile.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from repro.core.exceptions import InvalidParameterError
+
+#: Field-name -> value maps.  ``paper`` restores the scale quoted in
+#: the paper's §6 setup; ``smoke`` shrinks every knob for CI.
+PROFILES: Dict[str, Dict[str, Any]] = {
+    "paper": {
+        "runs": 5000,
+        "lookups_per_run": 5000,
+        "lookups_per_instance": 10000,
+        "lookups": 10000,
+        "updates_per_run": 20000,
+    },
+    "smoke": {
+        "runs": 2,
+        "lookups_per_run": 50,
+        "lookups_per_instance": 100,
+        "lookups": 100,
+        "updates_per_run": 200,
+        "churn_updates": 100,
+        "update_trace_length": 100,
+        "events": 300,
+        "audit_lookups": 10,
+        "small_lookups": 50,
+        "crawler_lookups": 10,
+    },
+}
+
+
+def profile_overrides(config_class: type, profile: str) -> Dict[str, Any]:
+    """The profile's overrides restricted to ``config_class``'s fields."""
+    try:
+        values = PROFILES[profile]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown profile {profile!r}; "
+            f"available: {', '.join(sorted(PROFILES))}"
+        ) from None
+    names = {f.name for f in dataclasses.fields(config_class)}
+    return {name: value for name, value in values.items() if name in names}

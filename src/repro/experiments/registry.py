@@ -192,16 +192,23 @@ def build_config(spec: ExperimentSpec, overrides: Dict[str, Any]):
             )
         default = fields[name].default
         if isinstance(raw, str):
-            if isinstance(default, bool):
-                coerced[name] = raw.lower() in ("1", "true", "yes")
-            elif isinstance(default, int):
-                coerced[name] = int(raw)
-            elif isinstance(default, float):
-                coerced[name] = float(raw)
-            elif isinstance(default, tuple):
-                coerced[name] = tuple(int(part) for part in raw.split(","))
-            else:
-                coerced[name] = raw
+            try:
+                if isinstance(default, bool):
+                    coerced[name] = raw.lower() in ("1", "true", "yes")
+                elif isinstance(default, int):
+                    coerced[name] = int(raw)
+                elif isinstance(default, float):
+                    coerced[name] = float(raw)
+                elif isinstance(default, tuple):
+                    coerced[name] = tuple(int(part) for part in raw.split(","))
+                else:
+                    coerced[name] = raw
+            except ValueError:
+                kind = type(default).__name__
+                raise InvalidParameterError(
+                    f"{spec.experiment_id} parameter {name!r} expects "
+                    f"{kind}, got {raw!r}"
+                ) from None
         else:
             coerced[name] = raw
     return spec.config_class(**coerced)

@@ -10,13 +10,23 @@ are independent yet the whole experiment replays from one master seed;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+)
 
 from repro.analysis.confidence import ConfidenceInterval, mean_confidence_interval
 from repro.core.exceptions import InvalidParameterError
 from repro.simulation.rng import RngStreams
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.parallel import RunExecutor
     from repro.obs.manifest import RunManifest
 
 
@@ -71,18 +81,42 @@ def seeded_runs(master_seed: int, runs: int) -> Iterator[int]:
         yield streams.spawn(index).seed
 
 
+def _collect_samples(
+    run_once: Callable[[int], Any],
+    master_seed: int,
+    runs: int,
+    executor: Optional["RunExecutor"],
+) -> List[Any]:
+    """``run_once`` applied to every derived seed, in run-index order.
+
+    With an executor the calls may land on worker processes in any
+    order; :meth:`RunExecutor.ordered_samples` restores run-index order
+    before aggregation, so the sample list — and everything computed
+    from it — is identical to the serial loop.
+    """
+    if executor is None:
+        return [run_once(seed) for seed in seeded_runs(master_seed, runs)]
+    return executor.ordered_samples(
+        run_once, list(seeded_runs(master_seed, runs))
+    )
+
+
 def average_runs(
     run_once: Callable[[int], float],
     master_seed: int,
     runs: int,
     level: float = 0.95,
+    executor: Optional["RunExecutor"] = None,
 ) -> ConfidenceInterval:
     """Average ``run_once(seed)`` over independent seeded runs.
 
     ``run_once`` receives a derived seed and returns one sample of the
-    quantity being measured; the result carries the mean and CI.
+    quantity being measured; the result carries the mean and CI.  With
+    an ``executor`` the runs fan out over worker processes (``run_once``
+    must then be picklable and rebuild all state from the seed), and
+    the result is bit-identical to the serial path.
     """
-    samples = [run_once(seed) for seed in seeded_runs(master_seed, runs)]
+    samples = _collect_samples(run_once, master_seed, runs, executor)
     return mean_confidence_interval(samples, level=level)
 
 
@@ -91,6 +125,7 @@ def average_runs_multi(
     master_seed: int,
     runs: int,
     level: float = 0.95,
+    executor: Optional["RunExecutor"] = None,
 ) -> Dict[str, ConfidenceInterval]:
     """Like :func:`average_runs` for run functions returning many values.
 
@@ -99,8 +134,8 @@ def average_runs_multi(
     seeds), keeping the series comparison paired.
     """
     collected: Dict[str, List[float]] = {}
-    for seed in seeded_runs(master_seed, runs):
-        for name, value in run_once(seed).items():
+    for sample in _collect_samples(run_once, master_seed, runs, executor):
+        for name, value in sample.items():
             collected.setdefault(name, []).append(value)
     return {
         name: mean_confidence_interval(values, level=level)

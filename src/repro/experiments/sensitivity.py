@@ -20,11 +20,13 @@ Checked claims, per n:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from functools import partial
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.formulas import fault_tolerance_round_robin
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs_multi
 from repro.metrics.fault_tolerance import greedy_fault_tolerance
 from repro.metrics.lookup_cost import estimate_lookup_cost
@@ -69,7 +71,9 @@ def measure_point(config: SensitivityConfig, n: int, seed: int) -> Dict[str, flo
     return samples
 
 
-def run(config: SensitivityConfig = SensitivityConfig()) -> ExperimentResult:
+def run(
+    config: SensitivityConfig = SensitivityConfig(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Orderings per cluster size; ``holds_*`` columns are the verdicts."""
     result = ExperimentResult(
         name="Sensitivity: §4.2/§4.4 orderings across cluster sizes",
@@ -88,32 +92,34 @@ def run(config: SensitivityConfig = SensitivityConfig()) -> ExperimentResult:
         ],
         meta={"h": config.entry_count, "budget": "2h", "runs": config.runs},
     )
-    for n in config.server_counts:
-        averaged = average_runs_multi(
-            lambda seed: measure_point(config, n, seed),
-            master_seed=config.seed + n,
-            runs=config.runs,
-        )
-        target = int(averaged["target"].mean)
-        rr_cost = averaged["round_robin_cost"].mean
-        rs_cost = averaged["random_server_cost"].mean
-        hash_cost = averaged["hash_cost"].mean
-        rr_ft = averaged["round_robin_ft"].mean
-        rs_ft = averaged["random_server_ft"].mean
-        formula = fault_tolerance_round_robin(target, config.entry_count, n, 2)
-        result.rows.append(
-            {
-                "n": n,
-                "target": target,
-                "round_robin_cost": round(rr_cost, 3),
-                "random_server_cost": round(rs_cost, 3),
-                "hash_cost": round(hash_cost, 3),
-                "round_robin_ft": round(rr_ft, 2),
-                "random_server_ft": round(rs_ft, 2),
-                "hash_ft": round(averaged["hash_ft"].mean, 2),
-                "rr_ft_formula": formula,
-                "holds_cost_order": rr_cost <= rs_cost + 1e-9,
-                "holds_ft_order": rs_ft >= rr_ft - 0.25,
-            }
-        )
+    with make_executor(jobs) as executor:
+        for n in config.server_counts:
+            averaged = average_runs_multi(
+                partial(measure_point, config, n),
+                master_seed=config.seed + n,
+                runs=config.runs,
+                executor=executor,
+            )
+            target = int(averaged["target"].mean)
+            rr_cost = averaged["round_robin_cost"].mean
+            rs_cost = averaged["random_server_cost"].mean
+            hash_cost = averaged["hash_cost"].mean
+            rr_ft = averaged["round_robin_ft"].mean
+            rs_ft = averaged["random_server_ft"].mean
+            formula = fault_tolerance_round_robin(target, config.entry_count, n, 2)
+            result.rows.append(
+                {
+                    "n": n,
+                    "target": target,
+                    "round_robin_cost": round(rr_cost, 3),
+                    "random_server_cost": round(rs_cost, 3),
+                    "hash_cost": round(hash_cost, 3),
+                    "round_robin_ft": round(rr_ft, 2),
+                    "random_server_ft": round(rs_ft, 2),
+                    "hash_ft": round(averaged["hash_ft"].mean, 2),
+                    "rr_ft_formula": formula,
+                    "holds_cost_order": rr_cost <= rs_cost + 1e-9,
+                    "holds_ft_order": rs_ft >= rr_ft - 0.25,
+                }
+            )
     return result

@@ -10,11 +10,13 @@ noise for Hash-y (whose form is an expectation over hash collisions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from functools import partial
+from typing import Dict, Optional
 
 from repro.analysis.formulas import expected_storage
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs
 from repro.strategies.registry import create_strategy
 
@@ -54,7 +56,13 @@ def measure_storage(strategy_name: str, config: Table1Config, seed: int) -> int:
     return strategy.storage_cost()
 
 
-def run(config: Table1Config = Table1Config()) -> ExperimentResult:
+def _storage_sample(strategy_name: str, config: Table1Config, seed: int) -> float:
+    return float(measure_storage(strategy_name, config, seed))
+
+
+def run(
+    config: Table1Config = Table1Config(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Regenerate Table 1 with measured-vs-formula columns."""
     result = ExperimentResult(
         name="Table 1: storage cost",
@@ -73,29 +81,31 @@ def run(config: Table1Config = Table1Config()) -> ExperimentResult:
         "round_robin": "h*y",
         "hash": "h*n*(1-(1-1/n)^y)",
     }
-    for name in _PARAMS:
-        expected = expected_storage(
-            name,
-            config.entry_count,
-            config.server_count,
-            x=config.x,
-            y=config.y,
-        )
-        # Hash-y is the only stochastic row; deterministic rows need
-        # one run and must match the formula exactly.
-        runs = config.runs if name == "hash" else 1
-        measured = average_runs(
-            lambda seed: float(measure_storage(name, config, seed)),
-            master_seed=config.seed,
-            runs=runs,
-        )
-        result.rows.append(
-            {
-                "strategy": name,
-                "formula": formulas[name],
-                "expected": round(expected, 2),
-                "measured": round(measured.mean, 2),
-                "runs": runs,
-            }
-        )
+    with make_executor(jobs) as executor:
+        for name in _PARAMS:
+            expected = expected_storage(
+                name,
+                config.entry_count,
+                config.server_count,
+                x=config.x,
+                y=config.y,
+            )
+            # Hash-y is the only stochastic row; deterministic rows need
+            # one run and must match the formula exactly.
+            runs = config.runs if name == "hash" else 1
+            measured = average_runs(
+                partial(_storage_sample, name, config),
+                master_seed=config.seed,
+                runs=runs,
+                executor=executor,
+            )
+            result.rows.append(
+                {
+                    "strategy": name,
+                    "formula": formulas[name],
+                    "expected": round(expected, 2),
+                    "measured": round(measured.mean, 2),
+                    "runs": runs,
+                }
+            )
     return result

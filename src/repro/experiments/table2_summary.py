@@ -20,11 +20,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from functools import partial
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
-from repro.experiments.runner import ExperimentResult, average_runs
+from repro.experiments.parallel import RunExecutor, make_executor
+from repro.experiments.runner import (
+    ExperimentResult,
+    average_runs,
+    average_runs_multi,
+)
 from repro.metrics.fault_tolerance import greedy_fault_tolerance
 from repro.metrics.lookup_cost import estimate_lookup_cost
 from repro.metrics.unfairness import estimate_unfairness
@@ -85,21 +91,48 @@ def _build(name: str, cluster: Cluster, x: int, y: int, key: str = "k"):
     raise ValueError(name)
 
 
-def _static_measure(
-    config: Table2Config,
-    name: str,
-    entry_count: int,
-    measure: Callable,
-    seed: int,
-) -> float:
-    """Place ``name`` at the canonical budget over ``entry_count`` entries."""
+def _place_static(config: Table2Config, name: str, entry_count: int, seed: int):
+    """Fresh placement of ``name`` at the canonical budget."""
     x = max(1, config.storage_budget // config.server_count)
     y = max(1, min(config.server_count, config.storage_budget // entry_count))
     cluster = Cluster(config.server_count, seed=seed)
     strategy = _build(name, cluster, x, y)
     entries = make_entries(entry_count)
     strategy.place(entries)
-    return measure(strategy, entries)
+    return strategy, entries
+
+
+def _storage_cell(
+    config: Table2Config, name: str, entry_count: int, seed: int
+) -> float:
+    strategy, _ = _place_static(config, name, entry_count, seed)
+    return float(strategy.storage_cost())
+
+
+def _lookup_cell(config: Table2Config, name: str, seed: int) -> float:
+    strategy, _ = _place_static(config, name, config.entry_count, seed)
+    return estimate_lookup_cost(strategy, config.target, config.lookups).mean_cost
+
+
+def _static_cells(config: Table2Config, name: str, seed: int) -> Dict[str, float]:
+    """Coverage, fault tolerance, and static fairness off ONE placement.
+
+    The three metrics share a placement instance: coverage and the
+    greedy adversary consume no randomness, so measuring them before
+    the fairness estimate leaves every RNG draw — and therefore every
+    cell value — identical to giving each metric its own placement,
+    at a third of the placement work.
+    """
+    strategy, entries = _place_static(config, name, config.entry_count, seed)
+    return {
+        "coverage": float(strategy.coverage()),
+        "fault_tolerance": float(
+            greedy_fault_tolerance(strategy, config.fault_tolerance_target)
+        ),
+        "fairness_static": estimate_unfairness(
+            strategy, config.target, entries, config.lookups
+        ).unfairness,
+    }
 
 
 def _churned_unfairness(config: Table2Config, name: str, seed: int) -> float:
@@ -143,59 +176,38 @@ def _update_overhead(
     return stats.update_messages / max(1, trace.update_count)
 
 
-def measure_all(config: Table2Config = Table2Config()) -> Dict[str, Dict[str, float]]:
+def measure_all(
+    config: Table2Config = Table2Config(),
+    executor: Optional[RunExecutor] = None,
+) -> Dict[str, Dict[str, float]]:
     """Measured value for every (strategy, column) cell."""
-    h, n, t = config.entry_count, config.server_count, config.target
-
-    def storage(strategy, entries):
-        return float(strategy.storage_cost())
-
-    def cov(strategy, entries):
-        return float(strategy.coverage())
-
-    def ft(strategy, entries):
-        return float(
-            greedy_fault_tolerance(strategy, config.fault_tolerance_target)
-        )
-
-    def fairness(strategy, entries):
-        return estimate_unfairness(strategy, t, entries, config.lookups).unfairness
-
-    def lookup(strategy, entries):
-        return estimate_lookup_cost(strategy, t, config.lookups).mean_cost
-
-    cells: Dict[str, Dict[str, float]] = {name: {} for name in STRATEGIES}
+    cells: Dict[str, Dict[str, float]] = {}
     for name in STRATEGIES:
+        static = average_runs_multi(
+            partial(_static_cells, config, name),
+            config.seed,
+            config.runs,
+            executor=executor,
+        )
         runners: Dict[str, Callable[[int], float]] = {
-            "storage_small_h": lambda s, nm=name: _static_measure(
-                config, nm, config.small_h, storage, s
-            ),
-            "storage_large_h": lambda s, nm=name: _static_measure(
-                config, nm, config.large_h, storage, s
-            ),
-            "coverage": lambda s, nm=name: _static_measure(config, nm, h, cov, s),
-            "fault_tolerance": lambda s, nm=name: _static_measure(
-                config, nm, h, ft, s
-            ),
-            "fairness_static": lambda s, nm=name: _static_measure(
-                config, nm, h, fairness, s
-            ),
-            "fairness_dynamic": lambda s, nm=name: _churned_unfairness(
-                config, nm, s
-            ),
-            "lookup_cost": lambda s, nm=name: _static_measure(
-                config, nm, h, lookup, s
-            ),
-            "update_overhead_small_t": lambda s, nm=name: _update_overhead(
-                config, nm, entry_count=300, target=10, seed=s
-            ),
-            "update_overhead_large_t": lambda s, nm=name: _update_overhead(
-                config, nm, entry_count=100, target=40, seed=s
-            ),
+            "storage_small_h": partial(_storage_cell, config, name, config.small_h),
+            "storage_large_h": partial(_storage_cell, config, name, config.large_h),
+            "fairness_dynamic": partial(_churned_unfairness, config, name),
+            "lookup_cost": partial(_lookup_cell, config, name),
+            "update_overhead_small_t": partial(_update_overhead, config, name, 300, 10),
+            "update_overhead_large_t": partial(_update_overhead, config, name, 100, 40),
         }
-        for column, run_once in runners.items():
-            averaged = average_runs(run_once, config.seed, config.runs)
-            cells[name][column] = averaged.mean
+        averaged = {
+            column: average_runs(
+                run_once, config.seed, config.runs, executor=executor
+            ).mean
+            for column, run_once in runners.items()
+        }
+        # Canonical column order (matches HIGHER_IS_BETTER).
+        cells[name] = {
+            column: static[column].mean if column in static else averaged[column]
+            for column in HIGHER_IS_BETTER
+        }
     return cells
 
 
@@ -217,9 +229,12 @@ def assign_stars(cells: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, int]
     return stars
 
 
-def run(config: Table2Config = Table2Config()) -> ExperimentResult:
+def run(
+    config: Table2Config = Table2Config(), *, jobs: Optional[int] = None
+) -> ExperimentResult:
     """Regenerate the Table 2 summary (stars derived from measurements)."""
-    cells = measure_all(config)
+    with make_executor(jobs) as executor:
+        cells = measure_all(config, executor)
     stars = assign_stars(cells)
     columns = list(HIGHER_IS_BETTER)
     result = ExperimentResult(

@@ -8,6 +8,14 @@ embeds in the trace header.  Deliberately contains no wall-clock
 timestamps or host details: two runs of the same config must produce
 byte-identical manifests, because the manifest is part of the
 reproducibility contract, not provenance garnish.
+
+The one exception is the optional ``execution`` record the CLI adds
+via :meth:`RunManifest.with_execution` — jobs, worker count, and
+wall-clock for the run.  Execution mode does not affect results (the
+parallel engine merges samples in run-index order), so this lives in
+a clearly separated, explicitly non-deterministic key and is omitted
+entirely when absent, keeping the determinism contract for everything
+else.
 """
 
 from __future__ import annotations
@@ -38,6 +46,9 @@ class RunManifest:
     config: Dict[str, Any] = field(default_factory=dict)
     repro_version: str = ""
     format_version: int = MANIFEST_FORMAT_VERSION
+    #: How the run was executed (jobs/workers/wall-clock); None for
+    #: library-level runs.  Not part of the determinism contract.
+    execution: Optional[Dict[str, Any]] = None
 
     @classmethod
     def for_config(cls, experiment: str, config: Any) -> "RunManifest":
@@ -61,8 +72,27 @@ class RunManifest:
             repro_version=__version__,
         )
 
+    def with_execution(
+        self, jobs: int, workers: int, mode: str, wall_clock_seconds: float
+    ) -> "RunManifest":
+        """A copy carrying an execution record.
+
+        ``wall_clock_seconds`` varies run to run by construction;
+        consumers comparing manifests for reproducibility must ignore
+        the ``execution`` key (results themselves do not depend on it).
+        """
+        return dataclasses.replace(
+            self,
+            execution={
+                "jobs": jobs,
+                "workers": workers,
+                "mode": mode,
+                "wall_clock_seconds": round(wall_clock_seconds, 6),
+            },
+        )
+
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "experiment": self.experiment,
             "run_id": self.run_id,
             "seed": self.seed,
@@ -70,3 +100,6 @@ class RunManifest:
             "repro_version": self.repro_version,
             "format_version": self.format_version,
         }
+        if self.execution is not None:
+            payload["execution"] = dict(self.execution)
+        return payload

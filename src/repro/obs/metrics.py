@@ -164,6 +164,59 @@ class MetricsRegistry:
                 flat[f"{name}.max"] = histogram.max
         return dict(sorted(flat.items()))
 
+    def dump_state(self) -> Dict[str, Dict[str, object]]:
+        """Structured (not flattened) state, for cross-process merging.
+
+        Unlike :meth:`snapshot`, histograms keep their components so a
+        parent process can merge worker registries exactly.
+        """
+        return {
+            "counters": {
+                name: counter.value for name, counter in self._counters.items()
+            },
+            "gauges": {name: gauge.value for name, gauge in self._gauges.items()},
+            "histograms": {
+                name: {
+                    "count": histogram.count,
+                    "total": histogram.total,
+                    "min": histogram.min,
+                    "max": histogram.max,
+                }
+                for name, histogram in self._histograms.items()
+            },
+        }
+
+    def merge_state(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Fold one worker's :meth:`dump_state` into this registry.
+
+        Each worker starts from a fresh registry, so its counter values
+        are deltas: counters add, histograms combine their streaming
+        components, gauges take the incoming value (last write wins, in
+        merge order).  Merging worker states in run-index order gives
+        the same final registry as a single serial run; merge each
+        state exactly once.
+        """
+        for name, value in state.get("counters", {}).items():
+            counter = self.counter(name)
+            counter.set_to(counter.value + float(value))
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, parts in state.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            histogram.count += int(parts["count"])
+            histogram.total += float(parts["total"])
+            for bound, better in (("min", min), ("max", max)):
+                incoming = parts[bound]
+                if incoming is None:
+                    continue
+                current = getattr(histogram, bound)
+                merged = (
+                    float(incoming)
+                    if current is None
+                    else better(current, float(incoming))
+                )
+                setattr(histogram, bound, merged)
+
     def as_rows(self) -> List[Dict[str, object]]:
         """Snapshot as ``{"metric", "value"}`` rows for render_table."""
         return [

@@ -1,0 +1,230 @@
+"""The parallel run engine: ordering, determinism, profiles, CLI knobs."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError, ReproError
+from repro.experiments import (
+    chaos_soak,
+    fig4_lookup_cost,
+    fig9_unfairness,
+    table2_summary,
+)
+from repro.experiments.cli import main
+from repro.experiments.parallel import (
+    JOBS_ENV_VAR,
+    ProcessRunExecutor,
+    RunExecutor,
+    SerialRunExecutor,
+    make_executor,
+    resolve_jobs,
+)
+from repro.experiments.profiles import PROFILES, profile_overrides
+from repro.experiments.runner import average_runs, seeded_runs
+from repro.obs.metrics import MetricsRegistry
+
+
+def _square(value):
+    """Module-level so it pickles into worker processes."""
+    return value * value
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(None) == 3
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_bad_env_is_a_clean_error(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "lots")
+        with pytest.raises(InvalidParameterError, match=JOBS_ENV_VAR):
+            resolve_jobs(None)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "4"])
+    def test_invalid_values(self, bad):
+        with pytest.raises(InvalidParameterError):
+            resolve_jobs(bad)
+
+    def test_make_executor_picks_backend(self):
+        assert isinstance(make_executor(1), SerialRunExecutor)
+        with make_executor(2) as executor:
+            assert isinstance(executor, ProcessRunExecutor)
+            assert executor.jobs == 2 and executor.mode == "process"
+
+
+class ShufflingExecutor(RunExecutor):
+    """Returns pairs in shuffled order — simulates racing workers."""
+
+    mode = "shuffled"
+
+    def map_indexed(self, fn, items):
+        pairs = [(index, fn(item)) for index, item in enumerate(items)]
+        random.Random(1234).shuffle(pairs)
+        return pairs
+
+
+class DroppingExecutor(RunExecutor):
+    """Loses the last run's result — must be caught, not averaged over."""
+
+    def map_indexed(self, fn, items):
+        return [(index, fn(item)) for index, item in enumerate(items)][:-1]
+
+
+class TestRunExecutorContract:
+    def test_serial_matches_list_comprehension(self):
+        executor = SerialRunExecutor()
+        assert executor.ordered_samples(_square, range(7)) == [
+            _square(i) for i in range(7)
+        ]
+
+    def test_shuffled_completion_order_is_restored(self):
+        seeds = list(seeded_runs(42, 16))
+        assert ShufflingExecutor().ordered_samples(_square, seeds) == [
+            _square(seed) for seed in seeds
+        ]
+
+    def test_average_runs_immune_to_completion_order(self):
+        serial = average_runs(_square, master_seed=7, runs=12)
+        shuffled = average_runs(
+            _square, master_seed=7, runs=12, executor=ShufflingExecutor()
+        )
+        assert shuffled == serial
+
+    def test_missing_run_index_is_an_error(self):
+        with pytest.raises(ReproError, match="exactly once"):
+            DroppingExecutor().ordered_samples(_square, range(5))
+
+    def test_process_pool_matches_serial(self):
+        with make_executor(4) as executor:
+            samples = executor.ordered_samples(_square, range(23))
+        assert samples == [_square(i) for i in range(23)]
+
+    def test_process_pool_empty_items(self):
+        with make_executor(2) as executor:
+            assert executor.ordered_samples(_square, []) == []
+
+
+FIG4 = fig4_lookup_cost.Fig4Config(targets=(20, 35), runs=4, lookups_per_run=30)
+FIG9 = fig9_unfairness.Fig9Config(
+    budgets=(200, 400), runs=4, lookups_per_instance=60
+)
+TABLE2 = table2_summary.Table2Config(
+    runs=2, lookups=60, churn_updates=60, update_trace_length=60
+)
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize(
+        "module, config",
+        [
+            (fig4_lookup_cost, FIG4),
+            (fig9_unfairness, FIG9),
+            (table2_summary, TABLE2),
+        ],
+        ids=["fig4", "fig9", "table2"],
+    )
+    def test_jobs4_rows_bit_identical_to_serial(self, module, config):
+        serial = module.run(config, jobs=1)
+        parallel = module.run(config, jobs=4)
+        assert parallel.headers == serial.headers
+        assert parallel.rows == serial.rows
+
+    def test_chaos_parallel_rows_and_metrics_match_serial(self):
+        config = chaos_soak.ChaosSoakConfig(
+            events=200, lookups=30, audit_lookups=5
+        )
+        serial_metrics = MetricsRegistry()
+        serial = chaos_soak.run(config, metrics=serial_metrics, jobs=1)
+        parallel_metrics = MetricsRegistry()
+        parallel = chaos_soak.run(config, metrics=parallel_metrics, jobs=4)
+        assert parallel.rows == serial.rows
+        assert parallel.meta["passed"] and serial.meta["passed"]
+        assert parallel_metrics.dump_state() == serial_metrics.dump_state()
+
+
+class TestProfiles:
+    def test_paper_profile_restores_paper_scale(self):
+        overrides = profile_overrides(fig9_unfairness.Fig9Config, "paper")
+        config = fig9_unfairness.Fig9Config(**overrides)
+        assert config.runs == 5000
+        assert config.lookups_per_instance == 10000
+
+    def test_profile_restricted_to_declared_fields(self):
+        overrides = profile_overrides(fig4_lookup_cost.Fig4Config, "paper")
+        assert overrides["lookups_per_run"] == 5000
+        assert "lookups_per_instance" not in overrides
+
+    def test_unknown_profile_is_a_clean_error(self):
+        with pytest.raises(InvalidParameterError, match="available"):
+            profile_overrides(fig4_lookup_cost.Fig4Config, "mega")
+
+    def test_smoke_profile_covers_every_experiment(self):
+        from repro.experiments.registry import list_experiments
+
+        for spec in list_experiments():
+            overrides = profile_overrides(spec.config_class, "smoke")
+            assert overrides, f"smoke profile is empty for {spec.experiment_id}"
+            spec.config_class(**overrides)  # must construct cleanly
+
+
+class TestCliParallel:
+    FIG4_ARGS = [
+        "--set", "runs=3", "--set", "targets=20,35",
+        "--set", "lookups_per_run=20",
+    ]
+
+    def test_jobs_zero_is_a_clean_error(self, capsys):
+        assert main(["run", "fig4", "--jobs", "0"] + self.FIG4_ARGS) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "jobs" in err
+
+    def test_bad_set_value_is_a_clean_error(self, capsys):
+        assert main(["run", "fig4", "--set", "runs=abc"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "runs" in err and "Traceback" not in err
+
+    def test_bad_env_jobs_is_a_clean_error(self, capsys, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        assert main(["run", "fig4"] + self.FIG4_ARGS) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_smoke_applies_and_set_wins(self, tmp_path, capsys):
+        target = tmp_path / "fig9.json"
+        assert main([
+            "run", "fig9", "--profile", "smoke",
+            "--set", "budgets=200", "--set", "runs=3",
+            "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["config"]["runs"] == 3  # --set beats the profile
+        assert payload["config"]["lookups_per_instance"] == 100  # from smoke
+
+    def test_manifest_records_execution(self, tmp_path, capsys):
+        target = tmp_path / "fig4.json"
+        args = ["run", "fig4", "--json", str(target), "--jobs", "2"]
+        assert main(args + self.FIG4_ARGS) == 0
+        execution = json.loads(target.read_text())["meta"]["manifest"]["execution"]
+        assert execution["jobs"] == 2
+        assert execution["workers"] == 2
+        assert execution["mode"] == "process"
+        assert execution["wall_clock_seconds"] >= 0
+
+    def test_json_identical_modulo_execution_record(self, tmp_path, capsys):
+        payloads = []
+        for jobs in ("1", "2"):
+            target = tmp_path / f"fig4-jobs{jobs}.json"
+            args = ["run", "fig4", "--json", str(target), "--jobs", jobs]
+            assert main(args + self.FIG4_ARGS) == 0
+            payload = json.loads(target.read_text())
+            assert payload["meta"]["manifest"].pop("execution") is not None
+            payloads.append(payload)
+        assert payloads[0] == payloads[1]
