@@ -31,3 +31,50 @@ def test_bench_fig9_unfairness(benchmark):
     # Fixed-x: order of magnitude worse at mid budgets.
     mid = result.row_for(budget=300)
     assert mid["fixed_exact"] > 3 * mid["random_server"]
+
+
+def test_bench_fig9_exact_speedup(benchmark, bench_json_record):
+    """Closed-form estimator vs Monte-Carlo on the deterministic schemes.
+
+    Same grid, same placements; ``estimator="exact"`` replaces every
+    10k-lookup MC loop with the closed form, so the whole figure costs
+    little more than its placements.
+    """
+    import time
+
+    mc_config = Fig9Config(
+        runs=10,
+        lookups_per_instance=4000,
+        schemes=("fixed", "round_robin"),
+        estimator="mc",
+    )
+    started = time.perf_counter()
+    mc_result = run(mc_config)
+    mc_elapsed = time.perf_counter() - started
+
+    exact_config = Fig9Config(
+        runs=10,
+        lookups_per_instance=4000,
+        schemes=("fixed", "round_robin"),
+        estimator="exact",
+    )
+    started = time.perf_counter()
+    exact_result = benchmark.pedantic(
+        lambda: run(exact_config), rounds=1, iterations=1
+    )
+    exact_elapsed = time.perf_counter() - started
+
+    speedup = mc_elapsed / exact_elapsed
+    bench_json_record("fig9_exact_speedup", round(speedup, 1))
+    print(
+        f"\nfig9 exact-estimator speedup: {speedup:.1f}x "
+        f"({mc_elapsed:.2f}s -> {exact_elapsed:.2f}s)"
+    )
+    assert speedup >= 20.0
+
+    # The two estimators must agree: round_robin is exactly fair, and
+    # fixed's MC estimate sits within sampling noise of the closed form.
+    for mc_row, exact_row in zip(mc_result.rows, exact_result.rows):
+        assert exact_row["round_robin"] == 0.0
+        assert abs(mc_row["fixed"] - exact_row["fixed"]) < 0.05
+        assert abs(mc_row["round_robin"]) < 0.05

@@ -76,3 +76,37 @@ def test_bench_micro_fault_tolerance_heuristic(benchmark):
     strategy = _placed("random_server")
     tolerated = benchmark(lambda: greedy_fault_tolerance(strategy, 20))
     assert tolerated >= 7
+
+
+def test_bench_micro_mc_kernel_speedup(benchmark, bench_json_record):
+    """Bitset kernel vs the real lookup path on the same MC estimate.
+
+    Both sides run the identical seeded workload (the kernel is
+    bit-identical, so the comparison is pure overhead); the ratio is
+    the PR-4 tentpole speedup, recorded for the CI baseline.
+    """
+    import time
+
+    from repro.metrics.unfairness import retrieval_probabilities
+
+    universe = make_entries(100)
+
+    def measure(disable_kernel):
+        strategy = _placed("random_server")
+        if disable_kernel:
+            strategy.lookup_profile = lambda: None
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            retrieval_probabilities(strategy, 15, universe, lookups=2000)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    slow = measure(disable_kernel=True)
+    fast = benchmark.pedantic(
+        lambda: measure(disable_kernel=False), rounds=1, iterations=1
+    )
+    speedup = slow / fast
+    bench_json_record("mc_kernel_speedup", round(speedup, 2))
+    print(f"\nMC kernel speedup: {speedup:.2f}x ({slow:.3f}s -> {fast:.3f}s)")
+    assert speedup >= 3.0

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Compare a fresh ``--bench-json`` artifact against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py CURRENT BASELINE [--tolerance 0.25]
+
+Fails (exit 1) when any benchmark present in both artifacts is more
+than ``tolerance`` slower than the baseline wall clock, or when a
+recorded speedup metric (``*_speedup``) drops below ``1 - tolerance``
+of its baseline value.  Benchmarks only present on one side are
+reported but never fail the check, so adding or retiring benches does
+not require lock-step baseline updates.
+
+The committed baseline (``BENCH_results.json``) is refreshed in the PR
+that changes the measured performance; see docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _by_test(artifact: dict) -> dict:
+    return {
+        record["test"]: record["wall_clock_seconds"]
+        for record in artifact.get("benchmarks", [])
+        if record.get("outcome") == "passed"
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly generated --bench-json artifact")
+    parser.add_argument("baseline", help="committed baseline (BENCH_results.json)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    current = _load(args.current)
+    baseline = _load(args.baseline)
+    current_times = _by_test(current)
+    baseline_times = _by_test(baseline)
+
+    failures = []
+    for test, base_seconds in sorted(baseline_times.items()):
+        now_seconds = current_times.get(test)
+        if now_seconds is None:
+            print(f"SKIP (not in current run): {test}")
+            continue
+        limit = base_seconds * (1.0 + args.tolerance)
+        verdict = "ok"
+        if now_seconds > limit and now_seconds - base_seconds > 0.05:
+            # The absolute floor keeps sub-100ms benches from failing
+            # on scheduler jitter alone.
+            verdict = "REGRESSION"
+            failures.append(
+                f"{test}: {now_seconds:.3f}s vs baseline "
+                f"{base_seconds:.3f}s (> +{args.tolerance:.0%})"
+            )
+        print(f"{verdict:>10}  {now_seconds:8.3f}s  (base {base_seconds:8.3f}s)  {test}")
+    for test in sorted(set(current_times) - set(baseline_times)):
+        print(f"       new  {current_times[test]:8.3f}s  (no baseline)  {test}")
+
+    for name, base_value in sorted(baseline.get("metrics", {}).items()):
+        now_value = current.get("metrics", {}).get(name)
+        if now_value is None:
+            print(f"SKIP metric (not in current run): {name}")
+            continue
+        if name.endswith("_speedup"):
+            floor = base_value * (1.0 - args.tolerance)
+            verdict = "ok"
+            if now_value < floor:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"metric {name}: {now_value} vs baseline {base_value} "
+                    f"(< -{args.tolerance:.0%})"
+                )
+            print(f"{verdict:>10}  {name} = {now_value} (base {base_value})")
+        else:
+            print(f"      info  {name} = {now_value} (base {base_value})")
+
+    if failures:
+        print("\nBENCHMARK REGRESSIONS:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,312 @@
+"""Exact (closed-form) retrieval probabilities and lookup costs.
+
+The paper's Monte-Carlo estimates (10,000 lookups per instance) exist
+because lookup answers are random — but for the deterministic-placement
+strategies the randomness is *shallow*: the only random inputs are
+which server the client talks to first and which ``min(t, m)``-subset
+each server returns, both uniform.  For those cases the per-entry
+retrieval probability ``p_I(j)`` has a closed form that this module
+computes directly from the current placement, in three regimes keyed
+off the strategy's declared
+:class:`~repro.strategies.base.LookupProfile`:
+
+* **Single contact** (``max_servers=1``, random order — full
+  replication and Fixed-x): the contacted server is uniform over the
+  operational ones, so ``p(e) = (1/|alive|) · Σ_{s ∋ e} min(t, m_s)/m_s``.
+* **Stride walk** (Round-Robin-y): enumerate all ``n`` equally-likely
+  start servers and walk each deterministically.  When every contacted
+  store is disjoint from everything merged so far, the kept subset of
+  each store is a uniform ``min(t−c, m)``-subset (a uniform subset of
+  a uniform subset is uniform), so each contact contributes
+  ``min(t−c, m)/m`` per entry.  Any overlap along a walk, or an unmet
+  target that would spill into the randomly-shuffled leftover servers,
+  makes the composition non-uniform — we return ``None`` and the
+  caller falls back to Monte-Carlo.
+* **Random full walk** (random order, no cap) over pairwise-disjoint
+  stores: positions of the stores in the contact permutation are
+  exchangeable, so ``E[kept from s]`` is an average of
+  ``min(max(0, t−σ), m_s)`` over the subset-sum distribution ``σ`` of
+  the stores contacted earlier, computed by a small counting DP.
+
+Strategies whose *placement* is random (RandomServer-x, Hash-y) have
+overlapping, irregular stores and simply fail these guards — they stay
+Monte-Carlo, which is the intended division of labour.  The exact
+values double as a correctness oracle for the MC loops: see
+``tests/analysis/test_exact.py``.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.client import Stride
+from repro.core.entry import Entry
+from repro.core.exceptions import InvalidParameterError
+from repro.metrics.lookup_cost import LookupCostEstimate
+from repro.strategies.base import PlacementStrategy
+
+
+class _Store:
+    """One operational server's store, in kernel terms."""
+
+    __slots__ = ("server_id", "indices", "mask", "size")
+
+    def __init__(self, server_id: int, indices: List[int], mask: int) -> None:
+        self.server_id = server_id
+        self.indices = indices
+        self.mask = mask
+        self.size = len(indices)
+
+
+def _alive_stores(strategy: PlacementStrategy) -> Dict[int, _Store]:
+    key = strategy.key
+    return {
+        server.server_id: _Store(
+            server.server_id,
+            server.store(key).indices(),
+            server.store(key).mask,
+        )
+        for server in strategy.cluster.servers
+        if server.alive
+    }
+
+
+def _stride_walks(n: int, stride: int) -> List[Tuple[List[int], List[int]]]:
+    """Per start server: (deterministic walk, leftover ids)."""
+    walks = []
+    for start in range(n):
+        walk: List[int] = []
+        seen = set()
+        current = start % n
+        for _ in range(n):
+            if current in seen:
+                break
+            walk.append(current)
+            seen.add(current)
+            current = (current + stride) % n
+        walks.append((walk, [i for i in range(n) if i not in seen]))
+    return walks
+
+
+def exact_retrieval_probabilities(
+    strategy: PlacementStrategy,
+    target: int,
+    universe: Iterable[Entry],
+) -> Optional[Dict[Entry, float]]:
+    """Closed-form ``p_I(j)`` for the current instance, or None.
+
+    ``None`` means "no exact form applies here" — wrong profile,
+    overlapping stores along a walk, or a walk that would spill into
+    randomly-ordered leftovers.  Never an approximation: a returned
+    dict is the exact probability law of ``partial_lookup(target)``.
+    """
+    entries = list(universe)
+    seen_ids: set = set()
+    for entry in entries:
+        if entry.entry_id in seen_ids:
+            raise InvalidParameterError(
+                f"duplicate entry id in universe: {entry.entry_id!r}"
+            )
+        seen_ids.add(entry.entry_id)
+    if target < 1:
+        return None
+    profile = strategy.lookup_profile()
+    if profile is None:
+        return None
+    cluster = strategy.cluster
+    stores = _alive_stores(strategy)
+    if not stores:
+        return None
+    interner = cluster.interner(strategy.key)
+    p = [0.0] * len(interner)
+
+    if profile.max_servers == 1 and profile.order == "random":
+        _single_contact_probabilities(p, stores, target)
+    elif profile.max_servers is None and isinstance(profile.order, Stride):
+        if not _stride_probabilities(
+            p, cluster.size, stores, profile.order.y, target
+        ):
+            return None
+    elif profile.max_servers is None and profile.order == "random":
+        if not _random_walk_probabilities(p, stores, target):
+            return None
+    else:
+        return None
+
+    out: Dict[Entry, float] = {}
+    for entry in entries:
+        index = interner.index_of(entry.entry_id)
+        out[entry] = p[index] if index is not None else 0.0
+    return out
+
+
+def _single_contact_probabilities(
+    p: List[float], stores: Dict[int, _Store], target: int
+) -> None:
+    """``max_servers=1``: one uniform operational server answers."""
+    weight = 1.0 / len(stores)
+    for store in stores.values():
+        if not store.size:
+            continue
+        keep = min(target, store.size)
+        share = weight * keep / store.size
+        for index in store.indices:
+            p[index] += share
+
+
+def _stride_probabilities(
+    p: List[float],
+    n: int,
+    stores: Dict[int, _Store],
+    stride: int,
+    target: int,
+) -> bool:
+    """Round-Robin's stride walk, averaged over the ``n`` uniform starts."""
+    weight = 1.0 / n
+    for walk, leftovers in _stride_walks(n, stride):
+        merged = 0
+        covered_mask = 0
+        for sid in walk:
+            if merged >= target:
+                break
+            store = stores.get(sid)
+            if store is None or not store.size:
+                continue
+            if store.mask & covered_mask:
+                # A partially-overlapping reply's fresh subset is not
+                # uniform over the store; no closed form.
+                return False
+            keep = min(target - merged, store.size)
+            share = weight * keep / store.size
+            for index in store.indices:
+                p[index] += share
+            covered_mask |= store.mask
+            merged += keep
+        if merged < target and any(
+            sid in stores and stores[sid].size for sid in leftovers
+        ):
+            # The walk spills into the randomly-shuffled leftovers.
+            return False
+    return True
+
+
+def _random_walk_probabilities(
+    p: List[float], stores: Dict[int, _Store], target: int
+) -> bool:
+    """Uniform contact order over pairwise-disjoint stores.
+
+    The stores contacted before ``s`` form a uniformly random subset
+    of the others (exchangeability), and with disjoint stores only
+    their total size ``σ`` matters: ``s`` keeps
+    ``min(max(0, t−σ), m_s)`` entries, uniformly.  A counting DP over
+    subset sums (clipped at ``t``) gives the exact expectation.
+    Empty stores never change ``σ`` and hold no entries, so they drop
+    out entirely.
+    """
+    union = 0
+    occupied = [s for s in stores.values() if s.size]
+    for store in occupied:
+        if store.mask & union:
+            return False
+        union |= store.mask
+    if len(occupied) > 40:  # DP guard; paper-scale n is ~10
+        return False
+    for store in occupied:
+        other_sizes = [o.size for o in occupied if o is not store]
+        a = len(other_sizes)
+        # dp[j] maps clipped predecessor-sum -> number of j-subsets.
+        dp: List[Dict[int, int]] = [{0: 1}]
+        for size in other_sizes:
+            new = [dict(level) for level in dp] + [{}]
+            for j, level in enumerate(dp):
+                bump = new[j + 1]
+                for sigma, count in level.items():
+                    clipped = min(target, sigma + size)
+                    bump[clipped] = bump.get(clipped, 0) + count
+            dp = new
+        total = factorial(a + 1)
+        expected_keep = 0.0
+        for j, level in enumerate(dp):
+            weight = factorial(j) * factorial(a - j) / total
+            for sigma, count in level.items():
+                expected_keep += (
+                    weight * count * min(max(0, target - sigma), store.size)
+                )
+        share = expected_keep / store.size
+        for index in store.indices:
+            p[index] += share
+    return True
+
+
+def exact_lookup_cost(
+    strategy: PlacementStrategy, target: int
+) -> Optional[LookupCostEstimate]:
+    """Closed-form Figure 4 lookup cost for the current instance.
+
+    The estimate's ``lookups`` field holds the number of enumerated
+    equally-likely cases (operational servers for single-contact
+    strategies, start servers for stride walks), so ``failure_rate``
+    is exact.  Returns None when no exact form applies.
+    """
+    if target < 1:
+        return None
+    profile = strategy.lookup_profile()
+    if profile is None:
+        return None
+    stores = _alive_stores(strategy)
+    if not stores:
+        return None
+
+    if profile.max_servers == 1 and profile.order == "random":
+        # Exactly one operational server is contacted, uniformly.
+        failures = sum(1 for s in stores.values() if min(target, s.size) < target)
+        return LookupCostEstimate(
+            target=target,
+            lookups=len(stores),
+            mean_cost=1.0,
+            max_cost=1,
+            failures=failures,
+        )
+
+    if profile.max_servers is None and isinstance(profile.order, Stride):
+        n = strategy.cluster.size
+        costs: List[int] = []
+        failures = 0
+        for walk, leftovers in _stride_walks(n, profile.order.y):
+            merged = 0
+            covered_mask = 0
+            cost = 0
+            for sid in walk:
+                if merged >= target:
+                    break
+                store = stores.get(sid)
+                if store is None:
+                    continue
+                cost += 1
+                if not store.size:
+                    continue
+                if store.mask & covered_mask:
+                    return None
+                covered_mask |= store.mask
+                merged += min(target - merged, store.size)
+            if merged < target:
+                leftover_stores = [
+                    stores[sid] for sid in leftovers if sid in stores
+                ]
+                if any(s.size for s in leftover_stores):
+                    return None
+                # Only empty operational leftovers remain: all are
+                # contacted (in some order), deterministically.
+                cost += len(leftover_stores)
+                failures += 1
+            costs.append(cost)
+        return LookupCostEstimate(
+            target=target,
+            lookups=len(costs),
+            mean_cost=sum(costs) / len(costs),
+            max_cost=max(costs),
+            failures=failures,
+        )
+
+    return None

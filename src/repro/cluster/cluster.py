@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
 
 from repro.core.entry import Entry
 from repro.core.exceptions import InvalidParameterError, NoOperationalServerError
+from repro.core.interning import EntryInterner
 from repro.cluster.network import Network
 from repro.cluster.server import Server
 
@@ -40,7 +41,11 @@ class Cluster:
     def __init__(self, size: int, seed: Optional[int] = None) -> None:
         if size < 1:
             raise InvalidParameterError(f"cluster size must be >= 1, got {size}")
-        self._servers = [Server(i) for i in range(size)]
+        # One interner per key, shared by every server, so a key's
+        # entries live in a single dense index space cluster-wide and
+        # store bitmasks are directly comparable (the bitset kernel).
+        self._interners: Dict[str, EntryInterner] = {}
+        self._servers = [Server(i, interners=self._interners) for i in range(size)]
         self.network = Network(self._servers)
         self.rng = random.Random(seed)
 
@@ -118,6 +123,21 @@ class Cluster:
         """Per-server store sizes, indexed by server id."""
         return [s.stored_entry_count(key) for s in self._servers]
 
+    def interner(self, key: str) -> EntryInterner:
+        """The shared dense-index interner for ``key`` (created lazily)."""
+        if key not in self._interners:
+            self._interners[key] = EntryInterner()
+        return self._interners[key]
+
+    def coverage_mask(self, key: str, alive_only: bool = True) -> int:
+        """Union bitmask of the (operational) servers' stores for ``key``."""
+        mask = 0
+        for server in self._servers:
+            if alive_only and not server.alive:
+                continue
+            mask |= server.store(key).mask
+        return mask
+
     def coverage_set(self, key: str, alive_only: bool = True) -> Set[Entry]:
         """Distinct entries retrievable for ``key`` (Section 4.3).
 
@@ -125,16 +145,12 @@ class Cluster:
         contribute, which is the definition the fault-tolerance
         heuristic iterates on.
         """
-        covered: Set[Entry] = set()
-        for server in self._servers:
-            if alive_only and not server.alive:
-                continue
-            covered.update(server.store(key))
-        return covered
+        interner = self.interner(key)
+        return set(interner.entries_for_mask(self.coverage_mask(key, alive_only)))
 
     def coverage(self, key: str, alive_only: bool = True) -> int:
-        """Size of the coverage set."""
-        return len(self.coverage_set(key, alive_only=alive_only))
+        """Size of the coverage set (a mask union + popcount)."""
+        return self.coverage_mask(key, alive_only=alive_only).bit_count()
 
     def placement(self, key: str) -> Dict[int, Set[Entry]]:
         """The full placement map: server id → set of stored entries."""

@@ -18,6 +18,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.core.entry import Entry
+from repro.core.interning import EntryInterner
 from repro.cluster.messages import Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -31,42 +32,81 @@ class EntryStore:
     Servers need three things from their local store: membership tests
     (Fixed-x's "do I already hold v?"), uniform random sampling (every
     strategy's per-server lookup answer), and deterministic iteration
-    order so seeded runs are reproducible.  A list plus a set of ids
-    provides all three.
+    order so seeded runs are reproducible.
+
+    Internally the store is backed by the bitset placement kernel's
+    representation: entries are interned into a dense, stable index
+    space (shared cluster-wide per key via an
+    :class:`~repro.core.interning.EntryInterner`) and the store keeps,
+    alongside the ordered entry list, a parallel list of dense indices
+    plus an integer bitmask with one bit per held entry.  Membership is
+    a bit test, and coverage/union questions over many stores reduce to
+    ``int.__or__`` + ``bit_count()`` (see ``Cluster.coverage``).
+    Sampling still draws from the ordered list, so seeded RNG streams
+    are identical to the pre-bitset representation.
     """
 
-    __slots__ = ("_entries", "_ids")
+    __slots__ = ("_entries", "_indices", "_mask", "_interner")
 
-    def __init__(self, entries: Iterable[Entry] = ()) -> None:
+    def __init__(
+        self,
+        entries: Iterable[Entry] = (),
+        interner: Optional[EntryInterner] = None,
+    ) -> None:
+        self._interner = interner if interner is not None else EntryInterner()
         self._entries: List[Entry] = []
-        self._ids: set = set()
+        self._indices: List[int] = []
+        self._mask: int = 0
         for entry in entries:
             self.add(entry)
 
+    @property
+    def mask(self) -> int:
+        """Bitmask over the interner's dense index space (one bit per entry)."""
+        return self._mask
+
+    @property
+    def interner(self) -> EntryInterner:
+        return self._interner
+
+    def indices(self) -> List[int]:
+        """Dense indices of the held entries, in insertion order."""
+        return list(self._indices)
+
     def add(self, entry: Entry) -> bool:
         """Insert ``entry``; return True if it was not already present."""
-        if entry.entry_id in self._ids:
+        index = self._interner.intern(entry)
+        bit = 1 << index
+        if self._mask & bit:
             return False
-        self._ids.add(entry.entry_id)
+        self._mask |= bit
         self._entries.append(entry)
+        self._indices.append(index)
         return True
 
     def discard(self, entry: Entry) -> bool:
         """Remove ``entry`` if present; return True if it was removed."""
-        if entry.entry_id not in self._ids:
+        index = self._interner.index_of(entry.entry_id)
+        if index is None or not (self._mask >> index) & 1:
             return False
-        self._ids.remove(entry.entry_id)
-        self._entries.remove(entry)
+        position = self._indices.index(index)
+        self._entries.pop(position)
+        self._indices.pop(position)
+        self._mask ^= 1 << index
         return True
 
     def replace(self, old: Entry, new: Entry) -> bool:
         """Swap ``old`` for ``new`` in place, preserving position."""
-        if old.entry_id not in self._ids or new.entry_id in self._ids:
+        old_index = self._interner.index_of(old.entry_id)
+        if old_index is None or not (self._mask >> old_index) & 1:
             return False
-        index = self._entries.index(old)
-        self._entries[index] = new
-        self._ids.remove(old.entry_id)
-        self._ids.add(new.entry_id)
+        new_index = self._interner.intern(new)
+        if (self._mask >> new_index) & 1:
+            return False
+        position = self._indices.index(old_index)
+        self._entries[position] = new
+        self._indices[position] = new_index
+        self._mask ^= (1 << old_index) | (1 << new_index)
         return True
 
     def sample(self, count: int, rng: random.Random) -> List[Entry]:
@@ -85,18 +125,19 @@ class EntryStore:
         """Remove and return one uniformly random entry."""
         if not self._entries:
             raise KeyError("pop_random from an empty store")
-        index = rng.randrange(len(self._entries))
-        entry = self._entries[index]
-        self._entries.pop(index)
-        self._ids.remove(entry.entry_id)
+        position = rng.randrange(len(self._entries))
+        entry = self._entries.pop(position)
+        self._mask ^= 1 << self._indices.pop(position)
         return entry
 
     def clear(self) -> None:
         self._entries.clear()
-        self._ids.clear()
+        self._indices.clear()
+        self._mask = 0
 
     def __contains__(self, entry: Entry) -> bool:
-        return entry.entry_id in self._ids
+        index = self._interner.index_of(entry.entry_id)
+        return index is not None and bool((self._mask >> index) & 1)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -143,9 +184,20 @@ class Server:
     #: bound exists so long chaos runs cannot grow memory unboundedly.
     DEDUP_WINDOW = 1024
 
-    def __init__(self, server_id: int) -> None:
+    def __init__(
+        self,
+        server_id: int,
+        interners: Optional[Dict[str, EntryInterner]] = None,
+    ) -> None:
         self.server_id = server_id
         self.alive = True
+        #: Per-key entry interners.  A cluster passes one shared dict
+        #: to all its servers so every store for a key uses the same
+        #: dense index space (the bitset kernel's requirement); a
+        #: standalone server gets a private dict.
+        self._interners: Dict[str, EntryInterner] = (
+            interners if interners is not None else {}
+        )
         self._stores: Dict[str, EntryStore] = {}
         self._state: Dict[str, Dict[str, Any]] = {}
         self._logics: Dict[str, ServerLogic] = {}
@@ -161,7 +213,9 @@ class Server:
     def store(self, key: str) -> EntryStore:
         """The local entry store for ``key``, created on first access."""
         if key not in self._stores:
-            self._stores[key] = EntryStore()
+            if key not in self._interners:
+                self._interners[key] = EntryInterner()
+            self._stores[key] = EntryStore(interner=self._interners[key])
         return self._stores[key]
 
     def state(self, key: str) -> Dict[str, Any]:

@@ -134,13 +134,22 @@ def _run_one(
     return result
 
 
+def _apply_estimator(
+    overrides: Dict[str, str], estimator: Optional[str]
+) -> Dict[str, str]:
+    """Fold ``--estimator`` into the overrides; explicit --set wins."""
+    if estimator is not None:
+        overrides.setdefault("estimator", estimator)
+    return overrides
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_spec(args.experiment)
     json_path = pathlib.Path(args.json) if args.json else None
     csv_path = pathlib.Path(args.csv) if args.csv else None
     _run_one(
         spec,
-        _parse_overrides(args.set),
+        _apply_estimator(_parse_overrides(args.set), args.estimator),
         args.plot,
         json_path,
         csv_path,
@@ -152,7 +161,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     out_dir = pathlib.Path(args.out) if args.out else None
-    overrides = _parse_overrides(args.set)
+    overrides = _apply_estimator(_parse_overrides(args.set), args.estimator)
     for spec in list_experiments():
         print(f"=== {spec.experiment_id} ({spec.paper_artifact}) ===")
         json_path = (
@@ -437,6 +446,34 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one experiment run; print the hottest functions."""
+    import cProfile
+    import io
+    import pstats
+
+    spec = get_spec(args.experiment)
+    config = build_config(spec, _parse_overrides(args.set))
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    result = spec.run(config, jobs=1)
+    profiler.disable()
+    elapsed = time.perf_counter() - started
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(
+        f"[{spec.experiment_id}: {elapsed:.1f}s serial, "
+        f"{len(result.rows)} rows; top {args.top} by {args.sort}]"
+    )
+    print(stream.getvalue(), end="")
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"[wrote {args.out}]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -476,6 +513,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="config scale profile: 'paper' restores the paper's run "
         "counts, 'smoke' shrinks everything for CI; --set still wins",
     )
+    run_parser.add_argument(
+        "--estimator", choices=("mc", "exact", "auto"), default=None,
+        help="probability/cost estimator where the experiment supports "
+        "one: 'mc' is the paper's Monte-Carlo method, 'exact' the "
+        "closed form (deterministic schemes only), 'auto' exact where "
+        "available with MC fallback",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     all_parser = subparsers.add_parser(
@@ -497,7 +541,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", choices=sorted(PROFILES), default=None,
         help="config scale profile applied to every experiment",
     )
+    all_parser.add_argument(
+        "--estimator", choices=("mc", "exact", "auto"), default=None,
+        help="estimator override, applied wherever the config has the "
+        "field ('auto' is the safe fast choice; 'exact' raises on "
+        "stochastic schemes)",
+    )
     all_parser.set_defaults(handler=_cmd_run_all)
+
+    prof_parser = subparsers.add_parser(
+        "profile",
+        help="cProfile one experiment (serial) and print the hottest "
+        "functions",
+    )
+    prof_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    prof_parser.add_argument(
+        "--set", action="append", default=[], metavar="NAME=VALUE",
+        help="override a config field (repeatable)",
+    )
+    prof_parser.add_argument(
+        "--top", type=int, default=25, metavar="N",
+        help="rows of profile output to print (default 25)",
+    )
+    prof_parser.add_argument(
+        "--sort", choices=("cumulative", "tottime", "calls"),
+        default="cumulative", help="pstats sort key (default cumulative)",
+    )
+    prof_parser.add_argument(
+        "--out", metavar="PATH",
+        help="also dump the raw pstats profile for snakeviz and friends",
+    )
+    prof_parser.set_defaults(handler=_cmd_profile)
 
     validate_parser = subparsers.add_parser(
         "validate",

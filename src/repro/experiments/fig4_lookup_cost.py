@@ -19,12 +19,15 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.exact import exact_lookup_cost
 from repro.analysis.formulas import solve_x_from_budget, solve_y_from_budget
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.core.exceptions import InvalidParameterError
 from repro.experiments.parallel import make_executor
+from repro.experiments.placement_cache import PlacementCache
 from repro.experiments.runner import ExperimentResult, average_runs_multi
-from repro.metrics.lookup_cost import estimate_lookup_cost
+from repro.metrics.lookup_cost import LookupCostEstimate, estimate_lookup_cost
 from repro.strategies.fixed import FixedX
 from repro.strategies.hashing import HashY
 from repro.strategies.random_server import RandomServerX
@@ -44,6 +47,17 @@ class Fig4Config:
     #: Lookups per placement (paper: 5000).
     lookups_per_run: int = 200
     seed: int = 4
+    #: "mc" (paper default), "exact" (closed-form lookup cost; only
+    #: Fixed-x and Round-Robin-y have one, so the stochastic schemes
+    #: raise), or "auto" (exact where available, MC otherwise).
+    estimator: str = "mc"
+    #: When True, each run places all four schemes once and sweeps
+    #: every target against that one placement (restored between
+    #: targets via :class:`PlacementCache`), instead of re-placing at
+    #: every (target, run) grid point.  Opt-in: the grid collapses to
+    #: one master seed, so the numbers differ from the default
+    #: per-target seeding (deterministically so).
+    reuse_placements: bool = False
 
 
 def _strategies(config: Fig4Config, cluster: Cluster):
@@ -57,6 +71,19 @@ def _strategies(config: Fig4Config, cluster: Cluster):
     }
 
 
+def _estimate(config: Fig4Config, strategy, target: int) -> LookupCostEstimate:
+    if config.estimator in ("exact", "auto"):
+        estimate = exact_lookup_cost(strategy, target)
+        if estimate is not None:
+            return estimate
+        if config.estimator == "exact":
+            raise InvalidParameterError(
+                f"no exact lookup-cost form for {type(strategy).__name__} "
+                f"(use estimator='mc' or 'auto')"
+            )
+    return estimate_lookup_cost(strategy, target, config.lookups_per_run)
+
+
 def measure_point(config: Fig4Config, target: int, seed: int) -> Dict[str, float]:
     """One run: place each strategy fresh, average lookup cost at ``target``.
 
@@ -68,9 +95,46 @@ def measure_point(config: Fig4Config, target: int, seed: int) -> Dict[str, float
     samples: Dict[str, float] = {}
     for label, strategy in _strategies(config, cluster).items():
         strategy.place(entries)
-        estimate = estimate_lookup_cost(strategy, target, config.lookups_per_run)
+        estimate = _estimate(config, strategy, target)
         samples[label] = estimate.mean_cost
         samples[label + "_fail"] = estimate.failure_rate
+    return samples
+
+
+#: Per-process placement cache for the ``reuse_placements`` path (each
+#: worker process gets its own copy; cached instances are never sent
+#: across the process boundary).
+_PLACEMENTS = PlacementCache()
+
+
+def _group_specs(config: Fig4Config):
+    x = solve_x_from_budget(config.storage_budget, config.server_count)
+    y = solve_y_from_budget(config.storage_budget, config.entry_count)
+    return (
+        (f"round_robin_{y}", "round_robin", "rr", (("y", y),)),
+        (f"random_server_{x}", "random_server", "rs", (("x", x),)),
+        (f"hash_{y}", "hash", "h", (("y", y),)),
+        (f"fixed_{x}", "fixed", "f", (("x", x),)),
+    )
+
+
+def measure_run_reused(config: Fig4Config, seed: int) -> Dict[str, float]:
+    """One run of the whole grid: place once, sweep every target.
+
+    The :class:`PlacementCache` handout restores the post-place RNG
+    state and message counters before each target, so each target's
+    measurement is independent of the grid's composition.
+    """
+    specs = _group_specs(config)
+    samples: Dict[str, float] = {}
+    for target in config.targets:
+        strategies, _entries = _PLACEMENTS.placed_group(
+            specs, config.entry_count, config.server_count, seed
+        )
+        for label, strategy in strategies.items():
+            estimate = _estimate(config, strategy, target)
+            samples[f"{label}@{target}"] = estimate.mean_cost
+            samples[f"{label}@{target}_fail"] = estimate.failure_rate
     return samples
 
 
@@ -92,7 +156,27 @@ def run(
             "lookups_per_run": config.lookups_per_run,
         },
     )
+    if config.estimator != "mc":
+        result.meta["estimator"] = config.estimator
+    if config.reuse_placements:
+        result.meta["reuse_placements"] = True
     with make_executor(jobs) as executor:
+        if config.reuse_placements:
+            averaged = average_runs_multi(
+                partial(measure_run_reused, config),
+                master_seed=config.seed,
+                runs=config.runs,
+                executor=executor,
+            )
+            for target in config.targets:
+                row: Dict[str, object] = {"target": target}
+                for label in labels:
+                    row[label] = round(averaged[f"{label}@{target}"].mean, 3)
+                row[f"fixed_{x}_fail"] = round(
+                    averaged[f"fixed_{x}@{target}_fail"].mean, 3
+                )
+                result.rows.append(row)
+            return result
         for target in config.targets:
             averaged = average_runs_multi(
                 partial(measure_point, config, target),
@@ -100,7 +184,7 @@ def run(
                 runs=config.runs,
                 executor=executor,
             )
-            row: Dict[str, object] = {"target": target}
+            row = {"target": target}
             for label in labels:
                 row[label] = round(averaged[label].mean, 3)
             row[f"fixed_{x}_fail"] = round(averaged[f"fixed_{x}_fail"].mean, 3)

@@ -21,6 +21,7 @@ from repro.analysis.formulas import (
 )
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.core.exceptions import InvalidParameterError
 from repro.experiments.parallel import RunExecutor, make_executor
 from repro.experiments.runner import ExperimentResult, average_runs
 from repro.strategies.fixed import FixedX
@@ -37,6 +38,13 @@ class Fig6Config:
     #: Runs per point for the stochastic schemes (paper averages 5000).
     runs: int = 30
     seed: int = 6
+    #: "mc" (paper default: measure placed clusters), "exact" (every
+    #: column from its closed form — no clusters are built at all; the
+    #: random_server column becomes its expectation, i.e. equal to the
+    #: random_server_expected reference), or "auto" (closed forms for
+    #: the deterministic schemes, measured placements for
+    #: random_server).
+    estimator: str = "mc"
 
 
 def _coverage_point(config: Fig6Config, budget: int, name: str, seed: int) -> float:
@@ -63,10 +71,29 @@ def measure_budget(
     config: Fig6Config, budget: int, executor: Optional[RunExecutor] = None
 ) -> Dict[str, float]:
     """Average coverage of each scheme at one storage budget."""
+    if config.estimator not in ("mc", "exact", "auto"):
+        raise InvalidParameterError(
+            f"estimator must be 'mc', 'exact', or 'auto', got {config.estimator!r}"
+        )
     h, n = config.entry_count, config.server_count
     x = solve_x_from_budget(budget, n)
     point: Dict[str, float] = {}
+    exact = {
+        "fixed": float(min(x, h)),
+        "round_robin": float(min(budget, h)),
+        "hash": float(min(budget, h)),
+        "random_server": expected_coverage_random_server(h, n, x),
+    }
     for name in ("fixed", "random_server", "round_robin", "hash"):
+        if config.estimator == "exact" or (
+            config.estimator == "auto" and name != "random_server"
+        ):
+            # Closed forms (see module docstring).  Under "auto" the
+            # random_server column stays measured: its closed form is
+            # the *expected* coverage, not a per-instance value, and
+            # the figure already carries it as the reference column.
+            point[name] = exact[name]
+            continue
         runs = 1 if name in ("fixed", "round_robin") else config.runs
         averaged = average_runs(
             partial(_coverage_point, config, budget, name),
@@ -75,7 +102,7 @@ def measure_budget(
             executor=executor,
         )
         point[name] = averaged.mean
-    point["random_server_expected"] = expected_coverage_random_server(h, n, x)
+    point["random_server_expected"] = exact["random_server"]
     return point
 
 
@@ -99,6 +126,8 @@ def run(
             "runs": config.runs,
         },
     )
+    if config.estimator != "mc":
+        result.meta["estimator"] = config.estimator
     with make_executor(jobs) as executor:
         for budget in config.budgets:
             point = measure_budget(config, budget, executor)

@@ -28,14 +28,18 @@ from typing import Dict, Optional, Tuple
 from repro.analysis.formulas import solve_x_from_budget, solve_y_from_budget
 from repro.cluster.cluster import Cluster
 from repro.core.entry import make_entries
+from repro.core.exceptions import InvalidParameterError
 from repro.experiments.parallel import make_executor
 from repro.experiments.runner import ExperimentResult, average_runs_multi
 from repro.metrics.unfairness import (
     estimate_unfairness,
     exact_unfairness_uniform_subset,
 )
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
 from repro.strategies.hashing import HashY
 from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
 
 
 @dataclass(frozen=True)
@@ -49,23 +53,51 @@ class Fig9Config:
     #: Lookups per instance (paper: 10000).
     lookups_per_instance: int = 2000
     seed: int = 9
+    #: Which schemes to measure.  The paper's figure plots the two
+    #: stochastic schemes; add "fixed"/"round_robin"/"full_replication"
+    #: to measure the deterministic ones too (the natural companions
+    #: of ``estimator="exact"``).
+    schemes: Tuple[str, ...] = ("random_server", "hash")
+    #: "mc" (paper default), "exact" (closed form; deterministic
+    #: schemes only), or "auto" (exact where available, MC otherwise).
+    estimator: str = "mc"
+
+
+def _build_scheme(name: str, cluster: Cluster, budget: int, h: int, n: int):
+    if name == "random_server":
+        return RandomServerX(cluster, x=solve_x_from_budget(budget, n), key="rs")
+    if name == "hash":
+        return HashY(cluster, y=solve_y_from_budget(budget, h), key="h")
+    if name == "fixed":
+        return FixedX(cluster, x=solve_x_from_budget(budget, n), key="f")
+    if name == "round_robin":
+        return RoundRobinY(cluster, y=solve_y_from_budget(budget, h), key="rr")
+    if name == "full_replication":
+        return FullReplication(cluster, key="fr")
+    raise InvalidParameterError(f"unknown fig9 scheme {name!r}")
 
 
 def measure_point(config: Fig9Config, budget: int, seed: int) -> Dict[str, float]:
     """One instance of each scheme at ``budget``; its unfairness."""
     h, n = config.entry_count, config.server_count
-    x = solve_x_from_budget(budget, n)
-    y = solve_y_from_budget(budget, h)
     cluster = Cluster(n, seed=seed)
     entries = make_entries(h)
     samples: Dict[str, float] = {}
-    for label, strategy in (
-        ("random_server", RandomServerX(cluster, x=x, key="rs")),
-        ("hash", HashY(cluster, y=y, key="h")),
-    ):
+    # Construct every scheme before placing any: Hash-y draws its hash
+    # seed from the cluster RNG at construction, so the construct-all
+    # -then-place interleaving is part of the seeded draw sequence.
+    strategies = [
+        (label, _build_scheme(label, cluster, budget, h, n))
+        for label in config.schemes
+    ]
+    for label, strategy in strategies:
         strategy.place(entries)
         estimate = estimate_unfairness(
-            strategy, config.target, entries, config.lookups_per_instance
+            strategy,
+            config.target,
+            entries,
+            config.lookups_per_instance,
+            estimator=config.estimator,
         )
         samples[label] = estimate.unfairness
     return samples
@@ -77,7 +109,7 @@ def run(
     """Regenerate Figure 9's unfairness-vs-storage series."""
     result = ExperimentResult(
         name="Figure 9: unfairness vs total storage",
-        headers=["budget", "random_server", "hash", "fixed_exact"],
+        headers=["budget", *config.schemes, "fixed_exact"],
         meta={
             "h": config.entry_count,
             "n": config.server_count,
@@ -86,6 +118,8 @@ def run(
             "lookups": config.lookups_per_instance,
         },
     )
+    if config.estimator != "mc":
+        result.meta["estimator"] = config.estimator
     with make_executor(jobs) as executor:
         for budget in config.budgets:
             averaged = average_runs_multi(
@@ -95,19 +129,16 @@ def run(
                 executor=executor,
             )
             x = solve_x_from_budget(budget, config.server_count)
-            result.rows.append(
-                {
-                    "budget": budget,
-                    "random_server": round(averaged["random_server"].mean, 4),
-                    "hash": round(averaged["hash"].mean, 4),
-                    "fixed_exact": round(
-                        exact_unfairness_uniform_subset(
-                            min(x, config.entry_count),
-                            config.entry_count,
-                            config.target,
-                        ),
-                        4,
-                    ),
-                }
+            row: Dict[str, float] = {"budget": budget}
+            for label in config.schemes:
+                row[label] = round(averaged[label].mean, 4)
+            row["fixed_exact"] = round(
+                exact_unfairness_uniform_subset(
+                    min(x, config.entry_count),
+                    config.entry_count,
+                    config.target,
+                ),
+                4,
             )
+            result.rows.append(row)
     return result

@@ -1,0 +1,182 @@
+"""PlacementCache: share one placement across many measurements.
+
+Sweeps re-place constantly: Figure 4 places each scheme afresh for
+every (target, run) grid point even though the placement depends only
+on the run seed, and Table 2 builds the *same* seeded placement once
+for its static-metric cells and again for its lookup-cost cell.  The
+cache generalizes Table 2's shared-placement trick: placements are
+keyed by ``(strategy name, params, seed, entry count, server count)``
+and built exactly once.
+
+The subtle part is reuse without changing any measured number.  A
+consumer of a fresh placement starts measuring from the *post-place*
+RNG state, message counters, and stores; a second consumer of a cached
+placement must see exactly the same starting point even though the
+first consumer has since advanced the RNG and mutated counters (or
+even the placement itself, in churn experiments).  So the cache
+snapshots all three right after ``place`` — stores/state via
+:mod:`repro.cluster.snapshots`, the RNG via ``getstate``, the
+counters via ``MessageStats.snapshot`` — and restores them on every
+handout.  Handed-out measurements are therefore *paired* (they share
+placement and starting RNG stream), which is deterministic and
+unbiased, but it is an opt-in change for sweeps whose seed previously
+varied per grid point — experiment configs expose it as
+``reuse_placements`` (default off, seed outputs untouched).
+
+Invalidation: mutating the placement (``add``/``delete``/``place``)
+bumps the strategy's ``placement_epoch``; the next handout notices the
+epoch mismatch and restores the pristine stores from the snapshot.
+``invalidate``/``clear`` drop cached instances outright for callers
+that want the memory back or a genuinely fresh build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import MessageStats
+from repro.cluster.snapshots import restore_cluster, snapshot_cluster
+from repro.core.entry import Entry, make_entries
+from repro.strategies.base import PlacementStrategy
+from repro.strategies.registry import create_strategy
+
+CacheKey = Tuple[str, Tuple[Tuple[str, Any], ...], int, int, int]
+
+#: One strategy of a shared-cluster group: (label, registry name,
+#: store key, params as sorted item pairs).
+GroupSpec = Tuple[str, str, str, Tuple[Tuple[str, Any], ...]]
+
+
+@dataclass
+class _CachedPlacement:
+    strategies: Dict[str, PlacementStrategy]
+    entries: List[Entry]
+    cluster_snapshot: Dict[str, Any]
+    rng_state: Any
+    stats: MessageStats
+    epochs: Dict[str, int]
+    hits: int = 0
+
+
+@dataclass
+class PlacementCache:
+    """Build-once, hand-out-many placed strategy instances."""
+
+    _cache: Dict[CacheKey, _CachedPlacement] = field(default_factory=dict)
+
+    def placed(
+        self,
+        name: str,
+        entry_count: int,
+        server_count: int,
+        seed: int,
+        **params: Any,
+    ) -> Tuple[PlacementStrategy, List[Entry]]:
+        """A placed strategy plus its entry universe, cached by key.
+
+        The first call builds ``Cluster(server_count, seed)``, the
+        strategy, and ``place(make_entries(entry_count))``; every call
+        (including the first) leaves stores, RNG, and message counters
+        exactly as they were the moment ``place`` returned, so each
+        consumer measures from an identical starting point.
+        """
+        key: CacheKey = (
+            name,
+            tuple(sorted(params.items())),
+            seed,
+            entry_count,
+            server_count,
+        )
+        spec: GroupSpec = (name, name, "k", tuple(sorted(params.items())))
+        strategies, entries = self._placed_specs(key, (spec,), entry_count, server_count, seed)
+        return strategies[name], entries
+
+    def placed_group(
+        self,
+        specs: Tuple[GroupSpec, ...],
+        entry_count: int,
+        server_count: int,
+        seed: int,
+    ) -> Tuple[Dict[str, PlacementStrategy], List[Entry]]:
+        """Several strategies placed on ONE shared cluster, cached together.
+
+        ``specs`` is a tuple of ``(label, registry name, store key,
+        params-as-item-pairs)``.  Placements happen in spec order on a
+        single ``Cluster(server_count, seed)`` — the paired-comparison
+        setup Figure 4 and Table 2 use — and the whole group is
+        snapshotted once, after the last ``place``.  Returns
+        ``({label: strategy}, entries)``.
+        """
+        key = (("group",) + specs, (), seed, entry_count, server_count)
+        return self._placed_specs(key, specs, entry_count, server_count, seed)
+
+    def _placed_specs(
+        self,
+        key: CacheKey,
+        specs: Tuple[GroupSpec, ...],
+        entry_count: int,
+        server_count: int,
+        seed: int,
+    ) -> Tuple[Dict[str, PlacementStrategy], List[Entry]]:
+        cached = self._cache.get(key)
+        if cached is None:
+            cluster = Cluster(server_count, seed=seed)
+            entries = make_entries(entry_count)
+            strategies: Dict[str, PlacementStrategy] = {}
+            for label, name, store_key, params in specs:
+                strategy = create_strategy(name, cluster, key=store_key, **dict(params))
+                strategy.place(entries)
+                strategies[label] = strategy
+            cached = _CachedPlacement(
+                strategies=strategies,
+                entries=entries,
+                cluster_snapshot=snapshot_cluster(cluster),
+                rng_state=cluster.rng.getstate(),
+                stats=cluster.network.stats.snapshot(),
+                epochs={
+                    label: strategy.placement_epoch
+                    for label, strategy in strategies.items()
+                },
+            )
+            self._cache[key] = cached
+            return dict(cached.strategies), list(cached.entries)
+        cached.hits += 1
+        cluster = next(iter(cached.strategies.values())).cluster
+        if any(
+            strategy.placement_epoch != cached.epochs[label]
+            for label, strategy in cached.strategies.items()
+        ):
+            # A consumer mutated a placement (churn); bring the
+            # pristine stores back for the whole shared cluster.
+            restore_cluster(cached.cluster_snapshot, cluster)
+            for label, strategy in cached.strategies.items():
+                cached.epochs[label] = strategy.placement_epoch
+        cluster.rng.setstate(cached.rng_state)
+        cluster.network.stats = cached.stats.snapshot()
+        return dict(cached.strategies), list(cached.entries)
+
+    def invalidate(
+        self, name: str, entry_count: int, server_count: int, seed: int, **params: Any
+    ) -> bool:
+        """Drop one cached placement; True if it was present."""
+        key: CacheKey = (
+            name,
+            tuple(sorted(params.items())),
+            seed,
+            entry_count,
+            server_count,
+        )
+        return self._cache.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    @property
+    def size(self) -> int:
+        return len(self._cache)
+
+    @property
+    def hits(self) -> int:
+        return sum(record.hits for record in self._cache.values())

@@ -200,7 +200,11 @@ def build_config(spec: ExperimentSpec, overrides: Dict[str, Any]):
                 elif isinstance(default, float):
                     coerced[name] = float(raw)
                 elif isinstance(default, tuple):
-                    coerced[name] = tuple(int(part) for part in raw.split(","))
+                    parts = [p.strip() for p in raw.split(",") if p.strip()]
+                    coerced[name] = tuple(
+                        int(part) if part.lstrip("+-").isdigit() else part
+                        for part in parts
+                    )
                 else:
                     coerced[name] = raw
             except ValueError:

@@ -23,9 +23,11 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.exact import exact_lookup_cost
 from repro.cluster.cluster import Cluster
-from repro.core.entry import make_entries
+from repro.core.exceptions import InvalidParameterError
 from repro.experiments.parallel import RunExecutor, make_executor
+from repro.experiments.placement_cache import PlacementCache
 from repro.experiments.runner import (
     ExperimentResult,
     average_runs,
@@ -77,6 +79,11 @@ class Table2Config:
     lookups: int = 1000
     runs: int = 3
     seed: int = 22
+    #: "mc" (paper default), "auto" (closed forms for Fixed-x and
+    #: Round-Robin-y cells that have one, MC otherwise — the
+    #: recommended fast setting), or "exact" (strict; raises on the
+    #: stochastic schemes, so it is not usable for the full table).
+    estimator: str = "mc"
 
 
 def _build(name: str, cluster: Cluster, x: int, y: int, key: str = "k"):
@@ -91,15 +98,22 @@ def _build(name: str, cluster: Cluster, x: int, y: int, key: str = "k"):
     raise ValueError(name)
 
 
+#: Table 2 builds the *same* seeded placement for its static-metric
+#: cells and again for its lookup-cost cell; the per-process cache
+#: dedupes those builds.  Handouts restore the post-place RNG state,
+#: stores, and message counters, so every cell value is identical to
+#: what a fresh placement would measure.
+_PLACEMENTS = PlacementCache()
+
+
 def _place_static(config: Table2Config, name: str, entry_count: int, seed: int):
-    """Fresh placement of ``name`` at the canonical budget."""
+    """Placement of ``name`` at the canonical budget (cached per process)."""
     x = max(1, config.storage_budget // config.server_count)
     y = max(1, min(config.server_count, config.storage_budget // entry_count))
-    cluster = Cluster(config.server_count, seed=seed)
-    strategy = _build(name, cluster, x, y)
-    entries = make_entries(entry_count)
-    strategy.place(entries)
-    return strategy, entries
+    params = {"x": x} if name in ("fixed", "random_server") else {"y": y}
+    return _PLACEMENTS.placed(
+        name, entry_count, config.server_count, seed, **params
+    )
 
 
 def _storage_cell(
@@ -111,6 +125,15 @@ def _storage_cell(
 
 def _lookup_cell(config: Table2Config, name: str, seed: int) -> float:
     strategy, _ = _place_static(config, name, config.entry_count, seed)
+    if config.estimator in ("exact", "auto"):
+        estimate = exact_lookup_cost(strategy, config.target)
+        if estimate is not None:
+            return estimate.mean_cost
+        if config.estimator == "exact":
+            raise InvalidParameterError(
+                f"no exact lookup-cost form for {type(strategy).__name__} "
+                f"(use estimator='mc' or 'auto')"
+            )
     return estimate_lookup_cost(strategy, config.target, config.lookups).mean_cost
 
 
@@ -130,7 +153,11 @@ def _static_cells(config: Table2Config, name: str, seed: int) -> Dict[str, float
             greedy_fault_tolerance(strategy, config.fault_tolerance_target)
         ),
         "fairness_static": estimate_unfairness(
-            strategy, config.target, entries, config.lookups
+            strategy,
+            config.target,
+            entries,
+            config.lookups,
+            estimator=config.estimator,
         ).unfairness,
     }
 
@@ -155,7 +182,11 @@ def _churned_unfairness(config: Table2Config, name: str, seed: int) -> float:
             live.pop(event.entry.entry_id, None)
     universe = list(live.values())
     return estimate_unfairness(
-        strategy, min(config.target, max(1, len(universe))), universe, config.lookups
+        strategy,
+        min(config.target, max(1, len(universe))),
+        universe,
+        config.lookups,
+        estimator=config.estimator,
     ).unfairness
 
 
@@ -242,6 +273,8 @@ def run(
         headers=["strategy"] + columns,
         meta={"h": config.entry_count, "n": config.server_count, "t": config.target},
     )
+    if config.estimator != "mc":
+        result.meta["estimator"] = config.estimator
     for name in STRATEGIES:
         row: Dict[str, object] = {"strategy": name}
         for column in columns:

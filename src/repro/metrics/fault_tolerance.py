@@ -20,10 +20,47 @@ heuristic is an *optimistic* estimate of worst-case tolerance.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.core.exceptions import InvalidParameterError
 from repro.strategies.base import PlacementStrategy
+
+
+def _alive_masks(strategy: PlacementStrategy) -> Dict[int, int]:
+    """Operational servers' stores as interned bitmasks (see
+    :mod:`repro.core.interning`); coverage is a union + popcount."""
+    key = strategy.key
+    return {
+        server.server_id: server.store(key).mask
+        for server in strategy.cluster.servers
+        if server.alive
+    }
+
+
+def _mask_importance(masks: Dict[int, int]) -> Dict[int, float]:
+    """``X_S = Σ 1/f_e`` computed over bitmasks.
+
+    Same quantity as :func:`server_importance`, but replica counts come
+    from bit iteration and each server's sum runs in ascending entry
+    index — a fixed order, unlike set iteration, so the scores are
+    reproducible across hash seeds.
+    """
+    replica_counts: Dict[int, int] = {}
+    for mask in masks.values():
+        while mask:
+            low = mask & -mask
+            index = low.bit_length() - 1
+            replica_counts[index] = replica_counts.get(index, 0) + 1
+            mask &= mask - 1
+    importance: Dict[int, float] = {}
+    for server_id, mask in masks.items():
+        total = 0.0
+        while mask:
+            low = mask & -mask
+            total += 1.0 / replica_counts[low.bit_length() - 1]
+            mask &= mask - 1
+        importance[server_id] = total
+    return importance
 
 
 def server_importance(placement: Dict[int, Set]) -> Dict[int, float]:
@@ -62,22 +99,18 @@ def greedy_fault_tolerance(
     """
     if target < 0:
         raise InvalidParameterError(f"target must be >= 0, got {target}")
-    placement = {
-        server_id: set(entries)
-        for server_id, entries in strategy.placement().items()
-        if strategy.cluster.server(server_id).alive
-    }
+    masks = _alive_masks(strategy)
     failed_order: List[int] = []
-    while placement:
-        importance = server_importance(placement)
+    while masks:
+        importance = _mask_importance(masks)
         victim = max(importance, key=lambda sid: (importance[sid], -sid))
-        survivors_cover: Set = set()
-        for server_id, entries in placement.items():
+        survivors_cover = 0
+        for server_id, mask in masks.items():
             if server_id != victim:
-                survivors_cover |= entries
-        if len(survivors_cover) < target:
+                survivors_cover |= mask
+        if survivors_cover.bit_count() < target:
             break
-        del placement[victim]
+        del masks[victim]
         failed_order.append(victim)
     tolerated = len(failed_order)
     # Never report "all n can fail": with zero operational servers no
@@ -100,20 +133,16 @@ def exact_fault_tolerance(strategy: PlacementStrategy, target: int) -> int:
     """
     if target < 0:
         raise InvalidParameterError(f"target must be >= 0, got {target}")
-    placement = {
-        server_id: set(entries)
-        for server_id, entries in strategy.placement().items()
-        if strategy.cluster.server(server_id).alive
-    }
-    server_ids = sorted(placement)
+    masks = _alive_masks(strategy)
+    server_ids = sorted(masks)
     n = len(server_ids)
     for failures in range(1, n + 1):
         for failed in combinations(server_ids, failures):
             failed_set = set(failed)
-            cover: Set = set()
+            cover = 0
             for server_id in server_ids:
                 if server_id not in failed_set:
-                    cover |= placement[server_id]
-            if len(cover) < target:
+                    cover |= masks[server_id]
+            if cover.bit_count() < target:
                 return failures - 1
     return n - 1

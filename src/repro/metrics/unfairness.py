@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.entry import Entry
 from repro.core.exceptions import InvalidParameterError
+from repro.cluster.kernel import plan_kernel, run_retrieval_kernel
 from repro.strategies.base import PlacementStrategy
 
 
@@ -70,21 +71,51 @@ def retrieval_probabilities(
 
     Issues ``lookups`` real partial lookups against the current
     placement and counts how often each entry appears in an answer.
+    When the strategy declares a plain-skeleton
+    :meth:`~repro.strategies.base.PlacementStrategy.lookup_profile`
+    and nothing non-replayable is installed (no faults, tracers,
+    retries, or metrics), the loop runs on the bitset kernel
+    (:mod:`repro.cluster.kernel`) — bit-identical RNG stream and
+    message counters, several times faster.
     """
     if lookups < 1:
         raise InvalidParameterError(f"lookups must be >= 1, got {lookups}")
+    entries = list(universe)
+    seen_ids: set = set()
+    for entry in entries:
+        if entry.entry_id in seen_ids:
+            raise InvalidParameterError(
+                f"duplicate entry id in universe: {entry.entry_id!r}"
+            )
+        seen_ids.add(entry.entry_id)
+
+    plan = plan_kernel(strategy, target)
+    if plan is not None:
+        index_counts = run_retrieval_kernel(plan, target, lookups)
+        interner = strategy.cluster.interner(strategy.key)
+        out: Dict[Entry, float] = {}
+        for entry in entries:
+            index = interner.index_of(entry.entry_id)
+            count = index_counts[index] if index is not None else 0
+            out[entry] = count / lookups
+        return out
+
     # Counter.update over a generator stays in C for the whole answer;
     # this loop dominates fig9/fig13-class runs, so it matters.
     counts: Counter = Counter()
     for _ in range(lookups):
         result = strategy.partial_lookup(target)
         counts.update(entry.entry_id for entry in result.entries)
-    return {entry: counts[entry.entry_id] / lookups for entry in universe}
+    return {entry: counts[entry.entry_id] / lookups for entry in entries}
 
 
 @dataclass(frozen=True)
 class UnfairnessEstimate:
-    """One instance's estimated unfairness, with its inputs."""
+    """One instance's estimated unfairness, with its inputs.
+
+    ``lookups == 0`` marks a closed-form (exact-estimator) value: no
+    Monte-Carlo lookups were issued at all.
+    """
 
     unfairness: float
     target: int
@@ -98,15 +129,49 @@ def estimate_unfairness(
     target: int,
     universe: Iterable[Entry],
     lookups: int = 10000,
+    estimator: str = "mc",
 ) -> UnfairnessEstimate:
     """Estimate the unfairness of the strategy's *current* instance.
 
     Averaging this over freshly re-placed instances gives the paper's
     strategy-level unfairness; :mod:`repro.experiments.fig9_unfairness`
     does exactly that.
+
+    ``estimator`` selects how per-entry retrieval probabilities are
+    obtained:
+
+    * ``"mc"`` (default): Monte-Carlo over ``lookups`` real partial
+      lookups, the paper's method — seeded outputs are unchanged.
+    * ``"exact"``: closed form via
+      :func:`repro.analysis.exact.exact_retrieval_probabilities`;
+      raises :class:`InvalidParameterError` when the current
+      strategy/instance has no exact form (Hash-y, RandomServer-x).
+      Consumes no RNG.
+    * ``"auto"``: exact when available, Monte-Carlo fallback
+      otherwise.  Note the fallback consumes RNG while the exact path
+      does not, so mixed-strategy sweeps under ``"auto"`` are *not*
+      draw-for-draw comparable with all-MC runs.
     """
+    if estimator not in ("mc", "exact", "auto"):
+        raise InvalidParameterError(
+            f"estimator must be 'mc', 'exact', or 'auto', got {estimator!r}"
+        )
     entries = list(universe)
-    probabilities = retrieval_probabilities(strategy, target, entries, lookups)
+    probabilities = None
+    if estimator in ("exact", "auto"):
+        from repro.analysis.exact import exact_retrieval_probabilities
+
+        probabilities = exact_retrieval_probabilities(strategy, target, entries)
+        if probabilities is None and estimator == "exact":
+            raise InvalidParameterError(
+                f"no exact retrieval-probability form for "
+                f"{type(strategy).__name__} (use estimator='mc' or 'auto')"
+            )
+    used_lookups = lookups
+    if probabilities is None:
+        probabilities = retrieval_probabilities(strategy, target, entries, lookups)
+    else:
+        used_lookups = 0
     value = instance_unfairness(
         [probabilities[entry] for entry in entries], target, len(entries)
     )
@@ -115,7 +180,7 @@ def estimate_unfairness(
         unfairness=value,
         target=target,
         entry_count=len(entries),
-        lookups=lookups,
+        lookups=used_lookups,
         zero_probability_entries=zero,
     )
 

@@ -21,16 +21,37 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.entry import Entry, coerce_entries
 from repro.core.exceptions import InvalidParameterError
 from repro.core.result import LookupResult, UpdateResult
-from repro.cluster.client import Client
+from repro.cluster.client import Client, Order
 from repro.cluster.cluster import Cluster
 from repro.cluster.messages import LookupRequest, Message
 from repro.cluster.network import Network
 from repro.cluster.server import Server, ServerLogic
+
+
+@dataclass(frozen=True)
+class LookupProfile:
+    """A strategy's declaration of *how* it drives the client skeleton.
+
+    Every paper strategy's ``partial_lookup`` is exactly
+    ``client.lookup(key, target, order=..., max_servers=...)`` with no
+    extra randomness or post-processing.  A strategy that can promise
+    this declares it by returning a profile from
+    :meth:`PlacementStrategy.lookup_profile`; consumers (the bitset
+    Monte-Carlo kernel in :mod:`repro.cluster.kernel`, the exact
+    estimators in :mod:`repro.analysis.exact`) can then reproduce or
+    analyse the lookup without calling ``partial_lookup`` itself.
+    Returning ``None`` (the base default) means "opaque — drive the
+    real ``partial_lookup``", which is always safe.
+    """
+
+    order: Order = "random"
+    max_servers: Optional[int] = None
 
 
 class StrategyLogic(ServerLogic):
@@ -84,6 +105,12 @@ class PlacementStrategy(ABC):
         self.cluster = cluster
         self.key = key
         self.client = Client(cluster)
+        #: Monotone counter bumped by every placement mutation
+        #: (``place``/``add``/``delete``).  Consumers that memoize
+        #: anything derived from the placement (e.g. the
+        #: :class:`~repro.experiments.placement_cache.PlacementCache`)
+        #: compare epochs to detect staleness.
+        self.placement_epoch = 0
         logic = self._build_logic()
         for server in cluster.servers:
             server.install_logic(key, logic)
@@ -142,18 +169,47 @@ class PlacementStrategy(ABC):
         for server in self.cluster.servers:
             server.store(self.key).clear()
             server.state(self.key).clear()
+        self.placement_epoch += 1
         return self._measured("place", lambda: self._do_place(batch))
 
     def add(self, entry: Entry) -> UpdateResult:
         """Incrementally add one entry."""
+        self.placement_epoch += 1
         return self._measured("add", lambda: self._do_add(entry))
 
     def delete(self, entry: Entry) -> UpdateResult:
         """Incrementally delete one entry."""
+        self.placement_epoch += 1
         return self._measured("delete", lambda: self._do_delete(entry))
 
+    def lookup_profile(self) -> Optional["LookupProfile"]:
+        """How ``partial_lookup`` drives the client, if declarable.
+
+        See :class:`LookupProfile`.  The base returns ``None`` (opaque
+        lookup); every paper strategy overrides this with its actual
+        order/cap so the fast Monte-Carlo kernel and the exact
+        estimators apply.
+        """
+        return None
+
     def lookup_all(self) -> Set[Entry]:
-        """Traditional full lookup: every retrievable entry."""
+        """Traditional full lookup: every retrievable entry.
+
+        Contract: this is defined as ``partial_lookup(0)`` — target 0
+        is the explicit "fetch everything" request.  The client
+        skeleton then contacts *every* server in the strategy's
+        contact order (no early stop, since no target can be met), and
+        each per-server ``LookupRequest(0)`` answer is the server's
+        entire store (``EntryStore.sample`` treats ``count <= 0`` as
+        "all", matching the paper's traditional-lookup semantics).
+        Consequently the result equals the coverage set restricted to
+        servers the strategy's order reaches — for every paper
+        strategy except Fixed-x and full replication (whose
+        ``max_servers=1`` cap means one server's store, which *is*
+        their coverage set when stores are equal), that is exactly
+        ``cluster.coverage_set(key)``.  Failed servers are skipped, so
+        entries stored only on failed servers are not returned.
+        """
         return set(self.partial_lookup(0).entries)
 
     # -- placement observations ---------------------------------------------------

@@ -32,7 +32,7 @@ from repro.cluster.messages import (
 )
 from repro.cluster.network import Network
 from repro.cluster.server import Server
-from repro.strategies.base import PlacementStrategy, StrategyLogic
+from repro.strategies.base import LookupProfile, PlacementStrategy, StrategyLogic
 
 
 class _FixedLogic(StrategyLogic):
@@ -139,3 +139,6 @@ class FixedX(PlacementStrategy):
         # result reports failure rather than contacting more servers,
         # which could never help.
         return self.client.lookup(self.key, target, max_servers=1)
+
+    def lookup_profile(self) -> LookupProfile:
+        return LookupProfile(order="random", max_servers=1)

@@ -23,7 +23,7 @@ from repro.cluster.messages import (
 )
 from repro.cluster.network import Network
 from repro.cluster.server import Server
-from repro.strategies.base import PlacementStrategy, StrategyLogic
+from repro.strategies.base import LookupProfile, PlacementStrategy, StrategyLogic
 
 
 class _FullReplicationLogic(StrategyLogic):
@@ -95,3 +95,6 @@ class FullReplication(PlacementStrategy):
         # necessary and sufficient; contacting more can never add
         # distinct entries.
         return self.client.lookup(self.key, target, max_servers=1)
+
+    def lookup_profile(self) -> LookupProfile:
+        return LookupProfile(order="random", max_servers=1)

@@ -29,7 +29,7 @@ from repro.cluster.messages import (
 from repro.cluster.network import Network
 from repro.cluster.server import Server
 from repro.hashing.families import HashFamily
-from repro.strategies.base import PlacementStrategy, StrategyLogic
+from repro.strategies.base import LookupProfile, PlacementStrategy, StrategyLogic
 
 
 class _HashLogic(StrategyLogic):
@@ -172,3 +172,6 @@ class HashY(PlacementStrategy):
         # Per-server loads are uneven, so the client simply walks
         # servers in random order merging answers until satisfied.
         return self.client.lookup(self.key, target)
+
+    def lookup_profile(self) -> LookupProfile:
+        return LookupProfile(order="random")

@@ -35,7 +35,7 @@ from repro.cluster.messages import (
 )
 from repro.cluster.network import Network, is_undelivered
 from repro.cluster.server import Server
-from repro.strategies.base import PlacementStrategy, StrategyLogic
+from repro.strategies.base import LookupProfile, PlacementStrategy, StrategyLogic
 
 
 class _RandomServerLogic(StrategyLogic):
@@ -208,3 +208,6 @@ class RandomServerX(PlacementStrategy):
         # Contact servers in random order, merging distinct entries,
         # until the target is met or every server has been asked.
         return self.client.lookup(self.key, target)
+
+    def lookup_profile(self) -> LookupProfile:
+        return LookupProfile(order="random")

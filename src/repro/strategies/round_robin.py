@@ -41,7 +41,7 @@ from repro.cluster.messages import (
 )
 from repro.cluster.network import Network, is_undelivered
 from repro.cluster.server import Server
-from repro.strategies.base import PlacementStrategy, StrategyLogic
+from repro.strategies.base import LookupProfile, PlacementStrategy, StrategyLogic
 
 #: Server id that hosts the head/tail counters (the paper's "server 1").
 COUNTER_HOST = 0
@@ -428,3 +428,6 @@ class RoundRobinY(PlacementStrategy):
         # server contributes ~h/n fresh entries.  Failed servers are
         # skipped and replaced by random untried ones.
         return self.client.lookup(self.key, target, order=Stride(self.y))
+
+    def lookup_profile(self) -> LookupProfile:
+        return LookupProfile(order=Stride(self.y))

@@ -1,0 +1,182 @@
+"""The exact estimators against Monte-Carlo, across the fig9 grid.
+
+The closed forms in :mod:`repro.analysis.exact` claim to be the exact
+probability law of ``partial_lookup(target)`` — not an approximation —
+so each one is held against a large-sample MC estimate of the same
+instance and must agree within sampling tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.exact import (
+    exact_lookup_cost,
+    exact_retrieval_probabilities,
+)
+from repro.analysis.formulas import solve_x_from_budget, solve_y_from_budget
+from repro.cluster.cluster import Cluster
+from repro.core.entry import make_entries
+from repro.core.exceptions import InvalidParameterError
+from repro.metrics.lookup_cost import estimate_lookup_cost
+from repro.metrics.unfairness import (
+    estimate_unfairness,
+    exact_unfairness_uniform_subset,
+    retrieval_probabilities,
+)
+from repro.strategies.base import LookupProfile
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+H, N, TARGET = 100, 10, 35
+FIG9_BUDGETS = (100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
+MC_LOOKUPS = 10000
+#: ~5 sigma on a Bernoulli probability at 10k samples.
+TOLERANCE = 0.025
+
+
+def _placed(build, seed=77):
+    cluster = Cluster(N, seed=seed)
+    strategy = build(cluster)
+    entries = make_entries(H)
+    strategy.place(entries)
+    return strategy, entries
+
+
+def _assert_exact_matches_mc(strategy, entries, target=TARGET):
+    exact = exact_retrieval_probabilities(strategy, target, entries)
+    assert exact is not None, "expected an exact form for this instance"
+    mc = retrieval_probabilities(strategy, target, entries, MC_LOOKUPS)
+    worst = max(abs(exact[e] - mc[e]) for e in entries)
+    assert worst < TOLERANCE, f"exact vs MC diverge by {worst:.4f}"
+
+
+@pytest.mark.parametrize("budget", FIG9_BUDGETS)
+def test_fixed_exact_matches_mc_across_fig9_grid(budget):
+    x = solve_x_from_budget(budget, N)
+    strategy, entries = _placed(lambda c: FixedX(c, x=x))
+    _assert_exact_matches_mc(strategy, entries)
+
+
+@pytest.mark.parametrize("budget", FIG9_BUDGETS)
+def test_round_robin_exact_matches_mc_across_fig9_grid(budget):
+    y = solve_y_from_budget(budget, H)
+    strategy, entries = _placed(lambda c: RoundRobinY(c, y=y))
+    _assert_exact_matches_mc(strategy, entries)
+
+
+def test_full_replication_exact_matches_mc():
+    strategy, entries = _placed(FullReplication)
+    _assert_exact_matches_mc(strategy, entries)
+
+
+def test_exact_probabilities_sum_to_expected_answer_size():
+    # With disjoint stores covering everything and t reachable, the
+    # answer always has exactly t entries, so sum(p) == t.
+    strategy, entries = _placed(lambda c: RoundRobinY(c, y=1))
+    exact = exact_retrieval_probabilities(strategy, TARGET, entries)
+    assert math.isclose(sum(exact.values()), TARGET, abs_tol=1e-9)
+
+
+class _RandomWalkRoundRobin(RoundRobinY):
+    """Round-robin placement, but a random full-walk lookup.
+
+    Exercises the exchangeability DP regime (random order, no cap,
+    pairwise-disjoint stores) against a real skeleton lookup.
+    """
+
+    def partial_lookup(self, target):
+        return self.client.lookup(self.key, target, order="random")
+
+    def lookup_profile(self):
+        return LookupProfile(order="random")
+
+
+@pytest.mark.parametrize("target", [5, 15, 35, 95])
+def test_random_walk_dp_matches_mc(target):
+    strategy, entries = _placed(lambda c: _RandomWalkRoundRobin(c, y=1))
+    _assert_exact_matches_mc(strategy, entries, target)
+
+
+def test_random_walk_dp_refuses_overlapping_stores():
+    # y=2 makes adjacent stores share entries; the DP must decline.
+    strategy, entries = _placed(lambda c: _RandomWalkRoundRobin(c, y=2))
+    assert exact_retrieval_probabilities(strategy, TARGET, entries) is None
+
+
+def test_stochastic_strategies_have_no_exact_form():
+    for build in (lambda c: RandomServerX(c, x=20), lambda c: HashY(c, y=2)):
+        strategy, entries = _placed(build)
+        assert exact_retrieval_probabilities(strategy, TARGET, entries) is None
+        with pytest.raises(InvalidParameterError):
+            estimate_unfairness(strategy, TARGET, entries, estimator="exact")
+
+
+def test_estimate_unfairness_estimator_knob():
+    strategy, entries = _placed(lambda c: FixedX(c, x=20))
+    mc = estimate_unfairness(strategy, TARGET, entries, lookups=MC_LOOKUPS)
+    strategy, entries = _placed(lambda c: FixedX(c, x=20))
+    exact = estimate_unfairness(strategy, TARGET, entries, estimator="exact")
+    assert exact.lookups == 0  # closed form: no MC lookups issued
+    assert mc.lookups == MC_LOOKUPS
+    assert abs(exact.unfairness - mc.unfairness) < TOLERANCE
+    # Fixed-20, t=35 > x: every covered entry is returned surely.
+    assert math.isclose(
+        exact.unfairness,
+        math.sqrt((20 * 0.65**2 + 80 * 0.35**2) / 100) * (100 / 35),
+    )
+    with pytest.raises(InvalidParameterError):
+        estimate_unfairness(strategy, TARGET, entries, estimator="bogus")
+
+
+@pytest.mark.parametrize(
+    "build,expected_mean",
+    [
+        (lambda c: FixedX(c, x=20), 1.0),
+        (lambda c: RoundRobinY(c, y=2), 2.0),  # 20-entry stores: ceil(35/20)
+    ],
+)
+def test_exact_lookup_cost_matches_mc(build, expected_mean):
+    strategy, _ = _placed(build)
+    exact = exact_lookup_cost(strategy, TARGET)
+    assert exact is not None
+    assert exact.mean_cost == expected_mean
+    strategy, _ = _placed(build)
+    mc = estimate_lookup_cost(strategy, TARGET, 2000)
+    assert math.isclose(exact.mean_cost, mc.mean_cost, abs_tol=0.05)
+    assert math.isclose(exact.failure_rate, mc.failure_rate, abs_tol=0.05)
+
+
+def test_exact_lookup_cost_declines_stochastic_schemes():
+    strategy, _ = _placed(lambda c: HashY(c, y=2))
+    assert exact_lookup_cost(strategy, TARGET) is None
+
+
+def test_exact_uniform_subset_edge_cases():
+    # Full coverage: perfectly fair, exactly zero.
+    assert exact_unfairness_uniform_subset(100, 100, 35) == 0.0
+    # t > covered: the formula's uniform-return model still yields
+    # sqrt(h/covered - 1) — unchanged, by contract (the reference
+    # column in fig9 relies on it even where clipping makes the true
+    # instance fairer).
+    assert math.isclose(
+        exact_unfairness_uniform_subset(10, 100, 35), math.sqrt(9.0)
+    )
+    with pytest.raises(InvalidParameterError):
+        exact_unfairness_uniform_subset(0, 100, 35)
+    with pytest.raises(InvalidParameterError):
+        exact_unfairness_uniform_subset(101, 100, 35)
+
+
+def test_duplicate_entry_ids_rejected():
+    strategy, entries = _placed(lambda c: FixedX(c, x=20))
+    bad = entries + [entries[0]]
+    with pytest.raises(InvalidParameterError, match="duplicate entry id"):
+        retrieval_probabilities(strategy, TARGET, bad, 10)
+    with pytest.raises(InvalidParameterError, match="duplicate entry id"):
+        exact_retrieval_probabilities(strategy, TARGET, bad)

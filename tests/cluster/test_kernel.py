@@ -1,0 +1,98 @@
+"""The bitset MC kernel must be bit-identical to the real lookup path.
+
+Every test runs the same seeded Monte-Carlo estimate twice — once on
+the kernel, once with the kernel disabled (by hiding the strategy's
+``lookup_profile``) — and demands identical probabilities, identical
+message counters, and an identical final RNG state.  Identical RNG
+state is the strong claim: it proves the kernel consumed exactly the
+draw sequence the Entry-object path would, so *any* downstream seeded
+computation is unaffected by which path ran.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.kernel import plan_kernel
+from repro.core.entry import make_entries
+from repro.metrics.unfairness import retrieval_probabilities
+from repro.strategies.fixed import FixedX
+from repro.strategies.full_replication import FullReplication
+from repro.strategies.hashing import HashY
+from repro.strategies.random_server import RandomServerX
+from repro.strategies.round_robin import RoundRobinY
+
+LOOKUPS = 400
+
+SCHEMES = {
+    "full_replication": lambda cluster: FullReplication(cluster),
+    "fixed": lambda cluster: FixedX(cluster, x=20),
+    "random_server": lambda cluster: RandomServerX(cluster, x=20),
+    "round_robin": lambda cluster: RoundRobinY(cluster, y=2),
+    "hash": lambda cluster: HashY(cluster, y=2),
+}
+
+
+def _stats_tuple(cluster):
+    stats = cluster.network.stats
+    return (
+        stats.total,
+        dict(stats.by_category),
+        dict(stats.by_type),
+        dict(stats.per_server),
+        stats.undelivered,
+    )
+
+
+def _measure(build, target, *, fail=(), disable_kernel, seed=1234):
+    cluster = Cluster(10, seed=seed)
+    strategy = build(cluster)
+    entries = make_entries(100)
+    strategy.place(entries)
+    for server_id in fail:
+        cluster.fail(server_id)
+    if disable_kernel:
+        strategy.lookup_profile = lambda: None  # force the real path
+        assert plan_kernel(strategy, target) is None
+    else:
+        assert plan_kernel(strategy, target) is not None
+    probs = retrieval_probabilities(strategy, target, entries, LOOKUPS)
+    return probs, _stats_tuple(cluster), cluster.rng.getstate()
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+@pytest.mark.parametrize("target", [5, 35, 150])
+def test_kernel_matches_real_path(name, target):
+    build = SCHEMES[name]
+    fast = _measure(build, target, disable_kernel=False)
+    slow = _measure(build, target, disable_kernel=True)
+    assert fast[0] == slow[0], "per-entry probabilities diverge"
+    assert fast[1] == slow[1], "message counters diverge"
+    assert fast[2] == slow[2], "RNG streams diverge"
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+def test_kernel_matches_real_path_with_failures(name):
+    build = SCHEMES[name]
+    fast = _measure(build, 35, fail=(3, 7), disable_kernel=False)
+    slow = _measure(build, 35, fail=(3, 7), disable_kernel=True)
+    assert fast == slow
+
+
+def test_kernel_refuses_nonreplayable_setups():
+    from repro.cluster.client import Client, RetryPolicy
+
+    cluster = Cluster(10, seed=5)
+    strategy = RandomServerX(cluster, x=20)
+    strategy.place(make_entries(100))
+    assert plan_kernel(strategy, 35) is not None
+    strategy.client = Client(cluster, retry_policy=RetryPolicy())
+    assert plan_kernel(strategy, 35) is None
+
+
+def test_kernel_declines_target_zero():
+    cluster = Cluster(10, seed=5)
+    strategy = RandomServerX(cluster, x=20)
+    strategy.place(make_entries(100))
+    assert plan_kernel(strategy, 0) is None

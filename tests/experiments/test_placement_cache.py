@@ -1,0 +1,81 @@
+"""PlacementCache: reuse must never change a measured number.
+
+The cache's promise is byte-identity: a consumer of a cached handout
+measures exactly what a consumer of a fresh placement would — same
+stores, same RNG state, same message counters.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.placement_cache import PlacementCache
+from repro.metrics.unfairness import estimate_unfairness
+
+
+def _measurement(strategy, entries):
+    estimate = estimate_unfairness(strategy, 15, entries, lookups=300)
+    return estimate.unfairness, strategy.cluster.rng.getstate()
+
+
+def test_handouts_are_byte_identical():
+    cache = PlacementCache()
+    strategy, entries = cache.placed("random_server", 40, 8, seed=3, x=10)
+    first = _measurement(strategy, entries)
+    strategy2, entries2 = cache.placed("random_server", 40, 8, seed=3, x=10)
+    assert strategy2 is strategy  # one build, handed out again
+    assert entries2 == entries
+    second = _measurement(strategy2, entries2)
+    assert first == second  # same value AND same post-measurement RNG state
+    assert cache.size == 1
+    assert cache.hits == 1
+
+
+def test_distinct_keys_build_distinct_placements():
+    cache = PlacementCache()
+    a, _ = cache.placed("random_server", 40, 8, seed=3, x=10)
+    b, _ = cache.placed("random_server", 40, 8, seed=4, x=10)
+    c, _ = cache.placed("random_server", 40, 8, seed=3, x=5)
+    assert a is not b and a is not c
+    assert cache.size == 3
+    assert cache.hits == 0
+
+
+def test_mutation_is_detected_and_restored():
+    cache = PlacementCache()
+    strategy, entries = cache.placed("round_robin", 40, 8, seed=9, y=2)
+    baseline = _measurement(strategy, entries)
+    # A churn consumer mutates the placement...
+    strategy.delete(entries[0])
+    strategy.delete(entries[1])
+    # ...the next handout must present the pristine placement again.
+    strategy2, entries2 = cache.placed("round_robin", 40, 8, seed=9, y=2)
+    assert strategy2 is strategy
+    assert strategy2.coverage() == 40
+    assert _measurement(strategy2, entries2) == baseline
+
+
+def test_invalidate_and_clear():
+    cache = PlacementCache()
+    cache.placed("fixed", 40, 8, seed=1, x=10)
+    assert cache.invalidate("fixed", 40, 8, seed=1, x=10) is True
+    assert cache.invalidate("fixed", 40, 8, seed=1, x=10) is False
+    assert cache.size == 0
+    cache.placed("fixed", 40, 8, seed=1, x=10)
+    cache.placed("fixed", 40, 8, seed=2, x=10)
+    cache.clear()
+    assert cache.size == 0
+
+
+def test_placed_group_shares_one_cluster():
+    cache = PlacementCache()
+    specs = (
+        ("rr", "round_robin", "rr", (("y", 2),)),
+        ("rs", "random_server", "rs", (("x", 10),)),
+    )
+    strategies, entries = cache.placed_group(specs, 40, 8, seed=7)
+    assert set(strategies) == {"rr", "rs"}
+    assert strategies["rr"].cluster is strategies["rs"].cluster
+    first = _measurement(strategies["rr"], entries)
+    strategies2, entries2 = cache.placed_group(specs, 40, 8, seed=7)
+    assert strategies2["rr"] is strategies["rr"]
+    assert _measurement(strategies2["rr"], entries2) == first
+    assert cache.hits == 1

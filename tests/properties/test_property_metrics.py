@@ -19,11 +19,13 @@ probability_lists = st.lists(
 )
 
 
+@settings(deadline=None)
 @given(probability_lists, st.integers(min_value=1, max_value=20))
 def test_unfairness_nonnegative(probabilities, target):
     assert instance_unfairness(probabilities, target) >= 0.0
 
 
+@settings(deadline=None)
 @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=50))
 def test_uniform_probabilities_are_fair(h, target):
     assume(target <= h)
@@ -31,6 +33,7 @@ def test_uniform_probabilities_are_fair(h, target):
     assert instance_unfairness(probabilities, target) < 1e-9
 
 
+@settings(deadline=None)
 @given(st.integers(min_value=2, max_value=100), st.integers(min_value=1, max_value=10))
 def test_single_entry_monopoly_maximizes_unfairness(h, target):
     """All probability mass on one entry is worse than any even split."""
@@ -42,6 +45,7 @@ def test_single_entry_monopoly_maximizes_unfairness(h, target):
     )
 
 
+@settings(deadline=None)
 @given(
     st.integers(min_value=1, max_value=100),
     st.integers(min_value=1, max_value=100),
@@ -57,6 +61,7 @@ def test_subset_closed_form_matches_equation_one(covered, h, target):
     assert math.isclose(direct, closed, rel_tol=1e-9, abs_tol=1e-9)
 
 
+@settings(deadline=None)
 @given(
     st.dictionaries(
         keys=st.integers(min_value=0, max_value=8),
