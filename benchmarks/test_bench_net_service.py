@@ -1,0 +1,57 @@
+"""Net-service throughput: concurrent partial lookups over real sockets.
+
+Boots one in-process :class:`~repro.net.service.LookupService` on an
+ephemeral loopback port and measures sustained lookups/second with a
+small fleet of concurrent async clients — the socket path's end-to-end
+cost (framing, JSON codec, event-loop scheduling, protocol pump) on
+top of the simulator work the other benches already measure.  Records
+``net_lookups_per_sec`` into the ``--bench-json`` artifact.
+"""
+
+import asyncio
+import random
+import time
+
+from repro.net.client import AsyncLookupClient
+from repro.net.service import LookupService, ServiceConfig
+
+CLIENTS = 4
+LOOKUPS_PER_CLIENT = 75
+TARGET = 8
+SCHEME = "round_robin"
+
+
+async def _drive(host, port, seed):
+    async with AsyncLookupClient(host, port, rng=random.Random(seed)) as client:
+        await client.info()  # warm the topology cache before timing
+        for _ in range(LOOKUPS_PER_CLIENT):
+            result = await client.lookup(SCHEME, TARGET)
+            assert result.success
+    return LOOKUPS_PER_CLIENT
+
+
+async def _throughput():
+    service = LookupService(ServiceConfig(server_count=16, entry_count=40, seed=3))
+    host, port = await service.start(port=0)
+    try:
+        started = time.perf_counter()
+        counts = await asyncio.gather(
+            *(_drive(host, port, seed) for seed in range(CLIENTS))
+        )
+        elapsed = time.perf_counter() - started
+    finally:
+        await service.stop()
+    return sum(counts) / elapsed
+
+
+def test_bench_net_service_throughput(bench_json_record):
+    lookups_per_sec = asyncio.run(asyncio.wait_for(_throughput(), timeout=120))
+    print(
+        f"\nnet service: {CLIENTS} clients x {LOOKUPS_PER_CLIENT} lookups "
+        f"(target {TARGET}, {SCHEME}) -> {lookups_per_sec:,.0f} lookups/s"
+    )
+    bench_json_record("net_lookups_per_sec", round(lookups_per_sec, 1))
+    # Sanity floor, far below any plausible loopback result: catches a
+    # pathological regression (e.g. an accidental per-lookup reconnect)
+    # without being machine-sensitive.
+    assert lookups_per_sec > 50

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Live-service smoke: boot ``repro serve``, drive ``repro call``, tear down.
+
+CI's net-smoke job runs this script.  It starts the asyncio lookup
+service as a real subprocess on an ephemeral port, waits for the
+``--ready-file`` handshake, then runs ``repro call`` partial lookups
+against every hosted scheme — checking, per scheme, that:
+
+- every lookup met its target (``all_success``),
+- the returned entry ids are distinct and drawn from the placed
+  universe ``v1..vH``,
+- the service's ``verify`` op reports full coverage (every placed
+  entry retrievable from operational servers) and the scheme's exact
+  expected storage cost.
+
+The server is terminated with SIGTERM and must exit cleanly within
+the grace period; any leftover process is killed and reported as a
+failure.  The whole script is bounded by ``--timeout`` (default 120 s)
+so a wedged service fails fast instead of hanging the job.
+
+Usage: ``PYTHONPATH=src python scripts/net_smoke.py [--timeout 120]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SERVERS = 12
+ENTRIES = 30
+SEED = 5
+TARGET = 8
+LOOKUPS = 3
+
+X = 10  # fixed / random_server subset size
+Y = 2  # round_robin / hash copy count
+
+#: scheme -> (expected coverage, (min, max) storage) for the service
+#: defaults above.  Fixed-x is partial *by design* (covers only its x
+#: chosen entries); Hash-y's storage dips below y*h when hash
+#: functions collide; everything else is exact.
+EXPECTED = {
+    "full_replication": (ENTRIES, (SERVERS * ENTRIES, SERVERS * ENTRIES)),
+    "fixed": (X, (SERVERS * X, SERVERS * X)),
+    "random_server": (ENTRIES, (SERVERS * X, SERVERS * X)),
+    "round_robin": (ENTRIES, (Y * ENTRIES, Y * ENTRIES)),
+    "hash": (ENTRIES, (ENTRIES, Y * ENTRIES)),
+}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_ready(path: str, process: subprocess.Popen, deadline: float) -> tuple[str, int]:
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            fail(f"server exited early with code {process.returncode}")
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read().strip()
+        except FileNotFoundError:
+            text = ""
+        if text:
+            host, port = text.split()
+            return host, int(port)
+        time.sleep(0.1)
+    fail("server never wrote the ready file")
+    raise AssertionError  # unreachable
+
+
+def run_call(scheme: str, host: str, port: int, deadline: float) -> dict:
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "call",
+        scheme,
+        "--host",
+        host,
+        "--port",
+        str(port),
+        "--target",
+        str(TARGET),
+        "--count",
+        str(LOOKUPS),
+        "--seed",
+        "11",
+        "--verify",
+    ]
+    budget = max(1.0, deadline - time.monotonic())
+    result = subprocess.run(
+        command, capture_output=True, text=True, timeout=budget
+    )
+    if result.returncode != 0:
+        fail(
+            f"repro call {scheme} exited {result.returncode}:\n"
+            f"{result.stdout}\n{result.stderr}"
+        )
+    return json.loads(result.stdout)
+
+
+def check_scheme(scheme: str, summary: dict) -> None:
+    if not summary["all_success"]:
+        fail(f"{scheme}: lookup(s) missed the target: {summary}")
+    universe = {f"v{i}" for i in range(1, ENTRIES + 1)}
+    for lookup in summary["lookups"]:
+        ids = lookup["entries"]
+        if len(ids) != len(set(ids)):
+            fail(f"{scheme}: duplicate entries in one lookup answer: {ids}")
+        if len(ids) != TARGET:
+            fail(f"{scheme}: got {len(ids)} entries, want {TARGET}")
+        stray = set(ids) - universe
+        if stray:
+            fail(f"{scheme}: entries outside the placed universe: {stray}")
+    verify = summary["verify"]
+    coverage, (storage_low, storage_high) = EXPECTED[scheme]
+    if verify["coverage"] != coverage:
+        fail(f"{scheme}: coverage {verify['coverage']} != {coverage}")
+    if not storage_low <= verify["storage_cost"] <= storage_high:
+        fail(
+            f"{scheme}: storage {verify['storage_cost']} outside "
+            f"[{storage_low}, {storage_high}]"
+        )
+    if verify["operational"] != SERVERS:
+        fail(f"{scheme}: {verify['operational']} operational servers != {SERVERS}")
+    print(
+        f"ok {scheme}: {LOOKUPS} lookups x {TARGET} entries, "
+        f"coverage {verify['coverage']}/{ENTRIES}, "
+        f"storage {verify['storage_cost']}"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    args = parser.parse_args()
+    deadline = time.monotonic() + args.timeout
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        ready = os.path.join(tmpdir, "ready.txt")
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--ready-file",
+                ready,
+                "--servers",
+                str(SERVERS),
+                "--entries",
+                str(ENTRIES),
+                "--seed",
+                str(SEED),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            host, port = wait_for_ready(ready, server, deadline)
+            print(f"server up at {host}:{port}")
+            for scheme in sorted(EXPECTED):
+                check_scheme(scheme, run_call(scheme, host, port, deadline))
+        finally:
+            if server.poll() is None:
+                server.send_signal(signal.SIGTERM)
+                try:
+                    server.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    server.kill()
+                    server.wait()
+                    fail("server did not exit within 10s of SIGTERM")
+        output = server.stdout.read() if server.stdout else ""
+        if server.returncode != 0:
+            fail(f"server exited {server.returncode}:\n{output}")
+        if "[serve] stopped" not in output:
+            fail(f"server did not report a clean stop:\n{output}")
+    print("net smoke passed: all schemes served real partial lookups")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

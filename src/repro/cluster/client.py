@@ -1,20 +1,29 @@
-"""The client-side lookup driver.
+"""The client-side lookup driver over the sans-IO protocol core.
 
 Every strategy's ``partial_lookup`` follows the same skeleton — contact
 servers in some order, merge the distinct entries from each reply, stop
 once the target is met — and differs only in the *order* of servers
 contacted (uniformly random for most strategies, the deterministic
-``s, s+y, s+2y, ...`` walk for Round-Robin).  :class:`Client`
-implements that skeleton once, including the paper's failure handling:
-a request to a failed server goes unanswered and the client falls back
-to trying other (random) servers.
+``s, s+y, s+2y, ...`` walk for Round-Robin).  That skeleton, including
+the paper's failure handling and this reproduction's bounded retry
+passes, lives in the transport-agnostic
+:class:`~repro.protocol.lookup.LookupSession` state machine;
+:class:`Client` is the *simulated-network driver* for it.  It resolves
+the contact order (the only part that needs cluster topology), then
+pumps the session: each ``SendRequest`` effect becomes a synchronous
+:meth:`Network.send <repro.cluster.network.Network.send>`, each
+``Sleep`` effect is accounted rather than enacted (asynchronous timing
+lives at the workload level), and trace effects are forwarded to the
+optional tracer.  The asyncio driver in :mod:`repro.net.client` pumps
+the very same machine over real sockets.
 
 The one public entry point is :meth:`Client.lookup`: a keyword-only
 API built around the frozen :class:`LookupOptions` dataclass, whose
 ``order`` selects between the random walk (``"random"``) and the
 Round-Robin stride walk (:class:`Stride`).  The legacy
-``lookup_random`` / ``lookup_stride`` methods remain as deprecated
-shims over it.
+``lookup_random`` / ``lookup_stride`` shims were removed after one
+deprecation release; calling them now raises an ``AttributeError``
+naming the replacement.
 
 Under a fault plan the transport can also *lose* requests
 (:data:`~repro.cluster.network.DROPPED`), which the paper's protocol
@@ -34,22 +43,29 @@ dropped) and a ``"retry"`` event per extra pass.  A
 :class:`~repro.obs.metrics.MetricsRegistry` makes the client publish
 per-lookup counters (``client.lookups``, ``client.retries``, ...).
 Both are opt-in and cost nothing when absent — no RNG draws, no
-behaviour change.
+behaviour change (the session emits trace effects only when asked).
 """
 
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
-from repro.core.entry import Entry
-from repro.core.exceptions import InvalidParameterError, NoOperationalServerError
+from repro.core.exceptions import InvalidParameterError
 from repro.core.result import LookupResult
 from repro.cluster.cluster import Cluster
-from repro.cluster.messages import LookupRequest
 from repro.cluster.network import DROPPED, is_undelivered
+from repro.protocol.effects import (
+    Complete,
+    SendRequest,
+    Sleep,
+    SpanEnd,
+    SpanEvent,
+    SpanStart,
+)
+from repro.protocol.events import SLEPT, ContactFailed, Event, ReplyReceived
+from repro.protocol.lookup import LookupSession, random_order, stride_order
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
@@ -78,7 +94,8 @@ class RetryPolicy:
         synchronous transport accounts the delay (see
         ``LookupResult.backoff``) rather than advancing the engine,
         matching the codebase's convention that asynchronous timing
-        lives at the workload level.
+        lives at the workload level.  The asyncio driver enacts the
+        same delays as real ``asyncio.sleep`` calls.
     jitter:
         Each delay is scaled by ``1 + jitter * u`` with ``u`` uniform
         in [0, 1) from the client RNG (the cluster RNG by default), so
@@ -178,8 +195,15 @@ class LookupOptions:
             )
 
 
+#: The removed legacy entry points and the hint shown for each.
+_REMOVED_METHODS = {
+    "lookup_random": "Client.lookup(key, target, max_servers=...)",
+    "lookup_stride": "Client.lookup(key, target, order=Stride(y))",
+}
+
+
 class Client:
-    """A lookup client bound to a cluster.
+    """A lookup client bound to a cluster (the simulated-network driver).
 
     Parameters
     ----------
@@ -213,36 +237,29 @@ class Client:
         self.tracer = tracer
         self.metrics = metrics
 
+    def __getattr__(self, name: str):
+        if name in _REMOVED_METHODS:
+            raise AttributeError(
+                f"Client.{name} was removed (deprecated since the unified "
+                f"lookup API landed); use {_REMOVED_METHODS[name]} instead"
+            )
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
     # -- server orderings -----------------------------------------------------
 
     def random_order(self) -> List[int]:
         """All server ids in a fresh uniformly random order."""
-        order = list(range(self._cluster.size))
-        self._rng.shuffle(order)
-        return order
+        return random_order(self._cluster.size, self._rng)
 
     def stride_order(self, start: int, stride: int) -> List[int]:
         """The Round-Robin-y contact sequence ``start, start+stride, ...``.
 
-        Walks all ``n`` servers modulo ``n``; when ``gcd(stride, n) > 1``
-        the walk revisits ids, so remaining ids are appended in random
-        order to preserve the "contact every server at most once"
-        client behaviour.
+        See :func:`repro.protocol.lookup.stride_order`; the walk logic
+        lives in the protocol package so both drivers share it.
         """
-        n = self._cluster.size
-        order: List[int] = []
-        seen: Set[int] = set()
-        current = start % n
-        for _ in range(n):
-            if current in seen:
-                break
-            order.append(current)
-            seen.add(current)
-            current = (current + stride) % n
-        leftovers = [i for i in range(n) if i not in seen]
-        self._rng.shuffle(leftovers)
-        order.extend(leftovers)
-        return order
+        return stride_order(self._cluster.size, start, stride, self._rng)
 
     def _resolve_order(self, order: Order) -> Tuple[List[int], str]:
         """Materialize an :data:`Order` into server ids plus a trace label.
@@ -324,159 +341,79 @@ class Client:
     ) -> LookupResult:
         """Contact servers in ``order`` until ``target`` entries merge.
 
-        Parameters
-        ----------
-        key:
-            The key being looked up.
-        target:
-            Required number of distinct entries; ``0`` means "collect
-            everything" (contact every server), used for traditional
-            full lookups and coverage probes.
-        order:
-            Server ids to try, in order.  Failed servers are skipped
-            (recorded in ``failed_contacts``) without counting toward
-            the lookup cost, per Section 4.2's no-failure cost model.
-        max_servers:
-            Optional cap on operational servers contacted; used by
-            strategies whose placement makes extra contacts useless
-            (Fixed-x and full replication stop after one).
-        per_server_target:
-            How many entries to request from each server.  Defaults to
-            ``target``, the paper's per-server answer size.
-        retry:
-            Per-call policy override; ``None`` inherits
-            ``self.retry_policy``.
-        tracer:
-            Per-call tracer override; ``None`` inherits
-            ``self.tracer``.
-        trace_label:
-            The ``order`` field on the emitted lookup span (set by
-            :meth:`lookup`; explicit orders trace as ``"explicit"``).
+        Builds a :class:`~repro.protocol.lookup.LookupSession` over
+        ``order`` and pumps it through the simulated network; all
+        merge/stop/retry decisions are the session's.  See
+        :meth:`lookup` for the parameter semantics; ``order`` here is
+        an explicit server-id sequence (failed servers are skipped
+        without counting toward the lookup cost, per Section 4.2's
+        no-failure cost model).
 
         When a :class:`RetryPolicy` is in effect and the first pass
-        comes up short with unanswered servers remaining, the client
+        comes up short with unanswered servers remaining, the session
         makes further passes over those servers (dropped contacts
         first) until the target is met, the attempts run out, or the
         backoff budget is exhausted.
         """
         if tracer is None:
             tracer = self.tracer
-        span = None
-        if tracer is not None:
-            span = tracer.begin_span(
-                "lookup",
-                key=key,
-                target=target,
-                order=trace_label if trace_label is not None else "explicit",
-            )
-        ask = target if per_server_target is None else per_server_target
-        merged: List[Entry] = []
-        merged_ids: Set[str] = set()
-        contacted: List[int] = []
-        failed: List[int] = []
-        dropped: List[int] = []
-
-        def run_pass(pass_order: Iterable[int]) -> None:
-            for server_id in pass_order:
-                if target > 0 and len(merged) >= target:
-                    break
-                if max_servers is not None and len(contacted) >= max_servers:
-                    break
-                reply = self._cluster.network.send(
-                    server_id, key, LookupRequest(ask)
-                )
-                if is_undelivered(reply):
-                    (dropped if reply is DROPPED else failed).append(server_id)
-                    if span is not None:
-                        tracer.event(
-                            "contact",
-                            parent=span,
-                            server=server_id,
-                            outcome="dropped" if reply is DROPPED else "failed",
-                            returned=0,
-                            fresh=0,
-                        )
-                    continue
-                contacted.append(server_id)
-                fresh = [e for e in reply if e.entry_id not in merged_ids]
-                # The client wants exactly ``target`` entries; when the
-                # final server's reply overshoots, keep a uniformly random
-                # subset of its fresh contribution so no entry of that
-                # server is privileged (this is what makes Round-Robin's
-                # answers exactly fair, §4.5).
-                if target > 0 and len(merged) + len(fresh) > target:
-                    fresh = self._rng.sample(fresh, target - len(merged))
-                if span is not None:
-                    tracer.event(
-                        "contact",
-                        parent=span,
-                        server=server_id,
-                        outcome="delivered",
-                        returned=len(reply),
-                        fresh=len(fresh),
-                    )
-                merged.extend(fresh)
-                merged_ids.update(e.entry_id for e in fresh)
-
-        run_pass(order)
-
-        retries = 0
-        backoff = 0.0
-        policy = self.retry_policy if retry is None else retry
-        if policy is not None and target > 0:
-            while (
-                len(merged) < target
-                and retries + 1 < policy.max_attempts
-                and (dropped or failed)
-                and (max_servers is None or len(contacted) < max_servers)
-            ):
-                delay = policy.delay(retries, self._rng)
-                if backoff + delay > policy.backoff_budget:
-                    break
-                backoff += delay
-                retries += 1
-                # Dropped contacts are retried before failed ones: a
-                # drop means the server is (probably) alive and the
-                # message was lost, whereas a failed server stays
-                # failed until something recovers it.
-                retry_failed = list(failed)
-                self._rng.shuffle(retry_failed)
-                retry_order = dropped + retry_failed
-                if span is not None:
-                    tracer.event(
-                        "retry",
-                        parent=span,
-                        attempt=retries,
-                        delay=delay,
-                        backoff=backoff,
-                        pending=len(retry_order),
-                    )
-                dropped = []
-                failed = []
-                run_pass(retry_order)
-
-        result = LookupResult(
-            entries=tuple(merged),
-            target=target,
-            servers_contacted=tuple(contacted),
-            failed_contacts=tuple(failed) + tuple(dropped),
-            messages=len(contacted),
-            retries=retries,
-            backoff=backoff,
+        session = LookupSession(
+            key,
+            target,
+            order,
+            max_servers=max_servers,
+            per_server_target=per_server_target,
+            retry_policy=self.retry_policy if retry is None else retry,
+            rng=self._rng,
+            trace=tracer is not None,
+            trace_label=trace_label,
         )
-        if span is not None:
-            tracer.end_span(
-                span,
-                entries=len(result.entries),
-                messages=result.messages,
-                retries=result.retries,
-                backoff=result.backoff,
-                success=result.success,
-                degraded=result.degraded,
-            )
+        result = self._pump(session, tracer)
         if self.metrics is not None:
             self._publish(result)
         return result
+
+    def _pump(
+        self, session: LookupSession, tracer: Optional["Tracer"]
+    ) -> LookupResult:
+        """Enact the session's effects against the simulated network.
+
+        ``SendRequest`` becomes a synchronous ``network.send`` whose
+        outcome (reply / failed / dropped) is fed straight back;
+        ``Sleep`` is accounted by the session and needs no enactment
+        here — the transport is synchronous, so the driver acknowledges
+        it immediately.  Trace effects go to ``tracer``.
+        """
+        network = self._cluster.network
+        span = None
+        effects = session.start()
+        while True:
+            event: Optional[Event] = None
+            for effect in effects:
+                if isinstance(effect, SendRequest):
+                    reply = network.send(
+                        effect.server_id, effect.key, effect.request
+                    )
+                    if is_undelivered(reply):
+                        event = ContactFailed(
+                            effect.server_id, dropped=reply is DROPPED
+                        )
+                    else:
+                        event = ReplyReceived(effect.server_id, reply)
+                elif isinstance(effect, Sleep):
+                    # Accounted, not enacted: the simulated transport
+                    # is synchronous, so backoff only shows up in the
+                    # result's ``backoff`` field.
+                    event = SLEPT
+                elif isinstance(effect, Complete):
+                    return effect.result
+                elif isinstance(effect, SpanStart):
+                    span = tracer.begin_span(effect.name, **effect.fields)
+                elif isinstance(effect, SpanEvent):
+                    tracer.event(effect.name, parent=span, **effect.fields)
+                elif isinstance(effect, SpanEnd):
+                    tracer.end_span(span, **effect.fields)
+            effects = session.on_event(event)
 
     def _publish(self, result: LookupResult) -> None:
         """Publish one lookup's outcome into the metrics registry."""
@@ -488,30 +425,3 @@ class Client:
             metrics.histogram("client.backoff").observe(result.backoff)
         if result.degraded:
             metrics.counter("client.degraded").inc()
-
-    # -- deprecated shims -----------------------------------------------------
-
-    def lookup_random(
-        self,
-        key: str,
-        target: int,
-        max_servers: Optional[int] = None,
-    ) -> LookupResult:
-        """Deprecated: use ``lookup(key, target, max_servers=...)``."""
-        warnings.warn(
-            "Client.lookup_random is deprecated; use "
-            "Client.lookup(key, target, ...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.lookup(key, target, max_servers=max_servers)
-
-    def lookup_stride(self, key: str, target: int, stride: int) -> LookupResult:
-        """Deprecated: use ``lookup(key, target, order=Stride(y))``."""
-        warnings.warn(
-            "Client.lookup_stride is deprecated; use "
-            "Client.lookup(key, target, order=Stride(y)) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.lookup(key, target, order=Stride(stride))

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Tuple
 
 from repro.core.entry import Entry
 
@@ -66,7 +65,7 @@ class Message:
 class PlaceRequest(Message):
     """Client request to (re)place a key's full entry set in batch."""
 
-    entries: Tuple[Entry, ...]
+    entries: tuple[Entry, ...]
 
     @property
     def payload_entries(self) -> int:
@@ -137,7 +136,7 @@ class StoreSetMessage(Message):
     subset of the batch to keep.
     """
 
-    entries: Tuple[Entry, ...]
+    entries: tuple[Entry, ...]
 
     @property
     def payload_entries(self) -> int:
@@ -270,7 +269,7 @@ class FetchReplacement(Message):
     when the peer has nothing new to offer.
     """
 
-    exclude_ids: Tuple[str, ...]
+    exclude_ids: tuple[str, ...]
 
     @property
     def payload_entries(self) -> int:

@@ -1,25 +1,32 @@
 """A simulated lookup server: local entry store plus strategy logic.
 
 A :class:`Server` is deliberately thin.  It owns, per key, an ordered
-local entry store and an opaque per-strategy state dict, and it
-dispatches received messages to the :class:`ServerLogic` that the
-active placement strategy installed for that key.  All protocol
-decisions (broadcast or not, keep a random subset, plug a round-robin
-hole, ...) live in the strategy's logic, mirroring the paper's framing
-where the *scheme* defines what each server does upon receiving a
-message.
+local entry store and an opaque per-strategy state dict; everything
+that happens when a message *arrives* — delivery dedupe and dispatch
+to the :class:`ServerLogic` the active placement strategy installed
+for that key — lives in the server's sans-IO
+:class:`~repro.protocol.server.ServerProtocol` core, which this class
+merely hosts.  All protocol decisions (broadcast or not, keep a random
+subset, plug a round-robin hole, ...) live in the strategy's logic,
+mirroring the paper's framing where the *scheme* defines what each
+server does upon receiving a message.
+
+:meth:`Server.receive` / :meth:`Server.receive_dedup` are thin drivers
+over the protocol core, kept so the simulated transport (and tests)
+address the server directly; the asyncio socket service drives the
+same :class:`~repro.protocol.server.ServerProtocol` instances instead.
 """
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from collections import OrderedDict
-from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional
 
 from repro.core.entry import Entry
 from repro.core.interning import EntryInterner
 from repro.cluster.messages import Message
+from repro.protocol.server import ServerProtocol
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.cluster.network import Network
@@ -54,8 +61,8 @@ class EntryStore:
         interner: Optional[EntryInterner] = None,
     ) -> None:
         self._interner = interner if interner is not None else EntryInterner()
-        self._entries: List[Entry] = []
-        self._indices: List[int] = []
+        self._entries: list[Entry] = []
+        self._indices: list[int] = []
         self._mask: int = 0
         for entry in entries:
             self.add(entry)
@@ -69,7 +76,7 @@ class EntryStore:
     def interner(self) -> EntryInterner:
         return self._interner
 
-    def indices(self) -> List[int]:
+    def indices(self) -> list[int]:
         """Dense indices of the held entries, in insertion order."""
         return list(self._indices)
 
@@ -109,7 +116,7 @@ class EntryStore:
         self._mask ^= (1 << old_index) | (1 << new_index)
         return True
 
-    def sample(self, count: int, rng: random.Random) -> List[Entry]:
+    def sample(self, count: int, rng: random.Random) -> list[Entry]:
         """Return ``min(count, len(self))`` uniformly sampled entries.
 
         This implements the per-server lookup answer the paper
@@ -145,10 +152,10 @@ class EntryStore:
     def __iter__(self) -> Iterator[Entry]:
         return iter(self._entries)
 
-    def as_list(self) -> List[Entry]:
+    def as_list(self) -> list[Entry]:
         return list(self._entries)
 
-    def as_set(self) -> set:
+    def as_set(self) -> set[Entry]:
         return set(self._entries)
 
 
@@ -178,16 +185,14 @@ class Server:
         messages (the network suppresses delivery).
     """
 
-    #: How many (delivery id → reply) records the dedupe cache keeps.
-    #: Duplicated deliveries arrive immediately after the original in
-    #: the synchronous transport, so a small window is ample; the
-    #: bound exists so long chaos runs cannot grow memory unboundedly.
-    DEDUP_WINDOW = 1024
+    #: Dedupe window size, re-exported from the protocol core (the
+    #: dedupe cache itself lives in :class:`ServerProtocol`).
+    DEDUP_WINDOW = ServerProtocol.DEDUP_WINDOW
 
     def __init__(
         self,
         server_id: int,
-        interners: Optional[Dict[str, EntryInterner]] = None,
+        interners: Optional[dict[str, EntryInterner]] = None,
     ) -> None:
         self.server_id = server_id
         self.alive = True
@@ -195,13 +200,15 @@ class Server:
         #: to all its servers so every store for a key uses the same
         #: dense index space (the bitset kernel's requirement); a
         #: standalone server gets a private dict.
-        self._interners: Dict[str, EntryInterner] = (
+        self._interners: dict[str, EntryInterner] = (
             interners if interners is not None else {}
         )
-        self._stores: Dict[str, EntryStore] = {}
-        self._state: Dict[str, Dict[str, Any]] = {}
-        self._logics: Dict[str, ServerLogic] = {}
-        self._seen_deliveries: "OrderedDict[int, Any]" = OrderedDict()
+        self._stores: dict[str, EntryStore] = {}
+        self._state: dict[str, dict[str, Any]] = {}
+        self._logics: dict[str, ServerLogic] = {}
+        #: The sans-IO request core: delivery dedupe + logic dispatch.
+        #: Transports (simulated network, asyncio service) drive this.
+        self.protocol = ServerProtocol(self)
         #: Optional structured tracer (see
         #: :meth:`repro.cluster.cluster.Cluster.install_tracer`); when
         #: set, lifecycle *transitions* emit ``server.fail`` /
@@ -218,7 +225,7 @@ class Server:
             self._stores[key] = EntryStore(interner=self._interners[key])
         return self._stores[key]
 
-    def state(self, key: str) -> Dict[str, Any]:
+    def state(self, key: str) -> dict[str, Any]:
         """Per-key strategy scratch state (counters, migration maps)."""
         if key not in self._state:
             self._state[key] = {}
@@ -227,7 +234,7 @@ class Server:
     def stored_entry_count(self, key: str) -> int:
         return len(self._stores.get(key, ()))
 
-    def keys(self) -> List[str]:
+    def keys(self) -> list[str]:
         return list(self._stores)
 
     # -- logic installation and dispatch -----------------------------------
@@ -240,33 +247,19 @@ class Server:
         return self._logics.get(key)
 
     def receive(self, key: str, message: Message, network: "Network") -> Any:
-        """Dispatch a delivered message to the installed logic."""
-        logic = self._logics.get(key)
-        if logic is None:
-            raise RuntimeError(
-                f"server {self.server_id} has no logic installed for key {key!r}"
-            )
-        return logic.handle(self, message, network)
+        """Thin driver: route a delivered message through the protocol core."""
+        return self.protocol.dispatch(key, message, network)
 
     def receive_dedup(
         self, key: str, message: Message, network: "Network", delivery_id: int
     ) -> Any:
-        """Idempotent receive: process each delivery id exactly once.
+        """Thin driver: idempotent receive via the protocol core's dedupe.
 
         The at-least-once transport (a fault plan with duplication)
-        may deliver the same logical message twice; the first delivery
-        runs the handler and caches its reply, the second returns the
-        cached reply without re-running it.  This is what makes every
-        update handler idempotent under duplicated delivery without
-        each strategy having to reason about redelivery.
+        may deliver the same logical message twice; see
+        :meth:`~repro.protocol.server.ServerProtocol.dispatch_dedup`.
         """
-        if delivery_id in self._seen_deliveries:
-            return self._seen_deliveries[delivery_id]
-        reply = self.receive(key, message, network)
-        self._seen_deliveries[delivery_id] = reply
-        while len(self._seen_deliveries) > self.DEDUP_WINDOW:
-            self._seen_deliveries.popitem(last=False)
-        return reply
+        return self.protocol.dispatch_dedup(key, message, network, delivery_id)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -288,7 +281,7 @@ class Server:
         """Erase all stores and state, as if freshly provisioned."""
         self._stores.clear()
         self._state.clear()
-        self._seen_deliveries.clear()
+        self.protocol.forget_deliveries()
 
     def __repr__(self) -> str:
         status = "up" if self.alive else "DOWN"

@@ -718,6 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PATH", help="also write the JSONL trace to PATH"
     )
     lookup_parser.set_defaults(handler=_cmd_trace_lookup)
+
+    # The network service face lives in repro.net; it registers the
+    # ``serve`` and ``call`` subcommands on this parser.
+    from repro.net.cli import add_call_parser, add_serve_parser
+
+    add_serve_parser(subparsers)
+    add_call_parser(subparsers)
     return parser
 
 

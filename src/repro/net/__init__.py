@@ -1,0 +1,52 @@
+"""The asyncio network service: real sockets over the sans-IO core.
+
+This package is the second driver for the protocol state machines in
+:mod:`repro.protocol` (the first is the simulated
+:class:`~repro.cluster.network.Network`).  It has three parts:
+
+- :mod:`repro.net.codec` — the length-prefixed JSON wire format for
+  the typed messages in :mod:`repro.cluster.messages`.
+- :mod:`repro.net.service` — an asyncio server hosting a cluster's
+  :class:`~repro.protocol.server.ServerProtocol` instances behind one
+  listening socket.
+- :mod:`repro.net.client` — an async client that drives
+  :class:`~repro.protocol.lookup.LookupSession` with real request
+  timeouts and real ``asyncio.sleep`` backoffs.
+
+The ``repro serve`` / ``repro call`` CLI subcommands (see
+:mod:`repro.net.cli`) wrap the service and client for interactive use
+and the CI smoke job.  Everything here uses only the standard
+library — no third-party networking dependencies.
+"""
+
+from repro.net.codec import (
+    FrameError,
+    WireError,
+    decode_envelope,
+    decode_message,
+    decode_value,
+    encode_envelope,
+    encode_message,
+    encode_value,
+    read_frame,
+    write_frame,
+)
+from repro.net.client import AsyncLookupClient, ServiceInfo
+from repro.net.service import LookupService, ServiceConfig
+
+__all__ = [
+    "AsyncLookupClient",
+    "FrameError",
+    "LookupService",
+    "ServiceConfig",
+    "ServiceInfo",
+    "WireError",
+    "decode_envelope",
+    "decode_message",
+    "decode_value",
+    "encode_envelope",
+    "encode_message",
+    "encode_value",
+    "read_frame",
+    "write_frame",
+]

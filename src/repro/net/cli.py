@@ -1,0 +1,187 @@
+"""CLI faces for the network service: ``repro serve`` and ``repro call``.
+
+``serve`` runs a :class:`~repro.net.service.LookupService` in the
+foreground until interrupted; ``call`` connects an
+:class:`~repro.net.client.AsyncLookupClient` and issues partial
+lookups.  Both are registered as subcommands of the main ``repro``
+parser (see :mod:`repro.experiments.cli`); the handlers here follow
+the same convention — take the parsed namespace, return an exit code.
+
+The ``--ready-file`` flag makes ``serve`` write ``host port\\n`` once
+the socket is bound.  With ``--port 0`` (an ephemeral port) this is
+the only way a supervisor can learn the address; the CI smoke job and
+``scripts/net_smoke.py`` rely on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import random
+import signal
+import sys
+from typing import Optional
+
+from repro.cluster.client import RetryPolicy
+from repro.net.client import AsyncLookupClient, ServiceError
+from repro.net.service import DEFAULT_SCHEMES, LookupService, ServiceConfig
+
+
+def add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the asyncio lookup service on a socket",
+        description=(
+            "Host all five paper schemes behind one listening socket. "
+            "Runs until interrupted (SIGINT/SIGTERM)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7421, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--servers", type=int, default=16, help="cluster size n"
+    )
+    parser.add_argument(
+        "--entries", type=int, default=40, help="entries placed per scheme"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="cluster RNG seed")
+    parser.add_argument(
+        "--ready-file",
+        default=None,
+        help="write 'host port' here once the socket is bound",
+    )
+    parser.set_defaults(handler=cmd_serve)
+
+
+def add_call_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "call",
+        help="issue partial lookups against a running service",
+        description=(
+            "Connect to a repro serve instance and run partial lookups "
+            "under one scheme, printing a JSON summary."
+        ),
+    )
+    parser.add_argument(
+        "scheme",
+        choices=sorted(DEFAULT_SCHEMES),
+        help="which hosted scheme to look up under",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="service address")
+    parser.add_argument("--port", type=int, default=7421, help="service port")
+    parser.add_argument(
+        "--target", type=int, default=10, help="entries to retrieve per lookup"
+    )
+    parser.add_argument(
+        "--count", type=int, default=1, help="number of lookups to run"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="client RNG seed")
+    parser.add_argument(
+        "--timeout", type=float, default=5.0, help="per-request reply timeout (s)"
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="max lookup attempts (1 = the paper's single pass)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also fetch the service's coverage/storage invariants",
+    )
+    parser.set_defaults(handler=cmd_call)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the service until SIGINT/SIGTERM."""
+    return asyncio.run(_serve_async(args))
+
+
+async def _serve_async(args: argparse.Namespace) -> int:
+    config = ServiceConfig(
+        server_count=args.servers,
+        entry_count=args.entries,
+        seed=args.seed,
+    )
+    service = LookupService(config)
+    host, port = await service.start(host=args.host, port=args.port)
+    if args.ready_file:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{host} {port}\n")
+    print(
+        f"[serve] {len(service.strategies)} schemes on {config.server_count} "
+        f"servers, listening on {host}:{port}",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signame in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signame, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        await service.stop()
+        print("[serve] stopped", flush=True)
+    return 0
+
+
+def cmd_call(args: argparse.Namespace) -> int:
+    try:
+        return asyncio.run(_call_async(args))
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach service: {exc}", file=sys.stderr)
+        return 1
+
+
+async def _call_async(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed) if args.seed is not None else None
+    policy: Optional[RetryPolicy] = None
+    if args.retries > 1:
+        policy = RetryPolicy(max_attempts=args.retries)
+    client = AsyncLookupClient(
+        args.host,
+        args.port,
+        rng=rng,
+        timeout=args.timeout,
+        retry_policy=policy,
+    )
+    async with client:
+        try:
+            info = await client.info()
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        lookups = []
+        for _ in range(args.count):
+            result = await client.lookup(args.scheme, args.target)
+            lookups.append(
+                {
+                    "entries": sorted(e.entry_id for e in result.entries),
+                    "found": len(result.entries),
+                    "target": result.target,
+                    "success": result.success,
+                    "degraded": result.degraded,
+                    "messages": result.messages,
+                    "retries": result.retries,
+                    "servers_contacted": list(result.servers_contacted),
+                }
+            )
+        summary = {
+            "scheme": args.scheme,
+            "service": {"servers": info.servers, "entries": info.entries},
+            "lookups": lookups,
+            "all_success": all(l["success"] for l in lookups),
+        }
+        if args.verify:
+            summary["verify"] = await client.verify(args.scheme)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if summary["all_success"] else 2
+
+
+__all__ = ["add_call_parser", "add_serve_parser", "cmd_call", "cmd_serve"]

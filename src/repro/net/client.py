@@ -1,0 +1,276 @@
+"""The asyncio lookup client: real timeouts driving the sans-IO session.
+
+:class:`AsyncLookupClient` is the network twin of the simulated
+:class:`~repro.cluster.client.Client`.  Both pump the same
+:class:`~repro.protocol.lookup.LookupSession`; the differences are
+purely in how effects are enacted:
+
+- ``SendRequest`` becomes a framed envelope over the socket, awaited
+  with a real timeout.  A timed-out request is reported to the session
+  as ``ContactFailed(dropped=True)`` — from the protocol's viewpoint a
+  timeout *is* a lost message, worth retrying — while an
+  ``"unavailable"`` error reply (the addressed server is failed) is
+  ``ContactFailed(dropped=False)``, matching the simulated transport's
+  :data:`~repro.cluster.network.DROPPED` / UNDELIVERED distinction.
+- ``Sleep`` becomes a real ``asyncio.sleep``, so a
+  :class:`~repro.cluster.client.RetryPolicy`'s backoff schedule is
+  enacted in wall-clock time instead of merely accounted.
+
+After a timeout the connection is re-established: the stale reply may
+still arrive on the old stream, and reconnecting is the simplest way
+to keep request/reply framing in lockstep (the wire protocol has no
+request ids by design — one in-flight request per connection).
+
+Determinism: the session's RNG is supplied by the caller, so a seeded
+run contacts servers in a reproducible order even over real sockets;
+only timing (and therefore timeout-induced retries) is environmental.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.cluster.client import RetryPolicy
+from repro.core.result import LookupResult
+from repro.net.codec import decode_value, encode_message, read_frame, write_frame
+from repro.protocol.effects import Complete, SendRequest, Sleep
+from repro.protocol.events import SLEPT, ContactFailed, Event, ReplyReceived
+from repro.protocol.lookup import LookupSession, random_order, stride_order
+
+
+class ServiceError(ConnectionError):
+    """The service rejected a request or broke the envelope protocol."""
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """One hosted scheme, as reported by the ``info`` op."""
+
+    name: str
+    params: dict[str, Any]
+    order: Any  # "random" | {"stride": y}
+    max_servers: Optional[int]
+
+
+@dataclass(frozen=True)
+class ServiceInfo:
+    """Topology summary from the ``info`` op."""
+
+    servers: int
+    entries: int
+    seed: int
+    schemes: dict[str, SchemeInfo]
+
+
+class AsyncLookupClient:
+    """An async client for one :class:`~repro.net.service.LookupService`.
+
+    Parameters
+    ----------
+    host, port:
+        The service's listening address.
+    rng:
+        Injected randomness for contact orders and the session's
+        draws; defaults to a fresh unseeded generator.
+    timeout:
+        Per-request reply timeout in seconds.  Timeouts surface as
+        dropped contacts (retryable under a retry policy), not
+        exceptions.
+    retry_policy:
+        Optional :class:`~repro.cluster.client.RetryPolicy` applied to
+        every lookup; backoffs are real sleeps.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        rng: Optional[random.Random] = None,
+        timeout: float = 5.0,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry_policy = retry_policy
+        self._rng = rng if rng is not None else random.Random()
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._info: Optional[ServiceInfo] = None
+
+    # -- connection management ----------------------------------------------
+
+    async def connect(self) -> None:
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        writer, self._reader, self._writer = self._writer, None, None
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncLookupClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def _reconnect(self) -> None:
+        await self.close()
+        await self.connect()
+
+    # -- raw envelope round-trips --------------------------------------------
+
+    async def request(self, envelope: dict[str, Any]) -> dict[str, Any]:
+        """One envelope round-trip, without a timeout.
+
+        Raises :class:`ServiceError` if the connection drops before
+        the reply arrives.  Used for the control ops; data-path sends
+        go through the timeout-aware path inside :meth:`lookup`.
+        """
+        await self.connect()
+        await write_frame(self._writer, envelope)
+        reply = await read_frame(self._reader)
+        if reply is None:
+            raise ServiceError("service closed the connection mid-request")
+        return reply
+
+    async def ping(self) -> bool:
+        reply = await self.request({"op": "ping"})
+        return bool(reply.get("ok"))
+
+    async def info(self, refresh: bool = False) -> ServiceInfo:
+        """Fetch (and cache) the service topology."""
+        if self._info is not None and not refresh:
+            return self._info
+        reply = await self.request({"op": "info"})
+        if not reply.get("ok"):
+            raise ServiceError(f"info failed: {reply.get('detail')}")
+        value = reply["value"]
+        schemes = {
+            name: SchemeInfo(
+                name=name,
+                params=dict(spec["params"]),
+                order=spec["profile"]["order"],
+                max_servers=spec["profile"]["max_servers"],
+            )
+            for name, spec in value["schemes"].items()
+        }
+        self._info = ServiceInfo(
+            servers=value["servers"],
+            entries=value["entries"],
+            seed=value["seed"],
+            schemes=schemes,
+        )
+        return self._info
+
+    async def verify(self, scheme: str) -> dict[str, Any]:
+        """The service's coverage/storage invariant report for ``scheme``."""
+        reply = await self.request({"op": "verify", "key": scheme})
+        if not reply.get("ok"):
+            raise ServiceError(f"verify failed: {reply.get('detail')}")
+        return reply["value"]
+
+    # -- the lookup driver ----------------------------------------------------
+
+    def _contact_order(self, scheme: SchemeInfo, servers: int) -> List[int]:
+        """Materialize the scheme's declared contact order locally.
+
+        Mirrors ``Client._resolve_order``: a stride draws its start
+        first, then builds the walk, so seeded async and simulated
+        clients agree on draw order.
+        """
+        order = scheme.order
+        if isinstance(order, dict) and "stride" in order:
+            start = self._rng.randrange(servers)
+            return stride_order(servers, start, order["stride"], self._rng)
+        return random_order(servers, self._rng)
+
+    async def lookup(
+        self,
+        scheme: str,
+        target: int,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> LookupResult:
+        """One partial lookup for ``target`` entries under ``scheme``.
+
+        Contacts real sockets but never raises on shortfall — like the
+        simulated client, a short answer comes back as a labelled
+        degraded :class:`~repro.core.result.LookupResult`.
+        """
+        info = await self.info()
+        spec = info.schemes.get(scheme)
+        if spec is None:
+            raise ServiceError(
+                f"service does not host scheme {scheme!r} "
+                f"(hosts: {', '.join(sorted(info.schemes))})"
+            )
+        session = LookupSession(
+            scheme,
+            target,
+            self._contact_order(spec, info.servers),
+            max_servers=spec.max_servers,
+            retry_policy=self.retry_policy if retry is None else retry,
+            rng=self._rng,
+        )
+        effects = session.start()
+        while True:
+            event: Optional[Event] = None
+            for effect in effects:
+                if isinstance(effect, SendRequest):
+                    event = await self._contact(effect)
+                elif isinstance(effect, Sleep):
+                    await asyncio.sleep(effect.delay)
+                    event = SLEPT
+                elif isinstance(effect, Complete):
+                    return effect.result
+            effects = session.on_event(event)
+
+    async def _contact(self, effect: SendRequest) -> Event:
+        """Enact one ``SendRequest`` over the socket."""
+        envelope = {
+            "op": "send",
+            "server": effect.server_id,
+            "key": effect.key,
+            "message": encode_message(effect.request),
+        }
+        try:
+            reply = await asyncio.wait_for(self.request(envelope), self.timeout)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            # A late reply on the old stream would desync framing;
+            # start the next request on a fresh connection.
+            try:
+                await self._reconnect()
+            except OSError:
+                await self.close()
+            return ContactFailed(effect.server_id, dropped=True)
+        if reply.get("ok"):
+            return ReplyReceived(effect.server_id, decode_value(reply["value"]))
+        error = reply.get("error")
+        if error == "unavailable":
+            return ContactFailed(effect.server_id, dropped=False)
+        if error == "dropped":
+            return ContactFailed(effect.server_id, dropped=True)
+        raise ServiceError(f"lookup send failed: {error}: {reply.get('detail')}")
+
+
+__all__ = [
+    "AsyncLookupClient",
+    "SchemeInfo",
+    "ServiceError",
+    "ServiceInfo",
+]

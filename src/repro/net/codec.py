@@ -1,0 +1,229 @@
+"""The wire format: length-prefixed JSON frames over a byte stream.
+
+Framing
+-------
+Each frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON.  Length prefixes keep the protocol
+self-delimiting over TCP's byte stream without sentinel scanning; the
+:data:`MAX_FRAME` bound (16 MiB) rejects corrupt prefixes before they
+turn into giant allocations.
+
+Value encoding
+--------------
+JSON has no tuples, no :class:`~repro.core.entry.Entry`, and no typed
+messages, so non-JSON values are *tagged*: an object with a single
+``"!"`` key naming the type.
+
+- ``{"!": "entry", "id": ..., "payload": ...}`` — an Entry.  Payloads
+  must themselves be wire-encodable; opaque application payloads that
+  are not JSON-serializable are rejected at encode time rather than
+  silently mangled.
+- ``{"!": "tuple", "items": [...]}`` — a tuple (lists pass through as
+  JSON arrays, so round-trips preserve the list/tuple distinction
+  that :class:`~repro.cluster.messages.Message` fields rely on).
+- ``{"!": "msg", "type": "LookupRequest", "fields": {...}}`` — a
+  typed message, by dataclass field name.  The decode registry is
+  built from the live :class:`~repro.cluster.messages.Message` class
+  hierarchy (the :func:`~repro.cluster.messages.known_message_types`
+  pattern), so new message types become wire-addressable without
+  codec changes.
+
+Envelopes
+---------
+A request frame is ``{"op": ..., ...}`` and a reply frame is
+``{"ok": true, "value": ...}`` or ``{"ok": false, "error": <code>,
+"detail": <human text>}``.  Error codes are part of the protocol:
+``"unavailable"`` (the addressed server is failed), ``"dropped"``
+(the transport lost the request), ``"bad-request"`` (malformed or
+unknown op), and ``"internal"`` (handler raised).  See
+``docs/protocols.md`` for the full schema catalogue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import struct
+from typing import Any
+
+from repro.core.entry import Entry
+from repro.cluster.messages import Message
+
+#: Frames above this size are rejected (corrupt length prefix guard).
+MAX_FRAME = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(ValueError):
+    """A value or message cannot be encoded/decoded for the wire."""
+
+
+class FrameError(ConnectionError):
+    """The byte stream violated the framing protocol."""
+
+
+# --------------------------------------------------------------------------
+# Value encoding
+# --------------------------------------------------------------------------
+
+
+def _message_registry() -> dict[str, type]:
+    registry: dict[str, type] = {}
+    stack = [Message]
+    while stack:
+        cls = stack.pop()
+        for sub in cls.__subclasses__():
+            registry[sub.__name__] = sub
+            stack.append(sub)
+    return registry
+
+
+#: Wire name -> message class, from the live hierarchy.  Built once at
+#: import; all concrete message types live in ``cluster.messages``.
+MESSAGE_TYPES: dict[str, type] = _message_registry()
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one Python value into its JSON-safe wire form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Entry):
+        return {"!": "entry", "id": value.entry_id, "payload": encode_value(value.payload)}
+    if isinstance(value, tuple):
+        return {"!": "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, Message):
+        return encode_message(value)
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str) or key == "!":
+                raise WireError(f"unencodable dict key: {key!r}")
+            out[key] = encode_value(item)
+        return out
+    raise WireError(f"unencodable value of type {type(value).__name__}: {value!r}")
+
+
+def decode_value(wire: Any) -> Any:
+    """Decode one wire value back into its Python form."""
+    if wire is None or isinstance(wire, (bool, int, float, str)):
+        return wire
+    if isinstance(wire, list):
+        return [decode_value(v) for v in wire]
+    if isinstance(wire, dict):
+        tag = wire.get("!")
+        if tag is None:
+            return {k: decode_value(v) for k, v in wire.items()}
+        if tag == "entry":
+            return Entry(wire["id"], decode_value(wire.get("payload")))
+        if tag == "tuple":
+            return tuple(decode_value(v) for v in wire["items"])
+        if tag == "msg":
+            return decode_message(wire)
+        raise WireError(f"unknown wire tag: {tag!r}")
+    raise WireError(f"undecodable wire value: {wire!r}")
+
+
+def encode_message(message: Message) -> dict[str, Any]:
+    """Encode a typed cluster message as a tagged wire object."""
+    fields = {
+        f.name: encode_value(getattr(message, f.name))
+        for f in dataclasses.fields(message)
+    }
+    return {"!": "msg", "type": type(message).__name__, "fields": fields}
+
+
+def decode_message(wire: dict[str, Any]) -> Message:
+    """Decode a tagged wire object back into its message dataclass."""
+    name = wire.get("type")
+    cls = MESSAGE_TYPES.get(name)
+    if cls is None:
+        raise WireError(f"unknown message type: {name!r}")
+    raw = wire.get("fields", {})
+    if not isinstance(raw, dict):
+        raise WireError(f"malformed fields for {name}: {raw!r}")
+    declared = {f.name for f in dataclasses.fields(cls)}
+    if set(raw) != declared:
+        raise WireError(
+            f"{name} fields mismatch: got {sorted(raw)}, want {sorted(declared)}"
+        )
+    return cls(**{k: decode_value(v) for k, v in raw.items()})
+
+
+# --------------------------------------------------------------------------
+# Envelopes
+# --------------------------------------------------------------------------
+
+
+def encode_envelope(obj: dict[str, Any]) -> bytes:
+    """Serialize one request/reply envelope into a framed byte string."""
+    try:
+        body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"unencodable envelope: {exc}") from exc
+    if len(body) > MAX_FRAME:
+        raise WireError(f"frame too large: {len(body)} bytes")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_envelope(body: bytes) -> dict[str, Any]:
+    """Parse one frame body into an envelope dict."""
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"malformed frame body: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise FrameError(f"frame body must be an object, got {type(obj).__name__}")
+    return obj
+
+
+# --------------------------------------------------------------------------
+# Asyncio stream helpers
+# --------------------------------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one framed envelope; ``None`` on clean end-of-stream.
+
+    A connection that closes *between* frames is a normal hangup; one
+    that closes mid-frame raises :class:`FrameError`.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid length prefix") from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame length {length} exceeds {MAX_FRAME}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid frame") from exc
+    return decode_envelope(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: dict[str, Any]) -> None:
+    """Write one framed envelope and drain the transport."""
+    writer.write(encode_envelope(obj))
+    await writer.drain()
+
+
+__all__ = [
+    "MAX_FRAME",
+    "MESSAGE_TYPES",
+    "FrameError",
+    "WireError",
+    "decode_envelope",
+    "decode_message",
+    "decode_value",
+    "encode_envelope",
+    "encode_message",
+    "encode_value",
+    "read_frame",
+    "write_frame",
+]

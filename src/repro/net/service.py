@@ -1,0 +1,266 @@
+"""The asyncio lookup service: a cluster behind a listening socket.
+
+One :class:`LookupService` hosts one in-process
+:class:`~repro.cluster.cluster.Cluster` with all five paper schemes
+installed side by side — each scheme under its own key (the scheme
+name), which is exactly how the multi-key directory composes
+strategies.  Client requests arrive as framed envelopes (see
+:mod:`repro.net.codec`), are routed through
+:meth:`Network.send <repro.cluster.network.Network.send>` to the
+addressed server's :class:`~repro.protocol.server.ServerProtocol`, and
+the reply is framed back.  Routing through the simulated network —
+rather than calling the protocol directly — keeps the Section 6.4
+message accounting and failed-server suppression identical to the
+simulated driver, so a socket client observes the same error surface
+(``"unavailable"`` for a failed server) a simulated client does.
+
+Server-to-server choreography (Round-Robin's delete migration,
+RandomServer's broadcasts) stays in-process on the hosted cluster; the
+wire carries only client↔service traffic.  This mirrors the paper's
+deployment picture, where the lookup servers are one administrative
+system and clients reach it over the network.
+
+Concurrency: handlers run on the event loop and the cluster is touched
+only between awaits, so envelope processing is effectively serialized
+per event-loop step; no locks are needed.  All state mutation happens
+synchronously inside :meth:`LookupService.handle_envelope`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import DROPPED, is_undelivered
+from repro.core.entry import make_entries
+from repro.net.codec import (
+    FrameError,
+    WireError,
+    decode_message,
+    encode_value,
+    read_frame,
+    write_frame,
+)
+from repro.strategies.base import LookupProfile, PlacementStrategy
+from repro.strategies.registry import create_strategy
+
+#: The five paper schemes the service hosts, with the parameters the
+#: chaos soak gate exercises (one key per scheme on the shared cluster).
+DEFAULT_SCHEMES: dict[str, dict[str, int]] = {
+    "full_replication": {},
+    "fixed": {"x": 10},
+    "random_server": {"x": 10},
+    "round_robin": {"y": 2},
+    "hash": {"y": 2},
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Construction parameters for one :class:`LookupService`."""
+
+    server_count: int = 16
+    entry_count: int = 40
+    seed: int = 0
+    schemes: dict[str, dict[str, int]] = field(
+        default_factory=lambda: dict(DEFAULT_SCHEMES)
+    )
+
+
+def _profile_wire(profile: Optional[LookupProfile]) -> dict[str, Any]:
+    """A strategy's lookup profile in wire form (see ``docs/protocols.md``)."""
+    if profile is None:
+        return {"order": "random", "max_servers": None}
+    order: Any = profile.order
+    if not isinstance(order, str):
+        order = {"stride": order.y}
+    return {"order": order, "max_servers": profile.max_servers}
+
+
+class LookupService:
+    """The hosted cluster plus the envelope dispatch loop.
+
+    Parameters
+    ----------
+    config:
+        Topology and scheme selection; see :class:`ServiceConfig`.
+
+    Each configured scheme is created under ``key == scheme name`` and
+    immediately placed with the same ``entry_count`` entries, so the
+    service is query-ready as soon as the socket is listening.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.cluster = Cluster(self.config.server_count, seed=self.config.seed)
+        self.strategies: dict[str, PlacementStrategy] = {}
+        entries = make_entries(self.config.entry_count)
+        for name, params in self.config.schemes.items():
+            strategy = create_strategy(name, self.cluster, key=name, **params)
+            strategy.place(entries)
+            self.strategies[name] = strategy
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[asyncio.Task] = set()
+
+    # -- envelope dispatch ---------------------------------------------------
+
+    def handle_envelope(self, envelope: dict[str, Any]) -> dict[str, Any]:
+        """Process one request envelope; returns the reply envelope.
+
+        Pure dispatch — no I/O — so tests can drive the service
+        without sockets exactly as the connection loop does.
+        """
+        op = envelope.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "value": "pong"}
+            if op == "info":
+                return {"ok": True, "value": self.info()}
+            if op == "send":
+                return self._handle_send(envelope)
+            if op == "verify":
+                return self._handle_verify(envelope)
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "detail": f"unknown op: {op!r}",
+            }
+        except (WireError, KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": "bad-request", "detail": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - protocol error boundary
+            return {"ok": False, "error": "internal", "detail": str(exc)}
+
+    def info(self) -> dict[str, Any]:
+        """The ``info`` op: topology plus per-scheme lookup profiles."""
+        schemes = {}
+        for name, strategy in self.strategies.items():
+            schemes[name] = {
+                "params": dict(self.config.schemes[name]),
+                "profile": _profile_wire(strategy.lookup_profile()),
+            }
+        return {
+            "servers": self.cluster.size,
+            "entries": self.config.entry_count,
+            "seed": self.config.seed,
+            "schemes": schemes,
+        }
+
+    def _handle_send(self, envelope: dict[str, Any]) -> dict[str, Any]:
+        server_id = envelope["server"]
+        key = envelope["key"]
+        if not isinstance(server_id, int) or not 0 <= server_id < self.cluster.size:
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "detail": f"server id out of range: {server_id!r}",
+            }
+        if key not in self.strategies:
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "detail": f"unknown scheme key: {key!r}",
+            }
+        message = decode_message(envelope["message"])
+        reply = self.cluster.network.send(server_id, key, message)
+        if is_undelivered(reply):
+            code = "dropped" if reply is DROPPED else "unavailable"
+            return {
+                "ok": False,
+                "error": code,
+                "detail": f"server {server_id} did not process the message",
+            }
+        return {"ok": True, "value": encode_value(reply)}
+
+    def _handle_verify(self, envelope: dict[str, Any]) -> dict[str, Any]:
+        key = envelope["key"]
+        strategy = self.strategies.get(key)
+        if strategy is None:
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "detail": f"unknown scheme key: {key!r}",
+            }
+        return {
+            "ok": True,
+            "value": {
+                "coverage": strategy.coverage(),
+                "storage_cost": strategy.storage_cost(),
+                "entry_count": self.config.entry_count,
+                "operational": sum(1 for s in self.cluster.servers if s.alive),
+            },
+        }
+
+    # -- the socket face -----------------------------------------------------
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one client connection: a frame in, a frame out, repeat."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    envelope = await read_frame(reader)
+                except FrameError:
+                    break
+                if envelope is None:
+                    break
+                await write_frame(writer, self.handle_envelope(envelope))
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Absorb the stop()-issued cancel and finish normally:
+            # 3.11's stream done-callback calls task.exception() on a
+            # cancelled handler and logs spurious noise otherwise.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and begin serving; returns the bound (host, port).
+
+        ``port=0`` binds an ephemeral port — the CI smoke job and the
+        benchmarks use this to avoid port collisions, reading the real
+        port from the return value (or the ``--ready-file`` at the CLI).
+        """
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._server = await asyncio.start_server(
+            self.handle_connection, host=host, port=port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("service not started")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop listening and tear down any live connections."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        # start_server's handler tasks are not awaited by wait_closed
+        # (until 3.12's close_clients); cancel and reap them here so a
+        # stopped service leaves no dangling tasks behind.
+        connections = list(self._connections)
+        self._connections.clear()
+        for task in connections:
+            task.cancel()
+        await asyncio.gather(*connections, return_exceptions=True)
+
+
+__all__ = ["DEFAULT_SCHEMES", "LookupService", "ServiceConfig"]

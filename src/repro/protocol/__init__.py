@@ -1,0 +1,78 @@
+"""Sans-IO protocol cores shared by the simulator and the network service.
+
+The paper's ``partial_lookup(k, t)`` protocol is a pure state machine:
+a client contacts servers in some order, merges distinct entries from
+each reply, stops once the target is met, and (in this reproduction)
+makes bounded retry passes over unanswered servers.  None of that
+depends on *how* messages move.  This package isolates the protocol
+from transport, following the sans-IO pattern:
+
+- :class:`~repro.protocol.lookup.LookupSession` — the client-side
+  walk.  It consumes :mod:`events <repro.protocol.events>` (a reply
+  arrived, a contact failed, a backoff elapsed) and emits
+  :mod:`effects <repro.protocol.effects>` (send this request, sleep
+  this long, record this trace event, complete with this result).
+- :class:`~repro.protocol.server.ServerProtocol` — the server-side
+  request core: idempotent delivery dedupe plus dispatch of
+  lookup/update/verify messages to the installed per-key logic.
+
+Drivers pump the machines:
+
+- the simulated path (:class:`repro.cluster.client.Client` over
+  :class:`repro.cluster.network.Network`) enacts effects synchronously
+  and *accounts* sleeps without enacting them;
+- the asyncio path (:mod:`repro.net`) enacts the same effects over
+  real sockets with real timeouts as the backoff clock.
+
+All randomness is injected (``rng`` parameters), so a seeded session
+replays bit-for-bit regardless of the driver.
+"""
+
+from repro.protocol.effects import (
+    Complete,
+    Effect,
+    Reply,
+    SendRequest,
+    Sleep,
+    SpanEnd,
+    SpanEvent,
+    SpanStart,
+)
+from repro.protocol.events import (
+    SLEPT,
+    ContactFailed,
+    Event,
+    MessageReceived,
+    ReplyReceived,
+    Slept,
+)
+from repro.protocol.lookup import (
+    LookupSession,
+    ProtocolStateError,
+    random_order,
+    stride_order,
+)
+from repro.protocol.server import ServerProtocol, answer_lookup
+
+__all__ = [
+    "Complete",
+    "ContactFailed",
+    "Effect",
+    "Event",
+    "LookupSession",
+    "MessageReceived",
+    "ProtocolStateError",
+    "Reply",
+    "ReplyReceived",
+    "SLEPT",
+    "SendRequest",
+    "ServerProtocol",
+    "Sleep",
+    "Slept",
+    "SpanEnd",
+    "SpanEvent",
+    "SpanStart",
+    "answer_lookup",
+    "random_order",
+    "stride_order",
+]

@@ -1,0 +1,126 @@
+"""Output effects emitted by the sans-IO protocol state machines.
+
+Effects are what a state machine asks its driver to *do*: send a
+request, sleep for a backoff, record a trace event, finish with a
+result.  A machine never performs I/O itself; it returns a batch of
+effects and waits for the next :mod:`event <repro.protocol.events>`.
+
+Within one batch, at most one effect requires a response from the
+driver (:class:`SendRequest` or :class:`Sleep`) and it is always the
+last element, so drivers can process a batch front to back and then
+wait for exactly one outcome.  :class:`Complete` and :class:`Reply`
+are terminal — no further events are expected.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.result import LookupResult
+    from repro.cluster.messages import LookupRequest
+
+
+class Effect:
+    """Base class for protocol output effects."""
+
+    __slots__ = ()
+
+
+class SendRequest(Effect):
+    """Deliver ``request`` about ``key`` to server ``server_id``.
+
+    The driver must answer with a
+    :class:`~repro.protocol.events.ReplyReceived` or
+    :class:`~repro.protocol.events.ContactFailed` event.
+    """
+
+    __slots__ = ("server_id", "key", "request")
+
+    def __init__(self, server_id: int, key: str, request: "LookupRequest") -> None:
+        self.server_id = server_id
+        self.key = key
+        self.request = request
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SendRequest(server={self.server_id}, key={self.key!r})"
+
+
+class Sleep(Effect):
+    """Wait ``delay`` time units before the next retry pass.
+
+    The asyncio driver enacts this with a real ``asyncio.sleep``; the
+    simulated driver only accounts it (the session tracks the running
+    backoff total itself).  The driver must answer with
+    :data:`~repro.protocol.events.SLEPT`.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sleep({self.delay!r})"
+
+
+class SpanStart(Effect):
+    """Open the session's tracing span (emitted only when tracing)."""
+
+    __slots__ = ("name", "fields")
+
+    def __init__(self, name: str, fields: Dict[str, Any]) -> None:
+        self.name = name
+        self.fields = fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanStart({self.name!r}, {self.fields!r})"
+
+
+class SpanEvent(Effect):
+    """Record an instantaneous event inside the session's span."""
+
+    __slots__ = ("name", "fields")
+
+    def __init__(self, name: str, fields: Dict[str, Any]) -> None:
+        self.name = name
+        self.fields = fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanEvent({self.name!r}, {self.fields!r})"
+
+
+class SpanEnd(Effect):
+    """Close the session's tracing span with summary ``fields``."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Dict[str, Any]) -> None:
+        self.fields = fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanEnd({self.fields!r})"
+
+
+class Complete(Effect):
+    """The lookup finished; ``result`` is the final LookupResult."""
+
+    __slots__ = ("result",)
+
+    def __init__(self, result: "LookupResult") -> None:
+        self.result = result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Complete({self.result!r})"
+
+
+class Reply(Effect):
+    """The server protocol's answer to one received message."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Reply({self.value!r})"

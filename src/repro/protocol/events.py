@@ -1,0 +1,108 @@
+"""Input events consumed by the sans-IO protocol state machines.
+
+Events are what the *driver* tells a state machine about the outside
+world: a reply came back, a contact went unanswered, a backoff
+elapsed, a message arrived.  They are deliberately plain value objects
+— no transport handles, no sockets, no cluster references — so a
+recorded event trace can be replayed against a machine in a unit test
+with nothing else constructed (see ``tests/protocol/``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.entry import Entry
+    from repro.cluster.messages import Message
+
+
+class Event:
+    """Base class for protocol input events."""
+
+    __slots__ = ()
+
+
+class ReplyReceived(Event):
+    """A contacted server answered a lookup request with ``entries``."""
+
+    __slots__ = ("server_id", "entries")
+
+    def __init__(self, server_id: int, entries: Sequence["Entry"]) -> None:
+        self.server_id = server_id
+        self.entries = entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReplyReceived(server={self.server_id}, entries={len(self.entries)})"
+
+
+class ContactFailed(Event):
+    """A contact went unanswered.
+
+    ``dropped`` distinguishes the two non-answers the retry pass cares
+    about: ``True`` means the message was lost in transit (the server
+    is presumably alive — re-contacting it is worthwhile), ``False``
+    means the destination is failed (retrying cannot help until it
+    recovers).  The simulated driver maps the transport's ``DROPPED``
+    / ``UNDELIVERED`` sentinels onto this flag; the asyncio driver
+    maps request timeouts to ``dropped=True`` and explicit
+    server-unavailable error replies to ``dropped=False``.
+    """
+
+    __slots__ = ("server_id", "dropped")
+
+    def __init__(self, server_id: int, dropped: bool) -> None:
+        self.server_id = server_id
+        self.dropped = dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "dropped" if self.dropped else "failed"
+        return f"ContactFailed(server={self.server_id}, {kind})"
+
+
+class Slept(Event):
+    """The driver finished enacting a requested backoff sleep.
+
+    The simulated driver feeds this immediately (backoff is accounted,
+    not enacted — the transport is synchronous); the asyncio driver
+    feeds it after a real ``asyncio.sleep``.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Slept()"
+
+
+#: Shared singleton — the event carries no data, so drivers reuse one.
+SLEPT = Slept()
+
+
+class MessageReceived(Event):
+    """A message about ``key`` arrived at a server.
+
+    ``delivery_id`` is the transport's at-least-once delivery tag;
+    when present, :class:`~repro.protocol.server.ServerProtocol`
+    processes each id exactly once and answers duplicates from its
+    reply cache.  ``None`` means the transport guarantees exactly-once
+    (the fault-free simulated network) and dedupe is skipped.
+    """
+
+    __slots__ = ("key", "message", "delivery_id")
+
+    def __init__(
+        self,
+        key: str,
+        message: "Message",
+        delivery_id: Optional[int] = None,
+    ) -> None:
+        self.key = key
+        self.message = message
+        self.delivery_id = delivery_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MessageReceived(key={self.key!r}, "
+            f"message={type(self.message).__name__}, "
+            f"delivery_id={self.delivery_id})"
+        )

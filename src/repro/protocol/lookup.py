@@ -1,0 +1,386 @@
+"""The sans-IO client-side lookup state machine.
+
+:class:`LookupSession` is the paper's ``partial_lookup(k, t)`` client
+skeleton — contact servers in some order, merge the distinct entries
+from each reply, stop once the target is met — extracted from the
+transport so one implementation serves both the simulated network and
+the asyncio socket service.  It also owns this reproduction's failure
+handling: bounded retry passes over unanswered servers (dropped
+contacts first) under a :class:`~repro.cluster.client.RetryPolicy`,
+with every short answer explicitly labelled degraded.
+
+The machine is event/effect driven (see :mod:`repro.protocol.events`
+and :mod:`repro.protocol.effects`): the driver calls :meth:`start`,
+enacts the returned effects, and feeds exactly one event per
+responding effect into :meth:`on_event` until a
+:class:`~repro.protocol.effects.Complete` effect carries the final
+:class:`~repro.core.result.LookupResult`.
+
+Determinism: all randomness is injected via ``rng``.  The session
+draws from it in exactly the sequence the pre-refactor
+``Client.collect`` did — an overshoot ``sample`` per final delivered
+contact, then per retry pass a jitter draw followed by a ``shuffle``
+of the failed-contact list — so seeded runs are bit-for-bit identical
+whichever driver pumps the machine.  Trace effects are emitted only
+when ``trace=True``; an untraced session allocates nothing for
+observability, matching the old client's "no tracer, no cost" rule.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.cluster.messages import LookupRequest
+from repro.core.result import LookupResult
+from repro.protocol.effects import (
+    Complete,
+    Effect,
+    SendRequest,
+    Sleep,
+    SpanEnd,
+    SpanEvent,
+    SpanStart,
+)
+from repro.protocol.events import ContactFailed, Event, ReplyReceived, Slept
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.client import RetryPolicy
+    from repro.core.entry import Entry
+
+
+class ProtocolStateError(RuntimeError):
+    """A state machine was driven out of order (driver bug)."""
+
+
+def random_order(n: int, rng: random.Random) -> List[int]:
+    """All ``n`` server ids in a fresh uniformly random order."""
+    order = list(range(n))
+    rng.shuffle(order)
+    return order
+
+
+def stride_order(n: int, start: int, stride: int, rng: random.Random) -> List[int]:
+    """The Round-Robin-y contact sequence ``start, start+stride, ...``.
+
+    Walks all ``n`` servers modulo ``n``; when ``gcd(stride, n) > 1``
+    the walk revisits ids, so remaining ids are appended in random
+    order to preserve the "contact every server at most once" client
+    behaviour.
+    """
+    order: List[int] = []
+    seen: set[int] = set()
+    current = start % n
+    for _ in range(n):
+        if current in seen:
+            break
+        order.append(current)
+        seen.add(current)
+        current = (current + stride) % n
+    leftovers = [i for i in range(n) if i not in seen]
+    rng.shuffle(leftovers)
+    order.extend(leftovers)
+    return order
+
+
+#: Session lifecycle states.
+_IDLE = 0
+_WALKING = 1
+_SLEEPING = 2
+_DONE = 3
+
+
+class LookupSession:
+    """One partial lookup as a pure state machine.
+
+    Parameters
+    ----------
+    key:
+        The key being looked up.
+    target:
+        Required number of distinct entries; ``0`` means "collect
+        everything" (contact every server in the order).
+    order:
+        Server ids to try, in order (see :func:`random_order` /
+        :func:`stride_order` for the two paper orders).
+    max_servers:
+        Optional cap on answering servers contacted.
+    per_server_target:
+        Entries to request from each server; defaults to ``target``.
+    retry_policy:
+        Optional :class:`~repro.cluster.client.RetryPolicy`; ``None``
+        is the paper's single-pass client.
+    rng:
+        Injected randomness for overshoot sampling, retry shuffles,
+        and backoff jitter.  Required — the session never creates its
+        own generator, so determinism is entirely the caller's.
+    trace:
+        When True, the session emits ``SpanStart`` / ``SpanEvent`` /
+        ``SpanEnd`` effects describing the lookup, which drivers
+        forward to a :class:`~repro.obs.tracer.Tracer`.
+    trace_label:
+        The ``order`` field on the emitted lookup span.
+    """
+
+    __slots__ = (
+        "_key",
+        "_target",
+        "_ask",
+        "_max_servers",
+        "_policy",
+        "_rng",
+        "_trace",
+        "_trace_label",
+        "_pass_order",
+        "_pass_index",
+        "_merged",
+        "_merged_ids",
+        "_contacted",
+        "_failed",
+        "_dropped",
+        "_retries",
+        "_backoff",
+        "_state",
+        "_awaiting",
+        "_result",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        target: int,
+        order: Iterable[int],
+        *,
+        max_servers: Optional[int] = None,
+        per_server_target: Optional[int] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        rng: random.Random,
+        trace: bool = False,
+        trace_label: Optional[str] = None,
+    ) -> None:
+        self._key = key
+        self._target = target
+        self._ask = target if per_server_target is None else per_server_target
+        self._max_servers = max_servers
+        self._policy = retry_policy
+        self._rng = rng
+        self._trace = trace
+        self._trace_label = trace_label
+        self._pass_order = list(order)
+        self._pass_index = 0
+        self._merged: List["Entry"] = []
+        self._merged_ids: set[str] = set()
+        self._contacted: List[int] = []
+        self._failed: List[int] = []
+        self._dropped: List[int] = []
+        self._retries = 0
+        self._backoff = 0.0
+        self._state = _IDLE
+        self._awaiting: Optional[int] = None
+        self._result: Optional[LookupResult] = None
+
+    # -- public surface ------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._state == _DONE
+
+    @property
+    def result(self) -> Optional[LookupResult]:
+        """The final LookupResult once :attr:`done`, else None."""
+        return self._result
+
+    def start(self) -> List[Effect]:
+        """Begin the walk; returns the first effect batch."""
+        if self._state != _IDLE:
+            raise ProtocolStateError("LookupSession.start called twice")
+        self._state = _WALKING
+        effects: List[Effect] = []
+        if self._trace:
+            effects.append(
+                SpanStart(
+                    "lookup",
+                    {
+                        "key": self._key,
+                        "target": self._target,
+                        "order": (
+                            self._trace_label
+                            if self._trace_label is not None
+                            else "explicit"
+                        ),
+                    },
+                )
+            )
+        self._continue(effects)
+        return effects
+
+    def on_event(self, event: Event) -> List[Effect]:
+        """Feed one event; returns the next effect batch."""
+        effects: List[Effect] = []
+        if isinstance(event, ReplyReceived):
+            self._expect_contact(event.server_id)
+            self._absorb_reply(event, effects)
+        elif isinstance(event, ContactFailed):
+            self._expect_contact(event.server_id)
+            self._absorb_failure(event, effects)
+        elif isinstance(event, Slept):
+            if self._state != _SLEEPING:
+                raise ProtocolStateError("Slept event outside a backoff sleep")
+            self._state = _WALKING
+        else:
+            raise ProtocolStateError(
+                f"LookupSession cannot consume {type(event).__name__}"
+            )
+        self._continue(effects)
+        return effects
+
+    # -- internals -----------------------------------------------------------
+
+    def _expect_contact(self, server_id: int) -> None:
+        if self._state != _WALKING or self._awaiting != server_id:
+            raise ProtocolStateError(
+                f"unexpected contact outcome for server {server_id} "
+                f"(awaiting {self._awaiting})"
+            )
+        self._awaiting = None
+
+    def _absorb_reply(self, event: ReplyReceived, effects: List[Effect]) -> None:
+        self._contacted.append(event.server_id)
+        fresh = [e for e in event.entries if e.entry_id not in self._merged_ids]
+        # The client wants exactly ``target`` entries; when the final
+        # server's reply overshoots, keep a uniformly random subset of
+        # its fresh contribution so no entry of that server is
+        # privileged (this is what makes Round-Robin's answers exactly
+        # fair, §4.5).
+        if self._target > 0 and len(self._merged) + len(fresh) > self._target:
+            fresh = self._rng.sample(fresh, self._target - len(self._merged))
+        if self._trace:
+            effects.append(
+                SpanEvent(
+                    "contact",
+                    {
+                        "server": event.server_id,
+                        "outcome": "delivered",
+                        "returned": len(event.entries),
+                        "fresh": len(fresh),
+                    },
+                )
+            )
+        self._merged.extend(fresh)
+        self._merged_ids.update(e.entry_id for e in fresh)
+
+    def _absorb_failure(self, event: ContactFailed, effects: List[Effect]) -> None:
+        (self._dropped if event.dropped else self._failed).append(event.server_id)
+        if self._trace:
+            effects.append(
+                SpanEvent(
+                    "contact",
+                    {
+                        "server": event.server_id,
+                        "outcome": "dropped" if event.dropped else "failed",
+                        "returned": 0,
+                        "fresh": 0,
+                    },
+                )
+            )
+
+    def _next_server(self) -> Optional[int]:
+        """The next server of the current pass, honouring stop rules."""
+        while self._pass_index < len(self._pass_order):
+            if self._target > 0 and len(self._merged) >= self._target:
+                return None
+            if (
+                self._max_servers is not None
+                and len(self._contacted) >= self._max_servers
+            ):
+                return None
+            server_id = self._pass_order[self._pass_index]
+            self._pass_index += 1
+            return server_id
+        return None
+
+    def _continue(self, effects: List[Effect]) -> None:
+        if self._state == _SLEEPING:
+            # The retry pass starts when the driver reports Slept.
+            return
+        server_id = self._next_server()
+        if server_id is not None:
+            self._awaiting = server_id
+            effects.append(
+                SendRequest(server_id, self._key, LookupRequest(self._ask))
+            )
+            return
+        self._end_pass(effects)
+
+    def _end_pass(self, effects: List[Effect]) -> None:
+        """Decide between another retry pass and completion."""
+        policy = self._policy
+        if (
+            policy is not None
+            and self._target > 0
+            and len(self._merged) < self._target
+            and self._retries + 1 < policy.max_attempts
+            and (self._dropped or self._failed)
+            and (
+                self._max_servers is None
+                or len(self._contacted) < self._max_servers
+            )
+        ):
+            delay = policy.delay(self._retries, self._rng)
+            if self._backoff + delay <= policy.backoff_budget:
+                self._backoff += delay
+                self._retries += 1
+                # Dropped contacts are retried before failed ones: a
+                # drop means the server is (probably) alive and the
+                # message was lost, whereas a failed server stays
+                # failed until something recovers it.
+                retry_failed = list(self._failed)
+                self._rng.shuffle(retry_failed)
+                retry_order = self._dropped + retry_failed
+                if self._trace:
+                    effects.append(
+                        SpanEvent(
+                            "retry",
+                            {
+                                "attempt": self._retries,
+                                "delay": delay,
+                                "backoff": self._backoff,
+                                "pending": len(retry_order),
+                            },
+                        )
+                    )
+                self._dropped = []
+                self._failed = []
+                self._pass_order = retry_order
+                self._pass_index = 0
+                self._state = _SLEEPING
+                effects.append(Sleep(delay))
+                return
+        self._complete(effects)
+
+    def _complete(self, effects: List[Effect]) -> None:
+        self._state = _DONE
+        result = LookupResult(
+            entries=tuple(self._merged),
+            target=self._target,
+            servers_contacted=tuple(self._contacted),
+            failed_contacts=tuple(self._failed) + tuple(self._dropped),
+            messages=len(self._contacted),
+            retries=self._retries,
+            backoff=self._backoff,
+        )
+        self._result = result
+        if self._trace:
+            effects.append(
+                SpanEnd(
+                    {
+                        "entries": len(result.entries),
+                        "messages": result.messages,
+                        "retries": result.retries,
+                        "backoff": result.backoff,
+                        "success": result.success,
+                        "degraded": result.degraded,
+                    }
+                )
+            )
+        effects.append(Complete(result))

@@ -32,6 +32,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.messages import LookupRequest, Message
 from repro.cluster.network import Network
 from repro.cluster.server import Server, ServerLogic
+from repro.protocol.server import answer_lookup
 
 
 @dataclass(frozen=True)
@@ -76,7 +77,7 @@ class StrategyLogic(ServerLogic):
 
     def handle(self, server: Server, message: Message, network: Network) -> Any:
         if isinstance(message, LookupRequest):
-            return server.store(self.key).sample(message.target, self.rng)
+            return answer_lookup(server.store(self.key), message.target, self.rng)
         return self.handle_message(server, message, network)
 
     @abstractmethod

@@ -39,7 +39,8 @@ from repro.cluster.messages import (
     SetCounters,
     StorePositioned,
 )
-from repro.cluster.network import Network, is_undelivered
+from repro.cluster import is_undelivered
+from repro.cluster.network import Network
 from repro.cluster.server import Server
 from repro.strategies.base import LookupProfile, PlacementStrategy, StrategyLogic
 

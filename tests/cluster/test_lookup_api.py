@@ -1,4 +1,4 @@
-"""The unified ``Client.lookup`` API: options, shims, tracing, metrics."""
+"""The unified ``Client.lookup`` API: options, tracing, metrics."""
 
 import pytest
 
@@ -40,18 +40,6 @@ class TestUnifiedLookup:
         result = Client(make_cluster()).lookup("k", 8)
         assert len(result) == 8
         assert result.success
-
-    def test_matches_legacy_lookup_random_exactly(self):
-        new = Client(make_cluster()).lookup("k", 8, max_servers=3)
-        with pytest.deprecated_call():
-            old = Client(make_cluster()).lookup_random("k", 8, max_servers=3)
-        assert new == old
-
-    def test_stride_matches_legacy_lookup_stride_exactly(self):
-        new = Client(make_cluster()).lookup("k", 12, order=Stride(3))
-        with pytest.deprecated_call():
-            old = Client(make_cluster()).lookup_stride("k", 12, 3)
-        assert new == old
 
     def test_stride_order_draws_start_from_cluster_rng(self):
         # The Stride path must consume exactly one random_server_id
@@ -106,11 +94,15 @@ class TestUnifiedLookup:
         assert single.retries == 0
         assert single.degraded
 
-    def test_shims_warn_but_still_work(self):
+    def test_removed_shims_raise_with_hint(self):
         client = Client(make_cluster())
-        with pytest.deprecated_call():
-            result = client.lookup_random("k", 5)
-        assert result.success
+        with pytest.raises(AttributeError, match=r"Client\.lookup\(.*max_servers"):
+            client.lookup_random("k", 5)
+        with pytest.raises(AttributeError, match=r"order=Stride\(y\)"):
+            client.lookup_stride("k", 5, 2)
+        # Unknown attributes still raise the ordinary message.
+        with pytest.raises(AttributeError, match="no attribute"):
+            client.lookup_backwards
 
 
 class TestLookupObservability:

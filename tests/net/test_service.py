@@ -1,0 +1,264 @@
+"""End-to-end asyncio service tests: real sockets on an ephemeral port."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.cluster.client import RetryPolicy
+from repro.net.client import AsyncLookupClient, ServiceError
+from repro.net.codec import encode_message
+from repro.net.service import DEFAULT_SCHEMES, LookupService, ServiceConfig
+from repro.cluster.messages import AddRequest, LookupRequest
+from repro.core.entry import Entry
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+CONFIG = ServiceConfig(server_count=12, entry_count=30, seed=7)
+
+
+async def with_service(fn, config=CONFIG):
+    service = LookupService(config)
+    host, port = await service.start(port=0)
+    try:
+        return await fn(service, host, port)
+    finally:
+        await service.stop()
+
+
+class TestEnvelopeDispatch:
+    # handle_envelope is pure dispatch; no sockets needed.
+
+    def test_ping_and_info(self):
+        service = LookupService(CONFIG)
+        assert service.handle_envelope({"op": "ping"})["ok"]
+        info = service.handle_envelope({"op": "info"})["value"]
+        assert info["servers"] == 12
+        assert set(info["schemes"]) == set(DEFAULT_SCHEMES)
+        assert info["schemes"]["round_robin"]["profile"]["order"] == {"stride": 2}
+        assert info["schemes"]["fixed"]["profile"]["max_servers"] == 1
+
+    def test_unknown_op_is_bad_request(self):
+        service = LookupService(CONFIG)
+        reply = service.handle_envelope({"op": "launch"})
+        assert not reply["ok"]
+        assert reply["error"] == "bad-request"
+
+    def test_send_routes_through_network_accounting(self):
+        service = LookupService(CONFIG)
+        before = service.cluster.network.stats.total
+        reply = service.handle_envelope(
+            {
+                "op": "send",
+                "server": 0,
+                "key": "hash",
+                "message": encode_message(LookupRequest(3)),
+            }
+        )
+        assert reply["ok"]
+        assert service.cluster.network.stats.total == before + 1
+
+    def test_send_to_failed_server_is_unavailable(self):
+        service = LookupService(CONFIG)
+        service.cluster.fail(4)
+        reply = service.handle_envelope(
+            {
+                "op": "send",
+                "server": 4,
+                "key": "hash",
+                "message": encode_message(LookupRequest(3)),
+            }
+        )
+        assert not reply["ok"]
+        assert reply["error"] == "unavailable"
+
+    def test_send_validation(self):
+        service = LookupService(CONFIG)
+        bad_server = service.handle_envelope(
+            {"op": "send", "server": 99, "key": "hash", "message": {}}
+        )
+        assert bad_server["error"] == "bad-request"
+        bad_key = service.handle_envelope(
+            {
+                "op": "send",
+                "server": 0,
+                "key": "nope",
+                "message": encode_message(LookupRequest(1)),
+            }
+        )
+        assert bad_key["error"] == "bad-request"
+
+    def test_update_via_send_is_visible_to_lookups(self):
+        service = LookupService(CONFIG)
+        reply = service.handle_envelope(
+            {
+                "op": "send",
+                "server": 1,
+                "key": "full_replication",
+                "message": encode_message(AddRequest(Entry("fresh"))),
+            }
+        )
+        assert reply["ok"]
+        verify = service.handle_envelope(
+            {"op": "verify", "key": "full_replication"}
+        )["value"]
+        assert verify["coverage"] == CONFIG.entry_count + 1
+
+
+class TestOverSockets:
+    def test_all_schemes_complete_partial_lookups(self):
+        async def scenario(service, host, port):
+            outcomes = {}
+            async with AsyncLookupClient(host, port, rng=random.Random(3)) as client:
+                assert await client.ping()
+                for scheme in sorted(DEFAULT_SCHEMES):
+                    result = await client.lookup(scheme, 8)
+                    outcomes[scheme] = result
+            return outcomes
+
+        outcomes = run(with_service(scenario))
+        for scheme, result in outcomes.items():
+            assert result.success, scheme
+            assert len(result.entries) == 8
+            ids = [e.entry_id for e in result.entries]
+            assert len(set(ids)) == 8
+
+    def test_max_servers_profile_respected_over_wire(self):
+        async def scenario(service, host, port):
+            async with AsyncLookupClient(host, port, rng=random.Random(1)) as client:
+                return await client.lookup("full_replication", 8)
+
+        result = run(with_service(scenario))
+        assert result.messages == 1
+        assert len(result.servers_contacted) == 1
+
+    def test_failed_server_surfaces_as_failed_contact(self):
+        async def scenario(service, host, port):
+            service.cluster.fail(2)
+            service.cluster.fail(5)
+            async with AsyncLookupClient(host, port, rng=random.Random(2)) as client:
+                return await client.lookup("hash", 25)
+
+        result = run(with_service(scenario))
+        assert result.success
+        assert set(result.failed_contacts) <= {2, 5}
+        assert not {2, 5} & set(result.servers_contacted)
+
+    def test_retry_policy_reruns_failed_contacts(self):
+        async def scenario(service, host, port):
+            # Fail everything but two servers so the first pass comes
+            # up short, then recover before the retry pass.
+            for sid in range(2, service.cluster.size):
+                service.cluster.fail(sid)
+            policy = RetryPolicy(
+                max_attempts=2, base_backoff=0.05, jitter=0.0, backoff_budget=5.0
+            )
+            client = AsyncLookupClient(
+                host, port, rng=random.Random(5), retry_policy=policy
+            )
+            async with client:
+                info = await client.info()
+                task = asyncio.ensure_future(client.lookup("hash", 25))
+                await asyncio.sleep(0.02)
+                for sid in range(2, service.cluster.size):
+                    service.cluster.recover(sid)
+                return await task
+
+        result = run(with_service(scenario))
+        assert result.retries == 1
+        assert result.backoff > 0
+
+    def test_unknown_scheme_raises(self):
+        async def scenario(service, host, port):
+            async with AsyncLookupClient(host, port) as client:
+                with pytest.raises(ServiceError, match="does not host"):
+                    await client.lookup("zigzag", 5)
+
+        run(with_service(scenario))
+
+    def test_verify_reports_invariants(self):
+        async def scenario(service, host, port):
+            async with AsyncLookupClient(host, port) as client:
+                return await client.verify("round_robin")
+
+        verify = run(with_service(scenario))
+        assert verify["coverage"] == CONFIG.entry_count
+        assert verify["storage_cost"] == 2 * CONFIG.entry_count
+        assert verify["operational"] == CONFIG.server_count
+
+    def test_many_clients_interleave(self):
+        async def scenario(service, host, port):
+            async def one(seed):
+                async with AsyncLookupClient(
+                    host, port, rng=random.Random(seed)
+                ) as client:
+                    return await client.lookup("round_robin", 8)
+
+            return await asyncio.gather(*(one(seed) for seed in range(8)))
+
+        results = run(with_service(scenario))
+        assert all(r.success for r in results)
+
+    def test_request_timeout_becomes_dropped_contact(self):
+        async def scenario(service, host, port):
+            # A server that never replies: swap the envelope handler
+            # for one that stalls longer than the client timeout.
+            real = service.handle_envelope
+            stall = {"first": True}
+
+            async def handler(reader, writer):
+                from repro.net.codec import read_frame, write_frame
+
+                while True:
+                    envelope = await read_frame(reader)
+                    if envelope is None:
+                        break
+                    if envelope.get("op") == "send" and stall.pop("first", False):
+                        await asyncio.sleep(10)  # > client timeout
+                    await write_frame(writer, real(envelope))
+
+            service.handle_connection = handler  # monkeypatch the instance
+            await service.stop()
+            server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+            sock_host, sock_port = server.sockets[0].getsockname()[:2]
+            try:
+                client = AsyncLookupClient(
+                    sock_host,
+                    sock_port,
+                    rng=random.Random(4),
+                    timeout=0.2,
+                    retry_policy=RetryPolicy(
+                        max_attempts=2, base_backoff=0.01, jitter=0.0
+                    ),
+                )
+                async with client:
+                    result = await client.lookup("hash", 5)
+            finally:
+                server.close()
+                await server.wait_closed()
+            return result
+
+        result = run(with_service(scenario))
+        # The stalled contact was reported dropped and retried on a
+        # fresh connection; the lookup still completed.
+        assert result.success
+        assert result.retries <= 1
+
+    def test_clean_stop_with_live_connection(self):
+        async def scenario(service, host, port):
+            client = AsyncLookupClient(host, port)
+            await client.connect()
+            assert await client.ping()
+            await service.stop()
+            await client.close()
+            return True
+
+        async def runner():
+            service = LookupService(CONFIG)
+            host, port = await service.start(port=0)
+            return await scenario(service, host, port)
+
+        assert run(runner())

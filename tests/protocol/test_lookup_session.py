@@ -1,0 +1,291 @@
+"""Conformance suite: recorded event traces through ``LookupSession``.
+
+Each test replays a fixed sequence of events into the state machine
+and asserts the exact effect sequence it emits — the sans-IO contract
+both drivers (the simulated ``Client`` and the asyncio net client)
+rely on: at most one response-requiring effect per batch, always
+last; trace effects only when asked; ``Complete`` terminal.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.client import RetryPolicy
+from repro.cluster.messages import LookupRequest
+from repro.core.entry import Entry, make_entries
+from repro.protocol import (
+    Complete,
+    ContactFailed,
+    LookupSession,
+    ProtocolStateError,
+    ReplyReceived,
+    SendRequest,
+    Sleep,
+    SpanEnd,
+    SpanEvent,
+    SpanStart,
+    SLEPT,
+)
+
+
+def session(order, target=6, **kwargs):
+    kwargs.setdefault("rng", random.Random(42))
+    return LookupSession("k", target, order, **kwargs)
+
+
+def reply(server_id, count, start=1):
+    return ReplyReceived(server_id, make_entries(count, start=start))
+
+
+class TestHappyPath:
+    def test_walks_order_until_target_met(self):
+        s = session([3, 1, 4], target=6)
+        effects = s.start()
+        assert [type(e) for e in effects] == [SendRequest]
+        assert effects[0].server_id == 3
+        assert effects[0].key == "k"
+        assert isinstance(effects[0].request, LookupRequest)
+        assert effects[0].request.target == 6
+
+        effects = s.on_event(reply(3, 4, start=1))
+        assert [type(e) for e in effects] == [SendRequest]
+        assert effects[0].server_id == 1
+
+        effects = s.on_event(reply(1, 4, start=3))  # 2 fresh, target met
+        assert [type(e) for e in effects] == [Complete]
+        assert s.done
+        result = effects[0].result
+        assert result is s.result
+        assert result.success and not result.degraded
+        assert len(result.entries) == 6
+        assert result.servers_contacted == (3, 1)
+        assert result.messages == 2
+        assert result.retries == 0
+
+    def test_entries_merge_distinct_by_id(self):
+        s = session([0, 1], target=4)
+        s.start()
+        s.on_event(reply(0, 3))
+        (complete,) = s.on_event(reply(1, 3))  # all 3 duplicate -> short
+        # Both servers consumed, nothing fresh from the second.
+        assert len(complete.result.entries) == 3
+        assert complete.result.degraded
+
+    def test_overshoot_reply_is_subsampled(self):
+        # Final reply has more fresh entries than needed: the keeper
+        # set is drawn via rng.sample, preserving fairness (§4.5).
+        rng = random.Random(7)
+        expect = random.Random(7).sample(make_entries(10), 4)
+        s = session([5], target=4, rng=rng)
+        s.start()
+        (complete,) = s.on_event(reply(5, 10))
+        assert list(complete.result.entries) == expect
+
+    def test_target_zero_contacts_everyone(self):
+        s = session([2, 0, 1], target=0)
+        effects = s.start()
+        seen = []
+        while not s.done:
+            seen.append(effects[0].server_id)
+            assert effects[0].request.target == 0
+            effects = s.on_event(reply(effects[0].server_id, 2))
+        assert seen == [2, 0, 1]
+        assert s.result.messages == 3
+
+    def test_max_servers_caps_contacts(self):
+        s = session([0, 1, 2, 3], target=100, max_servers=2)
+        effects = s.start()
+        effects = s.on_event(reply(0, 3, start=1))
+        effects = s.on_event(reply(1, 3, start=10))
+        assert [type(e) for e in effects] == [Complete]
+        assert effects[0].result.servers_contacted == (0, 1)
+
+    def test_per_server_target_overrides_request_size(self):
+        s = session([0], target=6, per_server_target=2)
+        effects = s.start()
+        assert effects[0].request.target == 2
+
+
+class TestFailuresAndRetries:
+    def test_failed_servers_recorded_not_counted(self):
+        s = session([0, 1, 2], target=4)
+        s.start()
+        s.on_event(ContactFailed(0, dropped=False))
+        s.on_event(reply(1, 2))
+        (complete,) = s.on_event(ContactFailed(2, dropped=True))
+        result = complete.result
+        assert result.failed_contacts == (0, 2)
+        assert result.servers_contacted == (1,)
+        assert result.messages == 1  # failed contacts cost nothing (§4.2)
+
+    def test_retry_pass_dropped_first_then_shuffled_failed(self):
+        policy = RetryPolicy(
+            max_attempts=2, base_backoff=1.0, jitter=0.0, backoff_budget=10.0
+        )
+        rng = random.Random(3)
+        # Replicate the session's draws: delay first, then the shuffle.
+        twin = random.Random(3)
+        expected_delay = policy.delay(0, twin)
+        expected_failed = [1, 4, 6]
+        twin.shuffle(expected_failed)
+
+        s = LookupSession("k", 9, [0, 1, 4, 5, 6], retry_policy=policy, rng=rng)
+        s.start()
+        s.on_event(reply(0, 2))
+        s.on_event(ContactFailed(1, dropped=False))
+        s.on_event(ContactFailed(4, dropped=False))
+        s.on_event(ContactFailed(5, dropped=True))
+        effects = s.on_event(ContactFailed(6, dropped=False))
+        assert [type(e) for e in effects] == [Sleep]
+        assert effects[0].delay == expected_delay
+
+        effects = s.on_event(SLEPT)
+        walked = [effects[0].server_id]
+        # Dropped contact 5 leads; failed contacts follow shuffled.
+        assert walked[0] == 5
+        effects = s.on_event(reply(5, 2, start=10))
+        while effects and isinstance(effects[0], SendRequest):
+            walked.append(effects[0].server_id)
+            effects = s.on_event(ContactFailed(effects[0].server_id, dropped=False))
+        assert walked == [5] + expected_failed
+        assert s.done
+        assert s.result.retries == 1
+        assert s.result.backoff == expected_delay
+
+    def test_no_retry_without_policy(self):
+        s = session([0, 1], target=8)
+        s.start()
+        s.on_event(ContactFailed(0, dropped=True))
+        (complete,) = s.on_event(ContactFailed(1, dropped=True))
+        assert complete.result.retries == 0
+        assert complete.result.degraded
+
+    def test_budget_exhaustion_completes_degraded(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_backoff=50.0, jitter=0.0, backoff_budget=10.0
+        )
+        s = session([0], target=4, retry_policy=policy)
+        s.start()
+        (complete,) = s.on_event(ContactFailed(0, dropped=True))
+        assert isinstance(complete, Complete)
+        assert complete.result.retries == 0
+        assert complete.result.degraded
+
+    def test_no_retry_when_all_servers_answered(self):
+        # Short answer but nothing to re-contact: done, degraded.
+        policy = RetryPolicy(max_attempts=3)
+        s = session([0], target=9, retry_policy=policy)
+        s.start()
+        (complete,) = s.on_event(reply(0, 2))
+        assert complete.result.degraded
+        assert complete.result.retries == 0
+
+
+class TestTraceEffects:
+    def test_trace_effect_sequence(self):
+        s = session([0, 1], target=4, trace=True, trace_label="random")
+        effects = s.start()
+        assert [type(e) for e in effects] == [SpanStart, SendRequest]
+        span = effects[0]
+        assert span.name == "lookup"
+        assert span.fields == {"key": "k", "target": 4, "order": "random"}
+
+        effects = s.on_event(ContactFailed(0, dropped=True))
+        assert [type(e) for e in effects] == [SpanEvent, SendRequest]
+        assert effects[0].fields["outcome"] == "dropped"
+
+        effects = s.on_event(reply(1, 4))
+        assert [type(e) for e in effects] == [SpanEvent, SpanEnd, Complete]
+        assert effects[0].fields["outcome"] == "delivered"
+        assert effects[1].fields["entries"] == 4
+        assert effects[1].fields["degraded"] is False
+
+    def test_untraced_session_emits_no_span_effects(self):
+        s = session([0, 1], target=4)
+        effects = s.start()
+        while not s.done:
+            assert all(
+                not isinstance(e, (SpanStart, SpanEvent, SpanEnd)) for e in effects
+            )
+            effects = s.on_event(reply(effects[0].server_id, 2))
+
+    def test_response_requiring_effect_is_always_last(self):
+        policy = RetryPolicy(max_attempts=2, jitter=0.0)
+        s = session([0, 1], target=9, retry_policy=policy, trace=True)
+        effects = s.start()
+        batches = [effects]
+        events = iter(
+            [
+                ContactFailed(0, dropped=True),
+                ContactFailed(1, dropped=False),
+                SLEPT,
+                reply(0, 3),
+                ContactFailed(1, dropped=False),
+            ]
+        )
+        while not s.done:
+            effects = s.on_event(next(events))
+            batches.append(effects)
+        for batch in batches:
+            responders = [
+                e for e in batch if isinstance(e, (SendRequest, Sleep))
+            ]
+            assert len(responders) <= 1
+            if responders:
+                assert batch[-1] is responders[0]
+
+
+class TestStateErrors:
+    def test_start_twice_rejected(self):
+        s = session([0])
+        s.start()
+        with pytest.raises(ProtocolStateError):
+            s.start()
+
+    def test_event_for_wrong_server_rejected(self):
+        s = session([3, 1])
+        s.start()
+        with pytest.raises(ProtocolStateError):
+            s.on_event(reply(1, 2))
+
+    def test_slept_outside_backoff_rejected(self):
+        s = session([0])
+        s.start()
+        with pytest.raises(ProtocolStateError):
+            s.on_event(SLEPT)
+
+    def test_unknown_event_rejected(self):
+        s = session([0])
+        s.start()
+        with pytest.raises(ProtocolStateError):
+            s.on_event(object())
+
+    def test_result_none_until_done(self):
+        s = session([0], target=2)
+        assert s.result is None and not s.done
+        s.start()
+        s.on_event(reply(0, 2))
+        assert s.done and s.result is not None
+
+
+class TestOrderHelpers:
+    def test_random_order_is_seeded_shuffle(self):
+        from repro.protocol.lookup import random_order
+
+        expect = list(range(8))
+        random.Random(5).shuffle(expect)
+        assert random_order(8, random.Random(5)) == expect
+
+    def test_stride_order_walks_then_shuffles_leftovers(self):
+        from repro.protocol.lookup import stride_order
+
+        # gcd(2, 8) = 2: the walk covers only evens from 0.
+        order = stride_order(8, 0, 2, random.Random(5))
+        assert order[:4] == [0, 2, 4, 6]
+        assert sorted(order[4:]) == [1, 3, 5, 7]
+
+    def test_stride_order_full_cycle(self):
+        from repro.protocol.lookup import stride_order
+
+        assert stride_order(5, 2, 3, random.Random(0)) == [2, 0, 3, 1, 4]

@@ -1,0 +1,123 @@
+"""The sans-IO server core: dispatch, dedupe, and the event surface."""
+
+import random
+
+import pytest
+
+from repro.cluster.messages import AddRequest, LookupRequest
+from repro.cluster.server import Server, ServerLogic
+from repro.core.entry import Entry, make_entries
+from repro.protocol import MessageReceived, Reply, ServerProtocol, answer_lookup
+
+
+class _CountingLogic(ServerLogic):
+    """Stores adds, answers lookups, counts handled messages."""
+
+    def __init__(self):
+        self.handled = 0
+
+    def handle(self, server, message, network):
+        self.handled += 1
+        if isinstance(message, AddRequest):
+            server.store("k").add(message.entry)
+            return "added"
+        if isinstance(message, LookupRequest):
+            return server.store("k").as_list()
+        return None
+
+
+def make_server():
+    server = Server(0)
+    logic = _CountingLogic()
+    server.install_logic("k", logic)
+    return server, logic
+
+
+class TestDispatch:
+    def test_routes_to_installed_logic(self):
+        server, logic = make_server()
+        reply = server.protocol.dispatch("k", AddRequest(Entry("v1")), peers=None)
+        assert reply == "added"
+        assert logic.handled == 1
+        assert Entry("v1") in server.store("k")
+
+    def test_missing_logic_raises_with_server_and_key(self):
+        server, _ = make_server()
+        with pytest.raises(RuntimeError, match=r"server 0 .* 'other'"):
+            server.protocol.dispatch("other", AddRequest(Entry("v1")), peers=None)
+
+    def test_server_receive_is_a_thin_driver(self):
+        # Server.receive and protocol.dispatch are the same code path.
+        server, logic = make_server()
+        server.receive("k", AddRequest(Entry("v2")), network=None)
+        assert logic.handled == 1
+
+
+class TestDedupe:
+    def test_duplicate_delivery_returns_cached_reply(self):
+        server, logic = make_server()
+        first = server.protocol.dispatch_dedup(
+            "k", AddRequest(Entry("v1")), None, delivery_id=7
+        )
+        second = server.protocol.dispatch_dedup(
+            "k", AddRequest(Entry("v1")), None, delivery_id=7
+        )
+        assert first == second == "added"
+        assert logic.handled == 1  # handler ran once
+
+    def test_distinct_delivery_ids_both_run(self):
+        server, logic = make_server()
+        server.protocol.dispatch_dedup("k", AddRequest(Entry("v1")), None, 1)
+        server.protocol.dispatch_dedup("k", AddRequest(Entry("v2")), None, 2)
+        assert logic.handled == 2
+
+    def test_window_evicts_oldest(self):
+        server, logic = make_server()
+        for i in range(ServerProtocol.DEDUP_WINDOW + 1):
+            server.protocol.dispatch_dedup("k", AddRequest(Entry(f"v{i}")), None, i)
+        handled = logic.handled
+        # Delivery 0 was evicted: re-delivery runs the handler again.
+        server.protocol.dispatch_dedup("k", AddRequest(Entry("v0")), None, 0)
+        assert logic.handled == handled + 1
+
+    def test_wipe_forgets_deliveries(self):
+        server, logic = make_server()
+        server.protocol.dispatch_dedup("k", AddRequest(Entry("v1")), None, 5)
+        server.wipe()
+        server.protocol.dispatch_dedup("k", AddRequest(Entry("v1")), None, 5)
+        assert logic.handled == 2
+
+
+class TestEventSurface:
+    def test_on_message_emits_one_reply_effect(self):
+        server, _ = make_server()
+        server.store("k").add(Entry("v1"))
+        effects = server.protocol.on_message(
+            MessageReceived("k", LookupRequest(0)), peers=None
+        )
+        assert [type(e) for e in effects] == [Reply]
+        assert effects[0].value == [Entry("v1")]
+
+    def test_on_message_with_delivery_id_dedupes(self):
+        server, logic = make_server()
+        event = MessageReceived("k", AddRequest(Entry("v9")), delivery_id=3)
+        first = server.protocol.on_message(event, peers=None)
+        second = server.protocol.on_message(event, peers=None)
+        assert first[0].value == second[0].value == "added"
+        assert logic.handled == 1
+
+
+class TestAnswerLookup:
+    def test_zero_target_returns_everything(self):
+        server, _ = make_server()
+        entries = make_entries(5)
+        for entry in entries:
+            server.store("k").add(entry)
+        assert answer_lookup(server.store("k"), 0, random.Random(1)) == entries
+
+    def test_sampling_matches_store_sample(self):
+        server, _ = make_server()
+        for entry in make_entries(10):
+            server.store("k").add(entry)
+        expect = server.store("k").sample(4, random.Random(9))
+        assert answer_lookup(server.store("k"), 4, random.Random(9)) == expect
