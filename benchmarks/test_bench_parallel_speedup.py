@@ -6,6 +6,11 @@ clocks (and the speedup) into the ``--bench-json`` artifact, and
 checks that the rows are bit-identical.  The >= 2.5x speedup gate only
 applies on machines with enough cores (CI's 4-core runners); on
 smaller boxes the numbers are still recorded for the trajectory.
+
+``scripts/check_bench_regression.py`` applies the same exemption: the
+``_jobs4`` suffix on the recorded speedup metric tells the gate to
+treat it as informational whenever either artifact was produced with
+``cpu_count`` < 4, so a 1-CPU runner's sub-1x reading never fails a PR.
 """
 
 import os

@@ -7,10 +7,16 @@ Usage::
 
 Fails (exit 1) when any benchmark present in both artifacts is more
 than ``tolerance`` slower than the baseline wall clock, or when a
-recorded speedup metric (``*_speedup``) drops below ``1 - tolerance``
-of its baseline value.  Benchmarks only present on one side are
-reported but never fail the check, so adding or retiring benches does
-not require lock-step baseline updates.
+recorded speedup metric (any name containing ``_speedup``) drops below
+``1 - tolerance`` of its baseline value.  Benchmarks only present on
+one side are reported but never fail the check, so adding or retiring
+benches does not require lock-step baseline updates.
+
+Speedup metrics whose names encode a parallelism requirement
+(``..._jobsN``) are demoted to informational when either artifact was
+recorded with fewer than N CPUs (top-level ``cpu_count``): a 1-CPU
+runner measuring jobs=4 produces a meaningless sub-1x "speedup", and
+gating on it would fail every PR for reasons unrelated to the code.
 
 The committed baseline (``BENCH_results.json``) is refreshed in the PR
 that changes the measured performance; see docs/performance.md.
@@ -20,7 +26,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
+
+#: ``..._jobsN`` suffix on a speedup metric: the parallelism the
+#: measurement needs to be meaningful.
+JOBS_RE = re.compile(r"_jobs(\d+)")
 
 
 def _load(path: str) -> dict:
@@ -78,7 +89,17 @@ def main(argv=None) -> int:
         if now_value is None:
             print(f"SKIP metric (not in current run): {name}")
             continue
-        if name.endswith("_speedup"):
+        if "_speedup" in name:
+            jobs_match = JOBS_RE.search(name)
+            cpus = min(
+                current.get("cpu_count") or 1, baseline.get("cpu_count") or 1
+            )
+            if jobs_match and cpus < int(jobs_match.group(1)):
+                print(
+                    f"      info  {name} = {now_value} (base {base_value}; "
+                    f"cpu_count {cpus} < jobs{jobs_match.group(1)}, not gated)"
+                )
+                continue
             floor = base_value * (1.0 - args.tolerance)
             verdict = "ok"
             if now_value < floor:

@@ -13,6 +13,12 @@ against every hosted scheme — checking, per scheme, that:
   entry retrievable from operational servers) and the scheme's exact
   expected storage cost.
 
+It then asserts the CLI's exit-code contract — 0 for lookups that met
+their target, 3 (degraded) for short-but-non-empty answers, 4 (failed)
+for empty answers — by asking ``fixed`` for more entries than its x=10
+subset holds, and by querying a lone shard that is not home to the
+key at all.
+
 The server is terminated with SIGTERM and must exit cleanly within
 the grace period; any leftover process is killed and reported as a
 failure.  The whole script is bounded by ``--timeout`` (default 120 s)
@@ -76,7 +82,16 @@ def wait_for_ready(path: str, process: subprocess.Popen, deadline: float) -> tup
     raise AssertionError  # unreachable
 
 
-def run_call(scheme: str, host: str, port: int, deadline: float) -> dict:
+def run_call(
+    scheme: str,
+    host: str,
+    port: int,
+    deadline: float,
+    *,
+    target: int = TARGET,
+    verify: bool = True,
+    expect: int = 0,
+) -> dict:
     command = [
         sys.executable,
         "-m",
@@ -88,23 +103,30 @@ def run_call(scheme: str, host: str, port: int, deadline: float) -> dict:
         "--port",
         str(port),
         "--target",
-        str(TARGET),
+        str(target),
         "--count",
         str(LOOKUPS),
         "--seed",
         "11",
-        "--verify",
     ]
+    if verify:
+        command.append("--verify")
     budget = max(1.0, deadline - time.monotonic())
     result = subprocess.run(
         command, capture_output=True, text=True, timeout=budget
     )
-    if result.returncode != 0:
+    if result.returncode != expect:
         fail(
-            f"repro call {scheme} exited {result.returncode}:\n"
+            f"repro call {scheme} exited {result.returncode}, want {expect}:\n"
             f"{result.stdout}\n{result.stderr}"
         )
-    return json.loads(result.stdout)
+    summary = json.loads(result.stdout)
+    if summary.get("exit_code") != expect:
+        fail(
+            f"{scheme}: summary exit_code {summary.get('exit_code')} "
+            f"disagrees with process exit {expect}"
+        )
+    return summary
 
 
 def check_scheme(scheme: str, summary: dict) -> None:
@@ -136,6 +158,70 @@ def check_scheme(scheme: str, summary: dict) -> None:
         f"coverage {verify['coverage']}/{ENTRIES}, "
         f"storage {verify['storage_cost']}"
     )
+
+
+def check_degraded_exit(host: str, port: int, deadline: float) -> None:
+    # ``fixed`` hosts only its X chosen entries; asking for more is
+    # answerable-but-short — degraded (3), never failed (4).
+    summary = run_call(
+        "fixed", host, port, deadline, target=X + 2, verify=False, expect=3
+    )
+    for lookup in summary["lookups"]:
+        if lookup["found"] != X or lookup["success"]:
+            fail(f"degraded call: expected {X} found and no success: {lookup}")
+        if not lookup["degraded"]:
+            fail(f"degraded call: row not marked degraded: {lookup}")
+    print(f"ok exit-code {summary['exit_code']}: short non-empty answer is degraded")
+
+
+def check_failed_exit(ready_dir: str, deadline: float) -> None:
+    # A lone shard that is not home to ``fixed`` truthfully answers
+    # empty; an empty answer with a positive target is failed (4).
+    ready = os.path.join(ready_dir, "shard-ready.txt")
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--ready-file",
+            ready,
+            "--servers",
+            str(SERVERS),
+            "--entries",
+            str(ENTRIES),
+            "--seed",
+            str(SEED),
+            "--shard",
+            "0/3",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        host, port = wait_for_ready(ready, server, deadline)
+        summary = run_call(
+            "fixed", host, port, deadline, verify=False, expect=4
+        )
+        for lookup in summary["lookups"]:
+            if lookup["found"] != 0:
+                fail(f"failed call: non-home shard answered data: {lookup}")
+        print(
+            f"ok exit-code {summary['exit_code']}: "
+            "empty answer from a non-home shard is failed"
+        )
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait()
+                fail("shard server did not exit within 10s of SIGTERM")
 
 
 def main() -> int:
@@ -172,6 +258,8 @@ def main() -> int:
             print(f"server up at {host}:{port}")
             for scheme in sorted(EXPECTED):
                 check_scheme(scheme, run_call(scheme, host, port, deadline))
+            check_degraded_exit(host, port, deadline)
+            check_failed_exit(tmpdir, deadline)
         finally:
             if server.poll() is None:
                 server.send_signal(signal.SIGTERM)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Kill-a-shard smoke: boot a 3-shard fleet, murder one, watch it heal.
+
+CI's shard-chaos job runs this script.  It spawns three
+``repro serve --shard i/3`` subprocesses wired to each other with the
+fast failure-detection timings, then runs the
+:func:`repro.chaos.shards.run_kill_shard_scenario` cycle:
+
+1. healthy sweep — every scheme key returns its full target;
+2. SIGKILL the busiest primary shard; survivors detect it dead;
+3. outage sweep — the victim's keys come back *degraded* (short,
+   non-empty, labelled) while every other key is untouched;
+4. restart the shard with a new incarnation; it passes through
+   quarantine and is re-admitted;
+5. recovered sweep — full answers for every key again.
+
+Any invariant violation, unclean shard exit, or overall-deadline
+overrun fails the script.  The report (and each shard's output) is
+printed so a CI failure is diagnosable from the log alone.
+
+Usage: ``PYTHONPATH=src python scripts/shard_chaos_smoke.py [--timeout 120]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.chaos.shards import ScenarioError, ShardFleet, run_kill_shard_scenario
+
+SHARDS = 3
+SERVERS = 12
+ENTRIES = 30
+SEED = 5
+#: Per-key lookup target.  Chosen so every scheme can meet it when
+#: healthy (fixed-x hosts x=10) while a lone backup replica
+#: (``round(0.25 * 30) = 8`` entries) cannot — the outage sweep is
+#: then *provably* degraded rather than accidentally full.
+TARGET = 10
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    args = parser.parse_args()
+
+    fleet = ShardFleet(
+        shard_count=SHARDS, servers=SERVERS, entries=ENTRIES, seed=SEED
+    )
+    try:
+        fleet.start()
+        print(f"fleet up: {fleet.addresses}")
+        report = asyncio.run(
+            asyncio.wait_for(
+                run_kill_shard_scenario(fleet, target=TARGET),
+                timeout=args.timeout,
+            )
+        )
+    except (ScenarioError, asyncio.TimeoutError) as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        for name, process in fleet.processes.items():
+            if process.poll() is None:
+                continue
+            output = process.stdout.read() if process.stdout else ""
+            print(f"--- {name} (exited {process.returncode}) ---\n{output}")
+        fleet.stop_all()
+        return 1
+    fleet.stop_all()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(
+        f"shard chaos smoke passed: killed {report['victim']} "
+        f"(primary for {', '.join(report['victim_keys'])}), lookups degraded "
+        f"gracefully, fleet recovered after rejoin"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

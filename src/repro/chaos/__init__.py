@@ -18,8 +18,21 @@ scheme must uphold:
 Everything is seeded; the same ``(seed, fault plan)`` pair produces an
 identical :class:`ChaosReport`, so a chaos failure is a reproducible
 test case, not an anecdote.
+
+Beyond the simulated faults, :mod:`repro.chaos.shards` attacks the
+real deployment: it SIGKILLs one shard of a live ``repro serve``
+fleet and asserts lookups merely *degrade* (never error, hang, or
+lie) until the shard rejoins.
 """
 
 from repro.chaos.harness import ChaosHarness, ChaosReport, default_fault_plan
+from repro.chaos.shards import ShardFleet, ScenarioError, run_kill_shard_scenario
 
-__all__ = ["ChaosHarness", "ChaosReport", "default_fault_plan"]
+__all__ = [
+    "ChaosHarness",
+    "ChaosReport",
+    "ScenarioError",
+    "ShardFleet",
+    "default_fault_plan",
+    "run_kill_shard_scenario",
+]

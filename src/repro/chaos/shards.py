@@ -1,0 +1,356 @@
+"""Kill-a-shard chaos: a real fleet, a real SIGKILL, a real rejoin.
+
+The in-process chaos harness (:mod:`repro.chaos.harness`) attacks one
+placement with simulated faults; this module attacks the *deployment*:
+it boots N ``repro serve --shard i/N`` subprocesses, drives routed
+lookups through a :class:`~repro.net.router.ShardRouter`, SIGKILLs one
+shard mid-traffic, and asserts the failover contract end to end:
+
+1. **During the outage** every lookup whose primary died comes back
+   *degraded* — short but non-empty and correctly labelled — never an
+   exception, never a hang (all contacts are timeout-bounded), and
+   never wrong (entries always come from the placed universe).
+2. Keys whose primary survived are **unaffected**: full answers,
+   before, during, and after.
+3. After the shard restarts (higher incarnation), the failure
+   detectors move it dead → quarantined → alive, and once re-admitted
+   the fleet serves **full answers for every key** again.
+
+Everything observable is returned in a report dict so the CI smoke
+(``scripts/shard_chaos_smoke.py``) can both assert and archive it.
+Ports are pre-allocated in the parent so every shard can be told its
+peers' addresses at boot; the window between probing and binding is
+the usual ephemeral-port race, acceptable for a test harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.router import ShardRouter
+from repro.net.sharding import ShardMap
+
+#: Fast failure-detection timings for the scenario (seconds).  Small
+#: enough that the whole kill/detect/rejoin cycle fits in a CI smoke,
+#: large enough to be robust on a loaded runner.
+FAST_TIMINGS = {
+    "heartbeat_interval": 0.1,
+    "suspect_after": 0.6,
+    "dead_after": 1.2,
+    "quarantine": 0.8,
+}
+
+
+class ScenarioError(AssertionError):
+    """A kill-a-shard invariant was violated."""
+
+
+def free_ports(count: int) -> List[int]:
+    """Reserve ``count`` distinct ephemeral ports, then release them."""
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+@dataclass
+class ShardFleet:
+    """N ``repro serve`` shard subprocesses with a shared peer map.
+
+    Parameters mirror the service defaults; ``timings`` feeds the
+    failure-detection flags.  The fleet object is synchronous (plain
+    subprocess management); only the router traffic is async.
+    """
+
+    shard_count: int = 3
+    servers: int = 12
+    entries: int = 30
+    seed: int = 5
+    replicas: int = 2
+    backup_fraction: float = 0.25
+    timings: Dict[str, float] = field(default_factory=lambda: dict(FAST_TIMINGS))
+    host: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        ports = free_ports(self.shard_count)
+        self.addresses: Dict[str, Tuple[str, int]] = {
+            f"s{i}": (self.host, ports[i]) for i in range(self.shard_count)
+        }
+        self.processes: Dict[str, subprocess.Popen] = {}
+        self.incarnations: Dict[str, int] = {
+            name: 1 for name in self.addresses
+        }
+        self._tmpdir = tempfile.TemporaryDirectory(prefix="shard-fleet-")
+
+    # -- process management --------------------------------------------------
+
+    def _peer_flag(self, name: str) -> str:
+        return ",".join(
+            f"{peer}={host}:{port}"
+            for peer, (host, port) in sorted(self.addresses.items())
+            if peer != name
+        )
+
+    def spawn(self, name: str) -> subprocess.Popen:
+        index = int(name[1:])
+        host, port = self.addresses[name]
+        ready = os.path.join(self._tmpdir.name, f"{name}.ready")
+        if os.path.exists(ready):
+            os.unlink(ready)
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host", host,
+            "--port", str(port),
+            "--servers", str(self.servers),
+            "--entries", str(self.entries),
+            "--seed", str(self.seed),
+            "--shard", f"{index}/{self.shard_count}",
+            "--peers", self._peer_flag(name),
+            "--replicas", str(self.replicas),
+            "--backup-fraction", str(self.backup_fraction),
+            "--incarnation", str(self.incarnations[name]),
+            "--heartbeat-interval", str(self.timings["heartbeat_interval"]),
+            "--suspect-after", str(self.timings["suspect_after"]),
+            "--dead-after", str(self.timings["dead_after"]),
+            "--quarantine", str(self.timings["quarantine"]),
+            "--ready-file", ready,
+        ]
+        process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.processes[name] = process
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                output = process.stdout.read() if process.stdout else ""
+                raise ScenarioError(
+                    f"shard {name} exited {process.returncode} at boot:\n{output}"
+                )
+            if os.path.exists(ready) and os.path.getsize(ready) > 0:
+                return process
+            time.sleep(0.05)
+        raise ScenarioError(f"shard {name} never became ready")
+
+    def start(self) -> None:
+        for name in sorted(self.addresses):
+            self.spawn(name)
+
+    def kill(self, name: str) -> None:
+        """SIGKILL — no goodbye, exactly what a failure detector is for."""
+        process = self.processes[name]
+        process.kill()
+        process.wait()
+
+    def restart(self, name: str) -> None:
+        """Boot a fresh incarnation of a killed shard on the same port."""
+        self.incarnations[name] += 1
+        self.spawn(name)
+
+    def stop_all(self) -> None:
+        for process in self.processes.values():
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        for process in self.processes.values():
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        self._tmpdir.cleanup()
+
+
+# --------------------------------------------------------------------------
+# The scenario
+# --------------------------------------------------------------------------
+
+
+async def _sweep(
+    router: ShardRouter, keys: List[str], target: int
+) -> Dict[str, Dict[str, object]]:
+    """One routed lookup per key, as report rows."""
+    rows: Dict[str, Dict[str, object]] = {}
+    for key in keys:
+        routed = await router.lookup(key, target)
+        rows[key] = {
+            "found": len(routed.result.entries),
+            "target": target,
+            "success": routed.result.success,
+            "degraded": routed.result.degraded,
+            "home": list(routed.home),
+            "routed": list(routed.routed),
+            "failover": routed.failover,
+            "entries": sorted(e.entry_id for e in routed.result.entries),
+        }
+    return rows
+
+
+async def _await_state(
+    router: ShardRouter, shard: str, want: str, deadline: float
+) -> None:
+    while time.monotonic() < deadline:
+        view = await router.membership_view(refresh=True)
+        if view.get(shard) == want:
+            return
+        await asyncio.sleep(0.05)
+    raise ScenarioError(f"shard {shard} never reached state {want!r}")
+
+
+def _check_universe(rows: Dict[str, Dict[str, object]], entries: int) -> None:
+    universe = {f"v{i}" for i in range(1, entries + 1)}
+    for key, row in rows.items():
+        ids = row["entries"]
+        if len(ids) != len(set(ids)):
+            raise ScenarioError(f"{key}: duplicate entries in one answer: {ids}")
+        stray = set(ids) - universe
+        if stray:
+            raise ScenarioError(f"{key}: entries outside the universe: {stray}")
+
+
+async def run_kill_shard_scenario(
+    fleet: ShardFleet,
+    *,
+    target: int = 10,
+    victim: Optional[str] = None,
+    rng_seed: int = 11,
+) -> Dict[str, object]:
+    """Drive the kill → degrade → rejoin → recover cycle; returns a report.
+
+    Raises :class:`ScenarioError` on any invariant violation.  The
+    fleet must already be started; it is not stopped here (callers own
+    teardown, so a failing scenario can still archive process output).
+    """
+    from repro.net.service import DEFAULT_SCHEMES
+
+    keys = sorted(DEFAULT_SCHEMES)
+    shard_map = ShardMap(list(fleet.addresses))
+    primaries = {
+        key: shard_map.home(key, fleet.replicas)[0] for key in keys
+    }
+    if victim is None:
+        # Pick the shard that is primary for the most keys: maximal
+        # blast radius makes the degraded assertions meaningful.
+        by_load = sorted(
+            fleet.addresses,
+            key=lambda s: -sum(1 for p in primaries.values() if p == s),
+        )
+        victim = by_load[0]
+    victim_keys = sorted(k for k, p in primaries.items() if p == victim)
+    spared_keys = sorted(k for k, p in primaries.items() if p != victim)
+    if not victim_keys or not spared_keys:
+        raise ScenarioError(
+            f"victim {victim} must be primary for some but not all keys "
+            f"(primaries: {primaries})"
+        )
+
+    router = ShardRouter(
+        fleet.addresses,
+        replicas=fleet.replicas,
+        rng=random.Random(rng_seed),
+        timeout=2.0,
+        view_ttl=0.2,
+    )
+    report: Dict[str, object] = {
+        "victim": victim,
+        "victim_keys": victim_keys,
+        "spared_keys": spared_keys,
+        "primaries": primaries,
+    }
+    try:
+        detect_budget = (
+            fleet.timings["dead_after"] + 10 * fleet.timings["heartbeat_interval"]
+        )
+
+        # Phase 1: healthy fleet, every key meets its target.
+        await _await_state(
+            router, victim, "alive", time.monotonic() + detect_budget + 10
+        )
+        healthy = await _sweep(router, keys, target)
+        report["healthy"] = healthy
+        _check_universe(healthy, fleet.entries)
+        for key, row in healthy.items():
+            if not row["success"]:
+                raise ScenarioError(f"healthy fleet missed target for {key}: {row}")
+
+        # Phase 2: SIGKILL the victim; survivors must condemn it.
+        fleet.kill(victim)
+        await _await_state(
+            router, victim, "dead", time.monotonic() + detect_budget + 10
+        )
+
+        # Phase 3: outage traffic — degraded for the victim's keys,
+        # full answers for everyone else's, zero errors or hangs.
+        outage = await _sweep(router, keys, target)
+        report["outage"] = outage
+        _check_universe(outage, fleet.entries)
+        for key in victim_keys:
+            row = outage[key]
+            if row["success"]:
+                raise ScenarioError(
+                    f"{key}: primary {victim} is dead but the lookup was full: {row}"
+                )
+            if not row["degraded"] or row["found"] == 0:
+                raise ScenarioError(
+                    f"{key}: outage lookup must be degraded-but-non-empty: {row}"
+                )
+            if victim in row["routed"]:
+                raise ScenarioError(
+                    f"{key}: router sent traffic to the dead shard: {row}"
+                )
+        for key in spared_keys:
+            row = outage[key]
+            if not row["success"]:
+                raise ScenarioError(
+                    f"{key}: primary {primaries[key]} survived but the "
+                    f"lookup was short: {row}"
+                )
+
+        # Phase 4: restart (new incarnation) → quarantine → alive.
+        fleet.restart(victim)
+        rejoin_budget = detect_budget + fleet.timings["quarantine"] + 10
+        await _await_state(
+            router, victim, "alive", time.monotonic() + rejoin_budget
+        )
+
+        # Phase 5: recovered fleet serves full answers again.
+        recovered = await _sweep(router, keys, target)
+        report["recovered"] = recovered
+        _check_universe(recovered, fleet.entries)
+        for key, row in recovered.items():
+            if not row["success"]:
+                raise ScenarioError(
+                    f"{key}: fleet recovered but the lookup is still short: {row}"
+                )
+    finally:
+        await router.close()
+    return report
+
+
+__all__ = [
+    "FAST_TIMINGS",
+    "ScenarioError",
+    "ShardFleet",
+    "free_ports",
+    "run_kill_shard_scenario",
+]

@@ -290,6 +290,29 @@ class IncrementCount(Message):
     delta: int
 
 
+# --------------------------------------------------------------------------
+# Shard ↔ shard messages (the network deployment's membership layer)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """One shard's liveness beacon to a peer shard.
+
+    Carried only over the socket layer (the ``heartbeat`` envelope op
+    of :mod:`repro.net`) — never routed through the simulated
+    :class:`~repro.cluster.network.Network`, so it does not perturb
+    the §6.4 message accounting.  ``view`` is the sender's gossiped
+    membership view as ``(peer, state, incarnation)`` triples; the
+    receiver merges incarnations and learns unknown peers from it
+    (see :class:`~repro.protocol.membership.MembershipProtocol`).
+    """
+
+    sender: str
+    incarnation: int
+    view: tuple[tuple[str, str, int], ...]
+
+
 def known_message_types() -> frozenset:
     """Names of every concrete message type (the protocol step names).
 

@@ -12,6 +12,15 @@ This package is the second driver for the protocol state machines in
 - :mod:`repro.net.client` — an async client that drives
   :class:`~repro.protocol.lookup.LookupSession` with real request
   timeouts and real ``asyncio.sleep`` backoffs.
+- :mod:`repro.net.sharding` — the pure key→shard placement core
+  (multi-probe consistent hashing, partial backup replicas).
+- :mod:`repro.net.membership` — the asyncio pump driving the sans-IO
+  :class:`~repro.protocol.membership.MembershipProtocol` failure
+  detector between shards.
+- :mod:`repro.net.router` — :class:`~repro.net.router.ShardRouter`,
+  the sharded-fleet client: routes keys to home shards, fails over to
+  backups, returns *degraded* (never wrong, never hung) results while
+  a shard is down.
 
 The ``repro serve`` / ``repro call`` CLI subcommands (see
 :mod:`repro.net.cli`) wrap the service and client for interactive use
@@ -31,16 +40,26 @@ from repro.net.codec import (
     read_frame,
     write_frame,
 )
-from repro.net.client import AsyncLookupClient, ServiceInfo
-from repro.net.service import LookupService, ServiceConfig
+from repro.net.client import AsyncLookupClient, ServiceError, ServiceInfo
+from repro.net.sharding import ShardMap, partial_replica
+from repro.net.service import LookupService, ServiceConfig, shard_names
+from repro.net.membership import MembershipPump
+from repro.net.router import RoutedLookup, ShardRouter
 
 __all__ = [
     "AsyncLookupClient",
     "FrameError",
     "LookupService",
+    "MembershipPump",
+    "RoutedLookup",
     "ServiceConfig",
+    "ServiceError",
     "ServiceInfo",
+    "ShardMap",
+    "ShardRouter",
     "WireError",
+    "partial_replica",
+    "shard_names",
     "decode_envelope",
     "decode_message",
     "decode_value",

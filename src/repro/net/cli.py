@@ -11,6 +11,23 @@ The ``--ready-file`` flag makes ``serve`` write ``host port\\n`` once
 the socket is bound.  With ``--port 0`` (an ephemeral port) this is
 the only way a supervisor can learn the address; the CI smoke job and
 ``scripts/net_smoke.py`` rely on it.
+
+Sharded deployments add ``serve --shard i/N --peers s0=host:port,...``
+(one process per shard, heartbeating its peers) and ``call
+--shards s0=host:port,...`` (route through the
+:class:`~repro.net.router.ShardRouter` with membership-aware
+failover).
+
+Exit codes — ``call`` distinguishes outcomes so CI scripts can assert
+on them without parsing stdout:
+
+- 0: every lookup returned its full target.
+- :data:`EXIT_DEGRADED` (3): at least one lookup came back short but
+  non-empty (the partial-failure regime the paper is about).
+- :data:`EXIT_FAILED` (4): at least one lookup returned nothing at
+  all despite a positive target.
+- 1: the service could not be reached; 2 is reserved for usage /
+  :class:`~repro.core.exceptions.ReproError` failures in ``main``.
 """
 
 from __future__ import annotations
@@ -22,11 +39,52 @@ import json
 import random
 import signal
 import sys
-from typing import Optional
+import time
+from typing import Dict, Optional, Tuple
 
 from repro.cluster.client import RetryPolicy
+from repro.core.exceptions import InvalidParameterError
 from repro.net.client import AsyncLookupClient, ServiceError
+from repro.net.membership import MembershipPump
+from repro.net.router import ShardRouter
 from repro.net.service import DEFAULT_SCHEMES, LookupService, ServiceConfig
+from repro.protocol.membership import MembershipConfig
+
+#: ``call`` exit code: some lookup was short but non-empty.
+EXIT_DEGRADED = 3
+#: ``call`` exit code: some lookup returned nothing (target > 0).
+EXIT_FAILED = 4
+
+
+def _parse_shard(spec: str) -> Tuple[int, int]:
+    """Parse ``--shard i/N`` into ``(index, count)``."""
+    try:
+        index_text, count_text = spec.split("/", 1)
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise InvalidParameterError(
+            f"--shard wants i/N (e.g. 0/3), got {spec!r}"
+        ) from None
+
+
+def _parse_endpoints(spec: str) -> Dict[str, Tuple[str, int]]:
+    """Parse ``name=host:port,name=host:port,...``."""
+    endpoints: Dict[str, Tuple[str, int]] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        try:
+            name, address = item.split("=", 1)
+            host, port_text = address.rsplit(":", 1)
+            endpoints[name.strip()] = (host.strip(), int(port_text))
+        except ValueError:
+            raise InvalidParameterError(
+                f"endpoint wants name=host:port, got {item!r}"
+            ) from None
+    if not endpoints:
+        raise InvalidParameterError(f"no endpoints in {spec!r}")
+    return endpoints
 
 
 def add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -53,6 +111,50 @@ def add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
         "--ready-file",
         default=None,
         help="write 'host port' here once the socket is bound",
+    )
+    shard = parser.add_argument_group("sharding")
+    shard.add_argument(
+        "--shard",
+        default="0/1",
+        metavar="I/N",
+        help="this process's shard index out of N (default 0/1: unsharded)",
+    )
+    shard.add_argument(
+        "--peers",
+        default=None,
+        metavar="NAME=HOST:PORT,...",
+        help="the other shards' addresses (enables the membership plane)",
+    )
+    shard.add_argument(
+        "--replicas", type=int, default=2, help="home-group size per key"
+    )
+    shard.add_argument(
+        "--backup-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of a key's entries each backup shard holds",
+    )
+    shard.add_argument(
+        "--probes", type=int, default=21, help="multi-probe hash probe count"
+    )
+    shard.add_argument(
+        "--incarnation",
+        type=int,
+        default=None,
+        help="boot incarnation (default: wall-clock seconds)",
+    )
+    timing = parser.add_argument_group("failure detection")
+    timing.add_argument(
+        "--heartbeat-interval", type=float, default=0.5, help="seconds between beats"
+    )
+    timing.add_argument(
+        "--suspect-after", type=float, default=2.0, help="silence before suspect"
+    )
+    timing.add_argument(
+        "--dead-after", type=float, default=5.0, help="silence before dead"
+    )
+    timing.add_argument(
+        "--quarantine", type=float, default=3.0, help="rejoin probation seconds"
     )
     parser.set_defaults(handler=cmd_serve)
 
@@ -94,6 +196,18 @@ def add_call_parser(subparsers: argparse._SubParsersAction) -> None:
         action="store_true",
         help="also fetch the service's coverage/storage invariants",
     )
+    parser.add_argument(
+        "--shards",
+        default=None,
+        metavar="NAME=HOST:PORT,...",
+        help="route through the shard fleet instead of one service",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2, help="home-group size per key (fleet mode)"
+    )
+    parser.add_argument(
+        "--probes", type=int, default=21, help="multi-probe count (fleet mode)"
+    )
     parser.set_defaults(handler=cmd_call)
 
 
@@ -103,19 +217,52 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 async def _serve_async(args: argparse.Namespace) -> int:
+    shard_index, shard_count = _parse_shard(args.shard)
     config = ServiceConfig(
         server_count=args.servers,
         entry_count=args.entries,
         seed=args.seed,
+        shard_index=shard_index,
+        shard_count=shard_count,
+        replicas=args.replicas,
+        backup_fraction=args.backup_fraction,
+        probes=args.probes,
     )
     service = LookupService(config)
+    pump: Optional[MembershipPump] = None
+    if args.peers is not None:
+        if shard_count < 2:
+            raise InvalidParameterError("--peers requires --shard i/N with N > 1")
+        peers = _parse_endpoints(args.peers)
+        peers.pop(service.shard_name, None)
+        incarnation = (
+            args.incarnation if args.incarnation is not None else int(time.time())
+        )
+        pump = MembershipPump(
+            service.shard_name,
+            peers,
+            config=MembershipConfig(
+                heartbeat_interval=args.heartbeat_interval,
+                suspect_after=args.suspect_after,
+                dead_after=args.dead_after,
+                quarantine=args.quarantine,
+            ),
+            incarnation=incarnation,
+            rng=random.Random(args.seed),
+        )
+        service.membership = pump
     host, port = await service.start(host=args.host, port=args.port)
+    if pump is not None:
+        pump.start()
     if args.ready_file:
         with open(args.ready_file, "w", encoding="utf-8") as handle:
             handle.write(f"{host} {port}\n")
+    shard_note = (
+        f" as shard {service.shard_name}/{shard_count}" if shard_count > 1 else ""
+    )
     print(
         f"[serve] {len(service.strategies)} schemes on {config.server_count} "
-        f"servers, listening on {host}:{port}",
+        f"servers, listening on {host}:{port}{shard_note}",
         flush=True,
     )
     stop = asyncio.Event()
@@ -126,6 +273,8 @@ async def _serve_async(args: argparse.Namespace) -> int:
     try:
         await stop.wait()
     finally:
+        if pump is not None:
+            await pump.stop()
         await service.stop()
         print("[serve] stopped", flush=True)
     return 0
@@ -139,11 +288,40 @@ def cmd_call(args: argparse.Namespace) -> int:
         return 1
 
 
+def _lookup_row(result) -> dict:
+    return {
+        "entries": sorted(e.entry_id for e in result.entries),
+        "found": len(result.entries),
+        "target": result.target,
+        "success": result.success,
+        "degraded": result.degraded,
+        "messages": result.messages,
+        "retries": result.retries,
+        "servers_contacted": list(result.servers_contacted),
+    }
+
+
+def exit_code_for(lookups: list) -> int:
+    """Map a batch of lookup rows onto the ``call`` exit code scheme.
+
+    Worst outcome wins: any empty answer (target > 0) is a *failure*
+    (4), any short-but-non-empty answer is *degraded* (3), a clean
+    sweep is 0.
+    """
+    if any(l["found"] == 0 and l["target"] > 0 for l in lookups):
+        return EXIT_FAILED
+    if not all(l["success"] for l in lookups):
+        return EXIT_DEGRADED
+    return 0
+
+
 async def _call_async(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed) if args.seed is not None else None
     policy: Optional[RetryPolicy] = None
     if args.retries > 1:
         policy = RetryPolicy(max_attempts=args.retries)
+    if args.shards is not None:
+        return await _call_fleet(args, rng, policy)
     client = AsyncLookupClient(
         args.host,
         args.port,
@@ -160,28 +338,67 @@ async def _call_async(args: argparse.Namespace) -> int:
         lookups = []
         for _ in range(args.count):
             result = await client.lookup(args.scheme, args.target)
-            lookups.append(
-                {
-                    "entries": sorted(e.entry_id for e in result.entries),
-                    "found": len(result.entries),
-                    "target": result.target,
-                    "success": result.success,
-                    "degraded": result.degraded,
-                    "messages": result.messages,
-                    "retries": result.retries,
-                    "servers_contacted": list(result.servers_contacted),
-                }
-            )
+            lookups.append(_lookup_row(result))
+        code = exit_code_for(lookups)
         summary = {
             "scheme": args.scheme,
             "service": {"servers": info.servers, "entries": info.entries},
             "lookups": lookups,
             "all_success": all(l["success"] for l in lookups),
+            "exit_code": code,
         }
         if args.verify:
             summary["verify"] = await client.verify(args.scheme)
     print(json.dumps(summary, indent=2, sort_keys=True))
-    return 0 if summary["all_success"] else 2
+    return code
 
 
-__all__ = ["add_call_parser", "add_serve_parser", "cmd_call", "cmd_serve"]
+async def _call_fleet(
+    args: argparse.Namespace,
+    rng: Optional[random.Random],
+    policy: Optional[RetryPolicy],
+) -> int:
+    router = ShardRouter(
+        _parse_endpoints(args.shards),
+        replicas=args.replicas,
+        probes=args.probes,
+        rng=rng if rng is not None else random.Random(),
+        timeout=args.timeout,
+        retry_policy=policy,
+    )
+    try:
+        lookups = []
+        for _ in range(args.count):
+            routed = await router.lookup(args.scheme, args.target)
+            row = _lookup_row(routed.result)
+            row["home"] = list(routed.home)
+            row["routed"] = list(routed.routed)
+            row["contacts"] = [list(c) for c in routed.contacts]
+            row["failover"] = routed.failover
+            lookups.append(row)
+        code = exit_code_for(lookups)
+        summary = {
+            "scheme": args.scheme,
+            "shards": router.map.shards,
+            "membership": await router.membership_view(refresh=True),
+            "lookups": lookups,
+            "all_success": all(l["success"] for l in lookups),
+            "exit_code": code,
+        }
+        if args.verify:
+            summary["verify"] = await router.verify(args.scheme)
+    finally:
+        await router.close()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return code
+
+
+__all__ = [
+    "EXIT_DEGRADED",
+    "EXIT_FAILED",
+    "add_call_parser",
+    "add_serve_parser",
+    "cmd_call",
+    "cmd_serve",
+    "exit_code_for",
+]

@@ -142,9 +142,17 @@ class AsyncLookupClient:
         go through the timeout-aware path inside :meth:`lookup`.
         """
         await self.connect()
-        await write_frame(self._writer, envelope)
-        reply = await read_frame(self._reader)
+        try:
+            await write_frame(self._writer, envelope)
+            reply = await read_frame(self._reader)
+        except (ConnectionError, OSError):
+            # A cached connection may be stale (peer restarted); drop
+            # it so the next request dials fresh instead of failing
+            # against the same dead stream forever.
+            await self.close()
+            raise
         if reply is None:
+            await self.close()
             raise ServiceError("service closed the connection mid-request")
         return reply
 
@@ -242,11 +250,32 @@ class AsyncLookupClient:
 
     async def _contact(self, effect: SendRequest) -> Event:
         """Enact one ``SendRequest`` over the socket."""
+        return await self.contact_server(
+            effect.server_id, effect.key, effect.request
+        )
+
+    async def contact_server(
+        self,
+        server: int,
+        key: str,
+        request: Any,
+        *,
+        event_server_id: Optional[int] = None,
+    ) -> Event:
+        """One timeout-bounded ``send`` to ``server``, as a session event.
+
+        The public face of the data path, also pumped by the
+        :class:`~repro.net.router.ShardRouter` whose sessions span
+        several shards: ``event_server_id`` lets the caller stamp the
+        returned event with the *session's* contact index when it
+        differs from the wire-level server id.
+        """
+        sid = server if event_server_id is None else event_server_id
         envelope = {
             "op": "send",
-            "server": effect.server_id,
-            "key": effect.key,
-            "message": encode_message(effect.request),
+            "server": server,
+            "key": key,
+            "message": encode_message(request),
         }
         try:
             reply = await asyncio.wait_for(self.request(envelope), self.timeout)
@@ -257,14 +286,14 @@ class AsyncLookupClient:
                 await self._reconnect()
             except OSError:
                 await self.close()
-            return ContactFailed(effect.server_id, dropped=True)
+            return ContactFailed(sid, dropped=True)
         if reply.get("ok"):
-            return ReplyReceived(effect.server_id, decode_value(reply["value"]))
+            return ReplyReceived(sid, decode_value(reply["value"]))
         error = reply.get("error")
         if error == "unavailable":
-            return ContactFailed(effect.server_id, dropped=False)
+            return ContactFailed(sid, dropped=False)
         if error == "dropped":
-            return ContactFailed(effect.server_id, dropped=True)
+            return ContactFailed(sid, dropped=True)
         raise ServiceError(f"lookup send failed: {error}: {reply.get('detail')}")
 
 

@@ -37,6 +37,15 @@ A request frame is ``{"op": ..., ...}`` and a reply frame is
 (the transport lost the request), ``"bad-request"`` (malformed or
 unknown op), and ``"internal"`` (handler raised).  See
 ``docs/protocols.md`` for the full schema catalogue.
+
+The sharded deployment adds the membership plane on the same wire:
+``{"op": "heartbeat", "message": <Heartbeat>}`` carries the tagged
+:class:`~repro.cluster.messages.Heartbeat` message (incarnation plus
+the sender's gossiped peer view) and is answered with the receiver's
+own ``Heartbeat``, so one round-trip refreshes the failure detectors
+on both ends; ``{"op": "membership"}`` reads a shard's current view.
+:func:`heartbeat_envelope` / :func:`decode_heartbeat` are the typed
+faces for that op.
 """
 
 from __future__ import annotations
@@ -48,7 +57,7 @@ import struct
 from typing import Any
 
 from repro.core.entry import Entry
-from repro.cluster.messages import Message
+from repro.cluster.messages import Heartbeat, Message
 
 #: Frames above this size are rejected (corrupt length prefix guard).
 MAX_FRAME = 16 * 1024 * 1024
@@ -153,6 +162,26 @@ def decode_message(wire: dict[str, Any]) -> Message:
     return cls(**{k: decode_value(v) for k, v in raw.items()})
 
 
+def heartbeat_envelope(heartbeat: "Heartbeat") -> dict[str, Any]:
+    """The request envelope carrying one membership heartbeat."""
+    return {"op": "heartbeat", "message": encode_message(heartbeat)}
+
+
+def decode_heartbeat(wire: Any) -> "Heartbeat":
+    """Decode a wire value that must be a :class:`Heartbeat`.
+
+    The membership pump feeds heartbeats straight into the sans-IO
+    failure detector, so a peer answering the heartbeat op with any
+    other message type is a protocol violation, not a quiet no-op.
+    """
+    message = decode_message(wire) if isinstance(wire, dict) else wire
+    if not isinstance(message, Heartbeat):
+        raise WireError(
+            f"expected a Heartbeat, got {type(message).__name__}: {message!r}"
+        )
+    return message
+
+
 # --------------------------------------------------------------------------
 # Envelopes
 # --------------------------------------------------------------------------
@@ -219,11 +248,13 @@ __all__ = [
     "FrameError",
     "WireError",
     "decode_envelope",
+    "decode_heartbeat",
     "decode_message",
     "decode_value",
     "encode_envelope",
     "encode_message",
     "encode_value",
+    "heartbeat_envelope",
     "read_frame",
     "write_frame",
 ]

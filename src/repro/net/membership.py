@@ -1,0 +1,223 @@
+"""The asyncio driver for the shard membership plane.
+
+:class:`MembershipPump` is to :class:`~repro.protocol.membership.
+MembershipProtocol` what the asyncio client is to the lookup session:
+a thin pump that feeds the sans-IO machine real events and enacts its
+effects over real sockets.  All policy — who is alive, when silence
+becomes suspicion, how rejoin probation works — lives in the machine;
+this module only
+
+- ticks the machine with the injected clock (twice per heartbeat
+  interval, so due heartbeats and timeout edges are observed with
+  bounded lag),
+- enacts :class:`~repro.protocol.effects.SendHeartbeat` by one
+  ``heartbeat`` envelope round-trip per peer on a *fresh* connection
+  (heartbeats are tiny and rare; a connection per beat avoids framing
+  entanglement with the data path and makes peer death indistinguishable
+  from peer unreachability, which is exactly the semantics we want),
+- feeds the peer's reply heartbeat back in as
+  :class:`~repro.protocol.events.HeartbeatSeen` — the exchange is
+  symmetric, so one round-trip refreshes the failure detectors on
+  both ends,
+- forwards :class:`~repro.protocol.effects.PeerTransition` effects to
+  the optional :class:`~repro.obs.membership.MembershipObserver` and
+  refreshes its per-state gauges.
+
+The pump also serves as the :class:`~repro.net.service.LookupService`'s
+membership attachment: the service's ``heartbeat`` envelope op calls
+:meth:`on_wire_heartbeat` (absorb, reply with our own heartbeat) and
+its ``membership`` op calls :meth:`view_wire`.  Both are synchronous
+pure-state calls, so envelope handling stays socket-free and testable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.cluster.messages import Heartbeat
+from repro.net.codec import decode_heartbeat, heartbeat_envelope, read_frame, write_frame
+from repro.obs.membership import MembershipObserver
+from repro.protocol.effects import Effect, PeerTransition, SendHeartbeat
+from repro.protocol.events import ClockTick, HeartbeatSeen
+from repro.protocol.membership import MembershipConfig, MembershipProtocol
+
+
+class MembershipPump:
+    """Drive one shard's failure detector over real sockets.
+
+    Parameters
+    ----------
+    self_name:
+        This shard's name (``service.shard_name``).
+    peers:
+        ``name -> (host, port)`` for the *other* shards.
+    config:
+        Failure-detection timing; defaults per
+        :class:`~repro.protocol.membership.MembershipConfig`.
+    incarnation:
+        This boot's incarnation; must exceed any earlier boot of the
+        same shard (the serve CLI passes wall-clock seconds).
+    observer:
+        Optional :class:`~repro.obs.membership.MembershipObserver`.
+    clock:
+        Injected monotonic clock; tests pass a fake and never sleep.
+    rng:
+        Optional randomness for heartbeat fan-out order.
+    timeout:
+        Per-heartbeat round-trip timeout.  Kept well under
+        ``dead_after`` so a black-holed peer cannot stall detection.
+    """
+
+    def __init__(
+        self,
+        self_name: str,
+        peers: Mapping[str, Tuple[str, int]],
+        *,
+        config: Optional[MembershipConfig] = None,
+        incarnation: int = 0,
+        observer: Optional[MembershipObserver] = None,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+        timeout: float = 1.0,
+    ) -> None:
+        self._clock = clock
+        self._addresses = dict(peers)
+        self.observer = observer
+        self.timeout = timeout
+        self.protocol = MembershipProtocol(
+            self_name,
+            list(peers),
+            config,
+            incarnation=incarnation,
+            now=clock(),
+            rng=rng,
+        )
+        self._task: Optional[asyncio.Task] = None
+
+    # -- the synchronous face (called from envelope dispatch and tests) ------
+
+    def local_heartbeat(self) -> Heartbeat:
+        """This shard's current beacon, view included."""
+        return Heartbeat(
+            sender=self.protocol.self_name,
+            incarnation=self.protocol.incarnation,
+            view=self.protocol.wire_view(),
+        )
+
+    def on_wire_heartbeat(self, heartbeat: Heartbeat) -> Heartbeat:
+        """Absorb a peer's heartbeat; returns ours to reply with."""
+        effects = self.protocol.on_event(
+            HeartbeatSeen(
+                heartbeat.sender,
+                heartbeat.incarnation,
+                heartbeat.view,
+                now=self._clock(),
+            )
+        )
+        self._enact_transitions(effects)
+        return self.local_heartbeat()
+
+    def view_wire(self) -> Dict[str, object]:
+        """The ``membership`` op payload."""
+        return {
+            "name": self.protocol.self_name,
+            "incarnation": self.protocol.incarnation,
+            "view": [list(row) for row in self.protocol.wire_view()],
+        }
+
+    def tick(self, now: Optional[float] = None) -> List[str]:
+        """Feed one clock tick; returns peers owed a heartbeat.
+
+        Transitions are observed as a side effect.  Split from the
+        socket work so tests (and the run loop) can drive detection
+        without awaiting anything.
+        """
+        effects = self.protocol.on_event(
+            ClockTick(self._clock() if now is None else now)
+        )
+        due = [e.peer for e in effects if isinstance(e, SendHeartbeat)]
+        self._enact_transitions(effects)
+        return due
+
+    def _enact_transitions(self, effects: Iterable[Effect]) -> None:
+        saw_transition = False
+        for effect in effects:
+            if isinstance(effect, PeerTransition):
+                saw_transition = True
+                if self.observer is not None:
+                    self.observer.transition(effect)
+        if saw_transition and self.observer is not None:
+            self.observer.publish_counts(self.protocol.counts())
+
+    # -- the socket side ------------------------------------------------------
+
+    async def exchange_heartbeat(self, peer: str) -> bool:
+        """One heartbeat round-trip with ``peer``; True if it answered.
+
+        Failure (refused, timed out, malformed) is not an error — it
+        is the *absence of evidence* the failure detector runs on, so
+        it is swallowed and silence does the talking.
+        """
+        address = self._addresses.get(peer)
+        if address is None:
+            return False
+        try:
+            return await asyncio.wait_for(
+                self._exchange(address), self.timeout
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError, ValueError):
+            return False
+
+    async def _exchange(self, address: Tuple[str, int]) -> bool:
+        reader, writer = await asyncio.open_connection(*address)
+        try:
+            await write_frame(writer, heartbeat_envelope(self.local_heartbeat()))
+            reply = await read_frame(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if reply is None or not reply.get("ok"):
+            return False
+        theirs = decode_heartbeat(reply["value"])
+        effects = self.protocol.on_event(
+            HeartbeatSeen(
+                theirs.sender, theirs.incarnation, theirs.view, now=self._clock()
+            )
+        )
+        self._enact_transitions(effects)
+        return True
+
+    async def run(self) -> None:
+        """Tick forever: detection plus heartbeat fan-out."""
+        interval = self.protocol.config.heartbeat_interval / 2
+        while True:
+            due = self.tick()
+            if due:
+                await asyncio.gather(
+                    *(self.exchange_heartbeat(peer) for peer in due)
+                )
+            await asyncio.sleep(interval)
+
+    def start(self) -> None:
+        """Begin pumping on the running event loop."""
+        if self._task is None:
+            self._task = asyncio.ensure_future(self.run())
+
+    async def stop(self) -> None:
+        task, self._task = self._task, None
+        if task is None:
+            return
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+
+__all__ = ["MembershipPump"]

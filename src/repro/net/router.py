@@ -1,0 +1,291 @@
+"""Key → shard routing over the membership view, with failover.
+
+A sharded deployment runs N ``repro serve --shard i/N`` processes.
+Each logical key (in the hosted services, the scheme keys) has a
+*home group* of ``replicas`` shards chosen by the multi-probe
+consistent hashing in :mod:`repro.net.sharding` — the first home
+shard is the key's **primary** and holds the full placement, the
+rest are **backups** holding a deterministic partial replica
+(:func:`~repro.net.sharding.partial_replica`).  Router and shards
+compute the identical mapping from the shard names alone; no routing
+table crosses the wire.
+
+:class:`ShardRouter` drives one
+:class:`~repro.protocol.lookup.LookupSession` per lookup whose
+contact order spans the home group's servers, primary first.  Shard
+death therefore *degrades* lookups instead of erroring them: contacts
+on a dead shard surface as dropped/failed contacts (the PR-1
+vocabulary), the walk continues onto the backups' servers, and a
+short merged answer comes back explicitly labelled
+``degraded=True`` — never wrong, never hung (every contact is
+timeout-bounded).  The router consumes the membership view
+(:mod:`repro.protocol.membership`) to skip shards known dead or
+still in rejoin quarantine, so steady-state outage traffic goes
+straight to the backups without burning timeouts on the corpse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.cluster.client import RetryPolicy
+from repro.core.exceptions import InvalidParameterError
+from repro.core.result import LookupResult
+from repro.net.client import AsyncLookupClient, SchemeInfo, ServiceError, ServiceInfo
+from repro.net.sharding import ShardMap, partial_replica
+from repro.protocol.effects import Complete, SendRequest, Sleep
+from repro.protocol.events import SLEPT, Event
+from repro.protocol.lookup import LookupSession, random_order, stride_order
+from repro.protocol.membership import ROUTABLE_STATES
+
+
+@dataclass(frozen=True)
+class RoutedLookup:
+    """One routed lookup: the result plus its shard attribution.
+
+    ``contacts`` maps the session's contact order back onto
+    ``(shard, server_id)`` pairs; ``failover`` is True when any
+    answering contact landed on a backup shard (the primary was dead,
+    skipped, or exhausted).
+    """
+
+    key: str
+    result: LookupResult
+    home: Tuple[str, ...]
+    routed: Tuple[str, ...]
+    contacts: Tuple[Tuple[str, int], ...]
+
+    @property
+    def failover(self) -> bool:
+        primary = self.home[0] if self.home else None
+        return any(shard != primary for shard, _ in self.contacts) or (
+            bool(self.home) and self.routed[:1] != (primary,)
+        )
+
+    @property
+    def degraded(self) -> bool:
+        return self.result.degraded
+
+    @property
+    def success(self) -> bool:
+        return self.result.success
+
+
+class ShardRouter:
+    """A lookup client for a sharded deployment.
+
+    Parameters
+    ----------
+    shards:
+        ``name -> (host, port)`` for every shard, the same universe
+        the shards themselves were started with.
+    replicas:
+        Home-group size per key (primary + backups); must not exceed
+        the shard count.
+    probes:
+        Multi-probe count, forwarded to :class:`ShardMap`.
+    rng:
+        Injected randomness for contact orders and session draws.
+    timeout:
+        Per-contact reply timeout, as in :class:`AsyncLookupClient`.
+    retry_policy:
+        Optional default retry policy applied to every lookup.
+    view_ttl:
+        How long a fetched membership view is trusted before being
+        refreshed, in ``clock`` units.
+    clock:
+        Injected monotonic clock (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        shards: Mapping[str, Tuple[str, int]],
+        *,
+        replicas: int = 2,
+        probes: int = 21,
+        rng: Optional[random.Random] = None,
+        timeout: float = 5.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        view_ttl: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not shards:
+            raise InvalidParameterError("ShardRouter needs at least one shard")
+        if replicas > len(shards):
+            raise InvalidParameterError(
+                f"replicas ({replicas}) cannot exceed shard count ({len(shards)})"
+            )
+        self.map = ShardMap(list(shards), probes=probes)
+        self.replicas = replicas
+        self.retry_policy = retry_policy
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self._view_ttl = view_ttl
+        self._clients: Dict[str, AsyncLookupClient] = {
+            name: AsyncLookupClient(host, port, timeout=timeout)
+            for name, (host, port) in sorted(shards.items())
+        }
+        self._view: Dict[str, str] = {}
+        self._view_at: Optional[float] = None
+        self._fleet_info: Optional[ServiceInfo] = None
+
+    async def close(self) -> None:
+        for client in self._clients.values():
+            await client.close()
+
+    # -- membership ----------------------------------------------------------
+
+    async def membership_view(self, refresh: bool = False) -> Dict[str, str]:
+        """``shard -> state`` as reported by the first answering shard.
+
+        A single shard's view suffices: every shard runs the same
+        failure detector over the same peer set, and the answering
+        shard vouches for itself by answering.  An empty dict (no
+        shard reachable) makes the router try home shards blindly —
+        contacts then fail fast and the lookup degrades rather than
+        erroring.
+        """
+        now = self._clock()
+        if (
+            not refresh
+            and self._view_at is not None
+            and now - self._view_at < self._view_ttl
+        ):
+            return self._view
+        for name, client in self._clients.items():
+            try:
+                reply = await client.request({"op": "membership"})
+            except (ConnectionError, OSError):
+                continue
+            if not reply.get("ok"):
+                continue
+            value = reply["value"]
+            view = {
+                str(peer): str(state)
+                for peer, state, _incarnation in value.get("view", [])
+            }
+            view[name] = "alive"  # it answered
+            self._view = view
+            self._view_at = now
+            return view
+        self._view = {}
+        self._view_at = now
+        return self._view
+
+    # -- lookup routing ------------------------------------------------------
+
+    async def _info(self) -> ServiceInfo:
+        """Topology from any reachable shard (the fleet is homogeneous)."""
+        if self._fleet_info is not None:
+            return self._fleet_info
+        last_error: Optional[Exception] = None
+        for client in self._clients.values():
+            try:
+                self._fleet_info = await client.info()
+                return self._fleet_info
+            except (ConnectionError, OSError, ServiceError) as exc:
+                last_error = exc
+        raise ServiceError(f"no shard reachable for info: {last_error}")
+
+    def _shard_order(self, spec: SchemeInfo, servers: int) -> List[int]:
+        # Mirrors AsyncLookupClient._contact_order: stride draws its
+        # start first so seeded routers replay identical walks.
+        order = spec.order
+        if isinstance(order, dict) and "stride" in order:
+            start = self._rng.randrange(servers)
+            return stride_order(servers, start, order["stride"], self._rng)
+        return random_order(servers, self._rng)
+
+    async def lookup(
+        self,
+        key: str,
+        target: int,
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> RoutedLookup:
+        """One partial lookup for ``target`` entries under ``key``.
+
+        Contacts the key's home shards in probe order, skipping shards
+        the membership view rules out (dead or quarantined).  Never
+        raises on shard death — the result degrades instead.
+        """
+        info = await self._info()
+        spec = info.schemes.get(key)
+        if spec is None:
+            raise ServiceError(
+                f"fleet does not host key {key!r} "
+                f"(hosts: {', '.join(sorted(info.schemes))})"
+            )
+        home = self.map.home(key, self.replicas)
+        view = await self.membership_view()
+        routed = [
+            shard
+            for shard in home
+            if view.get(shard, "alive") in ROUTABLE_STATES
+        ]
+        if not routed:
+            # The view condemned the whole home group; it may be
+            # stale, and a wrong "dead" must cost timeouts, not data.
+            routed = list(home)
+        targets: List[Tuple[str, int]] = []
+        for shard in routed:
+            targets.extend(
+                (shard, server) for server in self._shard_order(spec, info.servers)
+            )
+        session = LookupSession(
+            key,
+            target,
+            list(range(len(targets))),
+            max_servers=spec.max_servers,
+            retry_policy=self.retry_policy if retry is None else retry,
+            rng=self._rng,
+        )
+        effects = session.start()
+        while True:
+            event: Optional[Event] = None
+            for effect in effects:
+                if isinstance(effect, SendRequest):
+                    shard, server = targets[effect.server_id]
+                    event = await self._clients[shard].contact_server(
+                        server,
+                        key,
+                        effect.request,
+                        event_server_id=effect.server_id,
+                    )
+                elif isinstance(effect, Sleep):
+                    await asyncio.sleep(effect.delay)
+                    event = SLEPT
+                elif isinstance(effect, Complete):
+                    result = effect.result
+                    return RoutedLookup(
+                        key=key,
+                        result=result,
+                        home=tuple(home),
+                        routed=tuple(routed),
+                        contacts=tuple(
+                            targets[i] for i in result.servers_contacted
+                        ),
+                    )
+            effects = session.on_event(event)
+
+    async def verify(self, key: str) -> Dict[str, Any]:
+        """The ``verify`` report from the key's first reachable home shard."""
+        last_error: Optional[Exception] = None
+        for shard in self.map.home(key, self.replicas):
+            try:
+                return await self._clients[shard].verify(key)
+            except (ConnectionError, OSError, ServiceError) as exc:
+                last_error = exc
+        raise ServiceError(f"no home shard reachable for verify({key!r}): {last_error}")
+
+
+__all__ = [
+    "RoutedLookup",
+    "ShardMap",
+    "ShardRouter",
+    "partial_replica",
+]

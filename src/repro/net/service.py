@@ -24,6 +24,17 @@ Concurrency: handlers run on the event loop and the cluster is touched
 only between awaits, so envelope processing is effectively serialized
 per event-loop step; no locks are needed.  All state mutation happens
 synchronously inside :meth:`LookupService.handle_envelope`.
+
+Sharding: with ``shard_count > 1`` the process is one shard of a
+fleet.  Key→shard placement comes from :mod:`repro.net.sharding`
+(the primary holds a key's full placement, backups a partial
+replica), and two extra envelope ops carry the membership plane:
+``heartbeat`` (answered with this shard's own heartbeat, so one
+round-trip refreshes both failure detectors) and ``membership`` (the
+current peer view, consumed by :class:`~repro.net.router.ShardRouter`).
+Both delegate to the attached :class:`~repro.net.membership
+.MembershipPump`, keeping :meth:`LookupService.handle_envelope` pure
+dispatch over injected state.
 """
 
 from __future__ import annotations
@@ -35,14 +46,18 @@ from typing import Any, Optional
 from repro.cluster.cluster import Cluster
 from repro.cluster.network import DROPPED, is_undelivered
 from repro.core.entry import make_entries
+from repro.core.exceptions import InvalidParameterError
 from repro.net.codec import (
     FrameError,
     WireError,
+    decode_heartbeat,
     decode_message,
+    encode_message,
     encode_value,
     read_frame,
     write_frame,
 )
+from repro.net.sharding import ShardMap, partial_replica
 from repro.strategies.base import LookupProfile, PlacementStrategy
 from repro.strategies.registry import create_strategy
 
@@ -59,7 +74,17 @@ DEFAULT_SCHEMES: dict[str, dict[str, int]] = {
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Construction parameters for one :class:`LookupService`."""
+    """Construction parameters for one :class:`LookupService`.
+
+    The shard fields describe this process's place in a sharded
+    fleet (``repro serve --shard i/N``).  The default
+    ``shard_count=1`` is the unsharded deployment: one process,
+    every key, full placement — byte-identical behaviour to before
+    sharding existed.  In a fleet, every shard must be started with
+    the same ``shard_count``/``replicas``/``backup_fraction``/
+    ``probes`` (and the same topology fields), because routers
+    recompute the placement from these values alone.
+    """
 
     server_count: int = 16
     entry_count: int = 40
@@ -67,6 +92,31 @@ class ServiceConfig:
     schemes: dict[str, dict[str, int]] = field(
         default_factory=lambda: dict(DEFAULT_SCHEMES)
     )
+    shard_index: int = 0
+    shard_count: int = 1
+    replicas: int = 2
+    backup_fraction: float = 0.25
+    probes: int = 21
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise InvalidParameterError(
+                f"shard_count must be >= 1, got {self.shard_count}"
+            )
+        if not 0 <= self.shard_index < self.shard_count:
+            raise InvalidParameterError(
+                f"shard_index must be in [0, {self.shard_count}), "
+                f"got {self.shard_index}"
+            )
+        if self.shard_count > 1 and not 1 <= self.replicas <= self.shard_count:
+            raise InvalidParameterError(
+                f"replicas must be in [1, {self.shard_count}], got {self.replicas}"
+            )
+
+
+def shard_names(count: int) -> list[str]:
+    """The canonical shard names for an ``N``-shard fleet: s0..s{N-1}."""
+    return [f"s{i}" for i in range(count)]
 
 
 def _profile_wire(profile: Optional[LookupProfile]) -> dict[str, Any]:
@@ -96,10 +146,38 @@ class LookupService:
         self.config = config if config is not None else ServiceConfig()
         self.cluster = Cluster(self.config.server_count, seed=self.config.seed)
         self.strategies: dict[str, PlacementStrategy] = {}
+        self.shard_name = f"s{self.config.shard_index}"
+        self.roles: dict[str, Optional[int]] = {}
+        #: Attached by :class:`~repro.net.membership.MembershipPump`
+        #: (or a sans-IO stand-in in tests); None in single-shard runs.
+        self.membership: Optional[Any] = None
         entries = make_entries(self.config.entry_count)
+        shard_map = (
+            ShardMap(shard_names(self.config.shard_count), probes=self.config.probes)
+            if self.config.shard_count > 1
+            else None
+        )
         for name, params in self.config.schemes.items():
+            # Every shard creates every strategy (so ``info`` reports a
+            # homogeneous scheme catalogue fleet-wide) but places
+            # entries only per its role: the primary holds the full
+            # set, backups a deterministic partial replica, non-home
+            # shards nothing (their servers truthfully answer empty).
             strategy = create_strategy(name, self.cluster, key=name, **params)
-            strategy.place(entries)
+            role = (
+                0
+                if shard_map is None
+                else shard_map.role(name, self.shard_name, self.config.replicas)
+            )
+            self.roles[name] = role
+            if role == 0:
+                strategy.place(entries)
+            elif role is not None:
+                strategy.place(
+                    partial_replica(
+                        name, entries, role, self.config.backup_fraction
+                    )
+                )
             self.strategies[name] = strategy
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[asyncio.Task] = set()
@@ -122,6 +200,10 @@ class LookupService:
                 return self._handle_send(envelope)
             if op == "verify":
                 return self._handle_verify(envelope)
+            if op == "heartbeat":
+                return self._handle_heartbeat(envelope)
+            if op == "membership":
+                return {"ok": True, "value": self.membership_view()}
             return {
                 "ok": False,
                 "error": "bad-request",
@@ -145,7 +227,42 @@ class LookupService:
             "entries": self.config.entry_count,
             "seed": self.config.seed,
             "schemes": schemes,
+            "shard": {
+                "name": self.shard_name,
+                "index": self.config.shard_index,
+                "count": self.config.shard_count,
+                "replicas": self.config.replicas,
+                "backup_fraction": self.config.backup_fraction,
+                "probes": self.config.probes,
+                "roles": dict(self.roles),
+            },
         }
+
+    def membership_view(self) -> dict[str, Any]:
+        """The ``membership`` op: this shard's current peer view.
+
+        An unsharded service reports the one-row view of itself, so
+        a :class:`~repro.net.router.ShardRouter` pointed at a single
+        process still gets a well-formed answer.
+        """
+        if self.membership is None:
+            return {
+                "name": self.shard_name,
+                "incarnation": 0,
+                "view": [[self.shard_name, "alive", 0]],
+            }
+        return self.membership.view_wire()
+
+    def _handle_heartbeat(self, envelope: dict[str, Any]) -> dict[str, Any]:
+        if self.membership is None:
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "detail": "service has no membership plane (not sharded)",
+            }
+        heartbeat = decode_heartbeat(envelope["message"])
+        reply = self.membership.on_wire_heartbeat(heartbeat)
+        return {"ok": True, "value": encode_message(reply)}
 
     def _handle_send(self, envelope: dict[str, Any]) -> dict[str, Any]:
         server_id = envelope["server"]
@@ -263,4 +380,4 @@ class LookupService:
         await asyncio.gather(*connections, return_exceptions=True)
 
 
-__all__ = ["DEFAULT_SCHEMES", "LookupService", "ServiceConfig"]
+__all__ = ["DEFAULT_SCHEMES", "LookupService", "ServiceConfig", "shard_names"]

@@ -14,7 +14,10 @@ package is that layer:
 - :mod:`repro.obs.exporters` — JSONL trace writer/reader with schema
   validation, and the flat counters dump;
 - :mod:`repro.obs.manifest` — :class:`RunManifest`, the deterministic
-  run identity attached to experiment results and trace headers.
+  run identity attached to experiment results and trace headers;
+- :mod:`repro.obs.membership` — :class:`MembershipObserver`, turning
+  the sharded service's failure-detector transitions into
+  ``membership.transition`` tracer events and per-state peer gauges.
 
 Everything here is opt-in: with no tracer installed every code path in
 the cluster, engine, and experiments is byte-identical to the
@@ -22,6 +25,7 @@ pre-observability implementation (no RNG draws, no extra counters).
 """
 
 from repro.obs.manifest import MANIFEST_FORMAT_VERSION, RunManifest
+from repro.obs.membership import MembershipObserver
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import (
     RECORD_KEYS,
@@ -50,6 +54,7 @@ __all__ = [
     "Histogram",
     "RunManifest",
     "MANIFEST_FORMAT_VERSION",
+    "MembershipObserver",
     "write_trace",
     "read_trace",
     "validate_trace_records",

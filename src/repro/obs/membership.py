@@ -1,0 +1,98 @@
+"""Observability for the shard membership layer.
+
+The membership machine (:class:`repro.protocol.membership.
+MembershipProtocol`) reports every state change as a
+:class:`~repro.protocol.effects.PeerTransition` effect; the driver
+forwards them here.  :class:`MembershipObserver` turns that stream
+into the two standard surfaces:
+
+- **Tracer events** named ``membership.transition``, one per change,
+  carrying ``peer``, ``old``, ``new``, ``incarnation``, and the
+  driver-clock timestamp ``at`` — so a shard's trace shows exactly
+  when its failure detector suspected, condemned, quarantined, and
+  re-admitted each peer.
+- **MetricsRegistry instruments**: a monotonic counter
+  ``membership.transitions`` plus one per transition edge
+  (``membership.transitions.alive_to_suspect`` etc.), and per-state
+  gauges ``membership.peers.alive`` / ``.suspect`` / ``.dead`` /
+  ``.quarantined`` refreshed from the machine's
+  :meth:`~repro.protocol.membership.MembershipProtocol.counts`.
+
+Like every obs surface, this is strictly optional and zero-cost when
+absent: the pump only calls in when an observer was attached, and an
+observer with neither tracer nor metrics is inert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.protocol.effects import PeerTransition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+#: The tracer event name for one membership state change.
+TRANSITION_EVENT = "membership.transition"
+
+#: Metric name prefixes (see module docstring).
+TRANSITIONS_COUNTER = "membership.transitions"
+PEERS_GAUGE_PREFIX = "membership.peers."
+
+
+class MembershipObserver:
+    """Publish membership transitions and peer-state levels.
+
+    Parameters
+    ----------
+    metrics:
+        Optional registry for the counters and gauges.
+    tracer:
+        Optional tracer for per-transition events.
+    node:
+        This shard's name, stamped on every tracer event so traces
+        from several shards can be merged without ambiguity.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional["MetricsRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
+        node: str = "",
+    ) -> None:
+        self.metrics = metrics
+        self.tracer = tracer
+        self.node = node
+
+    def transition(self, change: PeerTransition) -> None:
+        """Record one :class:`PeerTransition` effect."""
+        if self.tracer is not None:
+            self.tracer.event(
+                TRANSITION_EVENT,
+                node=self.node,
+                peer=change.peer,
+                old=change.old_state,
+                new=change.new_state,
+                incarnation=change.incarnation,
+                at=change.at,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(TRANSITIONS_COUNTER).inc()
+            edge = f"{change.old_state or 'new'}_to_{change.new_state}"
+            self.metrics.counter(f"{TRANSITIONS_COUNTER}.{edge}").inc()
+
+    def publish_counts(self, counts: Dict[str, int]) -> None:
+        """Refresh the per-state peer gauges from ``counts()``."""
+        if self.metrics is None:
+            return
+        for state, count in counts.items():
+            self.metrics.gauge(f"{PEERS_GAUGE_PREFIX}{state}").set(count)
+
+
+__all__ = [
+    "PEERS_GAUGE_PREFIX",
+    "TRANSITIONS_COUNTER",
+    "TRANSITION_EVENT",
+    "MembershipObserver",
+]

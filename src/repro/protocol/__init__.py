@@ -15,6 +15,13 @@ from transport, following the sans-IO pattern:
 - :class:`~repro.protocol.server.ServerProtocol` — the server-side
   request core: idempotent delivery dedupe plus dispatch of
   lookup/update/verify messages to the installed per-key logic.
+- :class:`~repro.protocol.membership.MembershipProtocol` — the
+  sharded deployment's failure detector: heartbeat scheduling,
+  timeout-driven alive → suspect → dead escalation, incarnation-
+  numbered rejoin with quarantine, and peer-view gossip, all driven
+  by :class:`~repro.protocol.events.ClockTick` /
+  :class:`~repro.protocol.events.HeartbeatSeen` events with every
+  clock reading injected.
 
 Drivers pump the machines:
 
@@ -22,7 +29,9 @@ Drivers pump the machines:
   :class:`repro.cluster.network.Network`) enacts effects synchronously
   and *accounts* sleeps without enacting them;
 - the asyncio path (:mod:`repro.net`) enacts the same effects over
-  real sockets with real timeouts as the backoff clock.
+  real sockets with real timeouts as the backoff clock, and pumps the
+  membership machine from a periodic timer
+  (:class:`repro.net.membership.MembershipPump`).
 
 All randomness is injected (``rng`` parameters), so a seeded session
 replays bit-for-bit regardless of the driver.
@@ -31,7 +40,9 @@ replays bit-for-bit regardless of the driver.
 from repro.protocol.effects import (
     Complete,
     Effect,
+    PeerTransition,
     Reply,
+    SendHeartbeat,
     SendRequest,
     Sleep,
     SpanEnd,
@@ -40,8 +51,10 @@ from repro.protocol.effects import (
 )
 from repro.protocol.events import (
     SLEPT,
+    ClockTick,
     ContactFailed,
     Event,
+    HeartbeatSeen,
     MessageReceived,
     ReplyReceived,
     Slept,
@@ -52,19 +65,43 @@ from repro.protocol.lookup import (
     random_order,
     stride_order,
 )
+from repro.protocol.membership import (
+    ALIVE,
+    DEAD,
+    PEER_STATES,
+    QUARANTINED,
+    ROUTABLE_STATES,
+    SUSPECT,
+    MembershipConfig,
+    MembershipProtocol,
+    PeerStatus,
+)
 from repro.protocol.server import ServerProtocol, answer_lookup
 
 __all__ = [
+    "ALIVE",
     "Complete",
+    "ClockTick",
     "ContactFailed",
+    "DEAD",
     "Effect",
     "Event",
+    "HeartbeatSeen",
     "LookupSession",
+    "MembershipConfig",
+    "MembershipProtocol",
     "MessageReceived",
+    "PEER_STATES",
+    "PeerStatus",
+    "PeerTransition",
     "ProtocolStateError",
+    "QUARANTINED",
+    "ROUTABLE_STATES",
     "Reply",
     "ReplyReceived",
     "SLEPT",
+    "SUSPECT",
+    "SendHeartbeat",
     "SendRequest",
     "ServerProtocol",
     "Sleep",

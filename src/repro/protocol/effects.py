@@ -102,6 +102,59 @@ class SpanEnd(Effect):
         return f"SpanEnd({self.fields!r})"
 
 
+class SendHeartbeat(Effect):
+    """Exchange a heartbeat with ``peer``.
+
+    The driver sends this node's heartbeat (obtained from the
+    membership machine's ``wire_view()`` / incarnation) to the named
+    peer and, if the peer answers with its own heartbeat, feeds it
+    back as a :class:`~repro.protocol.events.HeartbeatSeen` event.
+    No response is *required* — silence is itself the signal the
+    failure detector consumes.
+    """
+
+    __slots__ = ("peer",)
+
+    def __init__(self, peer: str) -> None:
+        self.peer = peer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SendHeartbeat({self.peer!r})"
+
+
+class PeerTransition(Effect):
+    """A peer changed membership state at time ``at``.
+
+    ``old_state`` is ``None`` when the peer was just discovered.  The
+    driver forwards these to the observability layer
+    (:class:`~repro.obs.membership.MembershipObserver`) and the
+    router's view cache; the machine itself has already recorded the
+    new state.
+    """
+
+    __slots__ = ("peer", "old_state", "new_state", "incarnation", "at")
+
+    def __init__(
+        self,
+        peer: str,
+        old_state: "str | None",
+        new_state: str,
+        incarnation: int,
+        at: float,
+    ) -> None:
+        self.peer = peer
+        self.old_state = old_state
+        self.new_state = new_state
+        self.incarnation = incarnation
+        self.at = at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PeerTransition({self.peer!r}, {self.old_state!r} -> "
+            f"{self.new_state!r}, inc={self.incarnation}, at={self.at!r})"
+        )
+
+
 class Complete(Effect):
     """The lookup finished; ``result`` is the final LookupResult."""
 

@@ -78,6 +78,55 @@ class Slept(Event):
 SLEPT = Slept()
 
 
+class ClockTick(Event):
+    """The driver's periodic timer fired; ``now`` is the clock reading.
+
+    The membership machine never reads a clock — every timeout
+    decision (suspect, dead, heartbeat due, quarantine expiry) is
+    made relative to the ``now`` values the driver feeds it, so tests
+    walk the detector through arbitrary schedules with plain floats.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, now: float) -> None:
+        self.now = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClockTick({self.now!r})"
+
+
+class HeartbeatSeen(Event):
+    """A peer's heartbeat arrived (directly, or as an exchange reply).
+
+    ``view`` is the sender's gossiped membership view as
+    ``(name, state, incarnation)`` triples — the wire form of
+    :meth:`~repro.protocol.membership.MembershipProtocol.wire_view`.
+    ``now`` is the receiving driver's clock at arrival.
+    """
+
+    __slots__ = ("peer", "incarnation", "view", "now")
+
+    def __init__(
+        self,
+        peer: str,
+        incarnation: int,
+        view: Sequence[tuple] = (),
+        *,
+        now: float,
+    ) -> None:
+        self.peer = peer
+        self.incarnation = incarnation
+        self.view = view
+        self.now = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeartbeatSeen(peer={self.peer!r}, inc={self.incarnation}, "
+            f"view={len(self.view)} rows, now={self.now!r})"
+        )
+
+
 class MessageReceived(Event):
     """A message about ``key`` arrived at a server.
 

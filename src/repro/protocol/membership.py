@@ -1,0 +1,343 @@
+"""The sans-IO shard-membership state machine.
+
+:class:`MembershipProtocol` is the failure detector that lets a
+sharded deployment of lookup services (``repro serve --shard i/N``)
+survive shard death the way the paper's model survives simulated
+server failure: every shard heartbeats every peer, silence drives the
+classic *alive → suspect → dead* escalation, and a returning shard is
+*quarantined* for a probation period before the routers trust it
+again.  Restarts are distinguished from partitions by an
+**incarnation number** the shard bumps on every boot, the replica-
+maintenance framing of Leslie 2005: a death verdict is a statement
+about a specific incarnation, never about the shard name forever.
+
+Like :class:`~repro.protocol.lookup.LookupSession`, the machine is
+pure state: it never reads a clock, never sleeps, and never touches a
+socket.  The driver (:mod:`repro.net.membership`) feeds it events —
+:class:`~repro.protocol.events.ClockTick` with the current time,
+:class:`~repro.protocol.events.HeartbeatSeen` when a peer's heartbeat
+arrives — and enacts the returned effects
+(:class:`~repro.protocol.effects.SendHeartbeat`,
+:class:`~repro.protocol.effects.PeerTransition`).  All timestamps are
+whatever monotonic scale the driver chooses; tests drive the machine
+with hand-picked floats and zero sockets (``tests/protocol/
+test_membership.py``).
+
+State rules, in full:
+
+- A peer starts **alive** (grace: it has ``suspect_after`` to prove
+  itself) and is refreshed by every heartbeat bearing its current (or
+  newer) incarnation.
+- No heartbeat for ``suspect_after`` → **suspect**; for
+  ``dead_after`` → **dead**.  Suspect peers are still routed to (they
+  may merely be slow); dead peers are not.
+- A heartbeat from a **dead** peer — same incarnation (partition
+  healed) or higher (restart) — moves it to **quarantined** for
+  ``quarantine`` time units.  A quarantined peer that keeps
+  heartbeating is re-admitted (**alive**) when the probation expires;
+  one that falls silent again goes back to **dead**.  A restart
+  *during* quarantine restarts the probation.
+- Gossip: each heartbeat carries the sender's peer view.  Gossip
+  never overrides the local failure detector's state verdicts — it
+  only teaches this node higher incarnations and previously unknown
+  peers (which enter as **suspect** until heard from directly).
+
+The RNG is injected and used for exactly one thing: shuffling the
+heartbeat fan-out order so a fleet of shards does not probe peers in
+lock-step.  Pass ``rng=None`` for the deterministic sorted order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+from repro.protocol.effects import Effect, PeerTransition, SendHeartbeat
+from repro.protocol.events import ClockTick, Event, HeartbeatSeen
+
+#: Peer lifecycle states, in escalation order.  Plain strings so they
+#: cross the wire inside :class:`~repro.cluster.messages.Heartbeat`
+#: views without codec support.
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+QUARANTINED = "quarantined"
+
+#: Every valid peer state.
+PEER_STATES = frozenset({ALIVE, SUSPECT, DEAD, QUARANTINED})
+
+#: States a router may send lookups to.  Suspect peers are still
+#: routed (slow is not dead); quarantined peers are not re-admitted
+#: until probation ends.
+ROUTABLE_STATES = frozenset({ALIVE, SUSPECT})
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Failure-detection timing, in the driver's clock units.
+
+    Parameters
+    ----------
+    heartbeat_interval:
+        Time between heartbeat fan-outs to every peer.
+    suspect_after:
+        Silence before a peer is suspected.
+    dead_after:
+        Silence before a peer is declared dead.  Must exceed
+        ``suspect_after`` (the escalation must pass through suspect).
+    quarantine:
+        Probation a returning peer serves before re-admission.
+    """
+
+    heartbeat_interval: float = 0.5
+    suspect_after: float = 2.0
+    dead_after: float = 5.0
+    quarantine: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise InvalidParameterError(
+                f"heartbeat_interval must be positive, got {self.heartbeat_interval}"
+            )
+        if self.suspect_after <= 0:
+            raise InvalidParameterError(
+                f"suspect_after must be positive, got {self.suspect_after}"
+            )
+        if self.dead_after <= self.suspect_after:
+            raise InvalidParameterError(
+                f"dead_after ({self.dead_after}) must exceed "
+                f"suspect_after ({self.suspect_after})"
+            )
+        if self.quarantine < 0:
+            raise InvalidParameterError(
+                f"quarantine must be non-negative, got {self.quarantine}"
+            )
+
+
+@dataclass(frozen=True)
+class PeerStatus:
+    """One row of the membership view."""
+
+    name: str
+    state: str
+    incarnation: int
+    last_heard: float
+
+
+class _Peer:
+    __slots__ = ("state", "incarnation", "last_heard", "quarantine_until")
+
+    def __init__(self, state: str, incarnation: int, last_heard: float) -> None:
+        self.state = state
+        self.incarnation = incarnation
+        self.last_heard = last_heard
+        self.quarantine_until = 0.0
+
+
+class MembershipProtocol:
+    """Heartbeat bookkeeping and failure detection for one shard.
+
+    Parameters
+    ----------
+    self_name:
+        This shard's name (e.g. ``"s0"``).
+    peers:
+        The other shards' names.  More may be learned via gossip.
+    config:
+        Timing knobs; see :class:`MembershipConfig`.
+    incarnation:
+        This shard's boot incarnation.  The driver must hand a value
+        strictly greater than any earlier boot of the same shard (the
+        serve CLI uses wall-clock seconds); tests pass small ints.
+    now:
+        The clock reading at construction; peers get a full
+        ``suspect_after`` of grace from this instant.
+    rng:
+        Optional randomness for heartbeat fan-out order only.
+    """
+
+    def __init__(
+        self,
+        self_name: str,
+        peers: Iterable[str],
+        config: Optional[MembershipConfig] = None,
+        *,
+        incarnation: int = 0,
+        now: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.self_name = self_name
+        self.config = config if config is not None else MembershipConfig()
+        self.incarnation = incarnation
+        self._rng = rng
+        self._peers: Dict[str, _Peer] = {}
+        for name in peers:
+            if name == self_name:
+                continue
+            self._peers[name] = _Peer(ALIVE, -1, now)
+        self._next_heartbeat = now  # fire on the first tick
+
+    # -- the event interface -------------------------------------------------
+
+    def on_event(self, event: Event) -> List[Effect]:
+        """Feed one event; returns the effects to enact."""
+        if isinstance(event, ClockTick):
+            return self._on_tick(event.now)
+        if isinstance(event, HeartbeatSeen):
+            return self._on_heartbeat(event)
+        raise TypeError(
+            f"MembershipProtocol cannot consume {type(event).__name__}"
+        )
+
+    def _on_tick(self, now: float) -> List[Effect]:
+        effects: List[Effect] = []
+        cfg = self.config
+        for name in sorted(self._peers):
+            peer = self._peers[name]
+            silence = now - peer.last_heard
+            if peer.state in (ALIVE, SUSPECT) and silence >= cfg.dead_after:
+                self._transition(effects, name, peer, DEAD, now)
+            elif peer.state == ALIVE and silence >= cfg.suspect_after:
+                self._transition(effects, name, peer, SUSPECT, now)
+            elif peer.state == QUARANTINED:
+                if silence >= cfg.dead_after:
+                    # Came back, then fell silent again mid-probation.
+                    self._transition(effects, name, peer, DEAD, now)
+                elif now >= peer.quarantine_until:
+                    # Probation served while heartbeating: re-admit.
+                    self._transition(effects, name, peer, ALIVE, now)
+        if now >= self._next_heartbeat:
+            self._next_heartbeat = now + cfg.heartbeat_interval
+            order = sorted(self._peers)
+            if self._rng is not None:
+                self._rng.shuffle(order)
+            effects.extend(SendHeartbeat(name) for name in order)
+        return effects
+
+    def _on_heartbeat(self, event: HeartbeatSeen) -> List[Effect]:
+        effects: List[Effect] = []
+        now = event.now
+        if event.peer != self.self_name:
+            peer = self._peers.get(event.peer)
+            if peer is None:
+                # First direct contact with a gossiped-only (or
+                # late-configured) peer: it just proved itself.
+                peer = _Peer(ALIVE, event.incarnation, now)
+                self._peers[event.peer] = peer
+                effects.append(
+                    PeerTransition(event.peer, None, ALIVE, event.incarnation, now)
+                )
+            else:
+                self._absorb_direct(effects, event.peer, peer, event.incarnation, now)
+        for entry in event.view:
+            self._absorb_gossip(effects, entry, now)
+        return effects
+
+    def _absorb_direct(
+        self,
+        effects: List[Effect],
+        name: str,
+        peer: _Peer,
+        incarnation: int,
+        now: float,
+    ) -> None:
+        if incarnation < peer.incarnation:
+            # A zombie heartbeat from a dead incarnation (delayed in
+            # flight across a restart): evidence about the past, not
+            # about the peer as it is now.
+            return
+        restarted = incarnation > peer.incarnation
+        peer.incarnation = incarnation
+        peer.last_heard = now
+        if peer.state == DEAD:
+            # Back from the dead — partition healed or restarted.
+            # Either way it serves probation before re-admission.
+            peer.quarantine_until = now + self.config.quarantine
+            self._transition(effects, name, peer, QUARANTINED, now)
+        elif peer.state == QUARANTINED and restarted:
+            # Crashed *again* during probation; restart the clock.
+            peer.quarantine_until = now + self.config.quarantine
+        elif peer.state == SUSPECT:
+            self._transition(effects, name, peer, ALIVE, now)
+
+    def _absorb_gossip(
+        self, effects: List[Effect], entry: Tuple[str, str, int], now: float
+    ) -> None:
+        name, state, incarnation = entry
+        if name == self.self_name or state not in PEER_STATES:
+            return
+        peer = self._peers.get(name)
+        if peer is None:
+            # Discovery: believed about, never heard from.  Enters as
+            # suspect — routable, but one silence step from dead — and
+            # must heartbeat us directly to become alive.
+            peer = _Peer(SUSPECT, incarnation, now - self.config.suspect_after)
+            self._peers[name] = peer
+            effects.append(PeerTransition(name, None, SUSPECT, incarnation, now))
+        elif incarnation > peer.incarnation:
+            # Gossip teaches incarnations, never states: the local
+            # detector keeps its own verdict until direct evidence.
+            peer.incarnation = incarnation
+
+    def _transition(
+        self, effects: List[Effect], name: str, peer: _Peer, state: str, now: float
+    ) -> None:
+        old = peer.state
+        peer.state = state
+        effects.append(PeerTransition(name, old, state, peer.incarnation, now))
+
+    # -- the view surface ----------------------------------------------------
+
+    def state_of(self, name: str) -> Optional[str]:
+        """The peer's current state, or None if unknown."""
+        if name == self.self_name:
+            return ALIVE
+        peer = self._peers.get(name)
+        return peer.state if peer is not None else None
+
+    def routable_peers(self) -> List[str]:
+        """Peers a router may currently send lookups to, sorted."""
+        return sorted(
+            name
+            for name, peer in self._peers.items()
+            if peer.state in ROUTABLE_STATES
+        )
+
+    def view(self) -> Tuple[PeerStatus, ...]:
+        """The full membership view, self included, sorted by name."""
+        rows = [
+            PeerStatus(name, peer.state, peer.incarnation, peer.last_heard)
+            for name, peer in self._peers.items()
+        ]
+        rows.append(
+            PeerStatus(self.self_name, ALIVE, self.incarnation, 0.0)
+        )
+        return tuple(sorted(rows, key=lambda row: row.name))
+
+    def wire_view(self) -> Tuple[Tuple[str, str, int], ...]:
+        """The gossip payload: ``(name, state, incarnation)`` triples."""
+        return tuple(
+            (row.name, row.state, row.incarnation) for row in self.view()
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """Peers per state — the MetricsRegistry gauge payload."""
+        counts = {state: 0 for state in sorted(PEER_STATES)}
+        for peer in self._peers.values():
+            counts[peer.state] += 1
+        return counts
+
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "PEER_STATES",
+    "QUARANTINED",
+    "ROUTABLE_STATES",
+    "SUSPECT",
+    "MembershipConfig",
+    "MembershipProtocol",
+    "PeerStatus",
+]

@@ -1,0 +1,272 @@
+"""Deterministic sans-IO tests for the shard membership machine.
+
+Every test drives :class:`MembershipProtocol` with hand-picked clock
+readings and heartbeat events — zero sockets, zero sleeps, zero real
+time — which is the acceptance bar for the failure-detection layer:
+all membership decisions must be checkable as pure state transitions.
+"""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import InvalidParameterError
+from repro.protocol.effects import PeerTransition, SendHeartbeat
+from repro.protocol.events import ClockTick, HeartbeatSeen, MessageReceived
+from repro.protocol.membership import (
+    ALIVE,
+    DEAD,
+    QUARANTINED,
+    ROUTABLE_STATES,
+    SUSPECT,
+    MembershipConfig,
+    MembershipProtocol,
+)
+
+CFG = MembershipConfig(
+    heartbeat_interval=0.5, suspect_after=2.0, dead_after=5.0, quarantine=3.0
+)
+
+
+def machine(**kwargs):
+    kwargs.setdefault("incarnation", 1)
+    return MembershipProtocol("s0", ["s1", "s2"], CFG, **kwargs)
+
+
+def transitions(effects):
+    return [e for e in effects if isinstance(e, PeerTransition)]
+
+
+def beats(effects):
+    return [e.peer for e in effects if isinstance(e, SendHeartbeat)]
+
+
+def beat(proto, peer, incarnation=1, view=(), now=0.0):
+    return proto.on_event(HeartbeatSeen(peer, incarnation, view, now=now))
+
+
+class TestConfigValidation:
+    def test_dead_must_exceed_suspect(self):
+        with pytest.raises(InvalidParameterError):
+            MembershipConfig(suspect_after=5.0, dead_after=5.0)
+
+    def test_positive_intervals(self):
+        with pytest.raises(InvalidParameterError):
+            MembershipConfig(heartbeat_interval=0.0)
+        with pytest.raises(InvalidParameterError):
+            MembershipConfig(suspect_after=-1.0)
+        with pytest.raises(InvalidParameterError):
+            MembershipConfig(quarantine=-0.1)
+
+
+class TestEscalation:
+    def test_peers_start_alive_with_grace(self):
+        proto = machine(now=0.0)
+        assert proto.state_of("s1") == ALIVE
+        assert proto.state_of("s2") == ALIVE
+        # Inside the grace window nothing changes.
+        assert transitions(proto.on_event(ClockTick(1.9))) == []
+        assert proto.state_of("s1") == ALIVE
+
+    def test_silence_escalates_alive_suspect_dead(self):
+        proto = machine(now=0.0)
+        changed = transitions(proto.on_event(ClockTick(2.0)))
+        assert {(t.peer, t.new_state) for t in changed} == {
+            ("s1", SUSPECT),
+            ("s2", SUSPECT),
+        }
+        changed = transitions(proto.on_event(ClockTick(5.0)))
+        assert {(t.peer, t.new_state) for t in changed} == {
+            ("s1", DEAD),
+            ("s2", DEAD),
+        }
+        assert proto.routable_peers() == []
+
+    def test_silence_can_jump_straight_to_dead(self):
+        # A driver that stalls past dead_after must still land on DEAD.
+        proto = machine(now=0.0)
+        changed = transitions(proto.on_event(ClockTick(50.0)))
+        assert {(t.peer, t.old_state, t.new_state) for t in changed} == {
+            ("s1", ALIVE, DEAD),
+            ("s2", ALIVE, DEAD),
+        }
+
+    def test_heartbeat_refreshes_and_recovers_suspect(self):
+        proto = machine(now=0.0)
+        proto.on_event(ClockTick(2.0))
+        assert proto.state_of("s1") == SUSPECT
+        changed = transitions(beat(proto, "s1", now=2.5))
+        assert [(t.peer, t.old_state, t.new_state) for t in changed] == [
+            ("s1", SUSPECT, ALIVE)
+        ]
+        # The refresh restarts the silence clock.
+        assert transitions(proto.on_event(ClockTick(4.4))) == []
+        assert proto.state_of("s1") == ALIVE
+        # s2 is still silent and dies on schedule; s1's new silence
+        # window (since 2.5) re-suspects it at the same instant.
+        assert proto.state_of("s2") == SUSPECT
+        changed = transitions(proto.on_event(ClockTick(5.0)))
+        assert {(t.peer, t.new_state) for t in changed} == {
+            ("s1", SUSPECT),
+            ("s2", DEAD),
+        }
+
+    def test_suspect_peers_remain_routable(self):
+        proto = machine(now=0.0)
+        proto.on_event(ClockTick(2.0))
+        assert proto.state_of("s1") == SUSPECT
+        assert "s1" in proto.routable_peers()
+        assert SUSPECT in ROUTABLE_STATES
+        assert DEAD not in ROUTABLE_STATES
+        assert QUARANTINED not in ROUTABLE_STATES
+
+
+class TestRejoin:
+    def dead_machine(self):
+        proto = machine(now=0.0)
+        proto.on_event(ClockTick(10.0))
+        assert proto.state_of("s1") == DEAD
+        return proto
+
+    def test_returning_peer_is_quarantined_not_trusted(self):
+        proto = self.dead_machine()
+        changed = transitions(beat(proto, "s1", incarnation=2, now=11.0))
+        assert [(t.peer, t.new_state) for t in changed] == [("s1", QUARANTINED)]
+        assert "s1" not in proto.routable_peers()
+
+    def test_quarantine_expires_into_alive_while_heartbeating(self):
+        proto = self.dead_machine()
+        beat(proto, "s1", incarnation=2, now=11.0)
+        # Keeps beating through probation; stays quarantined until
+        # quarantine_until (11 + 3), then re-admits on the next tick.
+        beat(proto, "s1", incarnation=2, now=12.0)
+        assert transitions(proto.on_event(ClockTick(13.9))) == []
+        assert proto.state_of("s1") == QUARANTINED
+        beat(proto, "s1", incarnation=2, now=13.95)
+        changed = transitions(proto.on_event(ClockTick(14.0)))
+        assert [(t.peer, t.old_state, t.new_state) for t in changed] == [
+            ("s1", QUARANTINED, ALIVE)
+        ]
+        assert "s1" in proto.routable_peers()
+
+    def test_silence_during_quarantine_returns_to_dead(self):
+        proto = self.dead_machine()
+        beat(proto, "s1", incarnation=2, now=11.0)
+        changed = transitions(proto.on_event(ClockTick(16.0)))
+        assert [(t.peer, t.new_state) for t in changed] == [("s1", DEAD)]
+
+    def test_restart_during_quarantine_restarts_probation(self):
+        proto = self.dead_machine()
+        beat(proto, "s1", incarnation=2, now=11.0)  # probation ends at 14
+        beat(proto, "s1", incarnation=3, now=13.0)  # crashed again: ends at 16
+        beat(proto, "s1", incarnation=3, now=14.5)
+        assert transitions(proto.on_event(ClockTick(15.0))) == []
+        assert proto.state_of("s1") == QUARANTINED
+        beat(proto, "s1", incarnation=3, now=15.9)
+        changed = transitions(proto.on_event(ClockTick(16.0)))
+        assert [(t.peer, t.new_state) for t in changed] == [("s1", ALIVE)]
+
+    def test_same_incarnation_rejoin_is_a_healed_partition(self):
+        proto = self.dead_machine()
+        changed = transitions(beat(proto, "s1", incarnation=1, now=11.0))
+        assert [(t.peer, t.new_state) for t in changed] == [("s1", QUARANTINED)]
+
+    def test_stale_incarnation_heartbeat_is_ignored(self):
+        proto = machine(now=0.0)
+        beat(proto, "s1", incarnation=5, now=1.0)
+        # A zombie beat from a dead incarnation refreshes nothing.
+        assert transitions(beat(proto, "s1", incarnation=3, now=2.0)) == []
+        proto.on_event(ClockTick(1.0 + CFG.dead_after))
+        assert proto.state_of("s1") == DEAD
+
+
+class TestHeartbeatSchedule:
+    def test_first_tick_fans_out_then_respects_interval(self):
+        proto = machine(now=0.0)
+        assert beats(proto.on_event(ClockTick(0.0))) == ["s1", "s2"]
+        assert beats(proto.on_event(ClockTick(0.3))) == []
+        assert beats(proto.on_event(ClockTick(0.5))) == ["s1", "s2"]
+
+    def test_rng_shuffles_fanout_order(self):
+        proto = MembershipProtocol(
+            "s0",
+            [f"p{i}" for i in range(8)],
+            CFG,
+            incarnation=1,
+            rng=random.Random(3),
+        )
+        order = beats(proto.on_event(ClockTick(0.0)))
+        assert sorted(order) == [f"p{i}" for i in range(8)]
+        assert order != sorted(order)  # Random(3) shuffles this length
+
+    def test_dead_peers_still_receive_probes(self):
+        # Probing the dead is how a healed partition is noticed.
+        proto = machine(now=0.0)
+        proto.on_event(ClockTick(10.0))
+        assert proto.state_of("s1") == DEAD
+        assert "s1" in beats(proto.on_event(ClockTick(10.5)))
+
+
+class TestGossip:
+    def test_gossip_teaches_unknown_peers_as_suspect(self):
+        proto = machine(now=0.0)
+        changed = transitions(
+            beat(proto, "s1", view=(("s9", ALIVE, 4),), now=1.0)
+        )
+        assert ("s9", None, SUSPECT) in {
+            (t.peer, t.old_state, t.new_state) for t in changed
+        }
+        # Routable (benefit of the doubt) but one silence step from dead.
+        assert "s9" in proto.routable_peers()
+        changed = transitions(proto.on_event(ClockTick(1.0 + CFG.dead_after)))
+        assert ("s9", DEAD) in {(t.peer, t.new_state) for t in changed}
+
+    def test_gossip_never_overrides_local_state_verdict(self):
+        proto = machine(now=0.0)
+        beat(proto, "s1", now=1.0)
+        # s2 gossips that s1 is dead; we just heard s1 ourselves.
+        beat(proto, "s2", view=(("s1", DEAD, 1),), now=1.5)
+        assert proto.state_of("s1") == ALIVE
+
+    def test_gossip_teaches_higher_incarnations(self):
+        proto = machine(now=0.0)
+        beat(proto, "s1", incarnation=1, now=1.0)
+        beat(proto, "s2", view=(("s1", ALIVE, 7),), now=1.5)
+        # Now a direct beat with incarnation 3 is stale and ignored.
+        assert transitions(beat(proto, "s1", incarnation=3, now=2.0)) == []
+
+    def test_own_row_in_gossip_is_ignored(self):
+        proto = machine(now=0.0)
+        beat(proto, "s1", view=(("s0", DEAD, 99),), now=1.0)
+        assert proto.state_of("s0") == ALIVE
+        assert proto.incarnation == 1
+
+
+class TestViewSurface:
+    def test_view_includes_self_sorted(self):
+        proto = machine(now=0.0)
+        rows = proto.view()
+        assert [row.name for row in rows] == ["s0", "s1", "s2"]
+        assert rows[0].state == ALIVE
+        assert rows[0].incarnation == 1
+
+    def test_wire_view_round_trips_through_heartbeat_seen(self):
+        a = machine(now=0.0)
+        b = MembershipProtocol("s3", ["s0"], CFG, incarnation=2, now=0.0)
+        b.on_event(HeartbeatSeen("s0", 1, a.wire_view(), now=0.5))
+        # b learned s1 and s2 from a's gossip.
+        assert b.state_of("s1") == SUSPECT
+        assert b.state_of("s2") == SUSPECT
+
+    def test_counts_match_states(self):
+        proto = machine(now=0.0)
+        proto.on_event(ClockTick(2.0))
+        counts = proto.counts()
+        assert counts[SUSPECT] == 2
+        assert counts[ALIVE] == 0
+        assert sum(counts.values()) == 2
+
+    def test_unconsumable_event_raises(self):
+        proto = machine(now=0.0)
+        with pytest.raises(TypeError):
+            proto.on_event(MessageReceived("s1", object()))
