@@ -3,9 +3,31 @@
 Boots one in-process :class:`~repro.net.service.LookupService` on an
 ephemeral loopback port and measures sustained lookups/second with a
 small fleet of concurrent async clients — the socket path's end-to-end
-cost (framing, JSON codec, event-loop scheduling, protocol pump) on
-top of the simulator work the other benches already measure.  Records
-``net_lookups_per_sec`` into the ``--bench-json`` artifact.
+cost (framing, codec, event-loop scheduling, protocol pump) on top of
+the simulator work the other benches already measure.  Three metrics
+go into the ``--bench-json`` artifact:
+
+- ``net_lookups_per_sec`` — the original workload: sequential
+  single lookups (one request/response round trip each) over the
+  JSON codec, from a small fleet of concurrent clients.
+- ``net_batched_lookups_per_sec`` — the pipelined path: one client,
+  binary codec, ``lookup_many`` packing many lookups per write with
+  out-of-order response correlation.  Uses ``full_replication`` (one
+  contact per lookup) so the metric isolates wire + dispatch cost
+  rather than multiplying it by a scheme's retry chain.
+- ``net_multiclient_lookups_per_sec`` — several concurrent binary
+  clients each running batched ``lookup_many``, sharing one server
+  event loop: the contended aggregate throughput.
+
+Recorded numbers are machine-relative.  The committed baselines were
+taken on a 1-core CI-class container; absolute values on other
+hardware differ (the pre-batching ``net_lookups_per_sec`` baseline of
+4,021.6 came from a ~1.3x faster box than the one that recorded the
+batched numbers — compare ratios within one artifact, not across
+machines).  Per-lookup cost on the batched path is dominated by the
+protocol's pinned RNG draws (client probe-order shuffle + server
+sampling) and the event-loop floor, not the codec, which is why the
+batched speedup saturates around 6-8x the sequential path on one core.
 """
 
 import asyncio
@@ -55,3 +77,77 @@ def test_bench_net_service_throughput(bench_json_record):
     # pathological regression (e.g. an accidental per-lookup reconnect)
     # without being machine-sensitive.
     assert lookups_per_sec > 50
+
+
+BATCH_SCHEME = "full_replication"
+BATCH_WARMUP = 50
+BATCH_LOOKUPS = 4000
+BATCH_CLIENTS = 3
+BATCH_LOOKUPS_PER_CLIENT = 1200
+
+
+async def _drive_batched(host, port, seed, count):
+    async with AsyncLookupClient(
+        host, port, rng=random.Random(seed), codec="binary"
+    ) as client:
+        await client.lookup_many(BATCH_SCHEME, [TARGET] * BATCH_WARMUP)
+        started = time.perf_counter()
+        report = await client.lookup_many(BATCH_SCHEME, [TARGET] * count)
+        elapsed = time.perf_counter() - started
+    assert len(report) == count and report.all_success
+    return count, elapsed
+
+
+async def _batched_throughput():
+    service = LookupService(ServiceConfig(server_count=16, entry_count=40, seed=3))
+    host, port = await service.start(port=0)
+    try:
+        count, elapsed = await _drive_batched(host, port, 7, BATCH_LOOKUPS)
+    finally:
+        await service.stop()
+    return count / elapsed
+
+
+async def _multiclient_throughput():
+    service = LookupService(ServiceConfig(server_count=16, entry_count=40, seed=3))
+    host, port = await service.start(port=0)
+    try:
+        started = time.perf_counter()
+        results = await asyncio.gather(
+            *(
+                _drive_batched(host, port, seed, BATCH_LOOKUPS_PER_CLIENT)
+                for seed in range(BATCH_CLIENTS)
+            )
+        )
+        elapsed = time.perf_counter() - started
+    finally:
+        await service.stop()
+    return sum(count for count, _ in results) / elapsed
+
+
+def test_bench_net_batched_throughput(bench_json_record):
+    lookups_per_sec = asyncio.run(asyncio.wait_for(_batched_throughput(), timeout=120))
+    print(
+        f"\nnet service batched: 1 client x {BATCH_LOOKUPS} lookups "
+        f"(target {TARGET}, {BATCH_SCHEME}, binary codec, pipelined) "
+        f"-> {lookups_per_sec:,.0f} lookups/s"
+    )
+    bench_json_record("net_batched_lookups_per_sec", round(lookups_per_sec, 1))
+    # The pipelined binary path must stay well clear of the sequential
+    # JSON path; the committed-baseline ratio is gated separately by
+    # scripts/check_bench_regression.py.
+    assert lookups_per_sec > 500
+
+
+def test_bench_net_multiclient_throughput(bench_json_record):
+    lookups_per_sec = asyncio.run(
+        asyncio.wait_for(_multiclient_throughput(), timeout=120)
+    )
+    print(
+        f"\nnet service multiclient: {BATCH_CLIENTS} clients x "
+        f"{BATCH_LOOKUPS_PER_CLIENT} lookups "
+        f"(target {TARGET}, {BATCH_SCHEME}, binary codec, pipelined) "
+        f"-> {lookups_per_sec:,.0f} lookups/s"
+    )
+    bench_json_record("net_multiclient_lookups_per_sec", round(lookups_per_sec, 1))
+    assert lookups_per_sec > 500

@@ -7,10 +7,11 @@ Usage::
 
 Fails (exit 1) when any benchmark present in both artifacts is more
 than ``tolerance`` slower than the baseline wall clock, or when a
-recorded speedup metric (any name containing ``_speedup``) drops below
-``1 - tolerance`` of its baseline value.  Benchmarks only present on
-one side are reported but never fail the check, so adding or retiring
-benches does not require lock-step baseline updates.
+recorded bigger-is-better metric — any name containing ``_speedup``
+or ending in ``_per_sec`` — drops below ``1 - tolerance`` of its
+baseline value.  Benchmarks only present on one side are reported but
+never fail the check, so adding or retiring benches does not require
+lock-step baseline updates.
 
 Speedup metrics whose names encode a parallelism requirement
 (``..._jobsN``) are demoted to informational when either artifact was
@@ -89,7 +90,7 @@ def main(argv=None) -> int:
         if now_value is None:
             print(f"SKIP metric (not in current run): {name}")
             continue
-        if "_speedup" in name:
+        if "_speedup" in name or name.endswith("_per_sec"):
             jobs_match = JOBS_RE.search(name)
             cpus = min(
                 current.get("cpu_count") or 1, baseline.get("cpu_count") or 1

@@ -17,7 +17,10 @@ It then asserts the CLI's exit-code contract — 0 for lookups that met
 their target, 3 (degraded) for short-but-non-empty answers, 4 (failed)
 for empty answers — by asking ``fixed`` for more entries than its x=10
 subset holds, and by querying a lone shard that is not home to the
-key at all.
+key at all.  Every contract point is asserted twice: once on the
+sequential JSON path and once with ``--codec binary --batch N``
+(pipelined batched lookups over the negotiated binary codec), which
+must produce identical summaries and exit codes.
 
 The server is terminated with SIGTERM and must exit cleanly within
 the grace period; any leftover process is killed and reported as a
@@ -91,6 +94,8 @@ def run_call(
     target: int = TARGET,
     verify: bool = True,
     expect: int = 0,
+    codec: str = "json",
+    batch: int = 1,
 ) -> dict:
     command = [
         sys.executable,
@@ -108,6 +113,10 @@ def run_call(
         str(LOOKUPS),
         "--seed",
         "11",
+        "--codec",
+        codec,
+        "--batch",
+        str(batch),
     ]
     if verify:
         command.append("--verify")
@@ -129,7 +138,7 @@ def run_call(
     return summary
 
 
-def check_scheme(scheme: str, summary: dict) -> None:
+def check_scheme(scheme: str, summary: dict, label: str = "") -> None:
     if not summary["all_success"]:
         fail(f"{scheme}: lookup(s) missed the target: {summary}")
     universe = {f"v{i}" for i in range(1, ENTRIES + 1)}
@@ -154,24 +163,38 @@ def check_scheme(scheme: str, summary: dict) -> None:
     if verify["operational"] != SERVERS:
         fail(f"{scheme}: {verify['operational']} operational servers != {SERVERS}")
     print(
-        f"ok {scheme}: {LOOKUPS} lookups x {TARGET} entries, "
+        f"ok {scheme}{label}: {LOOKUPS} lookups x {TARGET} entries, "
         f"coverage {verify['coverage']}/{ENTRIES}, "
         f"storage {verify['storage_cost']}"
     )
 
 
-def check_degraded_exit(host: str, port: int, deadline: float) -> None:
+def check_degraded_exit(
+    host: str, port: int, deadline: float, *, codec: str = "json", batch: int = 1
+) -> None:
     # ``fixed`` hosts only its X chosen entries; asking for more is
     # answerable-but-short — degraded (3), never failed (4).
     summary = run_call(
-        "fixed", host, port, deadline, target=X + 2, verify=False, expect=3
+        "fixed",
+        host,
+        port,
+        deadline,
+        target=X + 2,
+        verify=False,
+        expect=3,
+        codec=codec,
+        batch=batch,
     )
     for lookup in summary["lookups"]:
         if lookup["found"] != X or lookup["success"]:
             fail(f"degraded call: expected {X} found and no success: {lookup}")
         if not lookup["degraded"]:
             fail(f"degraded call: row not marked degraded: {lookup}")
-    print(f"ok exit-code {summary['exit_code']}: short non-empty answer is degraded")
+    label = f" [{codec}, batch {batch}]" if batch > 1 else ""
+    print(
+        f"ok exit-code {summary['exit_code']}{label}: "
+        "short non-empty answer is degraded"
+    )
 
 
 def check_failed_exit(ready_dir: str, deadline: float) -> None:
@@ -203,16 +226,25 @@ def check_failed_exit(ready_dir: str, deadline: float) -> None:
     )
     try:
         host, port = wait_for_ready(ready, server, deadline)
-        summary = run_call(
-            "fixed", host, port, deadline, verify=False, expect=4
-        )
-        for lookup in summary["lookups"]:
-            if lookup["found"] != 0:
-                fail(f"failed call: non-home shard answered data: {lookup}")
-        print(
-            f"ok exit-code {summary['exit_code']}: "
-            "empty answer from a non-home shard is failed"
-        )
+        for codec, batch in (("json", 1), ("binary", LOOKUPS)):
+            summary = run_call(
+                "fixed",
+                host,
+                port,
+                deadline,
+                verify=False,
+                expect=4,
+                codec=codec,
+                batch=batch,
+            )
+            for lookup in summary["lookups"]:
+                if lookup["found"] != 0:
+                    fail(f"failed call: non-home shard answered data: {lookup}")
+            label = f" [{codec}, batch {batch}]" if batch > 1 else ""
+            print(
+                f"ok exit-code {summary['exit_code']}{label}: "
+                "empty answer from a non-home shard is failed"
+            )
     finally:
         if server.poll() is None:
             server.send_signal(signal.SIGTERM)
@@ -258,7 +290,18 @@ def main() -> int:
             print(f"server up at {host}:{port}")
             for scheme in sorted(EXPECTED):
                 check_scheme(scheme, run_call(scheme, host, port, deadline))
+            # The same contract over the binary codec with pipelined
+            # batches: identical summaries, identical exit codes.
+            for scheme in sorted(EXPECTED):
+                check_scheme(
+                    scheme,
+                    run_call(
+                        scheme, host, port, deadline, codec="binary", batch=LOOKUPS
+                    ),
+                    label=f" [binary, batch {LOOKUPS}]",
+                )
             check_degraded_exit(host, port, deadline)
+            check_degraded_exit(host, port, deadline, codec="binary", batch=LOOKUPS)
             check_failed_exit(tmpdir, deadline)
         finally:
             if server.poll() is None:

@@ -194,14 +194,14 @@ async def _sweep(
     for key in keys:
         routed = await router.lookup(key, target)
         rows[key] = {
-            "found": len(routed.result.entries),
+            "found": len(routed.entries),
             "target": target,
-            "success": routed.result.success,
-            "degraded": routed.result.degraded,
+            "success": routed.success,
+            "degraded": routed.degraded,
             "home": list(routed.home),
             "routed": list(routed.routed),
             "failover": routed.failover,
-            "entries": sorted(e.entry_id for e in routed.result.entries),
+            "entries": sorted(e.entry_id for e in routed.entries),
         }
     return rows
 

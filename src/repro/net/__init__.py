@@ -4,8 +4,14 @@ This package is the second driver for the protocol state machines in
 :mod:`repro.protocol` (the first is the simulated
 :class:`~repro.cluster.network.Network`).  It has three parts:
 
-- :mod:`repro.net.codec` — the length-prefixed JSON wire format for
-  the typed messages in :mod:`repro.cluster.messages`.
+- :mod:`repro.net.codec` — the length-prefixed wire format for the
+  typed messages in :mod:`repro.cluster.messages`: JSON (the
+  mandatory fallback every peer speaks) plus a compact binary codec
+  negotiated per connection via the ``hello`` op.
+- :mod:`repro.net.results` — the frozen typed answers
+  (:class:`~repro.net.results.LookupResult`,
+  :class:`~repro.net.results.LookupReport`) returned by the client
+  and router lookup surfaces.
 - :mod:`repro.net.service` — an asyncio server hosting a cluster's
   :class:`~repro.protocol.server.ServerProtocol` instances behind one
   listening socket.
@@ -29,6 +35,9 @@ library — no third-party networking dependencies.
 """
 
 from repro.net.codec import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    SUPPORTED_CODECS,
     FrameError,
     WireError,
     decode_envelope,
@@ -37,10 +46,12 @@ from repro.net.codec import (
     encode_envelope,
     encode_message,
     encode_value,
+    negotiate_codec,
     read_frame,
     write_frame,
 )
 from repro.net.client import AsyncLookupClient, ServiceError, ServiceInfo
+from repro.net.results import LookupReport, LookupResult
 from repro.net.sharding import ShardMap, partial_replica
 from repro.net.service import LookupService, ServiceConfig, shard_names
 from repro.net.membership import MembershipPump
@@ -48,7 +59,11 @@ from repro.net.router import RoutedLookup, ShardRouter
 
 __all__ = [
     "AsyncLookupClient",
+    "CODEC_BINARY",
+    "CODEC_JSON",
     "FrameError",
+    "LookupReport",
+    "LookupResult",
     "LookupService",
     "MembershipPump",
     "RoutedLookup",
@@ -57,7 +72,9 @@ __all__ = [
     "ServiceInfo",
     "ShardMap",
     "ShardRouter",
+    "SUPPORTED_CODECS",
     "WireError",
+    "negotiate_codec",
     "partial_replica",
     "shard_names",
     "decode_envelope",

@@ -112,6 +112,11 @@ def add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
         default=None,
         help="write 'host port' here once the socket is bound",
     )
+    parser.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="run on uvloop when installed (falls back to asyncio)",
+    )
     shard = parser.add_argument_group("sharding")
     shard.add_argument(
         "--shard",
@@ -181,6 +186,22 @@ def add_call_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument(
         "--count", type=int, default=1, help="number of lookups to run"
     )
+    parser.add_argument(
+        "--codec",
+        choices=("json", "binary", "auto"),
+        default="json",
+        help=(
+            "wire codec: json (legacy, default), binary, or auto "
+            "(negotiate, JSON fallback)"
+        ),
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="pipeline lookups in batched windows of N (1 = sequential)",
+    )
     parser.add_argument("--seed", type=int, default=None, help="client RNG seed")
     parser.add_argument(
         "--timeout", type=float, default=5.0, help="per-request reply timeout (s)"
@@ -213,6 +234,18 @@ def add_call_parser(subparsers: argparse._SubParsersAction) -> None:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the service until SIGINT/SIGTERM."""
+    if getattr(args, "uvloop", False):
+        try:
+            import uvloop  # noqa: PLC0415 - optional accelerator
+        except ImportError:
+            print(
+                "[serve] uvloop not installed; continuing on asyncio",
+                file=sys.stderr,
+                flush=True,
+            )
+        else:
+            with asyncio.Runner(loop_factory=uvloop.new_event_loop) as runner:
+                return runner.run(_serve_async(args))
     return asyncio.run(_serve_async(args))
 
 
@@ -289,16 +322,9 @@ def cmd_call(args: argparse.Namespace) -> int:
 
 
 def _lookup_row(result) -> dict:
-    return {
-        "entries": sorted(e.entry_id for e in result.entries),
-        "found": len(result.entries),
-        "target": result.target,
-        "success": result.success,
-        "degraded": result.degraded,
-        "messages": result.messages,
-        "retries": result.retries,
-        "servers_contacted": list(result.servers_contacted),
-    }
+    # The typed result owns its row shape now (including the shard
+    # attribution in fleet mode); see repro.net.results.
+    return result.as_row()
 
 
 def exit_code_for(lookups: list) -> int:
@@ -322,12 +348,14 @@ async def _call_async(args: argparse.Namespace) -> int:
         policy = RetryPolicy(max_attempts=args.retries)
     if args.shards is not None:
         return await _call_fleet(args, rng, policy)
+    batch = max(1, getattr(args, "batch", 1))
     client = AsyncLookupClient(
         args.host,
         args.port,
         rng=rng,
         timeout=args.timeout,
         retry_policy=policy,
+        codec=getattr(args, "codec", "json"),
     )
     async with client:
         try:
@@ -336,9 +364,18 @@ async def _call_async(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         lookups = []
-        for _ in range(args.count):
-            result = await client.lookup(args.scheme, args.target)
-            lookups.append(_lookup_row(result))
+        remaining = args.count
+        while remaining > 0:
+            window = min(batch, remaining)
+            remaining -= window
+            if window == 1:
+                result = await client.lookup(args.scheme, args.target)
+                lookups.append(_lookup_row(result))
+            else:
+                report = await client.lookup_many(
+                    args.scheme, [args.target] * window
+                )
+                lookups.extend(report.rows())
         code = exit_code_for(lookups)
         summary = {
             "scheme": args.scheme,
@@ -358,6 +395,7 @@ async def _call_fleet(
     rng: Optional[random.Random],
     policy: Optional[RetryPolicy],
 ) -> int:
+    batch = max(1, getattr(args, "batch", 1))
     router = ShardRouter(
         _parse_endpoints(args.shards),
         replicas=args.replicas,
@@ -365,17 +403,22 @@ async def _call_fleet(
         rng=rng if rng is not None else random.Random(),
         timeout=args.timeout,
         retry_policy=policy,
+        codec=getattr(args, "codec", "json"),
     )
     try:
         lookups = []
-        for _ in range(args.count):
-            routed = await router.lookup(args.scheme, args.target)
-            row = _lookup_row(routed.result)
-            row["home"] = list(routed.home)
-            row["routed"] = list(routed.routed)
-            row["contacts"] = [list(c) for c in routed.contacts]
-            row["failover"] = routed.failover
-            lookups.append(row)
+        remaining = args.count
+        while remaining > 0:
+            window = min(batch, remaining)
+            remaining -= window
+            if window == 1:
+                routed = await router.lookup(args.scheme, args.target)
+                lookups.append(_lookup_row(routed))
+            else:
+                report = await router.lookup_many(
+                    [(args.scheme, args.target)] * window
+                )
+                lookups.extend(report.rows())
         code = exit_code_for(lookups)
         summary = {
             "scheme": args.scheme,

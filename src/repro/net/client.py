@@ -18,24 +18,52 @@ purely in how effects are enacted:
 
 After a timeout the connection is re-established: the stale reply may
 still arrive on the old stream, and reconnecting is the simplest way
-to keep request/reply framing in lockstep (the wire protocol has no
-request ids by design — one in-flight request per connection).
+to keep request/reply framing in lockstep (the single-request wire
+path carries no request ids — one in-flight request per connection;
+only ``batch`` envelopes correlate by id).
+
+Typed surface: :meth:`~AsyncLookupClient.lookup` and
+:meth:`~AsyncLookupClient.lookup_many` return the frozen
+:class:`repro.net.results.LookupResult` / ``LookupReport``;
+``ping``/``info``/``verify``/``membership``/``batch`` cover the
+control ops.  Raw envelopes are a private escape hatch
+(:meth:`~AsyncLookupClient._request`); the old public ``request()``
+survives one release behind a :class:`DeprecationWarning`.
+
+Codec: ``codec="json"`` (the default) speaks exactly the legacy wire
+— no hello, byte-identical frames.  ``codec="binary"`` or ``"auto"``
+negotiates per connection via the ``hello`` op, falling back to JSON
+(and, for batches, to sequential lookups) when the peer predates the
+negotiation.
 
 Determinism: the session's RNG is supplied by the caller, so a seeded
 run contacts servers in a reproducible order even over real sockets;
 only timing (and therefore timeout-induced retries) is environmental.
+``lookup_many`` draws every session's contact order up front, in
+request order, so a seeded batch is as reproducible as a seeded loop
+of single lookups.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
+import warnings
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cluster.client import RetryPolicy
-from repro.core.result import LookupResult
-from repro.net.codec import decode_value, encode_message, read_frame, write_frame
+from repro.net.codec import (
+    CODEC_JSON,
+    SUPPORTED_CODECS,
+    decode_value,
+    encode_message,
+    pack_send_envelope,
+    read_frame,
+    write_frame,
+)
+from repro.cluster.messages import Message
+from repro.net.results import LookupReport, LookupResult
 from repro.protocol.effects import Complete, SendRequest, Sleep
 from repro.protocol.events import SLEPT, ContactFailed, Event, ReplyReceived
 from repro.protocol.lookup import LookupSession, random_order, stride_order
@@ -65,6 +93,27 @@ class ServiceInfo:
     schemes: dict[str, SchemeInfo]
 
 
+class _Conn:
+    """One pooled connection: streams plus negotiated wire state.
+
+    ``codec`` is what *we send* on this connection (the peer's replies
+    are sniffed per frame regardless).  ``caps`` is the peer's hello
+    answer — ``None`` until negotiation ran, ``{}`` for a legacy peer
+    that rejected the hello.
+    """
+
+    __slots__ = ("reader", "writer", "codec", "caps", "lock")
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.codec: str = CODEC_JSON
+        self.caps: Optional[dict[str, Any]] = None
+        self.lock = asyncio.Lock()
+
+
 class AsyncLookupClient:
     """An async client for one :class:`~repro.net.service.LookupService`.
 
@@ -82,6 +131,14 @@ class AsyncLookupClient:
     retry_policy:
         Optional :class:`~repro.cluster.client.RetryPolicy` applied to
         every lookup; backoffs are real sleeps.
+    codec:
+        ``"json"`` (default: legacy wire, no negotiation),
+        ``"binary"`` or ``"auto"`` (negotiate per connection, JSON
+        fallback).  ``"auto"`` and ``"binary"`` behave identically
+        today — both prefer binary and degrade gracefully.
+    pool_size:
+        Connections ``lookup_many`` may fan batches over.  Control
+        ops and single lookups always use the first connection.
     """
 
     def __init__(
@@ -92,34 +149,54 @@ class AsyncLookupClient:
         rng: Optional[random.Random] = None,
         timeout: float = 5.0,
         retry_policy: Optional[RetryPolicy] = None,
+        codec: str = "json",
+        pool_size: int = 1,
     ) -> None:
+        if codec not in ("json", "binary", "auto"):
+            raise ValueError(f"codec must be json, binary, or auto: {codec!r}")
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retry_policy = retry_policy
+        self.codec = codec
+        self.pool_size = pool_size
         self._rng = rng if rng is not None else random.Random()
-        self._reader: Optional[asyncio.StreamReader] = None
-        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pool: Dict[int, _Conn] = {}
         self._info: Optional[ServiceInfo] = None
 
     # -- connection management ----------------------------------------------
 
+    @property
+    def _reader(self) -> Optional[asyncio.StreamReader]:
+        conn = self._pool.get(0)
+        return None if conn is None else conn.reader
+
+    @property
+    def _writer(self) -> Optional[asyncio.StreamWriter]:
+        conn = self._pool.get(0)
+        return None if conn is None else conn.writer
+
     async def connect(self) -> None:
-        if self._writer is not None:
-            return
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
+        await self._conn(0)
+
+    async def _conn(self, index: int) -> _Conn:
+        conn = self._pool.get(index)
+        if conn is None:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            conn = _Conn(reader, writer)
+            self._pool[index] = conn
+        return conn
 
     async def close(self) -> None:
-        if self._writer is None:
-            return
-        writer, self._reader, self._writer = self._writer, None, None
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        pool, self._pool = self._pool, {}
+        for conn in pool.values():
+            conn.writer.close()
+            try:
+                await conn.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     async def __aenter__(self) -> "AsyncLookupClient":
         await self.connect()
@@ -128,23 +205,50 @@ class AsyncLookupClient:
     async def __aexit__(self, *exc: Any) -> None:
         await self.close()
 
-    async def _reconnect(self) -> None:
-        await self.close()
-        await self.connect()
+    async def _drop_conn(self, index: int) -> None:
+        conn = self._pool.pop(index, None)
+        if conn is None:
+            return
+        conn.writer.close()
+        try:
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _reconnect(self, index: int = 0) -> None:
+        await self._drop_conn(index)
+        await self._conn(index)
 
     # -- raw envelope round-trips --------------------------------------------
 
     async def request(self, envelope: dict[str, Any]) -> dict[str, Any]:
-        """One envelope round-trip, without a timeout.
+        """Deprecated raw escape hatch; use the typed methods instead."""
+        warnings.warn(
+            "AsyncLookupClient.request() is deprecated; use the typed "
+            "methods (ping/info/verify/membership/batch/lookup) or the "
+            "private _request() escape hatch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return await self._request(envelope)
+
+    async def _request(self, envelope: dict[str, Any]) -> dict[str, Any]:
+        """One envelope round-trip on the first connection, no timeout.
 
         Raises :class:`ServiceError` if the connection drops before
         the reply arrives.  Used for the control ops; data-path sends
         go through the timeout-aware path inside :meth:`lookup`.
         """
-        await self.connect()
+        conn = await self._conn(0)
+        if self.codec != "json" and conn.caps is None and envelope.get("op") != "hello":
+            await self._negotiate(conn)
+        return await self._request_on(conn, envelope)
+
+    async def _request_on(self, conn: _Conn, envelope: dict[str, Any]) -> dict[str, Any]:
         try:
-            await write_frame(self._writer, envelope)
-            reply = await read_frame(self._reader)
+            async with conn.lock:
+                await write_frame(conn.writer, envelope, codec=conn.codec)
+                reply = await read_frame(conn.reader)
         except (ConnectionError, OSError):
             # A cached connection may be stale (peer restarted); drop
             # it so the next request dials fresh instead of failing
@@ -156,15 +260,45 @@ class AsyncLookupClient:
             raise ServiceError("service closed the connection mid-request")
         return reply
 
+    async def _negotiate(self, conn: _Conn) -> None:
+        """Run the hello exchange on ``conn`` (idempotent).
+
+        A peer that answers ``bad-request`` predates negotiation:
+        record empty capabilities and keep speaking JSON — the
+        mandatory fallback — so old servers keep working unchanged.
+        """
+        if conn.caps is not None:
+            return
+        offered = (
+            list(SUPPORTED_CODECS) if self.codec in ("binary", "auto") else ["json"]
+        )
+        reply = await self._request_on(
+            conn, {"op": "hello", "codecs": offered, "batch": True}
+        )
+        if reply.get("ok"):
+            value = reply.get("value") or {}
+            conn.caps = dict(value)
+            chosen = value.get("codec")
+            if chosen in offered and chosen in SUPPORTED_CODECS:
+                conn.codec = chosen
+        elif reply.get("error") == "bad-request":
+            conn.caps = {}
+        else:
+            raise ServiceError(
+                f"hello failed: {reply.get('error')}: {reply.get('detail')}"
+            )
+
+    # -- typed control ops ----------------------------------------------------
+
     async def ping(self) -> bool:
-        reply = await self.request({"op": "ping"})
+        reply = await self._request({"op": "ping"})
         return bool(reply.get("ok"))
 
     async def info(self, refresh: bool = False) -> ServiceInfo:
         """Fetch (and cache) the service topology."""
         if self._info is not None and not refresh:
             return self._info
-        reply = await self.request({"op": "info"})
+        reply = await self._request({"op": "info"})
         if not reply.get("ok"):
             raise ServiceError(f"info failed: {reply.get('detail')}")
         value = reply["value"]
@@ -187,9 +321,38 @@ class AsyncLookupClient:
 
     async def verify(self, scheme: str) -> dict[str, Any]:
         """The service's coverage/storage invariant report for ``scheme``."""
-        reply = await self.request({"op": "verify", "key": scheme})
+        reply = await self._request({"op": "verify", "key": scheme})
         if not reply.get("ok"):
             raise ServiceError(f"verify failed: {reply.get('detail')}")
+        return reply["value"]
+
+    async def membership(self) -> dict[str, Any]:
+        """The peer's membership view (``membership`` op)."""
+        reply = await self._request({"op": "membership"})
+        if not reply.get("ok"):
+            raise ServiceError(f"membership failed: {reply.get('detail')}")
+        return reply["value"]
+
+    async def batch(
+        self, envelopes: Sequence[dict[str, Any]]
+    ) -> List[dict[str, Any]]:
+        """Submit many envelopes in one ``batch`` frame; replies in order.
+
+        The typed face of pipelining for callers composing their own
+        envelopes.  Requires a batch-capable peer (negotiated via
+        ``hello``); raises :class:`ServiceError` otherwise.
+        """
+        conn = await self._conn(0)
+        await self._negotiate(conn)
+        if not (conn.caps or {}).get("batch"):
+            raise ServiceError("peer does not support batch envelopes")
+        reply = await self._request_on(
+            conn, {"op": "batch", "requests": list(envelopes)}
+        )
+        if not reply.get("ok"):
+            raise ServiceError(
+                f"batch failed: {reply.get('error')}: {reply.get('detail')}"
+            )
         return reply["value"]
 
     # -- the lookup driver ----------------------------------------------------
@@ -207,6 +370,33 @@ class AsyncLookupClient:
             return stride_order(servers, start, order["stride"], self._rng)
         return random_order(servers, self._rng)
 
+    async def _scheme_spec(self, scheme: str) -> tuple[SchemeInfo, int]:
+        info = await self.info()
+        spec = info.schemes.get(scheme)
+        if spec is None:
+            raise ServiceError(
+                f"service does not host scheme {scheme!r} "
+                f"(hosts: {', '.join(sorted(info.schemes))})"
+            )
+        return spec, info.servers
+
+    def _session(
+        self,
+        scheme: str,
+        target: int,
+        spec: SchemeInfo,
+        servers: int,
+        retry: Optional[RetryPolicy],
+    ) -> LookupSession:
+        return LookupSession(
+            scheme,
+            target,
+            self._contact_order(spec, servers),
+            max_servers=spec.max_servers,
+            retry_policy=self.retry_policy if retry is None else retry,
+            rng=self._rng,
+        )
+
     async def lookup(
         self,
         scheme: str,
@@ -218,23 +408,10 @@ class AsyncLookupClient:
 
         Contacts real sockets but never raises on shortfall — like the
         simulated client, a short answer comes back as a labelled
-        degraded :class:`~repro.core.result.LookupResult`.
+        degraded :class:`~repro.net.results.LookupResult`.
         """
-        info = await self.info()
-        spec = info.schemes.get(scheme)
-        if spec is None:
-            raise ServiceError(
-                f"service does not host scheme {scheme!r} "
-                f"(hosts: {', '.join(sorted(info.schemes))})"
-            )
-        session = LookupSession(
-            scheme,
-            target,
-            self._contact_order(spec, info.servers),
-            max_servers=spec.max_servers,
-            retry_policy=self.retry_policy if retry is None else retry,
-            rng=self._rng,
-        )
+        spec, servers = await self._scheme_spec(scheme)
+        session = self._session(scheme, target, spec, servers, retry)
         effects = session.start()
         while True:
             event: Optional[Event] = None
@@ -245,7 +422,12 @@ class AsyncLookupClient:
                     await asyncio.sleep(effect.delay)
                     event = SLEPT
                 elif isinstance(effect, Complete):
-                    return effect.result
+                    conn = self._pool.get(0)
+                    return LookupResult.from_core(
+                        scheme,
+                        effect.result,
+                        codec=conn.codec if conn is not None else CODEC_JSON,
+                    )
             effects = session.on_event(event)
 
     async def _contact(self, effect: SendRequest) -> Event:
@@ -278,7 +460,7 @@ class AsyncLookupClient:
             "message": encode_message(request),
         }
         try:
-            reply = await asyncio.wait_for(self.request(envelope), self.timeout)
+            reply = await asyncio.wait_for(self._request(envelope), self.timeout)
         except (asyncio.TimeoutError, ConnectionError, OSError):
             # A late reply on the old stream would desync framing;
             # start the next request on a fresh connection.
@@ -287,14 +469,207 @@ class AsyncLookupClient:
             except OSError:
                 await self.close()
             return ContactFailed(sid, dropped=True)
+        return self._reply_event(sid, reply)
+
+    def _reply_event(
+        self, sid: int, reply: dict[str, Any], *, decoded: bool = False
+    ) -> Event:
+        """Map a ``send`` reply envelope to a session event.
+
+        ``decoded=True`` promises the reply came off a binary frame,
+        whose unpacker already yields live entries/messages — the
+        JSON-tag decode pass is skipped entirely.
+        """
         if reply.get("ok"):
-            return ReplyReceived(sid, decode_value(reply["value"]))
+            value = reply["value"]
+            if not decoded and not isinstance(value, Message):
+                value = decode_value(value)
+            return ReplyReceived(sid, value)
         error = reply.get("error")
         if error == "unavailable":
             return ContactFailed(sid, dropped=False)
         if error == "dropped":
             return ContactFailed(sid, dropped=True)
         raise ServiceError(f"lookup send failed: {error}: {reply.get('detail')}")
+
+    # -- batched lookups -------------------------------------------------------
+
+    async def lookup_many(
+        self,
+        scheme: str,
+        targets: Sequence[int],
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> LookupReport:
+        """Many partial lookups under ``scheme``, pipelined per round.
+
+        Every live session's next ``send`` is packed into one
+        ``batch`` frame per pooled connection and the replies are
+        correlated back by request id — so a round costs one round
+        trip per connection regardless of how many lookups ride it,
+        and a stalled or reordering peer cannot mismatch replies.
+        Results come back in request order inside a
+        :class:`~repro.net.results.LookupReport`.
+
+        Against a peer without batch support (pre-negotiation server)
+        this transparently degrades to sequential single lookups.
+        """
+        spec, servers = await self._scheme_spec(scheme)
+        conn = await self._conn(0)
+        await self._negotiate(conn)
+        if not (conn.caps or {}).get("batch"):
+            results = [
+                await self.lookup(scheme, target, retry=retry) for target in targets
+            ]
+            return LookupReport(results=tuple(results))
+        max_batch = int((conn.caps or {}).get("max_batch") or 1024)
+
+        sessions = [
+            self._session(scheme, target, spec, servers, retry)
+            for target in targets
+        ]
+        results: List[Optional[LookupResult]] = [None] * len(sessions)
+        # Per-session pending state: "send" effects waiting for this
+        # round's batch, "sleep" delays waiting for the shared timer.
+        sends: Dict[int, SendRequest] = {}
+        sleeps: Dict[int, float] = {}
+        next_id = 0
+
+        def absorb(index: int, effects: Sequence[Any]) -> None:
+            for effect in effects:
+                if isinstance(effect, SendRequest):
+                    sends[index] = effect
+                elif isinstance(effect, Sleep):
+                    sleeps[index] = effect.delay
+                elif isinstance(effect, Complete):
+                    results[index] = LookupResult.from_core(
+                        scheme, effect.result, codec=conn.codec
+                    )
+
+        for index, session in enumerate(sessions):
+            absorb(index, session.start())
+
+        while sends or sleeps:
+            if sends:
+                # Spread this round's sends across the pool, then run
+                # the per-connection batches concurrently.
+                per_conn: Dict[int, List[tuple[int, int, SendRequest]]] = {}
+                for index, effect in sends.items():
+                    request_id = next_id
+                    next_id += 1
+                    per_conn.setdefault(index % self.pool_size, []).append(
+                        (request_id, index, effect)
+                    )
+                sends = {}
+                rounds = await asyncio.gather(
+                    *(
+                        self._batch_round(conn_index, chunk, scheme, max_batch)
+                        for conn_index, chunk in per_conn.items()
+                    )
+                )
+                for events in rounds:
+                    for index, event in events:
+                        absorb(index, sessions[index].on_event(event))
+            else:
+                # Nothing on the wire: let the nearest backoff expire,
+                # crediting the wait to every other sleeper.
+                delay = min(sleeps.values())
+                await asyncio.sleep(delay)
+                due = [i for i, left in sleeps.items() if left <= delay]
+                for index in sleeps:
+                    sleeps[index] -= delay
+                for index in due:
+                    del sleeps[index]
+                    absorb(index, sessions[index].on_event(SLEPT))
+
+        return LookupReport(results=tuple(results))  # type: ignore[arg-type]
+
+    async def _batch_round(
+        self,
+        conn_index: int,
+        chunk: List[tuple[int, int, SendRequest]],
+        scheme: str,
+        max_batch: int,
+    ) -> List[tuple[int, Event]]:
+        """One batch frame round trip on one pooled connection.
+
+        Returns ``(session_index, event)`` pairs.  A timeout or broken
+        connection fails every ride-along send as dropped (the exact
+        semantics one timed-out single request has) and redials.
+        """
+        events: List[tuple[int, Event]] = []
+        for start in range(0, len(chunk), max_batch):
+            window = chunk[start : start + max_batch]
+            by_id = {
+                request_id: (index, effect)
+                for request_id, index, effect in window
+            }
+            try:
+                conn = await self._conn(conn_index)
+                if conn_index != 0:
+                    await self._negotiate(conn)
+                # A binary connection packs live Message objects
+                # natively — skip the JSON tagging round trip.
+                binary = conn.codec != CODEC_JSON
+                if binary:
+                    # Prepacked sub-envelopes: the generic encoding walk
+                    # runs once per distinct request message, not once
+                    # per (message, server) pair.
+                    requests: List[Any] = [
+                        pack_send_envelope(
+                            request_id, effect.server_id, effect.key, effect.request
+                        )
+                        for request_id, _, effect in window
+                    ]
+                else:
+                    requests = [
+                        {
+                            "op": "send",
+                            "id": request_id,
+                            "server": effect.server_id,
+                            "key": effect.key,
+                            "message": encode_message(effect.request),
+                        }
+                        for request_id, _, effect in window
+                    ]
+                reply = await asyncio.wait_for(
+                    self._request_on(conn, {"op": "batch", "requests": requests}),
+                    self.timeout,
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                try:
+                    await self._reconnect(conn_index)
+                except OSError:
+                    await self._drop_conn(conn_index)
+                for request_id, index, effect in window:
+                    events.append(
+                        (index, ContactFailed(effect.server_id, dropped=True))
+                    )
+                continue
+            if not reply.get("ok"):
+                raise ServiceError(
+                    f"batch failed: {reply.get('error')}: {reply.get('detail')}"
+                )
+            answered = set()
+            for sub in reply["value"]:
+                request_id = sub.get("id") if isinstance(sub, dict) else None
+                matched = by_id.get(request_id)
+                if matched is None or request_id in answered:
+                    continue
+                answered.add(request_id)
+                index, effect = matched
+                events.append(
+                    (
+                        index,
+                        self._reply_event(effect.server_id, sub, decoded=binary),
+                    )
+                )
+            for request_id, index, effect in window:
+                if request_id not in answered:
+                    events.append(
+                        (index, ContactFailed(effect.server_id, dropped=True))
+                    )
+        return events
 
 
 __all__ = [

@@ -29,50 +29,24 @@ from __future__ import annotations
 import asyncio
 import random
 import time
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.client import RetryPolicy
 from repro.core.exceptions import InvalidParameterError
-from repro.core.result import LookupResult
 from repro.net.client import AsyncLookupClient, SchemeInfo, ServiceError, ServiceInfo
+from repro.net.codec import CODEC_JSON
+from repro.net.results import LookupReport, LookupResult
 from repro.net.sharding import ShardMap, partial_replica
 from repro.protocol.effects import Complete, SendRequest, Sleep
 from repro.protocol.events import SLEPT, Event
 from repro.protocol.lookup import LookupSession, random_order, stride_order
 from repro.protocol.membership import ROUTABLE_STATES
 
-
-@dataclass(frozen=True)
-class RoutedLookup:
-    """One routed lookup: the result plus its shard attribution.
-
-    ``contacts`` maps the session's contact order back onto
-    ``(shard, server_id)`` pairs; ``failover`` is True when any
-    answering contact landed on a backup shard (the primary was dead,
-    skipped, or exhausted).
-    """
-
-    key: str
-    result: LookupResult
-    home: Tuple[str, ...]
-    routed: Tuple[str, ...]
-    contacts: Tuple[Tuple[str, int], ...]
-
-    @property
-    def failover(self) -> bool:
-        primary = self.home[0] if self.home else None
-        return any(shard != primary for shard, _ in self.contacts) or (
-            bool(self.home) and self.routed[:1] != (primary,)
-        )
-
-    @property
-    def degraded(self) -> bool:
-        return self.result.degraded
-
-    @property
-    def success(self) -> bool:
-        return self.result.success
+#: Deprecated alias, one release: the routed answer is now the shared
+#: :class:`repro.net.results.LookupResult` (same ``home``/``routed``/
+#: ``contacts``/``failover`` surface; the inner ``.result`` survives as
+#: a warning shim on it).
+RoutedLookup = LookupResult
 
 
 class ShardRouter:
@@ -112,6 +86,7 @@ class ShardRouter:
         retry_policy: Optional[RetryPolicy] = None,
         view_ttl: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
+        codec: str = "json",
     ) -> None:
         if not shards:
             raise InvalidParameterError("ShardRouter needs at least one shard")
@@ -122,11 +97,12 @@ class ShardRouter:
         self.map = ShardMap(list(shards), probes=probes)
         self.replicas = replicas
         self.retry_policy = retry_policy
+        self.codec = codec
         self._rng = rng if rng is not None else random.Random()
         self._clock = clock
         self._view_ttl = view_ttl
         self._clients: Dict[str, AsyncLookupClient] = {
-            name: AsyncLookupClient(host, port, timeout=timeout)
+            name: AsyncLookupClient(host, port, timeout=timeout, codec=codec)
             for name, (host, port) in sorted(shards.items())
         }
         self._view: Dict[str, str] = {}
@@ -158,12 +134,9 @@ class ShardRouter:
             return self._view
         for name, client in self._clients.items():
             try:
-                reply = await client.request({"op": "membership"})
-            except (ConnectionError, OSError):
+                value = await client.membership()
+            except (ConnectionError, OSError, ServiceError):
                 continue
-            if not reply.get("ok"):
-                continue
-            value = reply["value"]
             view = {
                 str(peer): str(state)
                 for peer, state, _incarnation in value.get("view", [])
@@ -206,7 +179,7 @@ class ShardRouter:
         target: int,
         *,
         retry: Optional[RetryPolicy] = None,
-    ) -> RoutedLookup:
+    ) -> LookupResult:
         """One partial lookup for ``target`` entries under ``key``.
 
         Contacts the key's home shards in probe order, skipping shards
@@ -261,16 +234,52 @@ class ShardRouter:
                     event = SLEPT
                 elif isinstance(effect, Complete):
                     result = effect.result
-                    return RoutedLookup(
-                        key=key,
-                        result=result,
+                    contacts = tuple(targets[i] for i in result.servers_contacted)
+                    return LookupResult.from_core(
+                        key,
+                        result,
+                        codec=self._contact_codec(contacts),
                         home=tuple(home),
                         routed=tuple(routed),
-                        contacts=tuple(
-                            targets[i] for i in result.servers_contacted
-                        ),
+                        contacts=contacts,
                     )
             effects = session.on_event(event)
+
+    def _contact_codec(self, contacts: Tuple[Tuple[str, int], ...]) -> str:
+        """The codec the first answering contact's connection speaks."""
+        for shard, _server in contacts:
+            conn = self._clients[shard]._pool.get(0)
+            if conn is not None:
+                return conn.codec
+        return CODEC_JSON
+
+    async def lookup_many(
+        self,
+        requests: Sequence[Tuple[str, int]],
+        *,
+        retry: Optional[RetryPolicy] = None,
+    ) -> LookupReport:
+        """Many ``(key, target)`` lookups, fanned out by home shard.
+
+        Requests are grouped by their key's primary home shard; the
+        groups run concurrently (one coroutine per primary, so a slow
+        or dead shard only stalls its own keys) while requests inside
+        a group run in order.  Results come back in request order in a
+        :class:`~repro.net.results.LookupReport`.
+        """
+        groups: Dict[str, List[int]] = {}
+        for index, (key, _target) in enumerate(requests):
+            primary = self.map.home(key, self.replicas)[0]
+            groups.setdefault(primary, []).append(index)
+        results: List[Optional[LookupResult]] = [None] * len(requests)
+
+        async def run_group(indices: List[int]) -> None:
+            for index in indices:
+                key, target = requests[index]
+                results[index] = await self.lookup(key, target, retry=retry)
+
+        await asyncio.gather(*(run_group(idx) for idx in groups.values()))
+        return LookupReport(results=tuple(results))  # type: ignore[arg-type]
 
     async def verify(self, key: str) -> Dict[str, Any]:
         """The ``verify`` report from the key's first reachable home shard."""

@@ -48,12 +48,17 @@ from repro.cluster.network import DROPPED, is_undelivered
 from repro.core.entry import make_entries
 from repro.core.exceptions import InvalidParameterError
 from repro.net.codec import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    SUPPORTED_CODECS,
     FrameError,
     WireError,
     decode_heartbeat,
     decode_message,
     encode_message,
     encode_value,
+    negotiate_codec,
+    pack_send_reply,
     read_frame,
     write_frame,
 )
@@ -70,6 +75,11 @@ DEFAULT_SCHEMES: dict[str, dict[str, int]] = {
     "round_robin": {"y": 2},
     "hash": {"y": 2},
 }
+
+#: Upper bound on sub-requests per ``batch`` envelope.  Large enough
+#: that a client never needs more than one frame per scheduling round,
+#: small enough that one malicious frame cannot monopolize the loop.
+MAX_BATCH = 1024
 
 
 @dataclass(frozen=True)
@@ -184,12 +194,29 @@ class LookupService:
 
     # -- envelope dispatch ---------------------------------------------------
 
-    def handle_envelope(self, envelope: dict[str, Any]) -> dict[str, Any]:
+    def handle_envelope(
+        self, envelope: dict[str, Any], *, raw: bool = False
+    ) -> dict[str, Any]:
         """Process one request envelope; returns the reply envelope.
 
         Pure dispatch — no I/O — so tests can drive the service
-        without sockets exactly as the connection loop does.
+        without sockets exactly as the connection loop does.  A
+        request ``id`` (int or str) is echoed verbatim on the reply —
+        pipelining clients correlate out-of-order responses by it.
+
+        ``raw=True`` leaves ``send`` reply values as live
+        :class:`~repro.cluster.messages.Message` objects instead of
+        JSON-tagged dicts — valid only when the reply goes out on a
+        binary connection (whose packer encodes them natively) or
+        stays in-process; the JSON encoder cannot carry them.
         """
+        reply = self._dispatch(envelope, raw)
+        request_id = envelope.get("id")
+        if isinstance(request_id, (int, str)) and not isinstance(request_id, bool):
+            reply["id"] = request_id
+        return reply
+
+    def _dispatch(self, envelope: dict[str, Any], raw: bool = False) -> dict[str, Any]:
         op = envelope.get("op")
         try:
             if op == "ping":
@@ -197,13 +224,17 @@ class LookupService:
             if op == "info":
                 return {"ok": True, "value": self.info()}
             if op == "send":
-                return self._handle_send(envelope)
+                return self._handle_send(envelope, raw)
             if op == "verify":
                 return self._handle_verify(envelope)
             if op == "heartbeat":
                 return self._handle_heartbeat(envelope)
             if op == "membership":
                 return {"ok": True, "value": self.membership_view()}
+            if op == "hello":
+                return self._handle_hello(envelope)
+            if op == "batch":
+                return self._handle_batch(envelope, raw)
             return {
                 "ok": False,
                 "error": "bad-request",
@@ -213,6 +244,90 @@ class LookupService:
             return {"ok": False, "error": "bad-request", "detail": str(exc)}
         except Exception as exc:  # noqa: BLE001 - protocol error boundary
             return {"ok": False, "error": "internal", "detail": str(exc)}
+
+    def capabilities(self) -> dict[str, Any]:
+        """What this service speaks, as advertised by ``hello``/``info``."""
+        return {
+            "codecs": list(SUPPORTED_CODECS),
+            "batch": True,
+            "max_batch": MAX_BATCH,
+        }
+
+    def _handle_hello(self, envelope: dict[str, Any]) -> dict[str, Any]:
+        offered = envelope.get("codecs")
+        if offered is not None and (
+            not isinstance(offered, list)
+            or not all(isinstance(c, str) for c in offered)
+        ):
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "detail": "codecs must be a list of codec names",
+            }
+        value = self.capabilities()
+        value["codec"] = negotiate_codec(offered)
+        return {"ok": True, "value": value}
+
+    def _handle_batch(
+        self, envelope: dict[str, Any], raw: bool = False
+    ) -> dict[str, Any]:
+        requests = envelope.get("requests")
+        if not isinstance(requests, list):
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "detail": "batch requests must be a list of envelopes",
+            }
+        if len(requests) > MAX_BATCH:
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "detail": f"batch of {len(requests)} exceeds max_batch {MAX_BATCH}",
+            }
+        replies = []
+        for sub in requests:
+            if not isinstance(sub, dict):
+                replies.append(
+                    {
+                        "ok": False,
+                        "error": "bad-request",
+                        "detail": "batch item must be an envelope dict",
+                    }
+                )
+            elif sub.get("op") == "batch":
+                replies.append(
+                    {
+                        "ok": False,
+                        "error": "bad-request",
+                        "detail": "batch envelopes do not nest",
+                    }
+                )
+            elif raw and sub.get("op") == "send":
+                # The binary-connection hot path: an ok send reply is
+                # packed to its final wire bytes right here, so the
+                # frame encoder later splices it instead of walking
+                # the reply dict again.
+                reply = self._dispatch(sub, True)
+                request_id = sub.get("id")
+                has_id = isinstance(request_id, (int, str)) and not isinstance(
+                    request_id, bool
+                )
+                if (
+                    has_id
+                    and type(request_id) is int
+                    and request_id >= 0
+                    and reply.get("ok")
+                ):
+                    replies.append(pack_send_reply(request_id, reply["value"]))
+                else:
+                    if has_id:
+                        reply["id"] = request_id
+                    replies.append(reply)
+            else:
+                # handle_envelope (not _dispatch) so each sub-reply
+                # echoes its own request id for correlation.
+                replies.append(self.handle_envelope(sub, raw=raw))
+        return {"ok": True, "value": replies}
 
     def info(self) -> dict[str, Any]:
         """The ``info`` op: topology plus per-scheme lookup profiles."""
@@ -227,6 +342,7 @@ class LookupService:
             "entries": self.config.entry_count,
             "seed": self.config.seed,
             "schemes": schemes,
+            "capabilities": self.capabilities(),
             "shard": {
                 "name": self.shard_name,
                 "index": self.config.shard_index,
@@ -264,7 +380,9 @@ class LookupService:
         reply = self.membership.on_wire_heartbeat(heartbeat)
         return {"ok": True, "value": encode_message(reply)}
 
-    def _handle_send(self, envelope: dict[str, Any]) -> dict[str, Any]:
+    def _handle_send(
+        self, envelope: dict[str, Any], raw: bool = False
+    ) -> dict[str, Any]:
         server_id = envelope["server"]
         key = envelope["key"]
         if not isinstance(server_id, int) or not 0 <= server_id < self.cluster.size:
@@ -288,7 +406,7 @@ class LookupService:
                 "error": code,
                 "detail": f"server {server_id} did not process the message",
             }
-        return {"ok": True, "value": encode_value(reply)}
+        return {"ok": True, "value": reply if raw else encode_value(reply)}
 
     def _handle_verify(self, envelope: dict[str, Any]) -> dict[str, Any]:
         key = envelope["key"]
@@ -314,19 +432,44 @@ class LookupService:
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Serve one client connection: a frame in, a frame out, repeat."""
+        """Serve one client connection: a frame in, a frame out, repeat.
+
+        Replies start out JSON-framed; after a successful ``hello``
+        negotiation this connection's replies switch to the agreed
+        codec (the hello reply itself is still sent in the codec the
+        connection was using, so the client knows the switch point).
+        """
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
+        codec = CODEC_JSON
         try:
             while True:
                 try:
                     envelope = await read_frame(reader)
+                except WireError:
+                    # The frame was well-formed but its content was
+                    # not decodable (unknown message type, bad tag
+                    # payload): the stream is still in sync, so answer
+                    # and keep serving.
+                    await write_frame(
+                        writer,
+                        {
+                            "ok": False,
+                            "error": "bad-request",
+                            "detail": "undecodable frame body",
+                        },
+                        codec=codec,
+                    )
+                    continue
                 except FrameError:
                     break
                 if envelope is None:
                     break
-                await write_frame(writer, self.handle_envelope(envelope))
+                reply = self.handle_envelope(envelope, raw=codec == CODEC_BINARY)
+                await write_frame(writer, reply, codec=codec)
+                if envelope.get("op") == "hello" and reply.get("ok"):
+                    codec = reply["value"]["codec"]
         except (ConnectionError, OSError):
             pass
         except asyncio.CancelledError:
@@ -380,4 +523,10 @@ class LookupService:
         await asyncio.gather(*connections, return_exceptions=True)
 
 
-__all__ = ["DEFAULT_SCHEMES", "LookupService", "ServiceConfig", "shard_names"]
+__all__ = [
+    "DEFAULT_SCHEMES",
+    "MAX_BATCH",
+    "LookupService",
+    "ServiceConfig",
+    "shard_names",
+]

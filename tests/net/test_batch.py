@@ -1,0 +1,277 @@
+"""Pipelined batches and codec negotiation, end to end over sockets."""
+
+import asyncio
+import random
+import time
+
+import pytest
+
+from repro.net.client import AsyncLookupClient, ServiceError
+from repro.net.codec import CODEC_BINARY, CODEC_JSON
+from repro.net.service import MAX_BATCH, LookupService, ServiceConfig
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+CONFIG = ServiceConfig(server_count=12, entry_count=30, seed=7)
+
+
+async def with_service(fn, config=CONFIG, service_cls=LookupService):
+    service = service_cls(config)
+    host, port = await service.start(port=0)
+    try:
+        return await fn(service, host, port)
+    finally:
+        await service.stop()
+
+
+class ReversingService(LookupService):
+    """A conforming-but-hostile peer: batch sub-replies arrive in
+    *reverse* request order.  Ids are echoed, so a correct client must
+    correlate by id and never by position."""
+
+    def _handle_batch(self, envelope, raw=False):
+        reply = super()._handle_batch(envelope, raw)
+        if reply.get("ok"):
+            reply["value"] = list(reversed(reply["value"]))
+        return reply
+
+
+class StallingService(LookupService):
+    """Holds every multi-item batch on a stalled handler before
+    answering it in reverse order — a slow peer draining out of
+    order, the worst case for reply correlation."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.stalls = 0
+
+    def _handle_batch(self, envelope, raw=False):
+        reply = super()._handle_batch(envelope, raw)
+        if reply.get("ok") and len(reply["value"]) > 1:
+            self.stalls += 1
+            time.sleep(0.005)
+            reply["value"] = list(reversed(reply["value"]))
+        return reply
+
+
+# --------------------------------------------------------------------------
+# Negotiation matrix
+# --------------------------------------------------------------------------
+
+
+class TestNegotiationMatrix:
+    @pytest.mark.parametrize(
+        ("client_codec", "negotiated"),
+        [
+            ("json", CODEC_JSON),  # legacy client: no hello at all
+            ("binary", CODEC_BINARY),
+            ("auto", CODEC_BINARY),
+        ],
+    )
+    def test_client_preference(self, client_codec, negotiated):
+        async def scenario(service, host, port):
+            async with AsyncLookupClient(
+                host, port, rng=random.Random(1), codec=client_codec
+            ) as client:
+                result = await client.lookup("round_robin", 6)
+                assert result.success
+                conn = await client._conn(0)
+                assert conn.codec == negotiated
+                # A second lookup on the negotiated connection.
+                assert (await client.lookup("hash", 6)).success
+
+        run(with_service(scenario))
+
+    def test_json_only_server_falls_back(self, monkeypatch):
+        # Simulate a pre-binary peer: its hello negotiation only ever
+        # answers "json".  A binary-preferring client must fall back
+        # transparently — same results, JSON frames.
+        import repro.net.service as service_mod
+
+        monkeypatch.setattr(
+            service_mod, "negotiate_codec", lambda offered: CODEC_JSON
+        )
+
+        async def scenario(service, host, port):
+            async with AsyncLookupClient(
+                host, port, rng=random.Random(1), codec="binary"
+            ) as client:
+                report = await client.lookup_many("round_robin", [6, 6, 6])
+                assert report.all_success
+                conn = await client._conn(0)
+                assert conn.codec == CODEC_JSON
+                assert (conn.caps or {}).get("batch")  # batching still on
+
+        run(with_service(scenario))
+
+    def test_hello_less_server_degrades_to_sequential(self, monkeypatch):
+        # A peer that rejects hello outright (oldest wire): the client
+        # keeps JSON and lookup_many degrades to sequential lookups.
+        original = LookupService.handle_envelope
+
+        def no_hello(self, envelope, *, raw=False):
+            if envelope.get("op") == "hello":
+                return {
+                    "ok": False,
+                    "error": "bad-request",
+                    "detail": "unknown op: hello",
+                }
+            return original(self, envelope, raw=raw)
+
+        monkeypatch.setattr(LookupService, "handle_envelope", no_hello)
+
+        async def scenario(service, host, port):
+            async with AsyncLookupClient(
+                host, port, rng=random.Random(1), codec="binary"
+            ) as client:
+                report = await client.lookup_many("round_robin", [6, 6])
+                assert report.all_success
+                conn = await client._conn(0)
+                assert conn.codec == CODEC_JSON
+
+        run(with_service(scenario))
+
+
+# --------------------------------------------------------------------------
+# Batched lookups
+# --------------------------------------------------------------------------
+
+
+class TestBatchedLookups:
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    def test_lookup_many_meets_targets(self, codec):
+        async def scenario(service, host, port):
+            async with AsyncLookupClient(
+                host, port, rng=random.Random(2), codec=codec
+            ) as client:
+                targets = [6, 1, 8, 3, 6, 8, 2, 5]
+                report = await client.lookup_many("round_robin", targets)
+                assert len(report) == len(targets)
+                assert report.all_success and report.exit_code == 0
+                universe = {f"v{i}" for i in range(1, 31)}
+                for target, result in zip(targets, report):
+                    assert len(result.entries) == target
+                    ids = [e.entry_id for e in result.entries]
+                    assert len(set(ids)) == target
+                    assert set(ids) <= universe
+
+        run(with_service(scenario))
+
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    def test_out_of_order_replies_correlate_by_id(self, codec):
+        # Distinct targets make misdelivery observable: if the client
+        # ever trusted reply order, reversed batches would hand lookup
+        # #0's answer to lookup #N and the found-counts would shuffle.
+        async def scenario(service, host, port):
+            async with AsyncLookupClient(
+                host, port, rng=random.Random(3), codec=codec
+            ) as client:
+                targets = list(range(1, 9))
+                report = await client.lookup_many("full_replication", targets)
+                assert [len(r.entries) for r in report] == targets
+                assert report.all_success
+
+        run(with_service(scenario, service_cls=ReversingService))
+
+    def test_stalled_reversing_peer(self):
+        async def scenario(service, host, port):
+            async with AsyncLookupClient(
+                host, port, rng=random.Random(4), codec="binary"
+            ) as client:
+                targets = [8, 2, 6, 4, 1, 7]
+                report = await client.lookup_many("round_robin", targets)
+                assert [len(r.entries) for r in report] == targets
+                assert service.stalls > 0  # the hostile path actually ran
+
+        run(with_service(scenario, service_cls=StallingService))
+
+    def test_single_lookup_unchanged_by_batch_support(self):
+        # lookup() and lookup_many() must agree on verdicts.
+        async def scenario(service, host, port):
+            async with AsyncLookupClient(
+                host, port, rng=random.Random(5), codec="binary"
+            ) as client:
+                one = await client.lookup("fixed", 12)  # > x=10 → degraded
+                many = await client.lookup_many("fixed", [12, 12])
+                assert one.degraded
+                assert many.exit_code == 3
+                assert all(len(r.entries) == 10 for r in many)
+
+        run(with_service(scenario))
+
+
+# --------------------------------------------------------------------------
+# The batch envelope contract
+# --------------------------------------------------------------------------
+
+
+class TestBatchEnvelope:
+    def test_id_echo_int_and_str(self):
+        service = LookupService(CONFIG)
+        reply = service.handle_envelope(
+            {
+                "op": "batch",
+                "requests": [
+                    {"op": "ping", "id": 7},
+                    {"op": "ping", "id": "alpha"},
+                    {"op": "ping"},
+                ],
+            }
+        )
+        assert reply["ok"]
+        subs = reply["value"]
+        assert subs[0]["id"] == 7
+        assert subs[1]["id"] == "alpha"
+        assert "id" not in subs[2]
+
+    def test_nested_batch_rejected(self):
+        service = LookupService(CONFIG)
+        reply = service.handle_envelope(
+            {
+                "op": "batch",
+                "requests": [{"op": "batch", "requests": []}, {"op": "ping"}],
+            }
+        )
+        assert reply["ok"]  # the batch itself succeeds...
+        subs = reply["value"]
+        assert not subs[0]["ok"]  # ...but the nested one is refused
+        assert subs[0]["error"] == "bad-request"
+        assert subs[1]["ok"]
+
+    def test_oversized_batch_rejected(self):
+        service = LookupService(CONFIG)
+        reply = service.handle_envelope(
+            {"op": "batch", "requests": [{"op": "ping"}] * (MAX_BATCH + 1)}
+        )
+        assert not reply["ok"]
+        assert reply["error"] == "bad-request"
+
+    def test_malformed_items_fail_individually(self):
+        service = LookupService(CONFIG)
+        reply = service.handle_envelope(
+            {"op": "batch", "requests": [42, {"op": "ping"}]}
+        )
+        assert reply["ok"]
+        assert not reply["value"][0]["ok"]
+        assert reply["value"][1]["ok"]
+        assert not service.handle_envelope({"op": "batch", "requests": "nope"})[
+            "ok"
+        ]
+
+    def test_client_batch_method(self):
+        async def scenario(service, host, port):
+            async with AsyncLookupClient(
+                host, port, rng=random.Random(6), codec="binary"
+            ) as client:
+                replies = await client.batch(
+                    [
+                        {"op": "ping", "id": 1},
+                        {"op": "verify", "key": "round_robin", "id": 2},
+                    ]
+                )
+                assert [r["id"] for r in replies] == [1, 2]
+                assert replies[1]["value"]["coverage"] == 30
+
+        run(with_service(scenario))

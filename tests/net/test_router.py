@@ -106,7 +106,7 @@ class TestHealthyRouting:
                 shard_map = ShardMap(list(fleet.addresses))
                 for key in sorted(fleet.services["s0"].strategies):
                     routed = await router.lookup(key, TARGET)
-                    assert routed.result.success, (key, routed)
+                    assert routed.success, (key, routed)
                     assert list(routed.home) == shard_map.home(key, REPLICAS)
                     assert routed.routed == routed.home
                     # Attribution is over home shards only.
@@ -148,7 +148,7 @@ class TestHealthyRouting:
                 view = await router.membership_view()
                 assert view == {"s0": "alive"}
                 routed = await router.lookup("hash", TARGET)
-                assert routed.result.success
+                assert routed.success
             finally:
                 await router.close()
                 await service.stop()
@@ -185,15 +185,15 @@ class TestFailover:
                 routed = await router.lookup(key, TARGET)
                 assert primary not in routed.routed
                 assert routed.failover
-                assert not routed.result.success
-                assert routed.result.degraded
+                assert not routed.success
+                assert routed.degraded
                 # The backup's partial replica answers, short but real.
                 expected = len(
                     partial_replica(key, make_entries(ENTRIES), 1, 0.25)
                 )
-                assert len(routed.result.entries) == expected
+                assert len(routed.entries) == expected
                 placed = {e.entry_id for e in make_entries(ENTRIES)}
-                assert {e.entry_id for e in routed.result.entries} <= placed
+                assert {e.entry_id for e in routed.entries} <= placed
             finally:
                 await router.close()
                 await fleet.stop()
@@ -218,7 +218,7 @@ class TestFailover:
                 await fleet.wait_view(router, victim, "dead")
                 for key in spared:
                     routed = await router.lookup(key, TARGET)
-                    assert routed.result.success, (key, routed)
+                    assert routed.success, (key, routed)
             finally:
                 await router.close()
                 await fleet.stop()
@@ -235,9 +235,9 @@ class TestFailover:
                 for name in list(fleet.services):
                     await fleet.stop_shard(name)
                 routed = await router.lookup("hash", TARGET)
-                assert len(routed.result.entries) == 0
-                assert not routed.result.success
-                assert routed.result.degraded
+                assert len(routed.entries) == 0
+                assert not routed.success
+                assert routed.degraded
             finally:
                 await router.close()
                 await fleet.stop()
@@ -255,7 +255,7 @@ class TestFailover:
                 router._view_at = router._clock()
                 routed = await router.lookup("hash", TARGET)
                 # A wrong "dead" verdict costs contacts, not data.
-                assert routed.result.success
+                assert routed.success
             finally:
                 await router.close()
                 await fleet.stop()
