@@ -14,10 +14,12 @@ never fail the check, so adding or retiring benches does not require
 lock-step baseline updates.
 
 Speedup metrics whose names encode a parallelism requirement
-(``..._jobsN``) are demoted to informational when either artifact was
-recorded with fewer than N CPUs (top-level ``cpu_count``): a 1-CPU
-runner measuring jobs=4 produces a meaningless sub-1x "speedup", and
-gating on it would fail every PR for reasons unrelated to the code.
+(``..._jobsN`` for the process-pool experiments, ``..._workersN`` for
+the serve worker fleet) are demoted to informational when either
+artifact was recorded with fewer than N CPUs (top-level
+``cpu_count``): a 1-CPU runner measuring jobs=4 or a 2-worker fleet
+produces a meaningless sub-1x "speedup", and gating on it would fail
+every PR for reasons unrelated to the code.
 
 The committed baseline (``BENCH_results.json``) is refreshed in the PR
 that changes the measured performance; see docs/performance.md.
@@ -30,9 +32,9 @@ import json
 import re
 import sys
 
-#: ``..._jobsN`` suffix on a speedup metric: the parallelism the
-#: measurement needs to be meaningful.
-JOBS_RE = re.compile(r"_jobs(\d+)")
+#: ``..._jobsN`` / ``..._workersN`` suffix on a speedup metric: the
+#: parallelism the measurement needs to be meaningful.
+JOBS_RE = re.compile(r"_(?:jobs|workers)(\d+)")
 
 
 def _load(path: str) -> dict:
@@ -98,7 +100,8 @@ def main(argv=None) -> int:
             if jobs_match and cpus < int(jobs_match.group(1)):
                 print(
                     f"      info  {name} = {now_value} (base {base_value}; "
-                    f"cpu_count {cpus} < jobs{jobs_match.group(1)}, not gated)"
+                    f"cpu_count {cpus} < {jobs_match.group(1)} "
+                    f"needed by {jobs_match.group(0).lstrip('_')}, not gated)"
                 )
                 continue
             floor = base_value * (1.0 - args.tolerance)

@@ -22,6 +22,13 @@ sequential JSON path and once with ``--codec binary --batch N``
 (pipelined batched lookups over the negotiated binary codec), which
 must produce identical summaries and exit codes.
 
+The same contract then runs against a ``serve --workers 2`` fleet
+(SO_REUSEPORT multi-process serve): every scheme answers through the
+fleet, degraded/failed exits hold, one SIGTERM to the parent tears
+down every worker (verified by pid), and the ``info.capabilities``
+cache counters show real hot-key hits — written out as a JSON
+artifact with ``--cache-stats PATH`` for CI to upload.
+
 The server is terminated with SIGTERM and must exit cleanly within
 the grace period; any leftover process is killed and reported as a
 failure.  The whole script is bounded by ``--timeout`` (default 120 s)
@@ -256,9 +263,184 @@ def check_failed_exit(ready_dir: str, deadline: float) -> None:
                 fail("shard server did not exit within 10s of SIGTERM")
 
 
+def collect_cache_stats(host: str, port: int) -> dict:
+    """Drive repeated hot-key lookups on one connection, read counters.
+
+    ``full_replication`` lookups for the whole store are the cacheable
+    hot path (no RNG sampling), so after the first round every send is
+    a cache hit on whichever process serves this connection; the
+    ``info.capabilities.cache`` block is that process's live ledger.
+    """
+    import asyncio
+
+    from repro.net.client import AsyncLookupClient
+
+    async def probe() -> dict:
+        client = AsyncLookupClient(host, port, codec="binary")
+        async with client:
+            for _ in range(12):
+                result = await client.lookup("full_replication", ENTRIES)
+                if len(result) != ENTRIES:
+                    fail(f"cache probe lookup got {len(result)}/{ENTRIES}")
+            return await client.capabilities()
+
+    caps = asyncio.run(asyncio.wait_for(probe(), timeout=30))
+    cache = caps.get("cache") or {}
+    if not cache.get("enabled"):
+        fail(f"reply cache not enabled in capabilities: {caps}")
+    if cache.get("hits", 0) <= 0:
+        fail(f"hot-key probe produced no cache hits: {cache}")
+    print(
+        f"ok cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"on worker {caps.get('workers', {}).get('index', 0)} "
+        f"(role {caps.get('workers', {}).get('role', 'single')})"
+    )
+    return caps
+
+
+def _fleet_pids(ready: str) -> list[int]:
+    with open(f"{ready}.workers", encoding="utf-8") as handle:
+        lines = [line.split() for line in handle if line.strip()]
+    return [int(pid) for _index, pid in lines]
+
+
+def _assert_fleet_gone(pids: list[int]) -> None:
+    time.sleep(0.5)
+    for pid in pids:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            continue
+        os.kill(pid, signal.SIGKILL)
+        fail(f"worker pid {pid} survived the fleet teardown")
+
+
+def check_worker_fleet(ready_dir: str, deadline: float) -> dict:
+    """The ``serve --workers 2`` leg: full exit-code contract + teardown.
+
+    Asserts 0 (every scheme serves full answers through the fleet), 3
+    (short-but-non-empty stays degraded), 4 (a lone non-home *fleet*
+    answers empty), that mutating/reading across worker processes is
+    transparent to ``repro call``, and that one SIGTERM to the parent
+    tears down every worker with a clean "[serve] stopped".
+    """
+    ready = os.path.join(ready_dir, "fleet-ready.txt")
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--workers",
+            "2",
+            "--port",
+            "0",
+            "--ready-file",
+            ready,
+            "--servers",
+            str(SERVERS),
+            "--entries",
+            str(ENTRIES),
+            "--seed",
+            str(SEED),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    caps: dict = {}
+    try:
+        host, port = wait_for_ready(ready, server, deadline)
+        pids = _fleet_pids(ready)
+        if len(pids) != 2:
+            fail(f"expected 2 worker pids in the manifest, got {pids}")
+        print(f"fleet up at {host}:{port}, workers {pids}")
+        for scheme in sorted(EXPECTED):
+            check_scheme(
+                scheme,
+                run_call(scheme, host, port, deadline, codec="binary", batch=LOOKUPS),
+                label=" [workers 2]",
+            )
+        check_degraded_exit(host, port, deadline)
+        check_degraded_exit(host, port, deadline, codec="binary", batch=LOOKUPS)
+        caps = collect_cache_stats(host, port)
+        workers = caps.get("workers") or {}
+        if workers.get("count") != 2:
+            fail(f"capabilities do not report the 2-worker fleet: {workers}")
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+            try:
+                server.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait()
+                fail("worker fleet did not exit within 15s of SIGTERM")
+    output = server.stdout.read() if server.stdout else ""
+    if server.returncode != 0:
+        fail(f"worker fleet exited {server.returncode}:\n{output}")
+    if "[serve] stopped" not in output:
+        fail(f"worker fleet did not report a clean stop:\n{output}")
+    _assert_fleet_gone(pids)
+    print("ok workers 2: fleet served all schemes and tore down cleanly")
+
+    # exit code 4 through a fleet: a lone non-home shard, 2 workers
+    ready4 = os.path.join(ready_dir, "fleet-shard-ready.txt")
+    shard = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--workers",
+            "2",
+            "--port",
+            "0",
+            "--ready-file",
+            ready4,
+            "--servers",
+            str(SERVERS),
+            "--entries",
+            str(ENTRIES),
+            "--seed",
+            str(SEED),
+            "--shard",
+            "0/3",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        host, port = wait_for_ready(ready4, shard, deadline)
+        summary = run_call(
+            "fixed", host, port, deadline, verify=False, expect=4
+        )
+        for lookup in summary["lookups"]:
+            if lookup["found"] != 0:
+                fail(f"fleet failed-exit leg answered data: {lookup}")
+        print("ok exit-code 4 [workers 2]: non-home fleet answers empty")
+    finally:
+        if shard.poll() is None:
+            shard.send_signal(signal.SIGTERM)
+            try:
+                shard.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                shard.kill()
+                shard.wait()
+                fail("sharded worker fleet did not exit within 15s of SIGTERM")
+    return caps
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument(
+        "--cache-stats",
+        default=None,
+        metavar="PATH",
+        help="write the observed cache hit-rate counters here (JSON)",
+    )
     args = parser.parse_args()
     deadline = time.monotonic() + args.timeout
 
@@ -303,6 +485,7 @@ def main() -> int:
             check_degraded_exit(host, port, deadline)
             check_degraded_exit(host, port, deadline, codec="binary", batch=LOOKUPS)
             check_failed_exit(tmpdir, deadline)
+            single_caps = collect_cache_stats(host, port)
         finally:
             if server.poll() is None:
                 server.send_signal(signal.SIGTERM)
@@ -317,6 +500,20 @@ def main() -> int:
             fail(f"server exited {server.returncode}:\n{output}")
         if "[serve] stopped" not in output:
             fail(f"server did not report a clean stop:\n{output}")
+        fleet_caps = check_worker_fleet(tmpdir, deadline)
+    if args.cache_stats:
+        with open(args.cache_stats, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "single": single_caps.get("cache"),
+                    "workers": fleet_caps.get("cache"),
+                    "fleet": fleet_caps.get("workers"),
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+        print(f"cache stats written to {args.cache_stats}")
     print("net smoke passed: all schemes served real partial lookups")
     return 0
 

@@ -14,11 +14,25 @@ fast failure-detection timings, then runs the
    quarantine and is re-admitted;
 5. recovered sweep — full answers for every key again.
 
+It then attacks the *multi-core* deployment the same way: a fresh
+single-shard ``serve --workers 3`` fleet goes through
+:func:`repro.chaos.shards.run_kill_worker_scenario` —
+
+6. healthy sweep through the worker fleet, then a mutation on one
+   connection proven visible on fresh connections (the single-writer
+   delta fan-out, end to end);
+7. SIGKILL a reader worker: lookups stay full throughout and the
+   supervisor respawns it (watched via the pid manifest);
+8. SIGKILL the writer worker: the whole ``serve`` process exits
+   non-zero — a fleet that cannot apply mutations fails loud rather
+   than serving quietly stale answers.
+
 Any invariant violation, unclean shard exit, or overall-deadline
 overrun fails the script.  The report (and each shard's output) is
 printed so a CI failure is diagnosable from the log alone.
 
 Usage: ``PYTHONPATH=src python scripts/shard_chaos_smoke.py [--timeout 120]``
+(the ``--timeout`` budget applies to each scenario separately).
 """
 
 from __future__ import annotations
@@ -28,7 +42,12 @@ import asyncio
 import json
 import sys
 
-from repro.chaos.shards import ScenarioError, ShardFleet, run_kill_shard_scenario
+from repro.chaos.shards import (
+    ScenarioError,
+    ShardFleet,
+    run_kill_shard_scenario,
+    run_kill_worker_scenario,
+)
 
 SHARDS = 3
 SERVERS = 12
@@ -39,6 +58,19 @@ SEED = 5
 #: (``round(0.25 * 30) = 8`` entries) cannot — the outage sweep is
 #: then *provably* degraded rather than accidentally full.
 TARGET = 10
+
+
+#: Worker processes in the kill-a-worker fleet: one writer plus two
+#: readers, so killing a reader leaves a second one serving.
+WORKERS = 3
+
+
+def _dump_fleet_output(fleet: ShardFleet) -> None:
+    for name, process in fleet.processes.items():
+        if process.poll() is None:
+            continue
+        output = process.stdout.read() if process.stdout else ""
+        print(f"--- {name} (exited {process.returncode}) ---\n{output}")
 
 
 def main() -> int:
@@ -60,11 +92,7 @@ def main() -> int:
         )
     except (ScenarioError, asyncio.TimeoutError) as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
-        for name, process in fleet.processes.items():
-            if process.poll() is None:
-                continue
-            output = process.stdout.read() if process.stdout else ""
-            print(f"--- {name} (exited {process.returncode}) ---\n{output}")
+        _dump_fleet_output(fleet)
         fleet.stop_all()
         return 1
     fleet.stop_all()
@@ -73,6 +101,38 @@ def main() -> int:
         f"shard chaos smoke passed: killed {report['victim']} "
         f"(primary for {', '.join(report['victim_keys'])}), lookups degraded "
         f"gracefully, fleet recovered after rejoin"
+    )
+
+    worker_fleet = ShardFleet(
+        shard_count=1,
+        servers=SERVERS,
+        entries=ENTRIES,
+        seed=SEED,
+        workers=WORKERS,
+    )
+    try:
+        worker_fleet.start()
+        print(f"worker fleet up: {worker_fleet.addresses} ({WORKERS} workers)")
+        worker_report = asyncio.run(
+            asyncio.wait_for(
+                run_kill_worker_scenario(worker_fleet, target=TARGET),
+                timeout=args.timeout,
+            )
+        )
+    except (ScenarioError, asyncio.TimeoutError) as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        _dump_fleet_output(worker_fleet)
+        worker_fleet.stop_all()
+        return 1
+    worker_fleet.stop_all()
+    print(json.dumps(worker_report, indent=2, sort_keys=True))
+    respawn = worker_report["reader_respawn"]
+    print(
+        f"worker chaos smoke passed: mutation fanned out to every worker, "
+        f"reader {respawn['index']} (pid {respawn['killed_pid']}) respawned "
+        f"as pid {respawn['respawned_pid']} with lookups full throughout, "
+        f"writer kill exited the fleet with code "
+        f"{worker_report['writer_kill']['parent_exit']}"
     )
     return 0
 

@@ -37,6 +37,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import contextlib
+
+from repro.cluster.messages import AddRequest, LookupRequest
+from repro.core.entry import Entry
+from repro.net.client import AsyncLookupClient
+from repro.net.codec import decode_value, encode_message, read_frame, write_frame
 from repro.net.router import ShardRouter
 from repro.net.sharding import ShardMap
 
@@ -86,6 +92,11 @@ class ShardFleet:
     backup_fraction: float = 0.25
     timings: Dict[str, float] = field(default_factory=lambda: dict(FAST_TIMINGS))
     host: str = "127.0.0.1"
+    #: Worker processes per shard (``serve --workers N``).  The CLI
+    #: rejects ``--workers`` + ``--peers``, so a multi-worker fleet is
+    #: only valid with ``shard_count == 1`` (one fleet, no membership
+    #: plane) — that is the shape ``run_kill_worker_scenario`` attacks.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         ports = free_ports(self.shard_count)
@@ -124,16 +135,24 @@ class ShardFleet:
             "--entries", str(self.entries),
             "--seed", str(self.seed),
             "--shard", f"{index}/{self.shard_count}",
-            "--peers", self._peer_flag(name),
             "--replicas", str(self.replicas),
             "--backup-fraction", str(self.backup_fraction),
-            "--incarnation", str(self.incarnations[name]),
-            "--heartbeat-interval", str(self.timings["heartbeat_interval"]),
-            "--suspect-after", str(self.timings["suspect_after"]),
-            "--dead-after", str(self.timings["dead_after"]),
-            "--quarantine", str(self.timings["quarantine"]),
             "--ready-file", ready,
         ]
+        if self.workers > 1:
+            command += ["--workers", str(self.workers)]
+        if self.shard_count > 1:
+            # The membership plane is one process per shard; a worker
+            # fleet (workers > 1) runs without it (the CLI enforces
+            # the combination is rejected).
+            command += [
+                "--peers", self._peer_flag(name),
+                "--incarnation", str(self.incarnations[name]),
+                "--heartbeat-interval", str(self.timings["heartbeat_interval"]),
+                "--suspect-after", str(self.timings["suspect_after"]),
+                "--dead-after", str(self.timings["dead_after"]),
+                "--quarantine", str(self.timings["quarantine"]),
+            ]
         process = subprocess.Popen(
             command,
             stdout=subprocess.PIPE,
@@ -167,6 +186,23 @@ class ShardFleet:
         """Boot a fresh incarnation of a killed shard on the same port."""
         self.incarnations[name] += 1
         self.spawn(name)
+
+    def worker_manifest(self, name: str) -> Dict[int, int]:
+        """The worker pid manifest (``index -> pid``) for shard ``name``.
+
+        ``serve --workers N`` maintains ``<ready-file>.workers`` with
+        one ``index pid`` line per live worker and rewrites it on
+        every respawn; this is how an external supervisor (or a chaos
+        scenario) finds a specific worker to kill and observes its
+        replacement arrive.
+        """
+        path = os.path.join(self._tmpdir.name, f"{name}.ready.workers")
+        pids: Dict[int, int] = {}
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                index_text, pid_text = line.split()
+                pids[int(index_text)] = int(pid_text)
+        return pids
 
     def stop_all(self) -> None:
         for process in self.processes.values():
@@ -347,10 +383,258 @@ async def run_kill_shard_scenario(
     return report
 
 
+# --------------------------------------------------------------------------
+# Kill-a-worker: attack the multi-core fleet instead of the shard plane
+# --------------------------------------------------------------------------
+
+
+async def _worker_sweep(
+    host: str,
+    port: int,
+    keys: List[str],
+    target: int,
+    *,
+    rng_seed: int,
+    attempts: int = 4,
+) -> Dict[str, Dict[str, object]]:
+    """One lookup per key, each on a *fresh* connection.
+
+    Fresh connections matter: SO_REUSEPORT distributes connections
+    across workers, so a sweep exercises more than one process.  A
+    connection refused/reset during a kill window is retried (the
+    kernel stops routing to a dead worker as soon as its listening
+    socket closes); a *reply* that is short is never retried — that
+    would hide a correctness bug behind the chaos.
+    """
+    rows: Dict[str, Dict[str, object]] = {}
+    for attempt_key in keys:
+        last: Optional[BaseException] = None
+        for attempt in range(attempts):
+            try:
+                async with AsyncLookupClient(
+                    host, port, rng=random.Random(rng_seed), timeout=5.0
+                ) as client:
+                    result = await client.lookup(attempt_key, target)
+                break
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                last = exc
+                await asyncio.sleep(0.25)
+        else:
+            raise ScenarioError(
+                f"{attempt_key}: fleet unreachable after {attempts} attempts: {last}"
+            )
+        rows[attempt_key] = {
+            "found": len(result.entries),
+            "target": target,
+            "success": result.success,
+            "degraded": result.degraded,
+            "entries": sorted(e.entry_id for e in result.entries),
+        }
+    return rows
+
+
+async def _raw_send(
+    host: str, port: int, server: int, key: str, message: object
+) -> Dict[str, object]:
+    """One ``send`` envelope on a throwaway JSON connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_frame(
+            writer,
+            {
+                "op": "send",
+                "server": server,
+                "key": key,
+                "message": encode_message(message),
+            },
+        )
+        reply = await asyncio.wait_for(read_frame(reader), 5.0)
+    finally:
+        writer.close()
+        with contextlib.suppress(OSError):
+            await writer.wait_closed()
+    if not (isinstance(reply, dict) and reply.get("ok")):
+        raise ScenarioError(f"send({key}, server {server}) failed: {reply!r}")
+    return reply
+
+
+async def _entry_visible(
+    host: str, port: int, entry_id: str, *, key: str, server: int
+) -> bool:
+    reply = await _raw_send(host, port, server, key, LookupRequest(0))
+    entries = decode_value(reply["value"])
+    return entry_id in {entry.entry_id for entry in entries}
+
+
+async def _await_entry_everywhere(
+    host: str,
+    port: int,
+    entry_id: str,
+    *,
+    key: str,
+    server: int,
+    connections: int,
+    deadline: float,
+) -> int:
+    """Wait until ``connections`` fresh connections in a row all see the entry.
+
+    Each probe connection may land on any worker, so a full round of
+    unanimous sightings is strong evidence the writer's delta reached
+    every reader — and a single miss restarts the round (a reader may
+    lag by one delta in flight, never serve a *stale cached* answer).
+    """
+    probes = 0
+    while time.monotonic() < deadline:
+        seen = 0
+        for _ in range(connections):
+            probes += 1
+            if not await _entry_visible(
+                host, port, entry_id, key=key, server=server
+            ):
+                break
+            seen += 1
+        if seen == connections:
+            return probes
+        await asyncio.sleep(0.1)
+    raise ScenarioError(
+        f"entry {entry_id!r} never became visible on {connections} "
+        f"consecutive fresh connections"
+    )
+
+
+def _await_respawn(
+    fleet: ShardFleet, name: str, index: int, old_pid: int, deadline: float
+) -> int:
+    while time.monotonic() < deadline:
+        try:
+            manifest = fleet.worker_manifest(name)
+        except (OSError, ValueError):
+            manifest = {}
+        fresh = manifest.get(index)
+        if fresh is not None and fresh != old_pid:
+            return fresh
+        time.sleep(0.05)
+    raise ScenarioError(
+        f"worker {index} (pid {old_pid}) was never respawned"
+    )
+
+
+async def run_kill_worker_scenario(
+    fleet: ShardFleet,
+    *,
+    target: int = 10,
+    rng_seed: int = 17,
+    probe_connections: int = 6,
+) -> Dict[str, object]:
+    """Kill a reader worker (fleet survives), then the writer (fails loud).
+
+    The fleet must be a single-shard ``workers >= 2`` deployment,
+    already started.  Phases:
+
+    1. healthy sweep — every scheme key meets its target through the
+       worker fleet;
+    2. a mutation sent over one connection becomes visible on fresh
+       connections (i.e. on *other* workers: the single-writer delta
+       fan-out works end to end);
+    3. SIGKILL a reader worker — the fleet keeps answering in full and
+       the supervisor respawns the reader (observed via the pid
+       manifest);
+    4. SIGKILL worker 0 (the writer) — the supervisor refuses to limp
+       along without a mutation path and the whole ``serve`` process
+       exits non-zero (fail loud, never fail stale).
+
+    Returns a report dict; raises :class:`ScenarioError` on any
+    violation.  After this scenario the fleet process has exited — the
+    caller's ``stop_all`` becomes a no-op cleanup.
+    """
+    from repro.net.service import DEFAULT_SCHEMES
+
+    if fleet.shard_count != 1 or fleet.workers < 2:
+        raise ScenarioError(
+            "run_kill_worker_scenario wants shard_count=1 and workers>=2, "
+            f"got {fleet.shard_count}/{fleet.workers}"
+        )
+    (name,) = fleet.addresses
+    host, port = fleet.addresses[name]
+    process = fleet.processes[name]
+    keys = sorted(DEFAULT_SCHEMES)
+    manifest = fleet.worker_manifest(name)
+    if sorted(manifest) != list(range(fleet.workers)):
+        raise ScenarioError(f"unexpected worker manifest: {manifest}")
+    report: Dict[str, object] = {"workers": dict(manifest)}
+
+    # Phase 1: healthy sweep through the fleet.
+    healthy = await _worker_sweep(host, port, keys, target, rng_seed=rng_seed)
+    report["healthy"] = healthy
+    for key, row in healthy.items():
+        if not row["success"]:
+            raise ScenarioError(f"healthy fleet missed target for {key}: {row}")
+
+    # Phase 2: a mutation fans out to every worker.  ``w1`` is outside
+    # the seeded v1..vN universe, so a sighting can only come from the
+    # mutation itself.
+    mutation_key = "full_replication"
+    await _raw_send(host, port, 0, mutation_key, AddRequest(Entry("w1")))
+    probes = await _await_entry_everywhere(
+        host,
+        port,
+        "w1",
+        key=mutation_key,
+        server=0,
+        connections=probe_connections,
+        deadline=time.monotonic() + 15,
+    )
+    report["mutation"] = {"entry": "w1", "key": mutation_key, "probes": probes}
+
+    # Phase 3: SIGKILL the highest-index reader; the fleet keeps
+    # answering and the supervisor brings a replacement up.
+    reader_index = max(manifest)
+    reader_pid = manifest[reader_index]
+    os.kill(reader_pid, signal.SIGKILL)
+    during = await _worker_sweep(host, port, keys, target, rng_seed=rng_seed + 1)
+    report["during_reader_kill"] = during
+    for key, row in during.items():
+        if not row["success"]:
+            raise ScenarioError(
+                f"{key}: lookup went short while a reader was down: {row}"
+            )
+    respawned_pid = _await_respawn(
+        fleet, name, reader_index, reader_pid, time.monotonic() + 20
+    )
+    report["reader_respawn"] = {
+        "index": reader_index,
+        "killed_pid": reader_pid,
+        "respawned_pid": respawned_pid,
+    }
+    recovered = await _worker_sweep(host, port, keys, target, rng_seed=rng_seed + 2)
+    report["after_respawn"] = recovered
+    for key, row in recovered.items():
+        if not row["success"]:
+            raise ScenarioError(f"{key}: short lookup after reader respawn: {row}")
+
+    # Phase 4: SIGKILL the writer; the whole fleet must fail loud.
+    writer_pid = fleet.worker_manifest(name)[0]
+    os.kill(writer_pid, signal.SIGKILL)
+    try:
+        returncode = process.wait(timeout=20)
+    except subprocess.TimeoutExpired:
+        raise ScenarioError(
+            "fleet parent kept running after the writer worker died"
+        ) from None
+    if returncode == 0:
+        raise ScenarioError(
+            "fleet parent exited 0 after losing the writer — a mutation "
+            "blackout must be loud"
+        )
+    report["writer_kill"] = {"pid": writer_pid, "parent_exit": returncode}
+    return report
+
+
 __all__ = [
     "FAST_TIMINGS",
     "ScenarioError",
     "ShardFleet",
     "free_ports",
     "run_kill_shard_scenario",
+    "run_kill_worker_scenario",
 ]

@@ -15,6 +15,14 @@ This package is the second driver for the protocol state machines in
 - :mod:`repro.net.service` — an asyncio server hosting a cluster's
   :class:`~repro.protocol.server.ServerProtocol` instances behind one
   listening socket.
+- :mod:`repro.net.cache` — the hot-key reply cache: an epoch-
+  invalidated LRU of fully packed lookup replies for the RNG-free
+  lookup shapes (cache-on and cache-off services are byte-identical
+  on the wire).
+- :mod:`repro.net.workers` — the multi-core worker fleet behind
+  ``serve --workers N``: SO_REUSEPORT acceptors, a single writer
+  applying every mutation, and an epoch-stamped delta log fanning
+  state out to the readers.
 - :mod:`repro.net.client` — an async client that drives
   :class:`~repro.protocol.lookup.LookupSession` with real request
   timeouts and real ``asyncio.sleep`` backoffs.
@@ -50,12 +58,14 @@ from repro.net.codec import (
     read_frame,
     write_frame,
 )
+from repro.net.cache import ReplyCache
 from repro.net.client import AsyncLookupClient, ServiceError, ServiceInfo
 from repro.net.results import LookupReport, LookupResult
 from repro.net.sharding import ShardMap, partial_replica
 from repro.net.service import LookupService, ServiceConfig, shard_names
 from repro.net.membership import MembershipPump
-from repro.net.router import RoutedLookup, ShardRouter
+from repro.net.router import ShardRouter
+from repro.net.workers import run_worker_fleet
 
 __all__ = [
     "AsyncLookupClient",
@@ -66,7 +76,7 @@ __all__ = [
     "LookupResult",
     "LookupService",
     "MembershipPump",
-    "RoutedLookup",
+    "ReplyCache",
     "ServiceConfig",
     "ServiceError",
     "ServiceInfo",
@@ -84,5 +94,6 @@ __all__ = [
     "encode_message",
     "encode_value",
     "read_frame",
+    "run_worker_fleet",
     "write_frame",
 ]

@@ -1,0 +1,156 @@
+"""Hot-key reply cache: packed lookup replies, epoch-invalidated.
+
+Production lookup traffic is Zipf-shaped: a handful of hot keys absorb
+most requests, and the service re-runs the same deterministic
+per-server answer — and re-encodes the same reply bytes — for every
+one of them.  :class:`ReplyCache` short-circuits that path: it is an
+LRU keyed by ``(codec, opcode, scheme key, server id, options
+fingerprint)`` whose values are the *fully materialised* reply
+payloads — a :class:`~repro.net.codec.Prepacked` splice value on the
+binary path (so a hit costs one memcpy when the frame is packed) or
+the already-JSON-encoded value object on the JSON path (so a hit skips
+``encode_value`` entirely).
+
+Soundness comes from two rules enforced by the service, not here:
+
+1. **Only deterministic replies are cached.**  A per-server lookup
+   answer consumes the cluster RNG only when ``0 < target < |store|``
+   (:meth:`EntryStore.sample <repro.cluster.server.EntryStore.sample>`
+   short-circuits to the full local list otherwise).  The service only
+   caches the RNG-free case, so a cache-enabled service draws exactly
+   the same RNG stream as a cache-disabled one and every reply —
+   cached or not — is byte-identical between the two.
+2. **Mutations invalidate before they answer.**  The service keeps a
+   per-scheme mutation epoch; every add/delete/place bumps it (and
+   eagerly drops that scheme's entries here) *before* the mutating
+   reply is sent.  Cached entries are stamped with the epoch they were
+   filled under and :meth:`get` refuses a stale stamp, so a reader can
+   never observe a pre-mutation answer after the mutation's reply.
+
+The counters (hits / misses / evictions / invalidations) are plain
+ints so the hot path stays cheap; :meth:`publish` mirrors them into a
+:class:`~repro.obs.metrics.MetricsRegistry` with the same idempotent
+``set_to`` ledger convention :class:`~repro.cluster.network
+.MessageStats` uses, and :meth:`snapshot` returns them for the
+``info.capabilities`` wire surface.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.core.exceptions import InvalidParameterError
+
+#: Default per-process capacity; small enough that a full cache of
+#: ~kB replies stays in the tens of MB, large enough to cover a hot
+#: set of (scheme x server x target) combinations many times over.
+DEFAULT_CAPACITY = 1024
+
+
+class ReplyCache:
+    """A size-bounded LRU of packed lookup replies with epoch stamps.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident entries; the least-recently-used entry is
+        evicted on overflow.  Must be positive (a disabled cache is
+        represented by *no* cache, not a zero-capacity one).
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "invalidations", "_entries")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        #: key -> (epoch stamp, packed payload); insertion order is
+        #: recency order (MRU at the end).
+        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, epoch: int) -> Optional[Any]:
+        """The payload cached under ``key`` at ``epoch``, or None.
+
+        An entry stamped with a different epoch is dropped on sight —
+        the eager :meth:`invalidate` already counted its demise when
+        the mutation ran, so a stale hit here only counts as a miss.
+        """
+        slot = self._entries.get(key)
+        if slot is None:
+            self.misses += 1
+            return None
+        stamped, payload = slot
+        if stamped != epoch:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def put(self, key: Hashable, epoch: int, payload: Any) -> None:
+        """Remember ``payload`` for ``key`` as of ``epoch`` (MRU)."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = (epoch, payload)
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, scheme_key: str) -> int:
+        """Drop every cached reply for ``scheme_key``; returns the count.
+
+        Cache keys carry the scheme key at index 2 (see the service's
+        ``_cache_slot``); anything else shaped differently is left
+        alone.  Called by the service on every mutation, *before* the
+        mutating reply is sent.
+        """
+        doomed = [
+            key
+            for key in self._entries
+            if isinstance(key, tuple) and len(key) > 2 and key[2] == scheme_key
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything (e.g. after a full store resync)."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += dropped
+        return dropped
+
+    def snapshot(self) -> Dict[str, int]:
+        """The counters + occupancy, as published in ``info.capabilities``."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def publish(self, metrics: Any, prefix: str = "net.cache") -> None:
+        """Mirror the counters into ``metrics`` (idempotent ``set_to``)."""
+        metrics.counter(f"{prefix}.hits").set_to(self.hits)
+        metrics.counter(f"{prefix}.misses").set_to(self.misses)
+        metrics.counter(f"{prefix}.evictions").set_to(self.evictions)
+        metrics.counter(f"{prefix}.invalidations").set_to(self.invalidations)
+        metrics.gauge(f"{prefix}.size").set(len(self._entries))
+
+
+__all__ = ["DEFAULT_CAPACITY", "ReplyCache"]

@@ -44,10 +44,12 @@ from typing import Dict, Optional, Tuple
 
 from repro.cluster.client import RetryPolicy
 from repro.core.exceptions import InvalidParameterError
+from repro.net.cache import DEFAULT_CAPACITY as DEFAULT_CACHE_CAPACITY
 from repro.net.client import AsyncLookupClient, ServiceError
 from repro.net.membership import MembershipPump
 from repro.net.router import ShardRouter
 from repro.net.service import DEFAULT_SCHEMES, LookupService, ServiceConfig
+from repro.net.workers import run_worker_fleet
 from repro.protocol.membership import MembershipConfig
 
 #: ``call`` exit code: some lookup was short but non-empty.
@@ -116,6 +118,29 @@ def add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
         "--uvloop",
         action="store_true",
         help="run on uvloop when installed (falls back to asyncio)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fork N worker processes accepting on one port "
+            "(SO_REUSEPORT; worker 0 applies all mutations)"
+        ),
+    )
+    cache = parser.add_argument_group("reply cache")
+    cache.add_argument(
+        "--cache-size",
+        type=int,
+        default=DEFAULT_CACHE_CAPACITY,
+        metavar="N",
+        help="hot-key reply cache capacity per process (0 disables)",
+    )
+    cache.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the hot-key reply cache (same as --cache-size 0)",
     )
     shard = parser.add_argument_group("sharding")
     shard.add_argument(
@@ -232,8 +257,42 @@ def add_call_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.set_defaults(handler=cmd_call)
 
 
+def _config_from_args(args: argparse.Namespace) -> ServiceConfig:
+    shard_index, shard_count = _parse_shard(args.shard)
+    cache_size = 0 if getattr(args, "no_cache", False) else args.cache_size
+    return ServiceConfig(
+        server_count=args.servers,
+        entry_count=args.entries,
+        seed=args.seed,
+        shard_index=shard_index,
+        shard_count=shard_count,
+        replicas=args.replicas,
+        backup_fraction=args.backup_fraction,
+        probes=args.probes,
+        cache_size=cache_size,
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the service until SIGINT/SIGTERM."""
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        raise InvalidParameterError(f"--workers must be >= 1, got {workers}")
+    if workers > 1:
+        if args.peers is not None:
+            # Readers would heartbeat through stale per-process views;
+            # the membership plane stays a one-process-per-shard affair.
+            raise InvalidParameterError(
+                "--workers does not combine with --peers; run one worker "
+                "fleet per shard without the membership plane"
+            )
+        return run_worker_fleet(
+            _config_from_args(args),
+            host=args.host,
+            port=args.port,
+            workers=workers,
+            ready_file=args.ready_file,
+        )
     if getattr(args, "uvloop", False):
         try:
             import uvloop  # noqa: PLC0415 - optional accelerator
@@ -250,17 +309,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 async def _serve_async(args: argparse.Namespace) -> int:
-    shard_index, shard_count = _parse_shard(args.shard)
-    config = ServiceConfig(
-        server_count=args.servers,
-        entry_count=args.entries,
-        seed=args.seed,
-        shard_index=shard_index,
-        shard_count=shard_count,
-        replicas=args.replicas,
-        backup_fraction=args.backup_fraction,
-        probes=args.probes,
-    )
+    config = _config_from_args(args)
+    shard_count = config.shard_count
     service = LookupService(config)
     pump: Optional[MembershipPump] = None
     if args.peers is not None:

@@ -25,10 +25,11 @@ only ``batch`` envelopes correlate by id).
 Typed surface: :meth:`~AsyncLookupClient.lookup` and
 :meth:`~AsyncLookupClient.lookup_many` return the frozen
 :class:`repro.net.results.LookupResult` / ``LookupReport``;
-``ping``/``info``/``verify``/``membership``/``batch`` cover the
-control ops.  Raw envelopes are a private escape hatch
+``ping``/``info``/``verify``/``capabilities``/``membership``/``batch``
+cover the control ops.  Raw envelopes are a private escape hatch
 (:meth:`~AsyncLookupClient._request`); the old public ``request()``
-survives one release behind a :class:`DeprecationWarning`.
+shim is gone — calling it raises :class:`AttributeError` with a
+migration hint.
 
 Codec: ``codec="json"`` (the default) speaks exactly the legacy wire
 — no hello, byte-identical frames.  ``codec="binary"`` or ``"auto"``
@@ -48,7 +49,6 @@ from __future__ import annotations
 
 import asyncio
 import random
-import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -221,16 +221,16 @@ class AsyncLookupClient:
 
     # -- raw envelope round-trips --------------------------------------------
 
-    async def request(self, envelope: dict[str, Any]) -> dict[str, Any]:
-        """Deprecated raw escape hatch; use the typed methods instead."""
-        warnings.warn(
-            "AsyncLookupClient.request() is deprecated; use the typed "
-            "methods (ping/info/verify/membership/batch/lookup) or the "
-            "private _request() escape hatch",
-            DeprecationWarning,
-            stacklevel=2,
+    def __getattr__(self, name: str) -> Any:
+        if name == "request":
+            raise AttributeError(
+                "AsyncLookupClient.request() was removed; use the typed "
+                "methods (ping/info/verify/capabilities/membership/batch/"
+                "lookup/lookup_many) or the private _request() escape hatch"
+            )
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
         )
-        return await self._request(envelope)
 
     async def _request(self, envelope: dict[str, Any]) -> dict[str, Any]:
         """One envelope round-trip on the first connection, no timeout.
@@ -293,6 +293,19 @@ class AsyncLookupClient:
     async def ping(self) -> bool:
         reply = await self._request({"op": "ping"})
         return bool(reply.get("ok"))
+
+    async def capabilities(self) -> dict[str, Any]:
+        """The service's live capability block (codecs, cache, workers).
+
+        Fetched fresh on every call — the ``cache`` sub-dict carries
+        live hit/miss counters and the ``workers`` sub-dict identifies
+        which fleet process answered this connection, both of which go
+        stale the moment they are read.
+        """
+        reply = await self._request({"op": "info"})
+        if not reply.get("ok"):
+            raise ServiceError(f"info failed: {reply.get('detail')}")
+        return dict(reply["value"].get("capabilities") or {})
 
     async def info(self, refresh: bool = False) -> ServiceInfo:
         """Fetch (and cache) the service topology."""

@@ -15,16 +15,16 @@ This module is the one public answer shape for the network data path:
   ``lookup_many``; owns the batch-level verdicts (``all_success``,
   ``exit_code``) so scripts stop re-deriving them.
 
-Migration: the pre-redesign surfaces live on as one-release shims.
-``result["entries"]`` (the old row-dict access) and ``.result`` (the
-old ``RoutedLookup`` inner core result) still work but raise
-:class:`DeprecationWarning`; ``as_row()`` is the supported way to get
-the CLI's JSON row.
+Migration: the pre-redesign surfaces (``result["entries"]`` row-dict
+indexing, the old ``RoutedLookup``-era ``.result`` inner object) had
+a one-release :class:`DeprecationWarning` grace period and are now
+gone — both raise with a hint naming the replacement.  ``as_row()``
+is the supported way to get the CLI's JSON row and ``core()`` the
+simulator's core result.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Tuple
 
@@ -175,27 +175,26 @@ class LookupResult:
             row["failover"] = self.failover
         return row
 
-    # -- one-release migration shims -----------------------------------------
+    # -- removed migration shims ---------------------------------------------
 
     def __getitem__(self, key: str) -> Any:
-        warnings.warn(
-            "indexing a net LookupResult like a row dict is deprecated; "
-            "use the typed attributes or as_row()",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "indexing a net LookupResult like a row dict was removed; "
+            "use the typed attributes or as_row()[...] for the CLI row "
+            "shape"
         )
-        return self.as_row()[key]
 
-    @property
-    def result(self) -> CoreLookupResult:
-        """The old ``RoutedLookup.result`` inner object (deprecated)."""
-        warnings.warn(
-            ".result is deprecated: the net LookupResult carries the "
-            "core result's fields directly",
-            DeprecationWarning,
-            stacklevel=2,
+    def __getattr__(self, name: str) -> Any:
+        if name == "result":
+            raise AttributeError(
+                "LookupResult.result was removed; the net LookupResult "
+                "carries the core result's fields directly — use the "
+                "typed attributes, or core() for the simulator's "
+                "LookupResult"
+            )
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
         )
-        return self.core()
 
     def core(self) -> CoreLookupResult:
         """This result as the simulator's core :class:`LookupResult`."""

@@ -42,13 +42,6 @@ from repro.protocol.events import SLEPT, Event
 from repro.protocol.lookup import LookupSession, random_order, stride_order
 from repro.protocol.membership import ROUTABLE_STATES
 
-#: Deprecated alias, one release: the routed answer is now the shared
-#: :class:`repro.net.results.LookupResult` (same ``home``/``routed``/
-#: ``contacts``/``failover`` surface; the inner ``.result`` survives as
-#: a warning shim on it).
-RoutedLookup = LookupResult
-
-
 class ShardRouter:
     """A lookup client for a sharded deployment.
 
@@ -293,7 +286,6 @@ class ShardRouter:
 
 
 __all__ = [
-    "RoutedLookup",
     "ShardMap",
     "ShardRouter",
     "partial_replica",

@@ -44,14 +44,17 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.messages import LookupRequest, Message, MessageCategory
 from repro.cluster.network import DROPPED, is_undelivered
 from repro.core.entry import make_entries
 from repro.core.exceptions import InvalidParameterError
+from repro.net.cache import DEFAULT_CAPACITY, ReplyCache
 from repro.net.codec import (
     CODEC_BINARY,
     CODEC_JSON,
     SUPPORTED_CODECS,
     FrameError,
+    Prepacked,
     WireError,
     decode_heartbeat,
     decode_message,
@@ -59,10 +62,12 @@ from repro.net.codec import (
     encode_value,
     negotiate_codec,
     pack_send_reply,
+    pack_value_bytes,
     read_frame,
     write_frame,
 )
 from repro.net.sharding import ShardMap, partial_replica
+from repro.obs.metrics import MetricsRegistry
 from repro.strategies.base import LookupProfile, PlacementStrategy
 from repro.strategies.registry import create_strategy
 
@@ -107,8 +112,14 @@ class ServiceConfig:
     replicas: int = 2
     backup_fraction: float = 0.25
     probes: int = 21
+    #: Hot-key reply cache capacity (entries); 0 disables the cache.
+    cache_size: int = DEFAULT_CAPACITY
 
     def __post_init__(self) -> None:
+        if self.cache_size < 0:
+            raise InvalidParameterError(
+                f"cache_size must be >= 0, got {self.cache_size}"
+            )
         if self.shard_count < 1:
             raise InvalidParameterError(
                 f"shard_count must be >= 1, got {self.shard_count}"
@@ -127,6 +138,26 @@ class ServiceConfig:
 def shard_names(count: int) -> list[str]:
     """The canonical shard names for an ``N``-shard fleet: s0..s{N-1}."""
     return [f"s{i}" for i in range(count)]
+
+
+def envelope_mutates(envelope: dict[str, Any]) -> bool:
+    """Whether this request envelope can change cluster state.
+
+    Only ``send`` envelopes carrying a non-lookup message mutate (all
+    other ops are reads or control plane).  Works on both wire forms
+    of the message — the JSON tagged dict and the live
+    :class:`~repro.cluster.messages.Message` a binary frame decodes
+    to — without paying for a full decode.  Malformed envelopes are
+    classified as non-mutating so local dispatch produces the error.
+    """
+    if envelope.get("op") != "send":
+        return False
+    message = envelope.get("message")
+    if isinstance(message, Message):
+        return message.category is not MessageCategory.LOOKUP
+    if isinstance(message, dict):
+        return message.get("type") != "LookupRequest"
+    return False
 
 
 def _profile_wire(profile: Optional[LookupProfile]) -> dict[str, Any]:
@@ -161,6 +192,22 @@ class LookupService:
         #: Attached by :class:`~repro.net.membership.MembershipPump`
         #: (or a sans-IO stand-in in tests); None in single-shard runs.
         self.membership: Optional[Any] = None
+        self.metrics = MetricsRegistry()
+        #: Hot-key reply cache (see :mod:`repro.net.cache`); None when
+        #: disabled.  Per-scheme mutation epochs stamp its entries.
+        self.reply_cache: Optional[ReplyCache] = (
+            ReplyCache(self.config.cache_size) if self.config.cache_size else None
+        )
+        self._epochs: dict[str, int] = {}
+        #: Worker-fleet placement (set by :mod:`repro.net.workers`);
+        #: the defaults describe a plain single-process serve.
+        self.worker_index = 0
+        self.worker_count = 1
+        self.worker_role = "single"
+        #: Reader workers forward mutating envelopes through this
+        #: (a :class:`~repro.net.workers.WriteForwarder`); None means
+        #: mutations are applied locally.
+        self.forwarder: Optional[Any] = None
         entries = make_entries(self.config.entry_count)
         shard_map = (
             ShardMap(shard_names(self.config.shard_count), probes=self.config.probes)
@@ -211,10 +258,54 @@ class LookupService:
         stays in-process; the JSON encoder cannot carry them.
         """
         reply = self._dispatch(envelope, raw)
+        return self._echo_id(envelope, reply)
+
+    @staticmethod
+    def _echo_id(envelope: dict[str, Any], reply: dict[str, Any]) -> dict[str, Any]:
         request_id = envelope.get("id")
         if isinstance(request_id, (int, str)) and not isinstance(request_id, bool):
             reply["id"] = request_id
         return reply
+
+    async def handle_envelope_async(
+        self, envelope: dict[str, Any], *, raw: bool = False
+    ) -> dict[str, Any]:
+        """:meth:`handle_envelope`, plus writer forwarding when attached.
+
+        In a worker fleet, reader workers answer every read locally
+        but must ship mutating ops to the single writer (worker 0);
+        this is the dispatch point that splits the two.  With no
+        forwarder attached (the single-process case, and the writer
+        itself) it is exactly the synchronous path.
+        """
+        if self.forwarder is not None:
+            if envelope_mutates(envelope):
+                return self._echo_id(envelope, await self._forward(envelope))
+            if envelope.get("op") == "batch":
+                requests = envelope.get("requests")
+                if isinstance(requests, list) and any(
+                    isinstance(sub, dict) and envelope_mutates(sub)
+                    for sub in requests
+                ):
+                    reply = await self._handle_batch_async(envelope, raw)
+                    return self._echo_id(envelope, reply)
+        return self.handle_envelope(envelope, raw=raw)
+
+    async def _forward(self, envelope: dict[str, Any]) -> dict[str, Any]:
+        """Ship one mutating envelope to the writer; returns its reply.
+
+        The reply (and its value) is JSON-shaped regardless of the
+        connection codec — the writer pipe speaks JSON — which is fine
+        for mutation acks (they carry scalars, not entry lists).
+        """
+        try:
+            return await self.forwarder.forward(envelope)
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            return {
+                "ok": False,
+                "error": "unavailable",
+                "detail": f"writer worker unreachable: {exc}",
+            }
 
     def _dispatch(self, envelope: dict[str, Any], raw: bool = False) -> dict[str, Any]:
         op = envelope.get("op")
@@ -246,11 +337,28 @@ class LookupService:
             return {"ok": False, "error": "internal", "detail": str(exc)}
 
     def capabilities(self) -> dict[str, Any]:
-        """What this service speaks, as advertised by ``hello``/``info``."""
+        """What this service speaks, as advertised by ``hello``/``info``.
+
+        The ``cache`` block carries the live reply-cache counters (so
+        one ``info`` call doubles as a cache-stats probe) and the
+        ``workers`` block this process's place in the worker fleet —
+        per-process values: each worker owns its own cache.
+        """
+        cache = self.reply_cache
+        cache_caps: dict[str, Any] = {"enabled": cache is not None}
+        if cache is not None:
+            cache_caps.update(cache.snapshot())
+            cache.publish(self.metrics)
         return {
             "codecs": list(SUPPORTED_CODECS),
             "batch": True,
             "max_batch": MAX_BATCH,
+            "cache": cache_caps,
+            "workers": {
+                "count": self.worker_count,
+                "index": self.worker_index,
+                "role": self.worker_role,
+            },
         }
 
     def _handle_hello(self, envelope: dict[str, Any]) -> dict[str, Any]:
@@ -268,9 +376,7 @@ class LookupService:
         value["codec"] = negotiate_codec(offered)
         return {"ok": True, "value": value}
 
-    def _handle_batch(
-        self, envelope: dict[str, Any], raw: bool = False
-    ) -> dict[str, Any]:
+    def _check_batch(self, envelope: dict[str, Any]) -> Optional[dict[str, Any]]:
         requests = envelope.get("requests")
         if not isinstance(requests, list):
             return {
@@ -284,49 +390,75 @@ class LookupService:
                 "error": "bad-request",
                 "detail": f"batch of {len(requests)} exceeds max_batch {MAX_BATCH}",
             }
-        replies = []
-        for sub in requests:
-            if not isinstance(sub, dict):
-                replies.append(
-                    {
-                        "ok": False,
-                        "error": "bad-request",
-                        "detail": "batch item must be an envelope dict",
-                    }
-                )
-            elif sub.get("op") == "batch":
-                replies.append(
-                    {
-                        "ok": False,
-                        "error": "bad-request",
-                        "detail": "batch envelopes do not nest",
-                    }
-                )
-            elif raw and sub.get("op") == "send":
-                # The binary-connection hot path: an ok send reply is
-                # packed to its final wire bytes right here, so the
-                # frame encoder later splices it instead of walking
-                # the reply dict again.
-                reply = self._dispatch(sub, True)
-                request_id = sub.get("id")
-                has_id = isinstance(request_id, (int, str)) and not isinstance(
-                    request_id, bool
-                )
-                if (
-                    has_id
-                    and type(request_id) is int
-                    and request_id >= 0
-                    and reply.get("ok")
-                ):
-                    replies.append(pack_send_reply(request_id, reply["value"]))
-                else:
-                    if has_id:
-                        reply["id"] = request_id
-                    replies.append(reply)
+        return None
+
+    def _batch_sub(self, sub: Any, raw: bool) -> Any:
+        """One batch item's reply (or prepacked bytes on the raw path)."""
+        if not isinstance(sub, dict):
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "detail": "batch item must be an envelope dict",
+            }
+        if sub.get("op") == "batch":
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "detail": "batch envelopes do not nest",
+            }
+        if raw and sub.get("op") == "send":
+            # The binary-connection hot path: an ok send reply is
+            # packed to its final wire bytes right here, so the
+            # frame encoder later splices it instead of walking
+            # the reply dict again.
+            reply = self._dispatch(sub, True)
+            request_id = sub.get("id")
+            has_id = isinstance(request_id, (int, str)) and not isinstance(
+                request_id, bool
+            )
+            if (
+                has_id
+                and type(request_id) is int
+                and request_id >= 0
+                and reply.get("ok")
+            ):
+                return pack_send_reply(request_id, reply["value"])
+            if has_id:
+                reply["id"] = request_id
+            return reply
+        # handle_envelope (not _dispatch) so each sub-reply
+        # echoes its own request id for correlation.
+        return self.handle_envelope(sub, raw=raw)
+
+    def _handle_batch(
+        self, envelope: dict[str, Any], raw: bool = False
+    ) -> dict[str, Any]:
+        bad = self._check_batch(envelope)
+        if bad is not None:
+            return bad
+        replies = [self._batch_sub(sub, raw) for sub in envelope["requests"]]
+        return {"ok": True, "value": replies}
+
+    async def _handle_batch_async(
+        self, envelope: dict[str, Any], raw: bool
+    ) -> dict[str, Any]:
+        """The batch op with mutating items routed through the writer.
+
+        Reads are answered locally (same prepacked fast path as the
+        sync loop); mutating sends await the writer round-trip, which
+        also applies the resulting delta here before the sub-reply is
+        emitted — a client that mutates and reads in one batch sees
+        its own write.
+        """
+        bad = self._check_batch(envelope)
+        if bad is not None:
+            return bad
+        replies: list[Any] = []
+        for sub in envelope["requests"]:
+            if isinstance(sub, dict) and envelope_mutates(sub):
+                replies.append(self._echo_id(sub, await self._forward(sub)))
             else:
-                # handle_envelope (not _dispatch) so each sub-reply
-                # echoes its own request id for correlation.
-                replies.append(self.handle_envelope(sub, raw=raw))
+                replies.append(self._batch_sub(sub, raw))
         return {"ok": True, "value": replies}
 
     def info(self) -> dict[str, Any]:
@@ -380,6 +512,53 @@ class LookupService:
         reply = self.membership.on_wire_heartbeat(heartbeat)
         return {"ok": True, "value": encode_message(reply)}
 
+    # -- mutation epochs and the reply cache ---------------------------------
+
+    def mutation_epoch(self, key: str) -> int:
+        """The per-scheme mutation epoch cache entries are stamped with."""
+        return self._epochs.get(key, 0)
+
+    def note_mutation(self, key: str) -> None:
+        """Record that ``key``'s stores are (about to be) changed.
+
+        Bumps the scheme's epoch and eagerly drops its cached replies.
+        Called *before* a mutating message is applied, so even a
+        mutation that dies half-way can never leave a pre-mutation
+        reply reachable; and called by the worker delta/resync path
+        when an external mutation lands.
+        """
+        self._epochs[key] = self._epochs.get(key, 0) + 1
+        if self.reply_cache is not None:
+            self.reply_cache.invalidate(key)
+
+    def flush_cache(self) -> None:
+        """Drop every cached reply (e.g. after out-of-band store edits)."""
+        if self.reply_cache is not None:
+            self.reply_cache.clear()
+
+    def _cache_slot(
+        self, server_id: int, key: str, message: Message, raw: bool
+    ) -> Optional[tuple]:
+        """The cache key for this lookup, or None when not cacheable.
+
+        Only the RNG-free lookup shape is cacheable (see
+        :mod:`repro.net.cache`): a plain :class:`LookupRequest` whose
+        target is zero/negative or covers the server's whole store, on
+        a live server, with no fault plan installed (fault injection
+        consumes RNG and may drop/duplicate — never short-circuit it).
+        """
+        if type(message) is not LookupRequest:
+            return None
+        if self.cluster.network.fault_injector is not None:
+            return None
+        server = self.cluster.servers[server_id]
+        if not server.alive:
+            return None
+        if 0 < message.target < server.stored_entry_count(key):
+            return None  # RNG-sampled answer: not deterministic
+        codec = CODEC_BINARY if raw else CODEC_JSON
+        return (codec, "send", key, server_id, message.target)
+
     def _handle_send(
         self, envelope: dict[str, Any], raw: bool = False
     ) -> dict[str, Any]:
@@ -398,7 +577,29 @@ class LookupService:
                 "detail": f"unknown scheme key: {key!r}",
             }
         message = decode_message(envelope["message"])
-        reply = self.cluster.network.send(server_id, key, message)
+        network = self.cluster.network
+        cache = self.reply_cache
+        slot = None
+        if message.category is not MessageCategory.LOOKUP:
+            # Invalidate-before-apply: no post-mutation request may
+            # ever see a pre-mutation cached reply, even if the
+            # handler raises half-way through.
+            self.note_mutation(key)
+        elif cache is not None:
+            slot = self._cache_slot(server_id, key, message, raw)
+            if slot is not None:
+                epoch = self._epochs.get(key, 0)
+                payload = cache.get(slot, epoch)
+                if payload is not None:
+                    # A hit must keep the Section 6.4 books identical
+                    # to the uncached path: the message *was* served.
+                    network.stats.record(server_id, message)
+                    if network._message_log is not None:
+                        network._message_log.append(
+                            (server_id, type(message).__name__)
+                        )
+                    return {"ok": True, "value": payload}
+        reply = network.send(server_id, key, message)
         if is_undelivered(reply):
             code = "dropped" if reply is DROPPED else "unavailable"
             return {
@@ -406,6 +607,12 @@ class LookupService:
                 "error": code,
                 "detail": f"server {server_id} did not process the message",
             }
+        if slot is not None:
+            # Pack once, serve many: the cached payload is already in
+            # its wire form, so later hits are splice/memcpy-only.
+            payload = Prepacked(pack_value_bytes(reply)) if raw else encode_value(reply)
+            cache.put(slot, self._epochs.get(key, 0), payload)
+            return {"ok": True, "value": payload}
         return {"ok": True, "value": reply if raw else encode_value(reply)}
 
     def _handle_verify(self, envelope: dict[str, Any]) -> dict[str, Any]:
@@ -466,7 +673,9 @@ class LookupService:
                     break
                 if envelope is None:
                     break
-                reply = self.handle_envelope(envelope, raw=codec == CODEC_BINARY)
+                reply = await self.handle_envelope_async(
+                    envelope, raw=codec == CODEC_BINARY
+                )
                 await write_frame(writer, reply, codec=codec)
                 if envelope.get("op") == "hello" and reply.get("ok"):
                     codec = reply["value"]["codec"]
@@ -486,18 +695,28 @@ class LookupService:
             except (ConnectionError, OSError):
                 pass
 
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0, *, sock: Any = None
+    ) -> tuple[str, int]:
         """Bind and begin serving; returns the bound (host, port).
 
         ``port=0`` binds an ephemeral port — the CI smoke job and the
         benchmarks use this to avoid port collisions, reading the real
         port from the return value (or the ``--ready-file`` at the CLI).
+        ``sock`` serves an already-bound listening socket instead —
+        the worker fleet uses this to put every worker's acceptor on
+        one ``SO_REUSEPORT`` port (see :mod:`repro.net.workers`).
         """
         if self._server is not None:
             raise RuntimeError("service already started")
-        self._server = await asyncio.start_server(
-            self.handle_connection, host=host, port=port
-        )
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self.handle_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self.handle_connection, host=host, port=port
+            )
         sockname = self._server.sockets[0].getsockname()
         return sockname[0], sockname[1]
 
@@ -528,5 +747,6 @@ __all__ = [
     "MAX_BATCH",
     "LookupService",
     "ServiceConfig",
+    "envelope_mutates",
     "shard_names",
 ]

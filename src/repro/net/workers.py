@@ -1,0 +1,918 @@
+"""Multi-core serve: an ``SO_REUSEPORT`` worker fleet, single-writer updates.
+
+``repro serve --workers N`` forks N worker processes that all accept
+on **one** TCP port.  Each worker hosts a *full* scheme catalogue
+built from the same seed, so any worker can answer any read the
+process would have answered alone; the kernel load-balances incoming
+connections across the workers' ``SO_REUSEPORT`` listening sockets
+(fallback: one parent-bound socket shared by inheritance when the
+platform lacks the option).
+
+Reads scale out; writes stay serial.  Worker 0 is the **writer**: the
+only process that ever executes a mutating op (``send`` add / delete /
+place).  Reader workers classify incoming envelopes with
+:func:`~repro.net.service.envelope_mutates` and forward mutations over
+a local Unix-socket *writer pipe*; the writer applies them and fans
+the resulting **state delta** back as an epoch-stamped update log.
+Reads never block on the writer — a reader keeps answering lookups
+from its own catalogue while deltas stream in — and the Section 6.4
+``Network.send`` accounting stays exactly where it was: the writer's
+cluster books the mutation, each worker's cluster books the lookups it
+serves.
+
+Why state deltas and not op replay: every worker's cluster owns an
+independently-advancing RNG stream (each lookup it serves draws from
+it), so replaying an op whose handler draws RNG (RandomServer's
+placement choice, Hash's collisions) would diverge across workers.
+The writer instead snapshots each server's store bitmask around the
+apply and ships the membership diff — entries added, entry ids
+dropped, per server — which readers apply verbatim.  Lookup answers
+depend only on store membership, so converged stores mean converged
+answers; strategy scratch state (round-robin heads, reservoirs) only
+matters for *future mutations*, which only the writer runs.
+
+Writer-pipe wire schema (JSON frames over the codec's length-prefixed
+framing; see ``docs/protocols.md``):
+
+- reader → writer ``{"op": "fwd", "id": n, "envelope": {...}}`` — a
+  mutating client envelope, JSON-encoded.
+- writer → reader ``{"op": "fwd_reply", "id": n, "reply": {...},
+  "delta": {...}?}`` — the client reply, plus the delta when state
+  changed.  The forwarding reader applies the delta *before*
+  answering its client: read-your-writes on that connection.
+- writer → every other reader ``{"op": "delta", "delta": {...}}``.
+- reader → writer ``{"op": "sync", "id": n}`` answered by
+  ``{"op": "sync_reply", "id": n, "epoch": E, "stores": {...}}`` — a
+  full store snapshot, used on (re)connect and on gap recovery.
+
+A delta is ``{"epoch": E, "key": scheme, "servers": {"<sid>":
+{"add": [entry...], "drop": [entry_id...]}}}`` with epochs assigned by
+the writer in one global monotonic sequence.  Readers apply deltas in
+epoch order (:class:`DeltaApplier` buffers out-of-order arrivals,
+deduplicates the fwd-reply/broadcast double delivery, and requests a
+resync when a gap cannot close).
+
+Failure policy: a dead reader is respawned by the parent supervisor
+(it resyncs through the writer pipe on boot); a dead **writer** fails
+the whole fleet loudly — the parent tears everything down and exits
+non-zero, because a fleet that silently dropped its only mutation
+path would serve stale state forever.  Workers hold the read end of a
+parent *lifeline pipe* and exit when it reports EOF, so even a
+SIGKILLed parent (the chaos harness's habit) leaves no orphans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import socket
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.messages import Message
+from repro.core.exceptions import InvalidParameterError
+from repro.net.codec import (
+    FrameError,
+    decode_value,
+    encode_message,
+    encode_value,
+    read_frame,
+    write_frame,
+)
+from repro.net.service import LookupService, ServiceConfig, envelope_mutates
+
+#: How many times the supervisor revives one reader index before it
+#: concludes the failure is systemic and fails the fleet loudly.
+MAX_RESPAWNS = 5
+
+#: Out-of-order deltas a reader buffers before declaring a gap
+#: unbridgeable and resyncing from a full snapshot.
+MAX_DELTA_BUFFER = 64
+
+
+def reuseport_available() -> bool:
+    """Whether this platform can put N listeners on one port."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+# --------------------------------------------------------------------------
+# Delta computation and application (sans-IO, unit-testable)
+# --------------------------------------------------------------------------
+
+
+def wire_envelope(envelope: Dict[str, Any]) -> Dict[str, Any]:
+    """An envelope made JSON-safe for the writer pipe.
+
+    A binary connection decodes ``message`` to a live
+    :class:`~repro.cluster.messages.Message`; the pipe speaks JSON, so
+    re-encode it to the tagged wire dict.  Everything else in a
+    request envelope is already JSON-shaped.
+    """
+    message = envelope.get("message")
+    if isinstance(message, Message):
+        envelope = dict(envelope)
+        envelope["message"] = encode_message(message)
+    return envelope
+
+
+def compute_apply_delta(
+    service: LookupService, envelope: Dict[str, Any]
+) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+    """Apply ``envelope`` on the writer; returns ``(reply, delta|None)``.
+
+    The delta is the store-membership diff the apply produced for the
+    envelope's scheme key, computed from per-server bitmask snapshots
+    (an exception half-way through still yields the partial diff, so
+    readers converge to whatever state the writer actually reached).
+    ``None`` means nothing changed — no fan-out needed.  The epoch
+    field is stamped by the caller (the bus owns the sequence).
+    """
+    key = envelope.get("key")
+    stores = None
+    if isinstance(key, str) and key in service.strategies:
+        stores = [server.store(key) for server in service.cluster.servers]
+        before = [store.mask for store in stores]
+    reply = service.handle_envelope(envelope)
+    if stores is None:
+        return reply, None
+    changed: Dict[str, Dict[str, list]] = {}
+    for sid, (store, old) in enumerate(zip(stores, before)):
+        new = store.mask
+        if new == old:
+            continue
+        interner = store.interner
+        changed[str(sid)] = {
+            "add": [encode_value(e) for e in interner.entries_for_mask(new & ~old)],
+            "drop": [e.entry_id for e in interner.entries_for_mask(old & ~new)],
+        }
+    if not changed:
+        return reply, None
+    return reply, {"key": key, "servers": changed}
+
+
+def apply_delta(service: LookupService, delta: Dict[str, Any]) -> None:
+    """Apply one writer delta to a reader's stores.
+
+    Pure store-membership surgery — no strategy logic runs, no RNG is
+    drawn — followed by the same invalidate-the-cache bookkeeping a
+    local mutation performs.
+    """
+    key = delta["key"]
+    if key not in service.strategies:
+        return
+    service.note_mutation(key)
+    servers = service.cluster.servers
+    for sid_text, change in delta["servers"].items():
+        store = servers[int(sid_text)].store(key)
+        for wire in change.get("add", ()):
+            store.add(decode_value(wire))
+        for entry_id in change.get("drop", ()):
+            index = store.interner.index_of(entry_id)
+            if index is not None:
+                store.discard(store.interner.entry_at(index))
+
+
+def snapshot_stores(service: LookupService) -> Dict[str, List[List[Any]]]:
+    """Every scheme's per-server store contents, wire-encoded."""
+    return {
+        key: [
+            [encode_value(e) for e in server.store(key).as_list()]
+            for server in service.cluster.servers
+        ]
+        for key in service.strategies
+    }
+
+
+def load_snapshot(
+    service: LookupService, snapshot: Dict[str, List[List[Any]]]
+) -> None:
+    """Replace store contents wholesale (reader resync)."""
+    for key, per_server in snapshot.items():
+        if key not in service.strategies:
+            continue
+        service.note_mutation(key)
+        for sid, wires in enumerate(per_server):
+            if sid >= service.cluster.size:
+                break
+            store = service.cluster.servers[sid].store(key)
+            store.clear()
+            for wire in wires:
+                store.add(decode_value(wire))
+
+
+class DeltaApplier:
+    """Epoch-ordered delta application with duplicate/gap handling.
+
+    The update log's consumer half, kept sans-IO so the ordering
+    contract is testable without a fleet: deltas apply strictly in
+    epoch order; a delta at or below the applied watermark is a
+    duplicate (the fwd-reply/broadcast double delivery) and is
+    skipped; a delta from the future is buffered until the sequence
+    closes; a buffer overflowing :data:`MAX_DELTA_BUFFER` reports
+    ``"resync"`` — the caller fetches a snapshot and calls
+    :meth:`resync`.
+    """
+
+    def __init__(self, service: LookupService, applied: int = 0) -> None:
+        self.service = service
+        self.applied = applied
+        self._pending: Dict[int, Dict[str, Any]] = {}
+
+    def offer(self, delta: Dict[str, Any]) -> str:
+        """Feed one delta; returns ``applied|duplicate|buffered|resync``."""
+        epoch = delta.get("epoch")
+        if not isinstance(epoch, int):
+            return "resync"
+        if epoch <= self.applied:
+            return "duplicate"
+        if epoch > self.applied + 1:
+            self._pending[epoch] = delta
+            if len(self._pending) > MAX_DELTA_BUFFER:
+                self._pending.clear()
+                return "resync"
+            return "buffered"
+        self._apply(delta)
+        while self.applied + 1 in self._pending:
+            self._apply(self._pending.pop(self.applied + 1))
+        return "applied"
+
+    def _apply(self, delta: Dict[str, Any]) -> None:
+        apply_delta(self.service, delta)
+        self.applied = delta["epoch"]
+
+    def resync(self, epoch: int, snapshot: Dict[str, Any]) -> None:
+        """Adopt a full snapshot taken at ``epoch``; drop the buffer."""
+        load_snapshot(self.service, snapshot)
+        self.service.flush_cache()
+        self.applied = epoch
+        self._pending.clear()
+
+
+# --------------------------------------------------------------------------
+# The writer bus (worker 0) and the reader-side forwarder
+# --------------------------------------------------------------------------
+
+
+class WriterBus:
+    """Worker 0's half of the writer pipe: apply, reply, fan out.
+
+    One Unix-socket server; each reader worker holds one connection.
+    Frame handling is serialized per connection task, and the
+    apply+epoch-assignment step has no awaits, so epochs are assigned
+    in apply order even when forwards from different readers
+    interleave.  Broadcast writes go out under a per-connection lock;
+    two in-flight deltas may reach a reader out of order, which the
+    reader's :class:`DeltaApplier` reorders.
+    """
+
+    def __init__(self, service: LookupService, path: str) -> None:
+        self.service = service
+        self.path = path
+        self.epoch = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conns: set = set()
+        self._tasks: set = set()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_unix_server(self._serve, path=self.path)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        for writer, _lock in list(self._conns):
+            writer.close()
+        self._conns.clear()
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        conn = (writer, asyncio.Lock())
+        self._conns.add(conn)
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                await self._handle(frame, conn)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._tasks.discard(task)
+            self._conns.discard(conn)
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    def _apply(
+        self, envelope: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+        # No awaits between apply and epoch assignment: the delta
+        # sequence is exactly the apply order.
+        reply, delta = compute_apply_delta(self.service, envelope)
+        if delta is not None:
+            self.epoch += 1
+            delta["epoch"] = self.epoch
+        return reply, delta
+
+    async def forward(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        """The writer's own mutations, through the same epoch log.
+
+        Worker 0's service sets ``forwarder = bus`` so a mutating
+        envelope whose client connection landed on the writer itself
+        still gets an epoch stamp and fans out to every reader —
+        otherwise only the readers' stores would ever converge.
+        """
+        reply, delta = self._apply(envelope)
+        if delta is not None:
+            await self._broadcast(delta, exclude=None)
+        return reply
+
+    async def _handle(self, frame: Dict[str, Any], conn: tuple) -> None:
+        writer, lock = conn
+        op = frame.get("op")
+        if op == "fwd":
+            envelope = frame.get("envelope")
+            if not isinstance(envelope, dict):
+                reply: Dict[str, Any] = {
+                    "ok": False,
+                    "error": "bad-request",
+                    "detail": "fwd wants an envelope dict",
+                }
+                delta = None
+            else:
+                reply, delta = self._apply(envelope)
+            response = {"op": "fwd_reply", "id": frame.get("id"), "reply": reply}
+            if delta is not None:
+                response["delta"] = delta
+            async with lock:
+                await write_frame(writer, response)
+            if delta is not None:
+                await self._broadcast(delta, exclude=conn)
+        elif op == "sync":
+            response = {
+                "op": "sync_reply",
+                "id": frame.get("id"),
+                "epoch": self.epoch,
+                "stores": snapshot_stores(self.service),
+            }
+            async with lock:
+                await write_frame(writer, response)
+        # Unknown bus ops are dropped: the pipe is an internal,
+        # version-locked surface (both ends come from one build).
+
+    async def _broadcast(
+        self, delta: Dict[str, Any], exclude: Optional[tuple]
+    ) -> None:
+        for conn in list(self._conns):
+            if conn is exclude:
+                continue
+            writer, lock = conn
+            try:
+                async with lock:
+                    await write_frame(writer, {"op": "delta", "delta": delta})
+            except (ConnectionError, OSError):
+                self._conns.discard(conn)
+
+
+class WriteForwarder:
+    """A reader worker's half of the writer pipe.
+
+    Owns the one bus connection: forwards mutating envelopes (replies
+    correlated by id), consumes broadcast deltas through a
+    :class:`DeltaApplier`, and resyncs from a snapshot on connect and
+    on gaps.  ``forward`` returns only after the op's own delta has
+    been applied locally — the client that performed the write reads
+    its own write on that connection from then on.
+    """
+
+    def __init__(self, service: LookupService, path: str) -> None:
+        self.service = service
+        self.path = path
+        self.applier = DeltaApplier(service)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._wlock = asyncio.Lock()
+        self._pump_task: Optional[asyncio.Task] = None
+        self._advanced = asyncio.Event()
+        #: Called once when the bus connection dies (writer crashed):
+        #: the worker uses it to stop serving and exit loudly.
+        self.on_fatal: Optional[Any] = None
+        self._closed = False
+
+    async def start(self, *, retries: int = 80, delay: float = 0.1) -> None:
+        """Connect (the writer may still be booting) and resync."""
+        last: Optional[BaseException] = None
+        for _ in range(retries):
+            try:
+                self._reader, self._writer = await asyncio.open_unix_connection(
+                    self.path
+                )
+                break
+            except (ConnectionError, OSError, FileNotFoundError) as exc:
+                last = exc
+                await asyncio.sleep(delay)
+        else:
+            raise ConnectionError(f"writer bus never came up at {self.path}: {last}")
+        self._pump_task = asyncio.create_task(self._pump())
+        await self._sync()
+
+    async def stop(self) -> None:
+        self._closed = True
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._pump_task
+        if self._writer is not None:
+            self._writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._writer.wait_closed()
+
+    def _new_future(self) -> Tuple[int, asyncio.Future]:
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[self._next_id] = future
+        return self._next_id, future
+
+    async def _request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        fid, future = self._new_future()
+        frame["id"] = fid
+        try:
+            async with self._wlock:
+                await write_frame(self._writer, frame)
+            return await future
+        finally:
+            self._pending.pop(fid, None)
+
+    async def _sync(self) -> None:
+        reply = await self._request({"op": "sync"})
+        self.applier.resync(reply.get("epoch", 0), reply.get("stores", {}))
+        self._advanced.set()
+
+    async def forward(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        """One mutating envelope through the writer; read-your-writes."""
+        frame = await self._request(
+            {"op": "fwd", "envelope": wire_envelope(envelope)}
+        )
+        delta = frame.get("delta")
+        if delta is not None:
+            status = self.applier.offer(delta)
+            if status == "resync":
+                await self._sync()
+            elif status == "buffered":
+                await self._wait_applied(delta["epoch"])
+            else:
+                self._advanced.set()
+        reply = frame.get("reply")
+        if not isinstance(reply, dict):
+            return {
+                "ok": False,
+                "error": "internal",
+                "detail": "writer returned no reply",
+            }
+        return reply
+
+    async def _wait_applied(self, epoch: int, timeout: float = 10.0) -> None:
+        """Block until the update log has caught up to ``epoch``."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while self.applier.applied < epoch:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                await self._sync()
+                return
+            self._advanced.clear()
+            if self.applier.applied >= epoch:
+                break
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._advanced.wait(), timeout=remaining)
+
+    async def _pump(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                op = frame.get("op")
+                if op in ("fwd_reply", "sync_reply"):
+                    future = self._pending.get(frame.get("id"))
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+                elif op == "delta":
+                    status = self.applier.offer(frame.get("delta") or {})
+                    if status == "resync":
+                        asyncio.ensure_future(self._sync())
+                    elif status == "applied":
+                        self._advanced.set()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("writer bus connection lost")
+                    )
+            self._pending.clear()
+            if not self._closed and self.on_fatal is not None:
+                self.on_fatal()
+
+
+# --------------------------------------------------------------------------
+# Worker processes
+# --------------------------------------------------------------------------
+
+
+def _worker_socket(host: str, port: int) -> socket.socket:
+    """A fresh ``SO_REUSEPORT`` listener on the fleet's shared port."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, port))
+    sock.listen(256)
+    return sock
+
+
+def _worker_main(
+    index: int,
+    total: int,
+    host: str,
+    port: int,
+    config: ServiceConfig,
+    bus_path: str,
+    lifeline_read: int,
+    lifeline_write: int,
+    reuseport: bool,
+    shared_sock: Optional[socket.socket],
+    ready_path: str,
+) -> None:
+    # The child inherited the parent's signal handlers and both
+    # lifeline ends across fork; reset the former, and drop the write
+    # end so the pipe reports EOF the moment the *parent* dies.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    with contextlib.suppress(OSError):
+        os.close(lifeline_write)
+    sys.exit(
+        asyncio.run(
+            _worker_async(
+                index,
+                total,
+                host,
+                port,
+                config,
+                bus_path,
+                lifeline_read,
+                reuseport,
+                shared_sock,
+                ready_path,
+            )
+        )
+    )
+
+
+async def _worker_async(
+    index: int,
+    total: int,
+    host: str,
+    port: int,
+    config: ServiceConfig,
+    bus_path: str,
+    lifeline_read: int,
+    reuseport: bool,
+    shared_sock: Optional[socket.socket],
+    ready_path: str,
+) -> int:
+    service = LookupService(config)
+    service.worker_index = index
+    service.worker_count = total
+    service.worker_role = "writer" if index == 0 else "reader"
+
+    stop = asyncio.Event()
+    exit_code = 0
+    loop = asyncio.get_running_loop()
+    for signame in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signame, stop.set)
+    # The lifeline becomes readable exactly once: at EOF, when every
+    # write end (held only by the parent) is gone.
+    loop.add_reader(lifeline_read, stop.set)
+
+    bus: Optional[WriterBus] = None
+    forwarder: Optional[WriteForwarder] = None
+
+    def writer_lost() -> None:
+        nonlocal exit_code
+        exit_code = 1
+        stop.set()
+
+    try:
+        if index == 0:
+            bus = WriterBus(service, bus_path)
+            await bus.start()
+            service.forwarder = bus
+        else:
+            forwarder = WriteForwarder(service, bus_path)
+            forwarder.on_fatal = writer_lost
+            await forwarder.start()
+            service.forwarder = forwarder
+        sock = _worker_socket(host, port) if reuseport else shared_sock
+        await service.start(sock=sock)
+        with open(ready_path, "w", encoding="utf-8") as handle:
+            handle.write(f"{host} {port}\n")
+        await stop.wait()
+    finally:
+        loop.remove_reader(lifeline_read)
+        await service.stop()
+        if forwarder is not None:
+            await forwarder.stop()
+        if bus is not None:
+            await bus.stop()
+    return exit_code
+
+
+# --------------------------------------------------------------------------
+# The parent supervisor
+# --------------------------------------------------------------------------
+
+
+class _Supervisor:
+    """Fork, watch, respawn readers, fail loud on the writer."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        host: str,
+        port: int,
+        workers: int,
+        ready_file: Optional[str],
+    ) -> None:
+        if workers < 2:
+            raise InvalidParameterError(
+                f"the worker fleet wants --workers >= 2, got {workers}"
+            )
+        self.config = config
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.ready_file = ready_file
+        self.ctx = multiprocessing.get_context("fork")
+        self.tmpdir = tempfile.mkdtemp(prefix="repro-workers-")
+        self.bus_path = os.path.join(self.tmpdir, "writer.sock")
+        self.reuseport = reuseport_available()
+        self.procs: Dict[int, Any] = {}
+        self.respawns: Dict[int, int] = {}
+        self._stop = False
+        self._placeholder: Optional[socket.socket] = None
+        self._shared: Optional[socket.socket] = None
+        self._lifeline_r, self._lifeline_w = os.pipe()
+
+    # -- socket setup --------------------------------------------------------
+
+    def bind(self) -> None:
+        """Resolve the fleet's one (host, port) before forking.
+
+        With ``SO_REUSEPORT`` the parent binds a placeholder (never
+        listened on) purely to pin an ephemeral port; each worker then
+        binds its own listener.  Without it, the parent binds the one
+        real listening socket and the workers inherit it across fork —
+        correct, but all accepts contend on one queue.
+        """
+        if self.reuseport:
+            self._placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            self._placeholder.bind((self.host, self.port))
+            self.host, self.port = self._placeholder.getsockname()[:2]
+        else:
+            self._shared = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._shared.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._shared.bind((self.host, self.port))
+            self._shared.listen(256)
+            self.host, self.port = self._shared.getsockname()[:2]
+
+    # -- process management --------------------------------------------------
+
+    def _ready_path(self, index: int) -> str:
+        return os.path.join(self.tmpdir, f"worker-{index}.ready")
+
+    def spawn(self, index: int) -> None:
+        ready = self._ready_path(index)
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(ready)
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(
+                index,
+                self.workers,
+                self.host,
+                self.port,
+                self.config,
+                self.bus_path,
+                self._lifeline_r,
+                self._lifeline_w,
+                self.reuseport,
+                self._shared,
+                ready,
+            ),
+            name=f"repro-worker-{index}",
+        )
+        process.start()
+        self.procs[index] = process
+
+    def wait_ready(self, index: int, timeout: float = 30.0) -> None:
+        ready = self._ready_path(index)
+        process = self.procs[index]
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if process.exitcode is not None:
+                raise RuntimeError(
+                    f"worker {index} exited {process.exitcode} at boot"
+                )
+            if os.path.exists(ready) and os.path.getsize(ready) > 0:
+                return
+            time.sleep(0.05)
+        raise RuntimeError(f"worker {index} never became ready")
+
+    def write_manifests(self) -> None:
+        """The parent ready file plus the worker pid manifest.
+
+        The manifest (``<ready-file>.workers``, one ``index pid`` line
+        per live worker) is how the chaos harness finds victims; it is
+        rewritten after every respawn.
+        """
+        if not self.ready_file:
+            return
+        with open(f"{self.ready_file}.workers", "w", encoding="utf-8") as handle:
+            for index in sorted(self.procs):
+                handle.write(f"{index} {self.procs[index].pid}\n")
+
+    def start_fleet(self) -> None:
+        self.bind()
+        # Writer first: the bus socket must exist before readers dial
+        # it (they retry, but an ordered boot keeps logs clean).
+        self.spawn(0)
+        self.wait_ready(0)
+        for index in range(1, self.workers):
+            self.spawn(index)
+        for index in range(1, self.workers):
+            self.wait_ready(index)
+        if self._placeholder is not None:
+            # Every worker holds its own REUSEPORT listener now; the
+            # port-pinning placeholder would otherwise black-hole a
+            # share of incoming connections (bound, never accepting).
+            self._placeholder.close()
+            self._placeholder = None
+        if self.ready_file:
+            with open(self.ready_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{self.host} {self.port}\n")
+        self.write_manifests()
+
+    def request_stop(self, *_args: Any) -> None:
+        self._stop = True
+
+    def supervise(self) -> int:
+        """Watch the children; returns the fleet's exit code."""
+        while not self._stop:
+            sentinels = {
+                process.sentinel: index for index, process in self.procs.items()
+            }
+            for sentinel in multiprocessing.connection.wait(
+                list(sentinels), timeout=0.2
+            ):
+                index = sentinels[sentinel]
+                process = self.procs[index]
+                process.join()
+                if self._stop:
+                    continue
+                if index == 0:
+                    print(
+                        f"[serve] writer worker died (exit {process.exitcode}); "
+                        "failing the fleet loudly",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                    return 1
+                self.respawns[index] = self.respawns.get(index, 0) + 1
+                if self.respawns[index] > MAX_RESPAWNS:
+                    print(
+                        f"[serve] reader worker {index} died "
+                        f"{self.respawns[index]} times; giving up",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                    return 1
+                print(
+                    f"[serve] reader worker {index} died "
+                    f"(exit {process.exitcode}); respawning",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                try:
+                    self.spawn(index)
+                    self.wait_ready(index)
+                except RuntimeError as exc:
+                    print(f"[serve] respawn failed: {exc}", file=sys.stderr)
+                    return 1
+                self.write_manifests()
+        return 0
+
+    def shutdown(self) -> None:
+        for process in self.procs.values():
+            if process.exitcode is None:
+                with contextlib.suppress(ProcessLookupError, OSError):
+                    process.terminate()
+        deadline = time.monotonic() + 10
+        for process in self.procs.values():
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if process.exitcode is None:
+                process.kill()
+                process.join()
+        with contextlib.suppress(OSError):
+            os.close(self._lifeline_w)
+        with contextlib.suppress(OSError):
+            os.close(self._lifeline_r)
+        for sock in (self._placeholder, self._shared):
+            if sock is not None:
+                sock.close()
+        with contextlib.suppress(OSError):
+            import shutil
+
+            shutil.rmtree(self.tmpdir, ignore_errors=True)
+
+
+def run_worker_fleet(
+    config: ServiceConfig,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 2,
+    ready_file: Optional[str] = None,
+) -> int:
+    """``repro serve --workers N``: boot, supervise, tear down.
+
+    Returns the process exit code: 0 on a clean (signal-requested)
+    shutdown, 1 when the writer died or a reader could not be kept
+    alive — the fleet never limps along without its mutation path.
+    """
+    supervisor = _Supervisor(
+        config, host=host, port=port, workers=workers, ready_file=ready_file
+    )
+    try:
+        supervisor.start_fleet()
+    except Exception as exc:  # noqa: BLE001 - boot is all-or-nothing
+        print(f"[serve] worker fleet failed to boot: {exc}", file=sys.stderr)
+        supervisor.shutdown()
+        return 1
+    mode = "SO_REUSEPORT" if supervisor.reuseport else "shared socket"
+    print(
+        f"[serve] {len(config.schemes)} schemes on {config.server_count} "
+        f"servers, listening on {supervisor.host}:{supervisor.port} "
+        f"with {workers} workers ({mode}, worker 0 writes)",
+        flush=True,
+    )
+    previous = {
+        signame: signal.signal(signame, supervisor.request_stop)
+        for signame in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        code = supervisor.supervise()
+    finally:
+        for signame, handler in previous.items():
+            signal.signal(signame, handler)
+        supervisor.shutdown()
+        print("[serve] stopped", flush=True)
+    return code
+
+
+__all__ = [
+    "MAX_DELTA_BUFFER",
+    "MAX_RESPAWNS",
+    "DeltaApplier",
+    "WriteForwarder",
+    "WriterBus",
+    "apply_delta",
+    "compute_apply_delta",
+    "load_snapshot",
+    "reuseport_available",
+    "run_worker_fleet",
+    "snapshot_stores",
+    "wire_envelope",
+]

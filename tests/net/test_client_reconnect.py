@@ -14,6 +14,8 @@ pin that down against a hostile in-process server:
 import asyncio
 import random
 
+import pytest
+
 from repro.cluster.client import RetryPolicy
 from repro.cluster.messages import LookupRequest
 from repro.net.client import AsyncLookupClient
@@ -238,3 +240,15 @@ class TestBackoffBudget:
                 await server.stop()
 
         run(scenario())
+
+
+class TestRemovedRequestShim:
+    def test_request_raises_with_migration_hint(self):
+        client = AsyncLookupClient("127.0.0.1", 1)
+        with pytest.raises(AttributeError, match="_request"):
+            client.request
+
+    def test_other_missing_attributes_raise_plainly(self):
+        client = AsyncLookupClient("127.0.0.1", 1)
+        with pytest.raises(AttributeError, match="no attribute"):
+            client.no_such_method

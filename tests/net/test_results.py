@@ -95,20 +95,24 @@ class TestAttribution:
         assert sharded["home"] == ["s0"] and sharded["failover"] is False
 
 
-class TestMigrationShims:
-    def test_dict_indexing_warns_but_works(self):
+class TestRemovedShims:
+    def test_dict_indexing_raises_with_hint(self):
         full = result(8, 8)
-        with pytest.warns(DeprecationWarning):
-            assert full["found"] == 8
-        with pytest.warns(DeprecationWarning):
-            assert full["success"] is True
+        with pytest.raises(TypeError, match="as_row"):
+            full["found"]
 
-    def test_result_property_warns(self):
+    def test_result_attribute_raises_with_hint(self):
         full = result(8, 8)
-        with pytest.warns(DeprecationWarning):
-            inner = full.result
+        with pytest.raises(AttributeError, match="core\\(\\)"):
+            full.result
+        # core() is the supported replacement
+        inner = full.core()
         assert isinstance(inner, CoreLookupResult)
         assert inner.entries == full.entries
+
+    def test_other_missing_attributes_raise_plainly(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            result(8, 8).no_such_field
 
     def test_frozen(self):
         with pytest.raises(AttributeError):
