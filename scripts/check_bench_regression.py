@@ -8,8 +8,8 @@ Usage::
 Fails (exit 1) when any benchmark present in both artifacts is more
 than ``tolerance`` slower than the baseline wall clock, or when a
 recorded bigger-is-better metric — any name containing ``_speedup``
-or ending in ``_per_sec`` — drops below ``1 - tolerance`` of its
-baseline value.  Benchmarks only present on one side are reported but
+or ending in ``_per_sec`` or ``_hit_rate`` — drops below
+``1 - tolerance`` of its baseline value.  Benchmarks only present on one side are reported but
 never fail the check, so adding or retiring benches does not require
 lock-step baseline updates.
 
@@ -92,7 +92,11 @@ def main(argv=None) -> int:
         if now_value is None:
             print(f"SKIP metric (not in current run): {name}")
             continue
-        if "_speedup" in name or name.endswith("_per_sec"):
+        if (
+            "_speedup" in name
+            or name.endswith("_per_sec")
+            or name.endswith("_hit_rate")
+        ):
             jobs_match = JOBS_RE.search(name)
             cpus = min(
                 current.get("cpu_count") or 1, baseline.get("cpu_count") or 1

@@ -298,6 +298,70 @@ def collect_cache_stats(host: str, port: int) -> dict:
     return caps
 
 
+def check_zerocopy_identity(host: str, port: int) -> None:
+    """The zero-copy reply path serves the legacy encoder's exact bytes.
+
+    Two assertions: (1) locally, joining the fragment encoder's buffer
+    list reproduces the flat binary encoder byte for byte, splices and
+    all; (2) on the wire, a cacheable lookup asked twice on one binary
+    connection answers with identical raw reply frames — the first
+    reply was packed cold through the fragment path, the second spliced
+    straight out of the reply cache, and neither may differ from the
+    other by even one byte.
+    """
+    import asyncio
+    import struct
+
+    from repro.cluster.messages import LookupRequest
+    from repro.net.codec import (
+        CODEC_BINARY,
+        encode_envelope_binary,
+        encode_envelope_fragments,
+        encode_message,
+        hello_envelope,
+        pack_send_reply,
+        read_frame,
+        write_frame,
+    )
+    from repro.core.entry import Entry
+
+    sample = {
+        "op": "batch",
+        "value": [pack_send_reply(7, tuple(Entry(f"v{i}") for i in range(1, 200)))],
+    }
+    joined = b"".join(bytes(b) for b in encode_envelope_fragments(sample))
+    if joined != encode_envelope_binary(sample):
+        fail("fragment encoder diverged from the flat binary encoder")
+
+    async def probe() -> tuple[bytes, bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_frame(writer, hello_envelope((CODEC_BINARY,)))
+            hello = await read_frame(reader)
+            if not (hello and hello.get("ok")):
+                fail(f"zero-copy probe hello failed: {hello}")
+            lookup = {
+                "op": "send",
+                "server": 0,
+                "key": "full_replication",
+                "message": encode_message(LookupRequest(0)),
+            }
+            frames = []
+            for _ in range(2):
+                await write_frame(writer, dict(lookup), codec=CODEC_BINARY)
+                (length,) = struct.unpack(">I", await reader.readexactly(4))
+                frames.append(await reader.readexactly(length))
+            return frames[0], frames[1]
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    cold, cached = asyncio.run(asyncio.wait_for(probe(), timeout=30))
+    if cold != cached:
+        fail("cached zero-copy reply differs from the cold reply bytes")
+    print(f"ok zero-copy: cold and cached replies byte-identical ({len(cold)}B)")
+
+
 def _fleet_pids(ready: str) -> list[int]:
     with open(f"{ready}.workers", encoding="utf-8") as handle:
         lines = [line.split() for line in handle if line.strip()]
@@ -485,6 +549,7 @@ def main() -> int:
             check_degraded_exit(host, port, deadline)
             check_degraded_exit(host, port, deadline, codec="binary", batch=LOOKUPS)
             check_failed_exit(tmpdir, deadline)
+            check_zerocopy_identity(host, port)
             single_caps = collect_cache_stats(host, port)
         finally:
             if server.poll() is None:

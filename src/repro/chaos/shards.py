@@ -502,6 +502,84 @@ async def _await_entry_everywhere(
     )
 
 
+async def _hot_probe(
+    host: str, port: int, key: str
+) -> Tuple[int, Dict[str, object]]:
+    """One fresh connection: a cacheable hot lookup, then an info probe.
+
+    Returns ``(worker index, cache capabilities)`` for whichever fleet
+    worker the connection landed on — the lookup goes first, so the
+    returned counters include it.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_frame(
+            writer,
+            {
+                "op": "send",
+                "server": 0,
+                "key": key,
+                "message": encode_message(LookupRequest(0)),
+            },
+        )
+        reply = await asyncio.wait_for(read_frame(reader), 5.0)
+        if not (isinstance(reply, dict) and reply.get("ok")):
+            raise ScenarioError(f"hot-key probe lookup failed: {reply!r}")
+        await write_frame(writer, {"op": "info"})
+        info = await asyncio.wait_for(read_frame(reader), 5.0)
+    finally:
+        writer.close()
+        with contextlib.suppress(OSError):
+            await writer.wait_closed()
+    caps = (info.get("value") or {}).get("capabilities") or {}
+    index = (caps.get("workers") or {}).get("index")
+    if not isinstance(index, int):
+        raise ScenarioError(f"info probe reported no worker index: {caps}")
+    return index, dict(caps.get("cache") or {})
+
+
+async def _warm_hot_key(
+    host: str, port: int, workers: int, key: str, deadline: float
+) -> Dict[str, int]:
+    """Probe fresh connections until every worker served the hot key twice.
+
+    Twice per worker guarantees every process holds a *current-stamped*
+    cache row (first contact fills, second hits) — in particular the
+    writer, whose hot set is what a respawned reader will be handed.
+    """
+    served: Dict[str, int] = {str(index): 0 for index in range(workers)}
+    while time.monotonic() < deadline:
+        if all(count >= 2 for count in served.values()):
+            return served
+        index, _cache = await _hot_probe(host, port, key)
+        served[str(index)] = served.get(str(index), 0) + 1
+    raise ScenarioError(f"could not warm every worker's hot key: {served}")
+
+
+async def _assert_warm_respawn(
+    host: str, port: int, index: int, key: str, deadline: float
+) -> Dict[str, object]:
+    """The respawned reader's first hot lookup must be a warm hit."""
+    while time.monotonic() < deadline:
+        answered, cache = await _hot_probe(host, port, key)
+        if answered != index:
+            continue
+        if not cache.get("hits"):
+            raise ScenarioError(
+                f"respawned worker {index} answered the previously-hot "
+                f"key cold: {cache}"
+            )
+        return {
+            "index": index,
+            "hits": cache.get("hits"),
+            "misses": cache.get("misses"),
+            "hit_rate": cache.get("hit_rate"),
+        }
+    raise ScenarioError(
+        f"fresh connections never reached respawned worker {index}"
+    )
+
+
 def _await_respawn(
     fleet: ShardFleet, name: str, index: int, old_pid: int, deadline: float
 ) -> int:
@@ -586,6 +664,13 @@ async def run_kill_worker_scenario(
     )
     report["mutation"] = {"entry": "w1", "key": mutation_key, "probes": probes}
 
+    # Warm the post-mutation hot key on *every* worker before the kill:
+    # the writer's hot set (shipped to the respawn over the writer bus)
+    # must hold a current-stamped row for the warm-handoff check below.
+    report["warm"] = await _warm_hot_key(
+        host, port, fleet.workers, mutation_key, time.monotonic() + 15
+    )
+
     # Phase 3: SIGKILL the highest-index reader; the fleet keeps
     # answering and the supervisor brings a replacement up.
     reader_index = max(manifest)
@@ -606,6 +691,12 @@ async def run_kill_worker_scenario(
         "killed_pid": reader_pid,
         "respawned_pid": respawned_pid,
     }
+    # The replacement must answer the previously-hot key warm — the
+    # writer handed it the hot set during the bus sync, before it
+    # accepted its first connection.
+    report["warm_respawn"] = await _assert_warm_respawn(
+        host, port, reader_index, mutation_key, time.monotonic() + 20
+    )
     recovered = await _worker_sweep(host, port, keys, target, rng_seed=rng_seed + 2)
     report["after_respawn"] = recovered
     for key, row in recovered.items():

@@ -142,6 +142,23 @@ def add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
         action="store_true",
         help="disable the hot-key reply cache (same as --cache-size 0)",
     )
+    cache.add_argument(
+        "--shared-cache",
+        dest="shared_cache",
+        action="store_true",
+        default=True,
+        help=(
+            "back the worker fleet's reply cache with one shared-memory "
+            "segment so every worker sees every hit (default; binary "
+            "codec only, --workers >= 2)"
+        ),
+    )
+    cache.add_argument(
+        "--no-shared-cache",
+        dest="shared_cache",
+        action="store_false",
+        help="keep reply caches strictly per-process",
+    )
     shard = parser.add_argument_group("sharding")
     shard.add_argument(
         "--shard",
@@ -270,6 +287,7 @@ def _config_from_args(args: argparse.Namespace) -> ServiceConfig:
         backup_fraction=args.backup_fraction,
         probes=args.probes,
         cache_size=cache_size,
+        shared_cache=getattr(args, "shared_cache", True),
     )
 
 

@@ -57,10 +57,11 @@ from repro.net.codec import (
     CODEC_JSON,
     SUPPORTED_CODECS,
     decode_value,
+    encode_frame_fragments,
     encode_message,
     pack_send_envelope,
     read_frame,
-    write_frame,
+    write_frames,
 )
 from repro.cluster.messages import Message
 from repro.net.results import LookupReport, LookupResult
@@ -247,7 +248,12 @@ class AsyncLookupClient:
     async def _request_on(self, conn: _Conn, envelope: dict[str, Any]) -> dict[str, Any]:
         try:
             async with conn.lock:
-                await write_frame(conn.writer, envelope, codec=conn.codec)
+                # Vectorized sender: the binary codec emits a fragment
+                # list (prepacked sub-envelopes spliced by reference)
+                # through one writelines(); JSON stays byte-identical.
+                await write_frames(
+                    conn.writer, (encode_frame_fragments(envelope, conn.codec),)
+                )
                 reply = await read_frame(conn.reader)
         except (ConnectionError, OSError):
             # A cached connection may be stale (peer restarted); drop

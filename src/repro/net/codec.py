@@ -317,12 +317,41 @@ class Prepacked:
     Lets a caller that emits the same subtree many times (the client's
     batched sends) pay the generic encoding walk once.  Only valid
     inside binary envelopes — the JSON encoder rejects it.
+
+    The payload is a tuple of buffer *fragments* (``bytes`` or
+    ``memoryview``) rather than one flat byte string: producers hand
+    over views of their encode buffers without a trailing ``bytes()``
+    copy, and the scatter-gather frame encoder
+    (:func:`encode_envelope_fragments`) splices the views straight into
+    the outgoing frame's buffer list.  Fragments are frozen by
+    convention — nothing may mutate a buffer after wrapping it here (a
+    ``memoryview`` over a ``bytearray`` at least pins it against
+    resizing, so an accidental producer-side append fails fast).
     """
 
-    __slots__ = ("data",)
+    __slots__ = ("fragments",)
 
-    def __init__(self, data: bytes) -> None:
-        self.data = data
+    def __init__(
+        self,
+        data: "bytes | bytearray | memoryview | None" = None,
+        *,
+        fragments: "tuple | list | None" = None,
+    ) -> None:
+        if fragments is not None:
+            self.fragments: tuple = tuple(fragments)
+        else:
+            self.fragments = (data,)
+
+    @property
+    def data(self) -> bytes:
+        """The flat encoded bytes (joins the fragments; at most one copy)."""
+        frags = self.fragments
+        if len(frags) == 1 and type(frags[0]) is bytes:
+            return frags[0]
+        return b"".join(frags)
+
+    def __len__(self) -> int:
+        return sum(len(frag) for frag in self.fragments)
 
 
 def pack_value_bytes(value: Any) -> bytes:
@@ -466,7 +495,8 @@ def _pack_value(value: Any, out: bytearray) -> None:
         for item in value:
             _pack_value(item, out)
     elif type(value) is Prepacked:
-        out += value.data
+        for frag in value.fragments:
+            out += frag
     elif isinstance(value, list):
         if value and _pack_dense_entries(value, out, _T_ENTRIES_LIST):
             return
@@ -597,7 +627,9 @@ def pack_send_envelope(
         _pack_value(key, out)
     out += _SEND_KEY_MESSAGE
     out += packed
-    return Prepacked(bytes(out))
+    # A memoryview, not bytes(out): the buffer is complete and never
+    # touched again, so the wrap costs nothing and pins it frozen.
+    return Prepacked(memoryview(out))
 
 
 #: Prepacked fragments of the ok ``send`` sub-reply the batch handler
@@ -624,7 +656,7 @@ def pack_send_reply(request_id: int, value: Any) -> Prepacked:
     out += _REPLY_KEY_ID
     out.append(_T_INT)
     _pack_varint(_zigzag_big(request_id), out)
-    return Prepacked(bytes(out))
+    return Prepacked(memoryview(out))
 
 
 #: Exact byte prefixes of the canonical send sub-envelope and ok
@@ -974,6 +1006,140 @@ def encode_envelope_binary(obj: dict[str, Any]) -> bytes:
     return _LENGTH.pack(len(out)) + bytes(out)
 
 
+#: Prepacked splices shorter than this are copied into the current
+#: scratch buffer instead of earning their own buffer slot: below a
+#: couple hundred bytes the memcpy is cheaper than the extra list
+#: element the transport later joins.
+_SPLICE_MIN = 256
+
+
+class _FragmentWriter:
+    """Accumulates one frame as an ordered list of buffer fragments.
+
+    Generic packing appends to ``scratch`` (a growing bytearray);
+    :meth:`splice` seals the current scratch into the fragment list and
+    appends a :class:`Prepacked` value's buffers by reference — no
+    copy.  The closed list is what :func:`write_frames` hands to
+    ``StreamWriter.writelines``.  Callers must re-read ``scratch``
+    after any :meth:`splice` or recursion that may splice: sealing
+    replaces the scratch object.
+    """
+
+    __slots__ = ("fragments", "scratch")
+
+    def __init__(self) -> None:
+        self.fragments: list = []
+        self.scratch = bytearray()
+
+    def splice(self, value: Prepacked) -> None:
+        frags = value.fragments
+        total = 0
+        for frag in frags:
+            total += len(frag)
+        if total < _SPLICE_MIN:
+            scratch = self.scratch
+            for frag in frags:
+                scratch += frag
+            return
+        if self.scratch:
+            self.fragments.append(self.scratch)
+            self.scratch = bytearray()
+        self.fragments.extend(frags)
+
+    def close(self) -> list:
+        if self.scratch:
+            self.fragments.append(self.scratch)
+            self.scratch = bytearray()
+        return self.fragments
+
+
+def _pack_value_frags(value: Any, out: _FragmentWriter) -> None:
+    """Pack ``value`` into ``out``, splicing Prepacked subtrees by reference.
+
+    Untagged dicts and any list/tuple carrying a top-level
+    :class:`Prepacked` decompose here so the splice values they hold
+    are reached without copying; every other value delegates wholesale
+    to :func:`_pack_value`, which keeps the dense-entries and memoized
+    fast paths (and their exact output bytes) untouched.  The emitted
+    byte stream is identical to :func:`_pack_value`'s for every input —
+    only the chunking differs.
+    """
+    if type(value) is Prepacked:
+        out.splice(value)
+    elif isinstance(value, dict) and "!" not in value:
+        scratch = out.scratch
+        scratch.append(_T_DICT)
+        _pack_varint(len(value), scratch)
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(f"unencodable dict key: {key!r}")
+            out.scratch += _packed_str(key)
+            _pack_value_frags(item, out)
+    elif type(value) in (list, tuple) and any(
+        type(item) is Prepacked for item in value
+    ):
+        # A sequence holding a Prepacked can never take the dense
+        # entries encoding, so this header matches _pack_value's.
+        scratch = out.scratch
+        scratch.append(_T_LIST if type(value) is list else _T_TUPLE)
+        _pack_varint(len(value), scratch)
+        for item in value:
+            _pack_value_frags(item, out)
+    else:
+        _pack_value(value, out.scratch)
+
+
+def encode_envelope_fragments(obj: dict[str, Any]) -> list:
+    """Serialize one envelope as a framed binary *fragment list*.
+
+    The concatenation of the returned buffers (``bytes`` /
+    ``bytearray`` / ``memoryview``) is exactly
+    :func:`encode_envelope_binary` of the same envelope, but
+    :class:`Prepacked` payloads are spliced by reference instead of
+    re-copied — a reply built from cached bodies costs zero body
+    copies here.  Hand the list to :func:`write_frames` (or
+    ``b"".join`` it for the flat frame bytes).
+
+    Fragment lifetime: the buffers may alias producer-owned storage
+    (the memoryviews :func:`pack_send_reply` wraps), so the list must
+    be handed to the transport — which copies during ``writelines`` —
+    or joined before anything could mutate the producers.  Nothing in
+    this codebase mutates a wrapped buffer, so in practice the views
+    are released when the frame list is garbage collected.
+    """
+    out = _FragmentWriter()
+    scratch = out.scratch
+    scratch.append(BINARY_MAGIC)
+    scratch.append(BINARY_VERSION)
+    body = dict(obj)
+    opcode = _OPCODE_BY_OP.get(body.get("op"), 0)
+    if opcode:
+        del body["op"]
+    scratch.append(opcode)
+    _pack_value_frags(body, out)
+    fragments = out.close()
+    total = 0
+    for frag in fragments:
+        total += len(frag)
+    if total > MAX_FRAME:
+        raise WireError(f"frame too large: {total} bytes")
+    fragments.insert(0, _LENGTH.pack(total))
+    return fragments
+
+
+def encode_frame_fragments(obj: dict[str, Any], codec: str) -> list:
+    """One envelope's framed wire buffers under ``codec``.
+
+    The JSON codec has no splice values, so its "fragment list" is the
+    one flat framed byte string — callers treat both codecs uniformly
+    and the JSON wire bytes stay byte-identical to the legacy
+    :func:`encode_envelope` path.
+    """
+    if codec == CODEC_BINARY:
+        return encode_envelope_fragments(obj)
+    return [encode_envelope_as(obj, codec)]
+
+
 def decode_envelope_binary(body: bytes) -> dict[str, Any]:
     """Parse one binary frame body into an envelope dict.
 
@@ -1102,11 +1268,50 @@ async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
 
 
 async def write_frame(
-    writer: asyncio.StreamWriter, obj: dict[str, Any], *, codec: str = CODEC_JSON
+    writer: asyncio.StreamWriter,
+    obj: dict[str, Any],
+    *,
+    codec: str = CODEC_JSON,
+    flush: bool = True,
 ) -> None:
-    """Write one framed envelope (in ``codec``) and drain the transport."""
+    """Write one framed envelope (in ``codec``) to the transport.
+
+    ``flush=False`` skips the ``drain()`` so a batch/pipeline sender
+    can queue many frames and pay one flow-control wait at the end
+    (its own final ``flush=True`` write, or :func:`write_frames`)
+    instead of one await per envelope.
+    """
     writer.write(encode_envelope_as(obj, codec))
-    await writer.drain()
+    if flush:
+        await writer.drain()
+
+
+async def write_frames(
+    writer: asyncio.StreamWriter,
+    frames: "list | tuple",
+    *,
+    flush: bool = True,
+) -> None:
+    """Scatter-gather write: many frames, one ``writelines``, one drain.
+
+    ``frames`` is a sequence of per-frame buffer lists (from
+    :func:`encode_frame_fragments` / :func:`encode_envelope_fragments`)
+    or flat framed byte strings.  Every buffer goes to the transport in
+    a single ``writelines`` call — one C-level join + socket write on
+    CPython's asyncio — followed by at most one ``drain()``, so a
+    pipeline flush of N frames costs one flow-control wait instead
+    of N.
+    """
+    buffers: list = []
+    for frame in frames:
+        if isinstance(frame, (bytes, bytearray, memoryview)):
+            buffers.append(frame)
+        else:
+            buffers.extend(frame)
+    if buffers:
+        writer.writelines(buffers)
+    if flush:
+        await writer.drain()
 
 
 __all__ = [
@@ -1130,6 +1335,8 @@ __all__ = [
     "encode_envelope",
     "encode_envelope_as",
     "encode_envelope_binary",
+    "encode_envelope_fragments",
+    "encode_frame_fragments",
     "encode_message",
     "encode_value",
     "heartbeat_envelope",
@@ -1140,4 +1347,5 @@ __all__ = [
     "pack_value_bytes",
     "read_frame",
     "write_frame",
+    "write_frames",
 ]

@@ -40,6 +40,7 @@ dispatch over injected state.
 from __future__ import annotations
 
 import asyncio
+import base64
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -48,7 +49,7 @@ from repro.cluster.messages import LookupRequest, Message, MessageCategory
 from repro.cluster.network import DROPPED, is_undelivered
 from repro.core.entry import make_entries
 from repro.core.exceptions import InvalidParameterError
-from repro.net.cache import DEFAULT_CAPACITY, ReplyCache
+from repro.net.cache import DEFAULT_CAPACITY, ReplyCache, SharedReplyCache
 from repro.net.codec import (
     CODEC_BINARY,
     CODEC_JSON,
@@ -58,6 +59,7 @@ from repro.net.codec import (
     WireError,
     decode_heartbeat,
     decode_message,
+    encode_envelope_fragments,
     encode_message,
     encode_value,
     negotiate_codec,
@@ -65,6 +67,7 @@ from repro.net.codec import (
     pack_value_bytes,
     read_frame,
     write_frame,
+    write_frames,
 )
 from repro.net.sharding import ShardMap, partial_replica
 from repro.obs.metrics import MetricsRegistry
@@ -114,6 +117,11 @@ class ServiceConfig:
     probes: int = 21
     #: Hot-key reply cache capacity (entries); 0 disables the cache.
     cache_size: int = DEFAULT_CAPACITY
+    #: Whether a worker fleet backs its reply caches with one
+    #: cross-process shared-memory segment (``serve --shared-cache``).
+    #: Single-process deployments ignore it (there is nobody to share
+    #: with); the fleet supervisor reads it before forking.
+    shared_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.cache_size < 0:
@@ -199,6 +207,17 @@ class LookupService:
             ReplyCache(self.config.cache_size) if self.config.cache_size else None
         )
         self._epochs: dict[str, int] = {}
+        #: Cross-process shared reply cache (attached by the worker
+        #: fleet; see :mod:`repro.net.workers`).  None everywhere else.
+        self.shared_cache: Optional[SharedReplyCache] = None
+        #: Per-scheme *bus-derived* epochs stamping shared-cache
+        #: entries: the writer-bus epoch of the scheme's last applied
+        #: delta.  Unlike ``_epochs`` (a process-local mutation count),
+        #: these mean the same thing in every worker, which is what
+        #: makes a cross-process stamp match a proof of identical
+        #: store state.  Maintained by the bus/delta plumbing via
+        #: :meth:`set_shared_epoch`.
+        self._shared_epochs: dict[str, int] = {}
         #: Worker-fleet placement (set by :mod:`repro.net.workers`);
         #: the defaults describe a plain single-process serve.
         self.worker_index = 0
@@ -349,6 +368,12 @@ class LookupService:
         if cache is not None:
             cache_caps.update(cache.snapshot())
             cache.publish(self.metrics)
+        shared = self.shared_cache
+        shared_caps: dict[str, Any] = {"enabled": shared is not None}
+        if shared is not None:
+            shared_caps.update(shared.snapshot())
+            shared.publish(self.metrics)
+        cache_caps["shared"] = shared_caps
         return {
             "codecs": list(SUPPORTED_CODECS),
             "batch": True,
@@ -532,9 +557,101 @@ class LookupService:
             self.reply_cache.invalidate(key)
 
     def flush_cache(self) -> None:
-        """Drop every cached reply (e.g. after out-of-band store edits)."""
+        """Drop every cached reply (e.g. after out-of-band store edits).
+
+        Local only: shared-cache entries are epoch-stamped with
+        bus-assigned values, so a resync makes this process's stamps
+        move instead of clearing the segment other workers still use.
+        """
         if self.reply_cache is not None:
             self.reply_cache.clear()
+
+    def set_shared_epoch(self, key: str, epoch: int) -> None:
+        """Adopt the writer-bus epoch of ``key``'s last applied delta.
+
+        Called by the fleet plumbing (bus apply, delta apply, resync)
+        — never by local mutation bookkeeping.  A shared-cache entry
+        is served only when its stamp equals this value, so two
+        workers agree on an entry exactly when they have applied the
+        same delta prefix for the scheme.
+        """
+        self._shared_epochs[key] = epoch
+
+    def shared_epoch(self, key: str) -> int:
+        """The bus-derived epoch shared-cache entries stamp for ``key``."""
+        return self._shared_epochs.get(key, 0)
+
+    # -- warm handoff (worker fleet) -----------------------------------------
+
+    def export_hot_set(self, limit: int = 256) -> list[dict[str, Any]]:
+        """The local cache's live hot rows, wire-shaped for the writer bus.
+
+        MRU-first, only rows still stamped with their scheme's current
+        epoch (a stale row would be dropped on import anyway).  Binary
+        bodies travel base64-wrapped — the bus speaks JSON.
+        """
+        if self.reply_cache is None:
+            return []
+        rows: list[dict[str, Any]] = []
+        for key, stamp, payload in self.reply_cache.export_hot(limit):
+            if not (isinstance(key, tuple) and len(key) == 5):
+                continue
+            scheme = key[2]
+            if stamp != self._epochs.get(scheme, 0):
+                continue
+            body: Any
+            if key[0] == CODEC_BINARY:
+                raw_body = (
+                    payload.data
+                    if isinstance(payload, Prepacked)
+                    else bytes(payload)
+                )
+                body = base64.b64encode(raw_body).decode("ascii")
+            else:
+                body = payload  # already JSON-shaped
+            rows.append({"slot": list(key), "body": body})
+        return rows
+
+    def import_hot_set(self, rows: Any) -> int:
+        """Adopt a warm-handoff hot set into the local cache; row count.
+
+        The caller guarantees the rows describe this process's
+        *current* store state (the fleet ships them in the same
+        ``sync_reply`` as the snapshot and applies both without
+        yielding), so entries are stamped with the current epochs.
+        Malformed rows are skipped — the handoff is best-effort.
+        """
+        cache = self.reply_cache
+        if cache is None or not isinstance(rows, list):
+            return 0
+        imported = 0
+        for row in reversed(rows):  # hottest rows land most-recent
+            if not isinstance(row, dict):
+                continue
+            slot = row.get("slot")
+            if not (isinstance(slot, list) and len(slot) == 5):
+                continue
+            codec, op, scheme, server, target = slot
+            if scheme not in self.strategies:
+                continue
+            body = row.get("body")
+            payload: Any
+            if codec == CODEC_BINARY:
+                if not isinstance(body, str):
+                    continue
+                try:
+                    payload = Prepacked(base64.b64decode(body.encode("ascii")))
+                except ValueError:
+                    continue
+            else:
+                payload = body
+            cache.put(
+                (codec, op, scheme, server, target),
+                self._epochs.get(scheme, 0),
+                payload,
+            )
+            imported += 1
+        return imported
 
     def _cache_slot(
         self, server_id: int, key: str, message: Message, raw: bool
@@ -579,26 +696,34 @@ class LookupService:
         message = decode_message(envelope["message"])
         network = self.cluster.network
         cache = self.reply_cache
+        # The shared segment holds packed binary bodies only; a JSON
+        # connection keeps the per-process cache to itself.
+        shared = self.shared_cache if raw else None
         slot = None
         if message.category is not MessageCategory.LOOKUP:
             # Invalidate-before-apply: no post-mutation request may
             # ever see a pre-mutation cached reply, even if the
             # handler raises half-way through.
             self.note_mutation(key)
-        elif cache is not None:
+        elif cache is not None or shared is not None:
             slot = self._cache_slot(server_id, key, message, raw)
             if slot is not None:
-                epoch = self._epochs.get(key, 0)
-                payload = cache.get(slot, epoch)
-                if payload is not None:
-                    # A hit must keep the Section 6.4 books identical
-                    # to the uncached path: the message *was* served.
-                    network.stats.record(server_id, message)
-                    if network._message_log is not None:
-                        network._message_log.append(
-                            (server_id, type(message).__name__)
-                        )
-                    return {"ok": True, "value": payload}
+                if cache is not None:
+                    epoch = self._epochs.get(key, 0)
+                    payload = cache.get(slot, epoch)
+                    if payload is not None:
+                        self._book_cached_send(network, server_id, message)
+                        return {"ok": True, "value": payload}
+                if shared is not None:
+                    body = shared.get(slot, self._shared_epochs.get(key, 0))
+                    if body is not None:
+                        payload = Prepacked(body)
+                        if cache is not None:
+                            # Promote: later hits on this worker skip
+                            # the segment probe and body copy.
+                            cache.put(slot, self._epochs.get(key, 0), payload)
+                        self._book_cached_send(network, server_id, message)
+                        return {"ok": True, "value": payload}
         reply = network.send(server_id, key, message)
         if is_undelivered(reply):
             code = "dropped" if reply is DROPPED else "unavailable"
@@ -611,9 +736,24 @@ class LookupService:
             # Pack once, serve many: the cached payload is already in
             # its wire form, so later hits are splice/memcpy-only.
             payload = Prepacked(pack_value_bytes(reply)) if raw else encode_value(reply)
-            cache.put(slot, self._epochs.get(key, 0), payload)
+            if cache is not None:
+                cache.put(slot, self._epochs.get(key, 0), payload)
+            if shared is not None:
+                # No awaits separate the send above from this fill, so
+                # the stamp still matches the state the reply saw.
+                shared.put(slot, self._shared_epochs.get(key, 0), payload.data)
             return {"ok": True, "value": payload}
         return {"ok": True, "value": reply if raw else encode_value(reply)}
+
+    @staticmethod
+    def _book_cached_send(
+        network: Any, server_id: int, message: Message
+    ) -> None:
+        # A cache hit must keep the Section 6.4 books identical to the
+        # uncached path: the message *was* served.
+        network.stats.record(server_id, message)
+        if network._message_log is not None:
+            network._message_log.append((server_id, type(message).__name__))
 
     def _handle_verify(self, envelope: dict[str, Any]) -> dict[str, Any]:
         key = envelope["key"]
@@ -676,7 +816,15 @@ class LookupService:
                 reply = await self.handle_envelope_async(
                     envelope, raw=codec == CODEC_BINARY
                 )
-                await write_frame(writer, reply, codec=codec)
+                if codec == CODEC_BINARY:
+                    # Zero-copy path: cached/prepacked bodies are
+                    # spliced into the frame's buffer list and the
+                    # whole reply goes out in one writelines+drain.
+                    await write_frames(
+                        writer, (encode_envelope_fragments(reply),)
+                    )
+                else:
+                    await write_frame(writer, reply, codec=codec)
                 if envelope.get("op") == "hello" and reply.get("ok"):
                     codec = reply["value"]["codec"]
         except (ConnectionError, OSError):

@@ -42,8 +42,11 @@ framing; see ``docs/protocols.md``):
   answering its client: read-your-writes on that connection.
 - writer → every other reader ``{"op": "delta", "delta": {...}}``.
 - reader → writer ``{"op": "sync", "id": n}`` answered by
-  ``{"op": "sync_reply", "id": n, "epoch": E, "stores": {...}}`` — a
-  full store snapshot, used on (re)connect and on gap recovery.
+  ``{"op": "sync_reply", "id": n, "epoch": E, "stores": {...},
+  "scheme_epochs": {...}, "hot": [...]}`` — a full store snapshot,
+  used on (re)connect and on gap recovery, plus the shared-cache
+  epoch map and the writer's warm-handoff hot set (see
+  ``docs/protocols.md`` §7 for the row schema).
 
 A delta is ``{"epoch": E, "key": scheme, "servers": {"<sid>":
 {"add": [entry...], "drop": [entry_id...]}}}`` with epochs assigned by
@@ -77,6 +80,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.messages import Message
 from repro.core.exceptions import InvalidParameterError
+from repro.net.cache import SharedReplyCache
 from repro.net.codec import (
     FrameError,
     decode_value,
@@ -167,6 +171,11 @@ def apply_delta(service: LookupService, delta: Dict[str, Any]) -> None:
     if key not in service.strategies:
         return
     service.note_mutation(key)
+    epoch = delta.get("epoch")
+    if isinstance(epoch, int):
+        # Adopt the bus epoch as the scheme's shared-cache stamp: all
+        # workers that applied the same delta prefix stamp identically.
+        service.set_shared_epoch(key, epoch)
     servers = service.cluster.servers
     for sid_text, change in delta["servers"].items():
         store = servers[int(sid_text)].store(key)
@@ -246,10 +255,26 @@ class DeltaApplier:
         apply_delta(self.service, delta)
         self.applied = delta["epoch"]
 
-    def resync(self, epoch: int, snapshot: Dict[str, Any]) -> None:
-        """Adopt a full snapshot taken at ``epoch``; drop the buffer."""
+    def resync(
+        self,
+        epoch: int,
+        snapshot: Dict[str, Any],
+        scheme_epochs: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Adopt a full snapshot taken at ``epoch``; drop the buffer.
+
+        ``scheme_epochs`` (when the writer supplied one) realigns the
+        shared-cache stamps with the snapshot: after a resync this
+        worker's stores match the writer's at exactly those per-scheme
+        bus epochs, so shared slots stamped with them are valid here.
+        """
         load_snapshot(self.service, snapshot)
         self.service.flush_cache()
+        if scheme_epochs is not None:
+            for key in self.service.strategies:
+                value = scheme_epochs.get(key)
+                if isinstance(value, int):
+                    self.service.set_shared_epoch(key, value)
         self.applied = epoch
         self._pending.clear()
 
@@ -275,6 +300,9 @@ class WriterBus:
         self.service = service
         self.path = path
         self.epoch = 0
+        #: Bus epoch of each scheme's last applied delta — the stamps
+        #: the shared reply cache keys its coherence on.
+        self.scheme_epochs: Dict[str, int] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._conns: set = set()
         self._tasks: set = set()
@@ -329,6 +357,8 @@ class WriterBus:
         if delta is not None:
             self.epoch += 1
             delta["epoch"] = self.epoch
+            self.scheme_epochs[delta["key"]] = self.epoch
+            self.service.set_shared_epoch(delta["key"], self.epoch)
         return reply, delta
 
     async def forward(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
@@ -371,6 +401,8 @@ class WriterBus:
                 "id": frame.get("id"),
                 "epoch": self.epoch,
                 "stores": snapshot_stores(self.service),
+                "scheme_epochs": dict(self.scheme_epochs),
+                "hot": self.service.export_hot_set(),
             }
             async with lock:
                 await write_frame(writer, response)
@@ -464,7 +496,17 @@ class WriteForwarder:
 
     async def _sync(self) -> None:
         reply = await self._request({"op": "sync"})
-        self.applier.resync(reply.get("epoch", 0), reply.get("stores", {}))
+        # Snapshot adoption, stamp realignment, and the warm handoff
+        # all run synchronously here — no await separates them, so no
+        # delta or client request can interleave and skew the stamps.
+        self.applier.resync(
+            reply.get("epoch", 0),
+            reply.get("stores", {}),
+            reply.get("scheme_epochs") or {},
+        )
+        hot = reply.get("hot")
+        if isinstance(hot, list) and hot:
+            self.service.import_hot_set(hot)
         self._advanced.set()
 
     async def forward(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
@@ -561,6 +603,7 @@ def _worker_main(
     reuseport: bool,
     shared_sock: Optional[socket.socket],
     ready_path: str,
+    shared_cache: Optional[SharedReplyCache] = None,
 ) -> None:
     # The child inherited the parent's signal handlers and both
     # lifeline ends across fork; reset the former, and drop the write
@@ -582,6 +625,7 @@ def _worker_main(
                 reuseport,
                 shared_sock,
                 ready_path,
+                shared_cache,
             )
         )
     )
@@ -598,11 +642,15 @@ async def _worker_async(
     reuseport: bool,
     shared_sock: Optional[socket.socket],
     ready_path: str,
+    shared_cache: Optional[SharedReplyCache] = None,
 ) -> int:
     service = LookupService(config)
     service.worker_index = index
     service.worker_count = total
     service.worker_role = "writer" if index == 0 else "reader"
+    # The segment was created pre-fork by the supervisor; every worker
+    # inherited the same mapping and writer lock across fork.
+    service.shared_cache = shared_cache
 
     stop = asyncio.Event()
     exit_code = 0
@@ -683,6 +731,20 @@ class _Supervisor:
         self._placeholder: Optional[socket.socket] = None
         self._shared: Optional[socket.socket] = None
         self._lifeline_r, self._lifeline_w = os.pipe()
+        self.shared_cache: Optional[SharedReplyCache] = None
+        if config.shared_cache and config.cache_size:
+            # Created before any fork so every worker inherits the one
+            # mapping.  A box without (enough) /dev/shm just falls back
+            # to the per-process caches — never a boot failure.
+            try:
+                self.shared_cache = SharedReplyCache()
+            except (OSError, ValueError) as exc:
+                print(
+                    f"[serve] shared reply cache unavailable ({exc}); "
+                    "workers fall back to per-process caches",
+                    file=sys.stderr,
+                    flush=True,
+                )
 
     # -- socket setup --------------------------------------------------------
 
@@ -731,6 +793,7 @@ class _Supervisor:
                 self.reuseport,
                 self._shared,
                 ready,
+                self.shared_cache,
             ),
             name=f"repro-worker-{index}",
         )
@@ -852,6 +915,9 @@ class _Supervisor:
         for sock in (self._placeholder, self._shared):
             if sock is not None:
                 sock.close()
+        if self.shared_cache is not None:
+            self.shared_cache.close(unlink=True)
+            self.shared_cache = None
         with contextlib.suppress(OSError):
             import shutil
 

@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 from repro.cluster.messages import AddRequest, DeleteRequest, LookupRequest
 from repro.core.entry import Entry
 from repro.core.exceptions import InvalidParameterError
-from repro.net.cache import DEFAULT_CAPACITY, ReplyCache
+from repro.net.cache import DEFAULT_CAPACITY, ReplyCache, SharedReplyCache
 from repro.net.codec import CODEC_BINARY, CODEC_JSON, encode_envelope_as, encode_message
 from repro.net.service import DEFAULT_SCHEMES, LookupService, ServiceConfig
 from repro.obs.metrics import MetricsRegistry
@@ -154,6 +154,56 @@ def test_any_interleaving_is_byte_identical_to_cache_off(steps, codec_pick):
     )
 
 
+@settings(deadline=None, max_examples=30)
+@given(steps=steps, codec_pick=st.booleans())
+def test_shared_cache_is_byte_identical_across_sharing_services(steps, codec_pick):
+    """Legacy per-process cache, cache-off, and two services sharing
+    one shared-memory segment (two workers in miniature, bus epochs
+    emulated) answer byte-identically under any interleaving."""
+    codec = CODEC_BINARY if codec_pick else CODEC_JSON
+    raw = codec == CODEC_BINARY
+
+    def make(**kw):
+        return LookupService(
+            ServiceConfig(server_count=6, entry_count=8, seed=13, **kw)
+        )
+
+    legacy, plain, first, second = make(), make(cache_size=0), make(), make()
+    try:
+        shared = SharedReplyCache(slots=128, slot_size=4096)
+    except (OSError, ValueError) as exc:  # pragma: no cover - env-dependent
+        pytest.skip(f"POSIX shared memory unavailable: {exc}")
+    first.shared_cache = shared
+    second.shared_cache = shared
+    bus_epoch = 0
+    try:
+        for step in steps:
+            envelope = _step_envelope(legacy, step)
+            wires = {
+                encode_envelope_as(
+                    service.handle_envelope(dict(envelope), raw=raw), codec
+                )
+                for service in (legacy, plain, first, second)
+            }
+            assert len(wires) == 1
+            if step[0] != 0:
+                # Emulate the writer bus: every mutation earns one
+                # globally monotonic epoch, adopted by both sharers.
+                bus_epoch += 1
+                key = SCHEMES[step[1]]
+                first.set_shared_epoch(key, bus_epoch)
+                second.set_shared_epoch(key, bus_epoch)
+        # Section 6.4 accounting: a shared hit books the same message
+        # the bypassed Network.send would have, on its own cluster.
+        for service in (legacy, first, second):
+            assert (
+                service.cluster.network.stats.total
+                == plain.cluster.network.stats.total
+            )
+    finally:
+        shared.close(unlink=True)
+
+
 def test_mutation_invalidates_before_the_reply_is_sent():
     """The reply to a mutation is the linearization point: any lookup
     issued after it must see post-mutation state, even on the scheme's
@@ -246,4 +296,4 @@ def test_cache_disabled_capabilities():
         ServiceConfig(server_count=6, entry_count=8, seed=13, cache_size=0)
     )
     caps = service.capabilities()
-    assert caps["cache"] == {"enabled": False}
+    assert caps["cache"] == {"enabled": False, "shared": {"enabled": False}}

@@ -37,6 +37,8 @@ from repro.net.codec import (
     encode_envelope,
     encode_envelope_as,
     encode_envelope_binary,
+    encode_envelope_fragments,
+    encode_frame_fragments,
     encode_message,
     encode_value,
     hello_envelope,
@@ -380,3 +382,72 @@ def test_lookup_request_binary_is_compact():
     binary = encode_envelope_binary(envelope)
     as_json = encode_envelope({**envelope, "message": encode_message(LookupRequest(8))})
     assert len(binary) < len(as_json) / 2
+
+
+# --------------------------------------------------------------------------
+# The zero-copy fragment encoder
+# --------------------------------------------------------------------------
+
+
+def _joined(fragments):
+    return b"".join(bytes(buffer) for buffer in fragments)
+
+
+class TestFragmentEncoder:
+    """`encode_envelope_fragments` must be `encode_envelope_binary`
+    with different chunking: same bytes, always, for every envelope —
+    that identity is what lets the service swap the flat encoder for
+    the scatter-gather one without a wire version bump."""
+
+    @given(value=wire_values)
+    @settings(deadline=None)
+    def test_fragment_join_matches_flat_encoding(self, value):
+        envelope = {"op": "send", "v": value}
+        assert _joined(encode_envelope_fragments(envelope)) == encode_envelope_binary(
+            envelope
+        )
+
+    @given(
+        request_ids=st.lists(
+            st.integers(min_value=0, max_value=2**20), min_size=1, max_size=6
+        ),
+        value=wire_values,
+    )
+    @settings(deadline=None)
+    def test_prepacked_splices_are_byte_identical(self, request_ids, value):
+        requests = [
+            pack_send_envelope(rid, rid % 7, "hash", LookupRequest(0))
+            for rid in request_ids
+        ]
+        replies = [pack_send_reply(rid, value) for rid in request_ids]
+        envelope = {
+            "op": "batch",
+            "requests": requests,
+            "replies": replies,
+            "extra": value,
+        }
+        flat = _joined(encode_envelope_fragments(envelope))
+        assert flat == encode_envelope_binary(envelope)
+        assert decode_envelope_binary(flat[4:])["op"] == "batch"
+
+    def test_large_splices_earn_their_own_fragments(self):
+        reply = pack_send_reply(1, tuple(Entry(f"v{i}") for i in range(1, 400)))
+        envelope = {"op": "batch", "replies": [reply, reply]}
+        fragments = encode_envelope_fragments(envelope)
+        # length prefix + scratch + two by-reference splices at least
+        assert len(fragments) >= 4
+        assert any(isinstance(buffer, memoryview) for buffer in fragments)
+        assert _joined(fragments) == encode_envelope_binary(envelope)
+
+    def test_small_splices_fold_into_scratch(self):
+        tiny = pack_send_reply(2, ())
+        envelope = {"op": "batch", "replies": [tiny] * 8}
+        fragments = encode_envelope_fragments(envelope)
+        assert len(fragments) == 2  # length prefix + one sealed scratch
+        assert _joined(fragments) == encode_envelope_binary(envelope)
+
+    def test_json_frame_fragments_are_the_legacy_bytes(self):
+        envelope = {"op": "ping"}
+        assert encode_frame_fragments(envelope, CODEC_JSON) == [
+            encode_envelope_as(envelope, CODEC_JSON)
+        ]

@@ -10,6 +10,7 @@ CLI supervisor (skipped where ``SO_REUSEPORT`` is unavailable).
 import asyncio
 import os
 import signal
+import struct
 import subprocess
 import sys
 import tempfile
@@ -19,7 +20,13 @@ import pytest
 
 from repro.cluster.messages import AddRequest, DeleteRequest, LookupRequest
 from repro.core.entry import Entry
-from repro.net.codec import encode_message
+from repro.net.codec import (
+    CODEC_BINARY,
+    decode_envelope_binary,
+    encode_message,
+    read_frame,
+    write_frame,
+)
 from repro.net.service import LookupService, ServiceConfig, envelope_mutates
 from repro.net.workers import (
     MAX_DELTA_BUFFER,
@@ -472,3 +479,156 @@ class TestFleetEndToEnd:
         )
         with pytest.raises(InvalidParameterError, match="--peers"):
             cmd_serve(args)
+
+
+# --------------------------------------------------------------------------
+# Warm respawn: the shared cache + hot-set handoff, end to end
+# --------------------------------------------------------------------------
+
+
+HOT_LOOKUP = {
+    "op": "send",
+    "server": 0,
+    "key": "full_replication",
+    "message": encode_message(LookupRequest(0)),
+}
+
+
+async def _hello_binary(host, port):
+    """One fresh connection negotiated onto the binary codec."""
+    reader, writer = await asyncio.open_connection(host, port)
+    await write_frame(writer, {"op": "hello", "codecs": ["binary", "json"]})
+    reply = await asyncio.wait_for(read_frame(reader), 10)
+    assert reply["ok"] and reply["value"]["codec"] == "binary", reply
+    return reader, writer
+
+
+async def _binary_request_raw(reader, writer, envelope):
+    """Send one binary envelope; return the raw reply frame bytes."""
+    await write_frame(writer, dict(envelope), codec=CODEC_BINARY)
+    header = await asyncio.wait_for(reader.readexactly(4), 10)
+    (length,) = struct.unpack(">I", header)
+    return header + await asyncio.wait_for(reader.readexactly(length), 10)
+
+
+async def _probe(host, port):
+    """Hot lookup then capabilities on one fresh binary connection.
+
+    Returns ``(raw reply bytes, capabilities dict)`` — the lookup goes
+    first so the capabilities counters include it and nothing else.
+    """
+    reader, writer = await _hello_binary(host, port)
+    try:
+        raw = await _binary_request_raw(reader, writer, HOT_LOOKUP)
+        info_raw = await _binary_request_raw(reader, writer, {"op": "info"})
+        info = decode_envelope_binary(info_raw[4:])["value"]
+        return raw, info["capabilities"]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _manifest(path):
+    pids = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            index, pid = line.split()
+            pids[int(index)] = int(pid)
+    return pids
+
+
+class TestWarmRespawn:
+    def test_respawned_reader_serves_hot_key_warm(self):
+        """SIGKILL a reader mid-fleet: its replacement must answer the
+        previously-hot key as a cache hit — no cold miss — and
+        byte-identically to the pre-kill replies, because the writer
+        shipped its hot set (stamped with bus epochs) over the sync
+        handshake and the shared segment survived the kill."""
+        with tempfile.TemporaryDirectory() as tmp:
+            ready = os.path.join(tmp, "ready")
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH", "")]
+            )
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    "--workers", "2", "--port", "0",
+                    "--servers", "6", "--entries", "10",
+                    "--ready-file", ready,
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=env,
+            )
+            try:
+                deadline = time.time() + 30
+                while time.time() < deadline and not (
+                    os.path.exists(ready) and os.path.getsize(ready)
+                ):
+                    assert proc.poll() is None, proc.stdout.read()
+                    time.sleep(0.1)
+                host, port = open(ready).read().split()
+                port = int(port)
+
+                async def scenario():
+                    # Warm every worker's cache: fresh connections land
+                    # on either worker; keep probing until both have
+                    # served the hot lookup at least once.  The writer
+                    # (index 0) matters most — its hot set is what the
+                    # respawned reader will be handed.
+                    baselines = {}
+                    for _ in range(60):
+                        raw, caps = await _probe(host, port)
+                        index = caps["workers"]["index"]
+                        if index in baselines:
+                            assert baselines[index] == raw
+                        baselines[index] = raw
+                        if {0, 1} <= set(baselines):
+                            break
+                    assert {0, 1} <= set(baselines), (
+                        f"probes only reached workers {sorted(baselines)}"
+                    )
+                    # Both workers answer byte-identically already.
+                    assert baselines[0] == baselines[1]
+                    return baselines[0]
+
+                baseline = asyncio.run(asyncio.wait_for(scenario(), 60))
+
+                victims = _manifest(f"{ready}.workers")
+                os.kill(victims[1], signal.SIGKILL)
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    assert proc.poll() is None, "fleet died after reader kill"
+                    fresh = _manifest(f"{ready}.workers")
+                    if fresh.get(1) and fresh[1] != victims[1]:
+                        break
+                    time.sleep(0.1)
+                else:
+                    raise AssertionError("reader was never respawned")
+
+                async def after():
+                    for _ in range(60):
+                        raw, caps = await _probe(host, port)
+                        if caps["workers"]["index"] != 1:
+                            continue  # landed on the writer; try again
+                        cache = caps["cache"]
+                        # Its *first* lookup (ours) was a hit: the hot
+                        # set arrived before the first connection.
+                        assert cache["hits"] >= 1, cache
+                        assert cache["misses"] == 0, cache
+                        assert raw == baseline
+                        return
+                    raise AssertionError(
+                        "probes never reached the respawned reader"
+                    )
+
+                asyncio.run(asyncio.wait_for(after(), 60))
+            finally:
+                proc.send_signal(signal.SIGTERM)
+                out, _ = proc.communicate(timeout=30)
+            assert "Traceback" not in out, out
