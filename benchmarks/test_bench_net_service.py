@@ -30,6 +30,13 @@ go into the ``--bench-json`` artifact:
   clients, torn down with SIGTERM and asserted to exit cleanly.  The
   ``_workers2`` suffix lets ``scripts/check_bench_regression.py``
   demote the metric to informational on boxes with fewer cores.
+- ``net_log_store_lookups_per_sec`` / ``net_log_store_ratio`` — the
+  batched workload against a ``--store log`` service vs its in-memory
+  twin; the ratio is gated at >= 0.8 (lookups never journal, so the
+  durable backend's read path must cost what memory's does).
+- ``net_log_recovery_entries_per_sec`` — cold-start journal replay
+  cost: a crashed five-scheme placement rebuilt from disk, timed as a
+  whole ``LookupService`` construction.
 
 Recorded numbers are machine-relative.  The committed baselines were
 taken on a 1-core CI-class container; absolute values on other
@@ -589,3 +596,103 @@ def test_bench_net_warm_respawn_hit_rate(bench_json_record):
     print(f"\nnet service warm respawn: respawned reader hit rate {hit_rate:.3f}")
     bench_json_record("net_warm_respawn_hit_rate", round(hit_rate, 3))
     assert hit_rate >= 0.99
+
+
+# --------------------------------------------------------------------------
+# Append-log store: read-path parity with memory, and recovery cost
+# --------------------------------------------------------------------------
+
+LOG_STORE_LOOKUPS = 3000
+
+
+async def _store_throughput(store, data_dir=None):
+    """The pipelined batched-lookup workload against a chosen backend.
+
+    Lookups never journal (only mutations append records), so the log
+    backend's read path should cost what the memory backend's does —
+    this pair of runs is the proof, and ``net_log_store_ratio`` the
+    regression tripwire for any journaling that leaks onto reads.
+    """
+    overrides = {}
+    if store == "log":
+        overrides = {"store": "log", "data_dir": data_dir}
+    service = LookupService(
+        ServiceConfig(server_count=16, entry_count=40, seed=3, **overrides)
+    )
+    host, port = await service.start(port=0)
+    try:
+        count, elapsed = await _drive_batched(host, port, 7, LOG_STORE_LOOKUPS)
+    finally:
+        await service.stop()
+    return count / elapsed
+
+
+def test_bench_net_log_store_throughput(bench_json_record):
+    with tempfile.TemporaryDirectory(prefix="bench-logstore-") as tmpdir:
+        log_rate = asyncio.run(
+            asyncio.wait_for(_store_throughput("log", tmpdir), timeout=120)
+        )
+    memory_rate = asyncio.run(
+        asyncio.wait_for(_store_throughput("memory"), timeout=120)
+    )
+    ratio = log_rate / memory_rate
+    print(
+        f"\nnet service log store: {LOG_STORE_LOOKUPS} lookups "
+        f"(target {TARGET}, {BATCH_SCHEME}, binary codec, pipelined) "
+        f"-> log {log_rate:,.0f}/s vs memory {memory_rate:,.0f}/s "
+        f"({ratio:.2f}x)"
+    )
+    bench_json_record("net_log_store_lookups_per_sec", round(log_rate, 1))
+    # Informational name (no _per_sec suffix) but gated by an absolute
+    # floor in scripts/check_bench_regression.py: the acceptance
+    # criterion is the log backend serving >= 80% of memory's rate.
+    bench_json_record("net_log_store_ratio", round(ratio, 2))
+    assert ratio >= 0.8
+
+
+RECOVERY_SERVERS = 12
+RECOVERY_ENTRIES = 400
+
+
+def test_bench_net_log_recovery(bench_json_record):
+    """Cold-start journal replay cost, in recovered store entries/sec.
+
+    Builds a full five-scheme placement on the log backend (every add
+    journaled), closes the journal as a crash would leave it, and times
+    a complete ``LookupService`` reconstruction from disk — replay,
+    image application, and strategy re-construction included.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-recovery-") as tmpdir:
+        def config():
+            return ServiceConfig(
+                server_count=RECOVERY_SERVERS,
+                entry_count=RECOVERY_ENTRIES,
+                seed=3,
+                store="log",
+                data_dir=tmpdir,
+            )
+
+        crashed = LookupService(config())
+        stored = sum(
+            crashed.cluster.storage_cost(key) for key in crashed.strategies
+        )
+        crashed.journal.close()
+        started = time.perf_counter()
+        reborn = LookupService(config())
+        elapsed = time.perf_counter() - started
+        assert reborn.recovered
+        recovered = sum(
+            reborn.cluster.storage_cost(key) for key in reborn.strategies
+        )
+        assert recovered == stored
+    entries_per_sec = stored / elapsed
+    print(
+        f"\nnet service log recovery: {stored} store entries "
+        f"({RECOVERY_SERVERS} servers x {RECOVERY_ENTRIES} entries, "
+        f"5 schemes) replayed in {elapsed:.3f}s "
+        f"-> {entries_per_sec:,.0f} entries/s"
+    )
+    bench_json_record("net_log_recovery_entries_per_sec", round(entries_per_sec, 1))
+    # Far-below-plausible floor: catches a pathological replay (e.g.
+    # quadratic re-scans) without being machine-sensitive.
+    assert entries_per_sec > 1000

@@ -21,6 +21,12 @@ artifact was recorded with fewer than N CPUs (top-level
 produces a meaningless sub-1x "speedup", and gating on it would fail
 every PR for reasons unrelated to the code.
 
+A few metrics carry an *absolute* floor independent of the baseline
+(see ``ABSOLUTE_FLOORS``): ``net_log_store_ratio`` is the append-log
+backend's lookup throughput as a fraction of the in-memory backend's,
+and the acceptance criterion is >= 0.8 on every run — a baseline that
+itself regressed must not grandfather a slower durable read path.
+
 The committed baseline (``BENCH_results.json``) is refreshed in the PR
 that changes the measured performance; see docs/performance.md.
 """
@@ -35,6 +41,13 @@ import sys
 #: ``..._jobsN`` / ``..._workersN`` suffix on a speedup metric: the
 #: parallelism the measurement needs to be meaningful.
 JOBS_RE = re.compile(r"_(?:jobs|workers)(\d+)")
+
+#: Metric name -> minimum acceptable value on *every* run, baseline or
+#: not.  These encode acceptance criteria rather than
+#: relative-to-baseline performance.
+ABSOLUTE_FLOORS = {
+    "net_log_store_ratio": 0.8,
+}
 
 
 def _load(path: str) -> dict:
@@ -119,6 +132,19 @@ def main(argv=None) -> int:
             print(f"{verdict:>10}  {name} = {now_value} (base {base_value})")
         else:
             print(f"      info  {name} = {now_value} (base {base_value})")
+
+    for name, floor in sorted(ABSOLUTE_FLOORS.items()):
+        now_value = current.get("metrics", {}).get(name)
+        if now_value is None:
+            print(f"SKIP metric (not in current run): {name}")
+            continue
+        verdict = "ok"
+        if now_value < floor:
+            verdict = "REGRESSION"
+            failures.append(
+                f"metric {name}: {now_value} below the absolute floor {floor}"
+            )
+        print(f"{verdict:>10}  {name} = {now_value} (absolute floor {floor})")
 
     if failures:
         print("\nBENCHMARK REGRESSIONS:", file=sys.stderr)

@@ -29,6 +29,13 @@ down every worker (verified by pid), and the ``info.capabilities``
 cache counters show real hot-key hits — written out as a JSON
 artifact with ``--cache-stats PATH`` for CI to upload.
 
+Finally the durability contract: a ``serve --store log`` service is
+populated, SIGKILLed mid-workload (no shutdown path runs), and
+restarted on the same data directory — the recovered process must
+report ``storage.recovered`` and serve raw binary reply frames that
+are byte-for-byte identical to the pre-crash control's, mutation
+included.
+
 The server is terminated with SIGTERM and must exit cleanly within
 the grace period; any leftover process is killed and reported as a
 failure.  The whole script is bounded by ``--timeout`` (default 120 s)
@@ -362,6 +369,159 @@ def check_zerocopy_identity(host: str, port: int) -> None:
     print(f"ok zero-copy: cold and cached replies byte-identical ({len(cold)}B)")
 
 
+def check_log_store_recovery(ready_dir: str, deadline: float) -> None:
+    """``serve --store log``: SIGKILL mid-workload, restart, identical bytes.
+
+    The control replies are captured from the *uncrashed* service right
+    after a post-boot mutation, as raw binary reply frames.  The server
+    is then SIGKILLed — no shutdown hook, no final flush beyond the
+    per-record journal flush — and restarted on the same data
+    directory.  The recovered service must report
+    ``storage.recovered`` in its capabilities and answer every
+    (scheme, server) full-store lookup with frames byte-for-byte equal
+    to the control's (``LookupRequest(target=0)`` consumes no RNG, so
+    the replies are a pure function of durable state).
+    """
+    import asyncio
+    import struct
+
+    from repro.cluster.messages import AddRequest, LookupRequest
+    from repro.core.entry import Entry
+    from repro.net.codec import (
+        CODEC_BINARY,
+        encode_message,
+        hello_envelope,
+        read_frame,
+        write_frame,
+    )
+
+    data_dir = os.path.join(ready_dir, "log-store-data")
+    os.makedirs(data_dir, exist_ok=True)
+    ready = os.path.join(ready_dir, "log-store-ready.txt")
+
+    def spawn() -> subprocess.Popen:
+        if os.path.exists(ready):
+            os.unlink(ready)
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--ready-file",
+                ready,
+                "--servers",
+                str(SERVERS),
+                "--entries",
+                str(ENTRIES),
+                "--seed",
+                str(SEED),
+                "--store",
+                "log",
+                "--data-dir",
+                data_dir,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+    async def mutate(host: str, port: int) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_frame(
+                writer,
+                {
+                    "op": "send",
+                    "server": 0,
+                    "key": "full_replication",
+                    "message": encode_message(AddRequest(Entry("w1"))),
+                },
+            )
+            reply = await read_frame(reader)
+            if not (isinstance(reply, dict) and reply.get("ok")):
+                fail(f"log-store mutation failed: {reply!r}")
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    async def capture(host: str, port: int) -> list[bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        frames: list[bytes] = []
+        try:
+            await write_frame(writer, hello_envelope((CODEC_BINARY,)))
+            hello = await read_frame(reader)
+            if not (hello and hello.get("ok")):
+                fail(f"log-store probe hello failed: {hello}")
+            for scheme in sorted(EXPECTED):
+                for server_id in range(SERVERS):
+                    await write_frame(
+                        writer,
+                        {
+                            "op": "send",
+                            "server": server_id,
+                            "key": scheme,
+                            "message": encode_message(LookupRequest(0)),
+                        },
+                        codec=CODEC_BINARY,
+                    )
+                    (length,) = struct.unpack(">I", await reader.readexactly(4))
+                    frames.append(await reader.readexactly(length))
+        finally:
+            writer.close()
+            await writer.wait_closed()
+        return frames
+
+    async def storage_caps(host: str, port: int) -> dict:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_frame(writer, {"op": "info"})
+            info = await read_frame(reader)
+        finally:
+            writer.close()
+            await writer.wait_closed()
+        caps = ((info or {}).get("value") or {}).get("capabilities") or {}
+        return dict(caps.get("storage") or {})
+
+    server = spawn()
+    caps: dict = {}
+    control: list[bytes] = []
+    try:
+        host, port = wait_for_ready(ready, server, deadline)
+        asyncio.run(asyncio.wait_for(mutate(host, port), timeout=30))
+        control = asyncio.run(asyncio.wait_for(capture(host, port), timeout=30))
+        server.kill()
+        server.wait()
+        server = spawn()
+        host, port = wait_for_ready(ready, server, deadline)
+        caps = asyncio.run(asyncio.wait_for(storage_caps(host, port), timeout=30))
+        if caps.get("kind") != "log" or not caps.get("recovered"):
+            fail(f"restarted log-store service did not recover: {caps}")
+        recovered = asyncio.run(asyncio.wait_for(capture(host, port), timeout=30))
+        if recovered != control:
+            diff = sum(1 for a, b in zip(control, recovered) if a != b)
+            fail(
+                f"log-store recovery replies differ from the uncrashed "
+                f"control ({diff}/{len(control)} frames)"
+            )
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait()
+                fail("log-store server did not exit within 10s of SIGTERM")
+    print(
+        f"ok log-store recovery: SIGKILL + restart replayed "
+        f"{caps.get('log_records')} journal records and served "
+        f"{len(control)} byte-identical reply frames"
+    )
+
+
 def _fleet_pids(ready: str) -> list[int]:
     with open(f"{ready}.workers", encoding="utf-8") as handle:
         lines = [line.split() for line in handle if line.strip()]
@@ -566,6 +726,7 @@ def main() -> int:
         if "[serve] stopped" not in output:
             fail(f"server did not report a clean stop:\n{output}")
         fleet_caps = check_worker_fleet(tmpdir, deadline)
+        check_log_store_recovery(tmpdir, deadline)
     if args.cache_stats:
         with open(args.cache_stats, "w", encoding="utf-8") as handle:
             json.dump(

@@ -27,6 +27,19 @@ single-shard ``serve --workers 3`` fleet goes through
    non-zero — a fleet that cannot apply mutations fails loud rather
    than serving quietly stale answers.
 
+Finally it attacks *durability*: a fresh single-shard
+``serve --workers 3 --store log`` fleet goes through
+:func:`repro.chaos.shards.run_fleet_restart_scenario` —
+
+9. a post-boot mutation lands and fans out, then the full-store reply
+   of every (scheme, server) pair is captured as the uncrashed
+   control;
+10. the parent *and* every worker are SIGKILLed simultaneously —
+    nothing survives but the append-log journal on disk;
+11. the fleet restarts on the same data directory, reports
+    ``storage.recovered``, and serves reply values identical to the
+    control, mutation included.
+
 Any invariant violation, unclean shard exit, or overall-deadline
 overrun fails the script.  The report (and each shard's output) is
 printed so a CI failure is diagnosable from the log alone.
@@ -45,6 +58,7 @@ import sys
 from repro.chaos.shards import (
     ScenarioError,
     ShardFleet,
+    run_fleet_restart_scenario,
     run_kill_shard_scenario,
     run_kill_worker_scenario,
 )
@@ -133,6 +147,42 @@ def main() -> int:
         f"as pid {respawn['respawned_pid']} with lookups full throughout, "
         f"writer kill exited the fleet with code "
         f"{worker_report['writer_kill']['parent_exit']}"
+    )
+
+    durable_fleet = ShardFleet(
+        shard_count=1,
+        servers=SERVERS,
+        entries=ENTRIES,
+        seed=SEED,
+        workers=WORKERS,
+        store="log",
+    )
+    try:
+        durable_fleet.start()
+        print(
+            f"durable fleet up: {durable_fleet.addresses} "
+            f"({WORKERS} workers, log store)"
+        )
+        durable_report = asyncio.run(
+            asyncio.wait_for(
+                run_fleet_restart_scenario(durable_fleet),
+                timeout=args.timeout,
+            )
+        )
+    except (ScenarioError, asyncio.TimeoutError) as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        _dump_fleet_output(durable_fleet)
+        durable_fleet.stop_all()
+        return 1
+    durable_fleet.stop_all()
+    print(json.dumps(durable_report, indent=2, sort_keys=True))
+    print(
+        f"fleet restart smoke passed: SIGKILLed the whole fleet "
+        f"(parent + {len(durable_report['killed']['workers'])} workers), "
+        f"restart replayed the journal "
+        f"({durable_report['storage'].get('log_records')} records) and all "
+        f"{durable_report['control_replies']} (scheme, server) replies came "
+        f"back identical, mutation intact"
     )
     return 0
 

@@ -97,6 +97,14 @@ class ShardFleet:
     #: only valid with ``shard_count == 1`` (one fleet, no membership
     #: plane) — that is the shape ``run_kill_worker_scenario`` attacks.
     workers: int = 1
+    #: Storage backend (``serve --store``): ``"memory"`` (default) or
+    #: ``"log"``.  With ``"log"`` each shard gets a stable per-name
+    #: data directory under the fleet tmpdir, so a restarted shard
+    #: replays its own journal — the surface
+    #: ``run_fleet_restart_scenario`` attacks.
+    store: str = "memory"
+    #: Override for the journal root; ``None`` uses the fleet tmpdir.
+    data_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         ports = free_ports(self.shard_count)
@@ -110,6 +118,13 @@ class ShardFleet:
         self._tmpdir = tempfile.TemporaryDirectory(prefix="shard-fleet-")
 
     # -- process management --------------------------------------------------
+
+    def shard_data_dir(self, name: str) -> str:
+        """Stable journal directory for shard ``name`` (survives restarts)."""
+        root = self.data_dir or self._tmpdir.name
+        path = os.path.join(root, f"{name}-data")
+        os.makedirs(path, exist_ok=True)
+        return path
 
     def _peer_flag(self, name: str) -> str:
         return ",".join(
@@ -141,6 +156,8 @@ class ShardFleet:
         ]
         if self.workers > 1:
             command += ["--workers", str(self.workers)]
+        if self.store != "memory":
+            command += ["--store", self.store, "--data-dir", self.shard_data_dir(name)]
         if self.shard_count > 1:
             # The membership plane is one process per shard; a worker
             # fleet (workers > 1) runs without it (the CLI enforces
@@ -721,11 +738,158 @@ async def run_kill_worker_scenario(
     return report
 
 
+# --------------------------------------------------------------------------
+# Kill-the-whole-fleet: durability, not availability
+# --------------------------------------------------------------------------
+
+
+async def _info_caps(host: str, port: int) -> Dict[str, object]:
+    """One ``info`` probe on a throwaway connection; returns capabilities."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_frame(writer, {"op": "info"})
+        info = await asyncio.wait_for(read_frame(reader), 5.0)
+    finally:
+        writer.close()
+        with contextlib.suppress(OSError):
+            await writer.wait_closed()
+    return dict((info.get("value") or {}).get("capabilities") or {})
+
+
+async def _full_store_replies(
+    fleet: ShardFleet, host: str, port: int, keys: List[str]
+) -> Dict[str, List[object]]:
+    """The raw wire value of every (key, server) full-store lookup.
+
+    ``LookupRequest(target=0)`` returns the contacted server's whole
+    ordered entry list without consuming RNG, so the reply value is a
+    pure function of durable state — the right thing to demand
+    byte-for-byte equality on across a crash/recover cycle.
+    """
+    replies: Dict[str, List[object]] = {}
+    for key in keys:
+        replies[key] = [
+            (await _raw_send(host, port, server, key, LookupRequest(0)))["value"]
+            for server in range(fleet.servers)
+        ]
+    return replies
+
+
+async def run_fleet_restart_scenario(
+    fleet: ShardFleet,
+    *,
+    rng_seed: int = 23,
+    probe_connections: int = 4,
+) -> Dict[str, object]:
+    """SIGKILL the *entire* fleet mid-workload, restart it, verify recovery.
+
+    The kill-a-shard and kill-a-worker scenarios attack availability —
+    some process always survives to answer.  This scenario attacks
+    durability: with ``--store log`` nothing survives the kill except
+    the append-log journal on disk, so a correct restart must rebuild
+    every server's ordered entry list and coverage bitmask from replay
+    alone.  The fleet must be a single-shard ``store == "log"``
+    deployment, already started.  Phases:
+
+    1. healthy sweep — every scheme key meets its target;
+    2. a mutation (``w1``, outside the seeded universe) lands and fans
+       out to every worker, so the journal holds post-boot writes;
+    3. capture the full-store reply value of every (scheme, server)
+       pair — the uncrashed control;
+    4. SIGKILL the parent *and* every worker simultaneously (no
+       goodbye, no flush window beyond the per-record flush);
+    5. restart on the same data directory; the service must report
+       ``storage.recovered`` and serve reply values identical to the
+       control, with the mutation intact.
+
+    Returns a report dict; raises :class:`ScenarioError` on violation.
+    """
+    from repro.net.service import DEFAULT_SCHEMES
+
+    if fleet.shard_count != 1 or fleet.store != "log":
+        raise ScenarioError(
+            "run_fleet_restart_scenario wants shard_count=1 and store='log', "
+            f"got {fleet.shard_count}/{fleet.store!r}"
+        )
+    (name,) = fleet.addresses
+    host, port = fleet.addresses[name]
+    keys = sorted(DEFAULT_SCHEMES)
+    report: Dict[str, object] = {"workers": fleet.workers, "store": fleet.store}
+
+    # Phase 1: healthy sweep.
+    healthy = await _worker_sweep(host, port, keys, 10, rng_seed=rng_seed)
+    report["healthy"] = healthy
+    for key, row in healthy.items():
+        if not row["success"]:
+            raise ScenarioError(f"healthy fleet missed target for {key}: {row}")
+
+    # Phase 2: a post-boot mutation the journal must not lose.
+    mutation_key = "full_replication"
+    await _raw_send(host, port, 0, mutation_key, AddRequest(Entry("w1")))
+    if fleet.workers > 1:
+        await _await_entry_everywhere(
+            host,
+            port,
+            "w1",
+            key=mutation_key,
+            server=0,
+            connections=probe_connections,
+            deadline=time.monotonic() + 15,
+        )
+
+    # Phase 3: the uncrashed control — every (scheme, server) reply.
+    control = await _full_store_replies(fleet, host, port, keys)
+    report["control_replies"] = sum(len(v) for v in control.values())
+
+    # Phase 4: SIGKILL everything at once.  The parent dies first so
+    # its supervisor cannot respawn or fail-loud; orphaned workers are
+    # then killed directly via the pid manifest.
+    process = fleet.processes[name]
+    worker_pids: Dict[int, int] = {}
+    if fleet.workers > 1:
+        worker_pids = fleet.worker_manifest(name)
+    process.kill()
+    for pid in worker_pids.values():
+        with contextlib.suppress(ProcessLookupError):
+            os.kill(pid, signal.SIGKILL)
+    process.wait()
+    report["killed"] = {"parent": process.pid, "workers": dict(worker_pids)}
+
+    # Phase 5: restart on the same data directory and verify recovery.
+    fleet.restart(name)
+    caps = await _info_caps(host, port)
+    storage = dict(caps.get("storage") or {})
+    report["storage"] = storage
+    if storage.get("kind") != "log" or not storage.get("recovered"):
+        raise ScenarioError(
+            f"restarted fleet did not recover from its journal: {storage}"
+        )
+    recovered = await _full_store_replies(fleet, host, port, keys)
+    for key in keys:
+        if recovered[key] != control[key]:
+            raise ScenarioError(
+                f"{key}: post-restart replies differ from the uncrashed control"
+            )
+    survivor = decode_value(
+        (await _raw_send(host, port, 0, mutation_key, LookupRequest(0)))["value"]
+    )
+    if "w1" not in {entry.entry_id for entry in survivor}:
+        raise ScenarioError("mutation w1 did not survive the fleet restart")
+    after = await _worker_sweep(host, port, keys, 10, rng_seed=rng_seed + 1)
+    report["after_restart"] = after
+    for key, row in after.items():
+        if not row["success"]:
+            raise ScenarioError(f"{key}: short lookup after fleet restart: {row}")
+    report["recovered_replies"] = report["control_replies"]
+    return report
+
+
 __all__ = [
     "FAST_TIMINGS",
     "ScenarioError",
     "ShardFleet",
     "free_ports",
+    "run_fleet_restart_scenario",
     "run_kill_shard_scenario",
     "run_kill_worker_scenario",
 ]

@@ -16,7 +16,7 @@ from repro.core.entry import Entry
 from repro.core.exceptions import InvalidParameterError, NoOperationalServerError
 from repro.core.interning import EntryInterner
 from repro.cluster.network import Network
-from repro.cluster.server import Server
+from repro.cluster.server import Server, StoreFactory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.tracer import Tracer
@@ -36,20 +36,42 @@ class Cluster:
         Seed for the cluster-wide RNG.  All randomness in strategies,
         clients, and server logics draws from this generator, so a
         seeded cluster replays identically.
+    store_factory:
+        Optional storage-backend factory (see
+        :data:`repro.cluster.server.StoreFactory`) passed to every
+        server; ``None`` keeps the in-memory default.
     """
 
-    def __init__(self, size: int, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        seed: Optional[int] = None,
+        store_factory: Optional[StoreFactory] = None,
+    ) -> None:
         if size < 1:
             raise InvalidParameterError(f"cluster size must be >= 1, got {size}")
         # One interner per key, shared by every server, so a key's
         # entries live in a single dense index space cluster-wide and
         # store bitmasks are directly comparable (the bitset kernel).
         self._interners: Dict[str, EntryInterner] = {}
-        self._servers = [Server(i, interners=self._interners) for i in range(size)]
+        self._servers = [
+            Server(i, interners=self._interners, store_factory=store_factory)
+            for i in range(size)
+        ]
         self.network = Network(self._servers)
         self.rng = random.Random(seed)
 
     # -- topology ------------------------------------------------------------
+
+    def interner(self, key: str) -> EntryInterner:
+        """The cluster-wide shared interner for ``key``, created lazily.
+
+        Storage backends use this to pre-seed dense index assignments
+        during crash recovery, before any store is touched.
+        """
+        if key not in self._interners:
+            self._interners[key] = EntryInterner()
+        return self._interners[key]
 
     @property
     def size(self) -> int:
@@ -122,12 +144,6 @@ class Cluster:
     def store_sizes(self, key: str) -> List[int]:
         """Per-server store sizes, indexed by server id."""
         return [s.stored_entry_count(key) for s in self._servers]
-
-    def interner(self, key: str) -> EntryInterner:
-        """The shared dense-index interner for ``key`` (created lazily)."""
-        if key not in self._interners:
-            self._interners[key] = EntryInterner()
-        return self._interners[key]
 
     def coverage_mask(self, key: str, alive_only: bool = True) -> int:
         """Union bitmask of the (operational) servers' stores for ``key``."""

@@ -19,12 +19,11 @@ same :class:`~repro.protocol.server.ServerProtocol` instances instead.
 
 from __future__ import annotations
 
-import random
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.core.entry import Entry
 from repro.core.interning import EntryInterner
+from repro.core.storage import EntryStore, MemoryBackend, StorageBackend
 from repro.cluster.messages import Message
 from repro.protocol.server import ServerProtocol
 
@@ -32,131 +31,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.cluster.network import Network
     from repro.obs.tracer import Tracer
 
-
-class EntryStore:
-    """An insertion-ordered set of entries with O(1) membership.
-
-    Servers need three things from their local store: membership tests
-    (Fixed-x's "do I already hold v?"), uniform random sampling (every
-    strategy's per-server lookup answer), and deterministic iteration
-    order so seeded runs are reproducible.
-
-    Internally the store is backed by the bitset placement kernel's
-    representation: entries are interned into a dense, stable index
-    space (shared cluster-wide per key via an
-    :class:`~repro.core.interning.EntryInterner`) and the store keeps,
-    alongside the ordered entry list, a parallel list of dense indices
-    plus an integer bitmask with one bit per held entry.  Membership is
-    a bit test, and coverage/union questions over many stores reduce to
-    ``int.__or__`` + ``bit_count()`` (see ``Cluster.coverage``).
-    Sampling still draws from the ordered list, so seeded RNG streams
-    are identical to the pre-bitset representation.
-    """
-
-    __slots__ = ("_entries", "_indices", "_mask", "_interner")
-
-    def __init__(
-        self,
-        entries: Iterable[Entry] = (),
-        interner: Optional[EntryInterner] = None,
-    ) -> None:
-        self._interner = interner if interner is not None else EntryInterner()
-        self._entries: list[Entry] = []
-        self._indices: list[int] = []
-        self._mask: int = 0
-        for entry in entries:
-            self.add(entry)
-
-    @property
-    def mask(self) -> int:
-        """Bitmask over the interner's dense index space (one bit per entry)."""
-        return self._mask
-
-    @property
-    def interner(self) -> EntryInterner:
-        return self._interner
-
-    def indices(self) -> list[int]:
-        """Dense indices of the held entries, in insertion order."""
-        return list(self._indices)
-
-    def add(self, entry: Entry) -> bool:
-        """Insert ``entry``; return True if it was not already present."""
-        index = self._interner.intern(entry)
-        bit = 1 << index
-        if self._mask & bit:
-            return False
-        self._mask |= bit
-        self._entries.append(entry)
-        self._indices.append(index)
-        return True
-
-    def discard(self, entry: Entry) -> bool:
-        """Remove ``entry`` if present; return True if it was removed."""
-        index = self._interner.index_of(entry.entry_id)
-        if index is None or not (self._mask >> index) & 1:
-            return False
-        position = self._indices.index(index)
-        self._entries.pop(position)
-        self._indices.pop(position)
-        self._mask ^= 1 << index
-        return True
-
-    def replace(self, old: Entry, new: Entry) -> bool:
-        """Swap ``old`` for ``new`` in place, preserving position."""
-        old_index = self._interner.index_of(old.entry_id)
-        if old_index is None or not (self._mask >> old_index) & 1:
-            return False
-        new_index = self._interner.intern(new)
-        if (self._mask >> new_index) & 1:
-            return False
-        position = self._indices.index(old_index)
-        self._entries[position] = new
-        self._indices[position] = new_index
-        self._mask ^= (1 << old_index) | (1 << new_index)
-        return True
-
-    def sample(self, count: int, rng: random.Random) -> list[Entry]:
-        """Return ``min(count, len(self))`` uniformly sampled entries.
-
-        This implements the per-server lookup answer the paper
-        specifies for every strategy: "returns t randomly selected
-        entries stored on the server or all the entries if the total
-        is less than t".  ``count <= 0`` means "everything".
-        """
-        if count <= 0 or count >= len(self._entries):
-            return list(self._entries)
-        return rng.sample(self._entries, count)
-
-    def pop_random(self, rng: random.Random) -> Entry:
-        """Remove and return one uniformly random entry."""
-        if not self._entries:
-            raise KeyError("pop_random from an empty store")
-        position = rng.randrange(len(self._entries))
-        entry = self._entries.pop(position)
-        self._mask ^= 1 << self._indices.pop(position)
-        return entry
-
-    def clear(self) -> None:
-        self._entries.clear()
-        self._indices.clear()
-        self._mask = 0
-
-    def __contains__(self, entry: Entry) -> bool:
-        index = self._interner.index_of(entry.entry_id)
-        return index is not None and bool((self._mask >> index) & 1)
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __iter__(self) -> Iterator[Entry]:
-        return iter(self._entries)
-
-    def as_list(self) -> list[Entry]:
-        return list(self._entries)
-
-    def as_set(self) -> set[Entry]:
-        return set(self._entries)
+#: Builds the storage backend for one ``(key, server_id, interner)``
+#: triple.  ``None`` means the default: a plain :class:`MemoryBackend`.
+StoreFactory = Callable[[str, int, EntryInterner], StorageBackend]
 
 
 class ServerLogic(ABC):
@@ -193,6 +70,7 @@ class Server:
         self,
         server_id: int,
         interners: Optional[dict[str, EntryInterner]] = None,
+        store_factory: Optional[StoreFactory] = None,
     ) -> None:
         self.server_id = server_id
         self.alive = True
@@ -203,7 +81,10 @@ class Server:
         self._interners: dict[str, EntryInterner] = (
             interners if interners is not None else {}
         )
-        self._stores: dict[str, EntryStore] = {}
+        #: Builds a backend per key on first access; ``None`` keeps the
+        #: historical default of an in-memory :class:`EntryStore`.
+        self._store_factory: Optional[StoreFactory] = store_factory
+        self._stores: dict[str, StorageBackend] = {}
         self._state: dict[str, dict[str, Any]] = {}
         self._logics: dict[str, ServerLogic] = {}
         #: The sans-IO request core: delivery dedupe + logic dispatch.
@@ -217,12 +98,18 @@ class Server:
 
     # -- store access ------------------------------------------------------
 
-    def store(self, key: str) -> EntryStore:
+    def store(self, key: str) -> StorageBackend:
         """The local entry store for ``key``, created on first access."""
         if key not in self._stores:
             if key not in self._interners:
                 self._interners[key] = EntryInterner()
-            self._stores[key] = EntryStore(interner=self._interners[key])
+            interner = self._interners[key]
+            if self._store_factory is not None:
+                self._stores[key] = self._store_factory(
+                    key, self.server_id, interner
+                )
+            else:
+                self._stores[key] = EntryStore(interner=interner)
         return self._stores[key]
 
     def state(self, key: str) -> dict[str, Any]:

@@ -159,6 +159,29 @@ def add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
         action="store_false",
         help="keep reply caches strictly per-process",
     )
+    storage = parser.add_argument_group("storage")
+    storage.add_argument(
+        "--store",
+        choices=("memory", "log"),
+        default="memory",
+        help=(
+            "storage backend: 'memory' (default) or 'log' (append-log "
+            "journal; crash recovery from --data-dir)"
+        ),
+    )
+    storage.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="journal/snapshot directory (required with --store log)",
+    )
+    storage.add_argument(
+        "--log-compact-records",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="auto-compact the journal every N records (0 = never)",
+    )
     shard = parser.add_argument_group("sharding")
     shard.add_argument(
         "--shard",
@@ -288,6 +311,9 @@ def _config_from_args(args: argparse.Namespace) -> ServiceConfig:
         probes=args.probes,
         cache_size=cache_size,
         shared_cache=getattr(args, "shared_cache", True),
+        store=getattr(args, "store", "memory"),
+        data_dir=getattr(args, "data_dir", None),
+        log_compact_records=getattr(args, "log_compact_records", 4096),
     )
 
 

@@ -122,11 +122,33 @@ class ServiceConfig:
     #: Single-process deployments ignore it (there is nobody to share
     #: with); the fleet supervisor reads it before forking.
     shared_cache: bool = True
+    #: Storage backend: ``"memory"`` (the historical default) or
+    #: ``"log"`` (append-log durability; requires ``data_dir``).
+    store: str = "memory"
+    #: Directory for the append-log journal and snapshots.
+    data_dir: Optional[str] = None
+    #: Open the journal read-only: recover from it, never write to it.
+    #: The worker fleet sets this on reader workers — the writer owns
+    #: the journal, readers only replay it on (re)start.
+    store_read_only: bool = False
+    #: Auto-compact the journal after this many records since the last
+    #: compaction; 0 disables auto-compaction.
+    log_compact_records: int = 4096
 
     def __post_init__(self) -> None:
         if self.cache_size < 0:
             raise InvalidParameterError(
                 f"cache_size must be >= 0, got {self.cache_size}"
+            )
+        if self.store not in ("memory", "log"):
+            raise InvalidParameterError(
+                f"store must be 'memory' or 'log', got {self.store!r}"
+            )
+        if self.store == "log" and not self.data_dir:
+            raise InvalidParameterError("store 'log' requires a data_dir")
+        if self.log_compact_records < 0:
+            raise InvalidParameterError(
+                f"log_compact_records must be >= 0, got {self.log_compact_records}"
             )
         if self.shard_count < 1:
             raise InvalidParameterError(
@@ -193,7 +215,34 @@ class LookupService:
 
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config if config is not None else ServiceConfig()
-        self.cluster = Cluster(self.config.server_count, seed=self.config.seed)
+        #: Append-log journal when ``store == "log"``; None on memory.
+        self.journal: Optional[Any] = None
+        #: True when this process rebuilt its stores from the journal
+        #: instead of placing entries fresh.
+        self.recovered = False
+        #: Highest writer-bus epoch the journal knew at recovery; a
+        #: reader's :class:`~repro.net.workers.DeltaApplier` starts
+        #: here instead of zero, so it resyncs only the gap.
+        self.recovered_epoch = 0
+        store_factory = None
+        if self.config.store == "log":
+            from repro.storage.appendlog import AppendLogJournal, LogBackend
+
+            journal = AppendLogJournal(
+                self.config.data_dir,
+                read_only=self.config.store_read_only,
+                compact_every=self.config.log_compact_records,
+            )
+            self.journal = journal
+
+            def store_factory(key, server_id, interner):
+                return LogBackend(journal, key, server_id, interner)
+
+        self.cluster = Cluster(
+            self.config.server_count,
+            seed=self.config.seed,
+            store_factory=store_factory,
+        )
         self.strategies: dict[str, PlacementStrategy] = {}
         self.shard_name = f"s{self.config.shard_index}"
         self.roles: dict[str, Optional[int]] = {}
@@ -233,28 +282,55 @@ class LookupService:
             if self.config.shard_count > 1
             else None
         )
+        # Crash recovery: replay the journal before any strategy is
+        # constructed, so dense interner indices, store order, strategy
+        # scratch state and the cluster RNG are all back to the crashed
+        # process's values first.
+        image = None
+        if self.journal is not None and self.journal.has_data():
+            from repro.storage.appendlog import apply_image
+
+            loaded = self.journal.load()
+            if not loaded.is_empty():
+                apply_image(loaded, self.cluster, journal=self.journal)
+                image = loaded
+                self.recovered = True
+                self.recovered_epoch = max(loaded.epochs.values(), default=0)
+                self._shared_epochs.update(loaded.epochs)
         for name, params in self.config.schemes.items():
             # Every shard creates every strategy (so ``info`` reports a
             # homogeneous scheme catalogue fleet-wide) but places
             # entries only per its role: the primary holds the full
             # set, backups a deterministic partial replica, non-home
             # shards nothing (their servers truthfully answer empty).
-            strategy = create_strategy(name, self.cluster, key=name, **params)
+            effective = dict(params)
+            recovered_key = image is not None and (
+                name in image.stores or name in image.params
+            )
+            if image is not None and name in image.params:
+                # The journaled *effective* params (e.g. Hash-y's drawn
+                # hash_seed) reconstruct the strategy without consuming
+                # RNG, so recovery cannot perturb the random stream.
+                effective = dict(image.params[name])
+            strategy = create_strategy(name, self.cluster, key=name, **effective)
             role = (
                 0
                 if shard_map is None
                 else shard_map.role(name, self.shard_name, self.config.replicas)
             )
             self.roles[name] = role
-            if role == 0:
-                strategy.place(entries)
-            elif role is not None:
-                strategy.place(
-                    partial_replica(
-                        name, entries, role, self.config.backup_fraction
+            if not recovered_key:
+                if role == 0:
+                    strategy.place(entries)
+                elif role is not None:
+                    strategy.place(
+                        partial_replica(
+                            name, entries, role, self.config.backup_fraction
+                        )
                     )
-                )
             self.strategies[name] = strategy
+        if self.journal is not None and not self.config.store_read_only:
+            self._journal_boot_records()
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[asyncio.Task] = set()
 
@@ -374,17 +450,36 @@ class LookupService:
             shared_caps.update(shared.snapshot())
             shared.publish(self.metrics)
         cache_caps["shared"] = shared_caps
+        storage_caps: dict[str, Any] = {
+            "kind": self.config.store,
+            "recovered": self.recovered,
+        }
+        if self.journal is not None:
+            storage_caps.update(self.journal.stats())
+            self._publish_storage_metrics()
         return {
             "codecs": list(SUPPORTED_CODECS),
             "batch": True,
             "max_batch": MAX_BATCH,
             "cache": cache_caps,
+            "storage": storage_caps,
             "workers": {
                 "count": self.worker_count,
                 "index": self.worker_index,
                 "role": self.worker_role,
             },
         }
+
+    def _publish_storage_metrics(self) -> None:
+        """Mirror the journal's bookkeeping into the metrics registry."""
+        stats = self.journal.stats()
+        self.metrics.gauge("storage_log_records").set(stats["log_records"])
+        self.metrics.gauge("storage_log_bytes").set(stats["log_bytes"])
+        self.metrics.gauge("storage_compactions").set(stats["compactions"])
+        self.metrics.gauge("storage_last_compaction_epoch").set(
+            stats["last_compaction_epoch"]
+        )
+        self.metrics.gauge("storage_recovered").set(1 if self.recovered else 0)
 
     def _handle_hello(self, envelope: dict[str, Any]) -> dict[str, Any]:
         offered = envelope.get("codecs")
@@ -566,6 +661,62 @@ class LookupService:
         if self.reply_cache is not None:
             self.reply_cache.clear()
 
+    # -- durable storage -----------------------------------------------------
+
+    def _journal_boot_records(self) -> None:
+        """Journal the non-store boot state: params, scratch, RNG.
+
+        Store contents were already journaled record-by-record by the
+        :class:`~repro.storage.appendlog.LogBackend` mutators as
+        placement ran (or were replayed, on a recovery boot, in which
+        case every record here dedupes to nothing).
+        """
+        journal = self.journal
+        journal.record_params(
+            {name: strategy.params() for name, strategy in self.strategies.items()}
+        )
+        for server in self.cluster.servers:
+            for key in server.keys():
+                journal.record_state(key, server.server_id, server.state(key))
+        journal.record_rng(self.cluster.rng)
+
+    def _journal_sync_point(self, key: str) -> None:
+        """Re-journal ``key``'s volatile state after a mutation landed.
+
+        The store delta itself was already appended synchronously by
+        the backend; this adds what replay cannot re-derive — strategy
+        scratch state (Round-Robin counters, reservoir estimates) and
+        the cluster RNG position — then compacts if the log is due.
+        Both record kinds dedupe, so an unchanged state costs nothing.
+        """
+        journal = self.journal
+        if journal is None or journal.read_only:
+            return
+        for server in self.cluster.servers:
+            if key in server.keys():
+                journal.record_state(key, server.server_id, server.state(key))
+        journal.record_rng(self.cluster.rng)
+        if journal.should_compact():
+            self.compact_journal()
+
+    def compact_journal(self) -> None:
+        """Fold the journal's live logs into one snapshot, now."""
+        if self.journal is None or self.journal.read_only:
+            return
+        from repro.storage.appendlog import build_image
+
+        image = build_image(
+            self.cluster,
+            epochs=dict(self._shared_epochs),
+            params={
+                name: strategy.params()
+                for name, strategy in self.strategies.items()
+            },
+        )
+        self.journal.compact(
+            image, epoch=max(self._shared_epochs.values(), default=0)
+        )
+
     def set_shared_epoch(self, key: str, epoch: int) -> None:
         """Adopt the writer-bus epoch of ``key``'s last applied delta.
 
@@ -725,6 +876,11 @@ class LookupService:
                         self._book_cached_send(network, server_id, message)
                         return {"ok": True, "value": payload}
         reply = network.send(server_id, key, message)
+        if message.category is not MessageCategory.LOOKUP:
+            # The store mutations are already on disk (the backend
+            # journals inline); persist the strategy counters and the
+            # RNG position they advanced to.
+            self._journal_sync_point(key)
         if is_undelivered(reply):
             code = "dropped" if reply is DROPPED else "unavailable"
             return {

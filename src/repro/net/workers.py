@@ -67,7 +67,9 @@ SIGKILLed parent (the chaos harness's habit) leaves no orphans.
 from __future__ import annotations
 
 import asyncio
+import collections
 import contextlib
+import dataclasses
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -201,7 +203,13 @@ def snapshot_stores(service: LookupService) -> Dict[str, List[List[Any]]]:
 def load_snapshot(
     service: LookupService, snapshot: Dict[str, List[List[Any]]]
 ) -> None:
-    """Replace store contents wholesale (reader resync)."""
+    """Replace store contents wholesale (reader resync).
+
+    Goes through the backend interface's one-shot
+    :meth:`~repro.core.storage.StorageBackend.restore` rather than
+    poking store internals, so a durable backend journals the whole
+    adoption as a single ``reset`` record.
+    """
     for key, per_server in snapshot.items():
         if key not in service.strategies:
             continue
@@ -210,9 +218,7 @@ def load_snapshot(
             if sid >= service.cluster.size:
                 break
             store = service.cluster.servers[sid].store(key)
-            store.clear()
-            for wire in wires:
-                store.add(decode_value(wire))
+            store.restore(decode_value(wire) for wire in wires)
 
 
 class DeltaApplier:
@@ -299,10 +305,23 @@ class WriterBus:
     def __init__(self, service: LookupService, path: str) -> None:
         self.service = service
         self.path = path
-        self.epoch = 0
+        # A restarted writer resumes the epoch sequence where the
+        # journal left it, so readers that recovered from the same
+        # journal can sync incrementally instead of re-snapshotting.
+        self.epoch = service.recovered_epoch
         #: Bus epoch of each scheme's last applied delta — the stamps
         #: the shared reply cache keys its coherence on.
-        self.scheme_epochs: Dict[str, int] = {}
+        self.scheme_epochs: Dict[str, int] = {
+            key: service.shared_epoch(key)
+            for key in service.strategies
+            if service.shared_epoch(key)
+        }
+        #: Recent deltas, newest last, for ``sync`` requests carrying a
+        #: ``since`` watermark: a reader that is at most this far
+        #: behind catches up from the log instead of a full snapshot.
+        self._history: collections.deque = collections.deque(
+            maxlen=MAX_DELTA_BUFFER
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._conns: set = set()
         self._tasks: set = set()
@@ -359,6 +378,14 @@ class WriterBus:
             delta["epoch"] = self.epoch
             self.scheme_epochs[delta["key"]] = self.epoch
             self.service.set_shared_epoch(delta["key"], self.epoch)
+            if self.service.journal is not None:
+                # Durability barrier: the store records were appended
+                # by the backend as the apply ran; the epoch marker
+                # lands (and flushes) before any reader sees the delta,
+                # so a journal that knows epoch E holds all of E's
+                # mutations.
+                self.service.journal.record_epoch(delta["key"], self.epoch)
+            self._history.append(delta)
         return reply, delta
 
     async def forward(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
@@ -400,10 +427,22 @@ class WriterBus:
                 "op": "sync_reply",
                 "id": frame.get("id"),
                 "epoch": self.epoch,
-                "stores": snapshot_stores(self.service),
                 "scheme_epochs": dict(self.scheme_epochs),
-                "hot": self.service.export_hot_set(),
             }
+            since = frame.get("since")
+            if isinstance(since, int) and not isinstance(since, bool) and (
+                since >= self.epoch
+                or (self._history and self._history[0]["epoch"] <= since + 1)
+            ):
+                # The reader's watermark is within the delta history
+                # (a disk-recovered respawn, typically): ship only the
+                # missed tail instead of a full snapshot.
+                response["deltas"] = [
+                    delta for delta in self._history if delta["epoch"] > since
+                ]
+            else:
+                response["stores"] = snapshot_stores(self.service)
+            response["hot"] = self.service.export_hot_set()
             async with lock:
                 await write_frame(writer, response)
         # Unknown bus ops are dropped: the pipe is an internal,
@@ -437,7 +476,9 @@ class WriteForwarder:
     def __init__(self, service: LookupService, path: str) -> None:
         self.service = service
         self.path = path
-        self.applier = DeltaApplier(service)
+        # A disk-recovered reader starts its watermark at the journal's
+        # last known epoch; the boot sync then only fetches the gap.
+        self.applier = DeltaApplier(service, applied=service.recovered_epoch)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._pending: Dict[int, asyncio.Future] = {}
@@ -495,15 +536,28 @@ class WriteForwarder:
             self._pending.pop(fid, None)
 
     async def _sync(self) -> None:
-        reply = await self._request({"op": "sync"})
-        # Snapshot adoption, stamp realignment, and the warm handoff
-        # all run synchronously here — no await separates them, so no
-        # delta or client request can interleave and skew the stamps.
-        self.applier.resync(
-            reply.get("epoch", 0),
-            reply.get("stores", {}),
-            reply.get("scheme_epochs") or {},
+        reply = await self._request(
+            {"op": "sync", "since": self.applier.applied}
         )
+        deltas = reply.get("deltas")
+        if isinstance(deltas, list):
+            # Incremental catch-up: this worker's stores (recovered
+            # from the journal, usually) are within the writer's delta
+            # history; apply the missed tail in order.
+            for delta in deltas:
+                self.applier.offer(delta)
+        else:
+            # Snapshot adoption and stamp realignment run
+            # synchronously here — no await separates them, so no
+            # delta or client request can interleave and skew the
+            # stamps.
+            self.applier.resync(
+                reply.get("epoch", 0),
+                reply.get("stores", {}),
+                reply.get("scheme_epochs") or {},
+            )
+        # The warm handoff lands after the stores are current either
+        # way, so imported rows are stamped with live epochs.
         hot = reply.get("hot")
         if isinstance(hot, list) and hot:
             self.service.import_hot_set(hot)
@@ -644,6 +698,11 @@ async def _worker_async(
     ready_path: str,
     shared_cache: Optional[SharedReplyCache] = None,
 ) -> int:
+    if config.store == "log" and index != 0:
+        # The writer owns the journal; readers replay it on boot (a
+        # respawn recovers from disk instead of a full network resync)
+        # but never append to it.
+        config = dataclasses.replace(config, store_read_only=True)
     service = LookupService(config)
     service.worker_index = index
     service.worker_count = total

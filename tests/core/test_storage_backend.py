@@ -1,0 +1,101 @@
+"""The storage backend interface: contract, alias, factory threading."""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.server import Server
+from repro.core.entry import Entry, make_entries
+from repro.core.interning import EntryInterner
+from repro.core.storage import EntryStore, MemoryBackend, StorageBackend
+
+
+class TestInterface:
+    def test_backend_is_abstract(self):
+        with pytest.raises(TypeError):
+            StorageBackend()
+
+    def test_entrystore_is_the_memory_backend(self):
+        # A real alias, not a subclass: pre-split instance checks and
+        # constructed objects must be indistinguishable.
+        assert EntryStore is MemoryBackend
+
+    def test_memory_backend_satisfies_the_contract(self):
+        assert issubclass(MemoryBackend, StorageBackend)
+        store = MemoryBackend(make_entries(3))
+        assert isinstance(store, StorageBackend)
+
+    def test_three_views_stay_in_lockstep(self):
+        interner = EntryInterner()
+        store = MemoryBackend(interner=interner)
+        entries = make_entries(5)
+        for entry in entries:
+            store.add(entry)
+        assert store.as_list() == entries
+        assert store.indices() == [interner.index_of(e.entry_id) for e in entries]
+        assert store.mask == sum(1 << i for i in store.indices())
+        store.discard(entries[2])
+        assert store.as_list() == entries[:2] + entries[3:]
+        assert store.mask == sum(1 << i for i in store.indices())
+
+    def test_default_restore_is_clear_then_add(self):
+        store = MemoryBackend(make_entries(4))
+        replacement = [Entry("x1"), Entry("x2")]
+        store.restore(replacement)
+        assert store.as_list() == replacement
+        assert len(store) == 2
+        assert store.mask.bit_count() == 2
+
+    def test_restore_preserves_insertion_order_and_indices(self):
+        interner = EntryInterner()
+        a = MemoryBackend(make_entries(6), interner=interner)
+        b = MemoryBackend(interner=interner)
+        b.restore(a.as_list())
+        assert b.as_list() == a.as_list()
+        assert b.indices() == a.indices()
+        assert b.mask == a.mask
+        # and a restored store samples identically under an equal RNG
+        assert b.sample(3, random.Random(7)) == a.sample(3, random.Random(7))
+
+
+class _RecordingBackend(MemoryBackend):
+    """A backend that records construction, to observe factory calls."""
+
+    __slots__ = ("created_for",)
+
+    def __init__(self, key, server_id, interner):
+        self.created_for = (key, server_id)
+        super().__init__(interner=interner)
+
+
+class TestStoreFactory:
+    def test_server_uses_the_factory_per_key(self):
+        interners = {}
+        server = Server(
+            3,
+            interners=interners,
+            store_factory=lambda k, s, i: _RecordingBackend(k, s, i),
+        )
+        store = server.store("hash")
+        assert isinstance(store, _RecordingBackend)
+        assert store.created_for == ("hash", 3)
+        assert store is server.store("hash")  # one store per key, cached
+
+    def test_factory_stores_share_the_cluster_interner(self):
+        cluster = Cluster(
+            4, seed=1, store_factory=lambda k, s, i: _RecordingBackend(k, s, i)
+        )
+        for server in cluster.servers:
+            assert server.store("k").interner is cluster.interner("k")
+
+    def test_default_factory_is_the_memory_backend(self):
+        cluster = Cluster(2, seed=1)
+        store = cluster.server(0).store("k")
+        assert type(store) is MemoryBackend
+
+    def test_cluster_interner_is_lazy_and_stable(self):
+        cluster = Cluster(2, seed=1)
+        interner = cluster.interner("fresh-key")
+        assert cluster.interner("fresh-key") is interner
+        assert cluster.server(1).store("fresh-key").interner is interner

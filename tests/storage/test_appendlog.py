@@ -1,0 +1,277 @@
+"""The append-log journal and LogBackend: journaling, replay, compaction."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.entry import Entry, make_entries
+from repro.core.interning import EntryInterner
+from repro.storage.appendlog import (
+    AppendLogJournal,
+    LogBackend,
+    RecoveredImage,
+    RecoveryError,
+)
+
+
+def _backend(journal, key="k", server_id=0, interner=None):
+    return LogBackend(journal, key, server_id, interner=interner)
+
+
+def _rebuild(tmp_path, key="k", server_id=0):
+    """Cold-start replay: a fresh journal + backend built from disk."""
+    journal = AppendLogJournal(tmp_path)
+    image = journal.load()
+    interner = EntryInterner()
+    for entry_id, payload in image.interners.get(key, []):
+        interner.intern(Entry(entry_id, payload))
+    store = _backend(journal, key, server_id, interner)
+    with journal.suspended():
+        for entry_id, payload in image.stores.get(key, {}).get(server_id, []):
+            store.add(Entry(entry_id, payload))
+    return journal, store, image
+
+
+class TestLogBackendJournaling:
+    def test_mutations_replay_bit_identically(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        store = _backend(journal)
+        for entry in make_entries(8):
+            store.add(entry)
+        store.discard(Entry("v3"))
+        store.replace(Entry("v5"), Entry("w5"))
+        store.add(Entry("v3"))  # re-add after drop: new list position
+        journal.close()
+
+        _, recovered, _ = _rebuild(tmp_path)
+        assert recovered.as_list() == store.as_list()
+        assert recovered.indices() == store.indices()
+        assert recovered.mask == store.mask
+
+    def test_pop_random_journals_the_outcome(self, tmp_path):
+        # Replay must be RNG-free: the popped entry's id is recorded as
+        # a plain drop, so recovery never consumes a random stream.
+        journal = AppendLogJournal(tmp_path)
+        store = _backend(journal)
+        for entry in make_entries(6):
+            store.add(entry)
+        popped = store.pop_random(random.Random(42))
+        journal.close()
+
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "journal.000001.log").read_text().splitlines()
+        ]
+        drops = [r for r in records if r["op"] == "drop"]
+        assert drops == [{"op": "drop", "k": "k", "s": 0, "id": popped.entry_id}]
+        _, recovered, _ = _rebuild(tmp_path)
+        assert recovered.as_list() == store.as_list()
+
+    def test_noop_mutations_are_not_journaled(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        store = _backend(journal)
+        store.add(Entry("a"))
+        before = journal.log_records
+        store.add(Entry("a"))  # duplicate
+        store.discard(Entry("absent"))
+        store.replace(Entry("absent"), Entry("b"))
+        store.clear()
+        store.clear()  # already empty: nothing to journal
+        assert journal.log_records == before + 1  # only the first clear
+
+    def test_restore_is_one_reset_record(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        store = _backend(journal)
+        for entry in make_entries(4):
+            store.add(entry)
+        before = journal.log_records
+        store.restore([Entry("x1"), Entry("x2"), Entry("x3")])
+        assert journal.log_records == before + 1
+        journal.close()
+        _, recovered, _ = _rebuild(tmp_path)
+        assert recovered.as_list() == [Entry("x1"), Entry("x2"), Entry("x3")]
+
+    def test_read_only_journal_never_writes(self, tmp_path):
+        journal = AppendLogJournal(tmp_path, read_only=True)
+        store = _backend(journal)
+        store.add(Entry("a"))
+        assert journal.log_records == 0
+        assert not (tmp_path / "journal.000001.log").exists()
+
+    def test_recovered_store_samples_byte_identically(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        store = _backend(journal)
+        for entry in make_entries(10):
+            store.add(entry)
+        store.discard(Entry("v4"))
+        journal.close()
+        _, recovered, _ = _rebuild(tmp_path)
+        assert recovered.sample(4, random.Random(9)) == store.sample(
+            4, random.Random(9)
+        )
+
+
+class TestJournalRecords:
+    def test_state_records_dedupe(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        journal.record_state("k", 0, {"head": 1})
+        journal.record_state("k", 0, {"head": 1})  # unchanged: skipped
+        journal.record_state("k", 0, {"head": 2})
+        assert journal.log_records == 2
+
+    def test_empty_never_seen_state_is_skipped(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        journal.record_state("k", 0, {})
+        assert journal.log_records == 0
+
+    def test_transient_state_keys_are_dropped(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        journal.record_state("k", 0, {"head": 1, "migrations": [1, 2]})
+        journal.close()
+        image = AppendLogJournal(tmp_path).load()
+        assert image.states["k"][0] == {"head": 1}
+
+    def test_rng_round_trips_exactly(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        rng = random.Random(123)
+        rng.random()
+        journal.record_rng(rng)
+        journal.record_rng(rng)  # unchanged: deduped
+        assert journal.log_records == 1
+        journal.close()
+        image = AppendLogJournal(tmp_path).load()
+        twin = random.Random()
+        twin.setstate((image.rng_state[0], tuple(image.rng_state[1]), image.rng_state[2]))
+        assert twin.random() == rng.random()
+
+    def test_epoch_records_keep_the_max(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        journal.record_epoch("k", 3)
+        journal.record_epoch("k", 7)
+        journal.record_epoch("k", 5)  # late duplicate delivery
+        journal.close()
+        image = AppendLogJournal(tmp_path).load()
+        assert image.epochs == {"k": 7}
+
+    def test_params_dedupe_and_replay(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        journal.record_params({"hash": {"y": 2, "hash_seed": 9}})
+        journal.record_params({"hash": {"y": 2, "hash_seed": 9}})
+        assert journal.log_records == 1
+        journal.close()
+        image = AppendLogJournal(tmp_path).load()
+        assert image.params == {"hash": {"y": 2, "hash_seed": 9}}
+
+
+class TestReplayRobustness:
+    def test_torn_tail_is_dropped_silently(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        store = _backend(journal)
+        for entry in make_entries(5):
+            store.add(entry)
+        journal.close()
+        path = tmp_path / "journal.000001.log"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "add", "k": "k", "s": 0, "e": ["v9"')  # cut short
+        _, recovered, _ = _rebuild(tmp_path)
+        assert recovered.as_list() == make_entries(5)
+
+    def test_index_mismatch_is_a_recovery_error(self, tmp_path):
+        image = RecoveredImage()
+        image.apply({"op": "add", "k": "k", "s": 0, "i": 0, "e": ["a", None]})
+        with pytest.raises(RecoveryError):
+            image.apply({"op": "add", "k": "k", "s": 1, "i": 5, "e": ["b", None]})
+
+    def test_unknown_op_is_a_recovery_error(self):
+        with pytest.raises(RecoveryError):
+            RecoveredImage().apply({"op": "teleport"})
+
+    def test_duplicate_add_replays_idempotently(self, tmp_path):
+        # Journal-replay and delta-application can overlap after a
+        # fleet recovery; the image absorbs the double delivery.
+        image = RecoveredImage()
+        record = {"op": "add", "k": "k", "s": 0, "i": 0, "e": ["a", None]}
+        image.apply(record)
+        image.apply(record)
+        assert image.stores["k"][0] == [["a", None]]
+
+    def test_has_data_ignores_an_empty_directory(self, tmp_path):
+        assert not AppendLogJournal(tmp_path).has_data()
+
+
+class TestCompaction:
+    def _image_for(self, store):
+        image = RecoveredImage()
+        interner = store.interner
+        image.interners["k"] = [
+            [interner.entry_at(i).entry_id, interner.entry_at(i).payload]
+            for i in range(len(interner))
+        ]
+        image._index_by_id["k"] = {
+            pair[0]: i for i, pair in enumerate(image.interners["k"])
+        }
+        image.stores["k"] = {0: [[e.entry_id, e.payload] for e in store.as_list()]}
+        return image
+
+    def test_compaction_folds_logs_into_the_snapshot(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        store = _backend(journal)
+        for entry in make_entries(6):
+            store.add(entry)
+        journal.compact(self._image_for(store), epoch=11)
+        # folded logs gone, snapshot present, fresh serial open
+        assert not (tmp_path / "journal.000001.log").exists()
+        assert (tmp_path / "snapshot.json").exists()
+        assert journal.log_records == 0
+        assert journal.compactions == 1
+        assert journal.last_compaction_epoch == 11
+
+    def test_post_compaction_mutations_replay_on_top(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        store = _backend(journal)
+        for entry in make_entries(6):
+            store.add(entry)
+        journal.compact(self._image_for(store))
+        store.discard(Entry("v2"))
+        store.add(Entry("w9"))
+        journal.close()
+        _, recovered, _ = _rebuild(tmp_path)
+        assert recovered.as_list() == store.as_list()
+        assert recovered.mask == store.mask
+
+    def test_stale_lower_serial_logs_are_ignored(self, tmp_path):
+        # A crash between snapshot publish and unlink leaves old logs
+        # behind; replay must skip them (their serial < snapshot's).
+        journal = AppendLogJournal(tmp_path)
+        store = _backend(journal)
+        for entry in make_entries(4):
+            store.add(entry)
+        journal.compact(self._image_for(store))
+        journal.close()
+        # resurrect a stale pre-compaction log with contradictory data
+        with open(tmp_path / "journal.000001.log", "w", encoding="utf-8") as fh:
+            fh.write('{"op": "clear", "k": "k", "s": 0}\n')
+        _, recovered, _ = _rebuild(tmp_path)
+        assert recovered.as_list() == store.as_list()
+
+    def test_should_compact_honours_the_threshold(self, tmp_path):
+        journal = AppendLogJournal(tmp_path, compact_every=3)
+        store = _backend(journal)
+        store.add(Entry("a"))
+        store.add(Entry("b"))
+        assert not journal.should_compact()
+        store.add(Entry("c"))
+        assert journal.should_compact()
+        journal.compact(self._image_for(store))
+        assert not journal.should_compact()
+
+    def test_stats_reflect_the_journal(self, tmp_path):
+        journal = AppendLogJournal(tmp_path)
+        store = _backend(journal)
+        store.add(Entry("a"))
+        stats = journal.stats()
+        assert stats["kind"] == "log"
+        assert stats["log_records"] == 1
+        assert stats["log_bytes"] > 0
+        assert stats["read_only"] is False
